@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of core-selection cost: how expensive one
+//! fork/wakeup placement decision is under CFS vs Nest vs Smove.
+//!
+//! The paper notes (§5.6, hackbench) that Nest "adds a lot of code to
+//! core selection, which could be optimized" — this benchmark quantifies
+//! the analogous cost in the reproduction.
+
+use std::rc::Rc;
+
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion,
+};
+use nest_freq::{
+    FreqModel,
+    Governor,
+};
+use nest_sched::{
+    Cfs,
+    KernelState,
+    Nest,
+    SchedEnv,
+    SchedPolicy,
+    Smove,
+};
+use nest_simcore::{
+    CoreId,
+    SimRng,
+    TaskId,
+    Time,
+};
+use nest_topology::{
+    presets,
+    Topology,
+};
+
+struct Fixture {
+    k: KernelState,
+    topo: Rc<Topology>,
+    freq: FreqModel,
+    rng: SimRng,
+    task: TaskId,
+}
+
+fn fixture(occupied: usize) -> Fixture {
+    let spec = presets::xeon_6130(4);
+    let topo = Rc::new(Topology::new(spec.clone()));
+    let mut k = KernelState::new(Rc::clone(&topo));
+    let now = Time::ZERO;
+    let mut last = TaskId(0);
+    for i in 0..=occupied {
+        let id = TaskId::from_index(i);
+        k.register_task(id, now);
+        if i < occupied {
+            k.enqueue(now, id, CoreId::from_index(i));
+            k.pick_next(now, CoreId::from_index(i));
+        }
+        last = id;
+    }
+    Fixture {
+        k,
+        topo,
+        freq: FreqModel::new(&spec, Governor::Schedutil),
+        rng: SimRng::new(7),
+        task: last,
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    for (name, occupied) in [("empty_machine", 0usize), ("half_loaded", 64)] {
+        let mut g = c.benchmark_group(format!("select_wakeup_{name}_6130x4"));
+        let policies: Vec<(&str, Box<dyn SchedPolicy>)> = vec![
+            ("CFS", Box::new(Cfs::new())),
+            ("Nest", Box::new(Nest::new(128))),
+            ("Smove", Box::new(Smove::new())),
+        ];
+        for (label, mut policy) in policies {
+            let mut f = fixture(occupied);
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut env = SchedEnv {
+                        now: Time::ZERO,
+                        topo: &f.topo,
+                        freq: &f.freq,
+                        rng: &mut f.rng,
+                    };
+                    std::hint::black_box(policy.select_core_wakeup(
+                        &mut f.k,
+                        &mut env,
+                        f.task,
+                        CoreId(3),
+                    ))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

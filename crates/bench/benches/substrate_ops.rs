@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks of substrate data structures: event queue,
+//! CPU sets, PELT updates, frequency-model advancement.
+
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion,
+};
+use nest_freq::{
+    Activity,
+    FreqModel,
+    Governor,
+};
+use nest_sched::Pelt;
+use nest_simcore::{
+    CoreId,
+    EventQueue,
+    Time,
+    MILLISEC,
+};
+use nest_topology::{
+    presets,
+    CpuSet,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(Time::from_nanos(i * 7919 % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn bench_cpuset(c: &mut Criterion) {
+    c.bench_function("cpuset_wrapping_scan_160", |b| {
+        let mut s = CpuSet::new(160);
+        for i in (0..160).step_by(3) {
+            s.insert(CoreId::from_index(i));
+        }
+        b.iter(|| {
+            let mut n = 0;
+            for core in s.iter_wrapping_from(CoreId(77)) {
+                n += core.index();
+            }
+            std::hint::black_box(n)
+        })
+    });
+}
+
+fn bench_pelt(c: &mut Criterion) {
+    c.bench_function("pelt_update_1k_events", |b| {
+        b.iter(|| {
+            let mut p = Pelt::new(Time::ZERO);
+            let mut t = Time::ZERO;
+            for i in 0..1000u64 {
+                t += (i % 5 + 1) * 100_000;
+                p.set_running(t, i % 2 == 0);
+            }
+            std::hint::black_box(p.value(t))
+        })
+    });
+}
+
+fn bench_freq_advance(c: &mut Criterion) {
+    c.bench_function("freq_advance_1ms_e7", |b| {
+        let spec = presets::e7_8870_v4();
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        for i in 0..40 {
+            m.set_activity(Time::ZERO, CoreId(i * 2), Activity::Busy);
+        }
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            t += MILLISEC;
+            std::hint::black_box(m.advance(t, MILLISEC, &mut |_| 0.8).len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cpuset,
+    bench_pelt,
+    bench_freq_advance
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 3: underload timeline (4 ms intervals) for the first 0.3 s of
+//! LLVM-ninja configuration, CFS-schedutil vs Nest-schedutil on the 5218.
+//!
+//! The paper's claim: CFS shows substantial underload (up to ~6 per
+//! interval); with Nest it has almost disappeared.
+
+use nest_bench::{
+    banner,
+    seed,
+};
+use nest_core::{
+    run_once,
+    PolicyKind,
+    SimConfig,
+};
+use nest_topology::presets;
+use nest_workloads::configure::Configure;
+
+fn main() {
+    banner("Figure 3", "underload timeline, LLVM-ninja configure (5218, schedutil)");
+    let machine = presets::xeon_5218();
+    for policy in [PolicyKind::Cfs, PolicyKind::Nest] {
+        let cfg = SimConfig::new(machine.clone()).policy(policy.clone()).seed(seed());
+        let label = policy.label();
+        let r = run_once(&cfg, &Configure::named("llvm_ninja"));
+        let series = r.underload.series();
+        println!("\n--- {label} ---");
+        println!("t(s)    underload   (first 0.3 s, 4 ms intervals)");
+        let mut max_u = 0;
+        for (t, u) in series.iter().take(75) {
+            max_u = max_u.max(*u);
+            if *u > 0 {
+                println!("{t:.3}   {u:>3}  {}", "#".repeat(*u as usize));
+            }
+        }
+        let total: u64 = series.iter().take(75).map(|(_, u)| *u as u64).sum();
+        println!("intervals with underload: {} / 75, peak {}, total {}",
+            series.iter().take(75).filter(|(_, u)| *u > 0).count(), max_u, total);
+        println!("whole-run underload/s: {:.2}", r.underload.underload_per_second());
+    }
+    println!("\nExpected shape (paper): substantial CFS underload, nearly");
+    println!("none under Nest.");
+}

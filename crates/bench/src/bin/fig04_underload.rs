@@ -1,0 +1,32 @@
+//! Figure 4: underload per second for the 11 configure benchmarks, with
+//! CFS and Nest under schedutil and performance, on each machine.
+//!
+//! The paper's claim: CFS accrues a few underload units per second; Nest
+//! nearly eliminates it on every machine.
+
+use nest_bench::{
+    banner,
+    configure_matrix,
+    metric_row,
+    paper_schedulers,
+};
+
+fn main() {
+    banner("Figure 4", "configure underload per second (CFS/Nest × sched/perf)");
+    let schedulers = paper_schedulers();
+    for (machine, comps) in configure_matrix(&schedulers) {
+        println!("\n### {machine}");
+        let labels: Vec<String> = schedulers.iter().map(|s| s.label()).collect();
+        println!("{}", metric_row("benchmark", &labels));
+        for c in &comps {
+            let vals: Vec<String> = c
+                .rows
+                .iter()
+                .map(|r| format!("{:.2}", r.underload_per_s))
+                .collect();
+            println!("{}", metric_row(&c.workload, &vals));
+        }
+    }
+    println!("\nExpected shape (paper): CFS rows noticeably positive, Nest");
+    println!("rows near zero on all four machines.");
+}

@@ -1,0 +1,45 @@
+//! Figure 5: configure-test speedups vs CFS-schedutil for CFS-perf,
+//! Nest-sched, Nest-perf, and Smove-sched, per machine.
+//!
+//! The paper's claims: Nest speedups exceed 5% everywhere except NodeJS
+//! (trivial), reaching 37% on the E7-8870 v4; CFS-performance helps
+//! little on the 6130/5218 (CFS-schedutil already reaches turbo) but a
+//! lot on the E7; Smove stays under 5% except ~9% on LLVM.
+
+use nest_bench::{
+    banner,
+    configure_matrix,
+    metric_row,
+};
+use nest_core::experiment::SchedulerSetup;
+
+fn main() {
+    banner("Figure 5", "configure speedup vs CFS-schedutil");
+    let schedulers = SchedulerSetup::configure_set();
+    for (machine, comps) in configure_matrix(&schedulers) {
+        println!("\n### {machine}");
+        let labels: Vec<String> = schedulers
+            .iter()
+            .skip(1)
+            .map(|s| format!("{}%", s.label()))
+            .collect();
+        let mut head = vec!["base time ±%".to_string()];
+        head.extend(labels);
+        println!("{}", metric_row("benchmark", &head));
+        for c in &comps {
+            let base = &c.rows[0];
+            let mut vals = vec![format!(
+                "{:.2}s ±{:.0}%",
+                base.time.mean,
+                base.time.std_pct()
+            )];
+            for r in c.rows.iter().skip(1) {
+                let s = r.speedup_pct.as_ref().expect("non-baseline");
+                vals.push(format!("{:+.1}", s.mean));
+            }
+            println!("{}", metric_row(&c.workload, &vals));
+        }
+    }
+    println!("\nExpected shape (paper): Nest +10..+37% except nodejs (<5%);");
+    println!("CFS-perf <5% on 6130/5218 but large on the E7; Smove <10%.");
+}

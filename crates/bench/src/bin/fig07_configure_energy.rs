@@ -1,0 +1,45 @@
+//! Figure 7: reduction in CPU energy consumption for the configure tests
+//! relative to CFS-schedutil.
+//!
+//! The paper's claim: by shortening execution while keeping the
+//! computation on few cores, Nest reduces CPU energy by up to ~19-20%.
+
+use nest_bench::{
+    banner,
+    configure_matrix,
+    metric_row,
+    paper_schedulers,
+};
+
+fn main() {
+    banner("Figure 7", "configure CPU energy savings vs CFS-schedutil");
+    let schedulers = paper_schedulers();
+    for (machine, comps) in configure_matrix(&schedulers) {
+        println!("\n### {machine}");
+        let labels: Vec<String> = schedulers
+            .iter()
+            .skip(1)
+            .map(|s| format!("{}%", s.label()))
+            .collect();
+        let mut head = vec!["base energy ±%".to_string()];
+        head.extend(labels);
+        println!("{}", metric_row("benchmark", &head));
+        for c in &comps {
+            let base = &c.rows[0];
+            let mut vals = vec![format!(
+                "{:.0}J ±{:.0}%",
+                base.energy.mean,
+                base.energy.std_pct()
+            )];
+            for r in c.rows.iter().skip(1) {
+                vals.push(format!(
+                    "{:+.1}",
+                    r.energy_savings_pct.expect("non-baseline")
+                ));
+            }
+            println!("{}", metric_row(&c.workload, &vals));
+        }
+    }
+    println!("\nExpected shape (paper): positive savings for Nest on most");
+    println!("benchmarks, up to ~19%.");
+}

@@ -1,0 +1,67 @@
+//! Figures 8 and 9: execution traces of the DaCapo h2 benchmark on the
+//! 4-socket Intel 6130, CFS-schedutil vs Nest-schedutil.
+//!
+//! The paper's claims: CFS disperses h2's tasks over most of one socket
+//! (sometimes several sockets — the slow runs of Figure 9), spending ~2/3
+//! of the time at or below 3.1 GHz; Nest keeps the tasks on ~10 cores
+//! that spend >2/3 of the time above 3.1 GHz, for ~20% speedup (more than
+//! 2× against the multi-socket runs).
+
+use nest_bench::{
+    banner,
+    seed,
+};
+use nest_core::{
+    run_once,
+    PolicyKind,
+    SimConfig,
+};
+use nest_topology::presets;
+use nest_workloads::dacapo::Dacapo;
+
+fn main() {
+    banner("Figures 8/9", "h2 execution trace, CFS vs Nest (4-socket 6130, schedutil)");
+    let machine = presets::xeon_6130(4);
+    let cores_per_socket = machine.cores_per_socket();
+    for policy in [PolicyKind::Cfs, PolicyKind::Nest] {
+        let cfg = SimConfig::new(machine.clone())
+            .policy(policy.clone())
+            .seed(seed())
+            .with_trace();
+        let label = policy.label();
+        let r = run_once(&cfg, &Dacapo::named("h2"));
+        let trace = r.trace.expect("trace requested");
+        let cores = trace.cores_used();
+        let sockets: std::collections::BTreeSet<usize> = cores
+            .iter()
+            .map(|&c| c as usize / cores_per_socket)
+            .collect();
+        println!("\n--- {label} ---");
+        println!("time: {:.2}s  energy: {:.0}J", r.time_s, r.energy_j);
+        println!(
+            "cores with activity: {}   sockets: {:?}",
+            cores.len(),
+            sockets
+        );
+        // Per-socket placement distribution.
+        for s in &sockets {
+            let n = cores
+                .iter()
+                .filter(|&&c| c as usize / cores_per_socket == *s)
+                .count();
+            println!("  socket {s}: {n} cores touched");
+        }
+        let bands = [(0.0, 1.0), (1.0, 1.6), (1.6, 2.1), (2.1, 2.8), (2.8, 3.1), (3.1, 3.4), (3.4, 3.7)];
+        for (lo, hi) in bands {
+            println!(
+                "  ({lo:.1},{hi:.1}] GHz: {:5.2}%",
+                100.0 * trace.busy_fraction_in(lo, hi)
+            );
+        }
+        let above = trace.busy_fraction_in(3.1, 4.0);
+        println!("  busy time above 3.1 GHz: {:.1}%", 100.0 * above);
+    }
+    println!("\nExpected shape (paper): CFS touches most of a socket with");
+    println!("<1/3 of time above 3.1 GHz; Nest stays on ~10 cores with");
+    println!(">2/3 above 3.1 GHz.");
+}

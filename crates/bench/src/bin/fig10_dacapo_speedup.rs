@@ -1,0 +1,47 @@
+//! Figure 10: DaCapo speedups vs CFS-schedutil across 21 applications and
+//! the four machines, with the underload-per-second annotation (u:X).
+//!
+//! The paper's claims: results range from a ~6% degradation (fop on the
+//! E7) to over 40% speedup; the highest Nest-schedutil speedups are on
+//! h2, tradebeans, and graphchi-eval, which have high underload; blue
+//! (single-task) applications stay near ±5%.
+
+use nest_bench::{
+    banner,
+    figure_machines,
+    metric_row,
+    paper_schedulers,
+    runs,
+    seed,
+};
+use nest_core::experiment::compare_schedulers;
+use nest_workloads::dacapo;
+
+fn main() {
+    banner("Figure 10", "DaCapo speedup vs CFS-schedutil");
+    let schedulers = paper_schedulers();
+    for machine in figure_machines() {
+        println!("\n### {}", machine.name);
+        let mut head = vec!["base time / u:X".to_string()];
+        head.extend(schedulers.iter().skip(1).map(|s| format!("{}%", s.label())));
+        println!("{}", metric_row("app", &head));
+        for spec in dacapo::all_specs() {
+            let single = spec.single_task;
+            let w = dacapo::Dacapo::new(spec);
+            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+            let base = &c.rows[0];
+            let mut vals = vec![format!(
+                "{:.1}s u:{:.1}",
+                base.time.mean, base.underload_per_s
+            )];
+            for r in c.rows.iter().skip(1) {
+                vals.push(format!("{:+.1}", r.speedup_pct.as_ref().unwrap().mean));
+            }
+            let marker = if single { "*" } else { " " };
+            println!("{marker}{}", metric_row(&c.workload, &vals));
+        }
+    }
+    println!("\n(*) single/few-task applications (blue in the paper).");
+    println!("Expected shape (paper): h2/tradebeans/graphchi-eval highest;");
+    println!("single-task apps within ±5%; no degradation beyond ~-6%.");
+}

@@ -1,0 +1,46 @@
+//! Figure 12: NAS Parallel Benchmark (class C) speedups vs CFS-schedutil
+//! across the nine kernels and four machines.
+//!
+//! The paper's claims: on the 2-socket 6130 and 5218, CFS and Nest have
+//! essentially the same performance (the nest does not get in the way of
+//! highly parallel applications); the 4-socket machines show larger and
+//! noisier effects, with Nest winning on the E7 thanks to its more
+//! aggressive wakeup work conservation.
+
+use nest_bench::{
+    banner,
+    figure_machines,
+    metric_row,
+    paper_schedulers,
+    runs,
+    seed,
+};
+use nest_core::experiment::compare_schedulers;
+use nest_workloads::nas;
+
+fn main() {
+    banner("Figure 12", "NAS class C speedup vs CFS-schedutil");
+    let schedulers = paper_schedulers();
+    for machine in figure_machines() {
+        println!("\n### {}", machine.name);
+        let mut head = vec!["base time ±%".to_string()];
+        head.extend(schedulers.iter().skip(1).map(|s| format!("{}%", s.label())));
+        println!("{}", metric_row("kernel", &head));
+        for spec in nas::all_specs() {
+            let w = nas::Nas::new(spec);
+            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+            let base = &c.rows[0];
+            let mut vals = vec![format!(
+                "{:.2}s ±{:.0}%",
+                base.time.mean,
+                base.time.std_pct()
+            )];
+            for r in c.rows.iter().skip(1) {
+                vals.push(format!("{:+.1}", r.speedup_pct.as_ref().unwrap().mean));
+            }
+            println!("{}", metric_row(&c.workload, &vals));
+        }
+    }
+    println!("\nExpected shape (paper): ±5% parity on the 2-socket machines;");
+    println!("larger, noisier wins for Nest on the 4-socket machines.");
+}

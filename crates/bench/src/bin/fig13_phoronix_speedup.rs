@@ -1,0 +1,57 @@
+//! Figure 13: Phoronix multicore speedups vs CFS-schedutil for the tests
+//! where CFS-performance or Nest-schedutil moves by at least 20% on some
+//! machine (27 named tests, Table 5 key).
+//!
+//! The paper's highlighted patterns: zstd compression 7/10 speed up a lot
+//! under both CFS-perf and Nest-sched; Rodinia 5 behaves oppositely under
+//! the two on different machines; libavif avifenc 1 degrades with
+//! Nest-sched (up to -22% on the 4-socket 6130).
+
+use nest_bench::{
+    banner,
+    figure_machines,
+    metric_row,
+    runs,
+    seed,
+};
+use nest_core::experiment::{
+    compare_schedulers,
+    SchedulerSetup,
+};
+use nest_core::{
+    Governor,
+    PolicyKind,
+};
+use nest_workloads::phoronix;
+
+fn main() {
+    banner("Figure 13", "Phoronix multicore speedup vs CFS-schedutil");
+    // The figure compares CFS-perf and Nest-sched against CFS-sched.
+    let schedulers = vec![
+        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+        SchedulerSetup::new(PolicyKind::Cfs, Governor::Performance),
+        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+    ];
+    for machine in figure_machines() {
+        println!("\n### {}", machine.name);
+        let head = vec![
+            "base time ±%".to_string(),
+            "CFS perf%".to_string(),
+            "Nest sched%".to_string(),
+        ];
+        println!("{}", metric_row("test", &head));
+        for spec in phoronix::figure13_specs() {
+            let w = phoronix::Phoronix::new(spec);
+            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+            let base = &c.rows[0];
+            let vals = vec![
+                format!("{:.2}s ±{:.0}%", base.time.mean, base.time.std_pct()),
+                format!("{:+.1}", c.rows[1].speedup_pct.as_ref().unwrap().mean),
+                format!("{:+.1}", c.rows[2].speedup_pct.as_ref().unwrap().mean),
+            ];
+            println!("{}", metric_row(&c.workload, &vals));
+        }
+    }
+    println!("\nExpected shape (paper): zstd 7/10 large wins for both;");
+    println!("libavif avifenc 1 negative for Nest; cpuminer/oidn near zero.");
+}

@@ -1,0 +1,174 @@
+//! §5.6 "Other applications": hackbench, schbench, the server tests,
+//! multiple concurrent applications, and the mono-socket machines.
+//!
+//! The paper's findings: hackbench slows down substantially under Nest
+//! (placement-heavy, adversarial); schbench tail latency shows no clear
+//! winner; Nest helps leveldb (+25%) and redis (+7%) but lags CFS on
+//! apache as concurrency rises while matching it on nginx; running two
+//! applications concurrently keeps Nest's individual advantages; the
+//! mono-socket 5220 behaves like the big Intels for configure and the
+//! AMD 4650G favours Nest broadly.
+
+use nest_bench::{
+    banner,
+    quick,
+    runs,
+    seed,
+};
+use nest_core::experiment::{
+    compare_schedulers,
+    format_table,
+    SchedulerSetup,
+};
+use nest_core::{
+    run_many,
+    Governor,
+    PolicyKind,
+    SimConfig,
+};
+use nest_topology::presets;
+use nest_workloads::{
+    configure::Configure,
+    hackbench::{
+        Hackbench,
+        HackbenchSpec,
+    },
+    phoronix::Phoronix,
+    schbench::{
+        Schbench,
+        SchbenchSpec,
+    },
+    server::{
+        Server,
+        ServerSpec,
+    },
+};
+
+use nest_simcore::{
+    SimRng,
+    SimSetup,
+    TaskSpec,
+};
+
+/// Two applications launched together (multi-application scenario).
+struct Combined {
+    a: Box<dyn nest_workloads::Workload>,
+    b: Box<dyn nest_workloads::Workload>,
+}
+
+impl nest_workloads::Workload for Combined {
+    fn name(&self) -> String {
+        format!("{} + {}", self.a.name(), self.b.name())
+    }
+
+    fn build(&self, setup: &mut dyn SimSetup, rng: &mut SimRng) -> Vec<TaskSpec> {
+        let mut tasks = self.a.build(setup, rng);
+        tasks.extend(self.b.build(setup, rng));
+        tasks
+    }
+}
+
+fn main() {
+    banner("§5.6", "hackbench, schbench, servers, multi-app, mono-socket");
+    let two = vec![
+        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+    ];
+    let m5218 = presets::xeon_5218();
+
+    println!("\n# hackbench (message-churn stress; paper: Nest much slower)");
+    let hb = Hackbench::new(HackbenchSpec::default());
+    let c = compare_schedulers(&m5218, &hb, &two, runs().min(2), seed());
+    print!("{}", format_table(&c));
+
+    println!("\n# schbench p99.9 wakeup latency (paper: no clear winner)");
+    for (mt, wt) in [(4u32, 4u32), (8, 8), (16, 16)] {
+        let sb = Schbench::new(SchbenchSpec {
+            message_threads: mt,
+            workers_per_message: wt,
+            requests_per_worker: if quick() { 20 } else { 50 },
+            think_ms: 3.0,
+        });
+        print!("m{mt} w{wt}: ");
+        for s in &two {
+            let cfg = SimConfig::new(m5218.clone())
+                .policy(s.policy.clone())
+                .governor(s.governor)
+                .seed(seed());
+            let rs = run_many(&cfg, &sb, runs().min(2));
+            let p999: Vec<f64> = rs
+                .iter()
+                .filter_map(|r| r.latency.p999())
+                .map(|v| v as f64 / 1e3)
+                .collect();
+            let mean = p999.iter().sum::<f64>() / p999.len().max(1) as f64;
+            print!(" {}: p99.9 {:8.1}µs ", s.label(), mean);
+        }
+        println!();
+    }
+
+    println!("\n# server tests on the 2-socket 6130 (paper machine for §5.6)");
+    let m6130 = presets::xeon_6130(2);
+    let servers: Vec<ServerSpec> = vec![
+        ServerSpec::nginx(50),
+        ServerSpec::nginx(200),
+        ServerSpec::apache(50),
+        ServerSpec::apache(200),
+        ServerSpec::leveldb(),
+        ServerSpec::redis(),
+    ];
+    // Completion time is arrival-limited for these open-loop tests, so
+    // the scheduler-sensitive metric is the request (wakeup) latency.
+    for spec in servers {
+        let w = Server::new(spec);
+        let c = compare_schedulers(&m6130, &w, &two, runs().min(2), seed());
+        let p99 = |rows: &nest_core::experiment::SchedulerOutcome| {
+            let vals: Vec<f64> = rows
+                .runs
+                .iter()
+                .filter_map(|r| r.latency.p99())
+                .map(|v| v as f64 / 1e3)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        println!(
+            "{:<12} CFS {:.3}s p99 {:8.1}µs | Nest {:+.1}% p99 {:8.1}µs",
+            c.workload,
+            c.rows[0].time.mean,
+            p99(&c.rows[0]),
+            c.rows[1].speedup_pct.as_ref().unwrap().mean,
+            p99(&c.rows[1]),
+        );
+    }
+
+    println!("\n# multiple concurrent applications (zstd 7 + libgav1 4)");
+    let combo = Combined {
+        a: Box::new(Phoronix::named("zstd compression 7")),
+        b: Box::new(Phoronix::named("libgav1 4")),
+    };
+    let c = compare_schedulers(&m6130, &combo, &two, runs().min(2), seed());
+    print!("{}", format_table(&c));
+
+    println!("\n# mono-socket machines (configure gdb + llvm_ninja)");
+    for machine in [presets::xeon_5220(), presets::amd_4650g()] {
+        for bench in ["gdb", "llvm_ninja"] {
+            let c = compare_schedulers(
+                &machine,
+                &Configure::named(bench),
+                &SchedulerSetup::paper_set(),
+                runs().min(2),
+                seed(),
+            );
+            let label = |i: usize| c.rows[i].speedup_pct.as_ref().unwrap().mean;
+            println!(
+                "{:<22} {:<10} CFS {:.2}s | CFSperf {:+.1}% Nestsched {:+.1}% Nestperf {:+.1}%",
+                machine.name,
+                bench,
+                c.rows[0].time.mean,
+                label(1),
+                label(2),
+                label(3)
+            );
+        }
+    }
+}

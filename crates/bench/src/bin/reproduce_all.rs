@@ -1,0 +1,39 @@
+//! Runs every experiment harness in sequence — the one-command
+//! reproduction of the paper's evaluation section. Each section's binary
+//! can also be run standalone; see DESIGN.md §4 for the index.
+//!
+//! Respects `NEST_RUNS` / `NEST_QUICK` / `NEST_SEED` like the individual
+//! binaries. Output order follows the paper.
+
+use std::process::Command;
+
+fn run(bin: &str) {
+    println!("\n################ {bin} ################\n");
+    let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    for bin in [
+        "table23_machines",
+        "fig02_trace",
+        "fig03_underload_timeline",
+        "fig04_underload",
+        "fig05_configure_speedup",
+        "fig06_configure_freq",
+        "fig07_configure_energy",
+        "fig08_h2_trace",
+        "fig10_dacapo_speedup",
+        "fig11_dacapo_freq",
+        "fig12_nas_speedup",
+        "fig13_phoronix_speedup",
+        "table4_overview",
+        "ablation",
+        "other_apps",
+    ] {
+        run(bin);
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,54 @@
+//! Tables 2 and 3: the modeled machines and their turbo-frequency
+//! ladders, printed from the presets so the reproduction's hardware model
+//! can be checked against the paper at a glance.
+
+use nest_bench::banner;
+use nest_topology::presets;
+
+fn main() {
+    banner("Tables 2/3", "machine characteristics and turbo ladders");
+    println!(
+        "{:<28} {:<13} {:>7} {:>9} {:>9} {:>10}",
+        "CPU", "microarch", "cores", "min freq", "max freq", "max turbo"
+    );
+    let machines = presets::paper_machines();
+    for m in &machines {
+        println!(
+            "{:<28} {:<13} {:>7} {:>9} {:>9} {:>10}",
+            m.name,
+            m.microarch,
+            format!("{}x{}x2={}", m.sockets, m.phys_per_socket, m.n_cores()),
+            format!("{}", m.freq.fmin),
+            format!("{}", m.freq.fnominal),
+            format!("{}", m.freq.fmax()),
+        );
+    }
+    println!("\nTurbo ladders (GHz by active physical cores on a socket):");
+    let cols = [1usize, 2, 3, 4, 5, 8, 9, 12, 13, 16, 17, 20];
+    print!("{:<28}", "machine");
+    for c in cols {
+        print!(" {c:>5}");
+    }
+    println!();
+    for m in &machines {
+        print!("{:<28}", m.name);
+        for c in cols {
+            if c <= m.phys_per_socket {
+                print!(" {:>5.1}", m.freq.turbo_limit(c).as_ghz());
+            } else {
+                print!(" {:>5}", "-");
+            }
+        }
+        println!();
+    }
+    println!("\n§5.6 mono-socket machines:");
+    for m in [presets::xeon_5220(), presets::amd_4650g()] {
+        println!(
+            "  {:<26} {} cores, turbo {} .. {}",
+            m.name,
+            m.n_cores(),
+            m.freq.turbo_limit(m.phys_per_socket),
+            m.freq.fmax()
+        );
+    }
+}

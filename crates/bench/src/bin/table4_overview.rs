@@ -1,0 +1,78 @@
+//! Table 4: overview of the Phoronix multicore results — how many tests
+//! are slower by >20%, slower by 5-20%, the same (±5%), faster by 5-20%,
+//! and faster by >20%, for CFS-performance and Nest-schedutil vs
+//! CFS-schedutil.
+//!
+//! The paper's claim: most tests are unaffected (±5%); at least 7% of
+//! tests gain >5% with Nest-schedutil on every machine, 21% on the E7;
+//! very few regress badly.
+//!
+//! The corpus here is the 27 named Figure 13 tests plus archetype tests
+//! drawn from the same behaviour space (DESIGN.md documents this
+//! substitution; the paper's 222-test suite is not redistributable).
+
+use nest_bench::{
+    banner,
+    figure_machines,
+    quick,
+    runs,
+    seed,
+};
+use nest_core::experiment::{
+    compare_schedulers,
+    SchedulerSetup,
+};
+use nest_core::{
+    Governor,
+    PolicyKind,
+};
+use nest_metrics::stats::table4_band;
+use nest_simcore::SimRng;
+use nest_workloads::phoronix;
+
+fn main() {
+    banner("Table 4", "Phoronix multicore overview (band counts)");
+    let schedulers = vec![
+        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+        SchedulerSetup::new(PolicyKind::Cfs, Governor::Performance),
+        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+    ];
+    let mut suite = phoronix::figure13_specs();
+    let n_archetypes = if quick() { 13 } else { 53 };
+    let mut rng = SimRng::new(seed() ^ 0xA5C3);
+    suite.extend(phoronix::archetype_suite(n_archetypes, &mut rng));
+    println!("corpus: {} tests ({} named + {} archetype)", suite.len(), 27, n_archetypes);
+
+    for machine in figure_machines() {
+        // counts[scheduler][band]
+        let bands = ["slower>20", "slower5to20", "same", "faster5to20", "faster>20"];
+        let mut counts = [[0usize; 5]; 2];
+        for spec in &suite {
+            let w = phoronix::Phoronix::new(spec.clone());
+            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+            for (i, r) in c.rows.iter().skip(1).enumerate() {
+                let band = table4_band(r.speedup_pct.as_ref().unwrap().mean);
+                let idx = bands.iter().position(|b| *b == band).unwrap();
+                counts[i][idx] += 1;
+            }
+        }
+        println!("\n### {}", machine.name);
+        println!(
+            "{:<12} {:>10} {:>12} {:>8} {:>12} {:>10}",
+            "scheduler", "slower>20%", "slower(5,20]", "same", "faster(5,20]", "faster>20%"
+        );
+        let total = suite.len();
+        for (i, label) in ["CFS-perf.", "Nest-sched."].iter().enumerate() {
+            let row: Vec<String> = counts[i]
+                .iter()
+                .map(|&n| format!("{n} ({:.0}%)", 100.0 * n as f64 / total as f64))
+                .collect();
+            println!(
+                "{:<12} {:>10} {:>12} {:>8} {:>12} {:>10}",
+                label, row[0], row[1], row[2], row[3], row[4]
+            );
+        }
+    }
+    println!("\nExpected shape (paper): the 'same' column dominates; ≥7% of");
+    println!("tests faster by >5% with Nest-sched on every machine.");
+}

@@ -1,0 +1,106 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the Nest
+//! paper and prints the same rows/series the paper reports. Common knobs
+//! come from the environment:
+//!
+//! * `NEST_RUNS` — measured runs per configuration (default 3; the paper
+//!   uses 10 after 2 warmups).
+//! * `NEST_QUICK=1` — restrict to the two-socket machines and one run,
+//!   for smoke testing.
+//! * `NEST_SEED` — base seed (default 42).
+
+use nest_core::experiment::SchedulerSetup;
+use nest_topology::presets;
+use nest_topology::MachineSpec;
+
+/// Measured runs per configuration.
+pub fn runs() -> usize {
+    std::env::var("NEST_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// `true` in quick (smoke-test) mode.
+pub fn quick() -> bool {
+    std::env::var("NEST_QUICK").map_or(false, |v| v == "1")
+}
+
+/// Base seed.
+pub fn seed() -> u64 {
+    std::env::var("NEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The machines a figure sweeps over (Table 2 set, or a subset in quick
+/// mode).
+pub fn figure_machines() -> Vec<MachineSpec> {
+    if quick() {
+        vec![presets::xeon_5218()]
+    } else {
+        presets::paper_machines()
+    }
+}
+
+/// The scheduler sets used by the figures.
+pub fn paper_schedulers() -> Vec<SchedulerSetup> {
+    SchedulerSetup::paper_set()
+}
+
+/// Prints the standard figure banner.
+pub fn banner(figure: &str, what: &str) {
+    println!("==================================================================");
+    println!("{figure}: {what}");
+    println!("(runs per config: {}, seed: {}{})", runs(), seed(),
+        if quick() { ", QUICK mode" } else { "" });
+    println!("==================================================================");
+}
+
+use nest_core::experiment::{
+    compare_schedulers,
+    Comparison,
+};
+use nest_workloads::Workload;
+
+/// Runs one workload across the figure machines under `schedulers`,
+/// returning one comparison per machine.
+pub fn sweep_machines(
+    workload: &dyn Workload,
+    schedulers: &[SchedulerSetup],
+) -> Vec<Comparison> {
+    figure_machines()
+        .iter()
+        .map(|m| compare_schedulers(m, workload, schedulers, runs(), seed()))
+        .collect()
+}
+
+/// Runs the full §5.2 configure matrix: 11 benchmarks × machines ×
+/// schedulers. Returns `(machine name, benchmark comparisons)` pairs.
+pub fn configure_matrix(schedulers: &[SchedulerSetup]) -> Vec<(String, Vec<Comparison>)> {
+    figure_machines()
+        .iter()
+        .map(|m| {
+            let comps = nest_workloads::configure::all_specs()
+                .into_iter()
+                .map(|spec| {
+                    let w = nest_workloads::configure::Configure::new(spec);
+                    compare_schedulers(m, &w, schedulers, runs(), seed())
+                })
+                .collect();
+            (m.name.to_string(), comps)
+        })
+        .collect()
+}
+
+/// Formats a per-benchmark metric row: benchmark name then one value per
+/// scheduler.
+pub fn metric_row(name: &str, values: &[String]) -> String {
+    let mut s = format!("{name:<14}");
+    for v in values {
+        s.push_str(&format!(" {v:>12}"));
+    }
+    s
+}

@@ -1,0 +1,232 @@
+//! Multi-run scheduler comparisons following §5.1's protocol.
+//!
+//! A comparison runs each scheduler configuration `runs` times (after
+//! `warmup` discarded runs), averages, and reports speedups relative to
+//! the CFS-schedutil baseline with the standard deviation of the
+//! improvement — exactly how the paper's bar graphs are constructed.
+
+use nest_freq::Governor;
+use nest_metrics::stats::{
+    improvement_stats,
+    savings_pct,
+    speedup_pct,
+    Stats,
+};
+use nest_workloads::Workload;
+
+use crate::sim::{
+    run_many,
+    PolicyKind,
+    RunResult,
+    SimConfig,
+};
+
+/// One scheduler configuration in a comparison.
+#[derive(Clone, Debug)]
+pub struct SchedulerSetup {
+    /// Policy to run.
+    pub policy: PolicyKind,
+    /// Governor to run it under.
+    pub governor: Governor,
+}
+
+impl SchedulerSetup {
+    /// Convenience constructor.
+    pub fn new(policy: PolicyKind, governor: Governor) -> SchedulerSetup {
+        SchedulerSetup { policy, governor }
+    }
+
+    /// The paper's four standard configurations plus the CFS-schedutil
+    /// baseline first: `CFS sched, CFS perf, Nest sched, Nest perf`.
+    pub fn paper_set() -> Vec<SchedulerSetup> {
+        vec![
+            SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+            SchedulerSetup::new(PolicyKind::Cfs, Governor::Performance),
+            SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+            SchedulerSetup::new(PolicyKind::Nest, Governor::Performance),
+        ]
+    }
+
+    /// The configure-figure set, which adds Smove-schedutil (Figure 5).
+    pub fn configure_set() -> Vec<SchedulerSetup> {
+        let mut v = SchedulerSetup::paper_set();
+        v.push(SchedulerSetup::new(PolicyKind::Smove, Governor::Schedutil));
+        v
+    }
+
+    /// Figure label like `"Nest sched"`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.policy.label(), self.governor.short_name())
+    }
+}
+
+/// Results of one scheduler within a comparison.
+#[derive(Debug)]
+pub struct SchedulerOutcome {
+    /// The configuration label (`"Nest sched"` …).
+    pub label: String,
+    /// Running-time statistics over the measured runs (seconds).
+    pub time: Stats,
+    /// Energy statistics (joules).
+    pub energy: Stats,
+    /// Mean underload per second.
+    pub underload_per_s: f64,
+    /// Speedup vs the baseline mean, % (`None` for the baseline row).
+    pub speedup_pct: Option<Stats>,
+    /// Energy savings vs the baseline mean, %.
+    pub energy_savings_pct: Option<f64>,
+    /// Mean fraction of busy time in the top two frequency buckets.
+    pub top_freq_fraction: f64,
+    /// The raw per-run results (for figure-specific post-processing).
+    pub runs: Vec<RunResult>,
+}
+
+/// A full comparison on one machine and workload.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Workload name.
+    pub workload: String,
+    /// Machine name.
+    pub machine: String,
+    /// Row per scheduler, baseline (index 0) first.
+    pub rows: Vec<SchedulerOutcome>,
+}
+
+impl Comparison {
+    /// Returns the row with the given label.
+    pub fn row(&self, label: &str) -> Option<&SchedulerOutcome> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+/// Runs `schedulers[0]` as the baseline and every other configuration
+/// against it on `machine`/`workload`.
+pub fn compare_schedulers(
+    machine: &nest_topology::MachineSpec,
+    workload: &dyn Workload,
+    schedulers: &[SchedulerSetup],
+    runs: usize,
+    seed: u64,
+) -> Comparison {
+    assert!(!schedulers.is_empty(), "need at least a baseline");
+    assert!(runs > 0, "need at least one run");
+    let mut rows = Vec::new();
+    let mut baseline_time_mean = None;
+    let mut baseline_energy_mean = None;
+    for s in schedulers {
+        let cfg = SimConfig::new(machine.clone())
+            .policy(s.policy.clone())
+            .governor(s.governor)
+            .seed(seed);
+        let results = run_many(&cfg, workload, runs);
+        let times: Vec<f64> = results.iter().map(|r| r.time_s).collect();
+        let energies: Vec<f64> = results.iter().map(|r| r.energy_j).collect();
+        let time = Stats::from_samples(&times);
+        let energy = Stats::from_samples(&energies);
+        let underload_per_s = results
+            .iter()
+            .map(|r| r.underload.underload_per_second())
+            .sum::<f64>()
+            / results.len() as f64;
+        let top_freq_fraction = results
+            .iter()
+            .map(|r| r.freq.top_fraction(2))
+            .sum::<f64>()
+            / results.len() as f64;
+        let (speedup, savings) = match (baseline_time_mean, baseline_energy_mean) {
+            (Some(bt), Some(be)) => (
+                Some(improvement_stats(bt, &times)),
+                Some(savings_pct(be, energy.mean)),
+            ),
+            _ => {
+                baseline_time_mean = Some(time.mean);
+                baseline_energy_mean = Some(energy.mean);
+                (None, None)
+            }
+        };
+        rows.push(SchedulerOutcome {
+            label: s.label(),
+            time,
+            energy,
+            underload_per_s,
+            speedup_pct: speedup,
+            energy_savings_pct: savings,
+            top_freq_fraction,
+            runs: results,
+        });
+    }
+    Comparison {
+        workload: workload.name(),
+        machine: machine.name.to_string(),
+        rows,
+    }
+}
+
+/// Formats a comparison as an aligned text table (the harness output).
+pub fn format_table(c: &Comparison) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} on {}\n", c.workload, c.machine));
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>7} {:>10} {:>8} {:>9} {:>8}\n",
+        "scheduler", "time(s)", "±%", "energy(J)", "u/s", "speedup%", "top-f%"
+    ));
+    for r in &c.rows {
+        out.push_str(&format!(
+            "{:<12} {:>10.3} {:>7.1} {:>10.1} {:>8.2} {:>9} {:>8.1}\n",
+            r.label,
+            r.time.mean,
+            r.time.std_pct(),
+            r.energy.mean,
+            r.underload_per_s,
+            r.speedup_pct
+                .as_ref()
+                .map_or("base".to_string(), |s| format!("{:+.1}", s.mean)),
+            100.0 * r.top_freq_fraction,
+        ));
+    }
+    out
+}
+
+/// Sanity check used across harness binaries: the comparison must contain
+/// a baseline and every row must have positive time.
+pub fn validate(c: &Comparison) {
+    assert!(!c.rows.is_empty());
+    assert!(c.rows[0].speedup_pct.is_none(), "row 0 must be the baseline");
+    for r in &c.rows {
+        assert!(r.time.mean > 0.0, "{}: nonpositive time", r.label);
+    }
+    let _ = speedup_pct(1.0, 1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_topology::presets;
+    use nest_workloads::configure::Configure;
+
+    #[test]
+    fn comparison_computes_speedups_vs_baseline() {
+        let machine = presets::xeon_5218();
+        let schedulers = vec![
+            SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+            SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+        ];
+        let c = compare_schedulers(&machine, &Configure::named("gdb"), &schedulers, 2, 11);
+        assert_eq!(c.rows.len(), 2);
+        assert!(c.rows[0].speedup_pct.is_none());
+        assert!(c.rows[1].speedup_pct.is_some());
+        assert!(c.row("Nest sched").is_some());
+        validate(&c);
+        let table = format_table(&c);
+        assert!(table.contains("Nest sched"));
+        assert!(table.contains("base"));
+    }
+
+    #[test]
+    fn paper_set_has_four_configs_plus_smove_for_configure() {
+        assert_eq!(SchedulerSetup::paper_set().len(), 4);
+        let cs = SchedulerSetup::configure_set();
+        assert_eq!(cs.len(), 5);
+        assert_eq!(cs[4].label(), "Smove sched");
+    }
+}

@@ -1,0 +1,296 @@
+//! Single-run simulation driver.
+//!
+//! [`run_once`] wires an [`Engine`] with the standard probe set
+//! (underload, frequency residency, placement counts, wakeup latency,
+//! optionally a full execution trace), executes a workload, and returns a
+//! [`RunResult`] carrying every metric the paper's figures need.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nest_engine::{
+    Engine,
+    EngineConfig,
+};
+use nest_freq::Governor;
+use nest_metrics::{
+    ExecutionTrace,
+    ExecutionTraceProbe,
+    FreqResidency,
+    FreqResidencyProbe,
+    PlacementCounts,
+    PlacementProbe,
+    UnderloadData,
+    UnderloadProbe,
+    WakeupLatencies,
+    WakeupLatencyProbe,
+};
+use nest_sched::{
+    Cfs,
+    CfsParams,
+    Nest,
+    NestParams,
+    SchedPolicy,
+    Smove,
+    SmoveParams,
+};
+use nest_simcore::{
+    SimRng,
+    Time,
+};
+use nest_topology::MachineSpec;
+use nest_workloads::Workload;
+
+/// Which scheduling policy to run.
+#[derive(Clone, Debug)]
+pub enum PolicyKind {
+    /// Linux CFS baseline (§2.1).
+    Cfs,
+    /// CFS with explicit parameters.
+    CfsWith(CfsParams),
+    /// The Nest scheduler with Table 1 defaults (§3).
+    Nest,
+    /// Nest with explicit parameters (ablations, §5.2/5.3).
+    NestWith(NestParams),
+    /// The Smove baseline (§2.2).
+    Smove,
+    /// Smove with explicit parameters.
+    SmoveWith(SmoveParams),
+}
+
+impl PolicyKind {
+    /// Short label used in figures ("CFS", "Nest", "Smove").
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Cfs | PolicyKind::CfsWith(_) => "CFS",
+            PolicyKind::Nest | PolicyKind::NestWith(_) => "Nest",
+            PolicyKind::Smove | PolicyKind::SmoveWith(_) => "Smove",
+        }
+    }
+
+    fn build(&self, n_cores: usize) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::Cfs => Box::new(Cfs::new()),
+            PolicyKind::CfsWith(p) => Box::new(Cfs::with_params(p.clone())),
+            PolicyKind::Nest => Box::new(Nest::new(n_cores)),
+            PolicyKind::NestWith(p) => Box::new(Nest::with_params(n_cores, p.clone())),
+            PolicyKind::Smove => Box::new(Smove::new()),
+            PolicyKind::SmoveWith(p) => Box::new(Smove::with_params(p.clone())),
+        }
+    }
+}
+
+/// Configuration of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Machine preset (Table 2).
+    pub machine: MachineSpec,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Power governor.
+    pub governor: Governor,
+    /// Base RNG seed; [`run_many`] offsets it per run.
+    pub seed: u64,
+    /// Safety horizon.
+    pub horizon: Time,
+    /// Collect a full execution trace (memory-heavy; figures 2/8 only).
+    pub collect_trace: bool,
+}
+
+impl SimConfig {
+    /// A CFS-schedutil configuration for `machine` (the paper's baseline).
+    pub fn new(machine: MachineSpec) -> SimConfig {
+        SimConfig {
+            machine,
+            policy: PolicyKind::Cfs,
+            governor: Governor::Schedutil,
+            seed: 1,
+            horizon: Time::from_secs(600),
+            collect_trace: false,
+        }
+    }
+
+    /// Sets the policy.
+    pub fn policy(mut self, policy: PolicyKind) -> SimConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the governor.
+    pub fn governor(mut self, governor: Governor) -> SimConfig {
+        self.governor = governor;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables execution-trace collection.
+    pub fn with_trace(mut self) -> SimConfig {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Figure label like `"Nest sched"`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.policy.label(), self.governor.short_name())
+    }
+}
+
+/// All metrics from one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Wall-clock completion time in (simulated) seconds.
+    pub time_s: f64,
+    /// CPU energy in joules.
+    pub energy_j: f64,
+    /// Underload data (§5.2).
+    pub underload: UnderloadData,
+    /// Frequency residency (Figures 6/11).
+    pub freq: FreqResidency,
+    /// Placement accounting.
+    pub placements: PlacementCounts,
+    /// Wakeup latencies (schbench).
+    pub latency: WakeupLatencies,
+    /// Execution trace, when requested.
+    pub trace: Option<ExecutionTrace>,
+    /// Total tasks created.
+    pub total_tasks: usize,
+    /// Whether the horizon cut the run short.
+    pub hit_horizon: bool,
+}
+
+fn take<T: Default>(cell: &Rc<RefCell<T>>) -> T {
+    std::mem::take(&mut cell.borrow_mut())
+}
+
+/// Runs `workload` once under `cfg`.
+pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
+    let n_cores = cfg.machine.n_cores();
+    let engine_cfg = {
+        let mut e = EngineConfig::new(cfg.machine.clone());
+        e.governor = cfg.governor;
+        e.seed = cfg.seed;
+        e.horizon = cfg.horizon;
+        e
+    };
+    let mut engine = Engine::new(engine_cfg, cfg.policy.build(n_cores));
+
+    let (up, underload) = UnderloadProbe::new(n_cores);
+    engine.add_probe(Box::new(up));
+    let initial_freq = cfg.governor.idle_floor(&cfg.machine.freq);
+    let (fp, freq) = FreqResidencyProbe::new(
+        n_cores,
+        &cfg.machine.freq.residency_buckets_ghz,
+        initial_freq,
+    );
+    engine.add_probe(Box::new(fp));
+    let (pp, placements) = PlacementProbe::new(n_cores);
+    engine.add_probe(Box::new(pp));
+    let (lp, latency) = WakeupLatencyProbe::new();
+    engine.add_probe(Box::new(lp));
+    let trace_handle = if cfg.collect_trace {
+        let (tp, th) = ExecutionTraceProbe::new(n_cores, initial_freq);
+        engine.add_probe(Box::new(tp));
+        Some(th)
+    } else {
+        None
+    };
+
+    let mut wl_rng = SimRng::new(cfg.seed ^ 0xD00D_F00D);
+    let tasks = workload.build(&mut engine, &mut wl_rng);
+    assert!(!tasks.is_empty(), "workload built no tasks");
+    for t in tasks {
+        engine.spawn(t);
+    }
+    let outcome = engine.run();
+
+    RunResult {
+        time_s: outcome.finished_at.as_secs_f64(),
+        energy_j: outcome.energy_joules,
+        underload: take(&underload),
+        freq: take(&freq),
+        placements: take(&placements),
+        latency: take(&latency),
+        trace: trace_handle.map(|h| take(&h)),
+        total_tasks: outcome.total_tasks,
+        hit_horizon: outcome.hit_horizon,
+    }
+}
+
+/// Runs `workload` `runs` times with per-run seed offsets.
+pub fn run_many(cfg: &SimConfig, workload: &dyn Workload, runs: usize) -> Vec<RunResult> {
+    (0..runs)
+        .map(|i| {
+            let c = cfg.clone().seed(cfg.seed.wrapping_add(i as u64 * 7919));
+            run_once(&c, workload)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_topology::presets;
+    use nest_workloads::configure::Configure;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig::new(presets::xeon_5218())
+    }
+
+    #[test]
+    fn run_once_produces_metrics() {
+        let r = run_once(&quick_cfg(), &Configure::named("gdb"));
+        assert!(r.time_s > 0.0);
+        assert!(r.energy_j > 0.0);
+        assert!(r.total_tasks > 50);
+        assert!(!r.hit_horizon);
+        assert!(r.freq.total_busy_ns() > 0);
+        assert!(r.placements.total() > 0);
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn trace_collection_is_optional() {
+        let cfg = quick_cfg().with_trace();
+        let r = run_once(&cfg, &Configure::named("gdb"));
+        let trace = r.trace.expect("trace requested");
+        assert!(!trace.spans.is_empty());
+    }
+
+    #[test]
+    fn run_many_varies_seeds() {
+        let rs = run_many(&quick_cfg(), &Configure::named("gdb"), 3);
+        assert_eq!(rs.len(), 3);
+        // With jittered workloads, times should not be all identical.
+        let t0 = rs[0].time_s;
+        assert!(rs.iter().any(|r| (r.time_s - t0).abs() > 1e-12));
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(quick_cfg().label(), "CFS sched");
+        assert_eq!(
+            quick_cfg()
+                .policy(PolicyKind::Nest)
+                .governor(Governor::Performance)
+                .label(),
+            "Nest perf"
+        );
+    }
+
+    #[test]
+    fn nest_policy_builds_and_runs() {
+        let cfg = quick_cfg().policy(PolicyKind::Nest);
+        let r = run_once(&cfg, &Configure::named("gdb"));
+        assert!(!r.hit_horizon);
+        // Nest must actually use its nest paths.
+        use nest_simcore::PlacementPath;
+        let nest_hits = r.placements.count(PlacementPath::NestPrimary)
+            + r.placements.count(PlacementPath::NestReserve);
+        assert!(nest_hits > 0, "nest never used its nests");
+    }
+}

@@ -1,0 +1,59 @@
+//! Engine configuration.
+
+use nest_freq::Governor;
+use nest_simcore::{
+    CoreId,
+    Time,
+};
+use nest_topology::MachineSpec;
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The machine to simulate.
+    pub machine: MachineSpec,
+    /// The power governor.
+    pub governor: Governor,
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Delay between core selection and enqueue — the §3.4 race window in
+    /// which concurrent placements can collide on one core.
+    pub placement_latency_ns: u64,
+    /// Core on which initial tasks are launched (where the workload's
+    /// launching shell "runs"); also Nest's reserve-search anchor.
+    pub initial_core: CoreId,
+    /// Hard stop; simulations of non-terminating workloads need one.
+    pub horizon: Time,
+}
+
+impl EngineConfig {
+    /// A configuration with conventional defaults for `machine`.
+    pub fn new(machine: MachineSpec) -> EngineConfig {
+        EngineConfig {
+            machine,
+            governor: Governor::Schedutil,
+            seed: 1,
+            placement_latency_ns: 1_500,
+            initial_core: CoreId(0),
+            horizon: Time::from_secs(600),
+        }
+    }
+
+    /// Sets the governor.
+    pub fn governor(mut self, governor: Governor) -> EngineConfig {
+        self.governor = governor;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> EngineConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the horizon.
+    pub fn horizon(mut self, horizon: Time) -> EngineConfig {
+        self.horizon = horizon;
+        self
+    }
+}

@@ -1,0 +1,927 @@
+//! The discrete-event OS simulator.
+//!
+//! [`Engine`] executes task behaviours on a simulated machine under a
+//! pluggable [`SchedPolicy`]. It owns the event queue, the kernel state
+//! (runqueues), the frequency model, and the synchronization objects
+//! (barriers, channels), and emits the trace that metrics collectors
+//! consume.
+//!
+//! Fidelity notes, mapped to the paper:
+//!
+//! * Placement is two-phase (select → commit after
+//!   [`EngineConfig::placement_latency_ns`]); selections made inside the
+//!   window can collide on a core unless the policy honours the pending
+//!   flag — reproducing §3.4.
+//! * Compute progress scales with the physical core's current frequency;
+//!   frequency ticks re-time in-flight segments.
+//! * The idle loop can spin (Nest §3.2); spinning registers as hardware
+//!   activity and aborts as soon as the hyperthread gets work.
+//! * Smove's migration timer is honoured via [`Placement::smove_fallback`].
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use nest_freq::{
+    Activity,
+    FreqModel,
+};
+use nest_sched::kernel::KernelState;
+use nest_sched::policy::{
+    IdleReason,
+    Placement,
+    SchedEnv,
+    SchedPolicy,
+};
+use nest_simcore::{
+    Action,
+    BarrierId,
+    ChannelId,
+    CoreId,
+    EventQueue,
+    Freq,
+    PlacementPath,
+    Probe,
+    SimRng,
+    SimSetup,
+    StopReason,
+    TaskId,
+    TaskSpec,
+    Time,
+    TraceEvent,
+    MILLISEC,
+    TICK_NS,
+};
+use nest_topology::Topology;
+
+use crate::config::EngineConfig;
+
+/// Serialization cost of successive wakeups issued by one task (the
+/// per-`wake_up` overhead on the waking core, ~1 µs). Mass wakeups
+/// (barrier releases, batched sends) are staggered by this much so that
+/// placement selections interleave with commits, as on real hardware.
+const WAKEUP_STRIDE_NS: u64 = 1_000;
+
+/// Outcome of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Time at which the last task exited (or the horizon).
+    pub finished_at: Time,
+    /// Total CPU energy consumed, in joules.
+    pub energy_joules: f64,
+    /// Tasks still alive at the end (0 unless the horizon cut the run).
+    pub live_tasks: usize,
+    /// Total tasks created over the run.
+    pub total_tasks: usize,
+    /// `true` if the run ended at the horizon rather than by completion.
+    pub hit_horizon: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A selected placement lands on its runqueue.
+    Commit { task: TaskId, gen: u64 },
+    /// The running task's compute segment completes.
+    SegmentDone { task: TaskId, gen: u64 },
+    /// A blocked task becomes runnable.
+    Wakeup { task: TaskId, waker_core: CoreId },
+    /// Per-core scheduler ticks (4 ms), processed machine-wide.
+    GlobalTick,
+    /// Frequency-model update (1 ms).
+    FreqTick,
+    /// The idle spin loop times out.
+    SpinStop { core: CoreId, gen: u64 },
+    /// A spin-wait barrier released; the waiting task resumes in place.
+    BarrierContinue { task: TaskId },
+    /// Smove's migration timer fires.
+    SmoveExpire {
+        task: TaskId,
+        from: CoreId,
+        to: CoreId,
+        gen: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Selected, waiting for its enqueue to commit.
+    Placing,
+    /// On a runqueue.
+    Queued,
+    /// Executing on a core.
+    Running(CoreId),
+    /// Blocked (sleep, wait-children, barrier, channel).
+    Blocked,
+    /// Finished.
+    Exited,
+}
+
+struct SimTask {
+    label: String,
+    behavior: Box<dyn nest_simcore::Behavior>,
+    rng: SimRng,
+    state: TaskState,
+    /// Remaining cycles of the current compute segment.
+    remaining_cycles: u64,
+    /// When the current running stint (re)started and at which frequency.
+    seg_resumed_at: Time,
+    seg_freq: Freq,
+    seg_gen: u64,
+    commit_gen: u64,
+    smove_gen: u64,
+    parent: Option<TaskId>,
+    live_children: u32,
+    waiting_children: bool,
+    /// Busy-waiting at a barrier (OpenMP-style spin wait): the task keeps
+    /// its core and does not go through wakeup placement on release.
+    in_barrier: bool,
+}
+
+struct Barrier {
+    parties: u32,
+    waiting: Vec<TaskId>,
+}
+
+#[derive(Default)]
+struct Channel {
+    msgs: u64,
+    waiting: VecDeque<TaskId>,
+}
+
+/// The simulator.
+pub struct Engine {
+    cfg: EngineConfig,
+    now: Time,
+    queue: EventQueue<Event>,
+    kernel: KernelState,
+    policy: Box<dyn SchedPolicy>,
+    freq: FreqModel,
+    topo: Rc<Topology>,
+    tasks: Vec<SimTask>,
+    barriers: Vec<Barrier>,
+    channels: Vec<Channel>,
+    probes: Vec<Box<dyn Probe>>,
+    rng: SimRng,
+    live_tasks: usize,
+    runnable: u32,
+    spinning: Vec<bool>,
+    spin_gen: Vec<u64>,
+    /// Maps a task index to the core its in-flight placement targets.
+    pending_core: std::collections::HashMap<usize, CoreId>,
+    started: bool,
+}
+
+impl SimSetup for Engine {
+    fn create_barrier(&mut self, parties: u32) -> BarrierId {
+        assert!(parties > 0, "a barrier needs at least one party");
+        let id = BarrierId::from_index(self.barriers.len());
+        self.barriers.push(Barrier {
+            parties,
+            waiting: Vec::new(),
+        });
+        id
+    }
+
+    fn create_channel(&mut self) -> ChannelId {
+        let id = ChannelId::from_index(self.channels.len());
+        self.channels.push(Channel::default());
+        id
+    }
+
+    fn n_cores(&self) -> usize {
+        self.topo.n_cores()
+    }
+}
+
+impl Engine {
+    /// Creates an engine for `cfg` under the given policy.
+    pub fn new(cfg: EngineConfig, policy: Box<dyn SchedPolicy>) -> Engine {
+        let topo = Rc::new(Topology::new(cfg.machine.clone()));
+        let freq = FreqModel::new(&cfg.machine, cfg.governor);
+        let kernel = KernelState::new(Rc::clone(&topo));
+        let n = topo.n_cores();
+        Engine {
+            rng: SimRng::new(cfg.seed),
+            freq,
+            kernel,
+            topo,
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            policy,
+            tasks: Vec::new(),
+            barriers: Vec::new(),
+            channels: Vec::new(),
+            probes: Vec::new(),
+            live_tasks: 0,
+            runnable: 0,
+            spinning: vec![false; n],
+            spin_gen: vec![0; n],
+            pending_core: std::collections::HashMap::new(),
+            started: false,
+            cfg,
+        }
+    }
+
+    /// Registers a metrics probe; returns its index for retrieval after
+    /// the run.
+    pub fn add_probe(&mut self, probe: Box<dyn Probe>) -> usize {
+        self.probes.push(probe);
+        self.probes.len() - 1
+    }
+
+    /// Takes back the probes after a run.
+    pub fn take_probes(&mut self) -> Vec<Box<dyn Probe>> {
+        std::mem::take(&mut self.probes)
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Returns the policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        for p in &mut self.probes {
+            p.on_event(self.now, &ev);
+        }
+    }
+
+    fn env<'a>(
+        topo: &'a Topology,
+        freq: &'a FreqModel,
+        rng: &'a mut SimRng,
+        now: Time,
+    ) -> SchedEnv<'a> {
+        SchedEnv {
+            now,
+            topo,
+            freq,
+            rng,
+        }
+    }
+
+    /// Launches an initial task (before or during the run). The placement
+    /// goes through the policy's fork path from
+    /// [`EngineConfig::initial_core`].
+    pub fn spawn(&mut self, spec: TaskSpec) -> TaskId {
+        let initial_core = self.cfg.initial_core;
+        self.create_task(spec, None, initial_core)
+    }
+
+    fn create_task(&mut self, spec: TaskSpec, parent: Option<TaskId>, parent_core: CoreId) -> TaskId {
+        let id = TaskId::from_index(self.tasks.len());
+        let rng = self.rng.fork(id.index() as u64);
+        self.tasks.push(SimTask {
+            label: spec.label.clone(),
+            behavior: spec.behavior,
+            rng,
+            state: TaskState::Placing,
+            remaining_cycles: 0,
+            seg_resumed_at: Time::ZERO,
+            seg_freq: Freq::ZERO,
+            seg_gen: 0,
+            commit_gen: 0,
+            smove_gen: 0,
+            parent,
+            live_children: 0,
+            waiting_children: false,
+            in_barrier: false,
+        });
+        self.kernel.register_task(id, self.now);
+        self.live_tasks += 1;
+        if let Some(p) = parent {
+            self.tasks[p.index()].live_children += 1;
+        }
+        self.emit(TraceEvent::TaskCreated {
+            task: id,
+            label: spec.label,
+            parent,
+        });
+        self.set_runnable_delta(1);
+        let placement = {
+            let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+            self.policy
+                .select_core_fork(&mut self.kernel, &mut env, id, parent_core)
+        };
+        self.place(id, placement);
+        id
+    }
+
+    fn set_runnable_delta(&mut self, delta: i32) {
+        self.runnable = self
+            .runnable
+            .checked_add_signed(delta)
+            .expect("runnable count underflow");
+        let count = self.runnable;
+        self.emit(TraceEvent::RunnableCount { count });
+    }
+
+    /// Begins the two-phase placement of a runnable task.
+    fn place(&mut self, task: TaskId, placement: Placement) {
+        let Placement {
+            core,
+            path,
+            smove_fallback,
+        } = placement;
+        self.kernel.begin_placement(core);
+        self.tasks[task.index()].state = TaskState::Placing;
+        self.emit(TraceEvent::Placed { task, core, path });
+        self.tasks[task.index()].commit_gen += 1;
+        let gen = self.tasks[task.index()].commit_gen;
+        self.queue.schedule(
+            self.now + self.cfg.placement_latency_ns,
+            Event::Commit { task, gen },
+        );
+        // Stash where the commit will land; Commit reads it back.
+        self.tasks[task.index()].seg_resumed_at = self.now;
+        self.pending_core.insert(task.index(), core);
+        if let Some(arm) = smove_fallback {
+            self.tasks[task.index()].smove_gen += 1;
+            let sgen = self.tasks[task.index()].smove_gen;
+            self.queue.schedule(
+                self.now + arm.delay_ns,
+                Event::SmoveExpire {
+                    task,
+                    from: core,
+                    to: arm.fallback,
+                    gen: sgen,
+                },
+            );
+        }
+    }
+
+    /// Runs the simulation to completion (all tasks exited) or to the
+    /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or with no spawned tasks.
+    pub fn run(&mut self) -> RunOutcome {
+        assert!(!self.started, "engine can only run once");
+        assert!(!self.tasks.is_empty(), "no tasks spawned");
+        self.started = true;
+        self.queue.schedule(self.now + TICK_NS, Event::GlobalTick);
+        self.queue.schedule(self.now + MILLISEC, Event::FreqTick);
+
+        let mut hit_horizon = false;
+        while self.live_tasks > 0 {
+            let Some((t, ev)) = self.queue.pop() else {
+                panic!("deadlock: {} live tasks but no events", self.live_tasks);
+            };
+            if t > self.cfg.horizon {
+                hit_horizon = true;
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+        }
+        let finished_at = self.now;
+        for p in &mut self.probes {
+            p.on_finish(finished_at);
+        }
+        RunOutcome {
+            finished_at,
+            energy_joules: self.freq.energy_joules(finished_at),
+            live_tasks: self.live_tasks,
+            total_tasks: self.tasks.len(),
+            hit_horizon,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Commit { task, gen } => self.on_commit(task, gen),
+            Event::SegmentDone { task, gen } => self.on_segment_done(task, gen),
+            Event::Wakeup { task, waker_core } => self.on_wakeup(task, waker_core),
+            Event::GlobalTick => self.on_global_tick(),
+            Event::FreqTick => self.on_freq_tick(),
+            Event::SpinStop { core, gen } => self.on_spin_stop(core, gen),
+            Event::BarrierContinue { task } => self.on_barrier_continue(task),
+            Event::SmoveExpire {
+                task,
+                from,
+                to,
+                gen,
+            } => self.on_smove_expire(task, from, to, gen),
+        }
+    }
+
+    // ---- placement commit -------------------------------------------
+
+    fn on_commit(&mut self, task: TaskId, gen: u64) {
+        if self.tasks[task.index()].commit_gen != gen
+            || self.tasks[task.index()].state != TaskState::Placing
+        {
+            return;
+        }
+        let core = self.pending_core.remove(&task.index()).expect("no pending core");
+        let preempt = self.kernel.commit_placement(self.now, task, core);
+        self.tasks[task.index()].state = TaskState::Queued;
+        self.stop_spin(core);
+        if self.kernel.core(core).curr.is_none() {
+            self.schedule_core(core);
+        } else if preempt {
+            self.preempt(core);
+        }
+    }
+
+    /// Preempts the running task on `core` and runs the queue head.
+    fn preempt(&mut self, core: CoreId) {
+        self.account_running_segment(core);
+        let prev = self.kernel.put_curr(self.now, core);
+        self.cancel_segment_event(prev);
+        self.tasks[prev.index()].state = TaskState::Queued;
+        self.emit(TraceEvent::RunStop {
+            task: prev,
+            core,
+            reason: StopReason::Preempt,
+        });
+        self.kernel.requeue(self.now, prev, core);
+        self.schedule_core(core);
+    }
+
+    // ---- running / segments ------------------------------------------
+
+    /// Picks and starts the next task on `core`; falls to the idle path
+    /// if the queue is empty.
+    fn schedule_core(&mut self, core: CoreId) {
+        match self.kernel.pick_next(self.now, core) {
+            Some(task) => self.start_running(task, core),
+            None => self.core_went_idle(core, IdleReason::Other),
+        }
+    }
+
+    fn start_running(&mut self, task: TaskId, core: CoreId) {
+        self.tasks[task.index()].state = TaskState::Running(core);
+        self.stop_spin(core);
+        let sibling = self.topo.sibling(core);
+        self.stop_spin(sibling);
+        let changed = self.freq.set_activity(self.now, core, Activity::Busy);
+        self.emit_freq_changes(&changed);
+        self.retime_after_freq_change(&changed);
+        self.emit(TraceEvent::RunStart { task, core });
+        if self.tasks[task.index()].in_barrier {
+            // Still spin-waiting: sit on the core until the release.
+            return;
+        }
+        if self.tasks[task.index()].remaining_cycles > 0 {
+            self.begin_segment(task, core);
+        } else {
+            self.advance_behavior(task, core);
+        }
+    }
+
+    /// Schedules the completion of the current compute segment at the
+    /// core's current frequency.
+    fn begin_segment(&mut self, task: TaskId, core: CoreId) {
+        let f = self.freq.freq_of(core);
+        let t = &mut self.tasks[task.index()];
+        t.seg_resumed_at = self.now;
+        t.seg_freq = f;
+        t.seg_gen += 1;
+        let gen = t.seg_gen;
+        let dur = f.nanos_for_cycles(t.remaining_cycles);
+        self.queue
+            .schedule(self.now + dur, Event::SegmentDone { task, gen });
+    }
+
+    /// Folds the elapsed portion of the running segment into
+    /// `remaining_cycles` (used before preemption or re-timing).
+    fn account_running_segment(&mut self, core: CoreId) {
+        if let Some(task) = self.kernel.core(core).curr {
+            let t = &mut self.tasks[task.index()];
+            if t.remaining_cycles > 0 {
+                let elapsed = self.now.saturating_since(t.seg_resumed_at);
+                let done = t.seg_freq.cycles_in_nanos(elapsed);
+                t.remaining_cycles = t.remaining_cycles.saturating_sub(done);
+                t.seg_resumed_at = self.now;
+            }
+        }
+    }
+
+    fn cancel_segment_event(&mut self, task: TaskId) {
+        // Generation bump invalidates any scheduled SegmentDone.
+        self.tasks[task.index()].seg_gen += 1;
+    }
+
+    fn on_segment_done(&mut self, task: TaskId, gen: u64) {
+        if self.tasks[task.index()].seg_gen != gen {
+            return;
+        }
+        let TaskState::Running(core) = self.tasks[task.index()].state else {
+            return;
+        };
+        self.kernel.clock_curr(self.now, core);
+        self.tasks[task.index()].remaining_cycles = 0;
+        self.advance_behavior(task, core);
+    }
+
+    // ---- behaviour interpretation ------------------------------------
+
+    /// Drives the task's behaviour until it computes, blocks, or exits.
+    /// The task is running on `core`.
+    fn advance_behavior(&mut self, task: TaskId, core: CoreId) {
+        loop {
+            let action = {
+                let t = &mut self.tasks[task.index()];
+                t.behavior.next(&mut t.rng)
+            };
+            match action {
+                Action::Compute { cycles } => {
+                    if cycles == 0 {
+                        continue;
+                    }
+                    self.tasks[task.index()].remaining_cycles = cycles;
+                    self.begin_segment(task, core);
+                    return;
+                }
+                Action::Sleep { ns } => {
+                    self.block_current(task, core);
+                    self.queue.schedule(
+                        self.now + ns,
+                        Event::Wakeup {
+                            task,
+                            waker_core: core,
+                        },
+                    );
+                    return;
+                }
+                Action::Fork { child } => {
+                    self.create_task(child, Some(task), core);
+                    // The parent keeps running; loop for its next action.
+                }
+                Action::WaitChildren => {
+                    if self.tasks[task.index()].live_children == 0 {
+                        continue;
+                    }
+                    self.tasks[task.index()].waiting_children = true;
+                    self.block_current(task, core);
+                    return;
+                }
+                Action::Barrier { id } => {
+                    // OpenMP-style spin-wait barrier (OMP_WAIT_POLICY
+                    // active): waiters burn their core rather than
+                    // sleeping, so releases do not go through wakeup
+                    // placement — this is why the paper's NAS results are
+                    // placement-neutral on machines where forks land
+                    // cleanly (§5.4).
+                    let b = &mut self.barriers[id.index()];
+                    if b.waiting.len() + 1 == b.parties as usize {
+                        let woken = std::mem::take(&mut b.waiting);
+                        for w in woken {
+                            self.tasks[w.index()].in_barrier = false;
+                            self.queue
+                                .schedule(self.now, Event::BarrierContinue { task: w });
+                        }
+                        continue;
+                    }
+                    b.waiting.push(task);
+                    self.tasks[task.index()].in_barrier = true;
+                    // The task stays on its core, busy-waiting.
+                    return;
+                }
+                Action::Send { ch, msgs } => {
+                    let mut nth = 0u64;
+                    for _ in 0..msgs {
+                        let c = &mut self.channels[ch.index()];
+                        if let Some(r) = c.waiting.pop_front() {
+                            self.queue.schedule(
+                                self.now + nth * WAKEUP_STRIDE_NS,
+                                Event::Wakeup {
+                                    task: r,
+                                    waker_core: core,
+                                },
+                            );
+                            nth += 1;
+                        } else {
+                            c.msgs += 1;
+                        }
+                    }
+                }
+                Action::Recv { ch } => {
+                    let c = &mut self.channels[ch.index()];
+                    if c.msgs > 0 {
+                        c.msgs -= 1;
+                        continue;
+                    }
+                    c.waiting.push_back(task);
+                    self.block_current(task, core);
+                    return;
+                }
+                Action::Yield => {
+                    self.account_running_segment(core);
+                    let prev = self.kernel.put_curr(self.now, core);
+                    debug_assert_eq!(prev, task);
+                    self.cancel_segment_event(task);
+                    self.tasks[task.index()].state = TaskState::Queued;
+                    self.emit(TraceEvent::RunStop {
+                        task,
+                        core,
+                        reason: StopReason::Yield,
+                    });
+                    self.kernel.requeue(self.now, task, core);
+                    self.schedule_core(core);
+                    return;
+                }
+                Action::Exit => {
+                    self.exit_current(task, core);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Blocks the running task (it stops being runnable).
+    fn block_current(&mut self, task: TaskId, core: CoreId) {
+        let prev = self.kernel.put_curr(self.now, core);
+        debug_assert_eq!(prev, task);
+        self.cancel_segment_event(task);
+        self.tasks[task.index()].state = TaskState::Blocked;
+        self.emit(TraceEvent::RunStop {
+            task,
+            core,
+            reason: StopReason::Block,
+        });
+        self.set_runnable_delta(-1);
+        if self.kernel.core(core).rq.is_empty() {
+            self.core_went_idle(core, IdleReason::TaskBlocked);
+        } else {
+            self.schedule_core(core);
+        }
+    }
+
+    fn exit_current(&mut self, task: TaskId, core: CoreId) {
+        let prev = self.kernel.put_curr(self.now, core);
+        debug_assert_eq!(prev, task);
+        self.cancel_segment_event(task);
+        self.tasks[task.index()].state = TaskState::Exited;
+        self.live_tasks -= 1;
+        self.emit(TraceEvent::RunStop {
+            task,
+            core,
+            reason: StopReason::Exit,
+        });
+        self.emit(TraceEvent::TaskExited { task });
+        self.set_runnable_delta(-1);
+        // Notify the parent.
+        if let Some(parent) = self.tasks[task.index()].parent {
+            let p = &mut self.tasks[parent.index()];
+            p.live_children -= 1;
+            if p.live_children == 0 && p.waiting_children {
+                p.waiting_children = false;
+                self.queue.schedule(
+                    self.now,
+                    Event::Wakeup {
+                        task: parent,
+                        waker_core: core,
+                    },
+                );
+            }
+        }
+        if self.kernel.core(core).rq.is_empty() {
+            self.core_went_idle(core, IdleReason::TaskExited);
+        } else {
+            self.schedule_core(core);
+        }
+    }
+
+    // ---- wakeups ------------------------------------------------------
+
+    /// Resumes a task whose spin-wait barrier released. If it was
+    /// preempted while spinning, it resumes when next picked.
+    fn on_barrier_continue(&mut self, task: TaskId) {
+        if let TaskState::Running(core) = self.tasks[task.index()].state {
+            if !self.tasks[task.index()].in_barrier {
+                self.kernel.clock_curr(self.now, core);
+                self.advance_behavior(task, core);
+            }
+        }
+    }
+
+    fn on_wakeup(&mut self, task: TaskId, waker_core: CoreId) {
+        if self.tasks[task.index()].state != TaskState::Blocked {
+            return;
+        }
+        self.emit(TraceEvent::Woken { task });
+        self.set_runnable_delta(1);
+        let placement = {
+            let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+            self.policy
+                .select_core_wakeup(&mut self.kernel, &mut env, task, waker_core)
+        };
+        self.place(task, placement);
+    }
+
+    fn on_smove_expire(&mut self, task: TaskId, from: CoreId, to: CoreId, gen: u64) {
+        if self.tasks[task.index()].smove_gen != gen {
+            return;
+        }
+        // Only act if the task is still waiting (queued) on the tentative
+        // core.
+        if self.tasks[task.index()].state != TaskState::Queued {
+            return;
+        }
+        if !self.kernel.remove_queued(task, from) {
+            return;
+        }
+        self.emit(TraceEvent::Placed {
+            task,
+            core: to,
+            path: PlacementPath::SmoveTimer,
+        });
+        self.kernel.enqueue(self.now, task, to);
+        if self.kernel.core(to).curr.is_none() {
+            self.schedule_core(to);
+        }
+    }
+
+    // ---- idle / spinning ----------------------------------------------
+
+    fn core_went_idle(&mut self, core: CoreId, reason: IdleReason) {
+        debug_assert!(self.kernel.core(core).is_idle());
+        let action = {
+            let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+            self.policy
+                .on_core_idle(&mut self.kernel, &mut env, core, reason)
+        };
+        if let Some(src) = action.pull_from {
+            if let Some(stolen) = self.kernel.steal_queued(src) {
+                self.emit(TraceEvent::Placed {
+                    task: stolen,
+                    core,
+                    path: PlacementPath::LoadBalance,
+                });
+                self.kernel.enqueue(self.now, stolen, core);
+                self.schedule_core(core);
+                return;
+            }
+        }
+        if action.spin_ticks > 0 && !self.sibling_busy(core) {
+            self.start_spin(core, action.spin_ticks);
+        } else {
+            let changed = self.freq.set_activity(self.now, core, Activity::Idle);
+            self.emit_freq_changes(&changed);
+            self.retime_after_freq_change(&changed);
+        }
+    }
+
+    fn sibling_busy(&mut self, core: CoreId) -> bool {
+        let sib = self.topo.sibling(core);
+        self.kernel.core(sib).curr.is_some()
+    }
+
+    fn start_spin(&mut self, core: CoreId, ticks: u32) {
+        self.spinning[core.index()] = true;
+        self.spin_gen[core.index()] += 1;
+        let gen = self.spin_gen[core.index()];
+        let changed = self.freq.set_activity(self.now, core, Activity::Spinning);
+        self.emit_freq_changes(&changed);
+        self.retime_after_freq_change(&changed);
+        self.emit(TraceEvent::SpinStart { core });
+        self.queue.schedule(
+            self.now + ticks as u64 * TICK_NS,
+            Event::SpinStop { core, gen },
+        );
+    }
+
+    /// Ends a spin (task placed here, hyperthread became busy, or
+    /// timeout). Harmless if the core is not spinning.
+    fn stop_spin(&mut self, core: CoreId) {
+        if !self.spinning[core.index()] {
+            return;
+        }
+        self.spinning[core.index()] = false;
+        self.spin_gen[core.index()] += 1;
+        self.emit(TraceEvent::SpinEnd { core });
+        if self.kernel.core(core).curr.is_none() {
+            let changed = self.freq.set_activity(self.now, core, Activity::Idle);
+            self.emit_freq_changes(&changed);
+            self.retime_after_freq_change(&changed);
+        }
+    }
+
+    fn on_spin_stop(&mut self, core: CoreId, gen: u64) {
+        if self.spin_gen[core.index()] != gen || !self.spinning[core.index()] {
+            return;
+        }
+        self.stop_spin(core);
+    }
+
+    // ---- ticks ----------------------------------------------------------
+
+    fn on_global_tick(&mut self) {
+        self.queue.schedule(self.now + TICK_NS, Event::GlobalTick);
+        self.freq.sample_observed();
+        for i in 0..self.topo.n_cores() {
+            let core = CoreId::from_index(i);
+            self.kernel.clock_curr(self.now, core);
+            // Spinning cores stop as soon as the hyperthread has work.
+            if self.spinning[i] && self.sibling_busy(core) {
+                self.stop_spin(core);
+            }
+            if self.kernel.tick_preempt_due(self.now, core) {
+                self.preempt(core);
+            }
+            let pull = {
+                let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+                self.policy.on_tick(&mut self.kernel, &mut env, core)
+            };
+            if let Some(src) = pull {
+                if self.kernel.core(core).is_idle() {
+                    if let Some(stolen) = self.kernel.steal_queued(src) {
+                        self.stop_spin(core);
+                        self.emit(TraceEvent::Placed {
+                            task: stolen,
+                            core,
+                            path: PlacementPath::LoadBalance,
+                        });
+                        self.kernel.enqueue(self.now, stolen, core);
+                        self.schedule_core(core);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_freq_tick(&mut self) {
+        self.queue.schedule(self.now + MILLISEC, Event::FreqTick);
+        let changed = {
+            let kernel = &self.kernel;
+            let topo = &self.topo;
+            let now = self.now;
+            self.freq.advance(now, MILLISEC, &mut |rep: CoreId| {
+                // schedutil's input: the physical core's rq utilization,
+                // raised to the running task's own (migrated) utilization
+                // — Linux's util_est means a warm task requests a high
+                // frequency immediately on a cold core, while a core
+                // hosting only fractional activity requests less. This is
+                // what makes *concentration* (Nest) reach higher
+                // frequencies than dispersal (CFS) at equal load.
+                let mut u: f64 = 0.0;
+                for core in [rep, topo.sibling(rep)] {
+                    u = u.max(kernel.core(core).util.value(now));
+                    if let Some(t) = kernel.core(core).curr {
+                        u = u.max(kernel.task(t).util.value(now));
+                    }
+                }
+                u
+            })
+        };
+        self.emit_freq_changes(&changed);
+        self.retime_after_freq_change(&changed);
+    }
+
+    fn emit_freq_changes(&mut self, reps: &[CoreId]) {
+        for &rep in reps {
+            let f = self.freq.freq_of(rep);
+            let sib = self.topo.sibling(rep);
+            self.emit(TraceEvent::FreqChange { core: rep, freq: f });
+            self.emit(TraceEvent::FreqChange { core: sib, freq: f });
+        }
+    }
+
+    /// Re-times in-flight compute segments on physical cores whose
+    /// frequency changed.
+    fn retime_after_freq_change(&mut self, reps: &[CoreId]) {
+        for &rep in reps {
+            for core in [rep, self.topo.sibling(rep)] {
+                if let Some(task) = self.kernel.core(core).curr {
+                    if self.tasks[task.index()].remaining_cycles > 0 {
+                        self.account_running_segment(core);
+                        self.cancel_segment_event(task);
+                        if self.tasks[task.index()].remaining_cycles > 0 {
+                            self.begin_segment(task, core);
+                        } else {
+                            // The segment finished exactly at the change.
+                            self.queue.schedule(
+                                self.now,
+                                Event::SegmentDone {
+                                    task,
+                                    gen: self.tasks[task.index()].seg_gen,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns a task's label (diagnostics, tests).
+    pub fn task_label(&self, task: TaskId) -> &str {
+        &self.tasks[task.index()].label
+    }
+}
+
+// `pending_core` is split out to keep `place`/`on_commit` simple: it maps a
+// task index to the core its in-flight placement targets.
+impl Engine {
+    /// Current simulated time (diagnostics, tests).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+}

@@ -1,0 +1,15 @@
+//! The discrete-event OS simulator driving the Nest reproduction.
+//!
+//! [`Engine`] executes [`nest_simcore::TaskSpec`] behaviours on a simulated
+//! machine ([`nest_topology::MachineSpec`]) under a pluggable scheduling
+//! policy, with the DVFS model of [`nest_freq`] determining task progress
+//! and energy.
+
+pub mod config;
+pub mod engine;
+
+pub use config::EngineConfig;
+pub use engine::{
+    Engine,
+    RunOutcome,
+};

@@ -1,0 +1,133 @@
+//! Power governors.
+//!
+//! The governor suggests a frequency range to the hardware; the hardware
+//! picks the actual frequency within it (§2.3 of the paper). Two governors
+//! are modeled, matching the evaluation:
+//!
+//! * [`Governor::Performance`] requests at least the nominal frequency —
+//!   tasks never run below nominal, but nothing concentrates them.
+//! * [`Governor::Schedutil`] requests `1.25 × util × fmax`, so a core that
+//!   has been idle long (decayed utilization) restarts slow and climbs as
+//!   utilization rebuilds — the effect Nest's core reuse avoids.
+
+use nest_simcore::Freq;
+use nest_topology::FreqSpec;
+
+/// A Linux power governor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Governor {
+    /// Request at least the nominal frequency (`performance`).
+    Performance,
+    /// Request a frequency proportional to recent utilization
+    /// (`schedutil`).
+    Schedutil,
+}
+
+impl Governor {
+    /// Short name used in figure labels ("sched" / "perf" in the paper).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Governor::Performance => "perf",
+            Governor::Schedutil => "sched",
+        }
+    }
+
+    /// Returns the frequency the governor requests for a busy core with
+    /// the given PELT utilization (in `[0, 1]`).
+    ///
+    /// The hardware will further cap this by the active-core turbo limit.
+    pub fn requested_freq(self, spec: &FreqSpec, util: f64) -> Freq {
+        match self {
+            Governor::Performance => spec.fmax(),
+            Governor::Schedutil => {
+                // Linux: next_freq = 1.25 * max_freq * util. The floor is
+                // the *nominal* frequency: hardware-managed P-states
+                // (HWP) grant a running core at least its base ratio even
+                // at low utilization — what keeps lightly utilized but
+                // busy cores in the 2.1+ GHz range in the paper's traces.
+                let raw = 1.25 * util.clamp(0.0, 1.0) * spec.fmax().as_khz() as f64;
+                let khz = (raw as u64).clamp(spec.fnominal.as_khz(), spec.fmax().as_khz());
+                Freq::from_khz(khz)
+            }
+        }
+    }
+
+    /// Returns the frequency floor an idle core decays toward.
+    ///
+    /// `performance` keeps cores at nominal; `schedutil` lets them fall to
+    /// the machine minimum.
+    pub fn idle_floor(self, spec: &FreqSpec) -> Freq {
+        match self {
+            Governor::Performance => spec.fnominal,
+            Governor::Schedutil => spec.fmin,
+        }
+    }
+
+    /// Returns the frequency a core starts at when it wakes from idle.
+    ///
+    /// Under `performance` the request floor is nominal, so a waking core
+    /// immediately runs at least at nominal; under `schedutil` it resumes
+    /// from wherever it had decayed to.
+    pub fn wakeup_floor(self, spec: &FreqSpec) -> Freq {
+        match self {
+            Governor::Performance => spec.fnominal,
+            Governor::Schedutil => spec.fmin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_topology::presets;
+
+    #[test]
+    fn performance_requests_max() {
+        let spec = presets::xeon_6130(2).freq;
+        assert_eq!(
+            Governor::Performance.requested_freq(&spec, 0.0),
+            spec.fmax()
+        );
+    }
+
+    #[test]
+    fn schedutil_scales_with_util() {
+        let spec = presets::xeon_6130(2).freq;
+        let lo = Governor::Schedutil.requested_freq(&spec, 0.5);
+        let hi = Governor::Schedutil.requested_freq(&spec, 0.75);
+        assert!(lo < hi);
+        assert!(lo >= spec.fnominal, "busy cores request at least nominal");
+        assert!(hi <= spec.fmax());
+    }
+
+    #[test]
+    fn schedutil_floors_at_nominal() {
+        let spec = presets::xeon_6130(2).freq;
+        assert_eq!(
+            Governor::Schedutil.requested_freq(&spec, 0.0),
+            spec.fnominal
+        );
+    }
+
+    #[test]
+    fn schedutil_full_util_requests_max() {
+        let spec = presets::xeon_6130(2).freq;
+        // 1.25 × 1.0 × fmax clamps to fmax.
+        assert_eq!(Governor::Schedutil.requested_freq(&spec, 1.0), spec.fmax());
+        // 80% utilization already requests the maximum (1.25 × 0.8 = 1.0).
+        assert_eq!(Governor::Schedutil.requested_freq(&spec, 0.8), spec.fmax());
+    }
+
+    #[test]
+    fn idle_floors_differ() {
+        let spec = presets::xeon_5218().freq;
+        assert_eq!(Governor::Performance.idle_floor(&spec), spec.fnominal);
+        assert_eq!(Governor::Schedutil.idle_floor(&spec), spec.fmin);
+    }
+
+    #[test]
+    fn short_names_match_paper_labels() {
+        assert_eq!(Governor::Performance.short_name(), "perf");
+        assert_eq!(Governor::Schedutil.short_name(), "sched");
+    }
+}

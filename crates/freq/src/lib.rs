@@ -1,0 +1,15 @@
+//! DVFS frequency and energy model.
+//!
+//! Reproduces the governor/hardware interplay the paper describes (§2.3):
+//! power governors ([`Governor`]) suggest frequency ranges; the hardware
+//! model ([`FreqModel`]) picks per-physical-core frequencies subject to the
+//! Table 3 turbo ladders and ramp dynamics, and integrates CPU energy.
+
+pub mod governor;
+pub mod model;
+
+pub use governor::Governor;
+pub use model::{
+    Activity,
+    FreqModel,
+};

@@ -1,0 +1,574 @@
+//! The hardware frequency model.
+//!
+//! [`FreqModel`] tracks, per *physical* core, the current frequency chosen
+//! by the hardware from the interplay the paper describes in §2.3:
+//!
+//! * the **governor** supplies a requested ceiling (utilization-driven for
+//!   `schedutil`, the maximum for `performance`);
+//! * the **turbo ladder** caps frequency by the number of active physical
+//!   cores on the socket (Table 3) — *spinning* idle loops count as active,
+//!   which is precisely how Nest keeps cores warm;
+//! * frequency **ramps** toward its target at a microarchitecture-specific
+//!   rate and **decays** toward the governor floor after an idle cooldown.
+//!
+//! The model also integrates CPU energy: socket power is uncore power plus
+//! per-core idle/dynamic power, with the socket voltage set by the fastest
+//! active core on the socket (§5.2).
+
+use nest_simcore::{
+    CoreId,
+    Freq,
+    Time,
+};
+use nest_topology::MachineSpec;
+
+use crate::governor::Governor;
+
+/// What a hardware thread is doing, as far as the hardware is concerned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activity {
+    /// Nothing running; candidate for frequency decay.
+    Idle,
+    /// A task is executing.
+    Busy,
+    /// The idle loop is spinning to keep the core warm (Nest §3.2).
+    Spinning,
+}
+
+#[derive(Clone, Debug)]
+struct PhysCore {
+    cur: Freq,
+    /// Frequency observed at the last scheduler tick (what Smove sees).
+    observed: Freq,
+    /// When the physical core last became fully inactive.
+    idle_since: Option<Time>,
+    /// When the physical core was last active (for the turbo window).
+    last_active: Option<Time>,
+}
+
+/// Per-physical-core DVFS and whole-machine energy model.
+pub struct FreqModel {
+    spec: MachineSpec,
+    governor: Governor,
+    /// Activity of each hardware thread.
+    thread_activity: Vec<Activity>,
+    /// State of each physical core (index: socket * phys_per_socket + p).
+    phys: Vec<PhysCore>,
+    /// Number of active physical cores per socket.
+    socket_active: Vec<usize>,
+    energy_joules: f64,
+    last_integration: Time,
+}
+
+impl FreqModel {
+    /// Creates the model with all cores idle at the *nominal* frequency —
+    /// a warm machine, matching the paper's protocol of discarding warmup
+    /// runs before measuring (§5.1). Idle cores decay from there.
+    pub fn new(spec: &MachineSpec, governor: Governor) -> FreqModel {
+        let start = spec.freq.fnominal;
+        let n_phys = spec.sockets * spec.phys_per_socket;
+        FreqModel {
+            spec: spec.clone(),
+            governor,
+            thread_activity: vec![Activity::Idle; spec.n_cores()],
+            phys: vec![
+                PhysCore {
+                    cur: start,
+                    observed: start,
+                    idle_since: Some(Time::ZERO),
+                    last_active: None,
+                };
+                n_phys
+            ],
+            socket_active: vec![0; spec.sockets],
+            energy_joules: 0.0,
+            last_integration: Time::ZERO,
+        }
+    }
+
+    /// Returns the configured governor.
+    pub fn governor(&self) -> Governor {
+        self.governor
+    }
+
+    fn phys_index(&self, core: CoreId) -> usize {
+        let cps = self.spec.cores_per_socket();
+        let pps = self.spec.phys_per_socket;
+        let socket = core.index() / cps;
+        let local = core.index() % cps;
+        socket * pps + local % pps
+    }
+
+    fn socket_index(&self, core: CoreId) -> usize {
+        core.index() / self.spec.cores_per_socket()
+    }
+
+    fn threads_of_phys(&self, phys: usize) -> (usize, usize) {
+        let pps = self.spec.phys_per_socket;
+        let cps = self.spec.cores_per_socket();
+        let socket = phys / pps;
+        let p = phys % pps;
+        (socket * cps + p, socket * cps + p + pps)
+    }
+
+    fn phys_is_active(&self, phys: usize) -> bool {
+        let (a, b) = self.threads_of_phys(phys);
+        self.thread_activity[a] != Activity::Idle || self.thread_activity[b] != Activity::Idle
+    }
+
+    /// Returns the number of active physical cores on `socket` right now.
+    pub fn active_phys_on_socket(&self, socket: usize) -> usize {
+        self.socket_active[socket]
+    }
+
+    /// Returns the number of physical cores on `socket` the hardware
+    /// considers active for turbo purposes: active now, or active within
+    /// the turbo window. This sluggishness is why dispersing short tasks
+    /// over many cores keeps every core in the lower turbo range (§5.2).
+    pub fn windowed_active_on_socket(&self, socket: usize, now: Time) -> usize {
+        let pps = self.spec.phys_per_socket;
+        let window = self.spec.freq.turbo_window_ns;
+        (0..pps)
+            .filter(|&p| {
+                let phys = socket * pps + p;
+                self.phys_is_active(phys)
+                    || self.phys[phys]
+                        .last_active
+                        .is_some_and(|t| now.saturating_since(t) < window)
+            })
+            .count()
+    }
+
+    /// Returns the current frequency of the physical core behind `core`.
+    pub fn freq_of(&self, core: CoreId) -> Freq {
+        self.phys[self.phys_index(core)].cur
+    }
+
+    /// Returns the frequency observed at the last scheduler tick — the
+    /// stale view Smove bases its decision on (§2.2).
+    pub fn observed_freq(&self, core: CoreId) -> Freq {
+        self.phys[self.phys_index(core)].observed
+    }
+
+    /// Records the current frequencies as "observed at tick" — but only
+    /// on *active* cores. Idle cores are tickless (NOHZ), so their
+    /// observation goes stale at the last value seen while running; this
+    /// is precisely why Smove rarely triggers on the 6130/5218 (§5.2:
+    /// "when a core becomes idle there is often no clock tick that
+    /// observes a low frequency").
+    pub fn sample_observed(&mut self) {
+        for phys in 0..self.phys.len() {
+            if self.phys_is_active(phys) {
+                self.phys[phys].observed = self.phys[phys].cur;
+            }
+        }
+    }
+
+    /// Returns total CPU energy consumed up to `now`, in joules.
+    pub fn energy_joules(&mut self, now: Time) -> f64 {
+        self.integrate_to(now);
+        self.energy_joules
+    }
+
+    /// Computes instantaneous machine power in watts.
+    fn power_w(&self) -> f64 {
+        let fspec = &self.spec.freq;
+        let pspec = &self.spec.power;
+        let pps = self.spec.phys_per_socket;
+        let mut total = 0.0;
+        for socket in 0..self.spec.sockets {
+            total += pspec.uncore_w;
+            // Socket voltage tracks the fastest active physical core.
+            let mut vmax_freq = fspec.fmin;
+            for p in 0..pps {
+                let phys = socket * pps + p;
+                if self.phys_is_active(phys) && self.phys[phys].cur > vmax_freq {
+                    vmax_freq = self.phys[phys].cur;
+                }
+            }
+            let v = pspec.voltage(vmax_freq, fspec.fmin, fspec.fmax());
+            for p in 0..pps {
+                let phys = socket * pps + p;
+                let (t0, t1) = self.threads_of_phys(phys);
+                let busy = self.thread_activity[t0] == Activity::Busy
+                    || self.thread_activity[t1] == Activity::Busy;
+                if busy {
+                    total += pspec.dyn_coeff_w_per_ghz * self.phys[phys].cur.as_ghz() * v * v;
+                } else if self.phys_is_active(phys) {
+                    // Spinning only: awake, but at a low activity factor.
+                    total += pspec.spin_power_factor
+                        * pspec.dyn_coeff_w_per_ghz
+                        * self.phys[phys].cur.as_ghz()
+                        * v
+                        * v;
+                } else {
+                    total += pspec.core_idle_w;
+                }
+            }
+        }
+        total
+    }
+
+    fn integrate_to(&mut self, now: Time) {
+        if now <= self.last_integration {
+            return;
+        }
+        let dt_s = (now - self.last_integration) as f64 / 1e9;
+        self.energy_joules += self.power_w() * dt_s;
+        self.last_integration = now;
+    }
+
+    /// Updates a hardware thread's activity.
+    ///
+    /// Returns the physical cores whose frequency changed as a result
+    /// (activation bumps to the wakeup floor; cap reductions apply
+    /// immediately), so the engine can re-time in-flight compute segments.
+    pub fn set_activity(&mut self, now: Time, core: CoreId, act: Activity) -> Vec<CoreId> {
+        self.integrate_to(now);
+        let idx = core.index();
+        if self.thread_activity[idx] == act {
+            return Vec::new();
+        }
+        let phys = self.phys_index(core);
+        let socket = self.socket_index(core);
+        let was_active = self.phys_is_active(phys);
+        self.thread_activity[idx] = act;
+        let is_active = self.phys_is_active(phys);
+
+        let mut changed = Vec::new();
+        if was_active != is_active {
+            if is_active {
+                self.socket_active[socket] += 1;
+                self.phys[phys].idle_since = None;
+                // Waking under `performance` jumps straight to nominal.
+                let floor = self.governor.wakeup_floor(&self.spec.freq);
+                if self.phys[phys].cur < floor {
+                    self.phys[phys].cur = floor;
+                    changed.push(self.rep_core(phys));
+                }
+            } else {
+                self.socket_active[socket] -= 1;
+                self.phys[phys].idle_since = Some(now);
+                self.phys[phys].last_active = Some(now);
+            }
+            // The turbo cap of every active core on this socket may have
+            // moved; apply cap *reductions* immediately (the hardware
+            // drops out of turbo without delay), leave raises to the ramp.
+            let cap = self
+                .spec
+                .freq
+                .turbo_limit(self.windowed_active_on_socket(socket, now));
+            let pps = self.spec.phys_per_socket;
+            for p in 0..pps {
+                let ph = socket * pps + p;
+                if self.phys_is_active(ph) && self.phys[ph].cur > cap {
+                    self.phys[ph].cur = cap;
+                    changed.push(self.rep_core(ph));
+                }
+            }
+        }
+        changed
+    }
+
+    /// Returns the first hardware thread of a physical core, used as the
+    /// representative in change notifications.
+    fn rep_core(&self, phys: usize) -> CoreId {
+        CoreId::from_index(self.threads_of_phys(phys).0)
+    }
+
+    /// Advances the ramp/decay dynamics by `dt_ns` at time `now`
+    /// (`now` is the *end* of the interval).
+    ///
+    /// `util_of` supplies the PELT utilization (`[0, 1]`) of a physical
+    /// core, given its representative hardware thread — used by the
+    /// `schedutil` request. Returns physical cores (as representative
+    /// thread ids) whose frequency changed.
+    pub fn advance(
+        &mut self,
+        now: Time,
+        dt_ns: u64,
+        util_of: &mut dyn FnMut(CoreId) -> f64,
+    ) -> Vec<CoreId> {
+        self.integrate_to(now);
+        let mut changed = Vec::new();
+        let fspec = self.spec.freq.clone();
+        let dt_ms = dt_ns as f64 / 1e6;
+        let up = (fspec.ramp_up_khz_per_ms as f64 * dt_ms) as u64;
+        let down = (fspec.ramp_down_khz_per_ms as f64 * dt_ms) as u64;
+        let caps: Vec<Freq> = (0..self.spec.sockets)
+            .map(|s| fspec.turbo_limit(self.windowed_active_on_socket(s, now)))
+            .collect();
+        for phys in 0..self.phys.len() {
+            let socket = phys / self.spec.phys_per_socket;
+            let cap = caps[socket];
+            let rep = self.rep_core(phys);
+            let (t0, t1) = self.threads_of_phys(phys);
+            let spinning_only = self.thread_activity[t0] != Activity::Busy
+                && self.thread_activity[t1] != Activity::Busy
+                && (self.thread_activity[t0] == Activity::Spinning
+                    || self.thread_activity[t1] == Activity::Spinning);
+            let busy = self.thread_activity[t0] == Activity::Busy
+                || self.thread_activity[t1] == Activity::Busy;
+
+            let cur = self.phys[phys].cur;
+            let next = if busy {
+                let req = self.governor.requested_freq(&fspec, util_of(rep));
+                let target = req.min(cap);
+                step_toward(cur, target, up, down)
+            } else if spinning_only {
+                // Spinning holds the frequency: the hardware sees
+                // activity, so no decay — but the turbo cap still binds.
+                cur.min(cap)
+            } else {
+                // Idle: decay toward the governor floor after cooldown.
+                let floor = self.governor.idle_floor(&fspec);
+                match self.phys[phys].idle_since {
+                    Some(since) if now.saturating_since(since) >= fspec.idle_cooldown_ns => {
+                        step_toward(cur, floor, up, down)
+                    }
+                    _ => cur,
+                }
+            };
+            if next != cur {
+                self.phys[phys].cur = next;
+                changed.push(rep);
+            }
+        }
+        changed
+    }
+}
+
+/// Moves `cur` toward `target`, rising at most `up` kHz and falling at
+/// most `down` kHz.
+fn step_toward(cur: Freq, target: Freq, up: u64, down: u64) -> Freq {
+    if cur < target {
+        Freq::from_khz((cur.as_khz() + up).min(target.as_khz()))
+    } else if cur > target {
+        Freq::from_khz(cur.as_khz().saturating_sub(down).max(target.as_khz()))
+    } else {
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_simcore::MILLISEC;
+    use nest_topology::presets;
+
+    fn model(gov: Governor) -> FreqModel {
+        FreqModel::new(&presets::xeon_6130(2), gov)
+    }
+
+    fn run_ms(m: &mut FreqModel, from_ms: u64, n_ms: u64, util: f64) -> Time {
+        let mut t = Time::from_millis(from_ms);
+        for _ in 0..n_ms {
+            t += MILLISEC;
+            m.advance(t, MILLISEC, &mut |_| util);
+        }
+        t
+    }
+
+    #[test]
+    fn starts_warm_at_nominal() {
+        // A warm machine (post-warmup, §5.1): everything begins at the
+        // nominal frequency regardless of governor.
+        let m = model(Governor::Schedutil);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(2.1));
+        let m = model(Governor::Performance);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(2.1));
+    }
+
+    #[test]
+    fn single_busy_core_reaches_top_turbo() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+    }
+
+    #[test]
+    fn low_util_keeps_schedutil_at_nominal() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        run_ms(&mut m, 0, 50, 0.1);
+        // 1.25 × 0.1 × 3.7 GHz ≈ 0.46 GHz, floored at nominal (HWP).
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(2.1));
+    }
+
+    #[test]
+    fn performance_wakes_at_nominal() {
+        let mut m = model(Governor::Performance);
+        let changed = m.set_activity(Time::ZERO, CoreId(5), Activity::Busy);
+        assert_eq!(m.freq_of(CoreId(5)), Freq::from_ghz(2.1));
+        assert!(changed.is_empty() || m.freq_of(CoreId(5)) >= Freq::from_ghz(2.1));
+    }
+
+    #[test]
+    fn many_active_cores_reduce_turbo_cap() {
+        let mut m = model(Governor::Schedutil);
+        // Activate 16 physical cores on socket 0 (threads 0..16).
+        for c in 0..16 {
+            m.set_activity(Time::ZERO, CoreId(c), Activity::Busy);
+        }
+        run_ms(&mut m, 0, 60, 1.0);
+        // 16 active cores: cap is 2.8 GHz on the 6130.
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(2.8));
+    }
+
+    #[test]
+    fn cap_reduction_is_immediate() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let t = run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+        // Activating 12 more phys cores caps at 2.8 immediately.
+        let mut changed = Vec::new();
+        for c in 1..16 {
+            changed.extend(m.set_activity(t, CoreId(c), Activity::Busy));
+        }
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(2.8));
+        assert!(changed.contains(&CoreId(0)));
+    }
+
+    #[test]
+    fn hyperthreads_share_physical_frequency() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        run_ms(&mut m, 0, 50, 1.0);
+        // CoreId(16) is the hyperthread of CoreId(0) on the 6130.
+        assert_eq!(m.freq_of(CoreId(16)), m.freq_of(CoreId(0)));
+        // And both count as one active physical core.
+        assert_eq!(m.active_phys_on_socket(0), 1);
+        m.set_activity(Time::from_millis(50), CoreId(16), Activity::Busy);
+        assert_eq!(m.active_phys_on_socket(0), 1);
+    }
+
+    #[test]
+    fn idle_core_decays_after_cooldown() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let t = run_ms(&mut m, 0, 50, 1.0);
+        m.set_activity(t, CoreId(0), Activity::Idle);
+        // Within the cooldown (9 ms on the 6130) the frequency holds.
+        run_ms(&mut m, 50, 5, 0.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+        // Long after the cooldown (50 MHz/ms decay from 3.7 GHz) it has
+        // decayed all the way to fmin.
+        run_ms(&mut m, 55, 100, 0.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(1.0));
+    }
+
+    #[test]
+    fn windowed_count_outlives_activity() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let t = Time::from_millis(10);
+        m.set_activity(t, CoreId(0), Activity::Idle);
+        // Still counted for the 60 ms turbo window...
+        assert_eq!(m.windowed_active_on_socket(0, t + 30 * MILLISEC), 1);
+        // ...but not after it expires.
+        assert_eq!(m.windowed_active_on_socket(0, t + 61 * MILLISEC), 0);
+        assert_eq!(m.active_phys_on_socket(0), 0);
+    }
+
+    #[test]
+    fn dispersal_keeps_turbo_cap_low() {
+        // One task bouncing over 8 physical cores in quick succession
+        // keeps the windowed count at 8, capping everyone at 3.4 GHz —
+        // while perfect reuse of one core would allow 3.7 GHz.
+        let mut m = model(Governor::Schedutil);
+        let mut t = Time::ZERO;
+        for round in 0..16 {
+            let core = CoreId(round % 8);
+            m.set_activity(t, core, Activity::Busy);
+            t = run_ms(&mut m, (round * 5) as u64, 5, 1.0);
+            m.set_activity(t, core, Activity::Idle);
+        }
+        // At the end of the run the windowed count spans all 8 cores.
+        assert_eq!(m.windowed_active_on_socket(0, t), 8);
+        // A newly busy core cannot exceed the 5-8 active cap (3.4 GHz).
+        m.set_activity(t, CoreId(0), Activity::Busy);
+        run_ms(&mut m, 80, 10, 1.0);
+        assert!(m.freq_of(CoreId(0)) <= Freq::from_ghz(3.4));
+    }
+
+    #[test]
+    fn spinning_holds_frequency() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let t = run_ms(&mut m, 0, 50, 1.0);
+        m.set_activity(t, CoreId(0), Activity::Spinning);
+        run_ms(&mut m, 50, 40, 0.0);
+        // Spin prevents decay entirely.
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+    }
+
+    #[test]
+    fn spinning_counts_toward_turbo_cap() {
+        let mut m = model(Governor::Schedutil);
+        for c in 0..12 {
+            m.set_activity(Time::ZERO, CoreId(c), Activity::Spinning);
+        }
+        assert_eq!(m.active_phys_on_socket(0), 12);
+        m.set_activity(Time::ZERO, CoreId(12), Activity::Busy);
+        run_ms(&mut m, 0, 60, 1.0);
+        // 13 active physical cores: cap 2.8 GHz.
+        assert_eq!(m.freq_of(CoreId(12)), Freq::from_ghz(2.8));
+    }
+
+    #[test]
+    fn observed_freq_lags_until_sampled() {
+        let mut m = model(Governor::Schedutil);
+        let initial = m.observed_freq(CoreId(0));
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.observed_freq(CoreId(0)), initial);
+        m.sample_observed();
+        assert_eq!(m.observed_freq(CoreId(0)), Freq::from_ghz(3.7));
+    }
+
+    #[test]
+    fn energy_accumulates_and_busy_costs_more() {
+        let mut idle = model(Governor::Schedutil);
+        let e_idle = idle.energy_joules(Time::from_secs(1));
+        assert!(e_idle > 0.0);
+
+        let mut busy = model(Governor::Schedutil);
+        for c in 0..16 {
+            busy.set_activity(Time::ZERO, CoreId(c), Activity::Busy);
+        }
+        run_ms(&mut busy, 0, 1000, 1.0);
+        let e_busy = busy.energy_joules(Time::from_secs(1));
+        assert!(e_busy > e_idle, "busy {e_busy} <= idle {e_idle}");
+    }
+
+    #[test]
+    fn energy_is_monotone_in_time() {
+        let mut m = model(Governor::Performance);
+        let e1 = m.energy_joules(Time::from_millis(10));
+        let e2 = m.energy_joules(Time::from_millis(20));
+        assert!(e2 > e1);
+        // Asking for a past time does not rewind the integrator.
+        let e3 = m.energy_joules(Time::from_millis(5));
+        assert_eq!(e3, e2);
+    }
+
+    #[test]
+    fn e7_ramps_slower_than_6130() {
+        let spec_e7 = presets::e7_8870_v4();
+        let mut m_e7 = FreqModel::new(&spec_e7, Governor::Schedutil);
+        let mut m_61 = model(Governor::Schedutil);
+        m_e7.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        m_61.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let mut t = Time::ZERO;
+        for _ in 0..4 {
+            t += MILLISEC;
+            m_e7.advance(t, MILLISEC, &mut |_| 1.0);
+            m_61.advance(t, MILLISEC, &mut |_| 1.0);
+        }
+        let gain_e7 = m_e7.freq_of(CoreId(0)).as_khz() - spec_e7.freq.fmin.as_khz();
+        let gain_61 = m_61.freq_of(CoreId(0)).as_khz() - 1_000_000;
+        assert!(gain_e7 < gain_61);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the DVFS model: frequencies stay inside the
+//! machine envelope, turbo caps are respected, and energy is monotone,
+//! under arbitrary activity sequences.
+
+use proptest::prelude::*;
+
+use nest_freq::{
+    Activity,
+    FreqModel,
+    Governor,
+};
+use nest_simcore::{
+    CoreId,
+    Time,
+    MILLISEC,
+};
+use nest_topology::presets;
+
+fn activity(i: u32) -> Activity {
+    match i % 3 {
+        0 => Activity::Idle,
+        1 => Activity::Busy,
+        _ => Activity::Spinning,
+    }
+}
+
+proptest! {
+    /// Under any activity/advance interleaving, every core's frequency
+    /// remains within [fmin, fmax(1)], and busy cores respect the
+    /// windowed turbo cap after an advance step.
+    #[test]
+    fn frequency_stays_in_envelope(
+        ops in prop::collection::vec((0u32..64, 0u32..3, 0.0f64..1.0), 1..200),
+        gov_perf in any::<bool>(),
+    ) {
+        let spec = presets::xeon_5218();
+        let gov = if gov_perf { Governor::Performance } else { Governor::Schedutil };
+        let mut m = FreqModel::new(&spec, gov);
+        let mut now = Time::ZERO;
+        for (core, act, util) in ops {
+            now += MILLISEC;
+            m.set_activity(now, CoreId(core), activity(act));
+            m.advance(now, MILLISEC, &mut |_| util);
+            for c in 0..64u32 {
+                let f = m.freq_of(CoreId(c));
+                prop_assert!(f >= spec.freq.fmin, "below fmin: {f}");
+                prop_assert!(f <= spec.freq.fmax(), "above fmax: {f}");
+            }
+            for s in 0..2 {
+                let windowed = m.windowed_active_on_socket(s, now);
+                let instant = m.active_phys_on_socket(s);
+                prop_assert!(windowed >= instant, "window must include current activity");
+                prop_assert!(windowed <= 16);
+            }
+        }
+    }
+
+    /// Energy is nonnegative and monotone in time, whatever the activity.
+    #[test]
+    fn energy_monotone(
+        ops in prop::collection::vec((0u32..64, 0u32..3), 1..100),
+    ) {
+        let spec = presets::xeon_6130(2);
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        let mut now = Time::ZERO;
+        let mut prev = 0.0f64;
+        for (core, act) in ops {
+            now += MILLISEC;
+            m.set_activity(now, CoreId(core), activity(act));
+            m.advance(now, MILLISEC, &mut |_| 0.5);
+            let e = m.energy_joules(now);
+            prop_assert!(e >= prev, "energy decreased: {e} < {prev}");
+            prev = e;
+        }
+        prop_assert!(prev > 0.0, "no energy accumulated");
+    }
+
+    /// A machine kept fully busy consumes strictly more energy than an
+    /// idle one over the same horizon.
+    #[test]
+    fn busy_costs_more_than_idle(ms in 10u64..200) {
+        let spec = presets::xeon_6130(2);
+        let horizon = Time::from_millis(ms);
+        let mut idle = FreqModel::new(&spec, Governor::Schedutil);
+        let e_idle = idle.energy_joules(horizon);
+        let mut busy = FreqModel::new(&spec, Governor::Schedutil);
+        for c in 0..64 {
+            busy.set_activity(Time::ZERO, CoreId(c), Activity::Busy);
+        }
+        let mut t = Time::ZERO;
+        while t < horizon {
+            t += MILLISEC;
+            busy.advance(t.min(horizon), MILLISEC, &mut |_| 1.0);
+        }
+        let e_busy = busy.energy_joules(horizon);
+        prop_assert!(e_busy > e_idle);
+    }
+}

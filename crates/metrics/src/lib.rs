@@ -1,0 +1,44 @@
+//! Measurement for the Nest reproduction.
+//!
+//! Probes subscribe to the engine's trace stream and compute the paper's
+//! metrics: underload (§5.2), frequency residency (Figures 6/11),
+//! execution traces (Figures 2/8/9), wakeup latency (schbench, §5.6), and
+//! placement accounting; [`stats`] provides the measurement conventions of
+//! §5.1 (averages, standard deviations, normalized speedups).
+
+pub mod freqdist;
+pub mod latency;
+pub mod placement;
+pub mod stats;
+pub mod trace;
+pub mod underload;
+
+pub use freqdist::{
+    FreqResidency,
+    FreqResidencyProbe,
+};
+pub use latency::{
+    WakeupLatencies,
+    WakeupLatencyProbe,
+};
+pub use placement::{
+    PlacementCounts,
+    PlacementProbe,
+};
+pub use stats::{
+    improvement_pct,
+    improvement_stats,
+    savings_pct,
+    speedup_pct,
+    table4_band,
+    Stats,
+};
+pub use trace::{
+    ExecutionTrace,
+    ExecutionTraceProbe,
+    Span,
+};
+pub use underload::{
+    UnderloadData,
+    UnderloadProbe,
+};

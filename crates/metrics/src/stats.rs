@@ -1,0 +1,158 @@
+//! Run statistics and speedup computation, matching the paper's
+//! measurement protocol (§5.1): average over N runs, report the standard
+//! deviation, and normalize speedups so 0 % means identical performance.
+
+/// Mean and standard deviation of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        Stats {
+            mean,
+            std: var.sqrt(),
+            n,
+        }
+    }
+
+    /// Standard deviation as a percentage of the mean (the "±X%" the
+    /// paper prints atop its graphs).
+    pub fn std_pct(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.std / self.mean.abs()
+        }
+    }
+}
+
+/// Speedup of `new` over `baseline` for a lower-is-better metric
+/// (running time, energy): `baseline/new - 1`, as a percentage.
+///
+/// 0 means identical, positive means improvement — the paper's
+/// normalization (§5.1).
+///
+/// # Examples
+///
+/// ```
+/// use nest_metrics::stats::speedup_pct;
+///
+/// // Halving the runtime is a 100% speedup.
+/// assert_eq!(speedup_pct(10.0, 5.0), 100.0);
+/// // A 25% slowdown.
+/// assert!((speedup_pct(10.0, 12.5) - -20.0).abs() < 1e-9);
+/// ```
+pub fn speedup_pct(baseline: f64, new: f64) -> f64 {
+    assert!(baseline > 0.0 && new > 0.0, "times must be positive");
+    100.0 * (baseline / new - 1.0)
+}
+
+/// Improvement of `new` over `baseline` for a higher-is-better metric
+/// (throughput): `new/baseline - 1`, as a percentage.
+pub fn improvement_pct(baseline: f64, new: f64) -> f64 {
+    assert!(baseline > 0.0 && new > 0.0, "values must be positive");
+    100.0 * (new / baseline - 1.0)
+}
+
+/// Energy savings of `new` versus `baseline` as a percentage (positive =
+/// less energy used), the normalization of Figure 7.
+pub fn savings_pct(baseline: f64, new: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline must be positive");
+    100.0 * (1.0 - new / baseline)
+}
+
+/// The per-run standard deviation of an improvement series, computed the
+/// paper's way (§5.1): each run of the candidate is compared against the
+/// *average* of the baseline.
+pub fn improvement_stats(baseline_mean: f64, candidate_runs: &[f64]) -> Stats {
+    let speedups: Vec<f64> = candidate_runs
+        .iter()
+        .map(|&r| speedup_pct(baseline_mean, r))
+        .collect();
+    Stats::from_samples(&speedups)
+}
+
+/// Buckets a speedup percentage into the Table 4 bands.
+///
+/// Returns one of `"slower>20"`, `"slower5to20"`, `"same"`,
+/// `"faster5to20"`, `"faster>20"`.
+pub fn table4_band(speedup_pct: f64) -> &'static str {
+    if speedup_pct < -20.0 {
+        "slower>20"
+    } else if speedup_pct < -5.0 {
+        "slower5to20"
+    } else if speedup_pct <= 5.0 {
+        "same"
+    } else if speedup_pct <= 20.0 {
+        "faster5to20"
+    } else {
+        "faster>20"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = Stats::from_samples(&[2.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn std_pct_relative_to_mean() {
+        let s = Stats::from_samples(&[9.0, 11.0]);
+        assert!((s.std_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_sign_conventions() {
+        assert_eq!(speedup_pct(10.0, 10.0), 0.0);
+        assert!(speedup_pct(10.0, 8.0) > 0.0);
+        assert!(speedup_pct(10.0, 12.0) < 0.0);
+        assert!(improvement_pct(100.0, 125.0) - 25.0 < 1e-9);
+        assert!((savings_pct(100.0, 81.0) - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn speedup_rejects_zero() {
+        speedup_pct(0.0, 1.0);
+    }
+
+    #[test]
+    fn improvement_stats_use_baseline_mean() {
+        let s = improvement_stats(10.0, &[10.0, 5.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 50.0).abs() < 1e-9); // (0% + 100%) / 2
+    }
+
+    #[test]
+    fn table4_bands() {
+        assert_eq!(table4_band(-30.0), "slower>20");
+        assert_eq!(table4_band(-10.0), "slower5to20");
+        assert_eq!(table4_band(0.0), "same");
+        assert_eq!(table4_band(5.0), "same");
+        assert_eq!(table4_band(10.0), "faster5to20");
+        assert_eq!(table4_band(45.0), "faster>20");
+    }
+}

@@ -1,0 +1,251 @@
+//! Execution-trace collection for the paper's core/frequency trace plots
+//! (Figures 2, 8, 9).
+//!
+//! Records, for each core, the busy spans with the frequency in effect,
+//! splitting spans on frequency changes, and renders an ASCII heat strip
+//! usable in harness output.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nest_simcore::{
+    Freq,
+    Probe,
+    Time,
+    TraceEvent,
+};
+
+/// One busy span of a core at a fixed frequency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    /// Core the span ran on.
+    pub core: u32,
+    /// Span start.
+    pub start: Time,
+    /// Span end.
+    pub end: Time,
+    /// Frequency in effect during the span, GHz.
+    pub freq_ghz: f64,
+}
+
+/// Collected execution trace; obtain via [`ExecutionTraceProbe::new`].
+#[derive(Debug, Default)]
+pub struct ExecutionTrace {
+    /// All busy spans, in completion order.
+    pub spans: Vec<Span>,
+    /// End of the observation.
+    pub duration: Time,
+}
+
+impl ExecutionTrace {
+    /// Cores that ran anything, ascending.
+    pub fn cores_used(&self) -> Vec<u32> {
+        let mut cores: Vec<u32> = self.spans.iter().map(|s| s.core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
+    }
+
+    /// Fraction of busy time spent within `(lo, hi]` GHz.
+    pub fn busy_fraction_in(&self, lo: f64, hi: f64) -> f64 {
+        let total: u64 = self.spans.iter().map(|s| s.end - s.start).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let in_range: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.freq_ghz > lo && s.freq_ghz <= hi)
+            .map(|s| s.end - s.start)
+            .sum();
+        in_range as f64 / total as f64
+    }
+
+    /// Renders one text row per used core; each column is a time slot of
+    /// `slot_ns`, shown as `.` (idle) or a digit 1-9 scaling with
+    /// frequency relative to `fmax_ghz`.
+    pub fn render_ascii(&self, slot_ns: u64, fmax_ghz: f64) -> String {
+        let cores = self.cores_used();
+        if cores.is_empty() {
+            return String::from("(no activity)\n");
+        }
+        let slots = (self.duration.as_nanos() / slot_ns + 1) as usize;
+        let mut out = String::new();
+        for &core in &cores {
+            let mut row = vec![b'.'; slots.min(400)];
+            let width = row.len();
+            for s in self.spans.iter().filter(|s| s.core == core) {
+                let a = ((s.start.as_nanos() / slot_ns) as usize).min(width - 1);
+                let b = ((s.end.as_nanos() / slot_ns) as usize).min(width - 1);
+                let level = ((s.freq_ghz / fmax_ghz) * 9.0).round().clamp(1.0, 9.0) as u8;
+                for slot in row.iter_mut().take(b + 1).skip(a) {
+                    *slot = b'0' + level;
+                }
+            }
+            out.push_str(&format!("core {core:>4} |"));
+            out.push_str(std::str::from_utf8(&row).unwrap());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Probe recording busy spans with frequencies.
+pub struct ExecutionTraceProbe {
+    data: Rc<RefCell<ExecutionTrace>>,
+    busy_since: Vec<Option<Time>>,
+    freq: Vec<Freq>,
+    spans: Vec<Span>,
+}
+
+impl ExecutionTraceProbe {
+    /// Creates the probe with all cores initially at `initial` frequency.
+    pub fn new(n_cores: usize, initial: Freq) -> (ExecutionTraceProbe, Rc<RefCell<ExecutionTrace>>) {
+        let data = Rc::new(RefCell::new(ExecutionTrace::default()));
+        (
+            ExecutionTraceProbe {
+                data: Rc::clone(&data),
+                busy_since: vec![None; n_cores],
+                freq: vec![initial; n_cores],
+                spans: Vec::new(),
+            },
+            data,
+        )
+    }
+
+    fn close(&mut self, core: usize, now: Time, reopen: bool) {
+        if let Some(start) = self.busy_since[core] {
+            if now > start {
+                self.spans.push(Span {
+                    core: core as u32,
+                    start,
+                    end: now,
+                    freq_ghz: self.freq[core].as_ghz(),
+                });
+            }
+            self.busy_since[core] = reopen.then_some(now);
+        }
+    }
+}
+
+impl Probe for ExecutionTraceProbe {
+    fn on_event(&mut self, now: Time, event: &TraceEvent) {
+        match event {
+            TraceEvent::RunStart { core, .. } => {
+                self.busy_since[core.index()] = Some(now);
+            }
+            TraceEvent::RunStop { core, .. } => {
+                self.close(core.index(), now, false);
+            }
+            TraceEvent::FreqChange { core, freq } => {
+                self.close(core.index(), now, true);
+                self.freq[core.index()] = *freq;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, now: Time) {
+        for c in 0..self.busy_since.len() {
+            self.close(c, now, false);
+        }
+        let mut d = self.data.borrow_mut();
+        d.spans = std::mem::take(&mut self.spans);
+        d.duration = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_simcore::{
+        CoreId,
+        StopReason,
+        TaskId,
+    };
+
+    #[test]
+    fn records_spans_split_on_freq_change() {
+        let (mut p, d) = ExecutionTraceProbe::new(4, Freq::from_ghz(1.0));
+        p.on_event(
+            Time::ZERO,
+            &TraceEvent::RunStart {
+                task: TaskId(0),
+                core: CoreId(2),
+            },
+        );
+        p.on_event(
+            Time::from_millis(3),
+            &TraceEvent::FreqChange {
+                core: CoreId(2),
+                freq: Freq::from_ghz(3.0),
+            },
+        );
+        p.on_event(
+            Time::from_millis(7),
+            &TraceEvent::RunStop {
+                task: TaskId(0),
+                core: CoreId(2),
+                reason: StopReason::Exit,
+            },
+        );
+        p.on_finish(Time::from_millis(7));
+        let d = d.borrow();
+        assert_eq!(d.spans.len(), 2);
+        assert_eq!(d.spans[0].freq_ghz, 1.0);
+        assert_eq!(d.spans[1].freq_ghz, 3.0);
+        assert_eq!(d.cores_used(), vec![2]);
+        // 3 ms at 1 GHz, 4 ms at 3 GHz.
+        assert!((d.busy_fraction_in(0.0, 1.5) - 3.0 / 7.0).abs() < 1e-9);
+        assert!((d.busy_fraction_in(1.5, 3.5) - 4.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_core() {
+        let (mut p, d) = ExecutionTraceProbe::new(4, Freq::from_ghz(2.0));
+        for core in [0u32, 3] {
+            p.on_event(
+                Time::ZERO,
+                &TraceEvent::RunStart {
+                    task: TaskId(0),
+                    core: CoreId(core),
+                },
+            );
+            p.on_event(
+                Time::from_millis(1),
+                &TraceEvent::RunStop {
+                    task: TaskId(0),
+                    core: CoreId(core),
+                    reason: StopReason::Exit,
+                },
+            );
+        }
+        p.on_finish(Time::from_millis(2));
+        let s = d.borrow().render_ascii(500_000, 4.0);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("core    0 |"));
+        assert!(s.contains('5'), "2.0/4.0 GHz renders as level 5: {s}");
+    }
+
+    #[test]
+    fn zero_length_spans_are_dropped() {
+        let (mut p, d) = ExecutionTraceProbe::new(1, Freq::from_ghz(1.0));
+        p.on_event(
+            Time::ZERO,
+            &TraceEvent::RunStart {
+                task: TaskId(0),
+                core: CoreId(0),
+            },
+        );
+        p.on_event(
+            Time::ZERO,
+            &TraceEvent::RunStop {
+                task: TaskId(0),
+                core: CoreId(0),
+                reason: StopReason::Block,
+            },
+        );
+        p.on_finish(Time::from_millis(1));
+        assert!(d.borrow().spans.is_empty());
+    }
+}

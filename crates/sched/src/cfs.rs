@@ -1,0 +1,614 @@
+//! The CFS baseline: Linux v5.9's placement heuristics as §2.1 describes
+//! them.
+//!
+//! **Fork** descends the scheduling domains from the top: choose the
+//! idlest socket from *cached* (hence slightly stale) group statistics,
+//! then the best core within it, scanning in numerical order from the
+//! forking core and preferring, among idle cores, the one with the lowest
+//! decaying load — which disfavors recently used (warm) cores and causes
+//! the dispersal the paper's Figure 2(a) shows.
+//!
+//! **Wakeup** considers only the target die: first a fully idle SMT pair,
+//! then a budget-limited scan for any idle core, then the target's
+//! hyperthread, else the target itself. It is *not* work conserving; Nest
+//! optionally extends the search to all dies (§3.4).
+//!
+//! **Load balancing** is shared by all policies: newidle pulls from the
+//! busiest core of the same die, and periodic ticks pull first within the
+//! die, at a longer period across the machine — resolving overloads only
+//! gradually (§5.4).
+
+use nest_simcore::{
+    CoreId,
+    PlacementPath,
+    TaskId,
+};
+use nest_topology::CpuSet;
+
+use crate::kernel::KernelState;
+use crate::policy::{
+    IdleAction,
+    IdleReason,
+    Placement,
+    SchedEnv,
+    SchedPolicy,
+};
+
+/// Tunables for the CFS heuristics.
+#[derive(Clone, Debug)]
+pub struct CfsParams {
+    /// Maximum cores examined by the wakeup idle scan once no fully idle
+    /// SMT pair exists (`select_idle_cpu`'s bounded effort).
+    pub wakeup_scan_budget: usize,
+    /// Ticks between same-die periodic balance attempts by idle cores.
+    pub die_balance_ticks: u64,
+    /// Ticks between machine-wide periodic balance attempts by idle cores.
+    pub numa_balance_ticks: u64,
+}
+
+impl Default for CfsParams {
+    fn default() -> CfsParams {
+        CfsParams {
+            wakeup_scan_budget: 8,
+            die_balance_ticks: 4,
+            numa_balance_ticks: 32,
+        }
+    }
+}
+
+/// The CFS policy.
+pub struct Cfs {
+    params: CfsParams,
+}
+
+impl Cfs {
+    /// Creates CFS with default parameters.
+    pub fn new() -> Cfs {
+        Cfs {
+            params: CfsParams::default(),
+        }
+    }
+
+    /// Creates CFS with explicit parameters.
+    pub fn with_params(params: CfsParams) -> Cfs {
+        Cfs { params }
+    }
+}
+
+impl Default for Cfs {
+    fn default() -> Cfs {
+        Cfs::new()
+    }
+}
+
+/// `true` if `core` can receive a placement: idle, and (when
+/// `respect_pending`) no in-flight placement targets it. CFS passes
+/// `false` — ignoring in-flight placements is exactly the §3.4 race — and
+/// Nest passes `true` (its compare-and-swap reservation flag).
+pub fn idle_ok(k: &KernelState, core: CoreId, respect_pending: bool) -> bool {
+    let c = k.core(core);
+    c.is_idle() && (!respect_pending || c.pending == 0)
+}
+
+/// CFS fork-time selection (`find_idlest_group`/`find_idlest_cpu`).
+pub fn select_fork(
+    k: &mut KernelState,
+    env: &mut SchedEnv<'_>,
+    parent_core: CoreId,
+    respect_pending: bool,
+) -> CoreId {
+    // Top level: idlest socket from the (stale) cached statistics; ties
+    // favor the local socket, as Linux prefers not to migrate at fork.
+    let home = env.topo.socket_of(parent_core);
+    let stats = k.socket_stats(env.now);
+    let mut best = home;
+    let mut best_key = (stats[home.index()].idle, -stats[home.index()].load);
+    for s in env.topo.sockets() {
+        let key = (stats[s.index()].idle, -stats[s.index()].load);
+        if key > best_key {
+            best = s;
+            best_key = key;
+        }
+    }
+    let span = env.topo.socket_span(best).clone();
+    select_idlest_in(k, env, &span, parent_core, respect_pending)
+}
+
+/// Load differences below this margin are ties (Linux compares group and
+/// core loads against imbalance thresholds, not exactly). Ties resolve to
+/// the earlier core in scan order, so the fork search cycles within a
+/// bounded set of cores whose load has decayed — the "pattern repeats"
+/// behaviour of Figure 2(a) — instead of walking the whole machine.
+const LOAD_EPSILON: f64 = 0.18;
+
+/// Picks the best core within a span: among idle cores, prefer those
+/// whose hyperthread is also idle, then lowest decaying load (long-idle
+/// beats recently used, up to [`LOAD_EPSILON`]), scanning numerically
+/// from `from`. Without idle cores, the least-loaded core wins.
+fn select_idlest_in(
+    k: &mut KernelState,
+    env: &mut SchedEnv<'_>,
+    span: &CpuSet,
+    from: CoreId,
+    respect_pending: bool,
+) -> CoreId {
+    let mut best_pair: Option<(f64, CoreId)> = None;
+    let mut best_idle: Option<(f64, CoreId)> = None;
+    let mut best_any: Option<(f64, CoreId)> = None;
+    let better = |load: f64, best: &Option<(f64, CoreId)>| {
+        best.map_or(true, |(l, _)| load + LOAD_EPSILON < l)
+    };
+    for core in span.iter_wrapping_from(from) {
+        let load = k.core_load(env.now, core);
+        if idle_ok(k, core, respect_pending) {
+            let sib = env.topo.sibling(core);
+            if idle_ok(k, sib, respect_pending) && better(load, &best_pair) {
+                best_pair = Some((load, core));
+            }
+            if better(load, &best_idle) {
+                best_idle = Some((load, core));
+            }
+        }
+        let any_key = load + k.core(core).nr_running() as f64;
+        if better(any_key, &best_any) {
+            best_any = Some((any_key, core));
+        }
+    }
+    best_pair
+        .or(best_idle)
+        .or(best_any)
+        .map(|(_, c)| c)
+        .expect("span cannot be empty")
+}
+
+/// CFS wakeup-time selection (`select_task_rq_fair` +
+/// `select_idle_sibling`). With `work_conserving` (Nest's extension), the
+/// idle search continues onto the other dies when the target die has no
+/// idle core.
+pub fn select_wakeup(
+    k: &mut KernelState,
+    env: &mut SchedEnv<'_>,
+    task: TaskId,
+    waker_core: CoreId,
+    params: &CfsParams,
+    work_conserving: bool,
+    respect_pending: bool,
+) -> CoreId {
+    let prev = k.task(task).prev_core.unwrap_or(waker_core);
+    // Wake-affine: prefer the previous core's die, unless it is saturated
+    // while the waker's die has idle capacity.
+    let prev_sock = env.topo.socket_of(prev);
+    let waker_sock = env.topo.socket_of(waker_core);
+    let target = if prev_sock != waker_sock {
+        let prev_idle = env
+            .topo
+            .socket_span(prev_sock)
+            .iter()
+            .any(|c| idle_ok(k, c, respect_pending));
+        let waker_idle = env
+            .topo
+            .socket_span(waker_sock)
+            .iter()
+            .any(|c| idle_ok(k, c, respect_pending));
+        if !prev_idle && waker_idle {
+            waker_core
+        } else {
+            prev
+        }
+    } else {
+        prev
+    };
+
+    if idle_ok(k, target, respect_pending) {
+        return target;
+    }
+    let die = env.topo.socket_span(env.topo.socket_of(target)).clone();
+    if let Some(core) = search_die_for_idle(
+        k,
+        env,
+        &die,
+        target,
+        Some(params.wakeup_scan_budget),
+        respect_pending,
+    ) {
+        return core;
+    }
+    if work_conserving {
+        // Nest §3.4: examine all other dies, unbounded, nearest first.
+        for sock in env.topo.sockets_nearest_first(target) {
+            if sock == env.topo.socket_of(target) {
+                continue;
+            }
+            let span = env.topo.socket_span(sock).clone();
+            if let Some(core) = search_die_for_idle(k, env, &span, target, None, respect_pending) {
+                return core;
+            }
+        }
+    }
+    let sib = env.topo.sibling(target);
+    if idle_ok(k, sib, respect_pending) {
+        return sib;
+    }
+    target
+}
+
+/// Searches one die: fully idle SMT pair first (full scan), then any idle
+/// core under the scan budget (`None` = unbounded).
+fn search_die_for_idle(
+    k: &mut KernelState,
+    env: &mut SchedEnv<'_>,
+    die: &CpuSet,
+    from: CoreId,
+    budget: Option<usize>,
+    respect_pending: bool,
+) -> Option<CoreId> {
+    // select_idle_core: a core whose hyperthread is idle too.
+    for core in die.iter_wrapping_from(from) {
+        if idle_ok(k, core, respect_pending) && idle_ok(k, env.topo.sibling(core), respect_pending)
+        {
+            return Some(core);
+        }
+    }
+    // select_idle_cpu: bounded scan for any idle core.
+    let limit = budget.unwrap_or(usize::MAX);
+    for (scanned, core) in die.iter_wrapping_from(from).enumerate() {
+        if scanned >= limit {
+            break;
+        }
+        if idle_ok(k, core, respect_pending) {
+            return Some(core);
+        }
+    }
+    None
+}
+
+/// Newidle balancing: a core that just went idle pulls one queued task
+/// from the busiest core of its die.
+pub fn newidle_pull_source(
+    k: &mut KernelState,
+    env: &mut SchedEnv<'_>,
+    core: CoreId,
+) -> Option<CoreId> {
+    let die = env.topo.socket_span(env.topo.socket_of(core));
+    let src = k.busiest_core_in(die, 1)?;
+    (src != core).then_some(src)
+}
+
+/// Periodic balancing from an idle core's tick: same-die pulls every
+/// `die_balance_ticks`, machine-wide pulls every `numa_balance_ticks`
+/// (staggered by core number).
+pub fn periodic_pull_source(
+    k: &mut KernelState,
+    env: &mut SchedEnv<'_>,
+    core: CoreId,
+    params: &CfsParams,
+) -> Option<CoreId> {
+    if !k.core(core).is_idle() {
+        return None;
+    }
+    let tick = env.now.tick_index() + core.index() as u64;
+    if tick % params.numa_balance_ticks == 0 {
+        if let Some(src) = k.busiest_core_in(&env.topo.all_cores().clone(), 1) {
+            if src != core {
+                return Some(src);
+            }
+        }
+    }
+    if tick % params.die_balance_ticks == 0 {
+        let die = env.topo.socket_span(env.topo.socket_of(core)).clone();
+        if let Some(src) = k.busiest_core_in(&die, 1) {
+            if src != core {
+                return Some(src);
+            }
+        }
+    }
+    None
+}
+
+impl SchedPolicy for Cfs {
+    fn name(&self) -> &'static str {
+        "CFS"
+    }
+
+    fn select_core_fork(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        _task: TaskId,
+        parent_core: CoreId,
+    ) -> Placement {
+        let core = select_fork(k, env, parent_core, false);
+        Placement::simple(core, PlacementPath::CfsFork)
+    }
+
+    fn select_core_wakeup(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        waker_core: CoreId,
+    ) -> Placement {
+        let core = select_wakeup(k, env, task, waker_core, &self.params, false, false);
+        Placement::simple(core, PlacementPath::CfsWakeup)
+    }
+
+    fn on_core_idle(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+        _reason: IdleReason,
+    ) -> IdleAction {
+        IdleAction {
+            pull_from: newidle_pull_source(k, env, core),
+            spin_ticks: 0,
+        }
+    }
+
+    fn on_tick(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+    ) -> Option<CoreId> {
+        periodic_pull_source(k, env, core, &self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    use nest_freq::{
+        FreqModel,
+        Governor,
+    };
+    use nest_simcore::{
+        SimRng,
+        Time,
+    };
+    use nest_topology::{
+        presets,
+        Topology,
+    };
+
+    struct Fixture {
+        k: KernelState,
+        topo: Rc<Topology>,
+        freq: FreqModel,
+        rng: SimRng,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let spec = presets::xeon_6130(2);
+            let topo = Rc::new(Topology::new(spec.clone()));
+            Fixture {
+                k: KernelState::new(Rc::clone(&topo)),
+                freq: FreqModel::new(&spec, Governor::Schedutil),
+                topo,
+                rng: SimRng::new(1),
+            }
+        }
+
+        fn env(&mut self, now: Time) -> SchedEnv<'_> {
+            SchedEnv {
+                now,
+                topo: &self.topo,
+                freq: &self.freq,
+                rng: &mut self.rng,
+            }
+        }
+
+        fn spawn(&mut self, now: Time) -> TaskId {
+            let id = TaskId::from_index(self.k.tasks.len());
+            self.k.register_task(id, now);
+            id
+        }
+
+        /// Puts a task running on `core`.
+        fn occupy(&mut self, now: Time, core: CoreId) -> TaskId {
+            let t = self.spawn(now);
+            self.k.enqueue(now, t, core);
+            self.k.pick_next(now, core);
+            t
+        }
+    }
+
+    #[test]
+    fn fork_on_empty_machine_prefers_local_socket() {
+        let mut f = Fixture::new();
+        let t = f.spawn(Time::ZERO);
+        let mut env = SchedEnv {
+            now: Time::ZERO,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let mut cfs = Cfs::new();
+        let p = cfs.select_core_fork(&mut f.k, &mut env, t, CoreId(40));
+        assert_eq!(env.topo.socket_of(p.core).index(), 1);
+        assert_eq!(p.path, PlacementPath::CfsFork);
+    }
+
+    #[test]
+    fn fork_prefers_long_idle_over_recently_used() {
+        let mut f = Fixture::new();
+        // Run a task on core 1 for a while, then free it: core 1 keeps
+        // residual load.
+        let t0 = Time::ZERO;
+        f.occupy(t0, CoreId(1));
+        let t1 = Time::from_millis(64);
+        f.k.put_curr(t1, CoreId(1));
+        f.k.invalidate_socket_stats();
+        let forker = f.occupy(t1, CoreId(0));
+        let _ = forker;
+        let child = f.spawn(t1);
+        let mut env = SchedEnv {
+            now: t1,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let core = {
+            let mut cfs = Cfs::new();
+            cfs.select_core_fork(&mut f.k, &mut env, child, CoreId(0)).core
+        };
+        // Core 1 was just used (still warm); CFS skips it for a colder one.
+        assert_ne!(core, CoreId(1), "CFS should disfavor the warm core");
+        assert_ne!(core, CoreId(0), "parent core is busy");
+    }
+
+    #[test]
+    fn fork_stale_stats_keep_choosing_local_socket() {
+        let mut f = Fixture::new();
+        let t0 = Time::ZERO;
+        // Prime the cache.
+        f.k.socket_stats(t0);
+        // Fill socket 0 entirely (32 threads busy).
+        for c in 0..32 {
+            f.occupy(t0, CoreId(c));
+        }
+        let child = f.spawn(t0);
+        let mut env = SchedEnv {
+            now: t0 + 100_000, // within the 1 ms staleness window
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let mut cfs = Cfs::new();
+        let p = cfs.select_core_fork(&mut f.k, &mut env, child, CoreId(0));
+        // The stale cache still sees socket 0 as idle as socket 1, so the
+        // local socket wins the tie despite being full.
+        assert_eq!(env.topo.socket_of(p.core).index(), 0);
+    }
+
+    #[test]
+    fn wakeup_prefers_previous_core_when_idle() {
+        let mut f = Fixture::new();
+        let t0 = Time::ZERO;
+        let t = f.spawn(t0);
+        f.k.task_mut(t).prev_core = Some(CoreId(7));
+        let mut env = SchedEnv {
+            now: t0,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let mut cfs = Cfs::new();
+        let p = cfs.select_core_wakeup(&mut f.k, &mut env, t, CoreId(0));
+        assert_eq!(p.core, CoreId(7));
+    }
+
+    #[test]
+    fn wakeup_is_not_work_conserving_across_dies() {
+        let mut f = Fixture::new();
+        let t0 = Time::ZERO;
+        // Fill socket 0 completely; socket 1 fully idle.
+        for c in 0..32 {
+            f.occupy(t0, CoreId(c));
+        }
+        let t = f.spawn(t0);
+        f.k.task_mut(t).prev_core = Some(CoreId(5));
+        let params = CfsParams::default();
+        let mut env = SchedEnv {
+            now: t0,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        // Plain CFS with the waker on the same (full) die: stays there.
+        let core = select_wakeup(&mut f.k, &mut env, t, CoreId(6), &params, false, false);
+        assert_eq!(env.topo.socket_of(core).index(), 0, "CFS stacked the task");
+        // Work-conserving extension escapes to socket 1.
+        let core = select_wakeup(&mut f.k, &mut env, t, CoreId(6), &params, true, false);
+        assert_eq!(env.topo.socket_of(core).index(), 1);
+    }
+
+    #[test]
+    fn wakeup_prefers_fully_idle_smt_pair() {
+        let mut f = Fixture::new();
+        let t0 = Time::ZERO;
+        // Occupy prev core 0 and thread 17 (sibling of 1), leaving core 1
+        // half-busy and core 2 fully idle.
+        f.occupy(t0, CoreId(0));
+        f.occupy(t0, CoreId(17));
+        let t = f.spawn(t0);
+        f.k.task_mut(t).prev_core = Some(CoreId(0));
+        let params = CfsParams::default();
+        let mut env = SchedEnv {
+            now: t0,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let core = select_wakeup(&mut f.k, &mut env, t, CoreId(0), &params, false, false);
+        assert_eq!(core, CoreId(2), "expected the fully idle pair after 0/1");
+    }
+
+    #[test]
+    fn wakeup_respect_pending_skips_reserved_core() {
+        let mut f = Fixture::new();
+        let t0 = Time::ZERO;
+        let t = f.spawn(t0);
+        f.k.task_mut(t).prev_core = Some(CoreId(3));
+        f.k.begin_placement(CoreId(3));
+        let params = CfsParams::default();
+        let mut env = SchedEnv {
+            now: t0,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        // CFS happily collides with the pending placement...
+        let c = select_wakeup(&mut f.k, &mut env, t, CoreId(3), &params, false, false);
+        assert_eq!(c, CoreId(3));
+        // ...the reservation-aware path does not.
+        let c = select_wakeup(&mut f.k, &mut env, t, CoreId(3), &params, false, true);
+        assert_ne!(c, CoreId(3));
+    }
+
+    #[test]
+    fn newidle_pulls_from_same_die_busiest() {
+        let mut f = Fixture::new();
+        let t0 = Time::ZERO;
+        // Core 4 has a running task and two queued.
+        f.occupy(t0, CoreId(4));
+        let q1 = f.spawn(t0);
+        let q2 = f.spawn(t0);
+        f.k.enqueue(t0, q1, CoreId(4));
+        f.k.enqueue(t0, q2, CoreId(4));
+        let mut env = SchedEnv {
+            now: t0,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let src = newidle_pull_source(&mut f.k, &mut env, CoreId(9));
+        assert_eq!(src, Some(CoreId(4)));
+        // A core on the other socket does not see it via newidle.
+        let src = newidle_pull_source(&mut f.k, &mut env, CoreId(40));
+        assert_eq!(src, None);
+    }
+
+    #[test]
+    fn periodic_pull_reaches_across_sockets() {
+        let mut f = Fixture::new();
+        let t0 = Time::from_millis(0);
+        f.occupy(t0, CoreId(4));
+        let q = f.spawn(t0);
+        f.k.enqueue(t0, q, CoreId(4));
+        let params = CfsParams::default();
+        // Pick a tick where (tick + core) % numa_balance_ticks == 0.
+        let now = Time::from_millis(4 * 24); // tick 24; core 40: 64 % 8 == 0
+        let mut env = SchedEnv {
+            now,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let src = periodic_pull_source(&mut f.k, &mut env, CoreId(40), &params);
+        assert_eq!(src, Some(CoreId(4)));
+    }
+}

@@ -1,0 +1,583 @@
+//! Shared scheduler state: runqueues, task accounting, vruntime.
+//!
+//! [`KernelState`] is the part of the scheduler every policy shares — the
+//! analogue of the core CFS machinery that Nest leaves untouched
+//! (vruntime-ordered runqueues, PELT averages, min-vruntime placement,
+//! preemption checks). Policies (CFS, Nest, Smove) only differ in *core
+//! selection*, exactly as the paper describes: "Most of the implementation
+//! of Nest amounts to a single block of code placed in front of the core
+//! selection function of CFS" (§7).
+//!
+//! Placement is two-phase, mirroring Linux: a core is *selected* first and
+//! the task is *enqueued* after a short delay. The count of in-flight
+//! placements per core ([`CoreK::pending`]) is the substrate for the
+//! paper's §3.4 collision discussion — CFS ignores it (and collides), Nest
+//! checks it with compare-and-swap semantics.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use nest_simcore::{
+    CoreId,
+    TaskId,
+    Time,
+};
+use nest_topology::Topology;
+
+use crate::pelt::Pelt;
+
+/// Target scheduling slice before tick preemption, in nanoseconds.
+pub const SLICE_NS: u64 = 4_000_000;
+
+/// Wakeup preemption granularity in vruntime nanoseconds.
+pub const WAKEUP_GRANULARITY_NS: u64 = 1_000_000;
+
+/// Sleeper credit: a newly enqueued task's vruntime is clamped to
+/// `min_vruntime - SLICE_NS` so sleepers get a small scheduling boost
+/// without starving the queue.
+const SLEEPER_CREDIT_NS: u64 = SLICE_NS;
+
+/// Per-task scheduler state.
+#[derive(Clone, Debug)]
+pub struct TaskSched {
+    /// Weighted runtime; the runqueue sort key.
+    pub vruntime: u64,
+    /// The task's own PELT utilization.
+    pub util: Pelt,
+    /// Core of the previous execution.
+    pub prev_core: Option<CoreId>,
+    /// Core of the execution before that; `prev == prev_prev` means the
+    /// task is *attached* to that core (Nest §3.3).
+    pub prev_prev_core: Option<CoreId>,
+    /// Consecutive wakeups that found the previous core busy (Nest §3.1).
+    pub impatience: u32,
+}
+
+/// Utilization a newly forked task starts with. Linux initializes new
+/// entities from the parent/cpu average (`post_init_entity_util_avg`);
+/// a moderate value makes `schedutil` request a mid-range frequency for
+/// fresh tasks until their own history builds up.
+pub const NEW_TASK_UTIL: f64 = 0.75;
+
+impl TaskSched {
+    fn new(now: Time) -> TaskSched {
+        TaskSched {
+            vruntime: 0,
+            util: Pelt::with_initial(now, NEW_TASK_UTIL),
+            prev_core: None,
+            prev_prev_core: None,
+            impatience: 0,
+        }
+    }
+
+    /// Returns the core this task is attached to, if its last two
+    /// executions used the same core (history of size 2, §3.3).
+    pub fn attached_core(&self) -> Option<CoreId> {
+        match (self.prev_core, self.prev_prev_core) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Records that an execution on `core` ended, shifting the history.
+    pub fn push_core_history(&mut self, core: CoreId) {
+        self.prev_prev_core = self.prev_core;
+        self.prev_core = Some(core);
+    }
+}
+
+/// Per-core runqueue state.
+#[derive(Clone, Debug)]
+pub struct CoreK {
+    /// The running task, if any.
+    pub curr: Option<TaskId>,
+    /// Queued runnable tasks ordered by `(vruntime, id)`.
+    pub rq: BTreeSet<(u64, TaskId)>,
+    /// PELT average of "something was running here" — the core's
+    /// utilization, feeding both CFS load comparisons and `schedutil`.
+    pub util: Pelt,
+    /// Monotonic floor for vruntime placement.
+    pub min_vruntime: u64,
+    /// In-flight placements: selected for this core, not yet enqueued.
+    pub pending: u32,
+    /// Last time a task ran on, or was enqueued on, this core.
+    pub last_used: Time,
+    /// When the current task started its stint.
+    pub curr_started: Time,
+}
+
+impl CoreK {
+    fn new(now: Time) -> CoreK {
+        CoreK {
+            curr: None,
+            rq: BTreeSet::new(),
+            util: Pelt::new(now),
+            min_vruntime: 0,
+            pending: 0,
+            last_used: now,
+            curr_started: now,
+        }
+    }
+
+    /// Number of runnable tasks on this core (running + queued).
+    pub fn nr_running(&self) -> usize {
+        self.rq.len() + usize::from(self.curr.is_some())
+    }
+
+    /// `true` if nothing is running or queued here. Pending placements do
+    /// **not** make a core non-idle: that is the §3.4 race window.
+    pub fn is_idle(&self) -> bool {
+        self.curr.is_none() && self.rq.is_empty()
+    }
+}
+
+/// Cached per-socket statistics used by CFS's top-level fork descent.
+///
+/// Linux recomputes group statistics from per-core data that is itself
+/// updated periodically; between refreshes the view is stale, which is why
+/// rapid fork storms on large machines can stack tasks (§5.4, Lepers et
+/// al.). The cache refresh interval models that staleness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SocketStats {
+    /// Idle cores in the socket at the last refresh.
+    pub idle: usize,
+    /// Sum of core loads at the last refresh.
+    pub load: f64,
+}
+
+/// How often the socket-stats cache refreshes, in nanoseconds.
+pub const GROUP_STATS_REFRESH_NS: u64 = 250_000;
+
+/// The shared scheduler state.
+pub struct KernelState {
+    /// The machine topology.
+    pub topo: Rc<Topology>,
+    /// Per-core state, indexed by core id.
+    pub cores: Vec<CoreK>,
+    /// Per-task state, indexed by task id.
+    pub tasks: Vec<TaskSched>,
+    socket_cache: Vec<SocketStats>,
+    socket_cache_at: Option<Time>,
+}
+
+impl KernelState {
+    /// Creates the state for a machine with all cores idle.
+    pub fn new(topo: Rc<Topology>) -> KernelState {
+        let n = topo.n_cores();
+        KernelState {
+            cores: (0..n).map(|_| CoreK::new(Time::ZERO)).collect(),
+            tasks: Vec::new(),
+            socket_cache: vec![SocketStats::default(); topo.n_sockets()],
+            socket_cache_at: None,
+            topo,
+        }
+    }
+
+    /// Registers a task id (ids are dense and allocated by the engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are registered out of order.
+    pub fn register_task(&mut self, task: TaskId, now: Time) {
+        assert_eq!(task.index(), self.tasks.len(), "task ids must be dense");
+        self.tasks.push(TaskSched::new(now));
+    }
+
+    /// Returns the per-task state.
+    pub fn task(&self, task: TaskId) -> &TaskSched {
+        &self.tasks[task.index()]
+    }
+
+    /// Returns the per-task state mutably.
+    pub fn task_mut(&mut self, task: TaskId) -> &mut TaskSched {
+        &mut self.tasks[task.index()]
+    }
+
+    /// Returns the per-core state.
+    pub fn core(&self, core: CoreId) -> &CoreK {
+        &self.cores[core.index()]
+    }
+
+    /// Core load as CFS compares it: the decaying utilization plus the
+    /// runnable count. A long-idle core scores ~0; a recently vacated one
+    /// keeps a residual — making CFS prefer the long-idle (cold) core.
+    pub fn core_load(&self, now: Time, core: CoreId) -> f64 {
+        let c = &self.cores[core.index()];
+        c.util.value(now) + c.nr_running() as f64
+    }
+
+    /// Marks the start of a placement targeting `core`.
+    pub fn begin_placement(&mut self, core: CoreId) {
+        self.cores[core.index()].pending += 1;
+    }
+
+    /// Abandons a pending placement (e.g. an Smove timer re-route).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no placement was pending.
+    pub fn cancel_placement(&mut self, core: CoreId) {
+        let c = &mut self.cores[core.index()];
+        assert!(c.pending > 0, "no pending placement on {core}");
+        c.pending -= 1;
+    }
+
+    /// Commits a placement: enqueues `task` on `core`.
+    ///
+    /// Returns `true` if the newly enqueued task should preempt the
+    /// running task (wakeup preemption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no placement was pending on `core`.
+    pub fn commit_placement(&mut self, now: Time, task: TaskId, core: CoreId) -> bool {
+        self.cancel_placement(core);
+        self.enqueue(now, task, core)
+    }
+
+    /// Enqueues `task` on `core` (no pending bookkeeping); returns the
+    /// wakeup-preemption decision.
+    pub fn enqueue(&mut self, now: Time, task: TaskId, core: CoreId) -> bool {
+        let min_vr = self.cores[core.index()].min_vruntime;
+        let t = &mut self.tasks[task.index()];
+        t.vruntime = t.vruntime.max(min_vr.saturating_sub(SLEEPER_CREDIT_NS));
+        let vr = t.vruntime;
+        let c = &mut self.cores[core.index()];
+        let inserted = c.rq.insert((vr, task));
+        assert!(inserted, "task {task} already queued on {core}");
+        c.last_used = now;
+        c.util.set_running(now, true);
+        match c.curr {
+            Some(curr) => {
+                let curr_vr = self.tasks[curr.index()].vruntime;
+                curr_vr > vr + WAKEUP_GRANULARITY_NS
+            }
+            None => true,
+        }
+    }
+
+    /// Accounts the running task's progress up to `now` (vruntime and
+    /// PELT), without descheduling it.
+    pub fn clock_curr(&mut self, now: Time, core: CoreId) {
+        let c = &mut self.cores[core.index()];
+        if let Some(curr) = c.curr {
+            let ran = now.saturating_since(c.curr_started);
+            if ran > 0 {
+                let t = &mut self.tasks[curr.index()];
+                t.vruntime += ran;
+                c.curr_started = now;
+                c.min_vruntime = c.min_vruntime.max(t.vruntime);
+                c.last_used = now;
+            }
+        }
+        c.util.update(now);
+    }
+
+    /// Removes the running task from the core (block, exit, migration or
+    /// preemption hand-off), recording core history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is running on `core`.
+    pub fn put_curr(&mut self, now: Time, core: CoreId) -> TaskId {
+        self.clock_curr(now, core);
+        let c = &mut self.cores[core.index()];
+        let task = c.curr.take().expect("no current task");
+        self.tasks[task.index()].util.set_running(now, false);
+        self.tasks[task.index()].push_core_history(core);
+        let c = &mut self.cores[core.index()];
+        if c.rq.is_empty() && c.curr.is_none() {
+            c.util.set_running(now, false);
+        }
+        task
+    }
+
+    /// Re-queues a preempted task on its own core (it remains runnable).
+    pub fn requeue(&mut self, now: Time, task: TaskId, core: CoreId) {
+        let vr = self.tasks[task.index()].vruntime;
+        let c = &mut self.cores[core.index()];
+        let inserted = c.rq.insert((vr, task));
+        assert!(inserted, "task {task} already queued on {core}");
+        c.util.set_running(now, true);
+    }
+
+    /// Picks the next task to run on `core` (lowest vruntime), if any.
+    pub fn pick_next(&mut self, now: Time, core: CoreId) -> Option<TaskId> {
+        let c = &mut self.cores[core.index()];
+        assert!(c.curr.is_none(), "pick_next with a task still running");
+        let first = c.rq.iter().next().copied()?;
+        c.rq.remove(&first);
+        let (vr, task) = first;
+        c.curr = Some(task);
+        c.curr_started = now;
+        c.min_vruntime = c.min_vruntime.max(vr);
+        c.last_used = now;
+        c.util.set_running(now, true);
+        self.tasks[task.index()].util.set_running(now, true);
+        Some(task)
+    }
+
+    /// `true` if the tick should preempt the running task: something is
+    /// waiting and the current task has consumed its slice.
+    pub fn tick_preempt_due(&self, now: Time, core: CoreId) -> bool {
+        let c = &self.cores[core.index()];
+        c.curr.is_some() && !c.rq.is_empty() && now.saturating_since(c.curr_started) >= SLICE_NS
+    }
+
+    /// Removes a specific queued (not running) task from `core`'s
+    /// runqueue; `true` if it was there. Used by Smove's migration timer.
+    pub fn remove_queued(&mut self, task: TaskId, core: CoreId) -> bool {
+        let vr = self.tasks[task.index()].vruntime;
+        self.cores[core.index()].rq.remove(&(vr, task))
+    }
+
+    /// Steals the queued task with the highest vruntime from `core`
+    /// (load balancing never migrates the running task).
+    pub fn steal_queued(&mut self, core: CoreId) -> Option<TaskId> {
+        let c = &mut self.cores[core.index()];
+        let last = c.rq.iter().next_back().copied()?;
+        c.rq.remove(&last);
+        Some(last.1)
+    }
+
+    /// Returns per-socket statistics, refreshed at most every
+    /// [`GROUP_STATS_REFRESH_NS`]. The staleness is intentional (see type
+    /// docs).
+    pub fn socket_stats(&mut self, now: Time) -> &[SocketStats] {
+        let fresh = matches!(self.socket_cache_at, Some(at) if now.saturating_since(at) < GROUP_STATS_REFRESH_NS);
+        if !fresh {
+            let topo = Rc::clone(&self.topo);
+            for s in topo.sockets() {
+                let span = topo.socket_span(s);
+                let mut idle = 0;
+                let mut load = 0.0;
+                for core in span.iter() {
+                    if self.cores[core.index()].is_idle() {
+                        idle += 1;
+                    }
+                    load += self.core_load(now, core);
+                }
+                self.socket_cache[s.index()] = SocketStats { idle, load };
+            }
+            self.socket_cache_at = Some(now);
+        }
+        &self.socket_cache
+    }
+
+    /// Forces the socket-stats cache to refresh on next read; tests use
+    /// this to bypass staleness.
+    pub fn invalidate_socket_stats(&mut self) {
+        self.socket_cache_at = None;
+    }
+
+    /// Returns the busiest core in `set` by queued-task count, if any has
+    /// at least `min_queued` tasks waiting.
+    pub fn busiest_core_in(
+        &self,
+        set: &nest_topology::CpuSet,
+        min_queued: usize,
+    ) -> Option<CoreId> {
+        let mut best: Option<(usize, CoreId)> = None;
+        for core in set.iter() {
+            let q = self.cores[core.index()].rq.len();
+            if q >= min_queued && best.map_or(true, |(bq, _)| q > bq) {
+                best = Some((q, core));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_topology::presets;
+
+    fn kernel() -> KernelState {
+        KernelState::new(Rc::new(Topology::new(presets::xeon_6130(2))))
+    }
+
+    fn new_task(k: &mut KernelState, now: Time) -> TaskId {
+        let id = TaskId::from_index(k.tasks.len());
+        k.register_task(id, now);
+        id
+    }
+
+    #[test]
+    fn enqueue_pick_run_cycle() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let task = new_task(&mut k, t0);
+        let core = CoreId(3);
+        k.begin_placement(core);
+        assert_eq!(k.core(core).pending, 1);
+        let preempt = k.commit_placement(t0, task, core);
+        assert!(preempt, "idle core always 'preempts'");
+        assert_eq!(k.core(core).pending, 0);
+        assert_eq!(k.core(core).nr_running(), 1);
+        assert!(!k.core(core).is_idle());
+
+        let picked = k.pick_next(t0, core).unwrap();
+        assert_eq!(picked, task);
+        assert_eq!(k.core(core).curr, Some(task));
+
+        let t1 = Time::from_millis(2);
+        let put = k.put_curr(t1, core);
+        assert_eq!(put, task);
+        assert!(k.core(core).is_idle());
+        assert_eq!(k.task(task).vruntime, 2_000_000);
+        assert_eq!(k.task(task).prev_core, Some(core));
+    }
+
+    #[test]
+    fn rq_orders_by_vruntime() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let a = new_task(&mut k, t0);
+        let b = new_task(&mut k, t0);
+        let core = CoreId(0);
+        k.tasks[a.index()].vruntime = 100;
+        k.tasks[b.index()].vruntime = 50;
+        k.enqueue(t0, a, core);
+        k.enqueue(t0, b, core);
+        assert_eq!(k.pick_next(t0, core), Some(b));
+    }
+
+    #[test]
+    fn sleeper_credit_bounds_vruntime() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let core = CoreId(0);
+        let a = new_task(&mut k, t0);
+        k.cores[core.index()].min_vruntime = 100_000_000;
+        k.enqueue(t0, a, core);
+        assert_eq!(k.task(a).vruntime, 100_000_000 - SLICE_NS);
+    }
+
+    #[test]
+    fn wakeup_preemption_decision() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let core = CoreId(0);
+        let running = new_task(&mut k, t0);
+        k.tasks[running.index()].vruntime = 10_000_000;
+        k.enqueue(t0, running, core);
+        k.pick_next(t0, core);
+        // A much "younger" task preempts...
+        let young = new_task(&mut k, t0);
+        k.tasks[young.index()].vruntime = 1_000_000;
+        assert!(k.enqueue(t0, young, core));
+        // ...but a near-equal one does not.
+        let close = new_task(&mut k, t0);
+        k.tasks[close.index()].vruntime = 9_800_000;
+        assert!(!k.enqueue(t0, close, core));
+    }
+
+    #[test]
+    fn tick_preempt_requires_waiters_and_elapsed_slice() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let core = CoreId(0);
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, core);
+        k.pick_next(t0, core);
+        assert!(!k.tick_preempt_due(Time::from_millis(10), core), "no waiter");
+        let b = new_task(&mut k, t0);
+        k.enqueue(t0, b, core);
+        assert!(!k.tick_preempt_due(Time::from_millis(3), core), "slice not used");
+        assert!(k.tick_preempt_due(Time::from_millis(4), core));
+    }
+
+    #[test]
+    fn attachment_semantics() {
+        let mut k = kernel();
+        let t = new_task(&mut k, Time::ZERO);
+        let ts = k.task_mut(t);
+        // Never ran: no attachment.
+        assert_eq!(ts.attached_core(), None);
+        // Ran once on core 5: not yet attached (history of 2 required).
+        ts.push_core_history(CoreId(5));
+        assert_eq!(ts.attached_core(), None);
+        // Ran there twice: attached.
+        ts.push_core_history(CoreId(5));
+        assert_eq!(ts.attached_core(), Some(CoreId(5)));
+        // Migrated: attachment broken until the history re-stabilizes.
+        ts.push_core_history(CoreId(6));
+        assert_eq!(ts.attached_core(), None);
+        ts.push_core_history(CoreId(6));
+        assert_eq!(ts.attached_core(), Some(CoreId(6)));
+    }
+
+    #[test]
+    fn core_load_decays_after_use() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let core = CoreId(0);
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, core);
+        k.pick_next(t0, core);
+        let t1 = Time::from_millis(64);
+        k.put_curr(t1, core);
+        let just_after = k.core_load(t1, core);
+        assert!(just_after > 0.5, "{just_after}");
+        let much_later = k.core_load(t1 + 320 * 1_000_000, core);
+        assert!(much_later < 0.01, "{much_later}");
+    }
+
+    #[test]
+    fn steal_takes_highest_vruntime() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let core = CoreId(0);
+        let a = new_task(&mut k, t0);
+        let b = new_task(&mut k, t0);
+        k.tasks[a.index()].vruntime = 10;
+        k.tasks[b.index()].vruntime = 20;
+        k.enqueue(t0, a, core);
+        k.enqueue(t0, b, core);
+        assert_eq!(k.steal_queued(core), Some(b));
+        assert_eq!(k.steal_queued(core), Some(a));
+        assert_eq!(k.steal_queued(core), None);
+    }
+
+    #[test]
+    fn socket_stats_are_stale_between_refreshes() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let stats = k.socket_stats(t0);
+        assert_eq!(stats[0].idle, 32);
+        // Occupy a core; within the refresh window the cache still claims
+        // 32 idle cores.
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, CoreId(0));
+        k.pick_next(t0, CoreId(0));
+        let stats = k.socket_stats(t0 + 100_000);
+        assert_eq!(stats[0].idle, 32, "stale view expected");
+        let stats = k.socket_stats(t0 + GROUP_STATS_REFRESH_NS);
+        assert_eq!(stats[0].idle, 31, "refreshed view expected");
+    }
+
+    #[test]
+    fn busiest_core_respects_min_queued() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let a = new_task(&mut k, t0);
+        let b = new_task(&mut k, t0);
+        let c = new_task(&mut k, t0);
+        k.enqueue(t0, a, CoreId(4));
+        k.enqueue(t0, b, CoreId(4));
+        k.enqueue(t0, c, CoreId(9));
+        let all = k.topo.all_cores().clone();
+        assert_eq!(k.busiest_core_in(&all, 2), Some(CoreId(4)));
+        assert_eq!(k.busiest_core_in(&all, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn double_enqueue_panics() {
+        let mut k = kernel();
+        let a = new_task(&mut k, Time::ZERO);
+        k.enqueue(Time::ZERO, a, CoreId(0));
+        k.enqueue(Time::ZERO, a, CoreId(0));
+    }
+}

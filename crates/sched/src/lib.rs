@@ -1,0 +1,39 @@
+//! Scheduler policies for the Nest simulation.
+//!
+//! The shared machinery ([`kernel::KernelState`]: vruntime runqueues, PELT
+//! averages, preemption, load balancing substrate) is used by three
+//! policies that differ only in core selection, exactly as in the paper:
+//!
+//! * [`cfs::Cfs`] — the Linux v5.9 baseline (§2.1);
+//! * [`nest::Nest`] — the paper's contribution (§3-§4);
+//! * [`smove::Smove`] — the frequency-inversion baseline (§2.2).
+
+pub mod cfs;
+pub mod kernel;
+pub mod nest;
+pub mod pelt;
+pub mod policy;
+pub mod smove;
+
+pub use cfs::{
+    Cfs,
+    CfsParams,
+};
+pub use kernel::KernelState;
+pub use nest::{
+    Nest,
+    NestParams,
+};
+pub use pelt::Pelt;
+pub use policy::{
+    IdleAction,
+    IdleReason,
+    Placement,
+    SchedEnv,
+    SchedPolicy,
+    SmoveArm,
+};
+pub use smove::{
+    Smove,
+    SmoveParams,
+};

@@ -1,0 +1,690 @@
+//! The Nest scheduling policy (§3, §4 of the paper).
+//!
+//! Nest maintains two CPU sets: the **primary nest** (cores in use or
+//! recently used, expected to be warm) and the **reserve nest** (cores that
+//! left the primary nest, or that CFS chose recently and that have not yet
+//! proved their necessity). Core selection searches the primary nest, then
+//! the reserve nest, then falls back to CFS — a "block of code placed in
+//! front of the core selection function of CFS" (§7).
+//!
+//! Movements between the nests (Figure 1):
+//! * reserve hit → promoted to primary;
+//! * CFS fallback → chosen core joins the reserve (if it has room);
+//! * primary core unused for `P_remove` ticks → demoted to reserve (or
+//!   discarded if full) as soon as a task tries to use it (compaction);
+//! * task exits leaving its core idle → immediate demotion to reserve;
+//! * impatient task (previous core busy more than `R_impatient` times in a
+//!   row) skips the primary search and its chosen core joins the primary
+//!   nest directly, growing it.
+//!
+//! Each mechanism has a feature flag so the §5.2/§5.3 ablation studies can
+//! disable it.
+
+use nest_simcore::{
+    CoreId,
+    PlacementPath,
+    TaskId,
+    TICK_NS,
+};
+use nest_topology::CpuSet;
+
+use crate::cfs::{
+    self,
+    idle_ok,
+    CfsParams,
+};
+use crate::kernel::KernelState;
+use crate::policy::{
+    IdleAction,
+    IdleReason,
+    Placement,
+    SchedEnv,
+    SchedPolicy,
+};
+
+/// Nest tunables (paper Table 1) and ablation feature flags.
+#[derive(Clone, Debug)]
+pub struct NestParams {
+    /// Ticks an idle primary-nest core may stay unused before it becomes
+    /// eligible for compaction (Table 1: 2 ticks = 8 ms).
+    pub p_remove_ticks: u64,
+    /// Maximum size of the reserve nest (Table 1: 5).
+    pub r_max: usize,
+    /// Consecutive busy-previous-core wakeups tolerated before a task is
+    /// labeled impatient (Table 1: 2).
+    pub r_impatient: u32,
+    /// Maximum idle-spin duration in ticks (Table 1: 2).
+    pub s_max_ticks: u32,
+    /// Core from which reserve-nest searches start (the core where the
+    /// Nest "system call" ran, §3.1); fixed to reduce dispersal.
+    pub anchor_core: CoreId,
+    /// Ablation: use the reserve nest at all.
+    pub enable_reserve: bool,
+    /// Ablation: apply nest compaction.
+    pub enable_compaction: bool,
+    /// Ablation: spin on newly idle cores.
+    pub enable_spin: bool,
+    /// Ablation: favor the attached core (history of 2, §3.3).
+    pub enable_attachment: bool,
+    /// Ablation: extend CFS wakeup search to all dies (§3.4).
+    pub enable_wakeup_work_conservation: bool,
+    /// Ablation: the compare-and-swap placement reservation flag (§3.4).
+    pub enable_reservation_flag: bool,
+}
+
+impl Default for NestParams {
+    fn default() -> NestParams {
+        NestParams {
+            p_remove_ticks: 2,
+            r_max: 5,
+            r_impatient: 2,
+            s_max_ticks: 2,
+            anchor_core: CoreId(0),
+            enable_reserve: true,
+            enable_compaction: true,
+            enable_spin: true,
+            enable_attachment: true,
+            enable_wakeup_work_conservation: true,
+            enable_reservation_flag: true,
+        }
+    }
+}
+
+/// The Nest policy.
+pub struct Nest {
+    params: NestParams,
+    cfs_params: CfsParams,
+    primary: CpuSet,
+    reserve: CpuSet,
+}
+
+impl Nest {
+    /// Creates Nest with the paper's Table 1 parameters.
+    pub fn new(n_cores: usize) -> Nest {
+        Nest::with_params(n_cores, NestParams::default())
+    }
+
+    /// Creates Nest with explicit parameters.
+    pub fn with_params(n_cores: usize, params: NestParams) -> Nest {
+        Nest {
+            params,
+            cfs_params: CfsParams::default(),
+            primary: CpuSet::new(n_cores),
+            reserve: CpuSet::new(n_cores),
+        }
+    }
+
+    /// Returns the current primary nest (for tests and metrics).
+    pub fn primary(&self) -> &CpuSet {
+        &self.primary
+    }
+
+    /// Returns the current reserve nest (for tests and metrics).
+    pub fn reserve(&self) -> &CpuSet {
+        &self.reserve
+    }
+
+    /// Returns the parameters.
+    pub fn params(&self) -> &NestParams {
+        &self.params
+    }
+
+    fn respect_pending(&self) -> bool {
+        self.params.enable_reservation_flag
+    }
+
+    /// Demotes a primary core to the reserve, or discards it if the
+    /// reserve is full (or disabled).
+    fn demote(&mut self, core: CoreId) {
+        if self.primary.remove(core)
+            && self.params.enable_reserve
+            && self.reserve.len() < self.params.r_max
+        {
+            self.reserve.insert(core);
+        }
+    }
+
+    /// Promotes a core into the primary nest, removing it from the
+    /// reserve if present.
+    fn promote(&mut self, core: CoreId) {
+        self.reserve.remove(core);
+        self.primary.insert(core);
+    }
+
+    /// `true` if an idle primary core has been unused long enough for
+    /// compaction (§3.1).
+    fn compaction_eligible(&self, k: &KernelState, env: &SchedEnv<'_>, core: CoreId) -> bool {
+        self.params.enable_compaction
+            && k.core(core).is_idle()
+            && env.now.saturating_since(k.core(core).last_used)
+                >= self.params.p_remove_ticks * TICK_NS
+    }
+
+    /// Orders a nest's cores for search: same die as `ref_core` first
+    /// (wrapping from `start`), then the other dies nearest-first.
+    fn search_order(
+        &self,
+        env: &SchedEnv<'_>,
+        nest: &CpuSet,
+        ref_core: CoreId,
+        start: CoreId,
+    ) -> Vec<CoreId> {
+        let mut out = Vec::with_capacity(nest.len());
+        for sock in env.topo.sockets_nearest_first(ref_core) {
+            let span = env.topo.socket_span(sock);
+            for core in span.iter_wrapping_from(start) {
+                if nest.contains(core) {
+                    out.push(core);
+                }
+            }
+        }
+        out
+    }
+
+    /// Searches the primary nest, applying lazy compaction.
+    fn search_primary(
+        &mut self,
+        k: &KernelState,
+        env: &SchedEnv<'_>,
+        ref_core: CoreId,
+    ) -> Option<CoreId> {
+        let respect = self.respect_pending();
+        for core in self.search_order(env, &self.primary.clone(), ref_core, ref_core) {
+            if self.compaction_eligible(k, env, core) {
+                // A task tried to use a stale core: demote it instead.
+                self.demote(core);
+                continue;
+            }
+            if idle_ok(k, core, respect) {
+                return Some(core);
+            }
+        }
+        None
+    }
+
+    /// Searches the reserve nest, starting from the fixed anchor.
+    fn search_reserve(
+        &mut self,
+        k: &KernelState,
+        env: &SchedEnv<'_>,
+        ref_core: CoreId,
+    ) -> Option<CoreId> {
+        if !self.params.enable_reserve {
+            return None;
+        }
+        let respect = self.respect_pending();
+        let anchor = self.params.anchor_core;
+        self.search_order(env, &self.reserve.clone(), ref_core, anchor)
+            .into_iter()
+            .find(|&core| idle_ok(k, core, respect))
+    }
+
+    /// The shared selection path for forks and wakeups.
+    fn select(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        ref_core: CoreId,
+        waker_core: Option<CoreId>,
+    ) -> Placement {
+        let is_fork = waker_core.is_none();
+        let impatient = !is_fork && k.task(task).impatience > self.params.r_impatient;
+
+        if !impatient {
+            // First choice: the attached core, which may even be
+            // reclaimed while compaction-eligible (§3.3).
+            if self.params.enable_attachment && !is_fork {
+                if let Some(att) = k.task(task).attached_core() {
+                    if self.primary.contains(att) && idle_ok(k, att, self.respect_pending()) {
+                        return Placement::simple(att, PlacementPath::NestPrimary);
+                    }
+                }
+            }
+            if let Some(core) = self.search_primary(k, env, ref_core) {
+                return Placement::simple(core, PlacementPath::NestPrimary);
+            }
+        }
+
+        if let Some(core) = self.search_reserve(k, env, ref_core) {
+            self.promote(core);
+            if impatient {
+                k.task_mut(task).impatience = 0;
+            }
+            return Placement::simple(core, PlacementPath::NestReserve);
+        }
+
+        // Fall back to CFS (with Nest's wakeup work-conservation
+        // extension), still honoring the reservation flag.
+        let core = match waker_core {
+            None => cfs::select_fork(k, env, ref_core, self.respect_pending()),
+            Some(waker) => cfs::select_wakeup(
+                k,
+                env,
+                task,
+                waker,
+                &self.cfs_params,
+                self.params.enable_wakeup_work_conservation,
+                self.respect_pending(),
+            ),
+        };
+        if impatient {
+            // Grow the primary nest directly (§3.1).
+            self.promote(core);
+            k.task_mut(task).impatience = 0;
+        } else if !self.primary.contains(core)
+            && !self.reserve.contains(core)
+            && self.params.enable_reserve
+            && self.reserve.len() < self.params.r_max
+        {
+            self.reserve.insert(core);
+        }
+        Placement::simple(core, PlacementPath::NestFallback)
+    }
+}
+
+impl SchedPolicy for Nest {
+    fn name(&self) -> &'static str {
+        "Nest"
+    }
+
+    fn select_core_fork(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        parent_core: CoreId,
+    ) -> Placement {
+        self.select(k, env, task, parent_core, None)
+    }
+
+    fn select_core_wakeup(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        waker_core: CoreId,
+    ) -> Placement {
+        // Impatience accounting: did this wakeup find the previous core
+        // busy?
+        let ref_core = k.task(task).prev_core.unwrap_or(waker_core);
+        if let Some(prev) = k.task(task).prev_core {
+            if idle_ok(k, prev, self.respect_pending()) {
+                k.task_mut(task).impatience = 0;
+            } else {
+                k.task_mut(task).impatience += 1;
+            }
+        }
+        self.select(k, env, task, ref_core, Some(waker_core))
+    }
+
+    fn on_core_idle(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+        reason: IdleReason,
+    ) -> IdleAction {
+        if reason == IdleReason::TaskExited {
+            // The core is no longer considered useful (§3.1).
+            self.demote(core);
+        }
+        let pull_from = cfs::newidle_pull_source(k, env, core);
+        let spin_ticks = if pull_from.is_none()
+            && self.params.enable_spin
+            && reason == IdleReason::TaskBlocked
+        {
+            self.params.s_max_ticks
+        } else {
+            0
+        };
+        IdleAction {
+            pull_from,
+            spin_ticks,
+        }
+    }
+
+    fn on_tick(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+    ) -> Option<CoreId> {
+        cfs::periodic_pull_source(k, env, core, &self.cfs_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    use nest_freq::{
+        FreqModel,
+        Governor,
+    };
+    use nest_simcore::{
+        SimRng,
+        Time,
+    };
+    use nest_topology::{
+        presets,
+        Topology,
+    };
+
+    struct Fixture {
+        k: KernelState,
+        topo: Rc<Topology>,
+        freq: FreqModel,
+        rng: SimRng,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let spec = presets::xeon_6130(2);
+            let topo = Rc::new(Topology::new(spec.clone()));
+            Fixture {
+                k: KernelState::new(Rc::clone(&topo)),
+                freq: FreqModel::new(&spec, Governor::Schedutil),
+                topo,
+                rng: SimRng::new(1),
+            }
+        }
+
+        fn spawn(&mut self, now: Time) -> TaskId {
+            let id = TaskId::from_index(self.k.tasks.len());
+            self.k.register_task(id, now);
+            id
+        }
+
+        fn occupy(&mut self, now: Time, core: CoreId) -> TaskId {
+            let t = self.spawn(now);
+            self.k.enqueue(now, t, core);
+            self.k.pick_next(now, core);
+            t
+        }
+    }
+
+    macro_rules! env {
+        ($f:expr, $now:expr) => {
+            SchedEnv {
+                now: $now,
+                topo: &$f.topo,
+                freq: &$f.freq,
+                rng: &mut $f.rng,
+            }
+        };
+    }
+
+    #[test]
+    fn nests_start_empty_and_stay_disjoint() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        assert!(nest.primary().is_empty());
+        assert!(nest.reserve().is_empty());
+        let t0 = Time::ZERO;
+        // Drive a number of forks and check the invariant.
+        for i in 0..20 {
+            let parent = CoreId(i % 4);
+            let task = f.spawn(t0);
+            let mut e = env!(f, t0);
+            let p = nest.select_core_fork(&mut f.k, &mut e, task, parent);
+            f.k.begin_placement(p.core);
+            f.k.commit_placement(t0, task, p.core);
+            f.k.pick_next(t0, p.core);
+            assert!(
+                nest.primary().is_disjoint(nest.reserve()),
+                "nests overlap after fork {i}"
+            );
+            assert!(nest.reserve().len() <= nest.params().r_max);
+        }
+    }
+
+    #[test]
+    fn cfs_fallback_feeds_reserve_then_promotion() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        let t0 = Time::ZERO;
+        let task = f.spawn(t0);
+        let mut e = env!(f, t0);
+        // Empty nests: first placement must fall back to CFS and the core
+        // joins the reserve.
+        let p = nest.select_core_fork(&mut f.k, &mut e, task, CoreId(0));
+        assert_eq!(p.path, PlacementPath::NestFallback);
+        assert!(nest.reserve().contains(p.core));
+        assert!(!nest.primary().contains(p.core));
+        // The next placement finds it idle in the reserve and promotes it.
+        let task2 = f.spawn(t0);
+        let mut e = env!(f, t0);
+        let p2 = nest.select_core_wakeup(&mut f.k, &mut e, task2, CoreId(0));
+        assert_eq!(p2.core, p.core);
+        assert_eq!(p2.path, PlacementPath::NestReserve);
+        assert!(nest.primary().contains(p.core));
+        assert!(!nest.reserve().contains(p.core));
+    }
+
+    #[test]
+    fn primary_hit_prefers_same_die_and_prev_neighborhood() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        // Seed the primary nest with cores on both sockets.
+        nest.promote(CoreId(2));
+        nest.promote(CoreId(40));
+        let now = Time::ZERO;
+        let task = f.spawn(now);
+        f.k.task_mut(task).push_core_history(CoreId(3));
+        f.k.task_mut(task).push_core_history(CoreId(1));
+        f.occupy(now, CoreId(1));
+        // Touch the cores so they are not compaction-eligible.
+        f.k.cores[2].last_used = now;
+        f.k.cores[40].last_used = now;
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(1));
+        assert_eq!(p.core, CoreId(2), "same-die primary core expected");
+        assert_eq!(p.path, PlacementPath::NestPrimary);
+    }
+
+    #[test]
+    fn attachment_beats_search_order() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        nest.promote(CoreId(2));
+        nest.promote(CoreId(9));
+        let now = Time::ZERO;
+        let task = f.spawn(now);
+        // Task ran twice on core 9: attached.
+        f.k.task_mut(task).push_core_history(CoreId(9));
+        f.k.task_mut(task).push_core_history(CoreId(9));
+        f.k.cores[2].last_used = now;
+        f.k.cores[9].last_used = now;
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(1));
+        assert_eq!(p.core, CoreId(9), "attached core must be first choice");
+    }
+
+    #[test]
+    fn compaction_demotes_stale_primary_core() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        nest.promote(CoreId(5));
+        nest.promote(CoreId(6));
+        // Core 5 unused for 3 ticks (> P_remove = 2); core 6 fresh.
+        let now = Time::from_nanos(3 * TICK_NS);
+        f.k.cores[6].last_used = now;
+        let task = f.spawn(now);
+        // Two different previous cores: no attachment; and occupy core 4
+        // so the search cannot simply return the previous core.
+        f.k.task_mut(task).push_core_history(CoreId(7));
+        f.k.task_mut(task).push_core_history(CoreId(4));
+        f.occupy(now, CoreId(4));
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(4));
+        // The stale core was demoted to the reserve rather than used, and
+        // the search continued to the fresh primary core.
+        assert!(!nest.primary().contains(CoreId(5)));
+        assert!(nest.reserve().contains(CoreId(5)));
+        assert_eq!(p.core, CoreId(6));
+        assert_eq!(p.path, PlacementPath::NestPrimary);
+    }
+
+    #[test]
+    fn compaction_demotion_then_reserve_repromotes_lone_core() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        nest.promote(CoreId(5));
+        let now = Time::from_nanos(3 * TICK_NS);
+        let task = f.spawn(now);
+        f.k.task_mut(task).push_core_history(CoreId(7));
+        f.k.task_mut(task).push_core_history(CoreId(4));
+        f.occupy(now, CoreId(4));
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(4));
+        // The only nest core: demoted by compaction, then immediately
+        // found idle in the reserve and promoted back.
+        assert_eq!(p.core, CoreId(5));
+        assert_eq!(p.path, PlacementPath::NestReserve);
+        assert!(nest.primary().contains(CoreId(5)));
+        assert!(!nest.reserve().contains(CoreId(5)));
+    }
+
+    #[test]
+    fn attached_task_reclaims_compaction_eligible_core() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        nest.promote(CoreId(5));
+        let now = Time::from_nanos(3 * TICK_NS);
+        let task = f.spawn(now);
+        f.k.task_mut(task).push_core_history(CoreId(5));
+        f.k.task_mut(task).push_core_history(CoreId(5));
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(4));
+        assert_eq!(p.core, CoreId(5));
+        assert_eq!(p.path, PlacementPath::NestPrimary);
+        assert!(nest.primary().contains(CoreId(5)), "reclaim keeps it primary");
+    }
+
+    #[test]
+    fn task_exit_demotes_core_immediately() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        nest.promote(CoreId(3));
+        let now = Time::ZERO;
+        let mut e = env!(f, now);
+        nest.on_core_idle(&mut f.k, &mut e, CoreId(3), IdleReason::TaskExited);
+        assert!(!nest.primary().contains(CoreId(3)));
+        assert!(nest.reserve().contains(CoreId(3)));
+    }
+
+    #[test]
+    fn blocked_idle_spins_exited_does_not() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        let now = Time::ZERO;
+        let mut e = env!(f, now);
+        let a = nest.on_core_idle(&mut f.k, &mut e, CoreId(3), IdleReason::TaskBlocked);
+        assert_eq!(a.spin_ticks, 2);
+        let mut e = env!(f, now);
+        let a = nest.on_core_idle(&mut f.k, &mut e, CoreId(3), IdleReason::TaskExited);
+        assert_eq!(a.spin_ticks, 0);
+    }
+
+    #[test]
+    fn impatient_task_skips_primary_and_grows_it() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        let now = Time::ZERO;
+        // Primary nest holds one core, kept busy by another task.
+        nest.promote(CoreId(2));
+        f.occupy(now, CoreId(2));
+        let task = f.spawn(now);
+        f.k.task_mut(task).prev_core = Some(CoreId(2));
+        // Keep waking the task while its previous core is busy; it must
+        // eventually escape the (busy) primary nest via CFS with the core
+        // joining the primary nest directly.
+        let mut grew = false;
+        for _ in 0..4 {
+            let mut e = env!(f, now);
+            let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(2));
+            if p.path == PlacementPath::NestFallback && nest.primary().contains(p.core) {
+                grew = true;
+                assert_eq!(f.k.task(task).impatience, 0, "impatience resets");
+                break;
+            }
+            // Not placed: simulate that the chosen core did not work out
+            // (we do not enqueue), so prev stays busy.
+        }
+        assert!(grew, "primary nest never grew for the impatient task");
+        assert!(nest.primary().len() >= 2);
+    }
+
+    #[test]
+    fn reserve_respects_r_max() {
+        let mut f = Fixture::new();
+        let params = NestParams {
+            r_max: 2,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(64, params);
+        let t0 = Time::ZERO;
+        // Repeated CFS fallbacks: keep every chosen core busy so the next
+        // fork falls back again.
+        for _ in 0..6 {
+            let task = f.spawn(t0);
+            let mut e = env!(f, t0);
+            let p = nest.select_core_fork(&mut f.k, &mut e, task, CoreId(0));
+            f.k.begin_placement(p.core);
+            f.k.commit_placement(t0, task, p.core);
+            f.k.pick_next(t0, p.core);
+            assert!(nest.reserve().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn ablation_no_reserve_discards_demotions() {
+        let mut f = Fixture::new();
+        let params = NestParams {
+            enable_reserve: false,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(64, params);
+        nest.promote(CoreId(3));
+        let now = Time::ZERO;
+        let mut e = env!(f, now);
+        nest.on_core_idle(&mut f.k, &mut e, CoreId(3), IdleReason::TaskExited);
+        assert!(nest.primary().is_empty());
+        assert!(nest.reserve().is_empty(), "reserve disabled");
+    }
+
+    #[test]
+    fn ablation_no_spin() {
+        let mut f = Fixture::new();
+        let params = NestParams {
+            enable_spin: false,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(64, params);
+        let mut e = env!(f, Time::ZERO);
+        let a = nest.on_core_idle(&mut f.k, &mut e, CoreId(0), IdleReason::TaskBlocked);
+        assert_eq!(a.spin_ticks, 0);
+    }
+
+    #[test]
+    fn ablation_no_compaction_keeps_stale_cores() {
+        let mut f = Fixture::new();
+        let params = NestParams {
+            enable_compaction: false,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(64, params);
+        nest.promote(CoreId(5));
+        let now = Time::from_nanos(100 * TICK_NS);
+        let task = f.spawn(now);
+        f.k.task_mut(task).push_core_history(CoreId(7));
+        f.k.task_mut(task).push_core_history(CoreId(4));
+        f.occupy(now, CoreId(4));
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(4));
+        assert_eq!(p.core, CoreId(5), "stale core used when compaction off");
+        assert_eq!(p.path, PlacementPath::NestPrimary);
+    }
+}

@@ -1,0 +1,128 @@
+//! The scheduler-policy interface.
+//!
+//! A [`SchedPolicy`] makes the decisions the paper varies between CFS,
+//! Nest, and Smove: which core receives a forked task, which core receives
+//! a waking task, what the idle loop does, and what periodic ticks do.
+//! Everything else (runqueues, vruntime, preemption) is shared
+//! [`KernelState`] machinery.
+
+use nest_freq::FreqModel;
+use nest_simcore::{
+    CoreId,
+    PlacementPath,
+    SimRng,
+    TaskId,
+    Time,
+};
+use nest_topology::Topology;
+
+use crate::kernel::KernelState;
+
+/// Read-only environment handed to policy callbacks.
+pub struct SchedEnv<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// Machine topology.
+    pub topo: &'a Topology,
+    /// Frequency model (for Smove's observed frequency and diagnostics).
+    pub freq: &'a FreqModel,
+    /// Deterministic randomness for tie-breaking heuristics.
+    pub rng: &'a mut SimRng,
+}
+
+/// The outcome of a core-selection decision.
+#[derive(Debug, Clone, Copy)]
+pub struct Placement {
+    /// The core the task will be enqueued on.
+    pub core: CoreId,
+    /// Which mechanism made the choice (for traces and tests).
+    pub path: PlacementPath,
+    /// Smove arming: if set, and the task has not started running within
+    /// `delay_ns`, the engine migrates it to `fallback` (§2.2).
+    pub smove_fallback: Option<SmoveArm>,
+}
+
+impl Placement {
+    /// A plain placement with no timer.
+    pub fn simple(core: CoreId, path: PlacementPath) -> Placement {
+        Placement {
+            core,
+            path,
+            smove_fallback: None,
+        }
+    }
+}
+
+/// Smove's migration timer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoveArm {
+    /// Where to move the task if it does not get to run in time.
+    pub fallback: CoreId,
+    /// Timer delay in nanoseconds.
+    pub delay_ns: u64,
+}
+
+/// Why a core became idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleReason {
+    /// The task running there blocked (sleep, wait, empty channel).
+    TaskBlocked,
+    /// The task running there exited. Nest demotes the core (§3.1).
+    TaskExited,
+    /// Anything else (migration emptied the core, startup).
+    Other,
+}
+
+/// What the idle loop should do on a newly idle core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleAction {
+    /// Pull one queued task from this core before idling (newidle
+    /// balancing); checked before spinning.
+    pub pull_from: Option<CoreId>,
+    /// Spin for up to this many scheduler ticks to keep the core warm
+    /// (Nest §3.2). Zero means halt immediately.
+    pub spin_ticks: u32,
+}
+
+/// A core-selection and idle policy: CFS, Nest, or Smove.
+pub trait SchedPolicy {
+    /// Short policy name used in figure labels ("CFS", "Nest", "Smove").
+    fn name(&self) -> &'static str;
+
+    /// Chooses a core for a newly forked task.
+    fn select_core_fork(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        parent_core: CoreId,
+    ) -> Placement;
+
+    /// Chooses a core for a waking task. `waker_core` is the core that
+    /// triggered the wakeup (or the task's previous core for timers).
+    fn select_core_wakeup(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        waker_core: CoreId,
+    ) -> Placement;
+
+    /// Called when a core runs out of work.
+    fn on_core_idle(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+        reason: IdleReason,
+    ) -> IdleAction;
+
+    /// Called on every per-core scheduler tick; returning a core pulls one
+    /// queued task from it (periodic load balancing).
+    fn on_tick(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+    ) -> Option<CoreId>;
+}

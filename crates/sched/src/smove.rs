@@ -1,0 +1,297 @@
+//! The Smove baseline (§2.2 of the paper; Gouicem et al., ATC 2020).
+//!
+//! Smove addresses *frequency inversion*: a parent at high frequency forks
+//! or wakes a child, CFS places the child on an idle (hence possibly slow)
+//! core, and the parent immediately blocks waiting for the child. Smove
+//! tentatively places the child on the parent's (waker's) core instead —
+//! but only when the core CFS chose was observed at a *low frequency at
+//! the last clock tick* — and arms a timer that migrates the child to
+//! CFS's original choice if it has not started running in time.
+//!
+//! The tick-sampled observation is why Smove under-triggers on the 6130
+//! and 5218 (§5.2): a newly idle core usually has no tick observing a low
+//! frequency before it is chosen again, so Smove believes the core is
+//! still fast and does nothing.
+
+use nest_simcore::{
+    CoreId,
+    Freq,
+    PlacementPath,
+    TaskId,
+};
+
+use crate::cfs::{
+    self,
+    CfsParams,
+};
+use crate::kernel::KernelState;
+use crate::policy::{
+    IdleAction,
+    IdleReason,
+    Placement,
+    SchedEnv,
+    SchedPolicy,
+    SmoveArm,
+};
+
+/// Smove tunables.
+#[derive(Clone, Debug)]
+pub struct SmoveParams {
+    /// Migration-timer delay (how long the child may wait on the
+    /// parent's core before being moved to CFS's choice).
+    pub timer_delay_ns: u64,
+    /// A CFS-chosen core triggers the Smove placement when its
+    /// tick-observed frequency is strictly below this fraction of the
+    /// nominal frequency.
+    pub low_freq_factor: f64,
+}
+
+impl Default for SmoveParams {
+    fn default() -> SmoveParams {
+        SmoveParams {
+            timer_delay_ns: 100_000,
+            low_freq_factor: 1.0,
+        }
+    }
+}
+
+/// The Smove policy: CFS placement plus the tentative parent-core path.
+pub struct Smove {
+    params: SmoveParams,
+    cfs_params: CfsParams,
+}
+
+impl Smove {
+    /// Creates Smove with default parameters.
+    pub fn new() -> Smove {
+        Smove {
+            params: SmoveParams::default(),
+            cfs_params: CfsParams::default(),
+        }
+    }
+
+    /// Creates Smove with explicit parameters.
+    pub fn with_params(params: SmoveParams) -> Smove {
+        Smove {
+            params,
+            cfs_params: CfsParams::default(),
+        }
+    }
+
+    fn threshold(&self, env: &SchedEnv<'_>) -> Freq {
+        let khz = env.topo.spec().freq.fnominal.as_khz() as f64 * self.params.low_freq_factor;
+        Freq::from_khz(khz as u64)
+    }
+
+    /// Applies the Smove decision to a CFS choice.
+    fn decorate(
+        &self,
+        env: &SchedEnv<'_>,
+        cfs_choice: CoreId,
+        parent_core: CoreId,
+        base_path: PlacementPath,
+    ) -> Placement {
+        let observed = env.freq.observed_freq(cfs_choice);
+        if cfs_choice != parent_core && observed < self.threshold(env) {
+            Placement {
+                core: parent_core,
+                path: PlacementPath::SmoveParent,
+                smove_fallback: Some(SmoveArm {
+                    fallback: cfs_choice,
+                    delay_ns: self.params.timer_delay_ns,
+                }),
+            }
+        } else {
+            Placement::simple(cfs_choice, base_path)
+        }
+    }
+}
+
+impl Default for Smove {
+    fn default() -> Smove {
+        Smove::new()
+    }
+}
+
+impl SchedPolicy for Smove {
+    fn name(&self) -> &'static str {
+        "Smove"
+    }
+
+    fn select_core_fork(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        _task: TaskId,
+        parent_core: CoreId,
+    ) -> Placement {
+        let core = cfs::select_fork(k, env, parent_core, false);
+        self.decorate(env, core, parent_core, PlacementPath::CfsFork)
+    }
+
+    fn select_core_wakeup(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        task: TaskId,
+        waker_core: CoreId,
+    ) -> Placement {
+        let core = cfs::select_wakeup(k, env, task, waker_core, &self.cfs_params, false, false);
+        self.decorate(env, core, waker_core, PlacementPath::CfsWakeup)
+    }
+
+    fn on_core_idle(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+        _reason: IdleReason,
+    ) -> IdleAction {
+        IdleAction {
+            pull_from: cfs::newidle_pull_source(k, env, core),
+            spin_ticks: 0,
+        }
+    }
+
+    fn on_tick(
+        &mut self,
+        k: &mut KernelState,
+        env: &mut SchedEnv<'_>,
+        core: CoreId,
+    ) -> Option<CoreId> {
+        cfs::periodic_pull_source(k, env, core, &self.cfs_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    use nest_freq::{
+        Activity,
+        FreqModel,
+        Governor,
+    };
+    use nest_simcore::{
+        SimRng,
+        Time,
+        MILLISEC,
+    };
+    use nest_topology::{
+        presets,
+        Topology,
+    };
+
+    struct Fixture {
+        k: KernelState,
+        topo: Rc<Topology>,
+        freq: FreqModel,
+        rng: SimRng,
+    }
+
+    fn fixture() -> Fixture {
+        let spec = presets::xeon_6130(2);
+        let topo = Rc::new(Topology::new(spec.clone()));
+        Fixture {
+            k: KernelState::new(Rc::clone(&topo)),
+            freq: FreqModel::new(&spec, Governor::Schedutil),
+            topo,
+            rng: SimRng::new(1),
+        }
+    }
+
+    fn spawn(f: &mut Fixture, now: Time) -> TaskId {
+        let id = TaskId::from_index(f.k.tasks.len());
+        f.k.register_task(id, now);
+        id
+    }
+
+    #[test]
+    fn low_observed_freq_triggers_parent_placement() {
+        let mut f = fixture();
+        // Observations only update on *active* cores (tickless idle), so
+        // the low-frequency observation must be taken while the core is
+        // briefly busy at its decayed frequency: let the idle machine
+        // decay to fmin, activate the cores, sample immediately (before
+        // any ramp tick), then idle again.
+        let mut t = Time::ZERO;
+        for _ in 0..120 {
+            t += MILLISEC;
+            f.freq.advance(t, MILLISEC, &mut |_| 0.0);
+        }
+        for c in 0..64 {
+            f.freq.set_activity(t, CoreId(c), nest_freq::Activity::Busy);
+        }
+        f.freq.sample_observed();
+        for c in 0..64 {
+            f.freq.set_activity(t, CoreId(c), nest_freq::Activity::Idle);
+        }
+        // The parent must actually be running on core 4, otherwise CFS
+        // would pick core 4 itself and no redirect is possible.
+        let parent = spawn(&mut f, Time::ZERO);
+        f.k.enqueue(Time::ZERO, parent, CoreId(4));
+        f.k.pick_next(Time::ZERO, CoreId(4));
+        let t = spawn(&mut f, Time::ZERO);
+        let mut env = SchedEnv {
+            now: Time::ZERO,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let mut s = Smove::new();
+        let p = s.select_core_fork(&mut f.k, &mut env, t, CoreId(4));
+        assert_eq!(p.core, CoreId(4));
+        assert_eq!(p.path, PlacementPath::SmoveParent);
+        let arm = p.smove_fallback.expect("timer armed");
+        assert_ne!(arm.fallback, CoreId(4));
+        assert_eq!(arm.delay_ns, 100_000);
+    }
+
+    #[test]
+    fn high_observed_freq_leaves_cfs_choice() {
+        let mut f = fixture();
+        // Warm up core 0's physical core to top turbo, then sample.
+        f.freq.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let mut t = Time::ZERO;
+        for _ in 0..50 {
+            t += MILLISEC;
+            f.freq.advance(t, MILLISEC, &mut |_| 1.0);
+        }
+        f.freq.set_activity(t, CoreId(0), Activity::Idle);
+        f.freq.sample_observed();
+        let task = spawn(&mut f, t);
+        f.k.task_mut(task).prev_core = Some(CoreId(0));
+        let mut env = SchedEnv {
+            now: t,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let mut s = Smove::new();
+        // CFS picks core 0 (idle previous); observed 3.7 GHz >= nominal.
+        let p = s.select_core_wakeup(&mut f.k, &mut env, task, CoreId(1));
+        assert_eq!(p.core, CoreId(0));
+        assert_eq!(p.path, PlacementPath::CfsWakeup);
+        assert!(p.smove_fallback.is_none());
+    }
+
+    #[test]
+    fn same_core_choice_never_arms_timer() {
+        let mut f = fixture();
+        f.freq.sample_observed();
+        let task = spawn(&mut f, Time::ZERO);
+        f.k.task_mut(task).prev_core = Some(CoreId(4));
+        let mut env = SchedEnv {
+            now: Time::ZERO,
+            topo: &f.topo,
+            freq: &f.freq,
+            rng: &mut f.rng,
+        };
+        let mut s = Smove::new();
+        // CFS returns the waker's own core: no redirect possible.
+        let p = s.select_core_wakeup(&mut f.k, &mut env, task, CoreId(4));
+        assert_eq!(p.core, CoreId(4));
+        assert!(p.smove_fallback.is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! The simulation event queue.
+//!
+//! [`EventQueue`] is a priority queue of `(Time, payload)` pairs with two
+//! properties the simulator depends on:
+//!
+//! * **Stable ordering** — events at equal times pop in insertion order, so
+//!   the simulation is deterministic regardless of heap internals.
+//! * **Cancellation** — scheduling returns an [`EventKey`]; cancelling a
+//!   key is O(1) (lazy deletion) and is how the engine invalidates, e.g., a
+//!   task-completion event when the core's frequency changes mid-segment.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A handle to a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventKey(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    at: Time,
+    seq: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic, cancellable discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use nest_simcore::events::EventQueue;
+/// use nest_simcore::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_nanos(10), "b");
+/// q.schedule(Time::from_nanos(5), "a");
+/// let key = q.schedule(Time::from_nanos(7), "cancelled");
+/// q.cancel(key);
+/// assert_eq!(q.pop(), Some((Time::from_nanos(5), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_nanos(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry>>,
+    // Payloads and liveness, indexed by seq. Slots are reclaimed in bulk
+    // when the queue drains; individual slots are dropped on pop/cancel.
+    slots: std::collections::HashMap<u64, E>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: std::collections::HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at time `at` and returns a cancellation
+    /// key.
+    pub fn schedule(&mut self, at: Time, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq }));
+        self.slots.insert(seq, event);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns the payload if the event was still pending, `None` if it had
+    /// already fired or been cancelled. Cancelling twice is harmless.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.slots.remove(&key.0)
+    }
+
+    /// Returns `true` if the event behind `key` is still pending.
+    pub fn is_pending(&self, key: EventKey) -> bool {
+        self.slots.contains_key(&key.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    ///
+    /// Events at the same time pop in the order they were scheduled.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if let Some(event) = self.slots.remove(&entry.seq) {
+                return Some((entry.at, event));
+            }
+            // Lazily dropped: the slot was cancelled.
+        }
+        None
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.slots.contains_key(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Returns the number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> EventQueue<E> {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(30), 3);
+        q.schedule(Time::from_nanos(10), 1);
+        q.schedule(Time::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Time::from_nanos(1), "x");
+        assert!(q.is_pending(k));
+        assert_eq!(q.cancel(k), Some("x"));
+        assert!(!q.is_pending(k));
+        assert_eq!(q.cancel(k), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_after_fire_means_not_pending() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Time::from_nanos(1), ());
+        q.pop();
+        assert!(!q.is_pending(k));
+        assert_eq!(q.cancel(k), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Time::from_nanos(1), 1);
+        q.schedule(Time::from_nanos(2), 2);
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(2)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_nanos(1), 1);
+        q.schedule(Time::from_nanos(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

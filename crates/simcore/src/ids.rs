@@ -1,0 +1,102 @@
+//! Identifier newtypes for simulated entities.
+//!
+//! All identifiers are dense indexes into the owning arena (core table,
+//! task table, …). Newtypes prevent a task id from being used where a core
+//! id is expected — a class of bug that is otherwise silent in a simulator
+//! where everything is a small integer.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a usable array index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an identifier from an array index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx` does not fit in `u32`.
+            pub fn from_index(idx: usize) -> $name {
+                $name(u32::try_from(idx).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+define_id! {
+    /// A hardware thread.
+    ///
+    /// Following the paper's terminology, "core" means *hardware thread*:
+    /// two hardware threads sharing a physical core are hyperthreads of
+    /// each other. Cores are numbered socket-major so that cores on the
+    /// same socket have adjacent numbers (the renumbering the paper applies
+    /// to its execution traces).
+    CoreId
+}
+
+define_id! {
+    /// A schedulable task (thread or process; the distinction is
+    /// irrelevant to placement).
+    TaskId
+}
+
+define_id! {
+    /// A processor socket. On all modeled machines a die coincides with a
+    /// socket (all cores of a socket share the last-level cache), matching
+    /// the paper's hardware.
+    SocketId
+}
+
+define_id! {
+    /// A synchronization barrier used by HPC-style workloads.
+    BarrierId
+}
+
+define_id! {
+    /// A message channel used by messaging workloads (hackbench, schbench,
+    /// servers).
+    ChannelId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let c = CoreId::from_index(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(c, CoreId(42));
+    }
+
+    #[test]
+    fn ordering_follows_numbering() {
+        assert!(CoreId(1) < CoreId(2));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", TaskId(7)), "TaskId(7)");
+        assert_eq!(format!("{}", TaskId(7)), "7");
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic discrete-event simulation primitives.
+//!
+//! This crate provides the foundation shared by the whole Nest simulator:
+//! simulated time ([`Time`]), frequency units ([`Freq`]), entity identifiers
+//! ([`CoreId`], [`TaskId`], [`SocketId`]), a stable-ordered event queue
+//! ([`EventQueue`]), a seedable random-number generator ([`SimRng`]), the
+//! task behaviour model ([`Action`], [`Behavior`], [`TaskSpec`]), and the
+//! probe (tracing) interface ([`Probe`], [`TraceEvent`]).
+//!
+//! Everything here is deterministic: two simulations constructed with the
+//! same machine, workload, and seed produce bit-identical event sequences.
+//! That property underpins both the test suite and the reproducibility of
+//! the paper's experiments.
+
+pub mod events;
+pub mod ids;
+pub mod probe;
+pub mod rng;
+pub mod setup;
+pub mod task;
+pub mod time;
+pub mod units;
+
+pub use events::{
+    EventKey,
+    EventQueue,
+};
+pub use ids::{
+    BarrierId,
+    ChannelId,
+    CoreId,
+    SocketId,
+    TaskId,
+};
+pub use probe::{
+    PlacementPath,
+    Probe,
+    StopReason,
+    TraceEvent,
+};
+pub use rng::SimRng;
+pub use setup::SimSetup;
+pub use task::{
+    Action,
+    Behavior,
+    FnBehavior,
+    ScriptBehavior,
+    TaskSpec,
+};
+pub use time::{
+    Time,
+    MICROSEC,
+    MILLISEC,
+    NANOSEC,
+    SEC,
+    TICK_NS,
+};
+pub use units::{
+    Cycles,
+    Freq,
+};

@@ -1,0 +1,182 @@
+//! Tracing probes.
+//!
+//! The engine emits a stream of [`TraceEvent`]s describing scheduling
+//! decisions, core activity, and frequency changes — the simulator's
+//! equivalent of the paper's `trace-cmd` + frequency traces. Metrics
+//! collectors implement [`Probe`] and subscribe to the stream; the engine
+//! itself never aggregates anything, keeping measurement strictly separate
+//! from mechanism.
+
+use crate::ids::{
+    CoreId,
+    TaskId,
+};
+use crate::time::Time;
+use crate::units::Freq;
+
+/// Which placement path chose a core for a task.
+///
+/// `Nest*` variants only occur under the Nest policy; `SmoveParent` only
+/// under Smove. Tests use these to verify which mechanism fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum PlacementPath {
+    /// CFS fork-time idlest-group/idlest-core descent.
+    CfsFork,
+    /// CFS wakeup-time die-local idle search.
+    CfsWakeup,
+    /// An idle core found in Nest's primary nest.
+    NestPrimary,
+    /// An idle core found in Nest's reserve nest.
+    NestReserve,
+    /// Nest fell back to CFS (the chosen core may join the reserve nest).
+    NestFallback,
+    /// Smove placed the task on its parent's (waker's) core.
+    SmoveParent,
+    /// The task was migrated by load balancing.
+    LoadBalance,
+    /// The Smove timer expired and moved the task to CFS's original choice.
+    SmoveTimer,
+}
+
+/// Why a task stopped running on a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum StopReason {
+    /// The task blocked (sleep, wait, barrier, empty channel).
+    Block,
+    /// The task was preempted by another runnable task.
+    Preempt,
+    /// The task yielded voluntarily.
+    Yield,
+    /// The task exited.
+    Exit,
+}
+
+/// One event in the simulation trace.
+#[derive(Debug)]
+pub enum TraceEvent {
+    /// A task was created (initial task or fork).
+    TaskCreated {
+        /// The new task.
+        task: TaskId,
+        /// The task's label, for trace readability.
+        label: String,
+        /// The forking task, if any.
+        parent: Option<TaskId>,
+    },
+    /// A task exited.
+    TaskExited {
+        /// The exiting task.
+        task: TaskId,
+    },
+    /// A placement decision: `task` will be enqueued on `core`.
+    Placed {
+        /// The placed task.
+        task: TaskId,
+        /// The chosen core.
+        core: CoreId,
+        /// Which mechanism chose the core.
+        path: PlacementPath,
+    },
+    /// A task started running on a core.
+    RunStart {
+        /// The task now running.
+        task: TaskId,
+        /// The core it runs on.
+        core: CoreId,
+    },
+    /// A task stopped running on a core.
+    RunStop {
+        /// The task that stopped.
+        task: TaskId,
+        /// The core it ran on.
+        core: CoreId,
+        /// Why it stopped.
+        reason: StopReason,
+    },
+    /// A task became runnable after blocking (before placement).
+    Woken {
+        /// The woken task.
+        task: TaskId,
+    },
+    /// The number of runnable tasks (running + queued) changed.
+    RunnableCount {
+        /// The new count.
+        count: u32,
+    },
+    /// A core's frequency changed.
+    FreqChange {
+        /// The core.
+        core: CoreId,
+        /// Its new frequency.
+        freq: Freq,
+    },
+    /// A core's idle loop began spinning to keep the core warm (Nest).
+    SpinStart {
+        /// The spinning core.
+        core: CoreId,
+    },
+    /// A core's idle spin ended (timeout, placement, or busy hyperthread).
+    SpinEnd {
+        /// The core that stopped spinning.
+        core: CoreId,
+    },
+}
+
+/// A subscriber to the simulation trace.
+pub trait Probe {
+    /// Called for every trace event, in simulation order.
+    fn on_event(&mut self, now: Time, event: &TraceEvent);
+
+    /// Called once when the simulation finishes, with the final time.
+    fn on_finish(&mut self, _now: Time) {}
+}
+
+/// A probe that records every event verbatim; useful in tests.
+#[derive(Default)]
+pub struct RecordingProbe {
+    /// The recorded `(time, event)` pairs.
+    pub events: Vec<(Time, String)>,
+}
+
+impl Probe for RecordingProbe {
+    fn on_event(&mut self, now: Time, event: &TraceEvent) {
+        self.events.push((now, format!("{event:?}")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_probe_captures_events() {
+        let mut p = RecordingProbe::default();
+        p.on_event(
+            Time::from_nanos(5),
+            &TraceEvent::Woken { task: TaskId(3) },
+        );
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].0, Time::from_nanos(5));
+        assert!(p.events[0].1.contains("Woken"));
+    }
+
+    #[test]
+    fn placement_paths_are_distinct() {
+        use PlacementPath::*;
+        let all = [
+            CfsFork,
+            CfsWakeup,
+            NestPrimary,
+            NestReserve,
+            NestFallback,
+            SmoveParent,
+            LoadBalance,
+            SmoveTimer,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic random-number generation.
+//!
+//! All randomness in the simulator flows through [`SimRng`], a thin wrapper
+//! over a seeded [`rand::rngs::StdRng`]. The wrapper exposes exactly the
+//! distributions the workload models need and supports deterministic
+//! splitting ([`SimRng::fork`]) so that independent subsystems (e.g. each
+//! task's behaviour) consume independent streams — adding a draw in one
+//! workload does not perturb another.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// A deterministic, splittable random-number generator.
+///
+/// # Examples
+///
+/// ```
+/// use nest_simcore::rng::SimRng;
+///
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub struct SimRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator for a labeled subsystem.
+    ///
+    /// The child stream is a pure function of the parent seed state and the
+    /// label, so reordering *draws* between subsystems cannot change any
+    /// subsystem's stream.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let s = self.inner.next_u64();
+        SimRng::new(s ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Returns a sample from an exponential distribution with the given
+    /// mean, as used for inter-arrival and service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Returns a sample from a log-normal-ish "jittered" value: `base`
+    /// multiplied by a factor uniform in `[1 - jitter, 1 + jitter]`.
+    ///
+    /// Used to desynchronize otherwise identical tasks (e.g. NAS workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1]`.
+    pub fn jitter(&mut self, base: u64, jitter: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&jitter), "jitter out of range: {jitter}");
+        if jitter == 0.0 || base == 0 {
+            return base;
+        }
+        let factor = 1.0 + jitter * (2.0 * self.inner.gen::<f64>() - 1.0);
+        ((base as f64) * factor).round().max(0.0) as u64
+    }
+
+    /// Samples an index from a slice of relative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "no weights");
+        let dist = rand::distributions::WeightedIndex::new(weights)
+            .expect("weights must be non-negative and sum > 0");
+        dist.sample(&mut self.inner)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimRng")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_from_parent_and_each_other() {
+        let mut parent = SimRng::new(1);
+        let mut c1 = parent.fork(10);
+        let mut parent2 = SimRng::new(1);
+        let mut c2 = parent2.fork(11);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::new(9).fork(5);
+        let mut b = SimRng::new(9).fork(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::new(2);
+        for _ in 0..1000 {
+            let v = r.uniform_u64(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = SimRng::new(4);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            let v = r.jitter(1000, 0.1);
+            assert!((900..=1100).contains(&v), "{v}");
+        }
+        assert_eq!(r.jitter(1000, 0.0), 1000);
+        assert_eq!(r.jitter(0, 0.5), 0);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weight() {
+        let mut r = SimRng::new(6);
+        let mut counts = [0usize; 2];
+        for _ in 0..1000 {
+            counts[r.weighted_index(&[1.0, 9.0])] += 1;
+        }
+        assert!(counts[1] > counts[0]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload-setup interface.
+//!
+//! Workload generators need to allocate synchronization objects (barriers,
+//! channels) before handing task specifications to the engine. [`SimSetup`]
+//! is the narrow interface the engine implements for them, keeping the
+//! workload crate independent of the engine crate.
+
+use crate::ids::{
+    BarrierId,
+    ChannelId,
+};
+
+/// Facilities a workload may allocate during construction.
+pub trait SimSetup {
+    /// Creates a barrier that releases once `parties` tasks arrive.
+    fn create_barrier(&mut self, parties: u32) -> BarrierId;
+
+    /// Creates an empty message channel.
+    fn create_channel(&mut self) -> ChannelId;
+
+    /// Number of hardware threads on the simulated machine, so workloads
+    /// can size themselves (e.g. NAS runs one task per core).
+    fn n_cores(&self) -> usize;
+}

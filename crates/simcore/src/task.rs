@@ -1,0 +1,200 @@
+//! The task behaviour model.
+//!
+//! A simulated task is driven by a [`Behavior`]: a state machine that, each
+//! time the task needs something to do, yields the next [`Action`]
+//! (compute, sleep, fork a child, wait, synchronize, message, exit). The
+//! engine executes actions; behaviours never see the machine, only their
+//! own logical progress, which mirrors how real applications are oblivious
+//! to scheduling.
+//!
+//! Work is expressed in *cycles*, not time: the same behaviour finishes
+//! faster on a core running at a higher frequency, which is the effect the
+//! Nest paper exploits.
+
+use crate::ids::{
+    BarrierId,
+    ChannelId,
+};
+use crate::rng::SimRng;
+use crate::units::Cycles;
+
+/// The next thing a task wants to do.
+#[derive(Debug)]
+pub enum Action {
+    /// Execute `cycles` cycles of work on the current core.
+    Compute {
+        /// Amount of work in CPU cycles.
+        cycles: Cycles,
+    },
+    /// Block for a fixed duration (I/O wait, timer, think time).
+    Sleep {
+        /// Sleep duration in nanoseconds.
+        ns: u64,
+    },
+    /// Create a child task; the scheduler chooses its core (the paper's
+    /// *fork* placement path). The parent continues running.
+    Fork {
+        /// Specification of the child task.
+        child: TaskSpec,
+    },
+    /// Block until every child this task has forked has exited.
+    ///
+    /// Waking from the wait goes through the scheduler's *wakeup*
+    /// placement path.
+    WaitChildren,
+    /// Enter a barrier; blocks until the barrier's full complement of
+    /// tasks has arrived, then all waiters wake (each through wakeup
+    /// placement).
+    Barrier {
+        /// The barrier to wait on.
+        id: BarrierId,
+    },
+    /// Append `msgs` messages to a channel, waking one blocked receiver
+    /// per message.
+    Send {
+        /// Destination channel.
+        ch: ChannelId,
+        /// Number of messages to enqueue.
+        msgs: u32,
+    },
+    /// Consume one message from a channel, blocking if it is empty.
+    Recv {
+        /// Source channel.
+        ch: ChannelId,
+    },
+    /// Relinquish the core; the task stays runnable and is re-enqueued.
+    Yield,
+    /// Terminate the task.
+    Exit,
+}
+
+/// A task's behaviour: the generator of its [`Action`] sequence.
+///
+/// Implementations must be deterministic given the `rng` stream they are
+/// handed (the engine gives each task a forked, independent stream).
+pub trait Behavior {
+    /// Returns the task's next action.
+    ///
+    /// Called after the previous action completes (compute finished, sleep
+    /// expired, message received, …). Returning [`Action::Exit`] ends the
+    /// task; `next` is not called again afterwards.
+    fn next(&mut self, rng: &mut SimRng) -> Action;
+}
+
+/// The full specification of a task to create.
+pub struct TaskSpec {
+    /// Human-readable label used in traces (e.g. `"cc1"`, `"gc-worker"`).
+    pub label: String,
+    /// The behaviour driving the task.
+    pub behavior: Box<dyn Behavior>,
+}
+
+impl TaskSpec {
+    /// Creates a task specification.
+    pub fn new(label: impl Into<String>, behavior: Box<dyn Behavior>) -> TaskSpec {
+        TaskSpec {
+            label: label.into(),
+            behavior,
+        }
+    }
+
+    /// Creates a task that executes a fixed script of actions.
+    pub fn script(label: impl Into<String>, actions: Vec<Action>) -> TaskSpec {
+        TaskSpec::new(label, Box::new(ScriptBehavior::new(actions)))
+    }
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec").field("label", &self.label).finish()
+    }
+}
+
+/// A behaviour that plays back a fixed list of actions, then exits.
+///
+/// # Examples
+///
+/// ```
+/// use nest_simcore::rng::SimRng;
+/// use nest_simcore::task::{Action, Behavior, ScriptBehavior};
+///
+/// let mut b = ScriptBehavior::new(vec![Action::Compute { cycles: 100 }]);
+/// let mut rng = SimRng::new(0);
+/// assert!(matches!(b.next(&mut rng), Action::Compute { cycles: 100 }));
+/// assert!(matches!(b.next(&mut rng), Action::Exit));
+/// assert!(matches!(b.next(&mut rng), Action::Exit));
+/// ```
+pub struct ScriptBehavior {
+    actions: std::vec::IntoIter<Action>,
+}
+
+impl ScriptBehavior {
+    /// Creates a script behaviour from an action list.
+    pub fn new(actions: Vec<Action>) -> ScriptBehavior {
+        ScriptBehavior {
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl Behavior for ScriptBehavior {
+    fn next(&mut self, _rng: &mut SimRng) -> Action {
+        self.actions.next().unwrap_or(Action::Exit)
+    }
+}
+
+/// A behaviour built from a closure, convenient for tests and small
+/// workloads.
+pub struct FnBehavior<F: FnMut(&mut SimRng) -> Action> {
+    f: F,
+}
+
+impl<F: FnMut(&mut SimRng) -> Action> FnBehavior<F> {
+    /// Wraps a closure as a behaviour.
+    pub fn new(f: F) -> FnBehavior<F> {
+        FnBehavior { f }
+    }
+}
+
+impl<F: FnMut(&mut SimRng) -> Action> Behavior for FnBehavior<F> {
+    fn next(&mut self, rng: &mut SimRng) -> Action {
+        (self.f)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_plays_in_order_then_exits() {
+        let mut rng = SimRng::new(0);
+        let mut b = ScriptBehavior::new(vec![
+            Action::Compute { cycles: 1 },
+            Action::Sleep { ns: 2 },
+        ]);
+        assert!(matches!(b.next(&mut rng), Action::Compute { cycles: 1 }));
+        assert!(matches!(b.next(&mut rng), Action::Sleep { ns: 2 }));
+        assert!(matches!(b.next(&mut rng), Action::Exit));
+    }
+
+    #[test]
+    fn fn_behavior_delegates() {
+        let mut rng = SimRng::new(0);
+        let mut calls = 0;
+        let mut b = FnBehavior::new(|_| {
+            calls += 1;
+            Action::Yield
+        });
+        assert!(matches!(b.next(&mut rng), Action::Yield));
+        drop(b);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn spec_script_constructor() {
+        let spec = TaskSpec::script("t", vec![Action::Exit]);
+        assert_eq!(spec.label, "t");
+        assert_eq!(format!("{spec:?}"), "TaskSpec { label: \"t\" }");
+    }
+}

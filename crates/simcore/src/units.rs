@@ -1,0 +1,160 @@
+//! Frequency and work units.
+//!
+//! Core frequencies are stored in kilohertz ([`Freq`]); task work is
+//! expressed in CPU cycles ([`Cycles`]). A compute segment of `c` cycles on
+//! a core running at frequency `f` takes `c / f` seconds — this conversion
+//! ([`Freq::nanos_for_cycles`] / [`Freq::cycles_in_nanos`]) is the single
+//! place where frequency affects task progress, and therefore the mechanism
+//! behind every speedup reported in the paper.
+
+use std::fmt;
+
+/// A number of CPU cycles of work.
+pub type Cycles = u64;
+
+/// A core frequency in kilohertz.
+///
+/// Kilohertz granularity matches what Linux's cpufreq subsystem exposes and
+/// keeps all arithmetic in integers for determinism.
+///
+/// # Examples
+///
+/// ```
+/// use nest_simcore::units::Freq;
+///
+/// let f = Freq::from_ghz(2.0);
+/// // 2 GHz executes 2 cycles per nanosecond.
+/// assert_eq!(f.nanos_for_cycles(4_000_000), 2_000_000);
+/// assert_eq!(f.cycles_in_nanos(1_000), 2_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// The zero frequency (a fully halted core).
+    pub const ZERO: Freq = Freq(0);
+
+    /// Creates a frequency from a kilohertz count.
+    pub const fn from_khz(khz: u64) -> Freq {
+        Freq(khz)
+    }
+
+    /// Creates a frequency from a megahertz count.
+    pub const fn from_mhz(mhz: u64) -> Freq {
+        Freq(mhz * 1_000)
+    }
+
+    /// Creates a frequency from a (fractional) gigahertz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is negative or not finite.
+    pub fn from_ghz(ghz: f64) -> Freq {
+        assert!(ghz.is_finite() && ghz >= 0.0, "invalid frequency: {ghz}");
+        Freq((ghz * 1_000_000.0).round() as u64)
+    }
+
+    /// Returns the frequency in kilohertz.
+    pub const fn as_khz(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the frequency in (fractional) gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the time, in nanoseconds, needed to execute `cycles` cycles
+    /// at this frequency, rounded up so work never finishes early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero and `cycles` is nonzero: a halted
+    /// core cannot make progress, and scheduling work on one is a
+    /// simulation bug.
+    pub fn nanos_for_cycles(self, cycles: Cycles) -> u64 {
+        if cycles == 0 {
+            return 0;
+        }
+        assert!(self.0 > 0, "cannot execute {cycles} cycles at 0 Hz");
+        // cycles / (khz * 1e3 / 1e9) = cycles * 1e6 / khz, rounded up.
+        let num = cycles as u128 * 1_000_000;
+        num.div_ceil(self.0 as u128) as u64
+    }
+
+    /// Returns the number of cycles executed in `nanos` nanoseconds at this
+    /// frequency, rounded down.
+    pub fn cycles_in_nanos(self, nanos: u64) -> Cycles {
+        (nanos as u128 * self.0 as u128 / 1_000_000) as u64
+    }
+}
+
+impl fmt::Debug for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}kHz", self.0)
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GHz", self.as_ghz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_round_trip() {
+        let f = Freq::from_ghz(3.7);
+        assert_eq!(f.as_khz(), 3_700_000);
+        assert!((f.as_ghz() - 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mhz_and_khz_agree() {
+        assert_eq!(Freq::from_mhz(2100), Freq::from_khz(2_100_000));
+    }
+
+    #[test]
+    fn nanos_for_cycles_exact() {
+        // 1 GHz: one cycle per nanosecond.
+        let f = Freq::from_ghz(1.0);
+        assert_eq!(f.nanos_for_cycles(12_345), 12_345);
+    }
+
+    #[test]
+    fn nanos_for_cycles_rounds_up() {
+        // 3 GHz: 10 cycles take 10/3 ns, which must round up to 4.
+        let f = Freq::from_ghz(3.0);
+        assert_eq!(f.nanos_for_cycles(10), 4);
+    }
+
+    #[test]
+    fn zero_cycles_take_zero_time_even_at_zero_hz() {
+        assert_eq!(Freq::ZERO.nanos_for_cycles(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 Hz")]
+    fn nonzero_cycles_at_zero_hz_panic() {
+        let _ = Freq::ZERO.nanos_for_cycles(1);
+    }
+
+    #[test]
+    fn cycles_in_nanos_inverse_bound() {
+        // Executing for the time computed for `c` cycles yields at least `c`
+        // cycles back (round-up then round-down).
+        let f = Freq::from_khz(2_345_678);
+        for c in [1u64, 7, 1_000, 123_456_789] {
+            let ns = f.nanos_for_cycles(c);
+            assert!(f.cycles_in_nanos(ns) >= c);
+        }
+    }
+
+    #[test]
+    fn display_formats_ghz() {
+        assert_eq!(format!("{}", Freq::from_ghz(2.1)), "2.10GHz");
+    }
+}

@@ -1,0 +1,18 @@
+//! Multicore machine topology.
+//!
+//! This crate models the machines of the Nest paper (Table 2): CPU sets
+//! ([`CpuSet`]), socket-major core numbering with SMT pairing, die/socket
+//! spans, and presets for every evaluated machine including the Table 3
+//! turbo-frequency ladders.
+
+pub mod cpuset;
+pub mod machine;
+pub mod presets;
+
+pub use cpuset::CpuSet;
+pub use machine::{
+    FreqSpec,
+    MachineSpec,
+    PowerSpec,
+    Topology,
+};

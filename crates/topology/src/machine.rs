@@ -1,0 +1,362 @@
+//! Machine description and computed topology.
+//!
+//! [`MachineSpec`] is pure data describing one of the paper's test machines
+//! (Table 2): socket/core/SMT counts plus the frequency behaviour
+//! ([`FreqSpec`], Table 3) and a power model ([`PowerSpec`]).
+//! [`Topology`] derives the structures schedulers need: core numbering,
+//! hyperthread pairing, socket (die) spans, and the SMT/DIE/NUMA
+//! scheduling-domain views.
+//!
+//! Core numbering is socket-major, matching the renumbering the paper
+//! applies to its traces ("cores on the same socket have adjacent
+//! numbers"): on a machine with `P` physical cores per socket, socket `s`
+//! owns cores `s·2P .. (s+1)·2P`, where local index `p < P` is the first
+//! hardware thread of physical core `p` and `p + P` is its hyperthread.
+
+use nest_simcore::{
+    CoreId,
+    Freq,
+    SocketId,
+};
+
+use crate::cpuset::CpuSet;
+
+/// Frequency behaviour of a machine (paper Table 3 plus ramp dynamics).
+#[derive(Clone, Debug)]
+pub struct FreqSpec {
+    /// Minimum frequency a core can drop to.
+    pub fmin: Freq,
+    /// Nominal (base) frequency; the `performance` governor's floor.
+    pub fnominal: Freq,
+    /// Turbo ceiling by number of active physical cores on the socket:
+    /// `turbo[0]` applies with 1 active core, `turbo[1]` with 2, …; the
+    /// last entry extends to all higher counts.
+    pub turbo: Vec<Freq>,
+    /// How fast the hardware raises a busy core's frequency, in kHz per
+    /// millisecond. Models the difference between Intel Speed Shift
+    /// (fast) and Enhanced SpeedStep on the older Broadwell (slow) that
+    /// §5.2 and §5.3 of the paper highlight.
+    pub ramp_up_khz_per_ms: u64,
+    /// How fast an idle core's frequency decays, in kHz per millisecond.
+    pub ramp_down_khz_per_ms: u64,
+    /// Idle time before the frequency starts decaying, in nanoseconds.
+    pub idle_cooldown_ns: u64,
+    /// Window over which the hardware counts a physical core as "active"
+    /// for turbo-ladder purposes. The processor does not react instantly
+    /// to activity changes (§5.2: "the processor does not react quickly
+    /// enough to the change of core activity, and the cores stay in the
+    /// lower turbo range"), so dispersing short tasks over many cores
+    /// keeps the windowed count — and hence the turbo cap — high.
+    pub turbo_window_ns: u64,
+    /// Bucket upper edges used by the paper's frequency-distribution
+    /// figures for this machine (Figures 6 and 11).
+    pub residency_buckets_ghz: Vec<f64>,
+}
+
+impl FreqSpec {
+    /// Returns the turbo ceiling when `active_phys` physical cores of a
+    /// socket are active.
+    ///
+    /// With zero active cores there is no constraint; the single-core
+    /// ceiling is returned.
+    pub fn turbo_limit(&self, active_phys: usize) -> Freq {
+        assert!(!self.turbo.is_empty(), "empty turbo table");
+        let idx = active_phys.saturating_sub(1).min(self.turbo.len() - 1);
+        self.turbo[idx]
+    }
+
+    /// Returns the highest turbo frequency (single active core).
+    pub fn fmax(&self) -> Freq {
+        self.turbo_limit(1)
+    }
+}
+
+/// A simple CPU power model, calibrated per machine.
+///
+/// Socket power = `uncore_w` (charged whenever the machine is up — the
+/// paper notes sockets never enter deep sleep while any core is active)
+/// + per-core idle power + per-active-core dynamic power
+/// `k·f·V²`, where the socket voltage `V` tracks the fastest active core
+/// on the socket (§5.2: "the CPU energy consumption is determined by the
+/// consumption of the highest frequency core on the socket").
+#[derive(Clone, Debug)]
+pub struct PowerSpec {
+    /// Constant per-socket uncore power in watts.
+    pub uncore_w: f64,
+    /// Power of an idle (non-spinning) core in watts.
+    pub core_idle_w: f64,
+    /// Dynamic coefficient: watts per GHz at V = 1.
+    pub dyn_coeff_w_per_ghz: f64,
+    /// Fraction of the dynamic power a *spinning* idle loop draws: the
+    /// pause-loop keeps the core awake without driving the execution
+    /// units at full activity factor.
+    pub spin_power_factor: f64,
+    /// Voltage at the minimum frequency (relative units).
+    pub v_at_fmin: f64,
+    /// Voltage at the maximum turbo frequency (relative units).
+    pub v_at_fmax: f64,
+}
+
+impl PowerSpec {
+    /// Returns the relative socket voltage when the fastest active core on
+    /// the socket runs at `f`, interpolating linearly in frequency.
+    pub fn voltage(&self, f: Freq, fmin: Freq, fmax: Freq) -> f64 {
+        if fmax <= fmin {
+            return self.v_at_fmax;
+        }
+        let t = (f.as_khz().saturating_sub(fmin.as_khz())) as f64
+            / (fmax.as_khz() - fmin.as_khz()) as f64;
+        self.v_at_fmin + t.clamp(0.0, 1.0) * (self.v_at_fmax - self.v_at_fmin)
+    }
+}
+
+/// A complete machine description.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// Short name, e.g. `"4-socket Intel 6130"`.
+    pub name: &'static str,
+    /// Microarchitecture, e.g. `"Skylake"`.
+    pub microarch: &'static str,
+    /// Number of sockets. A die coincides with a socket on all modeled
+    /// machines (shared last-level cache), as in the paper.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub phys_per_socket: usize,
+    /// Hardware threads per physical core (2 on all modeled machines).
+    pub smt: usize,
+    /// Frequency behaviour.
+    pub freq: FreqSpec,
+    /// Power model.
+    pub power: PowerSpec,
+}
+
+impl MachineSpec {
+    /// Total number of hardware threads ("cores" in the paper's
+    /// terminology).
+    pub fn n_cores(&self) -> usize {
+        self.sockets * self.phys_per_socket * self.smt
+    }
+
+    /// Hardware threads per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.phys_per_socket * self.smt
+    }
+}
+
+/// Computed topology: numbering, pairing, spans, domains.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    spec: MachineSpec,
+    socket_spans: Vec<CpuSet>,
+    all: CpuSet,
+}
+
+impl Topology {
+    /// Builds the topology for a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero sockets/cores or `smt != 2` (the only
+    /// SMT width the paper's heuristics are defined for).
+    pub fn new(spec: MachineSpec) -> Topology {
+        assert!(spec.sockets > 0 && spec.phys_per_socket > 0, "empty machine");
+        assert_eq!(spec.smt, 2, "only 2-way SMT is modeled");
+        let n = spec.n_cores();
+        let mut socket_spans = Vec::with_capacity(spec.sockets);
+        for s in 0..spec.sockets {
+            let mut span = CpuSet::new(n);
+            let base = s * spec.cores_per_socket();
+            for i in 0..spec.cores_per_socket() {
+                span.insert(CoreId::from_index(base + i));
+            }
+            socket_spans.push(span);
+        }
+        Topology {
+            all: CpuSet::full(n),
+            socket_spans,
+            spec,
+        }
+    }
+
+    /// Returns the machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Returns the total number of hardware threads.
+    pub fn n_cores(&self) -> usize {
+        self.spec.n_cores()
+    }
+
+    /// Returns the number of sockets.
+    pub fn n_sockets(&self) -> usize {
+        self.spec.sockets
+    }
+
+    /// Returns the socket that owns a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is out of range.
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        assert!(core.index() < self.n_cores(), "core {core} out of range");
+        SocketId::from_index(core.index() / self.spec.cores_per_socket())
+    }
+
+    /// Returns the hyperthread sharing the physical core with `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is out of range.
+    pub fn sibling(&self, core: CoreId) -> CoreId {
+        assert!(core.index() < self.n_cores(), "core {core} out of range");
+        let cps = self.spec.cores_per_socket();
+        let p = self.spec.phys_per_socket;
+        let base = core.index() / cps * cps;
+        let local = core.index() % cps;
+        let sib = if local < p { local + p } else { local - p };
+        CoreId::from_index(base + sib)
+    }
+
+    /// Returns the physical-core index of `core` within its socket.
+    pub fn phys_index(&self, core: CoreId) -> usize {
+        let local = core.index() % self.spec.cores_per_socket();
+        local % self.spec.phys_per_socket
+    }
+
+    /// Returns `true` if `core` is the first hardware thread of its
+    /// physical core.
+    pub fn is_primary_thread(&self, core: CoreId) -> bool {
+        core.index() % self.spec.cores_per_socket() < self.spec.phys_per_socket
+    }
+
+    /// Returns the span of a socket (its die — all cores sharing the LLC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket is out of range.
+    pub fn socket_span(&self, socket: SocketId) -> &CpuSet {
+        &self.socket_spans[socket.index()]
+    }
+
+    /// Returns the span of the whole machine.
+    pub fn all_cores(&self) -> &CpuSet {
+        &self.all
+    }
+
+    /// Iterates over socket ids.
+    pub fn sockets(&self) -> impl Iterator<Item = SocketId> {
+        (0..self.spec.sockets).map(SocketId::from_index)
+    }
+
+    /// Iterates over all cores in numerical order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.n_cores()).map(CoreId::from_index)
+    }
+
+    /// Returns sockets ordered by distance from `from`'s socket: `from`'s
+    /// own die first, then the others in numerical order — the search
+    /// order Nest uses to reduce the number of used dies (§3.1).
+    pub fn sockets_nearest_first(&self, from: CoreId) -> Vec<SocketId> {
+        let home = self.socket_of(from);
+        let mut order = vec![home];
+        order.extend(self.sockets().filter(|&s| s != home));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn topo_6130_4s() -> Topology {
+        Topology::new(presets::xeon_6130(4))
+    }
+
+    #[test]
+    fn core_counts_match_table2() {
+        assert_eq!(Topology::new(presets::e7_8870_v4()).n_cores(), 160);
+        assert_eq!(Topology::new(presets::xeon_6130(2)).n_cores(), 64);
+        assert_eq!(Topology::new(presets::xeon_6130(4)).n_cores(), 128);
+        assert_eq!(Topology::new(presets::xeon_5218()).n_cores(), 64);
+    }
+
+    #[test]
+    fn socket_of_is_socket_major() {
+        let t = topo_6130_4s();
+        assert_eq!(t.socket_of(CoreId(0)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(31)), SocketId(0));
+        assert_eq!(t.socket_of(CoreId(32)), SocketId(1));
+        assert_eq!(t.socket_of(CoreId(127)), SocketId(3));
+    }
+
+    #[test]
+    fn sibling_is_involutive_and_same_socket() {
+        let t = topo_6130_4s();
+        for c in t.cores() {
+            let s = t.sibling(c);
+            assert_ne!(s, c);
+            assert_eq!(t.sibling(s), c);
+            assert_eq!(t.socket_of(s), t.socket_of(c));
+            assert_eq!(t.phys_index(s), t.phys_index(c));
+        }
+    }
+
+    #[test]
+    fn sibling_pairing_layout() {
+        // 16 physical cores per socket: thread 0 of phys 0 is core 0, its
+        // hyperthread is core 16.
+        let t = topo_6130_4s();
+        assert_eq!(t.sibling(CoreId(0)), CoreId(16));
+        assert_eq!(t.sibling(CoreId(16)), CoreId(0));
+        assert_eq!(t.sibling(CoreId(32)), CoreId(48));
+        assert!(t.is_primary_thread(CoreId(0)));
+        assert!(!t.is_primary_thread(CoreId(16)));
+    }
+
+    #[test]
+    fn socket_spans_partition_machine() {
+        let t = topo_6130_4s();
+        let mut seen = CpuSet::new(t.n_cores());
+        for s in t.sockets() {
+            let span = t.socket_span(s);
+            assert_eq!(span.len(), 32);
+            assert!(seen.is_disjoint(span));
+            seen.union_with(span);
+        }
+        assert_eq!(seen.len(), t.n_cores());
+    }
+
+    #[test]
+    fn nearest_first_starts_home() {
+        let t = topo_6130_4s();
+        let order = t.sockets_nearest_first(CoreId(40));
+        assert_eq!(order[0], SocketId(1));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn turbo_limit_extends_last_entry() {
+        let spec = presets::xeon_6130(2);
+        assert_eq!(spec.freq.turbo_limit(1), Freq::from_ghz(3.7));
+        assert_eq!(spec.freq.turbo_limit(4), Freq::from_ghz(3.5));
+        assert_eq!(spec.freq.turbo_limit(8), Freq::from_ghz(3.4));
+        assert_eq!(spec.freq.turbo_limit(12), Freq::from_ghz(3.1));
+        assert_eq!(spec.freq.turbo_limit(16), Freq::from_ghz(2.8));
+        assert_eq!(spec.freq.turbo_limit(100), Freq::from_ghz(2.8));
+        assert_eq!(spec.freq.turbo_limit(0), Freq::from_ghz(3.7));
+    }
+
+    #[test]
+    fn voltage_interpolates() {
+        let spec = presets::xeon_6130(2);
+        let p = &spec.power;
+        let vmin = p.voltage(spec.freq.fmin, spec.freq.fmin, spec.freq.fmax());
+        let vmax = p.voltage(spec.freq.fmax(), spec.freq.fmin, spec.freq.fmax());
+        assert!((vmin - p.v_at_fmin).abs() < 1e-12);
+        assert!((vmax - p.v_at_fmax).abs() < 1e-12);
+        let mid = p.voltage(Freq::from_ghz(2.35), spec.freq.fmin, spec.freq.fmax());
+        assert!(mid > vmin && mid < vmax);
+    }
+}

@@ -1,0 +1,251 @@
+//! Machine presets for the paper's test machines.
+//!
+//! Table 2 machines: a 4-socket 160-core Intel Xeon E7-8870 v4 (Broadwell),
+//! 2- and 4-socket Intel Xeon Gold 6130 (Skylake), and a 2-socket Intel
+//! Xeon Gold 5218 (Cascade Lake). Turbo ladders come from Table 3. The
+//! §5.6 mono-socket machines (Intel Xeon 5220, AMD Ryzen 5 PRO 4650G) are
+//! included as well.
+//!
+//! Ramp-rate and power constants are model calibration, not datasheet
+//! values: the Skylake/Cascade Lake machines use Intel Speed Shift
+//! (hardware-managed, fast ramp), while the Broadwell E7-8870 v4 uses
+//! Enhanced Intel SpeedStep (OS-paced, slow ramp and eager decay), which is
+//! the paper's explanation for the E7's tendency to linger at subturbo
+//! frequencies whenever computation has gaps.
+
+use nest_simcore::Freq;
+
+use crate::machine::{
+    FreqSpec,
+    MachineSpec,
+    PowerSpec,
+};
+
+fn ghz(v: f64) -> Freq {
+    Freq::from_ghz(v)
+}
+
+/// Expands a turbo ladder given as `(count, GHz)` runs into a per-count
+/// table.
+fn ladder(entries: &[(usize, f64)]) -> Vec<Freq> {
+    let mut out = Vec::new();
+    for &(count, f) in entries {
+        for _ in 0..count {
+            out.push(ghz(f));
+        }
+    }
+    out
+}
+
+/// Intel-like power constants, scaled by physical core count so that a
+/// fully loaded socket lands near a plausible TDP.
+fn intel_power(phys: usize) -> PowerSpec {
+    PowerSpec {
+        uncore_w: 18.0 + 0.55 * phys as f64,
+        core_idle_w: 0.45,
+        dyn_coeff_w_per_ghz: 2.6,
+        spin_power_factor: 0.3,
+        v_at_fmin: 0.62,
+        v_at_fmax: 1.0,
+    }
+}
+
+/// 4-socket Intel Xeon E7-8870 v4 (Broadwell), 160 hardware threads.
+///
+/// Table 2: min 1.2 GHz, nominal 2.1 GHz, max turbo 3.0 GHz.
+/// Table 3 ladder: 3.0 / 3.0 / 2.8 / 2.7 / 2.6 (5+ cores).
+pub fn e7_8870_v4() -> MachineSpec {
+    MachineSpec {
+        name: "160-core Intel E7-8870 v4",
+        microarch: "Broadwell",
+        sockets: 4,
+        phys_per_socket: 20,
+        smt: 2,
+        freq: FreqSpec {
+            fmin: ghz(1.2),
+            fnominal: ghz(2.1),
+            turbo: ladder(&[(1, 3.0), (1, 3.0), (1, 2.8), (1, 2.7), (16, 2.6)]),
+            // Enhanced SpeedStep: slow to rise, quick to fall — any gap
+            // in the computation drops the frequency, and climbing back
+            // takes many milliseconds (§5.2, §5.3).
+            ramp_up_khz_per_ms: 180_000,
+            ramp_down_khz_per_ms: 350_000,
+            idle_cooldown_ns: 2_000_000,
+            turbo_window_ns: 50_000_000,
+            residency_buckets_ghz: vec![1.2, 1.7, 2.1, 2.6, 3.0],
+        },
+        power: intel_power(20),
+    }
+}
+
+/// Intel Xeon Gold 6130 (Skylake) with the given socket count (2 or 4 in
+/// the paper), 32 hardware threads per socket.
+///
+/// Table 2: min 1.0 GHz, nominal 2.1 GHz, max turbo 3.7 GHz.
+/// Table 3 ladder: 3.7 / 3.7 / 3.5 / 3.5 / 3.4 (5-8) / 3.1 (9-12) /
+/// 2.8 (13-16).
+pub fn xeon_6130(sockets: usize) -> MachineSpec {
+    MachineSpec {
+        name: match sockets {
+            2 => "64-core Intel 6130",
+            4 => "128-core Intel 6130",
+            _ => "Intel 6130",
+        },
+        microarch: "Skylake",
+        sockets,
+        phys_per_socket: 16,
+        smt: 2,
+        freq: FreqSpec {
+            fmin: ghz(1.0),
+            fnominal: ghz(2.1),
+            turbo: ladder(&[(2, 3.7), (2, 3.5), (4, 3.4), (4, 3.1), (4, 2.8)]),
+            // Intel Speed Shift: fast hardware-managed ramp, gentle
+            // decay while idle.
+            ramp_up_khz_per_ms: 1_200_000,
+            ramp_down_khz_per_ms: 80_000,
+            idle_cooldown_ns: 6_000_000,
+            turbo_window_ns: 60_000_000,
+            residency_buckets_ghz: vec![1.0, 1.6, 2.1, 2.8, 3.1, 3.4, 3.7],
+        },
+        power: intel_power(16),
+    }
+}
+
+/// 2-socket Intel Xeon Gold 5218 (Cascade Lake), 64 hardware threads.
+///
+/// Table 2: min 1.0 GHz, nominal 2.3 GHz, max turbo 3.9 GHz.
+/// Table 3 ladder: 3.9 / 3.9 / 3.7 / 3.7 / 3.6 (5-8) / 3.1 (9-12) /
+/// 2.8 (13-16).
+pub fn xeon_5218() -> MachineSpec {
+    MachineSpec {
+        name: "64-core Intel 5218",
+        microarch: "Cascade Lake",
+        sockets: 2,
+        phys_per_socket: 16,
+        smt: 2,
+        freq: FreqSpec {
+            fmin: ghz(1.0),
+            fnominal: ghz(2.3),
+            turbo: ladder(&[(2, 3.9), (2, 3.7), (4, 3.6), (4, 3.1), (4, 2.8)]),
+            ramp_up_khz_per_ms: 1_300_000,
+            ramp_down_khz_per_ms: 80_000,
+            idle_cooldown_ns: 6_000_000,
+            turbo_window_ns: 60_000_000,
+            residency_buckets_ghz: vec![1.0, 1.6, 2.3, 2.8, 3.1, 3.6, 3.9],
+        },
+        power: intel_power(16),
+    }
+}
+
+/// Mono-socket Intel Xeon 5220 (Cascade Lake, 18 physical cores, 36
+/// hardware threads, max turbo 3.9 GHz) from §5.6.
+pub fn xeon_5220() -> MachineSpec {
+    MachineSpec {
+        name: "36-core Intel 5220",
+        microarch: "Cascade Lake",
+        sockets: 1,
+        phys_per_socket: 18,
+        smt: 2,
+        freq: FreqSpec {
+            fmin: ghz(1.0),
+            fnominal: ghz(2.2),
+            turbo: ladder(&[(2, 3.9), (2, 3.7), (4, 3.6), (4, 3.2), (6, 2.9)]),
+            ramp_up_khz_per_ms: 1_300_000,
+            ramp_down_khz_per_ms: 80_000,
+            idle_cooldown_ns: 6_000_000,
+            turbo_window_ns: 60_000_000,
+            residency_buckets_ghz: vec![1.0, 1.6, 2.2, 2.9, 3.2, 3.6, 3.9],
+        },
+        power: intel_power(18),
+    }
+}
+
+/// Mono-socket AMD Ryzen 5 PRO 4650G (Zen 2, 6 physical cores, 12 hardware
+/// threads, max boost 4.2 GHz) from §5.6.
+///
+/// AMD's boost ladder is flatter than Intel's (Precision Boost scales with
+/// thermal headroom more than with active-core count), so concentrating
+/// tasks pays off mostly through reuse of already-warm cores.
+pub fn amd_4650g() -> MachineSpec {
+    MachineSpec {
+        name: "12-core AMD 4650G",
+        microarch: "Zen 2",
+        sockets: 1,
+        phys_per_socket: 6,
+        smt: 2,
+        freq: FreqSpec {
+            fmin: ghz(1.4),
+            fnominal: ghz(3.7),
+            turbo: ladder(&[(1, 4.2), (1, 4.2), (1, 4.1), (1, 4.0), (2, 3.9)]),
+            ramp_up_khz_per_ms: 1_000_000,
+            ramp_down_khz_per_ms: 80_000,
+            idle_cooldown_ns: 8_000_000,
+            turbo_window_ns: 40_000_000,
+            residency_buckets_ghz: vec![1.4, 2.2, 3.0, 3.7, 4.0, 4.2],
+        },
+        power: PowerSpec {
+            uncore_w: 9.0,
+            core_idle_w: 0.3,
+            dyn_coeff_w_per_ghz: 1.9,
+            spin_power_factor: 0.3,
+            v_at_fmin: 0.7,
+            v_at_fmax: 1.1,
+        },
+    }
+}
+
+/// The four paper machines (Table 2), in the order the figures use.
+pub fn paper_machines() -> Vec<MachineSpec> {
+    vec![xeon_6130(2), xeon_6130(4), xeon_5218(), e7_8870_v4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_match_table3() {
+        let e7 = e7_8870_v4();
+        assert_eq!(e7.freq.turbo_limit(1), ghz(3.0));
+        assert_eq!(e7.freq.turbo_limit(3), ghz(2.8));
+        assert_eq!(e7.freq.turbo_limit(4), ghz(2.7));
+        assert_eq!(e7.freq.turbo_limit(20), ghz(2.6));
+
+        let m5218 = xeon_5218();
+        assert_eq!(m5218.freq.turbo_limit(2), ghz(3.9));
+        assert_eq!(m5218.freq.turbo_limit(5), ghz(3.6));
+        assert_eq!(m5218.freq.turbo_limit(10), ghz(3.1));
+        assert_eq!(m5218.freq.turbo_limit(16), ghz(2.8));
+    }
+
+    #[test]
+    fn nominal_below_max_turbo() {
+        for m in paper_machines() {
+            assert!(m.freq.fnominal < m.freq.fmax(), "{}", m.name);
+            assert!(m.freq.fmin < m.freq.fnominal, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn turbo_ladder_is_monotone_nonincreasing() {
+        for m in paper_machines()
+            .into_iter()
+            .chain([xeon_5220(), amd_4650g()])
+        {
+            for w in m.freq.turbo.windows(2) {
+                assert!(w[0] >= w[1], "{}: ladder not monotone", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_machines_core_counts() {
+        let counts: Vec<usize> = paper_machines().iter().map(|m| m.n_cores()).collect();
+        assert_eq!(counts, vec![64, 128, 64, 160]);
+    }
+
+    #[test]
+    fn broadwell_ramps_slower_than_skylake() {
+        assert!(e7_8870_v4().freq.ramp_up_khz_per_ms < xeon_6130(2).freq.ramp_up_khz_per_ms);
+    }
+}

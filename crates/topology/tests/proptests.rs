@@ -1,0 +1,164 @@
+//! Property-based tests for CPU sets and topology.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use nest_simcore::{
+    CoreId,
+    Freq,
+};
+use nest_topology::{
+    machine::{
+        FreqSpec,
+        MachineSpec,
+        PowerSpec,
+    },
+    CpuSet,
+    Topology,
+};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8),
+    Remove(u8),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..160).prop_map(Op::Insert),
+        (0u8..160).prop_map(Op::Remove),
+        Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    /// CpuSet behaves exactly like a BTreeSet<u32> model under arbitrary
+    /// operation sequences.
+    #[test]
+    fn cpuset_matches_model(ops in prop::collection::vec(op_strategy(), 0..300)) {
+        let mut set = CpuSet::new(160);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(c) => {
+                    let a = set.insert(CoreId(c as u32));
+                    let b = model.insert(c as u32);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Remove(c) => {
+                    let a = set.remove(CoreId(c as u32));
+                    let b = model.remove(&(c as u32));
+                    prop_assert_eq!(a, b);
+                }
+                Op::Clear => {
+                    set.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+            let iter: Vec<u32> = set.iter().map(|c| c.0).collect();
+            let expect: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(iter, expect);
+            prop_assert_eq!(set.first().map(|c| c.0), model.first().copied());
+        }
+    }
+
+    /// The wrapping iterator is a rotation of the plain iterator.
+    #[test]
+    fn wrapping_iter_is_rotation(
+        cores in prop::collection::btree_set(0u32..160, 0..80),
+        start in 0u32..160,
+    ) {
+        let set = CpuSet::from_cores(
+            160,
+            &cores.iter().map(|&c| CoreId(c)).collect::<Vec<_>>(),
+        );
+        let wrapped: Vec<u32> = set.iter_wrapping_from(CoreId(start)).map(|c| c.0).collect();
+        let mut plain: Vec<u32> = set.iter().map(|c| c.0).collect();
+        let pivot = plain.iter().position(|&c| c >= start).unwrap_or(0);
+        plain.rotate_left(pivot);
+        prop_assert_eq!(wrapped, plain);
+    }
+
+    /// Set algebra laws against the model.
+    #[test]
+    fn cpuset_algebra_laws(
+        a in prop::collection::btree_set(0u32..96, 0..50),
+        b in prop::collection::btree_set(0u32..96, 0..50),
+    ) {
+        let to_set = |m: &BTreeSet<u32>| {
+            CpuSet::from_cores(96, &m.iter().map(|&c| CoreId(c)).collect::<Vec<_>>())
+        };
+        let sa = to_set(&a);
+        let sb = to_set(&b);
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let mut diff = sa.clone();
+        diff.subtract(&sb);
+        prop_assert_eq!(union.len(), a.union(&b).count());
+        prop_assert_eq!(inter.len(), a.intersection(&b).count());
+        prop_assert_eq!(diff.len(), a.difference(&b).count());
+        prop_assert_eq!(sa.intersection_len(&sb), a.intersection(&b).count());
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+        // Inclusion-exclusion.
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+    }
+
+    /// Topology invariants hold for arbitrary machine shapes: sibling is
+    /// an involution on the same socket, socket spans partition the
+    /// machine, nearest-first starts home and covers all sockets.
+    #[test]
+    fn topology_invariants(sockets in 1usize..5, phys in 1usize..24) {
+        let spec = MachineSpec {
+            name: "prop",
+            microarch: "prop",
+            sockets,
+            phys_per_socket: phys,
+            smt: 2,
+            freq: FreqSpec {
+                fmin: Freq::from_ghz(1.0),
+                fnominal: Freq::from_ghz(2.0),
+                turbo: vec![Freq::from_ghz(3.0)],
+                ramp_up_khz_per_ms: 1,
+                ramp_down_khz_per_ms: 1,
+                idle_cooldown_ns: 1,
+                turbo_window_ns: 1,
+                residency_buckets_ghz: vec![3.0],
+            },
+            power: PowerSpec {
+                uncore_w: 1.0,
+                core_idle_w: 0.1,
+                dyn_coeff_w_per_ghz: 1.0,
+                spin_power_factor: 0.3,
+                v_at_fmin: 0.6,
+                v_at_fmax: 1.0,
+            },
+        };
+        let topo = Topology::new(spec);
+        let mut seen = CpuSet::new(topo.n_cores());
+        for s in topo.sockets() {
+            let span = topo.socket_span(s);
+            prop_assert!(seen.is_disjoint(span));
+            seen.union_with(span);
+        }
+        prop_assert_eq!(seen.len(), topo.n_cores());
+        for c in topo.cores() {
+            let sib = topo.sibling(c);
+            prop_assert_ne!(sib, c);
+            prop_assert_eq!(topo.sibling(sib), c);
+            prop_assert_eq!(topo.socket_of(sib), topo.socket_of(c));
+            prop_assert_eq!(
+                topo.is_primary_thread(c),
+                !topo.is_primary_thread(sib)
+            );
+            let order = topo.sockets_nearest_first(c);
+            prop_assert_eq!(order.len(), sockets);
+            prop_assert_eq!(order[0], topo.socket_of(c));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Workload models for every benchmark suite in the Nest paper's
+//! evaluation.
+//!
+//! Each module produces [`nest_simcore::TaskSpec`]s whose behaviours mimic
+//! the *scheduling-relevant* structure of the original benchmark: how many
+//! tasks exist, how long they compute between blocking points, how they
+//! fork, synchronize, and terminate. Absolute work sizes are calibrated to
+//! land in the same order of magnitude as the paper's CFS-schedutil
+//! runtimes; shapes (who blocks when) follow the paper's descriptions.
+//!
+//! * [`configure`] — software-configuration scripts (§5.2): chains of
+//!   short-lived, mostly sequential forked tasks.
+//! * [`dacapo`] — DaCapo Java applications (§5.3): thread pools with
+//!   frequent short sleeps, plus GC/JIT background threads.
+//! * [`nas`] — NAS Parallel Benchmarks (§5.4): one task per core,
+//!   barrier-synchronized iterations.
+//! * [`phoronix`] — the Figure 13 / Table 4 multicore tests (§5.5).
+//! * [`hackbench`], [`schbench`] — scheduler microbenchmarks (§5.6).
+//! * [`server`] — request/worker server tests (§5.6).
+
+pub mod configure;
+pub mod dacapo;
+pub mod hackbench;
+pub mod nas;
+pub mod phoronix;
+pub mod schbench;
+pub mod server;
+
+use nest_simcore::{
+    SimRng,
+    SimSetup,
+    TaskSpec,
+};
+
+/// A workload: a named generator of initial tasks.
+pub trait Workload {
+    /// Workload name as it appears in figures (e.g. `"llvm_ninja"`).
+    fn name(&self) -> String;
+
+    /// Builds the initial tasks. `setup` allocates barriers/channels;
+    /// `rng` drives any randomized sizing (already forked per workload).
+    fn build(&self, setup: &mut dyn SimSetup, rng: &mut SimRng) -> Vec<TaskSpec>;
+}
+
+/// Converts milliseconds of work *at the given reference frequency in GHz*
+/// into cycles. Workload sizes are quoted this way for readability.
+pub fn ms_at_ghz(ms: f64, ghz: f64) -> u64 {
+    (ms * ghz * 1e6) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_at_ghz_conversion() {
+        // 1 ms at 1 GHz = 1e6 cycles.
+        assert_eq!(ms_at_ghz(1.0, 1.0), 1_000_000);
+        assert_eq!(ms_at_ghz(2.5, 2.0), 5_000_000);
+    }
+}

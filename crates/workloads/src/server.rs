@@ -1,0 +1,263 @@
+//! Server workloads (§5.6): request-driven services with worker pools.
+//!
+//! An open-loop driver injects requests at a configurable rate; a pool of
+//! workers receives, services (computes), and loops. Covers the paper's
+//! web-server (nginx/apache under increasing concurrency), key-value
+//! (leveldb/redis), and interpreter (node/php/perl) server tests at the
+//! level scheduling sees: arrival cadence, service time, pool width.
+
+use nest_simcore::{
+    Action,
+    Behavior,
+    ChannelId,
+    SimRng,
+    SimSetup,
+    TaskSpec,
+};
+
+use crate::{
+    ms_at_ghz,
+    Workload,
+};
+
+/// Parameters of a server test.
+#[derive(Clone, Debug)]
+pub struct ServerSpec {
+    /// Test name (e.g. `"nginx-c100"`).
+    pub name: String,
+    /// Worker (service) threads.
+    pub workers: u32,
+    /// Mean service time per request, ms at 3 GHz.
+    pub service_ms: f64,
+    /// Mean request inter-arrival time, µs (exponential).
+    pub interarrival_us: f64,
+    /// Total requests to inject.
+    pub requests: u32,
+}
+
+impl ServerSpec {
+    /// An nginx-like test: many light requests, moderate pool.
+    pub fn nginx(concurrency: u32) -> ServerSpec {
+        ServerSpec {
+            name: format!("nginx-c{concurrency}"),
+            workers: 16,
+            service_ms: 0.35,
+            interarrival_us: 6_000.0 / concurrency as f64,
+            requests: 8_000,
+        }
+    }
+
+    /// An apache-like test: heavier per-request work, wider pool — the
+    /// case where Nest lags CFS as concurrency grows (§5.6).
+    pub fn apache(concurrency: u32) -> ServerSpec {
+        ServerSpec {
+            name: format!("apache-c{concurrency}"),
+            workers: 32,
+            service_ms: 1.1,
+            interarrival_us: 8_000.0 / concurrency as f64,
+            requests: 6_000,
+        }
+    }
+
+    /// A leveldb-like key-value store: small pool, bursty arrivals.
+    pub fn leveldb() -> ServerSpec {
+        ServerSpec {
+            name: "leveldb".into(),
+            workers: 6,
+            service_ms: 0.8,
+            interarrival_us: 170.0,
+            requests: 12_000,
+        }
+    }
+
+    /// A redis-like store: nearly serial event loop.
+    pub fn redis() -> ServerSpec {
+        ServerSpec {
+            name: "redis".into(),
+            workers: 2,
+            service_ms: 0.25,
+            interarrival_us: 150.0,
+            requests: 12_000,
+        }
+    }
+}
+
+/// Open-loop request injector.
+struct Driver {
+    ch: ChannelId,
+    remaining: u32,
+    interarrival_us: f64,
+    send_next: bool,
+}
+
+impl Behavior for Driver {
+    fn next(&mut self, rng: &mut SimRng) -> Action {
+        if self.remaining == 0 {
+            return Action::Exit;
+        }
+        if self.send_next {
+            self.send_next = false;
+            self.remaining -= 1;
+            Action::Send {
+                ch: self.ch,
+                msgs: 1,
+            }
+        } else {
+            self.send_next = true;
+            Action::Sleep {
+                ns: (rng.exponential(self.interarrival_us) * 1_000.0).max(100.0) as u64,
+            }
+        }
+    }
+}
+
+/// Service worker with a fixed request quota.
+struct ServerWorker {
+    ch: ChannelId,
+    quota: u32,
+    service_cycles: u64,
+    recv_next: bool,
+}
+
+impl Behavior for ServerWorker {
+    fn next(&mut self, rng: &mut SimRng) -> Action {
+        if self.quota == 0 {
+            return Action::Exit;
+        }
+        if self.recv_next {
+            self.recv_next = false;
+            Action::Recv { ch: self.ch }
+        } else {
+            self.recv_next = true;
+            self.quota -= 1;
+            Action::Compute {
+                cycles: rng.jitter(self.service_cycles, 0.6).max(1),
+            }
+        }
+    }
+}
+
+/// The server workload.
+pub struct Server {
+    spec: ServerSpec,
+}
+
+impl Server {
+    /// Creates the workload from a spec.
+    pub fn new(spec: ServerSpec) -> Server {
+        Server { spec }
+    }
+}
+
+impl Workload for Server {
+    fn name(&self) -> String {
+        self.spec.name.clone()
+    }
+
+    fn build(&self, setup: &mut dyn SimSetup, _rng: &mut SimRng) -> Vec<TaskSpec> {
+        let ch = setup.create_channel();
+        let mut tasks = vec![TaskSpec::new(
+            format!("{}-driver", self.spec.name),
+            Box::new(Driver {
+                ch,
+                remaining: self.spec.requests,
+                interarrival_us: self.spec.interarrival_us,
+                send_next: false,
+            }),
+        )];
+        // Distribute the request quota; the first worker absorbs the
+        // remainder so counts balance exactly (no leftover messages).
+        let w = self.spec.workers.max(1);
+        let base = self.spec.requests / w;
+        let rem = self.spec.requests % w;
+        for i in 0..w {
+            let quota = base + if i == 0 { rem } else { 0 };
+            tasks.push(TaskSpec::new(
+                format!("{}-worker{i}", self.spec.name),
+                Box::new(ServerWorker {
+                    ch,
+                    quota,
+                    service_cycles: ms_at_ghz(self.spec.service_ms, 3.0),
+                    recv_next: true,
+                }),
+            ));
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Setup {
+        channels: u32,
+    }
+    impl SimSetup for Setup {
+        fn create_barrier(&mut self, _parties: u32) -> nest_simcore::BarrierId {
+            unreachable!()
+        }
+        fn create_channel(&mut self) -> ChannelId {
+            self.channels += 1;
+            ChannelId(self.channels - 1)
+        }
+        fn n_cores(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn quotas_sum_to_requests() {
+        let spec = ServerSpec {
+            name: "t".into(),
+            workers: 7,
+            service_ms: 0.1,
+            interarrival_us: 100.0,
+            requests: 100,
+        };
+        let s = Server::new(spec);
+        let mut setup = Setup { channels: 0 };
+        let mut rng = SimRng::new(0);
+        let tasks = s.build(&mut setup, &mut rng);
+        assert_eq!(tasks.len(), 8);
+        // Drive all workers, count their total receives.
+        let mut total = 0;
+        for t in tasks.into_iter().skip(1) {
+            let mut b = t.behavior;
+            loop {
+                match b.next(&mut rng) {
+                    Action::Recv { .. } => total += 1,
+                    Action::Exit => break,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn driver_sends_exactly_requests() {
+        let mut d = Driver {
+            ch: ChannelId(0),
+            remaining: 5,
+            interarrival_us: 10.0,
+            send_next: false,
+        };
+        let mut rng = SimRng::new(0);
+        let mut sends = 0;
+        loop {
+            match d.next(&mut rng) {
+                Action::Send { msgs, .. } => sends += msgs,
+                Action::Exit => break,
+                _ => {}
+            }
+        }
+        assert_eq!(sends, 5);
+    }
+
+    #[test]
+    fn apache_scales_arrivals_with_concurrency() {
+        assert!(ServerSpec::apache(200).interarrival_us < ServerSpec::apache(50).interarrival_us);
+        assert_eq!(ServerSpec::nginx(100).name, "nginx-c100");
+    }
+}

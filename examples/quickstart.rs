@@ -1,0 +1,51 @@
+//! Quickstart: simulate one workload under CFS and under Nest and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nest_repro::{
+    presets,
+    run_once,
+    Governor,
+    PolicyKind,
+    SimConfig,
+};
+use nest_workloads::configure::Configure;
+
+fn main() {
+    // Pick a machine from the paper's Table 2 …
+    let machine = presets::xeon_5218();
+    // … and a workload from its evaluation (the gdb configure script).
+    let workload = Configure::named("gdb");
+
+    println!("machine: {} | workload: {}", machine.name, "configure-gdb");
+    println!();
+
+    let mut baseline = None;
+    for policy in [PolicyKind::Cfs, PolicyKind::Nest] {
+        let cfg = SimConfig::new(machine.clone())
+            .policy(policy.clone())
+            .governor(Governor::Schedutil)
+            .seed(1);
+        let r = run_once(&cfg, &workload);
+        println!(
+            "{:<5} schedutil: {:.3}s, {:.1} J, {} tasks, underload/s {:.2}, \
+             {:.0}% of busy time in the top frequency buckets",
+            policy.label(),
+            r.time_s,
+            r.energy_j,
+            r.total_tasks,
+            r.underload.underload_per_second(),
+            100.0 * r.freq.top_fraction(2),
+        );
+        match baseline {
+            None => baseline = Some(r.time_s),
+            Some(base) => {
+                println!(
+                    "\nNest speedup vs CFS: {:+.1}%  (paper reports 10%-2x \
+                     for workloads of this class)",
+                    nest_metrics::speedup_pct(base, r.time_s)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Repository facade for the Nest scheduler reproduction.
+//!
+//! This crate re-exports the public API of [`nest_core`] so that the
+//! repo-level examples and integration tests have a single import root.
+//! Library users should depend on `nest-core` directly.
+
+pub use nest_core::*;
+
+/// The paper reproduced by this repository.
+pub const PAPER: &str =
+    "OS Scheduling with Nest: Keeping Tasks Close Together on Warm Cores (EuroSys 2022)";

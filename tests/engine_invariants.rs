@@ -1,0 +1,171 @@
+//! Cross-crate invariant tests: whatever the workload and policy, the
+//! engine must conserve tasks, keep the trace well-formed, and respect
+//! the machine's frequency envelope.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nest_repro::{
+    presets,
+    EngineConfig,
+    Workload,
+};
+use nest_engine::Engine;
+use nest_sched::{
+    Cfs,
+    Nest,
+    SchedPolicy,
+    Smove,
+};
+use nest_simcore::{
+    Probe,
+    SimRng,
+    Time,
+    TraceEvent,
+};
+use nest_workloads::{
+    configure::Configure,
+    hackbench::{
+        Hackbench,
+        HackbenchSpec,
+    },
+    nas::Nas,
+    schbench::{
+        Schbench,
+        SchbenchSpec,
+    },
+    server::{
+        Server,
+        ServerSpec,
+    },
+};
+
+/// Checks trace well-formedness: RunStart/RunStop pairing per core, no
+/// frequency outside the machine envelope, monotonic time.
+#[derive(Default)]
+struct InvariantProbe {
+    errors: Rc<RefCell<Vec<String>>>,
+    running: Vec<Option<u32>>,
+    fmin_khz: u64,
+    fmax_khz: u64,
+    last: Time,
+}
+
+impl Probe for InvariantProbe {
+    fn on_event(&mut self, now: Time, event: &TraceEvent) {
+        let mut err = |m: String| self.errors.borrow_mut().push(m);
+        if now < self.last {
+            err(format!("time went backwards at {now}"));
+        }
+        self.last = now;
+        match event {
+            TraceEvent::RunStart { task, core } => {
+                let slot = &mut self.running[core.index()];
+                if let Some(t) = slot {
+                    err(format!("core {core} started {task} while running {t}"));
+                }
+                *slot = Some(task.0);
+            }
+            TraceEvent::RunStop { task, core, .. } => {
+                let slot = &mut self.running[core.index()];
+                if *slot != Some(task.0) {
+                    err(format!("core {core} stopped {task} but ran {slot:?}"));
+                }
+                *slot = None;
+            }
+            TraceEvent::FreqChange { core, freq } => {
+                let khz = freq.as_khz();
+                if khz < self.fmin_khz || khz > self.fmax_khz {
+                    err(format!("core {core} at {freq} outside envelope"));
+                }
+            }
+            TraceEvent::SpinStart { core } => {
+                if self.running[core.index()].is_some() {
+                    err(format!("core {core} spinning while running a task"));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check(workload: &dyn Workload, policy: Box<dyn SchedPolicy>) {
+    let machine = presets::xeon_6130(2);
+    let mut cfg = EngineConfig::new(machine.clone());
+    cfg.horizon = Time::from_secs(120);
+    let mut engine = Engine::new(cfg, policy);
+    let errors = Rc::new(RefCell::new(Vec::new()));
+    engine.add_probe(Box::new(InvariantProbe {
+        errors: Rc::clone(&errors),
+        running: vec![None; machine.n_cores()],
+        fmin_khz: machine.freq.fmin.as_khz(),
+        fmax_khz: machine.freq.fmax().as_khz(),
+        last: Time::ZERO,
+    }));
+    let mut rng = SimRng::new(3);
+    let tasks = workload.build(&mut engine, &mut rng);
+    let spawned = tasks.len();
+    for t in tasks {
+        engine.spawn(t);
+    }
+    let out = engine.run();
+    assert!(
+        !out.hit_horizon,
+        "{}: did not finish (deadlock or runaway)",
+        workload.name()
+    );
+    assert_eq!(out.live_tasks, 0, "{}: tasks leaked", workload.name());
+    assert!(out.total_tasks >= spawned);
+    assert!(out.energy_joules > 0.0);
+    let errs = errors.borrow();
+    assert!(errs.is_empty(), "{}: {:?}", workload.name(), &errs[..errs.len().min(5)]);
+}
+
+#[test]
+fn invariants_configure_under_all_policies() {
+    let w = Configure::named("gdb");
+    check(&w, Box::new(Cfs::new()));
+    check(&w, Box::new(Nest::new(64)));
+    check(&w, Box::new(Smove::new()));
+}
+
+#[test]
+fn invariants_nas_barriers() {
+    check(&Nas::named("is.C.x"), Box::new(Nest::new(64)));
+    check(&Nas::named("is.C.x"), Box::new(Cfs::new()));
+}
+
+#[test]
+fn invariants_hackbench_channels() {
+    let hb = Hackbench::new(HackbenchSpec {
+        groups: 4,
+        fan: 5,
+        loops: 50,
+        msg_cycles: 20_000,
+    });
+    check(&hb, Box::new(Nest::new(64)));
+    check(&hb, Box::new(Cfs::new()));
+}
+
+#[test]
+fn invariants_schbench_request_reply() {
+    let sb = Schbench::new(SchbenchSpec {
+        message_threads: 4,
+        workers_per_message: 4,
+        requests_per_worker: 20,
+        think_ms: 1.0,
+    });
+    check(&sb, Box::new(Nest::new(64)));
+}
+
+#[test]
+fn invariants_server_open_loop() {
+    check(&Server::new(ServerSpec::redis()), Box::new(Nest::new(64)));
+    check(&Server::new(ServerSpec::nginx(100)), Box::new(Cfs::new()));
+}
+
+#[test]
+fn invariants_queue_driven_dacapo() {
+    use nest_workloads::dacapo::Dacapo;
+    check(&Dacapo::named("graphchi-eval"), Box::new(Nest::new(64)));
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the public API: arbitrary (small) workloads
+//! must run to completion deterministically with sane metrics, under
+//! every policy.
+
+use proptest::prelude::*;
+
+use nest_repro::{
+    presets,
+    run_once,
+    PolicyKind,
+    SimConfig,
+    Workload,
+};
+use nest_simcore::{
+    Action,
+    SimRng,
+    SimSetup,
+    TaskSpec,
+};
+
+/// A serializable mini-workload description proptest can generate.
+#[derive(Clone, Debug)]
+struct MiniWorkload {
+    tasks: Vec<Vec<Step>>,
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    Compute(u64),
+    Sleep(u64),
+    ForkChild(u64),
+    Wait,
+    Yield,
+}
+
+impl Workload for MiniWorkload {
+    fn name(&self) -> String {
+        "mini".into()
+    }
+
+    fn build(&self, _setup: &mut dyn SimSetup, _rng: &mut SimRng) -> Vec<TaskSpec> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, steps)| {
+                let mut actions = Vec::new();
+                let mut forked = false;
+                for s in steps {
+                    match s {
+                        Step::Compute(c) => actions.push(Action::Compute { cycles: *c }),
+                        Step::Sleep(ns) => actions.push(Action::Sleep { ns: *ns }),
+                        Step::ForkChild(c) => {
+                            forked = true;
+                            actions.push(Action::Fork {
+                                child: TaskSpec::script(
+                                    "child",
+                                    vec![Action::Compute { cycles: *c }],
+                                ),
+                            });
+                        }
+                        Step::Wait => {
+                            if forked {
+                                actions.push(Action::WaitChildren);
+                            }
+                        }
+                        Step::Yield => actions.push(Action::Yield),
+                    }
+                }
+                TaskSpec::script(format!("t{i}"), actions)
+            })
+            .collect()
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1_000u64..200_000_000).prop_map(Step::Compute),
+        (1_000u64..50_000_000).prop_map(Step::Sleep),
+        (1_000u64..50_000_000).prop_map(Step::ForkChild),
+        Just(Step::Wait),
+        Just(Step::Yield),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = MiniWorkload> {
+    prop::collection::vec(prop::collection::vec(step_strategy(), 1..8), 1..6)
+        .prop_map(|tasks| MiniWorkload { tasks })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_workload_completes_under_any_policy(
+        w in workload_strategy(),
+        policy_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let policy = match policy_idx {
+            0 => PolicyKind::Cfs,
+            1 => PolicyKind::Nest,
+            _ => PolicyKind::Smove,
+        };
+        let cfg = SimConfig::new(presets::xeon_5218())
+            .policy(policy)
+            .seed(seed);
+        let r = run_once(&cfg, &w);
+        prop_assert!(!r.hit_horizon, "workload did not finish");
+        prop_assert!(r.time_s > 0.0);
+        prop_assert!(r.energy_j > 0.0);
+        prop_assert!(r.freq.fractions().iter().all(|f| (0.0..=1.0).contains(f)));
+        let total: f64 = r.freq.fractions().iter().sum();
+        prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_config_identical_outcome(
+        w in workload_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = SimConfig::new(presets::xeon_5218())
+            .policy(PolicyKind::Nest)
+            .seed(seed);
+        let a = run_once(&cfg, &w);
+        let b = run_once(&cfg, &w);
+        prop_assert_eq!(a.time_s, b.time_s);
+        prop_assert_eq!(a.energy_j, b.energy_j);
+        prop_assert_eq!(a.total_tasks, b.total_tasks);
+    }
+
+    #[test]
+    fn underload_never_negative_and_bounded_by_cores(
+        w in workload_strategy(),
+    ) {
+        let cfg = SimConfig::new(presets::xeon_5218());
+        let r = run_once(&cfg, &w);
+        for i in &r.underload.intervals {
+            prop_assert!(i.cores_used as usize <= 64);
+            prop_assert!(i.underload() <= i.cores_used);
+        }
+    }
+}
