@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI gate for the nest reproduction workspace.
+#
+# Runs the same four checks as .github/workflows/ci.yml, in order of
+# increasing cost, stopping at the first failure. No step needs network
+# access: the workspace has no external dependencies (property tests and
+# criterion benches are gated behind off-by-default features).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all -- --check
+step cargo clippy --workspace --all-targets --release -- -D warnings
+step cargo build --workspace --release
+step cargo test --workspace --release -q
+
+echo
+echo "==> CI gate passed"

@@ -7,33 +7,11 @@
 
 use std::rc::Rc;
 
-use criterion::{
-    criterion_group,
-    criterion_main,
-    Criterion,
-};
-use nest_freq::{
-    FreqModel,
-    Governor,
-};
-use nest_sched::{
-    Cfs,
-    KernelState,
-    Nest,
-    SchedEnv,
-    SchedPolicy,
-    Smove,
-};
-use nest_simcore::{
-    CoreId,
-    SimRng,
-    TaskId,
-    Time,
-};
-use nest_topology::{
-    presets,
-    Topology,
-};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nest_freq::{FreqModel, Governor};
+use nest_sched::{Cfs, KernelState, Nest, SchedEnv, SchedPolicy, Smove};
+use nest_simcore::{CoreId, SimRng, TaskId, Time};
+use nest_topology::{presets, Topology};
 
 struct Fixture {
     k: KernelState,

@@ -1,27 +1,11 @@
 //! Criterion microbenchmarks of substrate data structures: event queue,
 //! CPU sets, PELT updates, frequency-model advancement.
 
-use criterion::{
-    criterion_group,
-    criterion_main,
-    Criterion,
-};
-use nest_freq::{
-    Activity,
-    FreqModel,
-    Governor,
-};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nest_freq::{Activity, FreqModel, Governor};
 use nest_sched::Pelt;
-use nest_simcore::{
-    CoreId,
-    EventQueue,
-    Time,
-    MILLISEC,
-};
-use nest_topology::{
-    presets,
-    CpuSet,
-};
+use nest_simcore::{CoreId, EventQueue, Time, MILLISEC};
+use nest_topology::{presets, CpuSet};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_1k", |b| {

@@ -10,27 +10,12 @@
 //! costs ~5% on h2/graphchi, and parameter changes within 0.5-10× are
 //! mostly neutral.
 
-use nest_bench::{
-    banner,
-    quick,
-    runs,
-    seed,
-};
-use nest_core::experiment::{
-    compare_schedulers,
-    SchedulerSetup,
-};
-use nest_core::{
-    Governor,
-    NestParams,
-    PolicyKind,
-};
+use nest_bench::{banner, emit_artifact, factory, matrix, quick, runs};
+use nest_core::experiment::{Comparison, SchedulerSetup};
+use nest_core::{Governor, NestParams, PolicyKind};
+use nest_harness::WorkloadFactory;
 use nest_topology::presets;
-use nest_workloads::{
-    configure::Configure,
-    dacapo::Dacapo,
-    Workload,
-};
+use nest_workloads::{configure::Configure, dacapo::Dacapo};
 
 fn variants() -> Vec<(&'static str, NestParams)> {
     let base = NestParams::default();
@@ -80,42 +65,108 @@ fn variants() -> Vec<(&'static str, NestParams)> {
         ),
     ];
     for (label, p) in [
-        ("P_remove x0.5 (1 tick)", NestParams { p_remove_ticks: 1, ..base.clone() }),
-        ("P_remove x2 (4 ticks)", NestParams { p_remove_ticks: 4, ..base.clone() }),
-        ("P_remove x10 (20 ticks)", NestParams { p_remove_ticks: 20, ..base.clone() }),
-        ("R_max x0.5 (2)", NestParams { r_max: 2, ..base.clone() }),
-        ("R_max x2 (10)", NestParams { r_max: 10, ..base.clone() }),
-        ("R_max x10 (50)", NestParams { r_max: 50, ..base.clone() }),
-        ("S_max x0.5 (1 tick)", NestParams { s_max_ticks: 1, ..base.clone() }),
-        ("S_max x2 (4 ticks)", NestParams { s_max_ticks: 4, ..base.clone() }),
-        ("S_max x10 (20 ticks)", NestParams { s_max_ticks: 20, ..base.clone() }),
-        ("R_impatient x0.5 (1)", NestParams { r_impatient: 1, ..base.clone() }),
-        ("R_impatient x2 (4)", NestParams { r_impatient: 4, ..base.clone() }),
-        ("R_impatient x10 (20)", NestParams { r_impatient: 20, ..base.clone() }),
+        (
+            "P_remove x0.5 (1 tick)",
+            NestParams {
+                p_remove_ticks: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "P_remove x2 (4 ticks)",
+            NestParams {
+                p_remove_ticks: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "P_remove x10 (20 ticks)",
+            NestParams {
+                p_remove_ticks: 20,
+                ..base.clone()
+            },
+        ),
+        (
+            "R_max x0.5 (2)",
+            NestParams {
+                r_max: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "R_max x2 (10)",
+            NestParams {
+                r_max: 10,
+                ..base.clone()
+            },
+        ),
+        (
+            "R_max x10 (50)",
+            NestParams {
+                r_max: 50,
+                ..base.clone()
+            },
+        ),
+        (
+            "S_max x0.5 (1 tick)",
+            NestParams {
+                s_max_ticks: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "S_max x2 (4 ticks)",
+            NestParams {
+                s_max_ticks: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "S_max x10 (20 ticks)",
+            NestParams {
+                s_max_ticks: 20,
+                ..base.clone()
+            },
+        ),
+        (
+            "R_impatient x0.5 (1)",
+            NestParams {
+                r_impatient: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "R_impatient x2 (4)",
+            NestParams {
+                r_impatient: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "R_impatient x10 (20)",
+            NestParams {
+                r_impatient: 20,
+                ..base.clone()
+            },
+        ),
     ] {
         v.push((label, p));
     }
     v
 }
 
-fn study(machine: &nest_topology::MachineSpec, workload: &dyn Workload) {
-    println!("\n## {} on {}", workload.name(), machine.name);
-    // Baseline: full Nest under schedutil; each variant compared to it.
-    let mut schedulers = vec![SchedulerSetup::new(
-        PolicyKind::NestWith(NestParams::default()),
-        Governor::Schedutil,
-    )];
-    for (_, p) in variants().into_iter().skip(1) {
-        schedulers.push(SchedulerSetup::new(
-            PolicyKind::NestWith(p),
-            Governor::Schedutil,
-        ));
-    }
-    let c = compare_schedulers(machine, workload, &schedulers, runs(), seed());
-    println!(
-        "{:<30} {:>10} {:>9}",
-        "variant", "time(s)", "vs full%"
-    );
+/// Baseline full Nest first, then every ablation/scaling variant, all
+/// under schedutil.
+fn variant_setups() -> Vec<SchedulerSetup> {
+    variants()
+        .into_iter()
+        .map(|(_, p)| SchedulerSetup::new(PolicyKind::NestWith(p), Governor::Schedutil))
+        .collect()
+}
+
+fn print_study(c: &Comparison) {
+    println!("\n## {} on {}", c.workload, c.machine);
+    println!("{:<30} {:>10} {:>9}", "variant", "time(s)", "vs full%");
     for (row, (label, _)) in c.rows.iter().zip(variants()) {
         println!(
             "{:<30} {:>10.3} {:>9}",
@@ -129,21 +180,38 @@ fn study(machine: &nest_topology::MachineSpec, workload: &dyn Workload) {
 }
 
 fn main() {
-    banner("Ablation", "Nest feature removal and parameter scaling (§5.2/§5.3)");
+    banner(
+        "Ablation",
+        "Nest feature removal and parameter scaling (§5.2/§5.3)",
+    );
+    let setups = variant_setups();
     let machines = if quick() {
         vec![presets::xeon_5218()]
     } else {
         vec![presets::xeon_5218(), presets::e7_8870_v4()]
     };
+    let mut m = matrix("ablation");
     for machine in &machines {
-        study(machine, &Configure::named("llvm_ninja"));
-        study(machine, &Configure::named("mplayer"));
+        for bench in ["llvm_ninja", "mplayer"] {
+            let make: WorkloadFactory = factory(move || Configure::named(bench));
+            m.add(machine.clone(), &setups, runs(), make);
+        }
     }
     let dacapo_machine = presets::xeon_6130(2);
     for app in ["h2", "graphchi-eval", "tradebeans"] {
-        study(&dacapo_machine, &Dacapo::named(app));
+        m.add(
+            dacapo_machine.clone(),
+            &setups,
+            runs(),
+            factory(move || Dacapo::named(app)),
+        );
+    }
+    let (comps, telemetry) = m.run();
+    for c in &comps {
+        print_study(c);
     }
     println!("\nExpected shape (paper): configure is sensitive only to the");
     println!("reserve nest; the DaCapo trio is most sensitive to spinning;");
     println!("parameter scalings stay within a few percent.");
+    emit_artifact("ablation", &comps, vec![], Some(&telemetry));
 }

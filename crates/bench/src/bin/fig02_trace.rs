@@ -5,31 +5,51 @@
 //! The paper's claim: CFS forks tasks onto cores with increasing numbers,
 //! dispersing over ~8 cores that linger in the lower turbo range; Nest
 //! places them on ~2 cores that stay at the highest frequencies.
+//!
+//! Trace runs carry full execution traces, which are too heavy for the
+//! result cache; they go through the harness's raw parallel path instead.
 
-use nest_bench::{
-    banner,
-    seed,
-};
-use nest_core::{
-    run_once,
-    PolicyKind,
-    SimConfig,
-};
+use std::time::Instant;
+
+use nest_bench::{banner, emit_artifact, seed};
+use nest_core::{PolicyKind, SimConfig};
+use nest_harness::{jobs, run_raw, Json, RawCell, Telemetry};
 use nest_topology::presets;
 use nest_workloads::configure::Configure;
 
 fn main() {
-    banner("Figure 2", "LLVM-ninja configure trace, CFS vs Nest (5218, schedutil)");
+    banner(
+        "Figure 2",
+        "LLVM-ninja configure trace, CFS vs Nest (5218, schedutil)",
+    );
     let machine = presets::xeon_5218();
     let fmax = machine.freq.fmax().as_ghz();
-    for policy in [PolicyKind::Cfs, PolicyKind::Nest] {
-        let cfg = SimConfig::new(machine.clone())
-            .policy(policy.clone())
-            .seed(seed())
-            .with_trace();
+    let policies = [PolicyKind::Cfs, PolicyKind::Nest];
+    let started = Instant::now();
+    let cells: Vec<RawCell> = policies
+        .iter()
+        .map(|policy| RawCell {
+            cfg: SimConfig::new(machine.clone())
+                .policy(policy.clone())
+                .seed(seed())
+                .with_trace(),
+            make: Box::new(|| Box::new(Configure::named("llvm_ninja"))),
+        })
+        .collect();
+    let results = run_raw(cells, jobs());
+    let telemetry = Telemetry {
+        jobs: jobs().min(policies.len()),
+        cells_total: policies.len(),
+        cells_cached: 0,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+
+    // The paper's frequency bands for the 5218.
+    let bands = [(0.0, 1.0), (1.0, 1.6), (1.6, 2.3), (2.3, 3.6), (3.6, 3.9)];
+    let mut series = Vec::new();
+    for (policy, r) in policies.iter().zip(&results) {
         let label = policy.label();
-        let r = run_once(&cfg, &Configure::named("llvm_ninja"));
-        let trace = r.trace.expect("trace requested");
+        let trace = r.trace.as_ref().expect("trace requested");
         // Keep the first 0.3 s, as the paper does.
         let cutoff = nest_simcore::Time::from_millis(300);
         let spans: Vec<_> = trace
@@ -48,17 +68,40 @@ fn main() {
             window.cores_used().len(),
             window.cores_used()
         );
-        // The paper's frequency bands for the 5218.
-        let bands = [(0.0, 1.0), (1.0, 1.6), (1.6, 2.3), (2.3, 3.6), (3.6, 3.9)];
+        let mut band_json = Vec::new();
         for (lo, hi) in bands {
-            println!(
-                "  ({lo:.1},{hi:.1}] GHz: {:5.2}%",
-                100.0 * window.busy_fraction_in(lo, hi)
-            );
+            let frac = window.busy_fraction_in(lo, hi);
+            println!("  ({lo:.1},{hi:.1}] GHz: {:5.2}%", 100.0 * frac);
+            band_json.push(Json::Obj(vec![
+                ("lo_ghz".to_string(), Json::f64(lo)),
+                ("hi_ghz".to_string(), Json::f64(hi)),
+                ("busy_fraction".to_string(), Json::f64(frac)),
+            ]));
         }
         println!("{}", window.render_ascii(3_000_000, fmax));
         println!("full run: {:.3}s", r.time_s);
+        series.push(Json::Obj(vec![
+            ("policy".to_string(), Json::str(label)),
+            (
+                "cores_used".to_string(),
+                Json::Arr(
+                    window
+                        .cores_used()
+                        .iter()
+                        .map(|&c| Json::u64(c as u64))
+                        .collect(),
+                ),
+            ),
+            ("bands".to_string(), Json::Arr(band_json)),
+            ("full_run_time_s".to_string(), Json::f64(r.time_s)),
+        ]));
     }
     println!("\nExpected shape (paper): CFS uses ~8 cores mostly in the");
     println!("(2.3,3.6] band; Nest uses ~2 cores mostly in (3.6,3.9].");
+    emit_artifact(
+        "fig02_trace",
+        &[],
+        vec![("traces", Json::Arr(series))],
+        Some(&telemetry),
+    );
 }

@@ -4,25 +4,42 @@
 //! The paper's claim: CFS shows substantial underload (up to ~6 per
 //! interval); with Nest it has almost disappeared.
 
-use nest_bench::{
-    banner,
-    seed,
-};
-use nest_core::{
-    run_once,
-    PolicyKind,
-    SimConfig,
-};
+use std::time::Instant;
+
+use nest_bench::{banner, emit_artifact, seed};
+use nest_core::{PolicyKind, SimConfig};
+use nest_harness::{jobs, run_raw, Json, RawCell, Telemetry};
 use nest_topology::presets;
 use nest_workloads::configure::Configure;
 
 fn main() {
-    banner("Figure 3", "underload timeline, LLVM-ninja configure (5218, schedutil)");
+    banner(
+        "Figure 3",
+        "underload timeline, LLVM-ninja configure (5218, schedutil)",
+    );
     let machine = presets::xeon_5218();
-    for policy in [PolicyKind::Cfs, PolicyKind::Nest] {
-        let cfg = SimConfig::new(machine.clone()).policy(policy.clone()).seed(seed());
+    let policies = [PolicyKind::Cfs, PolicyKind::Nest];
+    let started = Instant::now();
+    let cells: Vec<RawCell> = policies
+        .iter()
+        .map(|policy| RawCell {
+            cfg: SimConfig::new(machine.clone())
+                .policy(policy.clone())
+                .seed(seed()),
+            make: Box::new(|| Box::new(Configure::named("llvm_ninja"))),
+        })
+        .collect();
+    let results = run_raw(cells, jobs());
+    let telemetry = Telemetry {
+        jobs: jobs().min(policies.len()),
+        cells_total: policies.len(),
+        cells_cached: 0,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+
+    let mut timelines = Vec::new();
+    for (policy, r) in policies.iter().zip(&results) {
         let label = policy.label();
-        let r = run_once(&cfg, &Configure::named("llvm_ninja"));
         let series = r.underload.series();
         println!("\n--- {label} ---");
         println!("t(s)    underload   (first 0.3 s, 4 ms intervals)");
@@ -34,10 +51,42 @@ fn main() {
             }
         }
         let total: u64 = series.iter().take(75).map(|(_, u)| *u as u64).sum();
-        println!("intervals with underload: {} / 75, peak {}, total {}",
-            series.iter().take(75).filter(|(_, u)| *u > 0).count(), max_u, total);
-        println!("whole-run underload/s: {:.2}", r.underload.underload_per_second());
+        println!(
+            "intervals with underload: {} / 75, peak {}, total {}",
+            series.iter().take(75).filter(|(_, u)| *u > 0).count(),
+            max_u,
+            total
+        );
+        println!(
+            "whole-run underload/s: {:.2}",
+            r.underload.underload_per_second()
+        );
+        timelines.push(Json::Obj(vec![
+            ("policy".to_string(), Json::str(label)),
+            (
+                "intervals".to_string(),
+                Json::Arr(
+                    series
+                        .iter()
+                        .take(75)
+                        .map(|(t, u)| Json::Arr(vec![Json::f64(*t), Json::u64(*u as u64)]))
+                        .collect(),
+                ),
+            ),
+            ("peak".to_string(), Json::u64(max_u as u64)),
+            ("total_first_300ms".to_string(), Json::u64(total)),
+            (
+                "underload_per_s".to_string(),
+                Json::f64(r.underload.underload_per_second()),
+            ),
+        ]));
     }
     println!("\nExpected shape (paper): substantial CFS underload, nearly");
     println!("none under Nest.");
+    emit_artifact(
+        "fig03_underload_timeline",
+        &[],
+        vec![("timelines", Json::Arr(timelines))],
+        Some(&telemetry),
+    );
 }

@@ -4,17 +4,17 @@
 //! The paper's claim: CFS accrues a few underload units per second; Nest
 //! nearly eliminates it on every machine.
 
-use nest_bench::{
-    banner,
-    configure_matrix,
-    metric_row,
-    paper_schedulers,
-};
+use nest_bench::{banner, configure_matrix, emit_artifact, metric_row, paper_schedulers};
 
 fn main() {
-    banner("Figure 4", "configure underload per second (CFS/Nest × sched/perf)");
+    banner(
+        "Figure 4",
+        "configure underload per second (CFS/Nest × sched/perf)",
+    );
     let schedulers = paper_schedulers();
-    for (machine, comps) in configure_matrix(&schedulers) {
+    let (grouped, telemetry) = configure_matrix("fig04_underload", &schedulers);
+    let mut all = Vec::new();
+    for (machine, comps) in grouped {
         println!("\n### {machine}");
         let labels: Vec<String> = schedulers.iter().map(|s| s.label()).collect();
         println!("{}", metric_row("benchmark", &labels));
@@ -26,7 +26,9 @@ fn main() {
                 .collect();
             println!("{}", metric_row(&c.workload, &vals));
         }
+        all.extend(comps);
     }
     println!("\nExpected shape (paper): CFS rows noticeably positive, Nest");
     println!("rows near zero on all four machines.");
+    emit_artifact("fig04_underload", &all, vec![], Some(&telemetry));
 }

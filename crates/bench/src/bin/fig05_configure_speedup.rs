@@ -6,17 +6,15 @@
 //! little on the 6130/5218 (CFS-schedutil already reaches turbo) but a
 //! lot on the E7; Smove stays under 5% except ~9% on LLVM.
 
-use nest_bench::{
-    banner,
-    configure_matrix,
-    metric_row,
-};
+use nest_bench::{banner, configure_matrix, emit_artifact, metric_row};
 use nest_core::experiment::SchedulerSetup;
 
 fn main() {
     banner("Figure 5", "configure speedup vs CFS-schedutil");
     let schedulers = SchedulerSetup::configure_set();
-    for (machine, comps) in configure_matrix(&schedulers) {
+    let (grouped, telemetry) = configure_matrix("fig05_configure_speedup", &schedulers);
+    let mut all = Vec::new();
+    for (machine, comps) in grouped {
         println!("\n### {machine}");
         let labels: Vec<String> = schedulers
             .iter()
@@ -39,7 +37,9 @@ fn main() {
             }
             println!("{}", metric_row(&c.workload, &vals));
         }
+        all.extend(comps);
     }
     println!("\nExpected shape (paper): Nest +10..+37% except nodejs (<5%);");
     println!("CFS-perf <5% on 6130/5218 but large on the E7; Smove <10%.");
+    emit_artifact("fig05_configure_speedup", &all, vec![], Some(&telemetry));
 }

@@ -4,42 +4,34 @@
 //! The paper's claim: with Nest, the cores executing the configure script
 //! spend nearly all busy time in the highest frequency buckets.
 
-use nest_bench::{
-    banner,
-    configure_matrix,
-    paper_schedulers,
-};
+use nest_bench::{banner, configure_matrix, emit_artifact, mean_freq_fractions, paper_schedulers};
 
 fn main() {
     banner("Figure 6", "configure frequency distribution");
     let schedulers = paper_schedulers();
-    for (machine, comps) in configure_matrix(&schedulers) {
+    let (grouped, telemetry) = configure_matrix("fig06_configure_freq", &schedulers);
+    let mut all = Vec::new();
+    for (machine, comps) in grouped {
         println!("\n### {machine}");
         for c in &comps {
             println!("\n{}:", c.workload);
-            for r in &c.rows {
-                // Average the residency fractions over the runs.
-                let n = r.runs.len() as f64;
-                let labels = r.runs[0].freq.labels();
-                let mut acc = vec![0.0; labels.len()];
-                for run in &r.runs {
-                    for (a, f) in acc.iter_mut().zip(run.freq.fractions()) {
-                        *a += f / n;
-                    }
-                }
+            let (labels, fractions) = mean_freq_fractions(c);
+            for (r, acc) in c.rows.iter().zip(&fractions) {
                 let speedup = r
                     .speedup_pct
                     .as_ref()
                     .map_or("  base".to_string(), |s| format!("{:+5.1}%", s.mean));
                 let cells: Vec<String> = labels
                     .iter()
-                    .zip(&acc)
+                    .zip(acc)
                     .map(|(l, f)| format!("{l}:{:4.1}%", 100.0 * f))
                     .collect();
                 println!("  {:<11} {speedup}  {}", r.label, cells.join(" "));
             }
         }
+        all.extend(comps);
     }
     println!("\nExpected shape (paper): Nest rows concentrate residency in");
     println!("the top one or two buckets; CFS-sched spreads into mid turbo.");
+    emit_artifact("fig06_configure_freq", &all, vec![], Some(&telemetry));
 }

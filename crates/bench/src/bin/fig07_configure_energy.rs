@@ -4,17 +4,14 @@
 //! The paper's claim: by shortening execution while keeping the
 //! computation on few cores, Nest reduces CPU energy by up to ~19-20%.
 
-use nest_bench::{
-    banner,
-    configure_matrix,
-    metric_row,
-    paper_schedulers,
-};
+use nest_bench::{banner, configure_matrix, emit_artifact, metric_row, paper_schedulers};
 
 fn main() {
     banner("Figure 7", "configure CPU energy savings vs CFS-schedutil");
     let schedulers = paper_schedulers();
-    for (machine, comps) in configure_matrix(&schedulers) {
+    let (grouped, telemetry) = configure_matrix("fig07_configure_energy", &schedulers);
+    let mut all = Vec::new();
+    for (machine, comps) in grouped {
         println!("\n### {machine}");
         let labels: Vec<String> = schedulers
             .iter()
@@ -39,7 +36,9 @@ fn main() {
             }
             println!("{}", metric_row(&c.workload, &vals));
         }
+        all.extend(comps);
     }
     println!("\nExpected shape (paper): positive savings for Nest on most");
     println!("benchmarks, up to ~19%.");
+    emit_artifact("fig07_configure_energy", &all, vec![], Some(&telemetry));
 }

@@ -7,30 +7,54 @@
 //! that spend >2/3 of the time above 3.1 GHz, for ~20% speedup (more than
 //! 2× against the multi-socket runs).
 
-use nest_bench::{
-    banner,
-    seed,
-};
-use nest_core::{
-    run_once,
-    PolicyKind,
-    SimConfig,
-};
+use std::time::Instant;
+
+use nest_bench::{banner, emit_artifact, seed};
+use nest_core::{PolicyKind, SimConfig};
+use nest_harness::{jobs, run_raw, Json, RawCell, Telemetry};
 use nest_topology::presets;
 use nest_workloads::dacapo::Dacapo;
 
 fn main() {
-    banner("Figures 8/9", "h2 execution trace, CFS vs Nest (4-socket 6130, schedutil)");
+    banner(
+        "Figures 8/9",
+        "h2 execution trace, CFS vs Nest (4-socket 6130, schedutil)",
+    );
     let machine = presets::xeon_6130(4);
     let cores_per_socket = machine.cores_per_socket();
-    for policy in [PolicyKind::Cfs, PolicyKind::Nest] {
-        let cfg = SimConfig::new(machine.clone())
-            .policy(policy.clone())
-            .seed(seed())
-            .with_trace();
+    let policies = [PolicyKind::Cfs, PolicyKind::Nest];
+    let started = Instant::now();
+    let cells: Vec<RawCell> = policies
+        .iter()
+        .map(|policy| RawCell {
+            cfg: SimConfig::new(machine.clone())
+                .policy(policy.clone())
+                .seed(seed())
+                .with_trace(),
+            make: Box::new(|| Box::new(Dacapo::named("h2"))),
+        })
+        .collect();
+    let results = run_raw(cells, jobs());
+    let telemetry = Telemetry {
+        jobs: jobs().min(policies.len()),
+        cells_total: policies.len(),
+        cells_cached: 0,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+
+    let bands = [
+        (0.0, 1.0),
+        (1.0, 1.6),
+        (1.6, 2.1),
+        (2.1, 2.8),
+        (2.8, 3.1),
+        (3.1, 3.4),
+        (3.4, 3.7),
+    ];
+    let mut series = Vec::new();
+    for (policy, r) in policies.iter().zip(&results) {
         let label = policy.label();
-        let r = run_once(&cfg, &Dacapo::named("h2"));
-        let trace = r.trace.expect("trace requested");
+        let trace = r.trace.as_ref().expect("trace requested");
         let cores = trace.cores_used();
         let sockets: std::collections::BTreeSet<usize> = cores
             .iter()
@@ -51,17 +75,38 @@ fn main() {
                 .count();
             println!("  socket {s}: {n} cores touched");
         }
-        let bands = [(0.0, 1.0), (1.0, 1.6), (1.6, 2.1), (2.1, 2.8), (2.8, 3.1), (3.1, 3.4), (3.4, 3.7)];
+        let mut band_json = Vec::new();
         for (lo, hi) in bands {
-            println!(
-                "  ({lo:.1},{hi:.1}] GHz: {:5.2}%",
-                100.0 * trace.busy_fraction_in(lo, hi)
-            );
+            let frac = trace.busy_fraction_in(lo, hi);
+            println!("  ({lo:.1},{hi:.1}] GHz: {:5.2}%", 100.0 * frac);
+            band_json.push(Json::Obj(vec![
+                ("lo_ghz".to_string(), Json::f64(lo)),
+                ("hi_ghz".to_string(), Json::f64(hi)),
+                ("busy_fraction".to_string(), Json::f64(frac)),
+            ]));
         }
         let above = trace.busy_fraction_in(3.1, 4.0);
         println!("  busy time above 3.1 GHz: {:.1}%", 100.0 * above);
+        series.push(Json::Obj(vec![
+            ("policy".to_string(), Json::str(label)),
+            ("time_s".to_string(), Json::f64(r.time_s)),
+            ("energy_j".to_string(), Json::f64(r.energy_j)),
+            ("cores_with_activity".to_string(), Json::usize(cores.len())),
+            (
+                "sockets".to_string(),
+                Json::Arr(sockets.iter().map(|&s| Json::usize(s)).collect()),
+            ),
+            ("bands".to_string(), Json::Arr(band_json)),
+            ("busy_above_3p1ghz".to_string(), Json::f64(above)),
+        ]));
     }
     println!("\nExpected shape (paper): CFS touches most of a socket with");
     println!("<1/3 of time above 3.1 GHz; Nest stays on ~10 cores with");
     println!(">2/3 above 3.1 GHz.");
+    emit_artifact(
+        "fig08_h2_trace",
+        &[],
+        vec![("traces", Json::Arr(series))],
+        Some(&telemetry),
+    );
 }

@@ -7,28 +7,34 @@
 //! (single-task) applications stay near ±5%.
 
 use nest_bench::{
-    banner,
-    figure_machines,
-    metric_row,
-    paper_schedulers,
-    runs,
-    seed,
+    banner, emit_artifact, factory, figure_machines, matrix, metric_row, paper_schedulers, runs,
 };
-use nest_core::experiment::compare_schedulers;
 use nest_workloads::dacapo;
 
 fn main() {
     banner("Figure 10", "DaCapo speedup vs CFS-schedutil");
     let schedulers = paper_schedulers();
-    for machine in figure_machines() {
+    let machines = figure_machines();
+    let specs = dacapo::all_specs();
+    let mut m = matrix("fig10_dacapo_speedup");
+    for machine in &machines {
+        for spec in &specs {
+            let spec = spec.clone();
+            m.add(
+                machine.clone(),
+                &schedulers,
+                runs(),
+                factory(move || dacapo::Dacapo::new(spec.clone())),
+            );
+        }
+    }
+    let (comps, telemetry) = m.run();
+    for (machine, chunk) in machines.iter().zip(comps.chunks(specs.len())) {
         println!("\n### {}", machine.name);
         let mut head = vec!["base time / u:X".to_string()];
         head.extend(schedulers.iter().skip(1).map(|s| format!("{}%", s.label())));
         println!("{}", metric_row("app", &head));
-        for spec in dacapo::all_specs() {
-            let single = spec.single_task;
-            let w = dacapo::Dacapo::new(spec);
-            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+        for (spec, c) in specs.iter().zip(chunk) {
             let base = &c.rows[0];
             let mut vals = vec![format!(
                 "{:.1}s u:{:.1}",
@@ -37,11 +43,12 @@ fn main() {
             for r in c.rows.iter().skip(1) {
                 vals.push(format!("{:+.1}", r.speedup_pct.as_ref().unwrap().mean));
             }
-            let marker = if single { "*" } else { " " };
+            let marker = if spec.single_task { "*" } else { " " };
             println!("{marker}{}", metric_row(&c.workload, &vals));
         }
     }
     println!("\n(*) single/few-task applications (blue in the paper).");
     println!("Expected shape (paper): h2/tradebeans/graphchi-eval highest;");
     println!("single-task apps within ±5%; no degradation beyond ~-6%.");
+    emit_artifact("fig10_dacapo_speedup", &comps, vec![], Some(&telemetry));
 }

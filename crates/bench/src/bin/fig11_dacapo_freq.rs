@@ -5,13 +5,9 @@
 //! tradebeans, graphchi-eval) achieve visibly higher frequencies with it.
 
 use nest_bench::{
-    banner,
-    figure_machines,
-    paper_schedulers,
+    banner, emit_artifact, factory, figure_machines, matrix, mean_freq_fractions, paper_schedulers,
     runs,
-    seed,
 };
-use nest_core::experiment::compare_schedulers;
 use nest_workloads::dacapo;
 
 fn main() {
@@ -20,33 +16,45 @@ fn main() {
     // The full 21-app sweep is in fig10; the frequency figure focuses on
     // a representative subset to keep output readable (the paper's full
     // grid is reproduced by passing NEST_ALL=1).
-    let apps: Vec<&str> = if std::env::var("NEST_ALL").map_or(false, |v| v == "1") {
+    let apps: Vec<&str> = if std::env::var("NEST_ALL").is_ok_and(|v| v == "1") {
         dacapo::all_specs().iter().map(|s| s.name).collect()
     } else {
-        vec!["h2", "tradebeans", "graphchi-eval", "fop", "lusearch", "sunflow"]
+        vec![
+            "h2",
+            "tradebeans",
+            "graphchi-eval",
+            "fop",
+            "lusearch",
+            "sunflow",
+        ]
     };
-    for machine in figure_machines() {
-        println!("\n### {}", machine.name);
+    let machines = figure_machines();
+    let mut m = matrix("fig11_dacapo_freq");
+    for machine in &machines {
         for app in &apps {
-            let w = dacapo::Dacapo::named(app);
-            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
-            println!("\n{app}:");
-            for r in &c.rows {
-                let n = r.runs.len() as f64;
-                let labels = r.runs[0].freq.labels();
-                let mut acc = vec![0.0; labels.len()];
-                for run in &r.runs {
-                    for (a, f) in acc.iter_mut().zip(run.freq.fractions()) {
-                        *a += f / n;
-                    }
-                }
+            let app = app.to_string();
+            m.add(
+                machine.clone(),
+                &schedulers,
+                runs(),
+                factory(move || dacapo::Dacapo::named(&app)),
+            );
+        }
+    }
+    let (comps, telemetry) = m.run();
+    for (machine, chunk) in machines.iter().zip(comps.chunks(apps.len())) {
+        println!("\n### {}", machine.name);
+        for c in chunk {
+            println!("\n{}:", c.workload);
+            let (labels, fractions) = mean_freq_fractions(c);
+            for (r, acc) in c.rows.iter().zip(&fractions) {
                 let speedup = r
                     .speedup_pct
                     .as_ref()
                     .map_or("  base".to_string(), |s| format!("{:+5.1}%", s.mean));
                 let cells: Vec<String> = labels
                     .iter()
-                    .zip(&acc)
+                    .zip(acc)
                     .map(|(l, f)| format!("{l}:{:4.1}%", 100.0 * f))
                     .collect();
                 println!("  {:<11} {speedup}  {}", r.label, cells.join(" "));
@@ -55,4 +63,5 @@ fn main() {
     }
     println!("\nExpected shape (paper): apps with green (>5%) speedups show");
     println!("residency shifted into higher buckets under Nest.");
+    emit_artifact("fig11_dacapo_freq", &comps, vec![], Some(&telemetry));
 }

@@ -8,27 +8,34 @@
 //! aggressive wakeup work conservation.
 
 use nest_bench::{
-    banner,
-    figure_machines,
-    metric_row,
-    paper_schedulers,
-    runs,
-    seed,
+    banner, emit_artifact, factory, figure_machines, matrix, metric_row, paper_schedulers, runs,
 };
-use nest_core::experiment::compare_schedulers;
 use nest_workloads::nas;
 
 fn main() {
     banner("Figure 12", "NAS class C speedup vs CFS-schedutil");
     let schedulers = paper_schedulers();
-    for machine in figure_machines() {
+    let machines = figure_machines();
+    let specs = nas::all_specs();
+    let mut m = matrix("fig12_nas_speedup");
+    for machine in &machines {
+        for spec in &specs {
+            let spec = spec.clone();
+            m.add(
+                machine.clone(),
+                &schedulers,
+                runs(),
+                factory(move || nas::Nas::new(spec.clone())),
+            );
+        }
+    }
+    let (comps, telemetry) = m.run();
+    for (machine, chunk) in machines.iter().zip(comps.chunks(specs.len())) {
         println!("\n### {}", machine.name);
         let mut head = vec!["base time ±%".to_string()];
         head.extend(schedulers.iter().skip(1).map(|s| format!("{}%", s.label())));
         println!("{}", metric_row("kernel", &head));
-        for spec in nas::all_specs() {
-            let w = nas::Nas::new(spec);
-            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+        for c in chunk {
             let base = &c.rows[0];
             let mut vals = vec![format!(
                 "{:.2}s ±{:.0}%",
@@ -43,4 +50,5 @@ fn main() {
     }
     println!("\nExpected shape (paper): ±5% parity on the 2-socket machines;");
     println!("larger, noisier wins for Nest on the 4-socket machines.");
+    emit_artifact("fig12_nas_speedup", &comps, vec![], Some(&telemetry));
 }

@@ -7,21 +7,9 @@
 //! the two on different machines; libavif avifenc 1 degrades with
 //! Nest-sched (up to -22% on the 4-socket 6130).
 
-use nest_bench::{
-    banner,
-    figure_machines,
-    metric_row,
-    runs,
-    seed,
-};
-use nest_core::experiment::{
-    compare_schedulers,
-    SchedulerSetup,
-};
-use nest_core::{
-    Governor,
-    PolicyKind,
-};
+use nest_bench::{banner, emit_artifact, factory, figure_machines, matrix, metric_row, runs};
+use nest_core::experiment::SchedulerSetup;
+use nest_core::{Governor, PolicyKind};
 use nest_workloads::phoronix;
 
 fn main() {
@@ -32,7 +20,22 @@ fn main() {
         SchedulerSetup::new(PolicyKind::Cfs, Governor::Performance),
         SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
     ];
-    for machine in figure_machines() {
+    let machines = figure_machines();
+    let specs = phoronix::figure13_specs();
+    let mut m = matrix("fig13_phoronix_speedup");
+    for machine in &machines {
+        for spec in &specs {
+            let spec = spec.clone();
+            m.add(
+                machine.clone(),
+                &schedulers,
+                runs(),
+                factory(move || phoronix::Phoronix::new(spec.clone())),
+            );
+        }
+    }
+    let (comps, telemetry) = m.run();
+    for (machine, chunk) in machines.iter().zip(comps.chunks(specs.len())) {
         println!("\n### {}", machine.name);
         let head = vec![
             "base time ±%".to_string(),
@@ -40,9 +43,7 @@ fn main() {
             "Nest sched%".to_string(),
         ];
         println!("{}", metric_row("test", &head));
-        for spec in phoronix::figure13_specs() {
-            let w = phoronix::Phoronix::new(spec);
-            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+        for c in chunk {
             let base = &c.rows[0];
             let vals = vec![
                 format!("{:.2}s ±{:.0}%", base.time.mean, base.time.std_pct()),
@@ -54,4 +55,5 @@ fn main() {
     }
     println!("\nExpected shape (paper): zstd 7/10 large wins for both;");
     println!("libavif avifenc 1 negative for Nest; cpuminer/oidn near zero.");
+    emit_artifact("fig13_phoronix_speedup", &comps, vec![], Some(&telemetry));
 }

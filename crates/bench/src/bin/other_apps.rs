@@ -9,46 +9,19 @@
 //! mono-socket 5220 behaves like the big Intels for configure and the
 //! AMD 4650G favours Nest broadly.
 
-use nest_bench::{
-    banner,
-    quick,
-    runs,
-    seed,
-};
-use nest_core::experiment::{
-    compare_schedulers,
-    format_table,
-    SchedulerSetup,
-};
-use nest_core::{
-    run_many,
-    Governor,
-    PolicyKind,
-    SimConfig,
-};
+use nest_bench::{banner, emit_artifact, factory, matrix, quick, runs};
+use nest_core::experiment::{format_table, SchedulerOutcome, SchedulerSetup};
+use nest_core::{Governor, PolicyKind};
 use nest_topology::presets;
 use nest_workloads::{
     configure::Configure,
-    hackbench::{
-        Hackbench,
-        HackbenchSpec,
-    },
+    hackbench::{Hackbench, HackbenchSpec},
     phoronix::Phoronix,
-    schbench::{
-        Schbench,
-        SchbenchSpec,
-    },
-    server::{
-        Server,
-        ServerSpec,
-    },
+    schbench::{Schbench, SchbenchSpec},
+    server::{Server, ServerSpec},
 };
 
-use nest_simcore::{
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{SimRng, SimSetup, TaskSpec};
 
 /// Two applications launched together (multi-application scenario).
 struct Combined {
@@ -68,47 +41,59 @@ impl nest_workloads::Workload for Combined {
     }
 }
 
+/// Mean p99 wakeup latency over a row's runs, in microseconds.
+fn mean_p99_us(row: &SchedulerOutcome) -> f64 {
+    let vals: Vec<f64> = row
+        .runs
+        .iter()
+        .filter_map(|r| r.latency.p99_ns)
+        .map(|v| v as f64 / 1e3)
+        .collect();
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
 fn main() {
-    banner("§5.6", "hackbench, schbench, servers, multi-app, mono-socket");
+    banner(
+        "§5.6",
+        "hackbench, schbench, servers, multi-app, mono-socket",
+    );
     let two = vec![
         SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
         SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
     ];
     let m5218 = presets::xeon_5218();
+    let m6130 = presets::xeon_6130(2);
+    let short_runs = runs().min(2);
 
-    println!("\n# hackbench (message-churn stress; paper: Nest much slower)");
-    let hb = Hackbench::new(HackbenchSpec::default());
-    let c = compare_schedulers(&m5218, &hb, &two, runs().min(2), seed());
-    print!("{}", format_table(&c));
+    // The whole section is one matrix so every sub-experiment shares the
+    // worker pool; comparisons come back in insertion order.
+    let mut m = matrix("other_apps");
 
-    println!("\n# schbench p99.9 wakeup latency (paper: no clear winner)");
-    for (mt, wt) in [(4u32, 4u32), (8, 8), (16, 16)] {
-        let sb = Schbench::new(SchbenchSpec {
-            message_threads: mt,
-            workers_per_message: wt,
-            requests_per_worker: if quick() { 20 } else { 50 },
-            think_ms: 3.0,
-        });
-        print!("m{mt} w{wt}: ");
-        for s in &two {
-            let cfg = SimConfig::new(m5218.clone())
-                .policy(s.policy.clone())
-                .governor(s.governor)
-                .seed(seed());
-            let rs = run_many(&cfg, &sb, runs().min(2));
-            let p999: Vec<f64> = rs
-                .iter()
-                .filter_map(|r| r.latency.p999())
-                .map(|v| v as f64 / 1e3)
-                .collect();
-            let mean = p999.iter().sum::<f64>() / p999.len().max(1) as f64;
-            print!(" {}: p99.9 {:8.1}µs ", s.label(), mean);
-        }
-        println!();
+    m.add(
+        m5218.clone(),
+        &two,
+        short_runs,
+        factory(|| Hackbench::new(HackbenchSpec::default())),
+    );
+
+    let schbench_sizes = [(4u32, 4u32), (8, 8), (16, 16)];
+    for (mt, wt) in schbench_sizes {
+        let requests = if quick() { 20 } else { 50 };
+        m.add(
+            m5218.clone(),
+            &two,
+            short_runs,
+            factory(move || {
+                Schbench::new(SchbenchSpec {
+                    message_threads: mt,
+                    workers_per_message: wt,
+                    requests_per_worker: requests,
+                    think_ms: 3.0,
+                })
+            }),
+        );
     }
 
-    println!("\n# server tests on the 2-socket 6130 (paper machine for §5.6)");
-    let m6130 = presets::xeon_6130(2);
     let servers: Vec<ServerSpec> = vec![
         ServerSpec::nginx(50),
         ServerSpec::nginx(200),
@@ -117,48 +102,83 @@ fn main() {
         ServerSpec::leveldb(),
         ServerSpec::redis(),
     ];
-    // Completion time is arrival-limited for these open-loop tests, so
-    // the scheduler-sensitive metric is the request (wakeup) latency.
+    let n_servers = servers.len();
     for spec in servers {
-        let w = Server::new(spec);
-        let c = compare_schedulers(&m6130, &w, &two, runs().min(2), seed());
-        let p99 = |rows: &nest_core::experiment::SchedulerOutcome| {
-            let vals: Vec<f64> = rows
+        m.add(
+            m6130.clone(),
+            &two,
+            short_runs,
+            factory(move || Server::new(spec.clone())),
+        );
+    }
+
+    m.add(
+        m6130.clone(),
+        &two,
+        short_runs,
+        factory(|| Combined {
+            a: Box::new(Phoronix::named("zstd compression 7")),
+            b: Box::new(Phoronix::named("libgav1 4")),
+        }),
+    );
+
+    let mono_machines = [presets::xeon_5220(), presets::amd_4650g()];
+    for machine in &mono_machines {
+        for bench in ["gdb", "llvm_ninja"] {
+            m.add(
+                machine.clone(),
+                &SchedulerSetup::paper_set(),
+                short_runs,
+                factory(move || Configure::named(bench)),
+            );
+        }
+    }
+
+    let (comps, telemetry) = m.run();
+    let mut it = comps.iter();
+
+    println!("\n# hackbench (message-churn stress; paper: Nest much slower)");
+    print!("{}", format_table(it.next().unwrap()));
+
+    println!("\n# schbench p99.9 wakeup latency (paper: no clear winner)");
+    for (mt, wt) in schbench_sizes {
+        let c = it.next().unwrap();
+        print!("m{mt} w{wt}: ");
+        for row in &c.rows {
+            let p999: Vec<f64> = row
                 .runs
                 .iter()
-                .filter_map(|r| r.latency.p99())
+                .filter_map(|r| r.latency.p999_ns)
                 .map(|v| v as f64 / 1e3)
                 .collect();
-            vals.iter().sum::<f64>() / vals.len().max(1) as f64
-        };
+            let mean = p999.iter().sum::<f64>() / p999.len().max(1) as f64;
+            print!(" {}: p99.9 {:8.1}µs ", row.label, mean);
+        }
+        println!();
+    }
+
+    println!("\n# server tests on the 2-socket 6130 (paper machine for §5.6)");
+    // Completion time is arrival-limited for these open-loop tests, so
+    // the scheduler-sensitive metric is the request (wakeup) latency.
+    for _ in 0..n_servers {
+        let c = it.next().unwrap();
         println!(
             "{:<12} CFS {:.3}s p99 {:8.1}µs | Nest {:+.1}% p99 {:8.1}µs",
             c.workload,
             c.rows[0].time.mean,
-            p99(&c.rows[0]),
+            mean_p99_us(&c.rows[0]),
             c.rows[1].speedup_pct.as_ref().unwrap().mean,
-            p99(&c.rows[1]),
+            mean_p99_us(&c.rows[1]),
         );
     }
 
     println!("\n# multiple concurrent applications (zstd 7 + libgav1 4)");
-    let combo = Combined {
-        a: Box::new(Phoronix::named("zstd compression 7")),
-        b: Box::new(Phoronix::named("libgav1 4")),
-    };
-    let c = compare_schedulers(&m6130, &combo, &two, runs().min(2), seed());
-    print!("{}", format_table(&c));
+    print!("{}", format_table(it.next().unwrap()));
 
     println!("\n# mono-socket machines (configure gdb + llvm_ninja)");
-    for machine in [presets::xeon_5220(), presets::amd_4650g()] {
+    for machine in &mono_machines {
         for bench in ["gdb", "llvm_ninja"] {
-            let c = compare_schedulers(
-                &machine,
-                &Configure::named(bench),
-                &SchedulerSetup::paper_set(),
-                runs().min(2),
-                seed(),
-            );
+            let c = it.next().unwrap();
             let label = |i: usize| c.rows[i].speedup_pct.as_ref().unwrap().mean;
             println!(
                 "{:<22} {:<10} CFS {:.2}s | CFSperf {:+.1}% Nestsched {:+.1}% Nestperf {:+.1}%",
@@ -171,4 +191,6 @@ fn main() {
             );
         }
     }
+
+    emit_artifact("other_apps", &comps, vec![], Some(&telemetry));
 }

@@ -2,38 +2,139 @@
 //! reproduction of the paper's evaluation section. Each section's binary
 //! can also be run standalone; see DESIGN.md §4 for the index.
 //!
-//! Respects `NEST_RUNS` / `NEST_QUICK` / `NEST_SEED` like the individual
-//! binaries. Output order follows the paper.
+//! Respects `NEST_RUNS` / `NEST_QUICK` / `NEST_SEED` / `NEST_JOBS` /
+//! `NEST_CACHE` like the individual binaries. Output order follows the
+//! paper. A failing section is reported (exit status, elapsed time) and
+//! the remaining sections still run; the process exits non-zero if any
+//! section failed, with a summary table at the end.
 
 use std::process::Command;
+use std::time::Instant;
 
-fn run(bin: &str) {
+use nest_harness::{results_dir, Json};
+
+const SECTIONS: [&str; 15] = [
+    "table23_machines",
+    "fig02_trace",
+    "fig03_underload_timeline",
+    "fig04_underload",
+    "fig05_configure_speedup",
+    "fig06_configure_freq",
+    "fig07_configure_energy",
+    "fig08_h2_trace",
+    "fig10_dacapo_speedup",
+    "fig11_dacapo_freq",
+    "fig12_nas_speedup",
+    "fig13_phoronix_speedup",
+    "table4_overview",
+    "ablation",
+    "other_apps",
+];
+
+struct SectionResult {
+    bin: &'static str,
+    outcome: Result<(), String>,
+    elapsed_s: f64,
+}
+
+fn run(bin: &'static str) -> SectionResult {
     println!("\n################ {bin} ################\n");
-    let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-        .status()
-        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-    assert!(status.success(), "{bin} failed");
+    let started = Instant::now();
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join(bin)));
+    let outcome = match exe {
+        None => Err("could not locate sibling binary".to_string()),
+        Some(path) => match Command::new(&path).status() {
+            Err(e) => Err(format!("failed to launch: {e}")),
+            Ok(status) if status.success() => Ok(()),
+            Ok(status) => Err(match status.code() {
+                Some(code) => format!("exit code {code}"),
+                None => "terminated by signal".to_string(),
+            }),
+        },
+    };
+    SectionResult {
+        bin,
+        outcome,
+        elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn write_summary(results: &[SectionResult], wall_s: f64) {
+    let sections = Json::Arr(
+        results
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("bin".to_string(), Json::str(r.bin)),
+                    ("ok".to_string(), Json::Bool(r.outcome.is_ok())),
+                    (
+                        "error".to_string(),
+                        match &r.outcome {
+                            Ok(()) => Json::Null,
+                            Err(e) => Json::str(e),
+                        },
+                    ),
+                    ("elapsed_s".to_string(), Json::f64(r.elapsed_s)),
+                ])
+            })
+            .collect(),
+    );
+    let root = Json::Obj(vec![
+        ("figure".to_string(), Json::str("reproduce_all")),
+        ("jobs".to_string(), Json::usize(nest_harness::jobs())),
+        ("sections".to_string(), sections),
+        ("wall_s".to_string(), Json::f64(wall_s)),
+    ]);
+    let path = results_dir().join("reproduce_all.telemetry.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut text = root.to_pretty();
+    text.push('\n');
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("telemetry: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run telemetry: {e}"),
+    }
 }
 
 fn main() {
-    for bin in [
-        "table23_machines",
-        "fig02_trace",
-        "fig03_underload_timeline",
-        "fig04_underload",
-        "fig05_configure_speedup",
-        "fig06_configure_freq",
-        "fig07_configure_energy",
-        "fig08_h2_trace",
-        "fig10_dacapo_speedup",
-        "fig11_dacapo_freq",
-        "fig12_nas_speedup",
-        "fig13_phoronix_speedup",
-        "table4_overview",
-        "ablation",
-        "other_apps",
-    ] {
-        run(bin);
+    let started = Instant::now();
+    let results: Vec<SectionResult> = SECTIONS.iter().map(|bin| run(bin)).collect();
+    let wall_s = started.elapsed().as_secs_f64();
+
+    println!("\n################ summary ################\n");
+    println!("{:<26} {:>8} {:>10}", "section", "status", "elapsed");
+    for r in &results {
+        println!(
+            "{:<26} {:>8} {:>9.1}s",
+            r.bin,
+            if r.outcome.is_ok() { "ok" } else { "FAILED" },
+            r.elapsed_s
+        );
     }
-    println!("\nAll experiments completed.");
+    let failed: Vec<&SectionResult> = results.iter().filter(|r| r.outcome.is_err()).collect();
+    println!(
+        "\n{} of {} sections succeeded in {:.1}s ({} jobs)",
+        results.len() - failed.len(),
+        results.len(),
+        wall_s,
+        nest_harness::jobs()
+    );
+    write_summary(&results, wall_s);
+
+    if failed.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        for r in &failed {
+            eprintln!(
+                "FAILED: {} ({}) after {:.1}s",
+                r.bin,
+                r.outcome.as_ref().unwrap_err(),
+                r.elapsed_s
+            );
+        }
+        std::process::exit(1);
+    }
 }

@@ -2,8 +2,37 @@
 //! ladders, printed from the presets so the reproduction's hardware model
 //! can be checked against the paper at a glance.
 
-use nest_bench::banner;
+use nest_bench::{banner, emit_artifact};
+use nest_harness::Json;
 use nest_topology::presets;
+use nest_topology::MachineSpec;
+
+fn machine_json(m: &MachineSpec) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::str(m.name)),
+        ("microarch".to_string(), Json::str(m.microarch)),
+        ("sockets".to_string(), Json::usize(m.sockets)),
+        (
+            "phys_per_socket".to_string(),
+            Json::usize(m.phys_per_socket),
+        ),
+        ("n_cores".to_string(), Json::usize(m.n_cores())),
+        ("fmin_ghz".to_string(), Json::f64(m.freq.fmin.as_ghz())),
+        (
+            "fnominal_ghz".to_string(),
+            Json::f64(m.freq.fnominal.as_ghz()),
+        ),
+        ("fmax_ghz".to_string(), Json::f64(m.freq.fmax().as_ghz())),
+        (
+            "turbo_ladder_ghz".to_string(),
+            Json::Arr(
+                (1..=m.phys_per_socket)
+                    .map(|c| Json::f64(m.freq.turbo_limit(c).as_ghz()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn main() {
     banner("Tables 2/3", "machine characteristics and turbo ladders");
@@ -42,7 +71,8 @@ fn main() {
         println!();
     }
     println!("\n§5.6 mono-socket machines:");
-    for m in [presets::xeon_5220(), presets::amd_4650g()] {
+    let mono = [presets::xeon_5220(), presets::amd_4650g()];
+    for m in &mono {
         println!(
             "  {:<26} {} cores, turbo {} .. {}",
             m.name,
@@ -51,4 +81,11 @@ fn main() {
             m.freq.fmax()
         );
     }
+    let all: Vec<Json> = machines.iter().chain(&mono).map(machine_json).collect();
+    emit_artifact(
+        "table23_machines",
+        &[],
+        vec![("machines", Json::Arr(all))],
+        None,
+    );
 }

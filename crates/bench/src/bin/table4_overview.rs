@@ -11,21 +11,10 @@
 //! drawn from the same behaviour space (DESIGN.md documents this
 //! substitution; the paper's 222-test suite is not redistributable).
 
-use nest_bench::{
-    banner,
-    figure_machines,
-    quick,
-    runs,
-    seed,
-};
-use nest_core::experiment::{
-    compare_schedulers,
-    SchedulerSetup,
-};
-use nest_core::{
-    Governor,
-    PolicyKind,
-};
+use nest_bench::{banner, emit_artifact, factory, figure_machines, matrix, quick, runs, seed};
+use nest_core::experiment::SchedulerSetup;
+use nest_core::{Governor, PolicyKind};
+use nest_harness::Json;
 use nest_metrics::stats::table4_band;
 use nest_simcore::SimRng;
 use nest_workloads::phoronix;
@@ -41,15 +30,40 @@ fn main() {
     let n_archetypes = if quick() { 13 } else { 53 };
     let mut rng = SimRng::new(seed() ^ 0xA5C3);
     suite.extend(phoronix::archetype_suite(n_archetypes, &mut rng));
-    println!("corpus: {} tests ({} named + {} archetype)", suite.len(), 27, n_archetypes);
+    println!(
+        "corpus: {} tests ({} named + {} archetype)",
+        suite.len(),
+        27,
+        n_archetypes
+    );
 
-    for machine in figure_machines() {
-        // counts[scheduler][band]
-        let bands = ["slower>20", "slower5to20", "same", "faster5to20", "faster>20"];
-        let mut counts = [[0usize; 5]; 2];
+    let machines = figure_machines();
+    let mut m = matrix("table4_overview");
+    for machine in &machines {
         for spec in &suite {
-            let w = phoronix::Phoronix::new(spec.clone());
-            let c = compare_schedulers(&machine, &w, &schedulers, runs(), seed());
+            let spec = spec.clone();
+            m.add(
+                machine.clone(),
+                &schedulers,
+                runs(),
+                factory(move || phoronix::Phoronix::new(spec.clone())),
+            );
+        }
+    }
+    let (comps, telemetry) = m.run();
+
+    let bands = [
+        "slower>20",
+        "slower5to20",
+        "same",
+        "faster5to20",
+        "faster>20",
+    ];
+    let mut machine_counts = Vec::new();
+    for (machine, chunk) in machines.iter().zip(comps.chunks(suite.len())) {
+        // counts[scheduler][band]
+        let mut counts = [[0usize; 5]; 2];
+        for c in chunk {
             for (i, r) in c.rows.iter().skip(1).enumerate() {
                 let band = table4_band(r.speedup_pct.as_ref().unwrap().mean);
                 let idx = bands.iter().position(|b| *b == band).unwrap();
@@ -72,7 +86,45 @@ fn main() {
                 label, row[0], row[1], row[2], row[3], row[4]
             );
         }
+        machine_counts.push((machine.name, counts));
     }
     println!("\nExpected shape (paper): the 'same' column dominates; ≥7% of");
     println!("tests faster by >5% with Nest-sched on every machine.");
+
+    // The artifact carries the band counts (the table itself); the full
+    // per-test comparisons would dwarf every other artifact combined.
+    let band_json = Json::Arr(
+        machine_counts
+            .iter()
+            .map(|(name, counts)| {
+                Json::Obj(vec![
+                    ("machine".to_string(), Json::str(name)),
+                    ("cfs_perf".to_string(), band_counts_json(&bands, &counts[0])),
+                    (
+                        "nest_sched".to_string(),
+                        band_counts_json(&bands, &counts[1]),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    emit_artifact(
+        "table4_overview",
+        &[],
+        vec![
+            ("corpus_size", Json::usize(suite.len())),
+            ("bands", band_json),
+        ],
+        Some(&telemetry),
+    );
+}
+
+fn band_counts_json(bands: &[&str; 5], counts: &[usize; 5]) -> Json {
+    Json::Obj(
+        bands
+            .iter()
+            .zip(counts)
+            .map(|(b, &n)| (b.to_string(), Json::usize(n)))
+            .collect(),
+    )
 }

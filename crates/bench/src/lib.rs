@@ -1,18 +1,24 @@
 //! Shared harness utilities for the figure/table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the Nest
-//! paper and prints the same rows/series the paper reports. Common knobs
-//! come from the environment:
+//! paper and prints the same rows/series the paper reports. Since PR 1 the
+//! binaries describe their experiment matrices to `nest-harness`, which
+//! fans the cells across worker threads with result caching, and each
+//! binary emits a structured JSON artifact under `results/` next to its
+//! ASCII output. Common knobs come from the environment:
 //!
 //! * `NEST_RUNS` — measured runs per configuration (default 3; the paper
 //!   uses 10 after 2 warmups).
 //! * `NEST_QUICK=1` — restrict to the two-socket machines and one run,
 //!   for smoke testing.
 //! * `NEST_SEED` — base seed (default 42).
+//! * `NEST_JOBS` / `NEST_CACHE` / `NEST_RESULTS_DIR` — see `nest-harness`.
 
-use nest_core::experiment::SchedulerSetup;
+use nest_core::experiment::{Comparison, SchedulerSetup};
+use nest_harness::{Artifact, Json, Matrix, Telemetry, WorkloadFactory};
 use nest_topology::presets;
 use nest_topology::MachineSpec;
+use nest_workloads::Workload;
 
 /// Measured runs per configuration.
 pub fn runs() -> usize {
@@ -24,7 +30,7 @@ pub fn runs() -> usize {
 
 /// `true` in quick (smoke-test) mode.
 pub fn quick() -> bool {
-    std::env::var("NEST_QUICK").map_or(false, |v| v == "1")
+    std::env::var("NEST_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Base seed.
@@ -54,45 +60,131 @@ pub fn paper_schedulers() -> Vec<SchedulerSetup> {
 pub fn banner(figure: &str, what: &str) {
     println!("==================================================================");
     println!("{figure}: {what}");
-    println!("(runs per config: {}, seed: {}{})", runs(), seed(),
-        if quick() { ", QUICK mode" } else { "" });
+    println!(
+        "(runs per config: {}, seed: {}{})",
+        runs(),
+        seed(),
+        if quick() { ", QUICK mode" } else { "" }
+    );
     println!("==================================================================");
 }
 
-use nest_core::experiment::{
-    compare_schedulers,
-    Comparison,
-};
-use nest_workloads::Workload;
+/// An empty experiment matrix for `figure`, seeded from `NEST_SEED` and
+/// configured (`NEST_JOBS`, `NEST_CACHE`) from the environment.
+pub fn matrix(figure: &str) -> Matrix {
+    Matrix::new(figure, seed())
+}
+
+/// Wraps a cheap `Fn() -> impl Workload` closure as a harness factory.
+pub fn factory<W, F>(make: F) -> WorkloadFactory
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Send + Sync + 'static,
+{
+    Box::new(move || Box::new(make()))
+}
 
 /// Runs one workload across the figure machines under `schedulers`,
-/// returning one comparison per machine.
-pub fn sweep_machines(
-    workload: &dyn Workload,
+/// returning one comparison per machine. All machines execute in one
+/// matrix so the worker pool spans the whole figure.
+pub fn sweep_machines<W, F>(
+    figure: &str,
     schedulers: &[SchedulerSetup],
-) -> Vec<Comparison> {
-    figure_machines()
-        .iter()
-        .map(|m| compare_schedulers(m, workload, schedulers, runs(), seed()))
-        .collect()
+    make: F,
+) -> (Vec<Comparison>, Telemetry)
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Send + Sync + Clone + 'static,
+{
+    let mut m = matrix(figure);
+    for machine in figure_machines() {
+        m.add(machine, schedulers, runs(), factory(make.clone()));
+    }
+    m.run()
 }
 
 /// Runs the full §5.2 configure matrix: 11 benchmarks × machines ×
-/// schedulers. Returns `(machine name, benchmark comparisons)` pairs.
-pub fn configure_matrix(schedulers: &[SchedulerSetup]) -> Vec<(String, Vec<Comparison>)> {
-    figure_machines()
+/// schedulers, as one harness matrix. Returns `(machine name, benchmark
+/// comparisons)` pairs plus the run telemetry.
+pub fn configure_matrix(
+    figure: &str,
+    schedulers: &[SchedulerSetup],
+) -> (Vec<(String, Vec<Comparison>)>, Telemetry) {
+    let machines = figure_machines();
+    let specs = nest_workloads::configure::all_specs();
+    let mut m = matrix(figure);
+    for machine in &machines {
+        for spec in &specs {
+            let spec = spec.clone();
+            m.add(
+                machine.clone(),
+                schedulers,
+                runs(),
+                factory(move || nest_workloads::configure::Configure::new(spec.clone())),
+            );
+        }
+    }
+    let (comps, telemetry) = m.run();
+    let grouped = machines
         .iter()
-        .map(|m| {
-            let comps = nest_workloads::configure::all_specs()
-                .into_iter()
-                .map(|spec| {
-                    let w = nest_workloads::configure::Configure::new(spec);
-                    compare_schedulers(m, &w, schedulers, runs(), seed())
-                })
-                .collect();
-            (m.name.to_string(), comps)
+        .zip(comps.chunks(specs.len()))
+        .map(|(machine, chunk)| (machine.name.to_string(), chunk.to_vec()))
+        .collect();
+    (grouped, telemetry)
+}
+
+/// Writes the figure's JSON artifact (and its telemetry sidecar, when the
+/// figure ran through a matrix) and prints where they went.
+///
+/// The main artifact is deterministic for a given seed — comparisons plus
+/// any figure-specific `extra` fields; nondeterministic wall-clock/cache
+/// telemetry goes only to the sidecar.
+pub fn emit_artifact(
+    figure: &str,
+    comparisons: &[Comparison],
+    extra: Vec<(&str, Json)>,
+    telemetry: Option<&Telemetry>,
+) {
+    let mut a = Artifact::new(figure, seed());
+    a.push("runs_per_config", Json::usize(runs()));
+    a.push("quick", Json::Bool(quick()));
+    for (k, v) in extra {
+        a.push(k, v);
+    }
+    if !comparisons.is_empty() {
+        a.comparisons(comparisons);
+    }
+    match a.write() {
+        Ok(path) => println!("\nartifact: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {figure} artifact: {e}"),
+    }
+    if let Some(t) = telemetry {
+        match a.write_telemetry(t) {
+            Ok(path) => println!("telemetry: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {figure} telemetry: {e}"),
+        }
+    }
+}
+
+/// Averages each row's per-run frequency-residency fractions; returns
+/// `(bucket labels, per-row fractions)` for residency figures (6 and 11).
+pub fn mean_freq_fractions(c: &Comparison) -> (Vec<String>, Vec<Vec<f64>>) {
+    let labels = c.rows[0].runs[0].freq_labels();
+    let rows = c
+        .rows
+        .iter()
+        .map(|r| {
+            let n = r.runs.len() as f64;
+            let mut acc = vec![0.0; labels.len()];
+            for run in &r.runs {
+                for (a, f) in acc.iter_mut().zip(run.freq_fractions()) {
+                    *a += f / n;
+                }
+            }
+            acc
         })
-        .collect()
+        .collect();
+    (labels, rows)
 }
 
 /// Formats a per-benchmark metric row: benchmark name then one value per

@@ -1,25 +1,23 @@
 //! Multi-run scheduler comparisons following §5.1's protocol.
 //!
-//! A comparison runs each scheduler configuration `runs` times (after
-//! `warmup` discarded runs), averages, and reports speedups relative to
-//! the CFS-schedutil baseline with the standard deviation of the
-//! improvement — exactly how the paper's bar graphs are constructed.
+//! A comparison runs each scheduler configuration `runs` times, averages,
+//! and reports speedups relative to the first configuration (the
+//! CFS-schedutil baseline in the paper's figures) with the standard
+//! deviation of the improvement — exactly how the paper's bar graphs are
+//! constructed.
+//!
+//! The *aggregation* ([`Comparison::from_summaries`]) is a pure function
+//! over plain-data [`RunSummary`]s, so it produces identical output
+//! whether the runs were executed serially here ([`compare_schedulers`])
+//! or fanned out across worker threads and the result cache by
+//! `nest-harness`, which is the path every figure binary uses.
 
 use nest_freq::Governor;
-use nest_metrics::stats::{
-    improvement_stats,
-    savings_pct,
-    speedup_pct,
-    Stats,
-};
+use nest_metrics::stats::{improvement_stats, savings_pct, speedup_pct, Stats};
+use nest_metrics::RunSummary;
 use nest_workloads::Workload;
 
-use crate::sim::{
-    run_many,
-    PolicyKind,
-    RunResult,
-    SimConfig,
-};
+use crate::sim::{run_many, PolicyKind, SimConfig};
 
 /// One scheduler configuration in a comparison.
 #[derive(Clone, Debug)]
@@ -58,10 +56,17 @@ impl SchedulerSetup {
     pub fn label(&self) -> String {
         format!("{} {}", self.policy.label(), self.governor.short_name())
     }
+
+    /// A canonical identity string covering *every* parameter of the
+    /// setup (ablation variants with different `NestParams` must not
+    /// collide). Feeds seed derivation and the harness cache key.
+    pub fn identity(&self) -> String {
+        format!("{:?}|{:?}", self.policy, self.governor)
+    }
 }
 
 /// Results of one scheduler within a comparison.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SchedulerOutcome {
     /// The configuration label (`"Nest sched"` …).
     pub label: String,
@@ -77,12 +82,12 @@ pub struct SchedulerOutcome {
     pub energy_savings_pct: Option<f64>,
     /// Mean fraction of busy time in the top two frequency buckets.
     pub top_freq_fraction: f64,
-    /// The raw per-run results (for figure-specific post-processing).
-    pub runs: Vec<RunResult>,
+    /// The raw per-run summaries (for figure-specific post-processing).
+    pub runs: Vec<RunSummary>,
 }
 
 /// A full comparison on one machine and workload.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Comparison {
     /// Workload name.
     pub workload: String,
@@ -97,10 +102,77 @@ impl Comparison {
     pub fn row(&self, label: &str) -> Option<&SchedulerOutcome> {
         self.rows.iter().find(|r| r.label == label)
     }
+
+    /// Aggregates per-run summaries into a comparison, one inner vector
+    /// per scheduler setup (baseline first), following §5.1: average over
+    /// runs, report the standard deviation, normalize speedups against
+    /// the baseline *mean*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `summaries` is empty, its length differs from
+    /// `schedulers`, or any setup has zero runs.
+    pub fn from_summaries(
+        workload: &str,
+        machine: &str,
+        schedulers: &[SchedulerSetup],
+        summaries: Vec<Vec<RunSummary>>,
+    ) -> Comparison {
+        assert!(!schedulers.is_empty(), "need at least a baseline");
+        assert_eq!(
+            schedulers.len(),
+            summaries.len(),
+            "one run set per scheduler"
+        );
+        let mut rows = Vec::new();
+        let mut baseline_time_mean = None;
+        let mut baseline_energy_mean = None;
+        for (s, results) in schedulers.iter().zip(summaries) {
+            assert!(!results.is_empty(), "{}: no runs", s.label());
+            let times: Vec<f64> = results.iter().map(|r| r.time_s).collect();
+            let energies: Vec<f64> = results.iter().map(|r| r.energy_j).collect();
+            let time = Stats::from_samples(&times);
+            let energy = Stats::from_samples(&energies);
+            let underload_per_s =
+                results.iter().map(|r| r.underload_per_s).sum::<f64>() / results.len() as f64;
+            let top_freq_fraction =
+                results.iter().map(|r| r.top_fraction(2)).sum::<f64>() / results.len() as f64;
+            let (speedup, savings) = match (baseline_time_mean, baseline_energy_mean) {
+                (Some(bt), Some(be)) => (
+                    Some(improvement_stats(bt, &times)),
+                    Some(savings_pct(be, energy.mean)),
+                ),
+                _ => {
+                    baseline_time_mean = Some(time.mean);
+                    baseline_energy_mean = Some(energy.mean);
+                    (None, None)
+                }
+            };
+            rows.push(SchedulerOutcome {
+                label: s.label(),
+                time,
+                energy,
+                underload_per_s,
+                speedup_pct: speedup,
+                energy_savings_pct: savings,
+                top_freq_fraction,
+                runs: results,
+            });
+        }
+        Comparison {
+            workload: workload.to_string(),
+            machine: machine.to_string(),
+            rows,
+        }
+    }
 }
 
 /// Runs `schedulers[0]` as the baseline and every other configuration
-/// against it on `machine`/`workload`.
+/// against it on `machine`/`workload`, serially in this thread.
+///
+/// Figure binaries use `nest-harness` instead, which executes the same
+/// cells in parallel with result caching; this entry point remains for
+/// unit tests, examples, and one-off API use.
 pub fn compare_schedulers(
     machine: &nest_topology::MachineSpec,
     workload: &dyn Workload,
@@ -110,56 +182,20 @@ pub fn compare_schedulers(
 ) -> Comparison {
     assert!(!schedulers.is_empty(), "need at least a baseline");
     assert!(runs > 0, "need at least one run");
-    let mut rows = Vec::new();
-    let mut baseline_time_mean = None;
-    let mut baseline_energy_mean = None;
-    for s in schedulers {
-        let cfg = SimConfig::new(machine.clone())
-            .policy(s.policy.clone())
-            .governor(s.governor)
-            .seed(seed);
-        let results = run_many(&cfg, workload, runs);
-        let times: Vec<f64> = results.iter().map(|r| r.time_s).collect();
-        let energies: Vec<f64> = results.iter().map(|r| r.energy_j).collect();
-        let time = Stats::from_samples(&times);
-        let energy = Stats::from_samples(&energies);
-        let underload_per_s = results
-            .iter()
-            .map(|r| r.underload.underload_per_second())
-            .sum::<f64>()
-            / results.len() as f64;
-        let top_freq_fraction = results
-            .iter()
-            .map(|r| r.freq.top_fraction(2))
-            .sum::<f64>()
-            / results.len() as f64;
-        let (speedup, savings) = match (baseline_time_mean, baseline_energy_mean) {
-            (Some(bt), Some(be)) => (
-                Some(improvement_stats(bt, &times)),
-                Some(savings_pct(be, energy.mean)),
-            ),
-            _ => {
-                baseline_time_mean = Some(time.mean);
-                baseline_energy_mean = Some(energy.mean);
-                (None, None)
-            }
-        };
-        rows.push(SchedulerOutcome {
-            label: s.label(),
-            time,
-            energy,
-            underload_per_s,
-            speedup_pct: speedup,
-            energy_savings_pct: savings,
-            top_freq_fraction,
-            runs: results,
-        });
-    }
-    Comparison {
-        workload: workload.name(),
-        machine: machine.name.to_string(),
-        rows,
-    }
+    let summaries: Vec<Vec<RunSummary>> = schedulers
+        .iter()
+        .map(|s| {
+            let cfg = SimConfig::new(machine.clone())
+                .policy(s.policy.clone())
+                .governor(s.governor)
+                .seed(seed);
+            run_many(&cfg, workload, runs)
+                .iter()
+                .map(|r| r.summarize())
+                .collect()
+        })
+        .collect();
+    Comparison::from_summaries(&workload.name(), machine.name, schedulers, summaries)
 }
 
 /// Formats a comparison as an aligned text table (the harness output).
@@ -191,7 +227,10 @@ pub fn format_table(c: &Comparison) -> String {
 /// a baseline and every row must have positive time.
 pub fn validate(c: &Comparison) {
     assert!(!c.rows.is_empty());
-    assert!(c.rows[0].speedup_pct.is_none(), "row 0 must be the baseline");
+    assert!(
+        c.rows[0].speedup_pct.is_none(),
+        "row 0 must be the baseline"
+    );
     for r in &c.rows {
         assert!(r.time.mean > 0.0, "{}: nonpositive time", r.label);
     }
@@ -228,5 +267,54 @@ mod tests {
         let cs = SchedulerSetup::configure_set();
         assert_eq!(cs.len(), 5);
         assert_eq!(cs[4].label(), "Smove sched");
+    }
+
+    #[test]
+    fn identity_distinguishes_parameter_variants() {
+        use nest_sched::NestParams;
+        let a = SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil);
+        let b = SchedulerSetup::new(
+            PolicyKind::NestWith(NestParams {
+                r_max: 10,
+                ..NestParams::default()
+            }),
+            Governor::Schedutil,
+        );
+        // Same figure label, different identity.
+        assert_eq!(a.label(), b.label());
+        assert_ne!(a.identity(), b.identity());
+    }
+
+    #[test]
+    fn from_summaries_matches_serial_compare() {
+        use crate::sim::run_seed;
+        let machine = presets::xeon_5218();
+        let w = Configure::named("gdb");
+        let schedulers = vec![
+            SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+            SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+        ];
+        let serial = compare_schedulers(&machine, &w, &schedulers, 2, 9);
+        let summaries: Vec<Vec<RunSummary>> = schedulers
+            .iter()
+            .map(|s| {
+                (0..2)
+                    .map(|i| {
+                        let cfg = SimConfig::new(machine.clone())
+                            .policy(s.policy.clone())
+                            .governor(s.governor)
+                            .seed(run_seed(9, i));
+                        crate::sim::run_once(&cfg, &w).summarize()
+                    })
+                    .collect()
+            })
+            .collect();
+        let rebuilt = Comparison::from_summaries("gdb", machine.name, &schedulers, summaries);
+        assert_eq!(serial.rows.len(), rebuilt.rows.len());
+        for (a, b) in serial.rows.iter().zip(&rebuilt.rows) {
+            assert_eq!(a.time.mean, b.time.mean);
+            assert_eq!(a.energy.mean, b.energy.mean);
+            assert_eq!(a.runs, b.runs);
+        }
     }
 }

@@ -26,33 +26,13 @@
 pub mod experiment;
 pub mod sim;
 
-pub use experiment::{
-    compare_schedulers,
-    Comparison,
-    SchedulerSetup,
-};
-pub use sim::{
-    run_many,
-    run_once,
-    PolicyKind,
-    RunResult,
-    SimConfig,
-};
+pub use experiment::{compare_schedulers, Comparison, SchedulerSetup};
+pub use sim::{run_many, run_once, run_seed, PolicyKind, RunResult, SimConfig};
 
-pub use nest_engine::{
-    Engine,
-    EngineConfig,
-    RunOutcome,
-};
+pub use nest_metrics::RunSummary;
+
+pub use nest_engine::{Engine, EngineConfig, RunOutcome};
 pub use nest_freq::Governor;
-pub use nest_sched::{
-    CfsParams,
-    NestParams,
-    SmoveParams,
-};
-pub use nest_topology::{
-    presets,
-    MachineSpec,
-    Topology,
-};
+pub use nest_sched::{CfsParams, NestParams, SmoveParams};
+pub use nest_topology::{presets, MachineSpec, Topology};
 pub use nest_workloads::Workload;

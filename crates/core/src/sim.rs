@@ -8,36 +8,16 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use nest_engine::{
-    Engine,
-    EngineConfig,
-};
+use nest_engine::{Engine, EngineConfig};
 use nest_freq::Governor;
+use nest_metrics::RunSummary;
 use nest_metrics::{
-    ExecutionTrace,
-    ExecutionTraceProbe,
-    FreqResidency,
-    FreqResidencyProbe,
-    PlacementCounts,
-    PlacementProbe,
-    UnderloadData,
-    UnderloadProbe,
-    WakeupLatencies,
-    WakeupLatencyProbe,
+    ExecutionTrace, ExecutionTraceProbe, FreqResidency, FreqResidencyProbe, PlacementCounts,
+    PlacementProbe, UnderloadData, UnderloadProbe, WakeupLatencies, WakeupLatencyProbe,
 };
-use nest_sched::{
-    Cfs,
-    CfsParams,
-    Nest,
-    NestParams,
-    SchedPolicy,
-    Smove,
-    SmoveParams,
-};
-use nest_simcore::{
-    SimRng,
-    Time,
-};
+use nest_sched::{Cfs, CfsParams, Nest, NestParams, SchedPolicy, Smove, SmoveParams};
+use nest_simcore::rng::mix64;
+use nest_simcore::{SimRng, Time};
 use nest_topology::MachineSpec;
 use nest_workloads::Workload;
 
@@ -163,6 +143,24 @@ pub struct RunResult {
     pub hit_horizon: bool,
 }
 
+impl RunResult {
+    /// Reduces the run to its plain-data summary (the form the experiment
+    /// harness caches and serializes). The execution trace and raw latency
+    /// samples are dropped; everything a non-trace figure reads survives.
+    pub fn summarize(&self) -> RunSummary {
+        RunSummary::collect(
+            self.time_s,
+            self.energy_j,
+            &self.underload,
+            &self.freq,
+            &self.placements,
+            &self.latency,
+            self.total_tasks,
+            self.hit_horizon,
+        )
+    }
+}
+
 fn take<T: Default>(cell: &Rc<RefCell<T>>) -> T {
     std::mem::take(&mut cell.borrow_mut())
 }
@@ -221,11 +219,21 @@ pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
     }
 }
 
-/// Runs `workload` `runs` times with per-run seed offsets.
+/// Derives the seed of run `i` from a base seed.
+///
+/// A SplitMix-style mix rather than an additive offset, so per-run streams
+/// are statistically independent and a run's seed is a pure function of
+/// `(base, i)` — the property the parallel harness relies on to produce
+/// byte-identical results regardless of worker count or completion order.
+pub fn run_seed(base: u64, i: usize) -> u64 {
+    mix64(base, i as u64)
+}
+
+/// Runs `workload` `runs` times with per-run derived seeds.
 pub fn run_many(cfg: &SimConfig, workload: &dyn Workload, runs: usize) -> Vec<RunResult> {
     (0..runs)
         .map(|i| {
-            let c = cfg.clone().seed(cfg.seed.wrapping_add(i as u64 * 7919));
+            let c = cfg.clone().seed(run_seed(cfg.seed, i));
             run_once(&c, workload)
         })
         .collect()

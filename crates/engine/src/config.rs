@@ -1,10 +1,7 @@
 //! Engine configuration.
 
 use nest_freq::Governor;
-use nest_simcore::{
-    CoreId,
-    Time,
-};
+use nest_simcore::{CoreId, Time};
 use nest_topology::MachineSpec;
 
 /// Configuration of one simulation run.

@@ -21,35 +21,12 @@
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use nest_freq::{
-    Activity,
-    FreqModel,
-};
+use nest_freq::{Activity, FreqModel};
 use nest_sched::kernel::KernelState;
-use nest_sched::policy::{
-    IdleReason,
-    Placement,
-    SchedEnv,
-    SchedPolicy,
-};
+use nest_sched::policy::{IdleReason, Placement, SchedEnv, SchedPolicy};
 use nest_simcore::{
-    Action,
-    BarrierId,
-    ChannelId,
-    CoreId,
-    EventQueue,
-    Freq,
-    PlacementPath,
-    Probe,
-    SimRng,
-    SimSetup,
-    StopReason,
-    TaskId,
-    TaskSpec,
-    Time,
-    TraceEvent,
-    MILLISEC,
-    TICK_NS,
+    Action, BarrierId, ChannelId, CoreId, EventQueue, Freq, PlacementPath, Probe, SimRng, SimSetup,
+    StopReason, TaskId, TaskSpec, Time, TraceEvent, MILLISEC, TICK_NS,
 };
 use nest_topology::Topology;
 
@@ -271,7 +248,12 @@ impl Engine {
         self.create_task(spec, None, initial_core)
     }
 
-    fn create_task(&mut self, spec: TaskSpec, parent: Option<TaskId>, parent_core: CoreId) -> TaskId {
+    fn create_task(
+        &mut self,
+        spec: TaskSpec,
+        parent: Option<TaskId>,
+        parent_core: CoreId,
+    ) -> TaskId {
         let id = TaskId::from_index(self.tasks.len());
         let rng = self.rng.fork(id.index() as u64);
         self.tasks.push(SimTask {
@@ -418,7 +400,10 @@ impl Engine {
         {
             return;
         }
-        let core = self.pending_core.remove(&task.index()).expect("no pending core");
+        let core = self
+            .pending_core
+            .remove(&task.index())
+            .expect("no pending core");
         let preempt = self.kernel.commit_placement(self.now, task, core);
         self.tasks[task.index()].state = TaskState::Queued;
         self.stop_spin(core);

@@ -9,7 +9,4 @@ pub mod config;
 pub mod engine;
 
 pub use config::EngineConfig;
-pub use engine::{
-    Engine,
-    RunOutcome,
-};
+pub use engine::{Engine, RunOutcome};

@@ -1,26 +1,11 @@
 //! Behavioural tests for the discrete-event engine: task lifecycle,
 //! synchronization, preemption, spinning, determinism.
 
-use nest_engine::{
-    Engine,
-    EngineConfig,
-};
+use nest_engine::{Engine, EngineConfig};
 use nest_freq::Governor;
-use nest_sched::{
-    Cfs,
-    Nest,
-};
+use nest_sched::{Cfs, Nest};
 use nest_simcore::{
-    Action,
-    BarrierId,
-    Behavior,
-    ChannelId,
-    Probe,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-    Time,
-    TraceEvent,
+    Action, BarrierId, Behavior, ChannelId, Probe, SimRng, SimSetup, TaskSpec, Time, TraceEvent,
 };
 use nest_topology::presets;
 
@@ -197,7 +182,10 @@ fn preemption_shares_a_core() {
     // finish (some cores run two tasks alternately).
     let mut eng = engine_cfs();
     for i in 0..80 {
-        eng.spawn(TaskSpec::script(format!("t{i}"), vec![compute_ms_at_1ghz(20)]));
+        eng.spawn(TaskSpec::script(
+            format!("t{i}"),
+            vec![compute_ms_at_1ghz(20)],
+        ));
     }
     let idx = eng.add_probe(Box::new(Counter::default()));
     let out = eng.run();
@@ -211,11 +199,7 @@ fn yield_requeues_and_completes() {
     let mut eng = engine_cfs();
     eng.spawn(TaskSpec::script(
         "yielder",
-        vec![
-            compute_ms_at_1ghz(1),
-            Action::Yield,
-            compute_ms_at_1ghz(1),
-        ],
+        vec![compute_ms_at_1ghz(1), Action::Yield, compute_ms_at_1ghz(1)],
     ));
     let out = eng.run();
     assert_eq!(out.live_tasks, 0);
@@ -274,7 +258,7 @@ fn identical_seeds_are_deterministic() {
                     return Action::Exit;
                 }
                 self.steps -= 1;
-                if self.steps % 2 == 0 {
+                if self.steps.is_multiple_of(2) {
                     Action::Compute {
                         cycles: rng.jitter(2_000_000, 0.5),
                     }
@@ -355,7 +339,11 @@ fn all_events_have_monotonic_time() {
         script.push(Action::Fork {
             child: TaskSpec::script(
                 format!("c{i}"),
-                vec![compute_ms_at_1ghz(3), Action::Sleep { ns: 500_000 }, compute_ms_at_1ghz(1)],
+                vec![
+                    compute_ms_at_1ghz(3),
+                    Action::Sleep { ns: 500_000 },
+                    compute_ms_at_1ghz(1),
+                ],
             ),
         });
     }

@@ -9,7 +9,4 @@ pub mod governor;
 pub mod model;
 
 pub use governor::Governor;
-pub use model::{
-    Activity,
-    FreqModel,
-};
+pub use model::{Activity, FreqModel};

@@ -15,11 +15,7 @@
 //! per-core idle/dynamic power, with the socket voltage set by the fastest
 //! active core on the socket (§5.2).
 
-use nest_simcore::{
-    CoreId,
-    Freq,
-    Time,
-};
+use nest_simcore::{CoreId, Freq, Time};
 use nest_topology::MachineSpec;
 
 use crate::governor::Governor;

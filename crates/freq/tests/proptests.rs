@@ -2,18 +2,15 @@
 //! machine envelope, turbo caps are respected, and energy is monotone,
 //! under arbitrary activity sequences.
 
+// Property-based tests need the external `proptest` crate; the offline
+// default build compiles this file to an empty test binary. Enable with
+// `--features proptest` after adding proptest to [dev-dependencies].
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
-use nest_freq::{
-    Activity,
-    FreqModel,
-    Governor,
-};
-use nest_simcore::{
-    CoreId,
-    Time,
-    MILLISEC,
-};
+use nest_freq::{Activity, FreqModel, Governor};
+use nest_simcore::{CoreId, Time, MILLISEC};
 use nest_topology::presets;
 
 fn activity(i: u32) -> Activity {

@@ -1,0 +1,346 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every experiment cell — one `(machine × scheduler setup × workload ×
+//! run index)` simulation — is identified by a 128-bit key hashed from a
+//! canonical description of *everything* that determines its outcome: the
+//! cache schema version, the crate version, the full machine spec, the
+//! full scheduler setup (including ablation parameters), the workload key,
+//! the run index, the derived seed, and the horizon. Re-running a figure
+//! binary after an unrelated change skips completed cells; any change to a
+//! cell's configuration changes its key and forces a fresh run.
+//!
+//! Entries are one JSON file per cell under `results/cache/` (override
+//! with `NEST_CACHE_DIR`), written atomically (temp file + rename) so
+//! concurrent workers and concurrent harness processes never observe torn
+//! entries. `NEST_CACHE=off` bypasses the cache; `NEST_CACHE=clear` wipes
+//! it once at startup and then proceeds with it enabled.
+
+use std::path::{Path, PathBuf};
+
+use nest_metrics::{LatencySummary, RunSummary};
+use nest_simcore::rng::{mix64, splitmix64};
+
+use crate::json::{obj, parse, Json};
+
+/// Bump when the cached summary format or key derivation changes; old
+/// entries then miss instead of deserializing wrongly.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// How the cache behaves, from `NEST_CACHE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Read and write entries (the default).
+    On,
+    /// Bypass entirely.
+    Off,
+    /// Wipe the cache directory once, then behave like `On`.
+    Clear,
+}
+
+impl CacheMode {
+    /// Parses `NEST_CACHE` (`on` / `off` / `clear`; unset means `On`).
+    pub fn from_env() -> CacheMode {
+        match std::env::var("NEST_CACHE").as_deref() {
+            Ok("off") | Ok("0") => CacheMode::Off,
+            Ok("clear") => CacheMode::Clear,
+            _ => CacheMode::On,
+        }
+    }
+}
+
+/// Handle to the on-disk cache.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    enabled: bool,
+}
+
+impl Cache {
+    /// Opens the cache as configured by `NEST_CACHE` / `NEST_CACHE_DIR`.
+    pub fn from_env() -> Cache {
+        let dir = std::env::var("NEST_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| Path::new("results").join("cache"));
+        Cache::at(dir, CacheMode::from_env())
+    }
+
+    /// Opens (or clears) a cache at an explicit directory.
+    pub fn at(dir: PathBuf, mode: CacheMode) -> Cache {
+        match mode {
+            CacheMode::Off => Cache {
+                dir,
+                enabled: false,
+            },
+            CacheMode::Clear => {
+                // Best-effort wipe; a shared cache dir may race with
+                // another process, which is fine — entries are re-created.
+                let _ = std::fs::remove_dir_all(&dir);
+                Cache { dir, enabled: true }
+            }
+            CacheMode::On => Cache { dir, enabled: true },
+        }
+    }
+
+    /// A cache that never hits and never stores.
+    pub fn disabled() -> Cache {
+        Cache {
+            dir: PathBuf::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether lookups/stores do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Returns the cached summary for `key`, if present and readable.
+    pub fn lookup(&self, key: &str) -> Option<RunSummary> {
+        if !self.enabled {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let root = parse(&text).ok()?;
+        if root.get("schema")?.as_u64()? != CACHE_SCHEMA as u64 {
+            return None;
+        }
+        summary_from_json(root.get("summary")?)
+    }
+
+    /// Stores `summary` under `key`, atomically. Errors are swallowed —
+    /// a failed store only costs a future cache miss.
+    pub fn store(&self, key: &str, summary: &RunSummary) {
+        if !self.enabled {
+            return;
+        }
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let root = obj(vec![
+            ("schema", Json::u64(CACHE_SCHEMA as u64)),
+            ("summary", summary_to_json(summary)),
+        ]);
+        let final_path = self.entry_path(key);
+        // Unique temp name per process+key: concurrent writers of the same
+        // key produce identical content, so last-rename-wins is safe.
+        let tmp = self.dir.join(format!("{key}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, root.to_pretty()).is_ok() {
+            let _ = std::fs::rename(&tmp, &final_path);
+        }
+    }
+}
+
+/// Builds the canonical identity string of one cell. Every field that can
+/// change the simulation's outcome must appear here.
+#[allow(clippy::too_many_arguments)]
+pub fn cell_identity(
+    machine_debug: &str,
+    setup_identity: &str,
+    workload_key: &str,
+    run_index: usize,
+    seed: u64,
+    horizon_ns: u64,
+) -> String {
+    format!(
+        "schema={CACHE_SCHEMA};version={};machine={machine_debug};setup={setup_identity};\
+         workload={workload_key};run={run_index};seed={seed};horizon={horizon_ns}",
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
+/// Hashes a cell identity to its 32-hex-digit content address.
+///
+/// Two independent FNV-1a/SplitMix passes give a 128-bit key; collisions
+/// across a few thousand cells are vanishingly unlikely.
+pub fn cell_key(identity: &str) -> String {
+    let lo = hash_pass(identity, 0xCBF2_9CE4_8422_2325);
+    let hi = hash_pass(identity, 0x6C62_272E_07BB_0142);
+    format!("{hi:016x}{lo:016x}")
+}
+
+fn hash_pass(s: &str, basis: u64) -> u64 {
+    let mut h = basis;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    splitmix64(mix64(h, s.len() as u64))
+}
+
+/// Serializes a summary to its JSON form (shared by the cache and the
+/// figure artifacts).
+pub fn summary_to_json(s: &RunSummary) -> Json {
+    obj(vec![
+        ("time_s", Json::f64(s.time_s)),
+        ("energy_j", Json::f64(s.energy_j)),
+        ("underload_per_s", Json::f64(s.underload_per_s)),
+        ("total_underload", Json::u64(s.total_underload)),
+        (
+            "freq_edges_ghz",
+            Json::Arr(s.freq_edges_ghz.iter().map(|&e| Json::f64(e)).collect()),
+        ),
+        (
+            "freq_busy_ns",
+            Json::Arr(s.freq_busy_ns.iter().map(|&n| Json::u64(n)).collect()),
+        ),
+        (
+            "placements",
+            Json::Arr(
+                s.placements
+                    .iter()
+                    .map(|(path, n)| Json::Arr(vec![Json::str(path), Json::u64(*n)]))
+                    .collect(),
+            ),
+        ),
+        ("distinct_cores", Json::usize(s.distinct_cores)),
+        (
+            "latency",
+            obj(vec![
+                ("p50_ns", Json::opt_u64(s.latency.p50_ns)),
+                ("p99_ns", Json::opt_u64(s.latency.p99_ns)),
+                ("p999_ns", Json::opt_u64(s.latency.p999_ns)),
+                ("mean_ns", Json::opt_f64(s.latency.mean_ns)),
+                ("samples", Json::usize(s.latency.samples)),
+            ]),
+        ),
+        ("total_tasks", Json::usize(s.total_tasks)),
+        ("hit_horizon", Json::Bool(s.hit_horizon)),
+    ])
+}
+
+/// Rebuilds a summary from its JSON form; `None` on any shape mismatch.
+pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
+    let nums = |key: &str| -> Option<Vec<f64>> {
+        v.get(key)?.as_arr()?.iter().map(Json::as_f64).collect()
+    };
+    let ints = |key: &str| -> Option<Vec<u64>> {
+        v.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+    };
+    let placements: Option<Vec<(String, u64)>> = v
+        .get("placements")?
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            Some((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_u64()?))
+        })
+        .collect();
+    let lat = v.get("latency")?;
+    let opt_u64 = |field: &Json| {
+        if field.is_null() {
+            Some(None)
+        } else {
+            field.as_u64().map(Some)
+        }
+    };
+    Some(RunSummary {
+        time_s: v.get("time_s")?.as_f64()?,
+        energy_j: v.get("energy_j")?.as_f64()?,
+        underload_per_s: v.get("underload_per_s")?.as_f64()?,
+        total_underload: v.get("total_underload")?.as_u64()?,
+        freq_edges_ghz: nums("freq_edges_ghz")?,
+        freq_busy_ns: ints("freq_busy_ns")?,
+        placements: placements?,
+        distinct_cores: v.get("distinct_cores")?.as_usize()?,
+        latency: LatencySummary {
+            p50_ns: opt_u64(lat.get("p50_ns")?)?,
+            p99_ns: opt_u64(lat.get("p99_ns")?)?,
+            p999_ns: opt_u64(lat.get("p999_ns")?)?,
+            mean_ns: if lat.get("mean_ns")?.is_null() {
+                None
+            } else {
+                Some(lat.get("mean_ns")?.as_f64()?)
+            },
+            samples: lat.get("samples")?.as_usize()?,
+        },
+        total_tasks: v.get("total_tasks")?.as_usize()?,
+        hit_horizon: v.get("hit_horizon")?.as_bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> RunSummary {
+        RunSummary {
+            time_s: 1.25,
+            energy_j: 321.0625,
+            underload_per_s: 0.5,
+            total_underload: 17,
+            freq_edges_ghz: vec![1.0, 2.3, 3.9],
+            freq_busy_ns: vec![123, 0, 9_876_543_210_123],
+            placements: vec![("CfsFork".into(), 5), ("NestPrimary".into(), 11)],
+            distinct_cores: 3,
+            latency: LatencySummary {
+                p50_ns: Some(1_000),
+                p99_ns: Some(50_000),
+                p999_ns: None,
+                mean_ns: Some(1234.5),
+                samples: 400,
+            },
+            total_tasks: 99,
+            hit_horizon: false,
+        }
+    }
+
+    #[test]
+    fn summary_json_round_trip_is_lossless() {
+        let s = sample_summary();
+        let back = summary_from_json(&summary_to_json(&s)).expect("round trip");
+        assert_eq!(back, s);
+        // And canonical: serializing twice gives identical bytes.
+        assert_eq!(
+            summary_to_json(&s).to_pretty(),
+            summary_to_json(&back).to_pretty()
+        );
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let id = cell_identity("m", "s", "w", 0, 42, 600);
+        assert_eq!(cell_key(&id), cell_key(&id));
+        assert_eq!(cell_key(&id).len(), 32);
+        for changed in [
+            cell_identity("m2", "s", "w", 0, 42, 600),
+            cell_identity("m", "s2", "w", 0, 42, 600),
+            cell_identity("m", "s", "w2", 0, 42, 600),
+            cell_identity("m", "s", "w", 1, 42, 600),
+            cell_identity("m", "s", "w", 0, 43, 600),
+            cell_identity("m", "s", "w", 0, 42, 601),
+        ] {
+            assert_ne!(cell_key(&id), cell_key(&changed), "{changed}");
+        }
+    }
+
+    #[test]
+    fn store_lookup_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "nest-cache-test-{}-{:x}",
+            std::process::id(),
+            splitmix64(0xC0FFEE)
+        ));
+        let cache = Cache::at(dir.clone(), CacheMode::Clear);
+        let s = sample_summary();
+        let key = cell_key("some-cell");
+        assert!(cache.lookup(&key).is_none());
+        cache.store(&key, &s);
+        assert_eq!(cache.lookup(&key), Some(s));
+        // Clearing wipes it.
+        let cache = Cache::at(dir.clone(), CacheMode::Clear);
+        assert!(cache.lookup(&key).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let cache = Cache::disabled();
+        let key = cell_key("x");
+        cache.store(&key, &sample_summary());
+        assert!(cache.lookup(&key).is_none());
+    }
+}

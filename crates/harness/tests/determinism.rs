@@ -1,0 +1,171 @@
+//! The harness's central guarantee, pinned as tests: for a fixed base
+//! seed, results and artifacts are byte-identical regardless of worker
+//! count, cache state, or completion order.
+
+use nest_core::experiment::SchedulerSetup;
+use nest_core::presets;
+use nest_core::{Governor, PolicyKind};
+use nest_harness::cache::{cell_identity, cell_key, Cache, CacheMode};
+use nest_harness::{comparison_json, Json, Matrix, Progress, Telemetry};
+use nest_workloads::configure::Configure;
+use nest_workloads::dacapo::Dacapo;
+
+fn test_matrix(base_seed: u64, jobs: usize, cache: Cache) -> Matrix {
+    let mut m = Matrix::new("determinism-test", base_seed)
+        .with_jobs(jobs)
+        .with_cache(cache)
+        .with_progress(Progress::quiet());
+    let setups = vec![
+        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+        SchedulerSetup::new(PolicyKind::Nest, Governor::Performance),
+    ];
+    m.add(
+        presets::xeon_5218(),
+        &setups,
+        2,
+        Box::new(|| Box::new(Configure::named("gdb"))),
+    );
+    m.add(
+        presets::xeon_5218(),
+        &setups[..2],
+        2,
+        Box::new(|| Box::new(Dacapo::named("fop"))),
+    );
+    m
+}
+
+/// Serializes comparisons the way figure artifacts do, so equality is
+/// byte-level over the full artifact payload, not just summary fields.
+fn artifact_bytes(comps: &[nest_core::Comparison]) -> String {
+    Json::Arr(comps.iter().map(comparison_json).collect()).to_pretty()
+}
+
+fn scratch_cache(tag: &str) -> (std::path::PathBuf, Cache) {
+    let dir = std::env::temp_dir().join(format!("nest-determinism-{}-{tag}", std::process::id()));
+    (dir.clone(), Cache::at(dir, CacheMode::Clear))
+}
+
+#[test]
+fn jobs_1_and_jobs_8_produce_identical_artifacts() {
+    let (c1, _) = test_matrix(42, 1, Cache::disabled()).run();
+    let (c8, t8) = test_matrix(42, 8, Cache::disabled()).run();
+    assert_eq!(t8.jobs.min(8), t8.jobs);
+    // Field-level equality of every run summary...
+    assert_eq!(c1.len(), c8.len());
+    for (a, b) in c1.iter().zip(&c8) {
+        assert_eq!(a.workload, b.workload);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.runs, rb.runs, "{}: per-run summaries differ", ra.label);
+        }
+    }
+    // ...and byte-level equality of the serialized artifact payload.
+    assert_eq!(artifact_bytes(&c1), artifact_bytes(&c8));
+}
+
+#[test]
+fn different_seeds_produce_different_results() {
+    let (a, _) = test_matrix(1, 4, Cache::disabled()).run();
+    let (b, _) = test_matrix(2, 4, Cache::disabled()).run();
+    assert_ne!(artifact_bytes(&a), artifact_bytes(&b));
+}
+
+#[test]
+fn cached_rerun_is_identical_and_fully_hits() {
+    let (dir, cache) = scratch_cache("rerun");
+    let (cold, t_cold) = test_matrix(7, 4, cache).run();
+    assert_eq!(t_cold.cells_cached, 0, "first run must miss");
+
+    let (_, cache_again) = (dir.clone(), Cache::at(dir.clone(), CacheMode::On));
+    let (warm, t_warm) = test_matrix(7, 4, cache_again).run();
+    assert_eq!(
+        t_warm.cells_cached, t_warm.cells_total,
+        "second run must be served entirely from cache"
+    );
+    assert_eq!(artifact_bytes(&cold), artifact_bytes(&warm));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cache_keys_are_stable_across_runs_and_inputs() {
+    let id = cell_identity(
+        "machine-debug",
+        "Nest|Schedutil",
+        "gdb",
+        1,
+        12345,
+        600_000_000_000,
+    );
+    // Stable within a process...
+    assert_eq!(cell_key(&id), cell_key(&id));
+    // ...and tied to the full identity: every coordinate must matter.
+    let variants = [
+        cell_identity(
+            "other-machine",
+            "Nest|Schedutil",
+            "gdb",
+            1,
+            12345,
+            600_000_000_000,
+        ),
+        cell_identity(
+            "machine-debug",
+            "Cfs|Schedutil",
+            "gdb",
+            1,
+            12345,
+            600_000_000_000,
+        ),
+        cell_identity(
+            "machine-debug",
+            "Nest|Schedutil",
+            "mplayer",
+            1,
+            12345,
+            600_000_000_000,
+        ),
+        cell_identity(
+            "machine-debug",
+            "Nest|Schedutil",
+            "gdb",
+            2,
+            12345,
+            600_000_000_000,
+        ),
+        cell_identity(
+            "machine-debug",
+            "Nest|Schedutil",
+            "gdb",
+            1,
+            54321,
+            600_000_000_000,
+        ),
+        cell_identity(
+            "machine-debug",
+            "Nest|Schedutil",
+            "gdb",
+            1,
+            12345,
+            1_000_000_000,
+        ),
+    ];
+    for v in &variants {
+        assert_ne!(cell_key(&id), cell_key(v), "{v}");
+    }
+    // The identity embeds the schema and crate version, so format changes
+    // invalidate old entries rather than deserializing them wrongly.
+    assert!(id.contains("schema="));
+    assert!(id.contains("version="));
+}
+
+#[test]
+fn telemetry_is_quarantined_from_deterministic_output() {
+    // Telemetry varies run to run (wall clock); the comparison payload
+    // must not embed any of it.
+    let (comps, telemetry) = test_matrix(3, 2, Cache::disabled()).run();
+    let bytes = artifact_bytes(&comps);
+    let Telemetry { wall_s, .. } = telemetry;
+    assert!(wall_s > 0.0);
+    assert!(!bytes.contains("wall_s"));
+    assert!(!bytes.contains("cells_cached"));
+}

@@ -8,12 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use nest_simcore::{
-    Freq,
-    Probe,
-    Time,
-    TraceEvent,
-};
+use nest_simcore::{Freq, Probe, Time, TraceEvent};
 
 /// Residency histogram; obtain via [`FreqResidencyProbe::new`].
 #[derive(Debug, Default)]
@@ -154,11 +149,7 @@ impl Probe for FreqResidencyProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nest_simcore::{
-        CoreId,
-        StopReason,
-        TaskId,
-    };
+    use nest_simcore::{CoreId, StopReason, TaskId};
 
     fn probe() -> (FreqResidencyProbe, Rc<RefCell<FreqResidency>>) {
         FreqResidencyProbe::new(4, &[1.0, 2.0, 3.0], Freq::from_ghz(1.0))

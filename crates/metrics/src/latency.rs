@@ -8,12 +8,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use nest_simcore::{
-    Probe,
-    TaskId,
-    Time,
-    TraceEvent,
-};
+use nest_simcore::{Probe, TaskId, Time, TraceEvent};
 
 /// Collected wakeup latencies; obtain via [`WakeupLatencyProbe::new`].
 #[derive(Debug, Default)]
@@ -110,7 +105,10 @@ mod tests {
     #[test]
     fn pairs_woken_with_run_start() {
         let (mut p, d) = WakeupLatencyProbe::new();
-        p.on_event(Time::from_nanos(100), &TraceEvent::Woken { task: TaskId(1) });
+        p.on_event(
+            Time::from_nanos(100),
+            &TraceEvent::Woken { task: TaskId(1) },
+        );
         p.on_event(
             Time::from_nanos(350),
             &TraceEvent::RunStart {

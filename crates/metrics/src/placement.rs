@@ -9,12 +9,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use nest_simcore::{
-    PlacementPath,
-    Probe,
-    Time,
-    TraceEvent,
-};
+use nest_simcore::{PlacementPath, Probe, Time, TraceEvent};
 
 /// Placement counters; obtain via [`PlacementProbe::new`].
 #[derive(Debug, Default)]
@@ -93,10 +88,7 @@ impl Probe for PlacementProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nest_simcore::{
-        CoreId,
-        TaskId,
-    };
+    use nest_simcore::{CoreId, TaskId};
 
     #[test]
     fn counts_by_path_and_core() {

@@ -8,12 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use nest_simcore::{
-    Freq,
-    Probe,
-    Time,
-    TraceEvent,
-};
+use nest_simcore::{Freq, Probe, Time, TraceEvent};
 
 /// One busy span of a core at a fixed frequency.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -100,7 +95,10 @@ pub struct ExecutionTraceProbe {
 
 impl ExecutionTraceProbe {
     /// Creates the probe with all cores initially at `initial` frequency.
-    pub fn new(n_cores: usize, initial: Freq) -> (ExecutionTraceProbe, Rc<RefCell<ExecutionTrace>>) {
+    pub fn new(
+        n_cores: usize,
+        initial: Freq,
+    ) -> (ExecutionTraceProbe, Rc<RefCell<ExecutionTrace>>) {
         let data = Rc::new(RefCell::new(ExecutionTrace::default()));
         (
             ExecutionTraceProbe {
@@ -158,11 +156,7 @@ impl Probe for ExecutionTraceProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nest_simcore::{
-        CoreId,
-        StopReason,
-        TaskId,
-    };
+    use nest_simcore::{CoreId, StopReason, TaskId};
 
     #[test]
     fn records_spans_split_on_freq_change() {

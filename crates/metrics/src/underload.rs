@@ -16,13 +16,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use nest_simcore::{
-    Probe,
-    Time,
-    TraceEvent,
-    SEC,
-    TICK_NS,
-};
+use nest_simcore::{Probe, Time, TraceEvent, SEC, TICK_NS};
 
 /// Per-interval usage snapshot.
 #[derive(Clone, Copy, Debug, Default)]
@@ -193,10 +187,7 @@ impl Probe for UnderloadProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nest_simcore::{
-        CoreId,
-        TaskId,
-    };
+    use nest_simcore::{CoreId, TaskId};
 
     fn run_start(core: u32) -> TraceEvent {
         TraceEvent::RunStart {

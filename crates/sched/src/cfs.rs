@@ -18,21 +18,11 @@
 //! die, at a longer period across the machine — resolving overloads only
 //! gradually (§5.4).
 
-use nest_simcore::{
-    CoreId,
-    PlacementPath,
-    TaskId,
-};
+use nest_simcore::{CoreId, PlacementPath, TaskId};
 use nest_topology::CpuSet;
 
 use crate::kernel::KernelState;
-use crate::policy::{
-    IdleAction,
-    IdleReason,
-    Placement,
-    SchedEnv,
-    SchedPolicy,
-};
+use crate::policy::{IdleAction, IdleReason, Placement, SchedEnv, SchedPolicy};
 
 /// Tunables for the CFS heuristics.
 #[derive(Clone, Debug)]
@@ -135,9 +125,8 @@ fn select_idlest_in(
     let mut best_pair: Option<(f64, CoreId)> = None;
     let mut best_idle: Option<(f64, CoreId)> = None;
     let mut best_any: Option<(f64, CoreId)> = None;
-    let better = |load: f64, best: &Option<(f64, CoreId)>| {
-        best.map_or(true, |(l, _)| load + LOAD_EPSILON < l)
-    };
+    let better =
+        |load: f64, best: &Option<(f64, CoreId)>| best.is_none_or(|(l, _)| load + LOAD_EPSILON < l);
     for core in span.iter_wrapping_from(from) {
         let load = k.core_load(env.now, core);
         if idle_ok(k, core, respect_pending) {
@@ -287,14 +276,14 @@ pub fn periodic_pull_source(
         return None;
     }
     let tick = env.now.tick_index() + core.index() as u64;
-    if tick % params.numa_balance_ticks == 0 {
+    if tick.is_multiple_of(params.numa_balance_ticks) {
         if let Some(src) = k.busiest_core_in(&env.topo.all_cores().clone(), 1) {
             if src != core {
                 return Some(src);
             }
         }
     }
-    if tick % params.die_balance_ticks == 0 {
+    if tick.is_multiple_of(params.die_balance_ticks) {
         let die = env.topo.socket_span(env.topo.socket_of(core)).clone();
         if let Some(src) = k.busiest_core_in(&die, 1) {
             if src != core {
@@ -360,18 +349,9 @@ mod tests {
     use super::*;
     use std::rc::Rc;
 
-    use nest_freq::{
-        FreqModel,
-        Governor,
-    };
-    use nest_simcore::{
-        SimRng,
-        Time,
-    };
-    use nest_topology::{
-        presets,
-        Topology,
-    };
+    use nest_freq::{FreqModel, Governor};
+    use nest_simcore::{SimRng, Time};
+    use nest_topology::{presets, Topology};
 
     struct Fixture {
         k: KernelState,
@@ -392,6 +372,8 @@ mod tests {
             }
         }
 
+        // Kept for fixture parity with the nest/smove test modules.
+        #[allow(dead_code)]
         fn env(&mut self, now: Time) -> SchedEnv<'_> {
             SchedEnv {
                 now,
@@ -453,7 +435,8 @@ mod tests {
         };
         let core = {
             let mut cfs = Cfs::new();
-            cfs.select_core_fork(&mut f.k, &mut env, child, CoreId(0)).core
+            cfs.select_core_fork(&mut f.k, &mut env, child, CoreId(0))
+                .core
         };
         // Core 1 was just used (still warm); CFS skips it for a colder one.
         assert_ne!(core, CoreId(1), "CFS should disfavor the warm core");

@@ -17,11 +17,7 @@
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
-use nest_simcore::{
-    CoreId,
-    TaskId,
-    Time,
-};
+use nest_simcore::{CoreId, TaskId, Time};
 use nest_topology::Topology;
 
 use crate::pelt::Pelt;
@@ -380,7 +376,7 @@ impl KernelState {
         let mut best: Option<(usize, CoreId)> = None;
         for core in set.iter() {
             let q = self.cores[core.index()].rq.len();
-            if q >= min_queued && best.map_or(true, |(bq, _)| q > bq) {
+            if q >= min_queued && best.is_none_or(|(bq, _)| q > bq) {
                 best = Some((q, core));
             }
         }
@@ -481,10 +477,16 @@ mod tests {
         let a = new_task(&mut k, t0);
         k.enqueue(t0, a, core);
         k.pick_next(t0, core);
-        assert!(!k.tick_preempt_due(Time::from_millis(10), core), "no waiter");
+        assert!(
+            !k.tick_preempt_due(Time::from_millis(10), core),
+            "no waiter"
+        );
         let b = new_task(&mut k, t0);
         k.enqueue(t0, b, core);
-        assert!(!k.tick_preempt_due(Time::from_millis(3), core), "slice not used");
+        assert!(
+            !k.tick_preempt_due(Time::from_millis(3), core),
+            "slice not used"
+        );
         assert!(k.tick_preempt_due(Time::from_millis(4), core));
     }
 

@@ -15,25 +15,9 @@ pub mod pelt;
 pub mod policy;
 pub mod smove;
 
-pub use cfs::{
-    Cfs,
-    CfsParams,
-};
+pub use cfs::{Cfs, CfsParams};
 pub use kernel::KernelState;
-pub use nest::{
-    Nest,
-    NestParams,
-};
+pub use nest::{Nest, NestParams};
 pub use pelt::Pelt;
-pub use policy::{
-    IdleAction,
-    IdleReason,
-    Placement,
-    SchedEnv,
-    SchedPolicy,
-    SmoveArm,
-};
-pub use smove::{
-    Smove,
-    SmoveParams,
-};
+pub use policy::{IdleAction, IdleReason, Placement, SchedEnv, SchedPolicy, SmoveArm};
+pub use smove::{Smove, SmoveParams};

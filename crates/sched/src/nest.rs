@@ -20,27 +20,12 @@
 //! Each mechanism has a feature flag so the §5.2/§5.3 ablation studies can
 //! disable it.
 
-use nest_simcore::{
-    CoreId,
-    PlacementPath,
-    TaskId,
-    TICK_NS,
-};
+use nest_simcore::{CoreId, PlacementPath, TaskId, TICK_NS};
 use nest_topology::CpuSet;
 
-use crate::cfs::{
-    self,
-    idle_ok,
-    CfsParams,
-};
+use crate::cfs::{self, idle_ok, CfsParams};
 use crate::kernel::KernelState;
-use crate::policy::{
-    IdleAction,
-    IdleReason,
-    Placement,
-    SchedEnv,
-    SchedPolicy,
-};
+use crate::policy::{IdleAction, IdleReason, Placement, SchedEnv, SchedPolicy};
 
 /// Nest tunables (paper Table 1) and ablation feature flags.
 #[derive(Clone, Debug)]
@@ -359,18 +344,9 @@ mod tests {
     use super::*;
     use std::rc::Rc;
 
-    use nest_freq::{
-        FreqModel,
-        Governor,
-    };
-    use nest_simcore::{
-        SimRng,
-        Time,
-    };
-    use nest_topology::{
-        presets,
-        Topology,
-    };
+    use nest_freq::{FreqModel, Governor};
+    use nest_simcore::{SimRng, Time};
+    use nest_topology::{presets, Topology};
 
     struct Fixture {
         k: KernelState,
@@ -560,7 +536,10 @@ mod tests {
         let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(4));
         assert_eq!(p.core, CoreId(5));
         assert_eq!(p.path, PlacementPath::NestPrimary);
-        assert!(nest.primary().contains(CoreId(5)), "reclaim keeps it primary");
+        assert!(
+            nest.primary().contains(CoreId(5)),
+            "reclaim keeps it primary"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl Pelt {
     ///
     /// Panics if `value` is outside `[0, 1]`.
     pub fn with_initial(now: Time, value: f64) -> Pelt {
-        assert!((0.0..=1.0).contains(&value), "invalid initial value {value}");
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "invalid initial value {value}"
+        );
         Pelt {
             value,
             running: false,

@@ -7,13 +7,7 @@
 //! [`KernelState`] machinery.
 
 use nest_freq::FreqModel;
-use nest_simcore::{
-    CoreId,
-    PlacementPath,
-    SimRng,
-    TaskId,
-    Time,
-};
+use nest_simcore::{CoreId, PlacementPath, SimRng, TaskId, Time};
 use nest_topology::Topology;
 
 use crate::kernel::KernelState;

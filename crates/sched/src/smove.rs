@@ -13,26 +13,11 @@
 //! frequency before it is chosen again, so Smove believes the core is
 //! still fast and does nothing.
 
-use nest_simcore::{
-    CoreId,
-    Freq,
-    PlacementPath,
-    TaskId,
-};
+use nest_simcore::{CoreId, Freq, PlacementPath, TaskId};
 
-use crate::cfs::{
-    self,
-    CfsParams,
-};
+use crate::cfs::{self, CfsParams};
 use crate::kernel::KernelState;
-use crate::policy::{
-    IdleAction,
-    IdleReason,
-    Placement,
-    SchedEnv,
-    SchedPolicy,
-    SmoveArm,
-};
+use crate::policy::{IdleAction, IdleReason, Placement, SchedEnv, SchedPolicy, SmoveArm};
 
 /// Smove tunables.
 #[derive(Clone, Debug)]
@@ -168,20 +153,9 @@ mod tests {
     use super::*;
     use std::rc::Rc;
 
-    use nest_freq::{
-        Activity,
-        FreqModel,
-        Governor,
-    };
-    use nest_simcore::{
-        SimRng,
-        Time,
-        MILLISEC,
-    };
-    use nest_topology::{
-        presets,
-        Topology,
-    };
+    use nest_freq::{Activity, FreqModel, Governor};
+    use nest_simcore::{SimRng, Time, MILLISEC};
+    use nest_topology::{presets, Topology};
 
     struct Fixture {
         k: KernelState,

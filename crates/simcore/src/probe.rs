@@ -7,10 +7,7 @@
 //! itself never aggregates anything, keeping measurement strictly separate
 //! from mechanism.
 
-use crate::ids::{
-    CoreId,
-    TaskId,
-};
+use crate::ids::{CoreId, TaskId};
 use crate::time::Time;
 use crate::units::Freq;
 
@@ -151,10 +148,7 @@ mod tests {
     #[test]
     fn recording_probe_captures_events() {
         let mut p = RecordingProbe::default();
-        p.on_event(
-            Time::from_nanos(5),
-            &TraceEvent::Woken { task: TaskId(3) },
-        );
+        p.on_event(Time::from_nanos(5), &TraceEvent::Woken { task: TaskId(3) });
         assert_eq!(p.events.len(), 1);
         assert_eq!(p.events[0].0, Time::from_nanos(5));
         assert!(p.events[0].1.contains("Woken"));

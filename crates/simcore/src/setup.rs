@@ -5,10 +5,7 @@
 //! is the narrow interface the engine implements for them, keeping the
 //! workload crate independent of the engine crate.
 
-use crate::ids::{
-    BarrierId,
-    ChannelId,
-};
+use crate::ids::{BarrierId, ChannelId};
 
 /// Facilities a workload may allocate during construction.
 pub trait SimSetup {

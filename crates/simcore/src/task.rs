@@ -11,10 +11,7 @@
 //! faster on a core running at a higher frequency, which is the effect the
 //! Nest paper exploits.
 
-use crate::ids::{
-    BarrierId,
-    ChannelId,
-};
+use crate::ids::{BarrierId, ChannelId};
 use crate::rng::SimRng;
 use crate::units::Cycles;
 
@@ -106,7 +103,9 @@ impl TaskSpec {
 
 impl std::fmt::Debug for TaskSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskSpec").field("label", &self.label).finish()
+        f.debug_struct("TaskSpec")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -169,10 +168,8 @@ mod tests {
     #[test]
     fn script_plays_in_order_then_exits() {
         let mut rng = SimRng::new(0);
-        let mut b = ScriptBehavior::new(vec![
-            Action::Compute { cycles: 1 },
-            Action::Sleep { ns: 2 },
-        ]);
+        let mut b =
+            ScriptBehavior::new(vec![Action::Compute { cycles: 1 }, Action::Sleep { ns: 2 }]);
         assert!(matches!(b.next(&mut rng), Action::Compute { cycles: 1 }));
         assert!(matches!(b.next(&mut rng), Action::Sleep { ns: 2 }));
         assert!(matches!(b.next(&mut rng), Action::Exit));
@@ -182,12 +179,13 @@ mod tests {
     fn fn_behavior_delegates() {
         let mut rng = SimRng::new(0);
         let mut calls = 0;
-        let mut b = FnBehavior::new(|_| {
-            calls += 1;
-            Action::Yield
-        });
-        assert!(matches!(b.next(&mut rng), Action::Yield));
-        drop(b);
+        {
+            let mut b = FnBehavior::new(|_| {
+                calls += 1;
+                Action::Yield
+            });
+            assert!(matches!(b.next(&mut rng), Action::Yield));
+        }
         assert_eq!(calls, 1);
     }
 

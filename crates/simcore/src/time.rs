@@ -6,11 +6,7 @@
 //! [`SEC`], and [`TICK_NS`] make call sites readable.
 
 use std::fmt;
-use std::ops::{
-    Add,
-    AddAssign,
-    Sub,
-};
+use std::ops::{Add, AddAssign, Sub};
 
 /// One nanosecond, the base unit of simulated time.
 pub const NANOSEC: u64 = 1;

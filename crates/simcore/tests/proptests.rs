@@ -1,13 +1,13 @@
 //! Property-based tests for the simulation primitives.
 
+// Property-based tests need the external `proptest` crate; the offline
+// default build compiles this file to an empty test binary. Enable with
+// `--features proptest` after adding proptest to [dev-dependencies].
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
-use nest_simcore::{
-    EventQueue,
-    Freq,
-    SimRng,
-    Time,
-};
+use nest_simcore::{EventQueue, Freq, SimRng, Time};
 
 proptest! {
     /// The event queue pops in nondecreasing time order and, at equal

@@ -133,7 +133,9 @@ impl CpuSet {
     pub fn first(&self) -> Option<CoreId> {
         for (i, &w) in self.words.iter().enumerate() {
             if w != 0 {
-                return Some(CoreId::from_index(i * WORD_BITS + w.trailing_zeros() as usize));
+                return Some(CoreId::from_index(
+                    i * WORD_BITS + w.trailing_zeros() as usize,
+                ));
             }
         }
         None

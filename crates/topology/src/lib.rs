@@ -10,9 +10,4 @@ pub mod machine;
 pub mod presets;
 
 pub use cpuset::CpuSet;
-pub use machine::{
-    FreqSpec,
-    MachineSpec,
-    PowerSpec,
-    Topology,
-};
+pub use machine::{FreqSpec, MachineSpec, PowerSpec, Topology};

@@ -13,11 +13,7 @@
 //! owns cores `s·2P .. (s+1)·2P`, where local index `p < P` is the first
 //! hardware thread of physical core `p` and `p + P` is its hyperthread.
 
-use nest_simcore::{
-    CoreId,
-    Freq,
-    SocketId,
-};
+use nest_simcore::{CoreId, Freq, SocketId};
 
 use crate::cpuset::CpuSet;
 
@@ -75,9 +71,9 @@ impl FreqSpec {
 ///
 /// Socket power = `uncore_w` (charged whenever the machine is up — the
 /// paper notes sockets never enter deep sleep while any core is active)
-/// + per-core idle power + per-active-core dynamic power
-/// `k·f·V²`, where the socket voltage `V` tracks the fastest active core
-/// on the socket (§5.2: "the CPU energy consumption is determined by the
+/// plus per-core idle power plus per-active-core dynamic power `k·f·V²`,
+/// where the socket voltage `V` tracks the fastest active core on the
+/// socket (§5.2: "the CPU energy consumption is determined by the
 /// consumption of the highest frequency core on the socket").
 #[derive(Clone, Debug)]
 pub struct PowerSpec {
@@ -159,7 +155,10 @@ impl Topology {
     /// Panics if the spec has zero sockets/cores or `smt != 2` (the only
     /// SMT width the paper's heuristics are defined for).
     pub fn new(spec: MachineSpec) -> Topology {
-        assert!(spec.sockets > 0 && spec.phys_per_socket > 0, "empty machine");
+        assert!(
+            spec.sockets > 0 && spec.phys_per_socket > 0,
+            "empty machine"
+        );
         assert_eq!(spec.smt, 2, "only 2-way SMT is modeled");
         let n = spec.n_cores();
         let mut socket_spans = Vec::with_capacity(spec.sockets);

@@ -15,11 +15,7 @@
 
 use nest_simcore::Freq;
 
-use crate::machine::{
-    FreqSpec,
-    MachineSpec,
-    PowerSpec,
-};
+use crate::machine::{FreqSpec, MachineSpec, PowerSpec};
 
 fn ghz(v: f64) -> Freq {
     Freq::from_ghz(v)

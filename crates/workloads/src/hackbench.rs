@@ -8,14 +8,7 @@
 //! the paper's `-g 100 -l 10000` to keep simulation tractable; the
 //! *structure* (pairs, message batching, full-machine churn) is preserved.
 
-use nest_simcore::{
-    Action,
-    Behavior,
-    ChannelId,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
 
 use crate::Workload;
 

@@ -26,11 +26,7 @@ pub mod phoronix;
 pub mod schbench;
 pub mod server;
 
-use nest_simcore::{
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{SimRng, SimSetup, TaskSpec};
 
 /// A workload: a named generator of initial tasks.
 pub trait Workload {

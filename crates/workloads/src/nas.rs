@@ -8,19 +8,9 @@
 //! CFS's fork collisions on large machines cause the overloads Lepers et
 //! al. observed.
 
-use nest_simcore::{
-    Action,
-    BarrierId,
-    Behavior,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, BarrierId, Behavior, SimRng, SimSetup, TaskSpec};
 
-use crate::{
-    ms_at_ghz,
-    Workload,
-};
+use crate::{ms_at_ghz, Workload};
 
 /// Parameters of one NAS kernel (class C sizing).
 #[derive(Clone, Debug)]
@@ -271,7 +261,12 @@ mod tests {
         let w = Nas::named("is.C.x");
         let mut setup = CountingSetup { barriers: vec![] };
         let mut rng = SimRng::new(0);
-        let mut beh = w.build(&mut setup, &mut rng).into_iter().next().unwrap().behavior;
+        let mut beh = w
+            .build(&mut setup, &mut rng)
+            .into_iter()
+            .next()
+            .unwrap()
+            .behavior;
         let mut forks = 0;
         // Drive through the setup script; stop once the worker phase's
         // first barrier shows up.

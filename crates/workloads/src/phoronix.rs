@@ -11,18 +11,9 @@
 //! ([`archetype_suite`]) spanning the same behaviour space; DESIGN.md
 //! documents the substitution.
 
-use nest_simcore::{
-    Action,
-    Behavior,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, Behavior, SimRng, SimSetup, TaskSpec};
 
-use crate::{
-    ms_at_ghz,
-    Workload,
-};
+use crate::{ms_at_ghz, Workload};
 
 /// How a test's tasks behave.
 #[derive(Clone, Debug)]
@@ -82,33 +73,246 @@ pub fn figure13_specs() -> Vec<PhoronixSpec> {
     }
     use Pattern::*;
     vec![
-        t("arrayfire 2", Barrier { threads: 0, chunk_ms: 1.2, jitter: 0.05, iters: 500 }),
-        t("arrayfire 3", Barrier { threads: 0, chunk_ms: 0.8, jitter: 0.08, iters: 700 }),
-        t("askap 5", Barrier { threads: 0, chunk_ms: 3.0, jitter: 0.05, iters: 300 }),
-        t("cassandra 1", Pool { threads: 32, chunk_ms: 0.8, sleep_ms: 0.6, work_ms: 2_500.0 }),
-        t("cpuminer-opt 6", Barrier { threads: 0, chunk_ms: 6.0, jitter: 0.02, iters: 250 }),
-        t("cpuminer-opt 7", Barrier { threads: 0, chunk_ms: 6.0, jitter: 0.02, iters: 225 }),
-        t("cpuminer-opt 8", Barrier { threads: 0, chunk_ms: 6.0, jitter: 0.02, iters: 240 }),
-        t("cpuminer-opt 9", Barrier { threads: 0, chunk_ms: 6.0, jitter: 0.02, iters: 210 }),
-        t("cpuminer-opt 11", Barrier { threads: 0, chunk_ms: 6.0, jitter: 0.02, iters: 230 }),
-        t("ffmpeg 1", Pool { threads: 12, chunk_ms: 2.5, sleep_ms: 0.5, work_ms: 2_200.0 }),
-        t("graphics-magick 4", Storm { concurrent: 4, task_ms: 6.0, count: 500 }),
-        t("libavif avifenc 1", Pool { threads: 24, chunk_ms: 1.8, sleep_ms: 1.4, work_ms: 3_200.0 }),
-        t("libgav1 1", Pool { threads: 8, chunk_ms: 1.2, sleep_ms: 0.4, work_ms: 2_800.0 }),
-        t("libgav1 2", Pool { threads: 8, chunk_ms: 1.0, sleep_ms: 0.4, work_ms: 2_300.0 }),
-        t("libgav1 3", Pool { threads: 10, chunk_ms: 1.2, sleep_ms: 0.5, work_ms: 3_000.0 }),
-        t("libgav1 4", Pool { threads: 10, chunk_ms: 1.0, sleep_ms: 0.5, work_ms: 2_600.0 }),
-        t("oidn 1", Barrier { threads: 0, chunk_ms: 4.0, jitter: 0.04, iters: 200 }),
-        t("oidn 2", Barrier { threads: 0, chunk_ms: 4.0, jitter: 0.04, iters: 200 }),
-        t("oidn 3", Barrier { threads: 0, chunk_ms: 5.0, jitter: 0.04, iters: 160 }),
-        t("onednn 4", Barrier { threads: 0, chunk_ms: 0.6, jitter: 0.10, iters: 220 }),
-        t("onednn 5", Barrier { threads: 0, chunk_ms: 0.5, jitter: 0.10, iters: 220 }),
-        t("onednn 7", Barrier { threads: 0, chunk_ms: 2.2, jitter: 0.06, iters: 140 }),
-        t("onednn 11", Barrier { threads: 0, chunk_ms: 2.0, jitter: 0.06, iters: 140 }),
-        t("onednn 14", Barrier { threads: 0, chunk_ms: 2.0, jitter: 0.06, iters: 140 }),
-        t("rodinia 5", Barrier { threads: 36, chunk_ms: 2.4, jitter: 0.08, iters: 120 }),
-        t("zstd compression 7", Storm { concurrent: 6, task_ms: 2.2, count: 1_800 }),
-        t("zstd compression 10", Storm { concurrent: 6, task_ms: 2.6, count: 1_500 }),
+        t(
+            "arrayfire 2",
+            Barrier {
+                threads: 0,
+                chunk_ms: 1.2,
+                jitter: 0.05,
+                iters: 500,
+            },
+        ),
+        t(
+            "arrayfire 3",
+            Barrier {
+                threads: 0,
+                chunk_ms: 0.8,
+                jitter: 0.08,
+                iters: 700,
+            },
+        ),
+        t(
+            "askap 5",
+            Barrier {
+                threads: 0,
+                chunk_ms: 3.0,
+                jitter: 0.05,
+                iters: 300,
+            },
+        ),
+        t(
+            "cassandra 1",
+            Pool {
+                threads: 32,
+                chunk_ms: 0.8,
+                sleep_ms: 0.6,
+                work_ms: 2_500.0,
+            },
+        ),
+        t(
+            "cpuminer-opt 6",
+            Barrier {
+                threads: 0,
+                chunk_ms: 6.0,
+                jitter: 0.02,
+                iters: 250,
+            },
+        ),
+        t(
+            "cpuminer-opt 7",
+            Barrier {
+                threads: 0,
+                chunk_ms: 6.0,
+                jitter: 0.02,
+                iters: 225,
+            },
+        ),
+        t(
+            "cpuminer-opt 8",
+            Barrier {
+                threads: 0,
+                chunk_ms: 6.0,
+                jitter: 0.02,
+                iters: 240,
+            },
+        ),
+        t(
+            "cpuminer-opt 9",
+            Barrier {
+                threads: 0,
+                chunk_ms: 6.0,
+                jitter: 0.02,
+                iters: 210,
+            },
+        ),
+        t(
+            "cpuminer-opt 11",
+            Barrier {
+                threads: 0,
+                chunk_ms: 6.0,
+                jitter: 0.02,
+                iters: 230,
+            },
+        ),
+        t(
+            "ffmpeg 1",
+            Pool {
+                threads: 12,
+                chunk_ms: 2.5,
+                sleep_ms: 0.5,
+                work_ms: 2_200.0,
+            },
+        ),
+        t(
+            "graphics-magick 4",
+            Storm {
+                concurrent: 4,
+                task_ms: 6.0,
+                count: 500,
+            },
+        ),
+        t(
+            "libavif avifenc 1",
+            Pool {
+                threads: 24,
+                chunk_ms: 1.8,
+                sleep_ms: 1.4,
+                work_ms: 3_200.0,
+            },
+        ),
+        t(
+            "libgav1 1",
+            Pool {
+                threads: 8,
+                chunk_ms: 1.2,
+                sleep_ms: 0.4,
+                work_ms: 2_800.0,
+            },
+        ),
+        t(
+            "libgav1 2",
+            Pool {
+                threads: 8,
+                chunk_ms: 1.0,
+                sleep_ms: 0.4,
+                work_ms: 2_300.0,
+            },
+        ),
+        t(
+            "libgav1 3",
+            Pool {
+                threads: 10,
+                chunk_ms: 1.2,
+                sleep_ms: 0.5,
+                work_ms: 3_000.0,
+            },
+        ),
+        t(
+            "libgav1 4",
+            Pool {
+                threads: 10,
+                chunk_ms: 1.0,
+                sleep_ms: 0.5,
+                work_ms: 2_600.0,
+            },
+        ),
+        t(
+            "oidn 1",
+            Barrier {
+                threads: 0,
+                chunk_ms: 4.0,
+                jitter: 0.04,
+                iters: 200,
+            },
+        ),
+        t(
+            "oidn 2",
+            Barrier {
+                threads: 0,
+                chunk_ms: 4.0,
+                jitter: 0.04,
+                iters: 200,
+            },
+        ),
+        t(
+            "oidn 3",
+            Barrier {
+                threads: 0,
+                chunk_ms: 5.0,
+                jitter: 0.04,
+                iters: 160,
+            },
+        ),
+        t(
+            "onednn 4",
+            Barrier {
+                threads: 0,
+                chunk_ms: 0.6,
+                jitter: 0.10,
+                iters: 220,
+            },
+        ),
+        t(
+            "onednn 5",
+            Barrier {
+                threads: 0,
+                chunk_ms: 0.5,
+                jitter: 0.10,
+                iters: 220,
+            },
+        ),
+        t(
+            "onednn 7",
+            Barrier {
+                threads: 0,
+                chunk_ms: 2.2,
+                jitter: 0.06,
+                iters: 140,
+            },
+        ),
+        t(
+            "onednn 11",
+            Barrier {
+                threads: 0,
+                chunk_ms: 2.0,
+                jitter: 0.06,
+                iters: 140,
+            },
+        ),
+        t(
+            "onednn 14",
+            Barrier {
+                threads: 0,
+                chunk_ms: 2.0,
+                jitter: 0.06,
+                iters: 140,
+            },
+        ),
+        t(
+            "rodinia 5",
+            Barrier {
+                threads: 36,
+                chunk_ms: 2.4,
+                jitter: 0.08,
+                iters: 120,
+            },
+        ),
+        t(
+            "zstd compression 7",
+            Storm {
+                concurrent: 6,
+                task_ms: 2.2,
+                count: 1_800,
+            },
+        ),
+        t(
+            "zstd compression 10",
+            Storm {
+                concurrent: 6,
+                task_ms: 2.6,
+                count: 1_500,
+            },
+        ),
     ]
 }
 

@@ -7,19 +7,9 @@
 //! 2-32 message threads and 2-32 workers per message thread via the
 //! Phoronix harness.
 
-use nest_simcore::{
-    Action,
-    Behavior,
-    ChannelId,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
 
-use crate::{
-    ms_at_ghz,
-    Workload,
-};
+use crate::{ms_at_ghz, Workload};
 
 /// Schbench parameters.
 #[derive(Clone, Debug)]

@@ -6,19 +6,9 @@
 //! (leveldb/redis), and interpreter (node/php/perl) server tests at the
 //! level scheduling sees: arrival cadence, service time, pool width.
 
-use nest_simcore::{
-    Action,
-    Behavior,
-    ChannelId,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
 
-use crate::{
-    ms_at_ghz,
-    Workload,
-};
+use crate::{ms_at_ghz, Workload};
 
 /// Parameters of a server test.
 #[derive(Clone, Debug)]

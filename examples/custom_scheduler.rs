@@ -5,27 +5,12 @@
 //!
 //! Run with: `cargo run --release --example custom_scheduler`
 
-use nest_repro::{
-    presets,
-    EngineConfig,
-    Workload,
-};
 use nest_engine::Engine;
+use nest_repro::{presets, EngineConfig, Workload};
 use nest_sched::{
-    Cfs,
-    IdleAction,
-    IdleReason,
-    KernelState,
-    Nest,
-    Placement,
-    SchedEnv,
-    SchedPolicy,
+    Cfs, IdleAction, IdleReason, KernelState, Nest, Placement, SchedEnv, SchedPolicy,
 };
-use nest_simcore::{
-    CoreId,
-    PlacementPath,
-    TaskId,
-};
+use nest_simcore::{CoreId, PlacementPath, TaskId};
 use nest_workloads::configure::Configure;
 
 /// Places every task on a uniformly random idle core — maximal dispersal,

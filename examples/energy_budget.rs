@@ -5,13 +5,7 @@
 //!
 //! Run with: `cargo run --release --example energy_budget`
 
-use nest_repro::{
-    presets,
-    run_once,
-    Governor,
-    PolicyKind,
-    SimConfig,
-};
+use nest_repro::{presets, run_once, Governor, PolicyKind, SimConfig};
 use nest_workloads::dacapo::Dacapo;
 
 fn main() {

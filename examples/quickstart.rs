@@ -2,13 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use nest_repro::{
-    presets,
-    run_once,
-    Governor,
-    PolicyKind,
-    SimConfig,
-};
+use nest_repro::{presets, run_once, Governor, PolicyKind, SimConfig};
 use nest_workloads::configure::Configure;
 
 fn main() {
@@ -17,7 +11,7 @@ fn main() {
     // … and a workload from its evaluation (the gdb configure script).
     let workload = Configure::named("gdb");
 
-    println!("machine: {} | workload: {}", machine.name, "configure-gdb");
+    println!("machine: {} | workload: configure-gdb", machine.name);
     println!();
 
     let mut baseline = None;

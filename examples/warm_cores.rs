@@ -5,19 +5,8 @@
 //!
 //! Run with: `cargo run --release --example warm_cores`
 
-use nest_repro::{
-    presets,
-    run_once,
-    PolicyKind,
-    SimConfig,
-    Workload,
-};
-use nest_simcore::{
-    Action,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_repro::{presets, run_once, PolicyKind, SimConfig, Workload};
+use nest_simcore::{Action, SimRng, SimSetup, TaskSpec};
 
 /// A shell-script-like workload: 100 sequential short jobs, each forked
 /// and waited for — the pattern that makes CFS disperse tasks onto cold
@@ -68,7 +57,10 @@ fn main() {
             "busy time above 3.6 GHz: {:.1}%",
             100.0 * trace.busy_fraction_in(3.6, 4.0)
         );
-        println!("{}", trace.render_ascii(r.time_s as u64 * 10_000_000 / 4 + 1, 3.9));
+        println!(
+            "{}",
+            trace.render_ascii(r.time_s as u64 * 10_000_000 / 4 + 1, 3.9)
+        );
     }
     println!("Nest should reuse one or two warm cores at the top turbo");
     println!("frequency; CFS walks across cold cores in the lower range.");

@@ -5,39 +5,16 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use nest_repro::{
-    presets,
-    EngineConfig,
-    Workload,
-};
 use nest_engine::Engine;
-use nest_sched::{
-    Cfs,
-    Nest,
-    SchedPolicy,
-    Smove,
-};
-use nest_simcore::{
-    Probe,
-    SimRng,
-    Time,
-    TraceEvent,
-};
+use nest_repro::{presets, EngineConfig, Workload};
+use nest_sched::{Cfs, Nest, SchedPolicy, Smove};
+use nest_simcore::{Probe, SimRng, Time, TraceEvent};
 use nest_workloads::{
     configure::Configure,
-    hackbench::{
-        Hackbench,
-        HackbenchSpec,
-    },
+    hackbench::{Hackbench, HackbenchSpec},
     nas::Nas,
-    schbench::{
-        Schbench,
-        SchbenchSpec,
-    },
-    server::{
-        Server,
-        ServerSpec,
-    },
+    schbench::{Schbench, SchbenchSpec},
+    server::{Server, ServerSpec},
 };
 
 /// Checks trace well-formedness: RunStart/RunStop pairing per core, no
@@ -53,7 +30,7 @@ struct InvariantProbe {
 
 impl Probe for InvariantProbe {
     fn on_event(&mut self, now: Time, event: &TraceEvent) {
-        let mut err = |m: String| self.errors.borrow_mut().push(m);
+        let err = |m: String| self.errors.borrow_mut().push(m);
         if now < self.last {
             err(format!("time went backwards at {now}"));
         }
@@ -79,10 +56,8 @@ impl Probe for InvariantProbe {
                     err(format!("core {core} at {freq} outside envelope"));
                 }
             }
-            TraceEvent::SpinStart { core } => {
-                if self.running[core.index()].is_some() {
-                    err(format!("core {core} spinning while running a task"));
-                }
+            TraceEvent::SpinStart { core } if self.running[core.index()].is_some() => {
+                err(format!("core {core} spinning while running a task"));
             }
             _ => {}
         }
@@ -118,7 +93,12 @@ fn check(workload: &dyn Workload, policy: Box<dyn SchedPolicy>) {
     assert!(out.total_tasks >= spawned);
     assert!(out.energy_joules > 0.0);
     let errs = errors.borrow();
-    assert!(errs.is_empty(), "{}: {:?}", workload.name(), &errs[..errs.len().min(5)]);
+    assert!(
+        errs.is_empty(),
+        "{}: {:?}",
+        workload.name(),
+        &errs[..errs.len().min(5)]
+    );
 }
 
 #[test]

@@ -5,19 +5,8 @@
 //! tests assert *shape* (who wins, roughly by how much) without being
 //! brittle to calibration nudges.
 
-use nest_repro::{
-    presets,
-    run_many,
-    run_once,
-    Governor,
-    PolicyKind,
-    SimConfig,
-};
-use nest_workloads::{
-    configure::Configure,
-    dacapo::Dacapo,
-    nas::Nas,
-};
+use nest_repro::{presets, run_many, run_once, Governor, PolicyKind, SimConfig};
+use nest_workloads::{configure::Configure, dacapo::Dacapo, nas::Nas};
 
 fn mean_time(cfg: &SimConfig, w: &dyn nest_repro::Workload, runs: usize) -> f64 {
     run_many(cfg, w, runs).iter().map(|r| r.time_s).sum::<f64>() / runs as f64
@@ -30,11 +19,7 @@ fn nest_speeds_up_configure_on_the_5218() {
     let machine = presets::xeon_5218();
     let w = Configure::named("gdb");
     let cfs = mean_time(&SimConfig::new(machine.clone()), &w, 2);
-    let nest = mean_time(
-        &SimConfig::new(machine).policy(PolicyKind::Nest),
-        &w,
-        2,
-    );
+    let nest = mean_time(&SimConfig::new(machine).policy(PolicyKind::Nest), &w, 2);
     let speedup = nest_metrics::speedup_pct(cfs, nest);
     assert!(speedup > 5.0, "Nest configure speedup only {speedup:.1}%");
     assert!(speedup < 60.0, "implausibly large speedup {speedup:.1}%");

