@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Offline CI gate for the nest reproduction workspace.
 #
-# Runs the same four checks as .github/workflows/ci.yml, in order of
+# Runs the same checks as .github/workflows/ci.yml, in order of
 # increasing cost, stopping at the first failure. No step needs network
 # access: the workspace has no external dependencies (property tests and
 # criterion benches are gated behind off-by-default features).
@@ -20,6 +20,9 @@ step cargo fmt --all -- --check
 step cargo clippy --workspace --all-targets --release -- -D warnings
 step cargo build --workspace --release
 step cargo test --workspace --release -q
+# rustdoc is the only checker for doc syntax and intra-doc links, and
+# nest-simcore/nest-sched carry #![deny(missing_docs)].
+RUSTDOCFLAGS="-D warnings" step cargo doc --workspace --no-deps --release
 
 echo
 echo "==> CI gate passed"

@@ -9,11 +9,9 @@
 //! Trace runs carry full execution traces, which are too heavy for the
 //! result cache; they go through the harness's raw parallel path instead.
 
-use std::time::Instant;
-
 use nest_bench::{banner, emit_artifact, seed};
 use nest_core::{PolicyKind, SimConfig};
-use nest_harness::{jobs, run_raw, Json, RawCell, Telemetry};
+use nest_harness::{jobs, run_raw, Json, RawCell};
 use nest_topology::presets;
 use nest_workloads::configure::Configure;
 
@@ -25,7 +23,6 @@ fn main() {
     let machine = presets::xeon_5218();
     let fmax = machine.freq.fmax().as_ghz();
     let policies = [PolicyKind::Cfs, PolicyKind::Nest];
-    let started = Instant::now();
     let cells: Vec<RawCell> = policies
         .iter()
         .map(|policy| RawCell {
@@ -36,13 +33,7 @@ fn main() {
             make: Box::new(|| Box::new(Configure::named("llvm_ninja"))),
         })
         .collect();
-    let results = run_raw(cells, jobs());
-    let telemetry = Telemetry {
-        jobs: jobs().min(policies.len()),
-        cells_total: policies.len(),
-        cells_cached: 0,
-        wall_s: started.elapsed().as_secs_f64(),
-    };
+    let (results, telemetry) = run_raw(cells, jobs());
 
     // The paper's frequency bands for the 5218.
     let bands = [(0.0, 1.0), (1.0, 1.6), (1.6, 2.3), (2.3, 3.6), (3.6, 3.9)];

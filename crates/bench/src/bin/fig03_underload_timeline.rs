@@ -4,11 +4,9 @@
 //! The paper's claim: CFS shows substantial underload (up to ~6 per
 //! interval); with Nest it has almost disappeared.
 
-use std::time::Instant;
-
 use nest_bench::{banner, emit_artifact, seed};
 use nest_core::{PolicyKind, SimConfig};
-use nest_harness::{jobs, run_raw, Json, RawCell, Telemetry};
+use nest_harness::{jobs, run_raw, Json, RawCell};
 use nest_topology::presets;
 use nest_workloads::configure::Configure;
 
@@ -19,7 +17,6 @@ fn main() {
     );
     let machine = presets::xeon_5218();
     let policies = [PolicyKind::Cfs, PolicyKind::Nest];
-    let started = Instant::now();
     let cells: Vec<RawCell> = policies
         .iter()
         .map(|policy| RawCell {
@@ -29,13 +26,7 @@ fn main() {
             make: Box::new(|| Box::new(Configure::named("llvm_ninja"))),
         })
         .collect();
-    let results = run_raw(cells, jobs());
-    let telemetry = Telemetry {
-        jobs: jobs().min(policies.len()),
-        cells_total: policies.len(),
-        cells_cached: 0,
-        wall_s: started.elapsed().as_secs_f64(),
-    };
+    let (results, telemetry) = run_raw(cells, jobs());
 
     let mut timelines = Vec::new();
     for (policy, r) in policies.iter().zip(&results) {

@@ -7,11 +7,9 @@
 //! that spend >2/3 of the time above 3.1 GHz, for ~20% speedup (more than
 //! 2× against the multi-socket runs).
 
-use std::time::Instant;
-
 use nest_bench::{banner, emit_artifact, seed};
 use nest_core::{PolicyKind, SimConfig};
-use nest_harness::{jobs, run_raw, Json, RawCell, Telemetry};
+use nest_harness::{jobs, run_raw, Json, RawCell};
 use nest_topology::presets;
 use nest_workloads::dacapo::Dacapo;
 
@@ -23,7 +21,6 @@ fn main() {
     let machine = presets::xeon_6130(4);
     let cores_per_socket = machine.cores_per_socket();
     let policies = [PolicyKind::Cfs, PolicyKind::Nest];
-    let started = Instant::now();
     let cells: Vec<RawCell> = policies
         .iter()
         .map(|policy| RawCell {
@@ -34,13 +31,7 @@ fn main() {
             make: Box::new(|| Box::new(Dacapo::named("h2"))),
         })
         .collect();
-    let results = run_raw(cells, jobs());
-    let telemetry = Telemetry {
-        jobs: jobs().min(policies.len()),
-        cells_total: policies.len(),
-        cells_cached: 0,
-        wall_s: started.elapsed().as_secs_f64(),
-    };
+    let (results, telemetry) = run_raw(cells, jobs());
 
     let bands = [
         (0.0, 1.0),

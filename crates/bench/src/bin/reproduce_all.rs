@@ -7,11 +7,22 @@
 //! paper. A failing section is reported (exit status, elapsed time) and
 //! the remaining sections still run; the process exits non-zero if any
 //! section failed, with a summary table at the end.
+//!
+//! The summary table folds in each section's `.telemetry.json` sidecar:
+//! simulated events per second (the engine's throughput metric, see
+//! EXPERIMENTS.md) and the result-cache hit ratio.
+//!
+//! `--bench` puts the run in benchmark mode: sections run with the result
+//! cache off and the self-profiler on (`NEST_CACHE=off NEST_PROFILE=1`),
+//! so every section reports fresh-simulation throughput and per-subsystem
+//! wall time (see PROFILING.md), and the per-section throughput summary is
+//! additionally written to `results/bench.json` — the measurement that
+//! feeds the `BENCH_*.json` perf-trajectory files at the repo root.
 
 use std::process::Command;
 use std::time::Instant;
 
-use nest_harness::{results_dir, Json};
+use nest_harness::{json, results_dir, Json};
 
 const SECTIONS: [&str; 15] = [
     "table23_machines",
@@ -35,9 +46,18 @@ struct SectionResult {
     bin: &'static str,
     outcome: Result<(), String>,
     elapsed_s: f64,
+    telemetry: Option<SectionTelemetry>,
 }
 
-fn run(bin: &'static str) -> SectionResult {
+/// The slice of a section's `.telemetry.json` sidecar the summary uses.
+struct SectionTelemetry {
+    events_total: u64,
+    events_per_sec: f64,
+    cells_total: u64,
+    cells_cached: u64,
+}
+
+fn run(bin: &'static str, bench: bool) -> SectionResult {
     println!("\n################ {bin} ################\n");
     let started = Instant::now();
     let exe = std::env::current_exe()
@@ -45,20 +65,40 @@ fn run(bin: &'static str) -> SectionResult {
         .and_then(|p| p.parent().map(|d| d.join(bin)));
     let outcome = match exe {
         None => Err("could not locate sibling binary".to_string()),
-        Some(path) => match Command::new(&path).status() {
-            Err(e) => Err(format!("failed to launch: {e}")),
-            Ok(status) if status.success() => Ok(()),
-            Ok(status) => Err(match status.code() {
-                Some(code) => format!("exit code {code}"),
-                None => "terminated by signal".to_string(),
-            }),
-        },
+        Some(path) => {
+            let mut cmd = Command::new(&path);
+            if bench {
+                cmd.env("NEST_CACHE", "off").env("NEST_PROFILE", "1");
+            }
+            match cmd.status() {
+                Err(e) => Err(format!("failed to launch: {e}")),
+                Ok(status) if status.success() => Ok(()),
+                Ok(status) => Err(match status.code() {
+                    Some(code) => format!("exit code {code}"),
+                    None => "terminated by signal".to_string(),
+                }),
+            }
+        }
     };
     SectionResult {
         bin,
         outcome,
         elapsed_s: started.elapsed().as_secs_f64(),
+        telemetry: read_section_telemetry(bin),
     }
+}
+
+/// Reads the sidecar the section just wrote; `None` when the section does
+/// not emit one (or failed before writing it).
+fn read_section_telemetry(bin: &str) -> Option<SectionTelemetry> {
+    let path = results_dir().join(format!("{bin}.telemetry.json"));
+    let root = json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    Some(SectionTelemetry {
+        events_total: root.get("events_total")?.as_u64()?,
+        events_per_sec: root.get("events_per_sec")?.as_f64()?,
+        cells_total: root.get("cells_total")?.as_u64()?,
+        cells_cached: root.get("cells_cached")?.as_u64()?,
+    })
 }
 
 fn write_summary(results: &[SectionResult], wall_s: f64) {
@@ -66,7 +106,7 @@ fn write_summary(results: &[SectionResult], wall_s: f64) {
         results
             .iter()
             .map(|r| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("bin".to_string(), Json::str(r.bin)),
                     ("ok".to_string(), Json::Bool(r.outcome.is_ok())),
                     (
@@ -77,7 +117,14 @@ fn write_summary(results: &[SectionResult], wall_s: f64) {
                         },
                     ),
                     ("elapsed_s".to_string(), Json::f64(r.elapsed_s)),
-                ])
+                ];
+                if let Some(t) = &r.telemetry {
+                    fields.push(("events_total".to_string(), Json::u64(t.events_total)));
+                    fields.push(("events_per_sec".to_string(), Json::f64(t.events_per_sec)));
+                    fields.push(("cells_total".to_string(), Json::u64(t.cells_total)));
+                    fields.push(("cells_cached".to_string(), Json::u64(t.cells_cached)));
+                }
+                Json::Obj(fields)
             })
             .collect(),
     );
@@ -87,42 +134,86 @@ fn write_summary(results: &[SectionResult], wall_s: f64) {
         ("sections".to_string(), sections),
         ("wall_s".to_string(), Json::f64(wall_s)),
     ]);
-    let path = results_dir().join("reproduce_all.telemetry.json");
+    write_json(&results_dir().join("reproduce_all.telemetry.json"), root);
+}
+
+/// In `--bench` mode: the per-section throughput record, the raw material
+/// for the repo-root `BENCH_*.json` perf trajectory (see EXPERIMENTS.md).
+fn write_bench(results: &[SectionResult]) {
+    let sections: Vec<(String, Json)> = results
+        .iter()
+        .filter_map(|r| {
+            let t = r.telemetry.as_ref()?;
+            Some((
+                r.bin.to_string(),
+                Json::Obj(vec![
+                    ("wall_s".to_string(), Json::f64(r.elapsed_s)),
+                    ("events_total".to_string(), Json::u64(t.events_total)),
+                    ("events_per_sec".to_string(), Json::f64(t.events_per_sec)),
+                ]),
+            ))
+        })
+        .collect();
+    let root = Json::Obj(vec![
+        ("schema".to_string(), Json::u64(1)),
+        ("sections".to_string(), Json::Obj(sections)),
+    ]);
+    write_json(&results_dir().join("bench.json"), root);
+}
+
+fn write_json(path: &std::path::Path, root: Json) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
     let mut text = root.to_pretty();
     text.push('\n');
-    match std::fs::write(&path, text) {
+    match std::fs::write(path, text) {
         Ok(()) => println!("telemetry: {}", path.display()),
-        Err(e) => eprintln!("warning: could not write run telemetry: {e}"),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 
 fn main() {
+    let bench = std::env::args().any(|a| a == "--bench");
     let started = Instant::now();
-    let results: Vec<SectionResult> = SECTIONS.iter().map(|bin| run(bin)).collect();
+    let results: Vec<SectionResult> = SECTIONS.iter().map(|bin| run(bin, bench)).collect();
     let wall_s = started.elapsed().as_secs_f64();
 
     println!("\n################ summary ################\n");
-    println!("{:<26} {:>8} {:>10}", "section", "status", "elapsed");
+    println!(
+        "{:<26} {:>8} {:>10} {:>12} {:>9}",
+        "section", "status", "elapsed", "events/s", "cache"
+    );
     for r in &results {
+        let (events, cache) = match &r.telemetry {
+            Some(t) => (
+                format!("{:.0}k", t.events_per_sec / 1e3),
+                format!("{}/{}", t.cells_cached, t.cells_total),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         println!(
-            "{:<26} {:>8} {:>9.1}s",
+            "{:<26} {:>8} {:>9.1}s {:>12} {:>9}",
             r.bin,
             if r.outcome.is_ok() { "ok" } else { "FAILED" },
-            r.elapsed_s
+            r.elapsed_s,
+            events,
+            cache
         );
     }
     let failed: Vec<&SectionResult> = results.iter().filter(|r| r.outcome.is_err()).collect();
     println!(
-        "\n{} of {} sections succeeded in {:.1}s ({} jobs)",
+        "\n{} of {} sections succeeded in {:.1}s ({} jobs{})",
         results.len() - failed.len(),
         results.len(),
         wall_s,
-        nest_harness::jobs()
+        nest_harness::jobs(),
+        if bench { ", bench mode" } else { "" }
     );
     write_summary(&results, wall_s);
+    if bench {
+        write_bench(&results);
+    }
 
     if failed.is_empty() {
         println!("\nAll experiments completed.");

@@ -25,8 +25,8 @@ use nest_freq::{Activity, FreqModel};
 use nest_sched::kernel::KernelState;
 use nest_sched::policy::{IdleReason, Placement, SchedEnv, SchedPolicy};
 use nest_simcore::{
-    Action, BarrierId, ChannelId, CoreId, EventQueue, Freq, PlacementPath, Probe, SimRng, SimSetup,
-    StopReason, TaskId, TaskSpec, Time, TraceEvent, MILLISEC, TICK_NS,
+    profile, Action, BarrierId, ChannelId, CoreId, EventQueue, Freq, PlacementPath, Probe, SimRng,
+    SimSetup, StopReason, TaskId, TaskSpec, Time, TraceEvent, MILLISEC, TICK_NS,
 };
 use nest_topology::Topology;
 
@@ -221,6 +221,7 @@ impl Engine {
     }
 
     fn emit(&mut self, ev: TraceEvent) {
+        let _span = profile::span(profile::Subsystem::TraceProbes);
         for p in &mut self.probes {
             p.on_event(self.now, &ev);
         }
@@ -349,6 +350,9 @@ impl Engine {
         self.queue.schedule(self.now + MILLISEC, Event::FreqTick);
 
         let mut hit_horizon = false;
+        // Dispatched events are tallied in a local counter and flushed to
+        // the profiler once per run: the loop body stays free of atomics.
+        let mut events_dispatched: u64 = 0;
         while self.live_tasks > 0 {
             let Some((t, ev)) = self.queue.pop() else {
                 panic!("deadlock: {} live tasks but no events", self.live_tasks);
@@ -359,8 +363,11 @@ impl Engine {
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            events_dispatched += 1;
+            let _span = profile::span(profile::Subsystem::EventDispatch);
             self.dispatch(ev);
         }
+        profile::add_events(events_dispatched);
         let finished_at = self.now;
         for p in &mut self.probes {
             p.on_finish(finished_at);
@@ -799,6 +806,7 @@ impl Engine {
     // ---- ticks ----------------------------------------------------------
 
     fn on_global_tick(&mut self) {
+        let _span = profile::span(profile::Subsystem::TickLoop);
         self.queue.schedule(self.now + TICK_NS, Event::GlobalTick);
         self.freq.sample_observed();
         for i in 0..self.topo.n_cores() {
@@ -810,6 +818,15 @@ impl Engine {
             }
             if self.kernel.tick_preempt_due(self.now, core) {
                 self.preempt(core);
+            }
+            // Periodic balancing can only pull from a core with queued
+            // tasks, and every policy's `on_tick` is a read-only scan for
+            // such a source (no RNG draws, no state changes), so when the
+            // queued set is empty — the common case on an underloaded
+            // machine — skipping the call is behavior-identical.
+            // Re-checked per core: a preempt or steal above may requeue.
+            if self.kernel.queued_cores().is_empty() {
+                continue;
             }
             let pull = {
                 let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
@@ -833,6 +850,7 @@ impl Engine {
     }
 
     fn on_freq_tick(&mut self) {
+        let _span = profile::span(profile::Subsystem::FreqModel);
         self.queue.schedule(self.now + MILLISEC, Event::FreqTick);
         let changed = {
             let kernel = &self.kernel;

@@ -40,6 +40,10 @@ struct PhysCore {
     idle_since: Option<Time>,
     /// When the physical core was last active (for the turbo window).
     last_active: Option<Time>,
+    /// Cached "any hardware thread non-idle" flag, maintained by
+    /// [`FreqModel::set_activity`] so the per-millisecond ramp loop reads
+    /// one field instead of re-deriving it from both threads.
+    active: bool,
 }
 
 /// Per-physical-core DVFS and whole-machine energy model.
@@ -50,10 +54,18 @@ pub struct FreqModel {
     thread_activity: Vec<Activity>,
     /// State of each physical core (index: socket * phys_per_socket + p).
     phys: Vec<PhysCore>,
+    /// Precomputed hardware-thread pair of each physical core.
+    thread_pair: Vec<(usize, usize)>,
     /// Number of active physical cores per socket.
     socket_active: Vec<usize>,
     energy_joules: f64,
     last_integration: Time,
+    /// Instantaneous power, cached between changes to its inputs
+    /// (`thread_activity`, per-phys frequencies). `None` after any such
+    /// change; on cache hit the integrator adds the exact same value
+    /// [`FreqModel::power_w`] would recompute, so energy stays
+    /// bit-identical.
+    power_cache: Option<f64>,
 }
 
 impl FreqModel {
@@ -63,6 +75,14 @@ impl FreqModel {
     pub fn new(spec: &MachineSpec, governor: Governor) -> FreqModel {
         let start = spec.freq.fnominal;
         let n_phys = spec.sockets * spec.phys_per_socket;
+        let pps = spec.phys_per_socket;
+        let cps = spec.cores_per_socket();
+        let thread_pair = (0..n_phys)
+            .map(|phys| {
+                let (socket, p) = (phys / pps, phys % pps);
+                (socket * cps + p, socket * cps + p + pps)
+            })
+            .collect();
         FreqModel {
             spec: spec.clone(),
             governor,
@@ -73,12 +93,15 @@ impl FreqModel {
                     observed: start,
                     idle_since: Some(Time::ZERO),
                     last_active: None,
+                    active: false,
                 };
                 n_phys
             ],
+            thread_pair,
             socket_active: vec![0; spec.sockets],
             energy_joules: 0.0,
             last_integration: Time::ZERO,
+            power_cache: None,
         }
     }
 
@@ -100,16 +123,11 @@ impl FreqModel {
     }
 
     fn threads_of_phys(&self, phys: usize) -> (usize, usize) {
-        let pps = self.spec.phys_per_socket;
-        let cps = self.spec.cores_per_socket();
-        let socket = phys / pps;
-        let p = phys % pps;
-        (socket * cps + p, socket * cps + p + pps)
+        self.thread_pair[phys]
     }
 
     fn phys_is_active(&self, phys: usize) -> bool {
-        let (a, b) = self.threads_of_phys(phys);
-        self.thread_activity[a] != Activity::Idle || self.thread_activity[b] != Activity::Idle
+        self.phys[phys].active
     }
 
     /// Returns the number of active physical cores on `socket` right now.
@@ -210,7 +228,17 @@ impl FreqModel {
             return;
         }
         let dt_s = (now - self.last_integration) as f64 / 1e9;
-        self.energy_joules += self.power_w() * dt_s;
+        let power = match self.power_cache {
+            Some(p) => p,
+            None => {
+                let _span =
+                    nest_simcore::profile::span(nest_simcore::profile::Subsystem::FreqPower);
+                let p = self.power_w();
+                self.power_cache = Some(p);
+                p
+            }
+        };
+        self.energy_joules += power * dt_s;
         self.last_integration = now;
     }
 
@@ -227,9 +255,13 @@ impl FreqModel {
         }
         let phys = self.phys_index(core);
         let socket = self.socket_index(core);
-        let was_active = self.phys_is_active(phys);
+        let was_active = self.phys[phys].active;
         self.thread_activity[idx] = act;
-        let is_active = self.phys_is_active(phys);
+        self.power_cache = None;
+        let (t0, t1) = self.thread_pair[phys];
+        let is_active = self.thread_activity[t0] != Activity::Idle
+            || self.thread_activity[t1] != Activity::Idle;
+        self.phys[phys].active = is_active;
 
         let mut changed = Vec::new();
         if was_active != is_active {
@@ -327,6 +359,7 @@ impl FreqModel {
             };
             if next != cur {
                 self.phys[phys].cur = next;
+                self.power_cache = None;
                 changed.push(rep);
             }
         }

@@ -114,20 +114,83 @@ impl Artifact {
     }
 
     /// Writes the nondeterministic run telemetry to
-    /// `results/<name>.telemetry.json`.
+    /// `results/<name>.telemetry.json`, and — when the run carried a
+    /// profile (`NEST_PROFILE=1`) — merges it into `results/profile.json`.
     pub fn write_telemetry(&self, t: &Telemetry) -> io::Result<PathBuf> {
-        let root = obj(vec![
+        let mut fields = vec![
             ("figure", Json::str(&self.name)),
             ("jobs", Json::usize(t.jobs)),
             ("cells_total", Json::usize(t.cells_total)),
             ("cells_cached", Json::usize(t.cells_cached)),
             ("wall_s", Json::f64(t.wall_s)),
-        ]);
-        write_file(
+            ("events_total", Json::u64(t.events_total)),
+            ("events_per_sec", Json::f64(t.events_per_sec)),
+        ];
+        if let Some(p) = &t.profile {
+            fields.push(("profile", profile_json(p)));
+        }
+        let path = write_file(
             &results_dir().join(format!("{}.telemetry.json", self.name)),
-            &root,
-        )
+            &obj(fields),
+        )?;
+        if t.profile.is_some() {
+            merge_into_profile_artifact(&self.name, t)?;
+        }
+        Ok(path)
     }
+}
+
+/// Serializes a profiler snapshot: per-subsystem calls, wall time, and
+/// mean per-call time, in report order, subsystems with no calls omitted.
+fn profile_json(p: &nest_simcore::profile::Snapshot) -> Json {
+    let subsystems: Vec<Json> = p
+        .entries()
+        .filter(|(_, t)| t.calls > 0)
+        .map(|(name, t)| {
+            obj(vec![
+                ("name", Json::str(name)),
+                ("calls", Json::u64(t.calls)),
+                ("wall_ns", Json::u64(t.nanos)),
+                ("mean_ns", Json::f64(t.nanos as f64 / t.calls as f64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("events", Json::u64(p.events)),
+        ("subsystems", Json::Arr(subsystems)),
+    ])
+}
+
+/// Merges one figure's profiled telemetry into `results/profile.json`,
+/// which accumulates the latest profile per figure (sorted by figure name
+/// so the file is canonical for a given set of runs).
+fn merge_into_profile_artifact(figure: &str, t: &Telemetry) -> io::Result<()> {
+    let Some(p) = &t.profile else { return Ok(()) };
+    let path = results_dir().join("profile.json");
+    let mut figures: Vec<(String, Json)> = match std::fs::read_to_string(&path) {
+        Ok(text) => match crate::json::parse(&text).map(|j| j.get("figures").cloned()) {
+            Ok(Some(Json::Obj(fields))) => fields,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let entry = obj(vec![
+        ("wall_s", Json::f64(t.wall_s)),
+        ("events_total", Json::u64(t.events_total)),
+        ("events_per_sec", Json::f64(t.events_per_sec)),
+        ("profile", profile_json(p)),
+    ]);
+    match figures.iter_mut().find(|(name, _)| name == figure) {
+        Some(slot) => slot.1 = entry,
+        None => figures.push((figure.to_string(), entry)),
+    }
+    figures.sort_by(|a, b| a.0.cmp(&b.0));
+    let root = obj(vec![
+        ("schema", Json::u64(1)),
+        ("figures", Json::Obj(figures)),
+    ]);
+    write_file(&path, &root)?;
+    Ok(())
 }
 
 fn write_file(path: &Path, root: &Json) -> io::Result<PathBuf> {

@@ -70,8 +70,13 @@ impl Progress {
             return;
         }
         eprintln!(
-            "[{}] {} cells in {:.2}s ({} jobs, {} cached)",
-            self.label, t.cells_total, t.wall_s, t.jobs, t.cells_cached
+            "[{}] {} cells in {:.2}s ({} jobs, {} cached, {:.0}k events/s)",
+            self.label,
+            t.cells_total,
+            t.wall_s,
+            t.jobs,
+            t.cells_cached,
+            t.events_per_sec / 1e3
         );
     }
 }

@@ -26,6 +26,7 @@ use std::time::Instant;
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::{run_once, RunResult, SimConfig};
 use nest_metrics::RunSummary;
+use nest_simcore::profile;
 use nest_simcore::rng::{hash_str, mix64};
 use nest_topology::MachineSpec;
 use nest_workloads::Workload;
@@ -79,6 +80,39 @@ pub struct Telemetry {
     pub cells_cached: usize,
     /// Wall-clock seconds for the whole matrix.
     pub wall_s: f64,
+    /// Simulation events dispatched during the run (cached cells
+    /// contribute nothing — their simulations never execute).
+    pub events_total: u64,
+    /// Engine throughput: `events_total / wall_s`.
+    pub events_per_sec: f64,
+    /// Per-subsystem profile delta, present when `NEST_PROFILE=1`.
+    pub profile: Option<profile::Snapshot>,
+}
+
+/// Assembles a [`Telemetry`] from a run's bookkeeping plus the profiler
+/// delta since `prof_before` (taken at run start).
+fn finish_telemetry(
+    jobs: usize,
+    cells_total: usize,
+    cells_cached: usize,
+    started: Instant,
+    prof_before: &profile::Snapshot,
+) -> Telemetry {
+    let wall_s = started.elapsed().as_secs_f64();
+    let delta = profile::snapshot().since(prof_before);
+    Telemetry {
+        jobs,
+        cells_total,
+        cells_cached,
+        wall_s,
+        events_total: delta.events,
+        events_per_sec: if wall_s > 0.0 {
+            delta.events as f64 / wall_s
+        } else {
+            0.0
+        },
+        profile: profile::enabled().then_some(delta),
+    }
 }
 
 /// The deterministic seed of one cell.
@@ -197,6 +231,7 @@ impl Matrix {
     /// (in insertion order), plus run telemetry.
     pub fn run(&self) -> (Vec<Comparison>, Telemetry) {
         let started = Instant::now();
+        let prof_before = profile::snapshot();
         let cells = self.flatten();
         let total = cells.len();
         let slots: Mutex<Vec<Option<RunSummary>>> = Mutex::new(vec![None; total]);
@@ -246,12 +281,13 @@ impl Matrix {
             })
             .collect();
 
-        let telemetry = Telemetry {
-            jobs: workers,
-            cells_total: total,
-            cells_cached: cached.load(Ordering::Relaxed),
-            wall_s: started.elapsed().as_secs_f64(),
-        };
+        let telemetry = finish_telemetry(
+            workers,
+            total,
+            cached.load(Ordering::Relaxed),
+            started,
+            &prof_before,
+        );
         self.progress.finished(&telemetry);
         (comparisons, telemetry)
     }
@@ -284,9 +320,12 @@ pub struct RawCell {
 }
 
 /// Executes raw cells across `jobs` workers, returning results in input
-/// order. Used by the trace figures, which consume full [`RunResult`]s
-/// (execution traces, raw latency samples) that the caching path drops.
-pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> Vec<RunResult> {
+/// order plus run telemetry (raw cells never hit the cache). Used by the
+/// trace figures, which consume full [`RunResult`]s (execution traces,
+/// raw latency samples) that the caching path drops.
+pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) {
+    let started = Instant::now();
+    let prof_before = profile::snapshot();
     let total = cells.len();
     let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..total).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
@@ -302,12 +341,14 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> Vec<RunResult> {
             });
         }
     });
-    slots
+    let results = slots
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|r| r.expect("raw cell executed"))
-        .collect()
+        .collect();
+    let telemetry = finish_telemetry(workers, total, 0, started, &prof_before);
+    (results, telemetry)
 }
 
 #[cfg(test)]
@@ -376,7 +417,9 @@ mod tests {
                 make: gdb_factory(),
             })
             .collect();
-        let out = run_raw(cells, 4);
+        let (out, telemetry) = run_raw(cells, 4);
+        assert_eq!(telemetry.cells_total, 3);
+        assert!(telemetry.events_total > 0, "runs dispatch events");
         assert_eq!(out.len(), 3);
         // Same seed → same result; different seed → (almost surely) not.
         assert_eq!(out[0].time_s, out[2].time_s);

@@ -18,7 +18,7 @@
 //! die, at a longer period across the machine — resolving overloads only
 //! gradually (§5.4).
 
-use nest_simcore::{CoreId, PlacementPath, TaskId};
+use nest_simcore::{profile, CoreId, PlacementPath, TaskId};
 use nest_topology::CpuSet;
 
 use crate::kernel::KernelState;
@@ -87,21 +87,22 @@ pub fn select_fork(
     parent_core: CoreId,
     respect_pending: bool,
 ) -> CoreId {
+    let _span = profile::span(profile::Subsystem::CfsFork);
     // Top level: idlest socket from the (stale) cached statistics; ties
     // favor the local socket, as Linux prefers not to migrate at fork.
-    let home = env.topo.socket_of(parent_core);
+    let topo = env.topo;
+    let home = topo.socket_of(parent_core);
     let stats = k.socket_stats(env.now);
     let mut best = home;
     let mut best_key = (stats[home.index()].idle, -stats[home.index()].load);
-    for s in env.topo.sockets() {
+    for s in topo.sockets() {
         let key = (stats[s.index()].idle, -stats[s.index()].load);
         if key > best_key {
             best = s;
             best_key = key;
         }
     }
-    let span = env.topo.socket_span(best).clone();
-    select_idlest_in(k, env, &span, parent_core, respect_pending)
+    select_idlest_in(k, env, topo.socket_span(best), parent_core, respect_pending)
 }
 
 /// Load differences below this margin are ties (Linux compares group and
@@ -124,30 +125,46 @@ fn select_idlest_in(
 ) -> CoreId {
     let mut best_pair: Option<(f64, CoreId)> = None;
     let mut best_idle: Option<(f64, CoreId)> = None;
-    let mut best_any: Option<(f64, CoreId)> = None;
     let better =
         |load: f64, best: &Option<(f64, CoreId)>| best.is_none_or(|(l, _)| load + LOAD_EPSILON < l);
-    for core in span.iter_wrapping_from(from) {
+    // Only idle cores can win the pair/idle tiers, so the scan walks the
+    // kernel's idle-core bitset intersected with the span instead of
+    // testing `idle_ok` core by core — same cores, same order.
+    let idle_set = idle_set(k, respect_pending);
+    for core in span.iter_wrapping_from_masked(idle_set, from) {
         let load = k.core_load(env.now, core);
-        if idle_ok(k, core, respect_pending) {
-            let sib = env.topo.sibling(core);
-            if idle_ok(k, sib, respect_pending) && better(load, &best_pair) {
-                best_pair = Some((load, core));
-            }
-            if better(load, &best_idle) {
-                best_idle = Some((load, core));
-            }
+        let sib = env.topo.sibling(core);
+        if idle_ok(k, sib, respect_pending) && better(load, &best_pair) {
+            best_pair = Some((load, core));
         }
-        let any_key = load + k.core(core).nr_running() as f64;
+        if better(load, &best_idle) {
+            best_idle = Some((load, core));
+        }
+    }
+    if let Some((_, c)) = best_pair.or(best_idle) {
+        return c;
+    }
+    // No idle core in the span: fall back to the least-loaded core. The
+    // naive scan computed this bound alongside the idle tiers; splitting
+    // it out keeps the common case (idle cores exist) off the full span.
+    let mut best_any: Option<(f64, CoreId)> = None;
+    for core in span.iter_wrapping_from(from) {
+        let any_key = k.core_load(env.now, core) + k.core(core).nr_running() as f64;
         if better(any_key, &best_any) {
             best_any = Some((any_key, core));
         }
     }
-    best_pair
-        .or(best_idle)
-        .or(best_any)
-        .map(|(_, c)| c)
-        .expect("span cannot be empty")
+    best_any.map(|(_, c)| c).expect("span cannot be empty")
+}
+
+/// The kernel idle-core index matching `idle_ok(_, _, respect_pending)`:
+/// membership in the returned set is equivalent to the predicate.
+fn idle_set(k: &KernelState, respect_pending: bool) -> &CpuSet {
+    if respect_pending {
+        k.idle_unreserved_cores()
+    } else {
+        k.idle_cores()
+    }
 }
 
 /// CFS wakeup-time selection (`select_task_rq_fair` +
@@ -163,22 +180,21 @@ pub fn select_wakeup(
     work_conserving: bool,
     respect_pending: bool,
 ) -> CoreId {
+    let _span = profile::span(profile::Subsystem::CfsWakeup);
+    let topo = env.topo;
     let prev = k.task(task).prev_core.unwrap_or(waker_core);
     // Wake-affine: prefer the previous core's die, unless it is saturated
-    // while the waker's die has idle capacity.
-    let prev_sock = env.topo.socket_of(prev);
-    let waker_sock = env.topo.socket_of(waker_core);
+    // while the waker's die has idle capacity. "Has an idle core" is one
+    // bitset intersection against the kernel's idle index.
+    let prev_sock = topo.socket_of(prev);
+    let waker_sock = topo.socket_of(waker_core);
     let target = if prev_sock != waker_sock {
-        let prev_idle = env
-            .topo
+        let prev_idle = topo
             .socket_span(prev_sock)
-            .iter()
-            .any(|c| idle_ok(k, c, respect_pending));
-        let waker_idle = env
-            .topo
+            .intersects(idle_set(k, respect_pending));
+        let waker_idle = topo
             .socket_span(waker_sock)
-            .iter()
-            .any(|c| idle_ok(k, c, respect_pending));
+            .intersects(idle_set(k, respect_pending));
         if !prev_idle && waker_idle {
             waker_core
         } else {
@@ -191,11 +207,11 @@ pub fn select_wakeup(
     if idle_ok(k, target, respect_pending) {
         return target;
     }
-    let die = env.topo.socket_span(env.topo.socket_of(target)).clone();
+    let die = topo.socket_span(topo.socket_of(target));
     if let Some(core) = search_die_for_idle(
         k,
         env,
-        &die,
+        die,
         target,
         Some(params.wakeup_scan_budget),
         respect_pending,
@@ -204,17 +220,17 @@ pub fn select_wakeup(
     }
     if work_conserving {
         // Nest §3.4: examine all other dies, unbounded, nearest first.
-        for sock in env.topo.sockets_nearest_first(target) {
-            if sock == env.topo.socket_of(target) {
+        for sock in topo.sockets_nearest_first(target) {
+            if sock == topo.socket_of(target) {
                 continue;
             }
-            let span = env.topo.socket_span(sock).clone();
-            if let Some(core) = search_die_for_idle(k, env, &span, target, None, respect_pending) {
+            let span = topo.socket_span(sock);
+            if let Some(core) = search_die_for_idle(k, env, span, target, None, respect_pending) {
                 return core;
             }
         }
     }
-    let sib = env.topo.sibling(target);
+    let sib = topo.sibling(target);
     if idle_ok(k, sib, respect_pending) {
         return sib;
     }
@@ -231,24 +247,30 @@ fn search_die_for_idle(
     budget: Option<usize>,
     respect_pending: bool,
 ) -> Option<CoreId> {
-    // select_idle_core: a core whose hyperthread is idle too.
-    for core in die.iter_wrapping_from(from) {
-        if idle_ok(k, core, respect_pending) && idle_ok(k, env.topo.sibling(core), respect_pending)
-        {
+    let idle = idle_set(k, respect_pending);
+    // Dies with no idle core at all — the common case under load — cost
+    // one bitset intersection instead of two failed scans.
+    if !die.intersects(idle) {
+        return None;
+    }
+    // select_idle_core: a core whose hyperthread is idle too. The masked
+    // iterator visits exactly the idle die members, in the same wrapping
+    // order the naive filter scan produced.
+    for core in die.iter_wrapping_from_masked(idle, from) {
+        if idle_ok(k, env.topo.sibling(core), respect_pending) {
             return Some(core);
         }
     }
-    // select_idle_cpu: bounded scan for any idle core.
-    let limit = budget.unwrap_or(usize::MAX);
-    for (scanned, core) in die.iter_wrapping_from(from).enumerate() {
-        if scanned >= limit {
-            break;
-        }
-        if idle_ok(k, core, respect_pending) {
-            return Some(core);
-        }
+    // select_idle_cpu: bounded scan for any idle core. The budget counts
+    // *visited* die members, idle or not (`select_idle_cpu`'s cost model),
+    // so the bounded pass must walk the raw span.
+    match budget {
+        Some(limit) => die
+            .iter_wrapping_from(from)
+            .take(limit)
+            .find(|&core| idle_ok(k, core, respect_pending)),
+        None => die.iter_wrapping_from_masked(idle, from).next(),
     }
-    None
 }
 
 /// Newidle balancing: a core that just went idle pulls one queued task
@@ -258,6 +280,7 @@ pub fn newidle_pull_source(
     env: &mut SchedEnv<'_>,
     core: CoreId,
 ) -> Option<CoreId> {
+    let _span = profile::span(profile::Subsystem::LoadBalance);
     let die = env.topo.socket_span(env.topo.socket_of(core));
     let src = k.busiest_core_in(die, 1)?;
     (src != core).then_some(src)
@@ -275,17 +298,19 @@ pub fn periodic_pull_source(
     if !k.core(core).is_idle() {
         return None;
     }
+    let _span = profile::span(profile::Subsystem::LoadBalance);
+    let topo = env.topo;
     let tick = env.now.tick_index() + core.index() as u64;
     if tick.is_multiple_of(params.numa_balance_ticks) {
-        if let Some(src) = k.busiest_core_in(&env.topo.all_cores().clone(), 1) {
+        if let Some(src) = k.busiest_core_in(topo.all_cores(), 1) {
             if src != core {
                 return Some(src);
             }
         }
     }
     if tick.is_multiple_of(params.die_balance_ticks) {
-        let die = env.topo.socket_span(env.topo.socket_of(core)).clone();
-        if let Some(src) = k.busiest_core_in(&die, 1) {
+        let die = topo.socket_span(topo.socket_of(core));
+        if let Some(src) = k.busiest_core_in(die, 1) {
             if src != core {
                 return Some(src);
             }
@@ -573,6 +598,269 @@ mod tests {
         // A core on the other socket does not see it via newidle.
         let src = newidle_pull_source(&mut f.k, &mut env, CoreId(40));
         assert_eq!(src, None);
+    }
+
+    /// Naive reference implementations of the scan paths that were
+    /// rewritten on top of the kernel's idle/queued core bitsets. Each is
+    /// a direct filter scan over the raw span — the shape the code had
+    /// before the indexes — kept here as the oracle for the seeded
+    /// equivalence trace below.
+    mod naive {
+        use super::*;
+
+        /// `select_idlest_in` as one full-span filter scan.
+        pub fn select_idlest_in(
+            k: &KernelState,
+            env: &SchedEnv<'_>,
+            span: &CpuSet,
+            from: CoreId,
+            respect_pending: bool,
+        ) -> CoreId {
+            let better = |load: f64, best: &Option<(f64, CoreId)>| {
+                best.is_none_or(|(l, _)| load + LOAD_EPSILON < l)
+            };
+            let mut best_pair: Option<(f64, CoreId)> = None;
+            let mut best_idle: Option<(f64, CoreId)> = None;
+            let mut best_any: Option<(f64, CoreId)> = None;
+            for core in span.iter_wrapping_from(from) {
+                let load = k.core_load(env.now, core);
+                let any_key = load + k.core(core).nr_running() as f64;
+                if better(any_key, &best_any) {
+                    best_any = Some((any_key, core));
+                }
+                if !idle_ok(k, core, respect_pending) {
+                    continue;
+                }
+                if idle_ok(k, env.topo.sibling(core), respect_pending) && better(load, &best_pair) {
+                    best_pair = Some((load, core));
+                }
+                if better(load, &best_idle) {
+                    best_idle = Some((load, core));
+                }
+            }
+            best_pair
+                .or(best_idle)
+                .or(best_any)
+                .map(|(_, c)| c)
+                .expect("span cannot be empty")
+        }
+
+        /// `search_die_for_idle` as two raw-span filter scans.
+        pub fn search_die_for_idle(
+            k: &KernelState,
+            env: &SchedEnv<'_>,
+            die: &CpuSet,
+            from: CoreId,
+            budget: Option<usize>,
+            respect_pending: bool,
+        ) -> Option<CoreId> {
+            for core in die.iter_wrapping_from(from) {
+                if idle_ok(k, core, respect_pending)
+                    && idle_ok(k, env.topo.sibling(core), respect_pending)
+                {
+                    return Some(core);
+                }
+            }
+            match budget {
+                Some(limit) => die
+                    .iter_wrapping_from(from)
+                    .take(limit)
+                    .find(|&core| idle_ok(k, core, respect_pending)),
+                None => die
+                    .iter_wrapping_from(from)
+                    .find(|&core| idle_ok(k, core, respect_pending)),
+            }
+        }
+
+        /// `select_wakeup` built from the naive pieces, with the
+        /// wake-affine "die has an idle core" checks as filter scans.
+        pub fn select_wakeup(
+            k: &KernelState,
+            env: &SchedEnv<'_>,
+            task: TaskId,
+            waker_core: CoreId,
+            params: &CfsParams,
+            work_conserving: bool,
+            respect_pending: bool,
+        ) -> CoreId {
+            let topo = env.topo;
+            let prev = k.task(task).prev_core.unwrap_or(waker_core);
+            let has_idle = |sock| {
+                topo.socket_span(sock)
+                    .iter()
+                    .any(|c| idle_ok(k, c, respect_pending))
+            };
+            let prev_sock = topo.socket_of(prev);
+            let waker_sock = topo.socket_of(waker_core);
+            let target = if prev_sock != waker_sock && !has_idle(prev_sock) && has_idle(waker_sock)
+            {
+                waker_core
+            } else {
+                prev
+            };
+            if idle_ok(k, target, respect_pending) {
+                return target;
+            }
+            let die = topo.socket_span(topo.socket_of(target));
+            if let Some(core) = search_die_for_idle(
+                k,
+                env,
+                die,
+                target,
+                Some(params.wakeup_scan_budget),
+                respect_pending,
+            ) {
+                return core;
+            }
+            if work_conserving {
+                for sock in topo.sockets_nearest_first(target) {
+                    if sock == topo.socket_of(target) {
+                        continue;
+                    }
+                    let span = topo.socket_span(sock);
+                    if let Some(core) =
+                        search_die_for_idle(k, env, span, target, None, respect_pending)
+                    {
+                        return core;
+                    }
+                }
+            }
+            let sib = topo.sibling(target);
+            if idle_ok(k, sib, respect_pending) {
+                return sib;
+            }
+            target
+        }
+    }
+
+    /// Drives a seeded pseudo-random trace of kernel mutations on the
+    /// 64-core two-socket machine and checks, at every step, that the
+    /// bitset-indexed scan paths choose exactly the core the naive
+    /// reference scans choose — the regression guard for the indexed
+    /// rewrite (occupancy, reservations, and queued tasks all vary).
+    #[test]
+    fn indexed_scans_match_naive_reference_on_seeded_trace() {
+        let mut f = Fixture::new();
+        assert_eq!(f.topo.n_cores(), 64);
+        let mut rng = SimRng::new(0x5EED_64C0);
+        let mut busy: Vec<CoreId> = Vec::new();
+        let mut reserved: Vec<CoreId> = Vec::new();
+        let mut now = Time::ZERO;
+        for step in 0..600u64 {
+            now += rng.uniform_u64(10_000, 2_000_000);
+            match rng.uniform_u64(0, 99) {
+                // Occupy an idle core.
+                0..=34 => {
+                    let idle: Vec<CoreId> = f.topo.all_cores().iter().collect::<Vec<_>>();
+                    let idle: Vec<CoreId> = idle
+                        .into_iter()
+                        .filter(|&c| f.k.core(c).is_idle())
+                        .collect();
+                    if !idle.is_empty() {
+                        let c = idle[rng.uniform_u64(0, idle.len() as u64 - 1) as usize];
+                        let t = f.spawn(now);
+                        f.k.enqueue(now, t, c);
+                        f.k.pick_next(now, c);
+                        busy.push(c);
+                    }
+                }
+                // Free a busy core (the task blocks and is dropped).
+                35..=64 => {
+                    if !busy.is_empty() {
+                        let i = rng.uniform_u64(0, busy.len() as u64 - 1) as usize;
+                        let c = busy.swap_remove(i);
+                        f.k.put_curr(now, c);
+                    }
+                }
+                // Queue an extra (not running) task on a busy core.
+                65..=79 => {
+                    if !busy.is_empty() {
+                        let i = rng.uniform_u64(0, busy.len() as u64 - 1) as usize;
+                        let t = f.spawn(now);
+                        f.k.enqueue(now, t, busy[i]);
+                    }
+                }
+                // Reserve a core (in-flight placement).
+                80..=89 => {
+                    let c = CoreId(rng.uniform_u64(0, 63) as u32);
+                    f.k.begin_placement(c);
+                    reserved.push(c);
+                }
+                // Release a reservation.
+                _ => {
+                    if !reserved.is_empty() {
+                        let i = rng.uniform_u64(0, reserved.len() as u64 - 1) as usize;
+                        f.k.cancel_placement(reserved.swap_remove(i));
+                    }
+                }
+            }
+            let from = CoreId(rng.uniform_u64(0, 63) as u32);
+            let waker = CoreId(rng.uniform_u64(0, 63) as u32);
+            let prev = CoreId(rng.uniform_u64(0, 63) as u32);
+            let probe = f.spawn(now);
+            f.k.task_mut(probe).prev_core = Some(prev);
+            let params = CfsParams::default();
+            for respect_pending in [false, true] {
+                let mut env = SchedEnv {
+                    now,
+                    topo: &f.topo,
+                    freq: &f.freq,
+                    rng: &mut f.rng,
+                };
+                let span = if step % 2 == 0 {
+                    env.topo.all_cores()
+                } else {
+                    env.topo.socket_span(env.topo.socket_of(from))
+                };
+                let die = env.topo.socket_span(env.topo.socket_of(from));
+                assert_eq!(
+                    select_idlest_in(&mut f.k, &mut env, span, from, respect_pending),
+                    naive::select_idlest_in(&f.k, &env, span, from, respect_pending),
+                    "select_idlest_in diverged at step {step}"
+                );
+                for budget in [Some(params.wakeup_scan_budget), None] {
+                    assert_eq!(
+                        search_die_for_idle(&mut f.k, &mut env, die, from, budget, respect_pending),
+                        naive::search_die_for_idle(&f.k, &env, die, from, budget, respect_pending),
+                        "search_die_for_idle (budget {budget:?}) diverged at step {step}"
+                    );
+                }
+                for work_conserving in [false, true] {
+                    assert_eq!(
+                        select_wakeup(
+                            &mut f.k,
+                            &mut env,
+                            probe,
+                            waker,
+                            &params,
+                            work_conserving,
+                            respect_pending
+                        ),
+                        naive::select_wakeup(
+                            &f.k,
+                            &env,
+                            probe,
+                            waker,
+                            &params,
+                            work_conserving,
+                            respect_pending
+                        ),
+                        "select_wakeup (wc {work_conserving}) diverged at step {step}"
+                    );
+                }
+            }
+            // The incremental indexes must agree with first-principles
+            // per-core state after every mutation.
+            for c in f.topo.all_cores().iter() {
+                let core = f.k.core(c);
+                assert_eq!(f.k.idle_cores().contains(c), core.is_idle());
+                assert_eq!(
+                    f.k.idle_unreserved_cores().contains(c),
+                    core.is_idle() && core.pending == 0
+                );
+                assert_eq!(f.k.queued_cores().contains(c), !core.rq.is_empty());
+            }
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
-use nest_simcore::{CoreId, TaskId, Time};
-use nest_topology::Topology;
+use nest_simcore::{profile, CoreId, TaskId, Time};
+use nest_topology::{CpuSet, Topology};
 
 use crate::pelt::Pelt;
 
@@ -145,6 +145,24 @@ pub struct SocketStats {
 pub const GROUP_STATS_REFRESH_NS: u64 = 250_000;
 
 /// The shared scheduler state.
+///
+/// Besides the per-core and per-task records, the state maintains three
+/// *derived core indexes* — bitsets kept incrementally in sync by every
+/// mutator so that placement and balancing scans touch only the cores that
+/// can match instead of walking the whole machine:
+///
+/// * [`KernelState::idle_cores`] — cores with no current task and an empty
+///   runqueue (exactly [`CoreK::is_idle`]);
+/// * [`KernelState::idle_unreserved_cores`] — idle cores with no in-flight
+///   placement either (`pending == 0`), the candidates honored by the
+///   reservation-flag path;
+/// * [`KernelState::queued_cores`] — cores with at least one *queued*
+///   (not running) task, the only possible load-balance sources.
+///
+/// The indexes are pure acceleration structures: they never influence a
+/// decision beyond skipping cores a naive scan would have rejected, which
+/// is what keeps results bit-identical to the unindexed implementation
+/// (see DESIGN.md §4.2 and the `placement_equivalence` test).
 pub struct KernelState {
     /// The machine topology.
     pub topo: Rc<Topology>,
@@ -154,6 +172,9 @@ pub struct KernelState {
     pub tasks: Vec<TaskSched>,
     socket_cache: Vec<SocketStats>,
     socket_cache_at: Option<Time>,
+    idle: CpuSet,
+    idle_free: CpuSet,
+    queued: CpuSet,
 }
 
 impl KernelState {
@@ -165,8 +186,54 @@ impl KernelState {
             tasks: Vec::new(),
             socket_cache: vec![SocketStats::default(); topo.n_sockets()],
             socket_cache_at: None,
+            idle: CpuSet::full(n),
+            idle_free: CpuSet::full(n),
+            queued: CpuSet::new(n),
             topo,
         }
+    }
+
+    /// Re-derives `core`'s bits in the three indexes from its state. Called
+    /// by every mutator that can change idleness, pending placements, or
+    /// queue occupancy; O(1).
+    #[inline]
+    fn reindex(&mut self, core: CoreId) {
+        let c = &self.cores[core.index()];
+        let idle = c.curr.is_none() && c.rq.is_empty();
+        let idle_free = idle && c.pending == 0;
+        let queued = !c.rq.is_empty();
+        if idle {
+            self.idle.insert(core);
+        } else {
+            self.idle.remove(core);
+        }
+        if idle_free {
+            self.idle_free.insert(core);
+        } else {
+            self.idle_free.remove(core);
+        }
+        if queued {
+            self.queued.insert(core);
+        } else {
+            self.queued.remove(core);
+        }
+    }
+
+    /// Cores that are idle ([`CoreK::is_idle`]), maintained incrementally.
+    pub fn idle_cores(&self) -> &CpuSet {
+        &self.idle
+    }
+
+    /// Idle cores with no in-flight placement (`pending == 0`) — the
+    /// candidate set when the reservation flag is honored.
+    pub fn idle_unreserved_cores(&self) -> &CpuSet {
+        &self.idle_free
+    }
+
+    /// Cores with at least one queued (not running) task — the only
+    /// possible sources for load balancing.
+    pub fn queued_cores(&self) -> &CpuSet {
+        &self.queued
     }
 
     /// Registers a task id (ids are dense and allocated by the engine).
@@ -205,6 +272,7 @@ impl KernelState {
     /// Marks the start of a placement targeting `core`.
     pub fn begin_placement(&mut self, core: CoreId) {
         self.cores[core.index()].pending += 1;
+        self.reindex(core);
     }
 
     /// Abandons a pending placement (e.g. an Smove timer re-route).
@@ -216,6 +284,7 @@ impl KernelState {
         let c = &mut self.cores[core.index()];
         assert!(c.pending > 0, "no pending placement on {core}");
         c.pending -= 1;
+        self.reindex(core);
     }
 
     /// Commits a placement: enqueues `task` on `core`.
@@ -243,13 +312,15 @@ impl KernelState {
         assert!(inserted, "task {task} already queued on {core}");
         c.last_used = now;
         c.util.set_running(now, true);
-        match c.curr {
+        let preempt = match c.curr {
             Some(curr) => {
                 let curr_vr = self.tasks[curr.index()].vruntime;
                 curr_vr > vr + WAKEUP_GRANULARITY_NS
             }
             None => true,
-        }
+        };
+        self.reindex(core);
+        preempt
     }
 
     /// Accounts the running task's progress up to `now` (vruntime and
@@ -285,6 +356,7 @@ impl KernelState {
         if c.rq.is_empty() && c.curr.is_none() {
             c.util.set_running(now, false);
         }
+        self.reindex(core);
         task
     }
 
@@ -295,6 +367,7 @@ impl KernelState {
         let inserted = c.rq.insert((vr, task));
         assert!(inserted, "task {task} already queued on {core}");
         c.util.set_running(now, true);
+        self.reindex(core);
     }
 
     /// Picks the next task to run on `core` (lowest vruntime), if any.
@@ -310,6 +383,7 @@ impl KernelState {
         c.last_used = now;
         c.util.set_running(now, true);
         self.tasks[task.index()].util.set_running(now, true);
+        self.reindex(core);
         Some(task)
     }
 
@@ -324,7 +398,11 @@ impl KernelState {
     /// runqueue; `true` if it was there. Used by Smove's migration timer.
     pub fn remove_queued(&mut self, task: TaskId, core: CoreId) -> bool {
         let vr = self.tasks[task.index()].vruntime;
-        self.cores[core.index()].rq.remove(&(vr, task))
+        let removed = self.cores[core.index()].rq.remove(&(vr, task));
+        if removed {
+            self.reindex(core);
+        }
+        removed
     }
 
     /// Steals the queued task with the highest vruntime from `core`
@@ -333,6 +411,7 @@ impl KernelState {
         let c = &mut self.cores[core.index()];
         let last = c.rq.iter().next_back().copied()?;
         c.rq.remove(&last);
+        self.reindex(core);
         Some(last.1)
     }
 
@@ -342,6 +421,7 @@ impl KernelState {
     pub fn socket_stats(&mut self, now: Time) -> &[SocketStats] {
         let fresh = matches!(self.socket_cache_at, Some(at) if now.saturating_since(at) < GROUP_STATS_REFRESH_NS);
         if !fresh {
+            let _span = profile::span(profile::Subsystem::SocketStats);
             let topo = Rc::clone(&self.topo);
             for s in topo.sockets() {
                 let span = topo.socket_span(s);
@@ -368,16 +448,30 @@ impl KernelState {
 
     /// Returns the busiest core in `set` by queued-task count, if any has
     /// at least `min_queued` tasks waiting.
+    ///
+    /// For `min_queued >= 1` only cores in the queued index can qualify,
+    /// so the scan covers `set ∩ queued` — usually empty or tiny — instead
+    /// of the whole span. Both scans run in ascending core order with a
+    /// strictly-greater comparison, so ties keep resolving to the
+    /// lowest-numbered core, exactly as the full scan did.
     pub fn busiest_core_in(
         &self,
         set: &nest_topology::CpuSet,
         min_queued: usize,
     ) -> Option<CoreId> {
         let mut best: Option<(usize, CoreId)> = None;
-        for core in set.iter() {
-            let q = self.cores[core.index()].rq.len();
+        let mut consider = |q: usize, core: CoreId| {
             if q >= min_queued && best.is_none_or(|(bq, _)| q > bq) {
                 best = Some((q, core));
+            }
+        };
+        if min_queued == 0 {
+            for core in set.iter() {
+                consider(self.cores[core.index()].rq.len(), core);
+            }
+        } else {
+            for core in set.iter_masked(&self.queued) {
+                consider(self.cores[core.index()].rq.len(), core);
             }
         }
         best.map(|(_, c)| c)
@@ -581,5 +675,98 @@ mod tests {
         let a = new_task(&mut k, Time::ZERO);
         k.enqueue(Time::ZERO, a, CoreId(0));
         k.enqueue(Time::ZERO, a, CoreId(0));
+    }
+
+    /// Recomputes the three core indexes from scratch and compares with
+    /// the incrementally maintained ones.
+    fn assert_indexes_consistent(k: &KernelState) {
+        for (i, c) in k.cores.iter().enumerate() {
+            let core = CoreId::from_index(i);
+            assert_eq!(k.idle_cores().contains(core), c.is_idle(), "idle[{i}]");
+            assert_eq!(
+                k.idle_unreserved_cores().contains(core),
+                c.is_idle() && c.pending == 0,
+                "idle_free[{i}]"
+            );
+            assert_eq!(
+                k.queued_cores().contains(core),
+                !c.rq.is_empty(),
+                "queued[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn core_indexes_track_every_mutation() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        assert_eq!(k.idle_cores().len(), 64);
+        assert_eq!(k.idle_unreserved_cores().len(), 64);
+        assert!(k.queued_cores().is_empty());
+
+        let a = new_task(&mut k, t0);
+        let b = new_task(&mut k, t0);
+        let c = new_task(&mut k, t0);
+        let core = CoreId(5);
+
+        k.begin_placement(core);
+        assert_indexes_consistent(&k);
+        assert!(k.idle_cores().contains(core));
+        assert!(!k.idle_unreserved_cores().contains(core));
+
+        k.commit_placement(t0, a, core);
+        assert_indexes_consistent(&k);
+        assert!(!k.idle_cores().contains(core));
+        assert!(k.queued_cores().contains(core));
+
+        k.pick_next(t0, core);
+        assert_indexes_consistent(&k);
+        assert!(!k.queued_cores().contains(core), "rq drained");
+
+        k.enqueue(t0, b, core);
+        k.enqueue(t0, c, core);
+        assert_indexes_consistent(&k);
+
+        assert_eq!(k.steal_queued(core), Some(c));
+        assert!(k.remove_queued(b, core));
+        assert_indexes_consistent(&k);
+
+        let t1 = Time::from_millis(1);
+        k.put_curr(t1, core);
+        assert_indexes_consistent(&k);
+        assert!(k.idle_cores().contains(core));
+        assert!(k.idle_unreserved_cores().contains(core));
+
+        k.begin_placement(core);
+        k.cancel_placement(core);
+        assert_indexes_consistent(&k);
+        assert!(k.idle_unreserved_cores().contains(core));
+
+        // Requeue path (preemption hand-off).
+        k.enqueue(t1, a, core);
+        k.pick_next(t1, core);
+        let prev = k.put_curr(t1, core);
+        k.requeue(t1, prev, core);
+        assert_indexes_consistent(&k);
+        assert!(k.queued_cores().contains(core));
+    }
+
+    #[test]
+    fn busiest_core_fast_path_matches_full_scan() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        for (core, n) in [(3u32, 2usize), (9, 3), (40, 3)] {
+            for _ in 0..n {
+                let t = new_task(&mut k, t0);
+                k.enqueue(t0, t, CoreId(core));
+            }
+        }
+        let all = k.topo.all_cores().clone();
+        // Ties (9 and 40 both have 3 queued) resolve to the lower core.
+        assert_eq!(k.busiest_core_in(&all, 1), Some(CoreId(9)));
+        assert_eq!(k.busiest_core_in(&all, 3), Some(CoreId(9)));
+        assert_eq!(k.busiest_core_in(&all, 4), None);
+        // min_queued == 0 exercises the full-scan path; same answer.
+        assert_eq!(k.busiest_core_in(&all, 0), Some(CoreId(9)));
     }
 }

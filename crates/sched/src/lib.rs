@@ -8,6 +8,8 @@
 //! * [`nest::Nest`] — the paper's contribution (§3-§4);
 //! * [`smove::Smove`] — the frequency-inversion baseline (§2.2).
 
+#![deny(missing_docs)]
+
 pub mod cfs;
 pub mod kernel;
 pub mod nest;

@@ -20,8 +20,8 @@
 //! Each mechanism has a feature flag so the §5.2/§5.3 ablation studies can
 //! disable it.
 
-use nest_simcore::{CoreId, PlacementPath, TaskId, TICK_NS};
-use nest_topology::CpuSet;
+use nest_simcore::{profile, CoreId, PlacementPath, SocketId, TaskId, TICK_NS};
+use nest_topology::{CpuSet, Topology};
 
 use crate::cfs::{self, idle_ok, CfsParams};
 use crate::kernel::KernelState;
@@ -75,12 +75,75 @@ impl Default for NestParams {
     }
 }
 
+/// One nest (primary or reserve): the full membership set plus a
+/// per-socket decomposition maintained incrementally on every insert and
+/// remove. Searches iterate exactly the nest members of one die instead
+/// of filtering the whole die span core by core (DESIGN.md §4.2).
+///
+/// The per-socket sets are allocated lazily on first mutation (the
+/// topology is not available at construction time); until then every
+/// socket reads as empty, matching the empty `all` set.
+#[derive(Clone, Debug)]
+struct NestSet {
+    all: CpuSet,
+    per_socket: Vec<CpuSet>,
+}
+
+impl NestSet {
+    fn new(n_cores: usize) -> NestSet {
+        NestSet {
+            all: CpuSet::new(n_cores),
+            per_socket: Vec::new(),
+        }
+    }
+
+    fn ensure_sockets(&mut self, topo: &Topology) {
+        if self.per_socket.is_empty() {
+            self.per_socket = vec![CpuSet::new(self.all.capacity()); topo.n_sockets()];
+        }
+    }
+
+    fn insert(&mut self, topo: &Topology, core: CoreId) -> bool {
+        self.ensure_sockets(topo);
+        let added = self.all.insert(core);
+        if added {
+            self.per_socket[topo.socket_of(core).index()].insert(core);
+        }
+        added
+    }
+
+    fn remove(&mut self, topo: &Topology, core: CoreId) -> bool {
+        let removed = self.all.remove(core);
+        if removed {
+            self.per_socket[topo.socket_of(core).index()].remove(core);
+        }
+        removed
+    }
+
+    fn contains(&self, core: CoreId) -> bool {
+        self.all.contains(core)
+    }
+
+    fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// The members on `sock` (`None` while no mutation has happened yet,
+    /// i.e. the nest is empty).
+    fn socket_members(&self, sock: SocketId) -> Option<&CpuSet> {
+        self.per_socket.get(sock.index())
+    }
+}
+
 /// The Nest policy.
 pub struct Nest {
     params: NestParams,
     cfs_params: CfsParams,
-    primary: CpuSet,
-    reserve: CpuSet,
+    primary: NestSet,
+    reserve: NestSet,
+    /// Reusable buffer for the primary search order; the search may
+    /// demote cores mid-iteration, so it walks a snapshot.
+    scratch_order: Vec<CoreId>,
 }
 
 impl Nest {
@@ -94,19 +157,20 @@ impl Nest {
         Nest {
             params,
             cfs_params: CfsParams::default(),
-            primary: CpuSet::new(n_cores),
-            reserve: CpuSet::new(n_cores),
+            primary: NestSet::new(n_cores),
+            reserve: NestSet::new(n_cores),
+            scratch_order: Vec::new(),
         }
     }
 
     /// Returns the current primary nest (for tests and metrics).
     pub fn primary(&self) -> &CpuSet {
-        &self.primary
+        &self.primary.all
     }
 
     /// Returns the current reserve nest (for tests and metrics).
     pub fn reserve(&self) -> &CpuSet {
-        &self.reserve
+        &self.reserve.all
     }
 
     /// Returns the parameters.
@@ -120,20 +184,20 @@ impl Nest {
 
     /// Demotes a primary core to the reserve, or discards it if the
     /// reserve is full (or disabled).
-    fn demote(&mut self, core: CoreId) {
-        if self.primary.remove(core)
+    fn demote(&mut self, topo: &Topology, core: CoreId) {
+        if self.primary.remove(topo, core)
             && self.params.enable_reserve
             && self.reserve.len() < self.params.r_max
         {
-            self.reserve.insert(core);
+            self.reserve.insert(topo, core);
         }
     }
 
     /// Promotes a core into the primary nest, removing it from the
     /// reserve if present.
-    fn promote(&mut self, core: CoreId) {
-        self.reserve.remove(core);
-        self.primary.insert(core);
+    fn promote(&mut self, topo: &Topology, core: CoreId) {
+        self.reserve.remove(topo, core);
+        self.primary.insert(topo, core);
     }
 
     /// `true` if an idle primary core has been unused long enough for
@@ -145,49 +209,48 @@ impl Nest {
                 >= self.params.p_remove_ticks * TICK_NS
     }
 
-    /// Orders a nest's cores for search: same die as `ref_core` first
-    /// (wrapping from `start`), then the other dies nearest-first.
-    fn search_order(
-        &self,
-        env: &SchedEnv<'_>,
-        nest: &CpuSet,
-        ref_core: CoreId,
-        start: CoreId,
-    ) -> Vec<CoreId> {
-        let mut out = Vec::with_capacity(nest.len());
-        for sock in env.topo.sockets_nearest_first(ref_core) {
-            let span = env.topo.socket_span(sock);
-            for core in span.iter_wrapping_from(start) {
-                if nest.contains(core) {
-                    out.push(core);
-                }
-            }
-        }
-        out
-    }
-
     /// Searches the primary nest, applying lazy compaction.
+    ///
+    /// Search order: same die as `ref_core` first (wrapping from
+    /// `ref_core`), then the other dies nearest-first — iterating the
+    /// per-socket membership sets directly. Compaction demotes cores
+    /// mid-search, so the order is snapshotted into a reusable buffer
+    /// (the one allocation the old clone-the-nest scan also paid, but
+    /// amortized across calls).
     fn search_primary(
         &mut self,
         k: &KernelState,
         env: &SchedEnv<'_>,
         ref_core: CoreId,
     ) -> Option<CoreId> {
+        let _prof = profile::span(profile::Subsystem::NestPrimaryScan);
         let respect = self.respect_pending();
-        for core in self.search_order(env, &self.primary.clone(), ref_core, ref_core) {
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        for sock in env.topo.sockets_nearest_first(ref_core) {
+            if let Some(members) = self.primary.socket_members(sock) {
+                order.extend(members.iter_wrapping_from(ref_core));
+            }
+        }
+        let mut found = None;
+        for &core in &order {
             if self.compaction_eligible(k, env, core) {
                 // A task tried to use a stale core: demote it instead.
-                self.demote(core);
+                self.demote(env.topo, core);
                 continue;
             }
             if idle_ok(k, core, respect) {
-                return Some(core);
+                found = Some(core);
+                break;
             }
         }
-        None
+        self.scratch_order = order;
+        found
     }
 
-    /// Searches the reserve nest, starting from the fixed anchor.
+    /// Searches the reserve nest, starting from the fixed anchor. The
+    /// search only reads the nest, so it iterates the per-socket sets
+    /// in place — no snapshot, no allocation.
     fn search_reserve(
         &mut self,
         k: &KernelState,
@@ -197,11 +260,20 @@ impl Nest {
         if !self.params.enable_reserve {
             return None;
         }
+        let _prof = profile::span(profile::Subsystem::NestReserveScan);
         let respect = self.respect_pending();
         let anchor = self.params.anchor_core;
-        self.search_order(env, &self.reserve.clone(), ref_core, anchor)
-            .into_iter()
-            .find(|&core| idle_ok(k, core, respect))
+        for sock in env.topo.sockets_nearest_first(ref_core) {
+            if let Some(members) = self.reserve.socket_members(sock) {
+                if let Some(core) = members
+                    .iter_wrapping_from(anchor)
+                    .find(|&core| idle_ok(k, core, respect))
+                {
+                    return Some(core);
+                }
+            }
+        }
+        None
     }
 
     /// The shared selection path for forks and wakeups.
@@ -232,7 +304,7 @@ impl Nest {
         }
 
         if let Some(core) = self.search_reserve(k, env, ref_core) {
-            self.promote(core);
+            self.promote(env.topo, core);
             if impatient {
                 k.task_mut(task).impatience = 0;
             }
@@ -255,14 +327,14 @@ impl Nest {
         };
         if impatient {
             // Grow the primary nest directly (§3.1).
-            self.promote(core);
+            self.promote(env.topo, core);
             k.task_mut(task).impatience = 0;
         } else if !self.primary.contains(core)
             && !self.reserve.contains(core)
             && self.params.enable_reserve
             && self.reserve.len() < self.params.r_max
         {
-            self.reserve.insert(core);
+            self.reserve.insert(env.topo, core);
         }
         Placement::simple(core, PlacementPath::NestFallback)
     }
@@ -312,7 +384,7 @@ impl SchedPolicy for Nest {
     ) -> IdleAction {
         if reason == IdleReason::TaskExited {
             // The core is no longer considered useful (§3.1).
-            self.demote(core);
+            self.demote(env.topo, core);
         }
         let pull_from = cfs::newidle_pull_source(k, env, core);
         let spin_ticks = if pull_from.is_none()
@@ -392,6 +464,134 @@ mod tests {
         };
     }
 
+    /// Seeded regression for the incremental per-socket nest sets and
+    /// the searches built on them: a pseudo-random promote/demote and
+    /// occupancy trace on the 64-core machine, checked at every step
+    /// against a naive model (flat membership sets, searches as filter
+    /// scans over raw die spans — the pre-index shape of the code).
+    /// Compaction is disabled so the searches are read-only and the two
+    /// implementations can be compared on identical state.
+    #[test]
+    fn nest_sets_and_searches_match_naive_reference_on_seeded_trace() {
+        use std::collections::BTreeSet;
+
+        let mut f = Fixture::new();
+        let params = NestParams {
+            enable_compaction: false,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(64, params);
+        let mut primary_model: BTreeSet<u32> = BTreeSet::new();
+        let mut reserve_model: BTreeSet<u32> = BTreeSet::new();
+        let mut rng = SimRng::new(0x4E57_7E57);
+        let mut busy: Vec<CoreId> = Vec::new();
+        let mut now = Time::ZERO;
+        for step in 0..600u64 {
+            now += rng.uniform_u64(10_000, 2_000_000);
+            let core = CoreId(rng.uniform_u64(0, 63) as u32);
+            match rng.uniform_u64(0, 99) {
+                // Promote: into primary, out of reserve.
+                0..=29 => {
+                    nest.promote(&f.topo, core);
+                    reserve_model.remove(&core.0);
+                    primary_model.insert(core.0);
+                }
+                // Demote: out of primary, into reserve if it has room.
+                30..=59 => {
+                    nest.demote(&f.topo, core);
+                    if primary_model.remove(&core.0) && reserve_model.len() < nest.params().r_max {
+                        reserve_model.insert(core.0);
+                    }
+                }
+                // Occupy an idle core.
+                60..=79 => {
+                    if f.k.core(core).is_idle() {
+                        f.occupy(now, core);
+                        busy.push(core);
+                    }
+                }
+                // Free a busy core.
+                _ => {
+                    if !busy.is_empty() {
+                        let i = rng.uniform_u64(0, busy.len() as u64 - 1) as usize;
+                        let c = busy.swap_remove(i);
+                        f.k.put_curr(now, c);
+                    }
+                }
+            }
+
+            // Membership: the incremental sets must equal the flat model,
+            // and the per-socket decomposition must partition `all`.
+            let got: BTreeSet<u32> = nest.primary().iter().map(|c| c.0).collect();
+            assert_eq!(got, primary_model, "primary diverged at step {step}");
+            let got: BTreeSet<u32> = nest.reserve().iter().map(|c| c.0).collect();
+            assert_eq!(got, reserve_model, "reserve diverged at step {step}");
+            for (set, name) in [(&nest.primary, "primary"), (&nest.reserve, "reserve")] {
+                for sock in f.topo.sockets() {
+                    if let Some(members) = set.socket_members(sock) {
+                        for c in members.iter() {
+                            assert_eq!(
+                                f.topo.socket_of(c),
+                                sock,
+                                "{name} socket set holds foreign core at step {step}"
+                            );
+                            assert!(set.all.contains(c));
+                        }
+                    }
+                }
+                let per_socket_total: usize = f
+                    .topo
+                    .sockets()
+                    .filter_map(|s| set.socket_members(s))
+                    .map(|m| m.len())
+                    .sum();
+                if !set.all.is_empty() {
+                    assert_eq!(per_socket_total, set.all.len());
+                }
+            }
+
+            // Searches: per-socket iteration must pick the same core as a
+            // filter scan over each raw die span.
+            let ref_core = CoreId(rng.uniform_u64(0, 63) as u32);
+            let respect = nest.respect_pending();
+            let anchor = nest.params().anchor_core;
+            let env = env!(f, now);
+            let naive_primary = f
+                .topo
+                .sockets_nearest_first(ref_core)
+                .into_iter()
+                .flat_map(|s| {
+                    f.topo
+                        .socket_span(s)
+                        .iter_wrapping_from(ref_core)
+                        .filter(|&c| nest.primary().contains(c))
+                        .collect::<Vec<_>>()
+                })
+                .find(|&c| idle_ok(&f.k, c, respect));
+            let naive_reserve = f
+                .topo
+                .sockets_nearest_first(ref_core)
+                .into_iter()
+                .find_map(|s| {
+                    f.topo
+                        .socket_span(s)
+                        .iter_wrapping_from(anchor)
+                        .filter(|&c| nest.reserve().contains(c))
+                        .find(|&c| idle_ok(&f.k, c, respect))
+                });
+            assert_eq!(
+                nest.search_primary(&f.k, &env, ref_core),
+                naive_primary,
+                "search_primary diverged at step {step}"
+            );
+            assert_eq!(
+                nest.search_reserve(&f.k, &env, ref_core),
+                naive_reserve,
+                "search_reserve diverged at step {step}"
+            );
+        }
+    }
+
     #[test]
     fn nests_start_empty_and_stay_disjoint() {
         let mut f = Fixture::new();
@@ -444,8 +644,8 @@ mod tests {
         let mut f = Fixture::new();
         let mut nest = Nest::new(64);
         // Seed the primary nest with cores on both sockets.
-        nest.promote(CoreId(2));
-        nest.promote(CoreId(40));
+        nest.promote(&f.topo, CoreId(2));
+        nest.promote(&f.topo, CoreId(40));
         let now = Time::ZERO;
         let task = f.spawn(now);
         f.k.task_mut(task).push_core_history(CoreId(3));
@@ -464,8 +664,8 @@ mod tests {
     fn attachment_beats_search_order() {
         let mut f = Fixture::new();
         let mut nest = Nest::new(64);
-        nest.promote(CoreId(2));
-        nest.promote(CoreId(9));
+        nest.promote(&f.topo, CoreId(2));
+        nest.promote(&f.topo, CoreId(9));
         let now = Time::ZERO;
         let task = f.spawn(now);
         // Task ran twice on core 9: attached.
@@ -482,8 +682,8 @@ mod tests {
     fn compaction_demotes_stale_primary_core() {
         let mut f = Fixture::new();
         let mut nest = Nest::new(64);
-        nest.promote(CoreId(5));
-        nest.promote(CoreId(6));
+        nest.promote(&f.topo, CoreId(5));
+        nest.promote(&f.topo, CoreId(6));
         // Core 5 unused for 3 ticks (> P_remove = 2); core 6 fresh.
         let now = Time::from_nanos(3 * TICK_NS);
         f.k.cores[6].last_used = now;
@@ -507,7 +707,7 @@ mod tests {
     fn compaction_demotion_then_reserve_repromotes_lone_core() {
         let mut f = Fixture::new();
         let mut nest = Nest::new(64);
-        nest.promote(CoreId(5));
+        nest.promote(&f.topo, CoreId(5));
         let now = Time::from_nanos(3 * TICK_NS);
         let task = f.spawn(now);
         f.k.task_mut(task).push_core_history(CoreId(7));
@@ -527,7 +727,7 @@ mod tests {
     fn attached_task_reclaims_compaction_eligible_core() {
         let mut f = Fixture::new();
         let mut nest = Nest::new(64);
-        nest.promote(CoreId(5));
+        nest.promote(&f.topo, CoreId(5));
         let now = Time::from_nanos(3 * TICK_NS);
         let task = f.spawn(now);
         f.k.task_mut(task).push_core_history(CoreId(5));
@@ -546,7 +746,7 @@ mod tests {
     fn task_exit_demotes_core_immediately() {
         let mut f = Fixture::new();
         let mut nest = Nest::new(64);
-        nest.promote(CoreId(3));
+        nest.promote(&f.topo, CoreId(3));
         let now = Time::ZERO;
         let mut e = env!(f, now);
         nest.on_core_idle(&mut f.k, &mut e, CoreId(3), IdleReason::TaskExited);
@@ -573,7 +773,7 @@ mod tests {
         let mut nest = Nest::new(64);
         let now = Time::ZERO;
         // Primary nest holds one core, kept busy by another task.
-        nest.promote(CoreId(2));
+        nest.promote(&f.topo, CoreId(2));
         f.occupy(now, CoreId(2));
         let task = f.spawn(now);
         f.k.task_mut(task).prev_core = Some(CoreId(2));
@@ -626,7 +826,7 @@ mod tests {
             ..NestParams::default()
         };
         let mut nest = Nest::with_params(64, params);
-        nest.promote(CoreId(3));
+        nest.promote(&f.topo, CoreId(3));
         let now = Time::ZERO;
         let mut e = env!(f, now);
         nest.on_core_idle(&mut f.k, &mut e, CoreId(3), IdleReason::TaskExited);
@@ -655,7 +855,7 @@ mod tests {
             ..NestParams::default()
         };
         let mut nest = Nest::with_params(64, params);
-        nest.promote(CoreId(5));
+        nest.promote(&f.topo, CoreId(5));
         let now = Time::from_nanos(100 * TICK_NS);
         let task = f.spawn(now);
         f.k.task_mut(task).push_core_history(CoreId(7));

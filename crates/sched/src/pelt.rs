@@ -67,7 +67,28 @@ impl Pelt {
     }
 
     fn decay_factor(dt_ns: u64) -> f64 {
-        0.5f64.powf(dt_ns as f64 / PELT_HALFLIFE_NS as f64)
+        // Memoized `powf`: scheduler activity clusters on tick and
+        // millisecond boundaries, so the same `dt` recurs millions of
+        // times per run (the self-profiler counts ~28M decay updates on
+        // figure 4 alone). The cache is keyed on the exact integer `dt`
+        // and stores the result of the identical expression, so hits are
+        // bit-identical to recomputation and the determinism contract
+        // holds. Thread-local: workers never share simulation state.
+        const SLOTS: usize = 8;
+        thread_local! {
+            static MEMO: [std::cell::Cell<(u64, f64)>; SLOTS] =
+                const { [const { std::cell::Cell::new((u64::MAX, 0.0)) }; SLOTS] };
+        }
+        MEMO.with(|m| {
+            let slot = &m[(dt_ns.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61) as usize];
+            let (key, value) = slot.get();
+            if key == dt_ns {
+                return value;
+            }
+            let value = 0.5f64.powf(dt_ns as f64 / PELT_HALFLIFE_NS as f64);
+            slot.set((dt_ns, value));
+            value
+        })
     }
 
     /// Folds the elapsed time into the average.
@@ -76,6 +97,15 @@ impl Pelt {
         if dt == 0 {
             return;
         }
+        if self.value == 0.0 && !self.running {
+            // Fully decayed and idle: the fold is `0.0 * d + 0.0`, which
+            // is `+0.0` for every positive decay factor — advancing the
+            // clock alone produces bit-identical state, and folding the
+            // merged interval later still yields `+0.0`.
+            self.last_update = now;
+            return;
+        }
+        nest_simcore::profile::count(nest_simcore::profile::Subsystem::PeltDecay);
         let d = Self::decay_factor(dt);
         let contrib = if self.running { 1.0 - d } else { 0.0 };
         self.value = self.value * d + contrib;

@@ -11,7 +11,7 @@
 
 use std::cmp::Ordering;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Time;
 
@@ -56,9 +56,15 @@ impl PartialOrd for Entry {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry>>,
-    // Payloads and liveness, indexed by seq. Slots are reclaimed in bulk
-    // when the queue drains; individual slots are dropped on pop/cancel.
-    slots: std::collections::HashMap<u64, E>,
+    // Payloads and liveness in a ring indexed by `seq - base_seq`:
+    // scheduling appends, pop/cancel clears the slot, and the cleared
+    // prefix is reclaimed by advancing `base_seq`. Sequence numbers grow
+    // monotonically, so the ring only ever spans the window of in-flight
+    // events, and the dispatch hot path pays one bounds-checked index
+    // instead of a hash probe per event.
+    slots: VecDeque<Option<E>>,
+    base_seq: u64,
+    live: usize,
     next_seq: u64,
 }
 
@@ -67,7 +73,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
-            slots: std::collections::HashMap::new(),
+            slots: VecDeque::new(),
+            base_seq: 0,
+            live: 0,
             next_seq: 0,
         }
     }
@@ -78,8 +86,31 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq }));
-        self.slots.insert(seq, event);
+        self.slots.push_back(Some(event));
+        self.live += 1;
         EventKey(seq)
+    }
+
+    /// The ring position of `seq`, if it is inside the retained window.
+    fn slot_index(&self, seq: u64) -> Option<usize> {
+        seq.checked_sub(self.base_seq)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.slots.len())
+    }
+
+    /// Clears the slot for `seq`, returning its payload if it was live,
+    /// and reclaims any cleared prefix of the ring.
+    fn take(&mut self, seq: u64) -> Option<E> {
+        let i = self.slot_index(seq)?;
+        let event = self.slots[i].take();
+        if event.is_some() {
+            self.live -= 1;
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base_seq += 1;
+            }
+        }
+        event
     }
 
     /// Cancels a previously scheduled event.
@@ -87,12 +118,13 @@ impl<E> EventQueue<E> {
     /// Returns the payload if the event was still pending, `None` if it had
     /// already fired or been cancelled. Cancelling twice is harmless.
     pub fn cancel(&mut self, key: EventKey) -> Option<E> {
-        self.slots.remove(&key.0)
+        self.take(key.0)
     }
 
     /// Returns `true` if the event behind `key` is still pending.
     pub fn is_pending(&self, key: EventKey) -> bool {
-        self.slots.contains_key(&key.0)
+        self.slot_index(key.0)
+            .is_some_and(|i| self.slots[i].is_some())
     }
 
     /// Removes and returns the earliest pending event.
@@ -100,7 +132,7 @@ impl<E> EventQueue<E> {
     /// Events at the same time pop in the order they were scheduled.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if let Some(event) = self.slots.remove(&entry.seq) {
+            if let Some(event) = self.take(entry.seq) {
                 return Some((entry.at, event));
             }
             // Lazily dropped: the slot was cancelled.
@@ -111,7 +143,7 @@ impl<E> EventQueue<E> {
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&mut self) -> Option<Time> {
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.slots.contains_key(&entry.seq) {
+            if self.is_pending(EventKey(entry.seq)) {
                 return Some(entry.at);
             }
             self.heap.pop();
@@ -121,12 +153,12 @@ impl<E> EventQueue<E> {
 
     /// Returns the number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.live
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.live == 0
     }
 }
 
@@ -188,6 +220,37 @@ mod tests {
         q.schedule(Time::from_nanos(2), 2);
         q.cancel(k);
         assert_eq!(q.peek_time(), Some(Time::from_nanos(2)));
+    }
+
+    #[test]
+    fn ring_reclaims_cleared_prefix() {
+        let mut q = EventQueue::new();
+        // Steady state: schedule/pop interleaved with cancels. The ring
+        // must keep answering correctly as base_seq advances past both
+        // popped and cancelled slots.
+        let mut keys = Vec::new();
+        for round in 0..50u64 {
+            for j in 0..4 {
+                keys.push(q.schedule(Time::from_nanos(round * 10 + j), round * 4 + j));
+            }
+            if round % 3 == 0 {
+                q.cancel(keys[keys.len() - 2]);
+            }
+            let _ = q.pop();
+        }
+        // Prefix reclamation kept the ring to the in-flight window (200
+        // events were scheduled in total; cancelled holes ahead of the
+        // pop frontier may linger until it passes them).
+        assert!(q.base_seq > 0, "prefix was never reclaimed");
+        assert!(q.slots.len() < 200, "ring never shrank");
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert!(q.is_empty());
+        // Stale keys from long-gone events never read as pending.
+        assert!(keys.iter().all(|&k| !q.is_pending(k)));
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //! Everything here is deterministic: two simulations constructed with the
 //! same machine, workload, and seed produce bit-identical event sequences.
 //! That property underpins both the test suite and the reproducibility of
-//! the paper's experiments.
+//! the paper's experiments. The one intentionally nondeterministic module
+//! is [`profile`], the opt-in self-profiler — its wall-clock readings only
+//! ever reach telemetry sidecars, never simulation results.
+
+#![deny(missing_docs)]
 
 pub mod events;
 pub mod ids;
 pub mod probe;
+pub mod profile;
 pub mod rng;
 pub mod setup;
 pub mod task;

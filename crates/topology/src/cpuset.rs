@@ -159,12 +159,68 @@ impl CpuSet {
     /// Iterates over cores in numerical order modulo the capacity,
     /// starting from `start` (inclusive) — the scan order of CFS's and
     /// Nest's core searches.
+    ///
+    /// Word-wise: cost is proportional to the number of bitmask words plus
+    /// the number of set bits actually consumed, not to the capacity.
     pub fn iter_wrapping_from(&self, start: CoreId) -> impl Iterator<Item = CoreId> + '_ {
         let cap = self.capacity;
         let s = start.index().min(cap.saturating_sub(1));
-        (0..cap)
-            .map(move |off| CoreId::from_index((s + off) % cap.max(1)))
-            .filter(move |&c| self.contains(c))
+        RangeBits::new(&self.words, None, s, cap)
+            .chain(RangeBits::new(&self.words, None, 0, s))
+            .map(CoreId::from_index)
+    }
+
+    /// Like [`CpuSet::iter_wrapping_from`], but restricted to cores also
+    /// present in `mask` — the common "scan this span, but only its idle
+    /// (or nest-member) cores" pattern, without materializing the
+    /// intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn iter_wrapping_from_masked<'a>(
+        &'a self,
+        mask: &'a CpuSet,
+        start: CoreId,
+    ) -> impl Iterator<Item = CoreId> + 'a {
+        assert_eq!(self.capacity, mask.capacity, "capacity mismatch");
+        let cap = self.capacity;
+        let s = start.index().min(cap.saturating_sub(1));
+        RangeBits::new(&self.words, Some(&mask.words), s, cap)
+            .chain(RangeBits::new(&self.words, Some(&mask.words), 0, s))
+            .map(CoreId::from_index)
+    }
+
+    /// Iterates over the intersection with `mask` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn iter_masked<'a>(&'a self, mask: &'a CpuSet) -> impl Iterator<Item = CoreId> + 'a {
+        assert_eq!(self.capacity, mask.capacity, "capacity mismatch");
+        RangeBits::new(&self.words, Some(&mask.words), 0, self.capacity).map(CoreId::from_index)
+    }
+
+    /// `true` if the two sets share at least one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersects(&self, other: &CpuSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Overwrites this set with the contents of `other`, without
+    /// reallocating — the allocation-free alternative to `clone()` for
+    /// persistent scratch sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn copy_from(&mut self, other: &CpuSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
     }
 
     /// In-place union.
@@ -225,6 +281,69 @@ impl CpuSet {
             .zip(&other.words)
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+}
+
+/// Iterator over the set bits of `a` (optionally ANDed with `b`) whose
+/// indices fall in `[lo, hi)`, ascending. The workhorse behind every
+/// `CpuSet` scan: each 64-core word costs one load (plus one AND for
+/// masked scans) and one trailing-zeros per set bit.
+struct RangeBits<'a> {
+    a: &'a [u64],
+    b: Option<&'a [u64]>,
+    wi: usize,
+    cur: u64,
+    hi: usize,
+}
+
+impl<'a> RangeBits<'a> {
+    fn new(a: &'a [u64], b: Option<&'a [u64]>, lo: usize, hi: usize) -> RangeBits<'a> {
+        let wi = lo / WORD_BITS;
+        let mut r = RangeBits {
+            a,
+            b,
+            wi,
+            cur: 0,
+            hi,
+        };
+        if lo < hi {
+            r.cur = r.fetch(wi) & (!0u64 << (lo % WORD_BITS));
+        }
+        r
+    }
+
+    fn fetch(&self, i: usize) -> u64 {
+        let w = self.a.get(i).copied().unwrap_or(0);
+        match self.b {
+            Some(m) => w & m.get(i).copied().unwrap_or(0),
+            None => w,
+        }
+    }
+}
+
+impl Iterator for RangeBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                let idx = self.wi * WORD_BITS + b;
+                if idx >= self.hi {
+                    // Bits ascend, so everything further is past `hi` too.
+                    self.cur = 0;
+                    self.wi = self.a.len();
+                    return None;
+                }
+                return Some(idx);
+            }
+            self.wi += 1;
+            if self.wi >= self.a.len() || self.wi * WORD_BITS >= self.hi {
+                return None;
+            }
+            self.cur = self.fetch(self.wi);
+        }
     }
 }
 
@@ -298,6 +417,66 @@ mod tests {
     fn wrapping_iter_covers_whole_set() {
         let s = set(64, &[1, 10, 63]);
         assert_eq!(s.iter_wrapping_from(CoreId(11)).count(), 3);
+    }
+
+    #[test]
+    fn wrapping_iter_matches_naive_scan_everywhere() {
+        // Oracle: the original O(capacity) formulation.
+        for cap in [1usize, 8, 63, 64, 65, 130, 192] {
+            let cores: Vec<u32> = (0..cap as u32)
+                .filter(|c| c % 7 == 3 || c % 11 == 0)
+                .collect();
+            let s = set(cap, &cores);
+            for start in [0usize, 1, cap / 2, cap - 1, cap, cap + 5] {
+                let sc = CoreId(start as u32);
+                let naive: Vec<u32> = {
+                    let st = start.min(cap - 1);
+                    (0..cap)
+                        .map(|off| ((st + off) % cap) as u32)
+                        .filter(|&c| s.contains(CoreId(c)))
+                        .collect()
+                };
+                let fast: Vec<u32> = s.iter_wrapping_from(sc).map(|c| c.0).collect();
+                assert_eq!(fast, naive, "cap={cap} start={start}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_wrapping_iter_equals_filtered_iter() {
+        let s = set(130, &[0, 3, 64, 65, 100, 129]);
+        let m = set(130, &[3, 64, 100, 128]);
+        let masked: Vec<u32> = s
+            .iter_wrapping_from_masked(&m, CoreId(65))
+            .map(|c| c.0)
+            .collect();
+        let filtered: Vec<u32> = s
+            .iter_wrapping_from(CoreId(65))
+            .filter(|&c| m.contains(c))
+            .map(|c| c.0)
+            .collect();
+        assert_eq!(masked, filtered);
+        assert_eq!(masked, vec![100, 3, 64]);
+    }
+
+    #[test]
+    fn iter_masked_is_ascending_intersection() {
+        let s = set(100, &[1, 2, 50, 99]);
+        let m = set(100, &[2, 50, 98]);
+        let v: Vec<u32> = s.iter_masked(&m).map(|c| c.0).collect();
+        assert_eq!(v, vec![2, 50]);
+    }
+
+    #[test]
+    fn intersects_and_copy_from() {
+        let a = set(70, &[1, 69]);
+        let b = set(70, &[69]);
+        let c = set(70, &[2]);
+        assert!(a.intersects(&b));
+        assert!(!b.intersects(&c));
+        let mut d = CpuSet::new(70);
+        d.copy_from(&a);
+        assert_eq!(d, a);
     }
 
     #[test]
