@@ -21,8 +21,19 @@ step cargo clippy --workspace --all-targets --release -- -D warnings
 step cargo build --workspace --release
 step cargo test --workspace --release -q
 # rustdoc is the only checker for doc syntax and intra-doc links, and
-# nest-simcore/nest-sched carry #![deny(missing_docs)].
+# nest-simcore/nest-sched/nest-scenario carry #![deny(missing_docs)].
 RUSTDOCFLAGS="-D warnings" step cargo doc --workspace --no-deps --release
+
+# The scenario CLI: the registries list cleanly and an arbitrary
+# non-figure combination runs end to end.
+step cargo run --release -q -p nest-bench --bin nest-sim -- list
+NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
+    step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 5220 --policy smove --governor performance \
+    --workload schbench:mt=2,w=2,requests=5 --runs 2
+
+# Byte-identity guard: fig04/table4 artifacts vs committed golden hashes.
+step ./scripts/verify_artifacts.sh
 
 echo
 echo "==> CI gate passed"

@@ -14,160 +14,62 @@ use nest_bench::{banner, emit_artifact, factory, matrix, quick, runs};
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::{Governor, NestParams, PolicyKind};
 use nest_harness::WorkloadFactory;
-use nest_topology::presets;
 use nest_workloads::{configure::Configure, dacapo::Dacapo};
 
-fn variants() -> Vec<(&'static str, NestParams)> {
-    let base = NestParams::default();
-    let mut v: Vec<(&'static str, NestParams)> = vec![
-        ("Nest (full)", base.clone()),
-        (
-            "no reserve nest",
-            NestParams {
-                enable_reserve: false,
-                ..base.clone()
-            },
-        ),
-        (
-            "no compaction",
-            NestParams {
-                enable_compaction: false,
-                ..base.clone()
-            },
-        ),
-        (
-            "no spinning",
-            NestParams {
-                enable_spin: false,
-                ..base.clone()
-            },
-        ),
-        (
-            "no attachment",
-            NestParams {
-                enable_attachment: false,
-                ..base.clone()
-            },
-        ),
-        (
-            "no wakeup work conservation",
-            NestParams {
-                enable_wakeup_work_conservation: false,
-                ..base.clone()
-            },
-        ),
-        (
-            "no reservation flag",
-            NestParams {
-                enable_reservation_flag: false,
-                ..base.clone()
-            },
-        ),
-    ];
-    for (label, p) in [
-        (
-            "P_remove x0.5 (1 tick)",
-            NestParams {
-                p_remove_ticks: 1,
-                ..base.clone()
-            },
-        ),
-        (
-            "P_remove x2 (4 ticks)",
-            NestParams {
-                p_remove_ticks: 4,
-                ..base.clone()
-            },
-        ),
-        (
-            "P_remove x10 (20 ticks)",
-            NestParams {
-                p_remove_ticks: 20,
-                ..base.clone()
-            },
-        ),
-        (
-            "R_max x0.5 (2)",
-            NestParams {
-                r_max: 2,
-                ..base.clone()
-            },
-        ),
-        (
-            "R_max x2 (10)",
-            NestParams {
-                r_max: 10,
-                ..base.clone()
-            },
-        ),
-        (
-            "R_max x10 (50)",
-            NestParams {
-                r_max: 50,
-                ..base.clone()
-            },
-        ),
-        (
-            "S_max x0.5 (1 tick)",
-            NestParams {
-                s_max_ticks: 1,
-                ..base.clone()
-            },
-        ),
-        (
-            "S_max x2 (4 ticks)",
-            NestParams {
-                s_max_ticks: 4,
-                ..base.clone()
-            },
-        ),
-        (
-            "S_max x10 (20 ticks)",
-            NestParams {
-                s_max_ticks: 20,
-                ..base.clone()
-            },
-        ),
-        (
-            "R_impatient x0.5 (1)",
-            NestParams {
-                r_impatient: 1,
-                ..base.clone()
-            },
-        ),
-        (
-            "R_impatient x2 (4)",
-            NestParams {
-                r_impatient: 4,
-                ..base.clone()
-            },
-        ),
-        (
-            "R_impatient x10 (20)",
-            NestParams {
-                r_impatient: 20,
-                ..base.clone()
-            },
-        ),
-    ] {
-        v.push((label, p));
-    }
-    v
+/// The ablation grid as registry policy specs: each variant flips one
+/// mechanism or scales one Table 1 parameter off the Nest defaults.
+fn variant_specs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("no reserve nest", "nest:reserve=off"),
+        ("no compaction", "nest:compaction=off"),
+        ("no spinning", "nest:spin=off"),
+        ("no attachment", "nest:attachment=off"),
+        ("no wakeup work conservation", "nest:wwc=off"),
+        ("no reservation flag", "nest:resflag=off"),
+        ("P_remove x0.5 (1 tick)", "nest:p_remove=1"),
+        ("P_remove x2 (4 ticks)", "nest:p_remove=4"),
+        ("P_remove x10 (20 ticks)", "nest:p_remove=20"),
+        ("R_max x0.5 (2)", "nest:r_max=2"),
+        ("R_max x2 (10)", "nest:r_max=10"),
+        ("R_max x10 (50)", "nest:r_max=50"),
+        ("S_max x0.5 (1 tick)", "nest:s_max=1"),
+        ("S_max x2 (4 ticks)", "nest:s_max=4"),
+        ("S_max x10 (20 ticks)", "nest:s_max=20"),
+        ("R_impatient x0.5 (1)", "nest:r_impatient=1"),
+        ("R_impatient x2 (4)", "nest:r_impatient=4"),
+        ("R_impatient x10 (20)", "nest:r_impatient=20"),
+    ]
+}
+
+/// Row labels: baseline full Nest first, then every variant.
+fn variant_labels() -> Vec<&'static str> {
+    let mut labels = vec!["Nest (full)"];
+    labels.extend(variant_specs().iter().map(|(l, _)| *l));
+    labels
 }
 
 /// Baseline full Nest first, then every ablation/scaling variant, all
-/// under schedutil.
+/// under schedutil. The baseline is spelled `NestWith(default)` rather
+/// than the registry's bare `nest` so its seed-derivation identity stays
+/// distinct from the standard figures' Nest rows, as it always has been.
 fn variant_setups() -> Vec<SchedulerSetup> {
-    variants()
-        .into_iter()
-        .map(|(_, p)| SchedulerSetup::new(PolicyKind::NestWith(p), Governor::Schedutil))
-        .collect()
+    let mut setups = vec![SchedulerSetup::new(
+        PolicyKind::NestWith(NestParams::default()),
+        Governor::Schedutil,
+    )];
+    setups.extend(variant_specs().iter().map(|(_, spec)| {
+        SchedulerSetup::new(
+            nest_scenario::policy(spec).expect("ablation specs are valid"),
+            Governor::Schedutil,
+        )
+    }));
+    setups
 }
 
 fn print_study(c: &Comparison) {
     println!("\n## {} on {}", c.workload, c.machine);
     println!("{:<30} {:>10} {:>9}", "variant", "time(s)", "vs full%");
-    for (row, (label, _)) in c.rows.iter().zip(variants()) {
+    for (row, label) in c.rows.iter().zip(variant_labels()) {
         println!(
             "{:<30} {:>10.3} {:>9}",
             label,
@@ -185,11 +87,15 @@ fn main() {
         "Nest feature removal and parameter scaling (§5.2/§5.3)",
     );
     let setups = variant_setups();
-    let machines = if quick() {
-        vec![presets::xeon_5218()]
+    let keys = if quick() {
+        vec!["5218"]
     } else {
-        vec![presets::xeon_5218(), presets::e7_8870_v4()]
+        vec!["5218", "e7-8870"]
     };
+    let machines: Vec<_> = keys
+        .iter()
+        .map(|k| nest_scenario::machine(k).expect("ablation machines are registered"))
+        .collect();
     let mut m = matrix("ablation");
     for machine in &machines {
         for bench in ["llvm_ninja", "mplayer"] {
@@ -197,7 +103,7 @@ fn main() {
             m.add(machine.clone(), &setups, runs(), make);
         }
     }
-    let dacapo_machine = presets::xeon_6130(2);
+    let dacapo_machine = nest_scenario::machine("6130-2").expect("6130-2 is registered");
     for app in ["h2", "graphchi-eval", "tradebeans"] {
         m.add(
             dacapo_machine.clone(),

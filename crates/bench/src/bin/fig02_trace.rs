@@ -9,28 +9,27 @@
 //! Trace runs carry full execution traces, which are too heavy for the
 //! result cache; they go through the harness's raw parallel path instead.
 
-use nest_bench::{banner, emit_artifact, seed};
-use nest_core::{PolicyKind, SimConfig};
+use nest_bench::{banner, emit_artifact, scenario};
 use nest_harness::{jobs, run_raw, Json, RawCell};
-use nest_topology::presets;
-use nest_workloads::configure::Configure;
 
 fn main() {
     banner(
         "Figure 2",
         "LLVM-ninja configure trace, CFS vs Nest (5218, schedutil)",
     );
-    let machine = presets::xeon_5218();
-    let fmax = machine.freq.fmax().as_ghz();
-    let policies = [PolicyKind::Cfs, PolicyKind::Nest];
-    let cells: Vec<RawCell> = policies
+    let scenarios: Vec<_> = ["cfs", "nest"]
         .iter()
-        .map(|policy| RawCell {
-            cfg: SimConfig::new(machine.clone())
-                .policy(policy.clone())
-                .seed(seed())
-                .with_trace(),
-            make: Box::new(|| Box::new(Configure::named("llvm_ninja"))),
+        .map(|p| scenario("5218", p, "schedutil", "configure:llvm_ninja"))
+        .collect();
+    let fmax = scenarios[0].resolve_machine().freq.fmax().as_ghz();
+    let cells: Vec<RawCell> = scenarios
+        .iter()
+        .map(|s| {
+            let spec = s.workload_spec();
+            RawCell {
+                cfg: s.sim_config().with_trace(),
+                make: Box::new(move || spec.build()),
+            }
         })
         .collect();
     let (results, telemetry) = run_raw(cells, jobs());
@@ -38,8 +37,8 @@ fn main() {
     // The paper's frequency bands for the 5218.
     let bands = [(0.0, 1.0), (1.0, 1.6), (1.6, 2.3), (2.3, 3.6), (3.6, 3.9)];
     let mut series = Vec::new();
-    for (policy, r) in policies.iter().zip(&results) {
-        let label = policy.label();
+    for (s, r) in scenarios.iter().zip(&results) {
+        let label = s.resolve_policy().label();
         let trace = r.trace.as_ref().expect("trace requested");
         // Keep the first 0.3 s, as the paper does.
         let cutoff = nest_simcore::Time::from_millis(300);

@@ -4,33 +4,33 @@
 //! The paper's claim: CFS shows substantial underload (up to ~6 per
 //! interval); with Nest it has almost disappeared.
 
-use nest_bench::{banner, emit_artifact, seed};
-use nest_core::{PolicyKind, SimConfig};
+use nest_bench::{banner, emit_artifact, scenario};
 use nest_harness::{jobs, run_raw, Json, RawCell};
-use nest_topology::presets;
-use nest_workloads::configure::Configure;
 
 fn main() {
     banner(
         "Figure 3",
         "underload timeline, LLVM-ninja configure (5218, schedutil)",
     );
-    let machine = presets::xeon_5218();
-    let policies = [PolicyKind::Cfs, PolicyKind::Nest];
-    let cells: Vec<RawCell> = policies
+    let scenarios: Vec<_> = ["cfs", "nest"]
         .iter()
-        .map(|policy| RawCell {
-            cfg: SimConfig::new(machine.clone())
-                .policy(policy.clone())
-                .seed(seed()),
-            make: Box::new(|| Box::new(Configure::named("llvm_ninja"))),
+        .map(|p| scenario("5218", p, "schedutil", "configure:llvm_ninja"))
+        .collect();
+    let cells: Vec<RawCell> = scenarios
+        .iter()
+        .map(|s| {
+            let spec = s.workload_spec();
+            RawCell {
+                cfg: s.sim_config(),
+                make: Box::new(move || spec.build()),
+            }
         })
         .collect();
     let (results, telemetry) = run_raw(cells, jobs());
 
     let mut timelines = Vec::new();
-    for (policy, r) in policies.iter().zip(&results) {
-        let label = policy.label();
+    for (s, r) in scenarios.iter().zip(&results) {
+        let label = s.resolve_policy().label();
         let series = r.underload.series();
         println!("\n--- {label} ---");
         println!("t(s)    underload   (first 0.3 s, 4 ms intervals)");

@@ -4,7 +4,9 @@
 //! The paper's claim: CFS accrues a few underload units per second; Nest
 //! nearly eliminates it on every machine.
 
-use nest_bench::{banner, configure_matrix, emit_artifact, metric_row, paper_schedulers};
+use nest_bench::{
+    banner, configure_matrix, emit_artifact, metric_row, paper_schedulers, paper_setup_pairs,
+};
 
 fn main() {
     banner(
@@ -12,7 +14,7 @@ fn main() {
         "configure underload per second (CFS/Nest × sched/perf)",
     );
     let schedulers = paper_schedulers();
-    let (grouped, telemetry) = configure_matrix("fig04_underload", &schedulers);
+    let (grouped, telemetry) = configure_matrix("fig04_underload", &paper_setup_pairs());
     let mut all = Vec::new();
     for (machine, comps) in grouped {
         println!("\n### {machine}");

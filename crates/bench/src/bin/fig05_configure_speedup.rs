@@ -6,13 +6,15 @@
 //! little on the 6130/5218 (CFS-schedutil already reaches turbo) but a
 //! lot on the E7; Smove stays under 5% except ~9% on LLVM.
 
-use nest_bench::{banner, configure_matrix, emit_artifact, metric_row};
-use nest_core::experiment::SchedulerSetup;
+use nest_bench::{
+    banner, configure_matrix, configure_setup_pairs, emit_artifact, metric_row, setups_of,
+};
 
 fn main() {
     banner("Figure 5", "configure speedup vs CFS-schedutil");
-    let schedulers = SchedulerSetup::configure_set();
-    let (grouped, telemetry) = configure_matrix("fig05_configure_speedup", &schedulers);
+    let schedulers = setups_of(&configure_setup_pairs());
+    let (grouped, telemetry) =
+        configure_matrix("fig05_configure_speedup", &configure_setup_pairs());
     let mut all = Vec::new();
     for (machine, comps) in grouped {
         println!("\n### {machine}");

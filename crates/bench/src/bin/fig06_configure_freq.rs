@@ -4,12 +4,11 @@
 //! The paper's claim: with Nest, the cores executing the configure script
 //! spend nearly all busy time in the highest frequency buckets.
 
-use nest_bench::{banner, configure_matrix, emit_artifact, mean_freq_fractions, paper_schedulers};
+use nest_bench::{banner, configure_matrix, emit_artifact, mean_freq_fractions, paper_setup_pairs};
 
 fn main() {
     banner("Figure 6", "configure frequency distribution");
-    let schedulers = paper_schedulers();
-    let (grouped, telemetry) = configure_matrix("fig06_configure_freq", &schedulers);
+    let (grouped, telemetry) = configure_matrix("fig06_configure_freq", &paper_setup_pairs());
     let mut all = Vec::new();
     for (machine, comps) in grouped {
         println!("\n### {machine}");

@@ -4,12 +4,14 @@
 //! The paper's claim: by shortening execution while keeping the
 //! computation on few cores, Nest reduces CPU energy by up to ~19-20%.
 
-use nest_bench::{banner, configure_matrix, emit_artifact, metric_row, paper_schedulers};
+use nest_bench::{
+    banner, configure_matrix, emit_artifact, metric_row, paper_schedulers, paper_setup_pairs,
+};
 
 fn main() {
     banner("Figure 7", "configure CPU energy savings vs CFS-schedutil");
     let schedulers = paper_schedulers();
-    let (grouped, telemetry) = configure_matrix("fig07_configure_energy", &schedulers);
+    let (grouped, telemetry) = configure_matrix("fig07_configure_energy", &paper_setup_pairs());
     let mut all = Vec::new();
     for (machine, comps) in grouped {
         println!("\n### {machine}");

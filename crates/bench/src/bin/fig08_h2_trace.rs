@@ -7,28 +7,27 @@
 //! that spend >2/3 of the time above 3.1 GHz, for ~20% speedup (more than
 //! 2× against the multi-socket runs).
 
-use nest_bench::{banner, emit_artifact, seed};
-use nest_core::{PolicyKind, SimConfig};
+use nest_bench::{banner, emit_artifact, scenario};
 use nest_harness::{jobs, run_raw, Json, RawCell};
-use nest_topology::presets;
-use nest_workloads::dacapo::Dacapo;
 
 fn main() {
     banner(
         "Figures 8/9",
         "h2 execution trace, CFS vs Nest (4-socket 6130, schedutil)",
     );
-    let machine = presets::xeon_6130(4);
-    let cores_per_socket = machine.cores_per_socket();
-    let policies = [PolicyKind::Cfs, PolicyKind::Nest];
-    let cells: Vec<RawCell> = policies
+    let scenarios: Vec<_> = ["cfs", "nest"]
         .iter()
-        .map(|policy| RawCell {
-            cfg: SimConfig::new(machine.clone())
-                .policy(policy.clone())
-                .seed(seed())
-                .with_trace(),
-            make: Box::new(|| Box::new(Dacapo::named("h2"))),
+        .map(|p| scenario("6130-4", p, "schedutil", "dacapo:h2"))
+        .collect();
+    let cores_per_socket = scenarios[0].resolve_machine().cores_per_socket();
+    let cells: Vec<RawCell> = scenarios
+        .iter()
+        .map(|s| {
+            let spec = s.workload_spec();
+            RawCell {
+                cfg: s.sim_config().with_trace(),
+                make: Box::new(move || spec.build()),
+            }
         })
         .collect();
     let (results, telemetry) = run_raw(cells, jobs());
@@ -43,8 +42,8 @@ fn main() {
         (3.4, 3.7),
     ];
     let mut series = Vec::new();
-    for (policy, r) in policies.iter().zip(&results) {
-        let label = policy.label();
+    for (s, r) in scenarios.iter().zip(&results) {
+        let label = s.resolve_policy().label();
         let trace = r.trace.as_ref().expect("trace requested");
         let cores = trace.cores_used();
         let sockets: std::collections::BTreeSet<usize> = cores

@@ -7,25 +7,21 @@
 //! (single-task) applications stay near ±5%.
 
 use nest_bench::{
-    banner, emit_artifact, factory, figure_machines, matrix, metric_row, paper_schedulers, runs,
+    add_block, banner, emit_artifact, figure_machine_keys, figure_machines, matrix, metric_row,
+    paper_schedulers, paper_setup_pairs,
 };
 use nest_workloads::dacapo;
 
 fn main() {
     banner("Figure 10", "DaCapo speedup vs CFS-schedutil");
     let schedulers = paper_schedulers();
+    let pairs = paper_setup_pairs();
     let machines = figure_machines();
     let specs = dacapo::all_specs();
     let mut m = matrix("fig10_dacapo_speedup");
-    for machine in &machines {
+    for key in figure_machine_keys() {
         for spec in &specs {
-            let spec = spec.clone();
-            m.add(
-                machine.clone(),
-                &schedulers,
-                runs(),
-                factory(move || dacapo::Dacapo::new(spec.clone())),
-            );
+            add_block(&mut m, key, &pairs, &format!("dacapo:{}", spec.name), None);
         }
     }
     let (comps, telemetry) = m.run();

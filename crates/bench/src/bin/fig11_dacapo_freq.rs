@@ -5,14 +5,14 @@
 //! tradebeans, graphchi-eval) achieve visibly higher frequencies with it.
 
 use nest_bench::{
-    banner, emit_artifact, factory, figure_machines, matrix, mean_freq_fractions, paper_schedulers,
-    runs,
+    add_block, banner, emit_artifact, figure_machine_keys, figure_machines, matrix,
+    mean_freq_fractions, paper_setup_pairs,
 };
 use nest_workloads::dacapo;
 
 fn main() {
     banner("Figure 11", "DaCapo frequency distribution");
-    let schedulers = paper_schedulers();
+    let pairs = paper_setup_pairs();
     // The full 21-app sweep is in fig10; the frequency figure focuses on
     // a representative subset to keep output readable (the paper's full
     // grid is reproduced by passing NEST_ALL=1).
@@ -30,15 +30,9 @@ fn main() {
     };
     let machines = figure_machines();
     let mut m = matrix("fig11_dacapo_freq");
-    for machine in &machines {
+    for key in figure_machine_keys() {
         for app in &apps {
-            let app = app.to_string();
-            m.add(
-                machine.clone(),
-                &schedulers,
-                runs(),
-                factory(move || dacapo::Dacapo::named(&app)),
-            );
+            add_block(&mut m, key, &pairs, &format!("dacapo:{app}"), None);
         }
     }
     let (comps, telemetry) = m.run();

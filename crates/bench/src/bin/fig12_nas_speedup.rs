@@ -8,25 +8,21 @@
 //! aggressive wakeup work conservation.
 
 use nest_bench::{
-    banner, emit_artifact, factory, figure_machines, matrix, metric_row, paper_schedulers, runs,
+    add_block, banner, emit_artifact, figure_machine_keys, figure_machines, matrix, metric_row,
+    paper_schedulers, paper_setup_pairs,
 };
 use nest_workloads::nas;
 
 fn main() {
     banner("Figure 12", "NAS class C speedup vs CFS-schedutil");
     let schedulers = paper_schedulers();
+    let pairs = paper_setup_pairs();
     let machines = figure_machines();
     let specs = nas::all_specs();
     let mut m = matrix("fig12_nas_speedup");
-    for machine in &machines {
+    for key in figure_machine_keys() {
         for spec in &specs {
-            let spec = spec.clone();
-            m.add(
-                machine.clone(),
-                &schedulers,
-                runs(),
-                factory(move || nas::Nas::new(spec.clone())),
-            );
+            add_block(&mut m, key, &pairs, &format!("nas:{}", spec.name), None);
         }
     }
     let (comps, telemetry) = m.run();

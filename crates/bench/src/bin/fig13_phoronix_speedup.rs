@@ -7,30 +7,30 @@
 //! the two on different machines; libavif avifenc 1 degrades with
 //! Nest-sched (up to -22% on the 4-socket 6130).
 
-use nest_bench::{banner, emit_artifact, factory, figure_machines, matrix, metric_row, runs};
-use nest_core::experiment::SchedulerSetup;
-use nest_core::{Governor, PolicyKind};
+use nest_bench::{
+    add_block, banner, emit_artifact, figure_machine_keys, figure_machines, matrix, metric_row,
+};
 use nest_workloads::phoronix;
 
 fn main() {
     banner("Figure 13", "Phoronix multicore speedup vs CFS-schedutil");
     // The figure compares CFS-perf and Nest-sched against CFS-sched.
-    let schedulers = vec![
-        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
-        SchedulerSetup::new(PolicyKind::Cfs, Governor::Performance),
-        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+    let pairs = [
+        ("cfs", "schedutil"),
+        ("cfs", "performance"),
+        ("nest", "schedutil"),
     ];
     let machines = figure_machines();
     let specs = phoronix::figure13_specs();
     let mut m = matrix("fig13_phoronix_speedup");
-    for machine in &machines {
+    for key in figure_machine_keys() {
         for spec in &specs {
-            let spec = spec.clone();
-            m.add(
-                machine.clone(),
-                &schedulers,
-                runs(),
-                factory(move || phoronix::Phoronix::new(spec.clone())),
+            add_block(
+                &mut m,
+                key,
+                &pairs,
+                &format!("phoronix:{}", spec.name),
+                None,
             );
         }
     }

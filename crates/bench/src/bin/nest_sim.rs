@@ -1,0 +1,249 @@
+//! `nest-sim`: compose and run one scheduling scenario from the command
+//! line — any (machine, policy, governor, workload) combination the
+//! registries can express, not just the combinations the figure binaries
+//! hard-code.
+//!
+//! ```text
+//! nest-sim list [machines|policies|governors|workloads]
+//! nest-sim id  --machine 5218 --policy nest --governor perf --workload hackbench
+//! nest-sim run --machine i80 --policy nest:spin=off --governor performance \
+//!              --workload hackbench --runs 10
+//! ```
+//!
+//! `run` accepts `--policy` and `--governor` more than once; the rows of
+//! the resulting comparison are the policy-major cartesian product, with
+//! the first row as the speedup baseline. Results land in the standard
+//! `results/<name>.json` artifact plus its `.telemetry.json` sidecar,
+//! exactly like the figure binaries (`NEST_RESULTS_DIR`, `NEST_CACHE`,
+//! `NEST_JOBS` all apply).
+
+use nest_core::experiment::format_table;
+use nest_harness::{Artifact, Json, Matrix};
+use nest_scenario::{Scenario, DEFAULT_RUNS, DEFAULT_SEED};
+
+const USAGE: &str = "\
+nest-sim: compose and run one scheduling scenario
+
+USAGE:
+    nest-sim list [machines|policies|governors|workloads]
+    nest-sim id  --machine <key> --policy <spec> --governor <key> --workload <spec>
+                 [--seed <n>] [--runs <n>] [--horizon <secs>]
+    nest-sim run --machine <key> --policy <spec> [--policy <spec>]...
+                 --governor <key> [--governor <key>]... --workload <spec>
+                 [--seed <n>] [--runs <n>] [--horizon <secs>] [--out <name>]
+
+EXAMPLES:
+    nest-sim list workloads
+    nest-sim run --machine i80 --policy nest:spin=off --governor performance \\
+                 --workload hackbench --runs 10
+    nest-sim run --machine 5220 --policy cfs --policy smove --governor perf \\
+                 --workload schbench:mt=2,w=2 --out smove_tail
+
+`nest-sim list` prints every registry key a flag accepts; unknown keys
+fail with the list of valid entries.";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("nest-sim: {msg}");
+    eprintln!("(run `nest-sim list` to see the registries, or `nest-sim --help`)");
+    std::process::exit(2);
+}
+
+fn list(section: Option<&str>) {
+    let want = |s: &str| section.is_none_or(|w| w == s);
+    if !["machines", "policies", "governors", "workloads"]
+        .iter()
+        .any(|s| want(s))
+    {
+        fail(&format!(
+            "unknown list section \"{}\"; valid: machines, policies, governors, workloads",
+            section.unwrap_or_default()
+        ));
+    }
+    if want("machines") {
+        println!("machines (--machine):");
+        for e in nest_scenario::machine_entries() {
+            let alias = if e.aliases.is_empty() {
+                String::new()
+            } else {
+                format!(" (aliases: {})", e.aliases.join(", "))
+            };
+            println!("  {:<10} {}{}", e.key, e.summary, alias);
+        }
+    }
+    if want("policies") {
+        println!("policies (--policy, parameters as key=value after ':'):");
+        for (key, summary) in nest_scenario::policy_entries() {
+            println!("  {key:<10} {summary}");
+        }
+    }
+    if want("governors") {
+        println!("governors (--governor):");
+        for (key, _, summary) in nest_scenario::governor_entries() {
+            println!("  {key:<12} {summary}");
+        }
+    }
+    if want("workloads") {
+        println!("workloads (--workload, '+' combines, knobs as key=value):");
+        for (key, summary) in nest_scenario::workload_entries() {
+            println!("  {key:<10} {summary}");
+        }
+    }
+}
+
+#[derive(Default)]
+struct RunArgs {
+    machine: Option<String>,
+    policies: Vec<String>,
+    governors: Vec<String>,
+    workload: Option<String>,
+    seed: Option<u64>,
+    runs: Option<usize>,
+    horizon: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_run_args(args: &[String]) -> RunArgs {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let (flag, inline) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let mut value = || {
+            inline.clone().unwrap_or_else(|| {
+                it.next()
+                    .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                    .clone()
+            })
+        };
+        match flag {
+            "--machine" => out.machine = Some(value()),
+            "--policy" => out.policies.push(value()),
+            "--governor" => out.governors.push(value()),
+            "--workload" => out.workload = Some(value()),
+            "--seed" => {
+                out.seed = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| fail("--seed needs an integer")),
+                )
+            }
+            "--runs" => {
+                let n: usize = value()
+                    .parse()
+                    .unwrap_or_else(|_| fail("--runs needs an integer"));
+                if n == 0 {
+                    fail("--runs must be at least 1");
+                }
+                out.runs = Some(n);
+            }
+            "--horizon" => {
+                out.horizon = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| fail("--horizon needs seconds")),
+                )
+            }
+            "--out" => out.out = Some(value()),
+            other => fail(&format!("unknown flag \"{other}\"")),
+        }
+    }
+    out
+}
+
+/// The policy-major cartesian product of the requested rows, validated
+/// through the registries.
+fn scenarios_of(a: &RunArgs) -> Vec<Scenario> {
+    let machine = a
+        .machine
+        .as_deref()
+        .unwrap_or_else(|| fail("--machine is required"));
+    let workload = a
+        .workload
+        .as_deref()
+        .unwrap_or_else(|| fail("--workload is required"));
+    if a.policies.is_empty() {
+        fail("at least one --policy is required");
+    }
+    if a.governors.is_empty() {
+        fail("at least one --governor is required");
+    }
+    let mut scenarios = Vec::new();
+    for policy in &a.policies {
+        for governor in &a.governors {
+            let s = Scenario::parse(machine, policy, governor, workload)
+                .unwrap_or_else(|e| fail(&e.to_string()))
+                .with_seed(a.seed.unwrap_or(DEFAULT_SEED))
+                .with_runs(a.runs.unwrap_or(DEFAULT_RUNS));
+            scenarios.push(match a.horizon {
+                Some(h) => s.with_horizon_s(h),
+                None => s,
+            });
+        }
+    }
+    scenarios
+}
+
+fn run(args: &[String]) {
+    let a = parse_run_args(args);
+    let scenarios = scenarios_of(&a);
+    let first = &scenarios[0];
+    let name = a.out.as_deref().unwrap_or("nest_sim");
+
+    println!("machine:  {}", first.resolve_machine().name);
+    println!("workload: {}", first.workload());
+    println!(
+        "seed {} × {} runs, horizon {}s",
+        first.seed(),
+        first.runs(),
+        first.horizon_s()
+    );
+    for s in &scenarios {
+        println!("  row: {}", s.identity());
+    }
+
+    let mut m = Matrix::new(name, first.seed());
+    m.add_scenarios(&scenarios)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let (comps, telemetry) = m.run();
+    for c in &comps {
+        print!("\n{}", format_table(c));
+    }
+
+    let mut artifact = Artifact::new(name, first.seed());
+    artifact.push("runs_per_config", Json::usize(first.runs()));
+    artifact.push(
+        "scenarios",
+        Json::Arr(scenarios.iter().map(|s| s.to_json()).collect()),
+    );
+    artifact.comparisons(&comps);
+    match artifact.write() {
+        Ok(path) => println!("\nartifact: {}", path.display()),
+        Err(e) => fail(&format!("could not write artifact: {e}")),
+    }
+    match artifact.write_telemetry(&telemetry) {
+        Ok(path) => println!("telemetry: {}", path.display()),
+        Err(e) => fail(&format!("could not write telemetry: {e}")),
+    }
+}
+
+fn id(args: &[String]) {
+    let a = parse_run_args(args);
+    for s in scenarios_of(&a) {
+        println!("{}", s.identity());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(args.get(1).map(String::as_str)),
+        Some("id") => id(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
+        Some(other) => fail(&format!(
+            "unknown subcommand \"{other}\"; valid: list, id, run"
+        )),
+    }
+}

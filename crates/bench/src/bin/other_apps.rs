@@ -9,37 +9,8 @@
 //! mono-socket 5220 behaves like the big Intels for configure and the
 //! AMD 4650G favours Nest broadly.
 
-use nest_bench::{banner, emit_artifact, factory, matrix, quick, runs};
-use nest_core::experiment::{format_table, SchedulerOutcome, SchedulerSetup};
-use nest_core::{Governor, PolicyKind};
-use nest_topology::presets;
-use nest_workloads::{
-    configure::Configure,
-    hackbench::{Hackbench, HackbenchSpec},
-    phoronix::Phoronix,
-    schbench::{Schbench, SchbenchSpec},
-    server::{Server, ServerSpec},
-};
-
-use nest_simcore::{SimRng, SimSetup, TaskSpec};
-
-/// Two applications launched together (multi-application scenario).
-struct Combined {
-    a: Box<dyn nest_workloads::Workload>,
-    b: Box<dyn nest_workloads::Workload>,
-}
-
-impl nest_workloads::Workload for Combined {
-    fn name(&self) -> String {
-        format!("{} + {}", self.a.name(), self.b.name())
-    }
-
-    fn build(&self, setup: &mut dyn SimSetup, rng: &mut SimRng) -> Vec<TaskSpec> {
-        let mut tasks = self.a.build(setup, rng);
-        tasks.extend(self.b.build(setup, rng));
-        tasks
-    }
-}
+use nest_bench::{add_block, banner, emit_artifact, matrix, paper_setup_pairs, quick, runs};
+use nest_core::experiment::{format_table, SchedulerOutcome};
 
 /// Mean p99 wakeup latency over a row's runs, in microseconds.
 fn mean_p99_us(row: &SchedulerOutcome) -> f64 {
@@ -57,79 +28,60 @@ fn main() {
         "§5.6",
         "hackbench, schbench, servers, multi-app, mono-socket",
     );
-    let two = vec![
-        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
-        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
-    ];
-    let m5218 = presets::xeon_5218();
-    let m6130 = presets::xeon_6130(2);
-    let short_runs = runs().min(2);
+    let two = [("cfs", "schedutil"), ("nest", "schedutil")];
+    let short_runs = Some(runs().min(2));
 
     // The whole section is one matrix so every sub-experiment shares the
     // worker pool; comparisons come back in insertion order.
     let mut m = matrix("other_apps");
 
-    m.add(
-        m5218.clone(),
-        &two,
-        short_runs,
-        factory(|| Hackbench::new(HackbenchSpec::default())),
-    );
+    add_block(&mut m, "5218", &two, "hackbench", short_runs);
 
     let schbench_sizes = [(4u32, 4u32), (8, 8), (16, 16)];
     for (mt, wt) in schbench_sizes {
         let requests = if quick() { 20 } else { 50 };
-        m.add(
-            m5218.clone(),
+        add_block(
+            &mut m,
+            "5218",
             &two,
+            &format!("schbench:mt={mt},w={wt},requests={requests}"),
             short_runs,
-            factory(move || {
-                Schbench::new(SchbenchSpec {
-                    message_threads: mt,
-                    workers_per_message: wt,
-                    requests_per_worker: requests,
-                    think_ms: 3.0,
-                })
-            }),
         );
     }
 
-    let servers: Vec<ServerSpec> = vec![
-        ServerSpec::nginx(50),
-        ServerSpec::nginx(200),
-        ServerSpec::apache(50),
-        ServerSpec::apache(200),
-        ServerSpec::leveldb(),
-        ServerSpec::redis(),
+    let servers = [
+        "server:nginx,c=50",
+        "server:nginx,c=200",
+        "server:apache,c=50",
+        "server:apache,c=200",
+        "server:leveldb",
+        "server:redis",
     ];
-    let n_servers = servers.len();
     for spec in servers {
-        m.add(
-            m6130.clone(),
-            &two,
-            short_runs,
-            factory(move || Server::new(spec.clone())),
-        );
+        add_block(&mut m, "6130-2", &two, spec, short_runs);
     }
 
-    m.add(
-        m6130.clone(),
+    add_block(
+        &mut m,
+        "6130-2",
         &two,
+        "phoronix:zstd compression 7+phoronix:libgav1 4",
         short_runs,
-        factory(|| Combined {
-            a: Box::new(Phoronix::named("zstd compression 7")),
-            b: Box::new(Phoronix::named("libgav1 4")),
-        }),
     );
 
-    let mono_machines = [presets::xeon_5220(), presets::amd_4650g()];
-    for machine in &mono_machines {
+    let mono_keys = ["5220", "4650g"];
+    let mono_machines: Vec<_> = mono_keys
+        .iter()
+        .map(|k| nest_scenario::machine(k).expect("mono machines are registered"))
+        .collect();
+    for key in mono_keys {
         for bench in ["gdb", "llvm_ninja"] {
-            m.add(
-                machine.clone(),
-                &SchedulerSetup::paper_set(),
+            add_block(
+                &mut m,
+                key,
+                &paper_setup_pairs(),
+                &format!("configure:{bench}"),
                 short_runs,
-                factory(move || Configure::named(bench)),
             );
         }
     }
@@ -160,7 +112,7 @@ fn main() {
     println!("\n# server tests on the 2-socket 6130 (paper machine for §5.6)");
     // Completion time is arrival-limited for these open-loop tests, so
     // the scheduler-sensitive metric is the request (wakeup) latency.
-    for _ in 0..n_servers {
+    for _ in 0..servers.len() {
         let c = it.next().unwrap();
         println!(
             "{:<12} CFS {:.3}s p99 {:8.1}µs | Nest {:+.1}% p99 {:8.1}µs",

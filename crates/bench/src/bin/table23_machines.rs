@@ -4,7 +4,7 @@
 
 use nest_bench::{banner, emit_artifact};
 use nest_harness::Json;
-use nest_topology::presets;
+use nest_scenario::{machine, paper_machine_keys};
 use nest_topology::MachineSpec;
 
 fn machine_json(m: &MachineSpec) -> Json {
@@ -40,7 +40,10 @@ fn main() {
         "{:<28} {:<13} {:>7} {:>9} {:>9} {:>10}",
         "CPU", "microarch", "cores", "min freq", "max freq", "max turbo"
     );
-    let machines = presets::paper_machines();
+    let machines: Vec<MachineSpec> = paper_machine_keys()
+        .iter()
+        .map(|k| machine(k).expect("paper machines are registered"))
+        .collect();
     for m in &machines {
         println!(
             "{:<28} {:<13} {:>7} {:>9} {:>9} {:>10}",
@@ -71,7 +74,10 @@ fn main() {
         println!();
     }
     println!("\n§5.6 mono-socket machines:");
-    let mono = [presets::xeon_5220(), presets::amd_4650g()];
+    let mono = [
+        machine("5220").expect("mono machines are registered"),
+        machine("4650g").expect("mono machines are registered"),
+    ];
     for m in &mono {
         println!(
             "  {:<26} {} cores, turbo {} .. {}",

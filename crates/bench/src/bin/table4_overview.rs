@@ -11,9 +11,10 @@
 //! drawn from the same behaviour space (DESIGN.md documents this
 //! substitution; the paper's 222-test suite is not redistributable).
 
-use nest_bench::{banner, emit_artifact, factory, figure_machines, matrix, quick, runs, seed};
-use nest_core::experiment::SchedulerSetup;
-use nest_core::{Governor, PolicyKind};
+use nest_bench::{
+    add_block, banner, emit_artifact, factory, figure_machine_keys, figure_machines, matrix, quick,
+    runs, seed, setups_of,
+};
 use nest_harness::Json;
 use nest_metrics::stats::table4_band;
 use nest_simcore::SimRng;
@@ -21,26 +22,37 @@ use nest_workloads::phoronix;
 
 fn main() {
     banner("Table 4", "Phoronix multicore overview (band counts)");
-    let schedulers = vec![
-        SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
-        SchedulerSetup::new(PolicyKind::Cfs, Governor::Performance),
-        SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+    let pairs = [
+        ("cfs", "schedutil"),
+        ("cfs", "performance"),
+        ("nest", "schedutil"),
     ];
-    let mut suite = phoronix::figure13_specs();
+    let schedulers = setups_of(&pairs);
+    let named = phoronix::figure13_specs();
     let n_archetypes = if quick() { 13 } else { 53 };
     let mut rng = SimRng::new(seed() ^ 0xA5C3);
-    suite.extend(phoronix::archetype_suite(n_archetypes, &mut rng));
+    // The archetype specs are drawn from an RNG, so they are not registry
+    // members; they ride the legacy factory path below.
+    let archetypes = phoronix::archetype_suite(n_archetypes, &mut rng);
+    let suite_len = named.len() + archetypes.len();
     println!(
         "corpus: {} tests ({} named + {} archetype)",
-        suite.len(),
-        27,
-        n_archetypes
+        suite_len, 27, n_archetypes
     );
 
     let machines = figure_machines();
     let mut m = matrix("table4_overview");
-    for machine in &machines {
-        for spec in &suite {
+    for (key, machine) in figure_machine_keys().iter().zip(&machines) {
+        for spec in &named {
+            add_block(
+                &mut m,
+                key,
+                &pairs,
+                &format!("phoronix:{}", spec.name),
+                None,
+            );
+        }
+        for spec in &archetypes {
             let spec = spec.clone();
             m.add(
                 machine.clone(),
@@ -60,7 +72,7 @@ fn main() {
         "faster>20",
     ];
     let mut machine_counts = Vec::new();
-    for (machine, chunk) in machines.iter().zip(comps.chunks(suite.len())) {
+    for (machine, chunk) in machines.iter().zip(comps.chunks(suite_len)) {
         // counts[scheduler][band]
         let mut counts = [[0usize; 5]; 2];
         for c in chunk {
@@ -75,7 +87,7 @@ fn main() {
             "{:<12} {:>10} {:>12} {:>8} {:>12} {:>10}",
             "scheduler", "slower>20%", "slower(5,20]", "same", "faster(5,20]", "faster>20%"
         );
-        let total = suite.len();
+        let total = suite_len;
         for (i, label) in ["CFS-perf.", "Nest-sched."].iter().enumerate() {
             let row: Vec<String> = counts[i]
                 .iter()
@@ -112,7 +124,7 @@ fn main() {
         "table4_overview",
         &[],
         vec![
-            ("corpus_size", Json::usize(suite.len())),
+            ("corpus_size", Json::usize(suite_len)),
             ("bands", band_json),
         ],
         Some(&telemetry),

@@ -16,7 +16,7 @@
 
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_harness::{Artifact, Json, Matrix, Telemetry, WorkloadFactory};
-use nest_topology::presets;
+use nest_scenario::Scenario;
 use nest_topology::MachineSpec;
 use nest_workloads::Workload;
 
@@ -41,19 +41,97 @@ pub fn seed() -> u64 {
         .unwrap_or(42)
 }
 
-/// The machines a figure sweeps over (Table 2 set, or a subset in quick
-/// mode).
-pub fn figure_machines() -> Vec<MachineSpec> {
+/// Registry keys of the machines a figure sweeps over (Table 2 set, or a
+/// subset in quick mode).
+pub fn figure_machine_keys() -> Vec<&'static str> {
     if quick() {
-        vec![presets::xeon_5218()]
+        vec!["5218"]
     } else {
-        presets::paper_machines()
+        nest_scenario::paper_machine_keys().to_vec()
     }
 }
 
-/// The scheduler sets used by the figures.
+/// The machines a figure sweeps over, resolved through the registry.
+pub fn figure_machines() -> Vec<MachineSpec> {
+    figure_machine_keys()
+        .iter()
+        .map(|k| nest_scenario::machine(k).expect("figure machines are registered"))
+        .collect()
+}
+
+/// The `(policy, governor)` registry pairs of the paper's standard
+/// comparison (CFS/Nest × schedutil/performance).
+pub fn paper_setup_pairs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("cfs", "schedutil"),
+        ("cfs", "performance"),
+        ("nest", "schedutil"),
+        ("nest", "performance"),
+    ]
+}
+
+/// The §5.2 configure comparison: the paper set plus Smove-schedutil.
+pub fn configure_setup_pairs() -> Vec<(&'static str, &'static str)> {
+    let mut pairs = paper_setup_pairs();
+    pairs.push(("smove", "schedutil"));
+    pairs
+}
+
+/// The scheduler sets used by the figures, resolved through the registry.
 pub fn paper_schedulers() -> Vec<SchedulerSetup> {
-    SchedulerSetup::paper_set()
+    setups_of(&paper_setup_pairs())
+}
+
+/// Resolves `(policy, governor)` registry pairs to scheduler setups.
+pub fn setups_of(pairs: &[(&str, &str)]) -> Vec<SchedulerSetup> {
+    pairs
+        .iter()
+        .map(|(p, g)| {
+            SchedulerSetup::new(
+                nest_scenario::policy(p).expect("figure policies are registered"),
+                nest_scenario::governor(g).expect("figure governors are registered"),
+            )
+        })
+        .collect()
+}
+
+/// One [`Scenario`] from registry strings, with the environment's seed
+/// and run count applied. Figure binaries compose known-good strings, so
+/// a registry error here is a bug — fail loudly.
+pub fn scenario(machine: &str, policy: &str, governor: &str, workload: &str) -> Scenario {
+    Scenario::parse(machine, policy, governor, workload)
+        .unwrap_or_else(|e| panic!("figure scenario invalid: {e}"))
+        .with_seed(seed())
+        .with_runs(runs())
+}
+
+/// One scenario per `(policy, governor)` pair — the rows of one
+/// comparison block — on one machine/workload.
+pub fn scenario_block(machine: &str, pairs: &[(&str, &str)], workload: &str) -> Vec<Scenario> {
+    pairs
+        .iter()
+        .map(|(p, g)| scenario(machine, p, g, workload))
+        .collect()
+}
+
+/// Adds one scenario block to `m` (a comparison row per pair), with an
+/// optional run-count override (`None` = the environment's).
+pub fn add_block(
+    m: &mut Matrix,
+    machine: &str,
+    pairs: &[(&str, &str)],
+    workload: &str,
+    runs_override: Option<usize>,
+) {
+    let block: Vec<Scenario> = scenario_block(machine, pairs, workload)
+        .into_iter()
+        .map(|s| match runs_override {
+            Some(n) => s.with_runs(n),
+            None => s,
+        })
+        .collect();
+    m.add_scenarios(&block)
+        .unwrap_or_else(|e| panic!("figure scenario block invalid: {e}"));
 }
 
 /// Prints the standard figure banner.
@@ -84,51 +162,48 @@ where
     Box::new(move || Box::new(make()))
 }
 
-/// Runs one workload across the figure machines under `schedulers`,
-/// returning one comparison per machine. All machines execute in one
-/// matrix so the worker pool spans the whole figure.
-pub fn sweep_machines<W, F>(
+/// Runs one workload spec across the figure machines under the given
+/// `(policy, governor)` pairs, returning one comparison per machine. All
+/// machines execute in one matrix so the worker pool spans the whole
+/// figure.
+pub fn sweep_machines(
     figure: &str,
-    schedulers: &[SchedulerSetup],
-    make: F,
-) -> (Vec<Comparison>, Telemetry)
-where
-    W: Workload + 'static,
-    F: Fn() -> W + Send + Sync + Clone + 'static,
-{
+    pairs: &[(&str, &str)],
+    workload: &str,
+) -> (Vec<Comparison>, Telemetry) {
     let mut m = matrix(figure);
-    for machine in figure_machines() {
-        m.add(machine, schedulers, runs(), factory(make.clone()));
+    for key in figure_machine_keys() {
+        add_block(&mut m, key, pairs, workload, None);
     }
     m.run()
 }
 
 /// Runs the full §5.2 configure matrix: 11 benchmarks × machines ×
-/// schedulers, as one harness matrix. Returns `(machine name, benchmark
-/// comparisons)` pairs plus the run telemetry.
+/// scheduler pairs, as one harness matrix. Returns `(machine name,
+/// benchmark comparisons)` pairs plus the run telemetry.
 pub fn configure_matrix(
     figure: &str,
-    schedulers: &[SchedulerSetup],
+    pairs: &[(&str, &str)],
 ) -> (Vec<(String, Vec<Comparison>)>, Telemetry) {
-    let machines = figure_machines();
-    let specs = nest_workloads::configure::all_specs();
+    let machine_keys = figure_machine_keys();
+    let members = nest_scenario::suite_members("configure").expect("configure is registered");
     let mut m = matrix(figure);
-    for machine in &machines {
-        for spec in &specs {
-            let spec = spec.clone();
-            m.add(
-                machine.clone(),
-                schedulers,
-                runs(),
-                factory(move || nest_workloads::configure::Configure::new(spec.clone())),
-            );
+    for key in &machine_keys {
+        for member in &members {
+            add_block(&mut m, key, pairs, &format!("configure:{member}"), None);
         }
     }
     let (comps, telemetry) = m.run();
-    let grouped = machines
+    let grouped = machine_keys
         .iter()
-        .zip(comps.chunks(specs.len()))
-        .map(|(machine, chunk)| (machine.name.to_string(), chunk.to_vec()))
+        .zip(comps.chunks(members.len()))
+        .map(|(key, chunk)| {
+            let name = nest_scenario::machine(key)
+                .expect("figure machines are registered")
+                .name
+                .to_string();
+            (name, chunk.to_vec())
+        })
         .collect();
     (grouped, telemetry)
 }

@@ -17,7 +17,7 @@ use nest_metrics::{
 };
 use nest_sched::{Cfs, CfsParams, Nest, NestParams, SchedPolicy, Smove, SmoveParams};
 use nest_simcore::rng::mix64;
-use nest_simcore::{SimRng, Time};
+use nest_simcore::{CoreId, SimRng, Time};
 use nest_topology::MachineSpec;
 use nest_workloads::Workload;
 
@@ -73,6 +73,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Safety horizon.
     pub horizon: Time,
+    /// Placement-to-enqueue latency (the §3.4 race window).
+    pub placement_latency_ns: u64,
+    /// Core initial tasks launch from (and Nest's reserve-search anchor).
+    pub initial_core: CoreId,
     /// Collect a full execution trace (memory-heavy; figures 2/8 only).
     pub collect_trace: bool,
 }
@@ -86,6 +90,8 @@ impl SimConfig {
             governor: Governor::Schedutil,
             seed: 1,
             horizon: Time::from_secs(600),
+            placement_latency_ns: 1_500,
+            initial_core: CoreId(0),
             collect_trace: false,
         }
     }
@@ -105,6 +111,24 @@ impl SimConfig {
     /// Sets the seed.
     pub fn seed(mut self, seed: u64) -> SimConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the horizon.
+    pub fn horizon(mut self, horizon: Time) -> SimConfig {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the placement-to-enqueue latency.
+    pub fn placement_latency_ns(mut self, ns: u64) -> SimConfig {
+        self.placement_latency_ns = ns;
+        self
+    }
+
+    /// Sets the core initial tasks launch from.
+    pub fn initial_core(mut self, core: CoreId) -> SimConfig {
+        self.initial_core = core;
         self
     }
 
@@ -168,13 +192,12 @@ fn take<T: Default>(cell: &Rc<RefCell<T>>) -> T {
 /// Runs `workload` once under `cfg`.
 pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
     let n_cores = cfg.machine.n_cores();
-    let engine_cfg = {
-        let mut e = EngineConfig::new(cfg.machine.clone());
-        e.governor = cfg.governor;
-        e.seed = cfg.seed;
-        e.horizon = cfg.horizon;
-        e
-    };
+    let engine_cfg = EngineConfig::new(cfg.machine.clone())
+        .governor(cfg.governor)
+        .seed(cfg.seed)
+        .horizon(cfg.horizon)
+        .placement_latency_ns(cfg.placement_latency_ns)
+        .initial_core(cfg.initial_core);
     let mut engine = Engine::new(engine_cfg, cfg.policy.build(n_cores));
 
     let (up, underload) = UnderloadProbe::new(n_cores);
@@ -288,6 +311,17 @@ mod tests {
                 .label(),
             "Nest perf"
         );
+    }
+
+    #[test]
+    fn builder_setters_cover_engine_fields() {
+        let cfg = quick_cfg()
+            .horizon(Time::from_secs(30))
+            .placement_latency_ns(2_500)
+            .initial_core(CoreId(4));
+        assert_eq!(cfg.horizon, Time::from_secs(30));
+        assert_eq!(cfg.placement_latency_ns, 2_500);
+        assert_eq!(cfg.initial_core, CoreId(4));
     }
 
     #[test]

@@ -53,4 +53,44 @@ impl EngineConfig {
         self.horizon = horizon;
         self
     }
+
+    /// Sets the placement-to-enqueue latency (the §3.4 race window).
+    pub fn placement_latency_ns(mut self, ns: u64) -> EngineConfig {
+        self.placement_latency_ns = ns;
+        self
+    }
+
+    /// Sets the core initial tasks launch from.
+    pub fn initial_core(mut self, core: CoreId) -> EngineConfig {
+        self.initial_core = core;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_topology::presets;
+
+    #[test]
+    fn builder_covers_every_field() {
+        let cfg = EngineConfig::new(presets::xeon_5218())
+            .governor(Governor::Performance)
+            .seed(9)
+            .horizon(Time::from_secs(5))
+            .placement_latency_ns(2_000)
+            .initial_core(CoreId(3));
+        assert_eq!(cfg.governor, Governor::Performance);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.horizon, Time::from_secs(5));
+        assert_eq!(cfg.placement_latency_ns, 2_000);
+        assert_eq!(cfg.initial_core, CoreId(3));
+    }
+
+    #[test]
+    fn defaults_match_documented_values() {
+        let cfg = EngineConfig::new(presets::xeon_5218());
+        assert_eq!(cfg.placement_latency_ns, 1_500);
+        assert_eq!(cfg.initial_core, CoreId(0));
+    }
 }

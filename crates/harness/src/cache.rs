@@ -152,6 +152,26 @@ pub fn cell_identity(
     )
 }
 
+/// Builds the canonical identity string of one *scenario* cell. The
+/// scenario's canonical [`cache_scope`](nest_scenario::Scenario::cache_scope)
+/// — machine key, policy spec, governor, workload spec, base seed,
+/// horizon — replaces the legacy field-by-field description, extending
+/// caching to any ad-hoc scenario `nest-sim` can express. The full
+/// machine debug string rides along so editing a preset still invalidates
+/// entries even though the registry key is unchanged.
+pub fn scenario_cell_identity(
+    scope: &str,
+    machine_debug: &str,
+    run_index: usize,
+    seed: u64,
+) -> String {
+    format!(
+        "schema={CACHE_SCHEMA};version={};scenario={scope};machine={machine_debug};\
+         run={run_index};seed={seed}",
+        env!("CARGO_PKG_VERSION"),
+    )
+}
+
 /// Hashes a cell identity to its 32-hex-digit content address.
 ///
 /// Two independent FNV-1a/SplitMix passes give a 128-bit key; collisions

@@ -56,12 +56,15 @@
 
 pub mod artifact;
 pub mod cache;
-pub mod json;
 pub mod progress;
 pub mod runner;
 
+/// The canonical JSON codec (re-exported from `nest-simcore`, where it
+/// lives so lower layers like the scenario registry can share it).
+pub use nest_simcore::json;
+
 pub use artifact::{comparison_json, results_dir, Artifact};
 pub use cache::{Cache, CacheMode};
-pub use json::Json;
+pub use nest_simcore::json::Json;
 pub use progress::Progress;
 pub use runner::{cell_seed, jobs, run_raw, Matrix, RawCell, Telemetry, WorkloadFactory};

@@ -26,12 +26,14 @@ use std::time::Instant;
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::{run_once, RunResult, SimConfig};
 use nest_metrics::RunSummary;
+use nest_scenario::{Scenario, ScenarioError};
 use nest_simcore::profile;
 use nest_simcore::rng::{hash_str, mix64};
+use nest_simcore::Time;
 use nest_topology::MachineSpec;
 use nest_workloads::Workload;
 
-use crate::cache::{cell_identity, cell_key, Cache};
+use crate::cache::{cell_identity, cell_key, scenario_cell_identity, Cache};
 use crate::progress::Progress;
 
 /// Constructs a fresh workload inside a worker thread. Factories capture
@@ -56,6 +58,14 @@ struct Experiment {
     runs: usize,
     workload: String,
     factory: WorkloadFactory,
+    /// Per-setup scenario cache scopes, when the block was added via
+    /// [`Matrix::add_scenarios`]; cache keys then derive from the
+    /// scenario identity instead of the legacy field list.
+    scopes: Option<Vec<String>>,
+    /// Base-seed override (scenario blocks carry their own seed).
+    seed: Option<u64>,
+    /// Horizon override (scenario blocks carry their own horizon).
+    horizon: Option<Time>,
 }
 
 /// One simulation to execute: coordinates plus the derived seed and cache
@@ -193,33 +203,97 @@ impl Matrix {
             runs,
             workload,
             factory,
+            scopes: None,
+            seed: None,
+            horizon: None,
         });
         self
+    }
+
+    /// Adds one experiment described by [`Scenario`]s: one comparison row
+    /// per scenario, in input order. The scenarios must agree on
+    /// everything but policy and governor (one block = one machine, one
+    /// workload, one seed/runs/horizon), mirroring how the paper compares
+    /// scheduler setups on otherwise identical experiments.
+    ///
+    /// Cell seeds derive from the same coordinates `add` uses — workload
+    /// name, machine name, setup Debug identity — so a scenario-built
+    /// block reproduces a hand-wired one bit for bit. Cache keys,
+    /// however, scope on the scenario's canonical identity string, which
+    /// extends caching to any expressible scenario.
+    pub fn add_scenarios(&mut self, scenarios: &[Scenario]) -> Result<&mut Matrix, ScenarioError> {
+        let first = scenarios
+            .first()
+            .ok_or_else(|| ScenarioError::MalformedSpec {
+                spec: String::new(),
+                reason: "experiment needs at least one scenario".into(),
+            })?;
+        for s in scenarios {
+            let shared = (s.machine(), s.workload(), s.seed(), s.runs(), s.horizon_s());
+            let want = (
+                first.machine(),
+                first.workload(),
+                first.seed(),
+                first.runs(),
+                first.horizon_s(),
+            );
+            if shared != want {
+                return Err(ScenarioError::MalformedSpec {
+                    spec: s.identity(),
+                    reason: format!(
+                        "scenarios in one experiment must share machine, workload, \
+                         seed, runs, and horizon (expected those of \"{}\")",
+                        first.identity()
+                    ),
+                });
+            }
+        }
+        let workload_spec = first.workload_spec();
+        let workload = workload_spec.name();
+        self.experiments.push(Experiment {
+            machine: first.resolve_machine(),
+            setups: scenarios.iter().map(|s| s.setup()).collect(),
+            runs: first.runs(),
+            workload,
+            factory: Box::new(move || workload_spec.build()),
+            scopes: Some(scenarios.iter().map(|s| s.cache_scope()).collect()),
+            seed: Some(first.seed()),
+            horizon: Some(Time::from_secs(first.horizon_s())),
+        });
+        Ok(self)
     }
 
     fn flatten(&self) -> Vec<Cell> {
         let mut cells = Vec::new();
         for (ei, e) in self.experiments.iter().enumerate() {
             let machine_debug = format!("{:?}", e.machine);
-            let horizon_ns = SimConfig::new(e.machine.clone()).horizon.as_nanos();
+            let base_seed = e.seed.unwrap_or(self.base_seed);
+            let horizon_ns = e
+                .horizon
+                .unwrap_or_else(|| SimConfig::new(e.machine.clone()).horizon)
+                .as_nanos();
             for (si, s) in e.setups.iter().enumerate() {
                 let identity = s.identity();
                 for run in 0..e.runs {
-                    let seed =
-                        cell_seed(self.base_seed, &e.workload, e.machine.name, &identity, run);
-                    let key = cell_key(&cell_identity(
-                        &machine_debug,
-                        &identity,
-                        &e.workload,
-                        run,
-                        seed,
-                        horizon_ns,
-                    ));
+                    let seed = cell_seed(base_seed, &e.workload, e.machine.name, &identity, run);
+                    let cell_id = match &e.scopes {
+                        Some(scopes) => {
+                            scenario_cell_identity(&scopes[si], &machine_debug, run, seed)
+                        }
+                        None => cell_identity(
+                            &machine_debug,
+                            &identity,
+                            &e.workload,
+                            run,
+                            seed,
+                            horizon_ns,
+                        ),
+                    };
                     cells.push(Cell {
                         exp: ei,
                         setup: si,
                         seed,
-                        key,
+                        key: cell_key(&cell_id),
                     });
                 }
             }
@@ -299,10 +373,13 @@ impl Matrix {
         }
         let e = &self.experiments[cell.exp];
         let setup = &e.setups[cell.setup];
-        let cfg = SimConfig::new(e.machine.clone())
+        let mut cfg = SimConfig::new(e.machine.clone())
             .policy(setup.policy.clone())
             .governor(setup.governor)
             .seed(cell.seed);
+        if let Some(h) = e.horizon {
+            cfg = cfg.horizon(h);
+        }
         let workload = (e.factory)();
         let summary = run_once(&cfg, workload.as_ref()).summarize();
         self.cache.store(&cell.key, &summary);
@@ -405,6 +482,55 @@ mod tests {
                 assert_eq!(ra.time.mean, rb.time.mean);
             }
         }
+    }
+
+    #[test]
+    fn scenario_block_reproduces_hand_wired_block() {
+        // The same experiment, described twice: once with hand-wired
+        // setups + factory, once as scenarios. Comparisons must be
+        // bit-identical — the byte-identity contract of the refactor.
+        let (legacy, _) = small_matrix(2).run();
+
+        let base = Scenario::parse("5218", "cfs", "schedutil", "configure:gdb")
+            .unwrap()
+            .with_seed(7)
+            .with_runs(2);
+        let nest = Scenario::parse("5218", "nest", "sched", "configure:gdb")
+            .unwrap()
+            .with_seed(7)
+            .with_runs(2);
+        let mut m = Matrix::new("test-scenario", 7)
+            .with_jobs(2)
+            .with_cache(Cache::disabled())
+            .with_progress(Progress::quiet());
+        m.add_scenarios(&[base, nest]).unwrap();
+        let (scenic, _) = m.run();
+
+        assert_eq!(legacy.len(), scenic.len());
+        for (a, b) in legacy.iter().zip(&scenic) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.machine, b.machine);
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ra.label, rb.label);
+                assert_eq!(ra.runs.len(), rb.runs.len());
+                for (sa, sb) in ra.runs.iter().zip(&rb.runs) {
+                    assert_eq!(sa, sb, "{}", ra.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_scenario_blocks_are_rejected() {
+        let a = Scenario::parse("5218", "cfs", "sched", "configure:gdb").unwrap();
+        let b = Scenario::parse("6130-2", "nest", "sched", "configure:gdb").unwrap();
+        let mut m = Matrix::new("test-mismatch", 7)
+            .with_cache(Cache::disabled())
+            .with_progress(Progress::quiet());
+        assert!(m.add_scenarios(&[a.clone(), b]).is_err());
+        assert!(m.add_scenarios(&[]).is_err());
+        let c = a.clone().with_runs(5);
+        assert!(m.add_scenarios(&[a, c]).is_err());
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Typed errors for registry lookups and scenario parsing.
+//!
+//! Every lookup failure names the registry it came from and lists the
+//! valid entries, so a mistyped `nest-sim` argument produces an actionable
+//! message instead of a panic.
+
+use std::fmt;
+
+/// Why a registry lookup or scenario string failed to resolve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// A name was not found in its registry.
+    UnknownEntry {
+        /// Which registry ("machine", "policy", "configure benchmark", …).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+        /// Every valid name, for the error message.
+        valid: Vec<String>,
+    },
+    /// A parameter key is not recognised by the entry it was applied to.
+    UnknownParam {
+        /// Which registry the entry belongs to.
+        kind: &'static str,
+        /// The entry the parameter was applied to.
+        entry: String,
+        /// The unrecognised parameter key.
+        param: String,
+        /// Every parameter key the entry accepts.
+        valid: Vec<String>,
+    },
+    /// A parameter value failed to parse as its declared type.
+    BadValue {
+        /// The parameter key.
+        param: String,
+        /// The value that failed to parse.
+        value: String,
+        /// What the parameter expects ("integer", "number", "on|off").
+        expected: &'static str,
+    },
+    /// The spec string itself does not follow `name[:k=v,…]` syntax.
+    MalformedSpec {
+        /// The offending spec string.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A JSON document does not have the scenario shape.
+    BadJson {
+        /// What is missing or mistyped.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownEntry { kind, name, valid } => {
+                write!(
+                    f,
+                    "unknown {kind} \"{name}\"; valid entries: {}",
+                    valid.join(", ")
+                )
+            }
+            ScenarioError::UnknownParam {
+                kind,
+                entry,
+                param,
+                valid,
+            } => {
+                if valid.is_empty() {
+                    write!(
+                        f,
+                        "{kind} \"{entry}\" takes no parameters (got \"{param}\")"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown parameter \"{param}\" for {kind} \"{entry}\"; \
+                         valid parameters: {}",
+                        valid.join(", ")
+                    )
+                }
+            }
+            ScenarioError::BadValue {
+                param,
+                value,
+                expected,
+            } => {
+                write!(f, "parameter \"{param}\": \"{value}\" is not {expected}")
+            }
+            ScenarioError::MalformedSpec { spec, reason } => {
+                write!(f, "malformed spec \"{spec}\": {reason}")
+            }
+            ScenarioError::BadJson { reason } => write!(f, "bad scenario JSON: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_valid_entries() {
+        let e = ScenarioError::UnknownEntry {
+            kind: "machine",
+            name: "i81".into(),
+            valid: vec!["5218".into(), "e7-8870".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("unknown machine \"i81\""), "{msg}");
+        assert!(msg.contains("5218, e7-8870"), "{msg}");
+    }
+
+    #[test]
+    fn display_handles_param_errors() {
+        let e = ScenarioError::UnknownParam {
+            kind: "policy",
+            entry: "nest".into(),
+            param: "spinny".into(),
+            valid: vec!["spin".into()],
+        };
+        assert!(e.to_string().contains("valid parameters: spin"));
+        let none = ScenarioError::UnknownParam {
+            kind: "phoronix test",
+            entry: "zstd compression 7".into(),
+            param: "c".into(),
+            valid: vec![],
+        };
+        assert!(none.to_string().contains("takes no parameters"));
+    }
+}

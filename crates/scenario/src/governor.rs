@@ -1,0 +1,70 @@
+//! The governor registry: `performance` and `schedutil`, with the
+//! paper's figure-label short forms (`perf`, `sched`) as aliases.
+
+use nest_freq::Governor;
+
+use crate::error::ScenarioError;
+
+/// `(canonical key, governor, summary)` for every registered governor.
+pub fn governor_entries() -> [(&'static str, Governor, &'static str); 2] {
+    [
+        (
+            "performance",
+            Governor::Performance,
+            "request at least the nominal frequency (alias: perf)",
+        ),
+        (
+            "schedutil",
+            Governor::Schedutil,
+            "request frequency proportional to utilization (alias: sched)",
+        ),
+    ]
+}
+
+/// Every canonical governor key.
+pub fn governor_keys() -> Vec<&'static str> {
+    governor_entries().iter().map(|(k, _, _)| *k).collect()
+}
+
+/// Resolves `name` (key or alias, case-insensitive) to its canonical key.
+pub fn canonical_governor(name: &str) -> Result<&'static str, ScenarioError> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "performance" | "perf" => Ok("performance"),
+        "schedutil" | "sched" => Ok("schedutil"),
+        _ => Err(ScenarioError::UnknownEntry {
+            kind: "governor",
+            name: name.to_string(),
+            valid: governor_keys().iter().map(|k| k.to_string()).collect(),
+        }),
+    }
+}
+
+/// Resolves `name` to a [`Governor`].
+pub fn governor(name: &str) -> Result<Governor, ScenarioError> {
+    Ok(match canonical_governor(name)? {
+        "performance" => Governor::Performance,
+        _ => Governor::Schedutil,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_and_aliases_resolve() {
+        assert_eq!(governor("performance").unwrap(), Governor::Performance);
+        assert_eq!(governor("perf").unwrap(), Governor::Performance);
+        assert_eq!(governor("SCHED").unwrap(), Governor::Schedutil);
+        assert_eq!(governor("schedutil").unwrap(), Governor::Schedutil);
+    }
+
+    #[test]
+    fn unknown_governor_lists_valid_keys() {
+        let msg = governor("ondemand").unwrap_err().to_string();
+        assert!(
+            msg.contains("performance") && msg.contains("schedutil"),
+            "{msg}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The scenario layer: string-keyed registries and declarative scenarios.
+//!
+//! Everything the figure binaries hard-wire — which machine, which
+//! scheduling policy with which parameters, which governor, which
+//! workload at which size — is addressable here by short strings:
+//!
+//! * machines — [`machine()`]: `5218`, `6130-2`, `e7-8870` (alias `e7`,
+//!   `i80`), …;
+//! * policies — [`policy()`]: `cfs`, `nest`, `smove`, with overrides
+//!   like `nest:spin=off,r_impatient=3`;
+//! * governors — [`governor()`]: `performance`, `schedutil` (aliases
+//!   `perf`, `sched`);
+//! * workloads — [`parse_workload`]: `configure:gdb`,
+//!   `schbench:mt=4,w=4`, `server:nginx,c=50`, and `+` for
+//!   multi-application launches.
+//!
+//! A [`Scenario`] bundles one of each with a seed, run count, and
+//! horizon, canonicalizes the strings, and exposes a stable
+//! [`identity`](Scenario::identity) string the harness uses as its cache
+//! key. Every lookup returns a typed [`ScenarioError`] listing the valid
+//! entries — the registries never panic on user input.
+//!
+//! Determinism note: registries resolve to the *identical* structs the
+//! hand-wired figure binaries always built (same machine `name` fields,
+//! same `PolicyKind` variants), so per-cell seeds — which hash those
+//! names — are unchanged and registry-built figures stay byte-identical.
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod governor;
+pub mod machine;
+pub mod policy;
+pub mod scenario;
+pub mod spec;
+pub mod workload;
+
+pub use error::ScenarioError;
+pub use governor::{canonical_governor, governor, governor_entries, governor_keys};
+pub use machine::{
+    canonical_machine, machine, machine_entries, machine_keys, paper_machine_keys, MachineEntry,
+};
+pub use policy::{canonical_policy, policy, policy_entries, policy_keys, policy_spec_of};
+pub use scenario::{Scenario, DEFAULT_HORIZON_S, DEFAULT_RUNS, DEFAULT_SEED};
+pub use workload::{
+    canonical_workload, parse_workload, suite_members, workload_entries, workload_suites,
+    ServerKind, WorkloadSpec,
+};

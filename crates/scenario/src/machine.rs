@@ -1,0 +1,169 @@
+//! The machine registry: short keys for the Table 2/3 presets.
+//!
+//! Keys are the socket-count-qualified model numbers the paper uses in
+//! its figure captions (`6130-2`, `e7-8870`, …), with a few convenience
+//! aliases (`e7`, `i80` for the 160-thread/80-physical-core E7-8870 v4,
+//! `amd` for the Ryzen). Lookups resolve to the *identical*
+//! [`MachineSpec`] structs the figure binaries always used — the specs'
+//! `name` fields feed the per-cell seed derivation, so registry-built
+//! experiments reproduce hand-wired ones bit for bit.
+
+use nest_topology::{presets, MachineSpec};
+
+use crate::error::ScenarioError;
+
+/// One machine registry entry.
+pub struct MachineEntry {
+    /// Canonical registry key (e.g. `"6130-2"`).
+    pub key: &'static str,
+    /// Accepted aliases (e.g. `"e7"`, `"i80"`).
+    pub aliases: &'static [&'static str],
+    /// One-line description for `nest-sim list`.
+    pub summary: &'static str,
+    ctor: fn() -> MachineSpec,
+}
+
+impl MachineEntry {
+    /// Builds the preset this entry names.
+    pub fn build(&self) -> MachineSpec {
+        (self.ctor)()
+    }
+}
+
+fn m6130_2() -> MachineSpec {
+    presets::xeon_6130(2)
+}
+
+fn m6130_4() -> MachineSpec {
+    presets::xeon_6130(4)
+}
+
+/// Every machine registry entry, in Table 2 order followed by the §5.6
+/// mono-socket machines.
+pub fn machine_entries() -> Vec<MachineEntry> {
+    vec![
+        MachineEntry {
+            key: "6130-2",
+            aliases: &[],
+            summary: "2-socket Intel Xeon Gold 6130 (Skylake), 64 hardware threads",
+            ctor: m6130_2,
+        },
+        MachineEntry {
+            key: "6130-4",
+            aliases: &[],
+            summary: "4-socket Intel Xeon Gold 6130 (Skylake), 128 hardware threads",
+            ctor: m6130_4,
+        },
+        MachineEntry {
+            key: "5218",
+            aliases: &[],
+            summary: "2-socket Intel Xeon Gold 5218 (Cascade Lake), 64 hardware threads",
+            ctor: presets::xeon_5218,
+        },
+        MachineEntry {
+            key: "e7-8870",
+            aliases: &["e7", "i80"],
+            summary: "4-socket Intel Xeon E7-8870 v4 (Broadwell), 160 hardware threads",
+            ctor: presets::e7_8870_v4,
+        },
+        MachineEntry {
+            key: "5220",
+            aliases: &[],
+            summary: "mono-socket Intel Xeon 5220 (Cascade Lake), 36 hardware threads",
+            ctor: presets::xeon_5220,
+        },
+        MachineEntry {
+            key: "4650g",
+            aliases: &["amd"],
+            summary: "mono-socket AMD Ryzen 5 PRO 4650G (Zen 2), 12 hardware threads",
+            ctor: presets::amd_4650g,
+        },
+    ]
+}
+
+/// Every canonical machine key, registry order.
+pub fn machine_keys() -> Vec<&'static str> {
+    machine_entries().iter().map(|e| e.key).collect()
+}
+
+/// The four Table 2 machines, in the order the paper's figures sweep them.
+pub fn paper_machine_keys() -> [&'static str; 4] {
+    ["6130-2", "6130-4", "5218", "e7-8870"]
+}
+
+/// Resolves `name` (key or alias, case-insensitive) to its canonical key.
+pub fn canonical_machine(name: &str) -> Result<&'static str, ScenarioError> {
+    let wanted = name.trim().to_ascii_lowercase();
+    for e in machine_entries() {
+        if e.key == wanted || e.aliases.contains(&wanted.as_str()) {
+            return Ok(e.key);
+        }
+    }
+    Err(ScenarioError::UnknownEntry {
+        kind: "machine",
+        name: name.to_string(),
+        valid: machine_keys().iter().map(|k| k.to_string()).collect(),
+    })
+}
+
+/// Resolves `name` to its [`MachineSpec`].
+pub fn machine(name: &str) -> Result<MachineSpec, ScenarioError> {
+    let key = canonical_machine(name)?;
+    Ok(machine_entries()
+        .into_iter()
+        .find(|e| e.key == key)
+        .expect("canonical key is registered")
+        .build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_resolve_to_the_preset_structs() {
+        // The spec names feed seed derivation; pin them exactly.
+        let expect = [
+            ("6130-2", "64-core Intel 6130"),
+            ("6130-4", "128-core Intel 6130"),
+            ("5218", "64-core Intel 5218"),
+            ("e7-8870", "160-core Intel E7-8870 v4"),
+            ("5220", "36-core Intel 5220"),
+            ("4650g", "12-core AMD 4650G"),
+        ];
+        for (key, name) in expect {
+            assert_eq!(machine(key).unwrap().name, name);
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_fold() {
+        assert_eq!(canonical_machine("e7").unwrap(), "e7-8870");
+        assert_eq!(canonical_machine("i80").unwrap(), "e7-8870");
+        assert_eq!(canonical_machine("AMD").unwrap(), "4650g");
+        assert_eq!(canonical_machine(" 5218 ").unwrap(), "5218");
+    }
+
+    #[test]
+    fn unknown_machine_lists_valid_keys() {
+        let e = machine("i81").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("unknown machine"), "{msg}");
+        for key in machine_keys() {
+            assert!(msg.contains(key), "{msg} missing {key}");
+        }
+    }
+
+    #[test]
+    fn paper_order_matches_presets() {
+        let from_registry: Vec<String> = paper_machine_keys()
+            .iter()
+            .map(|k| machine(k).unwrap().name.to_string())
+            .collect();
+        let from_presets: Vec<String> = presets::paper_machines()
+            .iter()
+            .map(|m| m.name.to_string())
+            .collect();
+        assert_eq!(from_registry, from_presets);
+    }
+}

@@ -1,0 +1,339 @@
+//! The policy registry: `cfs`, `nest`, `smove`, each with `key=value`
+//! parameter overrides (`nest:spin=off,r_impatient=3`).
+//!
+//! Parsing is *value-normalizing*: a spec whose overrides all equal the
+//! defaults resolves to the bare [`PolicyKind`] variant (`nest:spin=on` ≡
+//! `nest`), so equivalent specs share one canonical string, one cache
+//! key, and one seed stream. Canonical strings list only the parameters
+//! that differ from the defaults, in declaration order.
+
+use nest_core::PolicyKind;
+use nest_sched::{CfsParams, NestParams, SmoveParams};
+use nest_simcore::CoreId;
+
+use crate::error::ScenarioError;
+use crate::spec::{
+    fmt_bool, fmt_f64, parse_bool, parse_f64, parse_spec, parse_u32, parse_u64, parse_usize,
+    ParsedSpec,
+};
+
+/// Every canonical policy key.
+pub fn policy_keys() -> Vec<&'static str> {
+    vec!["cfs", "nest", "smove"]
+}
+
+/// `(key, summary)` pairs for `nest-sim list`.
+pub fn policy_entries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "cfs",
+            format!(
+                "Linux CFS baseline (§2.1); parameters: {}",
+                CFS_PARAMS.join(", ")
+            ),
+        ),
+        (
+            "nest",
+            format!(
+                "the Nest scheduler (§3, Table 1 defaults); parameters: {}",
+                NEST_PARAMS.join(", ")
+            ),
+        ),
+        (
+            "smove",
+            format!(
+                "the Smove baseline (§2.2); parameters: {}",
+                SMOVE_PARAMS.join(", ")
+            ),
+        ),
+    ]
+}
+
+const CFS_PARAMS: [&str; 3] = ["scan_budget", "die_ticks", "numa_ticks"];
+const NEST_PARAMS: [&str; 11] = [
+    "p_remove",
+    "r_max",
+    "r_impatient",
+    "s_max",
+    "anchor",
+    "reserve",
+    "compaction",
+    "spin",
+    "attachment",
+    "wwc",
+    "resflag",
+];
+const SMOVE_PARAMS: [&str; 2] = ["delay_ns", "low_freq"];
+
+fn unknown_param(entry: &str, param: &str, valid: &[&str]) -> ScenarioError {
+    ScenarioError::UnknownParam {
+        kind: "policy",
+        entry: entry.to_string(),
+        param: param.to_string(),
+        valid: valid.iter().map(|p| p.to_string()).collect(),
+    }
+}
+
+fn apply_cfs(p: &ParsedSpec) -> Result<CfsParams, ScenarioError> {
+    let mut c = CfsParams::default();
+    for (k, v) in &p.params {
+        match k.as_str() {
+            "scan_budget" => c.wakeup_scan_budget = parse_usize(k, v)?,
+            "die_ticks" => c.die_balance_ticks = parse_u64(k, v)?,
+            "numa_ticks" => c.numa_balance_ticks = parse_u64(k, v)?,
+            _ => return Err(unknown_param("cfs", k, &CFS_PARAMS)),
+        }
+    }
+    Ok(c)
+}
+
+fn apply_nest(p: &ParsedSpec) -> Result<NestParams, ScenarioError> {
+    let mut n = NestParams::default();
+    for (k, v) in &p.params {
+        match k.as_str() {
+            "p_remove" => n.p_remove_ticks = parse_u64(k, v)?,
+            "r_max" => n.r_max = parse_usize(k, v)?,
+            "r_impatient" => n.r_impatient = parse_u32(k, v)?,
+            "s_max" => n.s_max_ticks = parse_u32(k, v)?,
+            "anchor" => n.anchor_core = CoreId(parse_u32(k, v)?),
+            "reserve" => n.enable_reserve = parse_bool(k, v)?,
+            "compaction" => n.enable_compaction = parse_bool(k, v)?,
+            "spin" => n.enable_spin = parse_bool(k, v)?,
+            "attachment" => n.enable_attachment = parse_bool(k, v)?,
+            "wwc" => n.enable_wakeup_work_conservation = parse_bool(k, v)?,
+            "resflag" => n.enable_reservation_flag = parse_bool(k, v)?,
+            _ => return Err(unknown_param("nest", k, &NEST_PARAMS)),
+        }
+    }
+    Ok(n)
+}
+
+fn apply_smove(p: &ParsedSpec) -> Result<SmoveParams, ScenarioError> {
+    let mut s = SmoveParams::default();
+    for (k, v) in &p.params {
+        match k.as_str() {
+            "delay_ns" => s.timer_delay_ns = parse_u64(k, v)?,
+            "low_freq" => s.low_freq_factor = parse_f64(k, v)?,
+            _ => return Err(unknown_param("smove", k, &SMOVE_PARAMS)),
+        }
+    }
+    Ok(s)
+}
+
+fn canon_cfs(c: &CfsParams) -> String {
+    let d = CfsParams::default();
+    let mut parts = Vec::new();
+    if c.wakeup_scan_budget != d.wakeup_scan_budget {
+        parts.push(format!("scan_budget={}", c.wakeup_scan_budget));
+    }
+    if c.die_balance_ticks != d.die_balance_ticks {
+        parts.push(format!("die_ticks={}", c.die_balance_ticks));
+    }
+    if c.numa_balance_ticks != d.numa_balance_ticks {
+        parts.push(format!("numa_ticks={}", c.numa_balance_ticks));
+    }
+    render("cfs", parts)
+}
+
+fn canon_nest(n: &NestParams) -> String {
+    let d = NestParams::default();
+    let mut parts = Vec::new();
+    if n.p_remove_ticks != d.p_remove_ticks {
+        parts.push(format!("p_remove={}", n.p_remove_ticks));
+    }
+    if n.r_max != d.r_max {
+        parts.push(format!("r_max={}", n.r_max));
+    }
+    if n.r_impatient != d.r_impatient {
+        parts.push(format!("r_impatient={}", n.r_impatient));
+    }
+    if n.s_max_ticks != d.s_max_ticks {
+        parts.push(format!("s_max={}", n.s_max_ticks));
+    }
+    if n.anchor_core != d.anchor_core {
+        parts.push(format!("anchor={}", n.anchor_core.0));
+    }
+    if n.enable_reserve != d.enable_reserve {
+        parts.push(format!("reserve={}", fmt_bool(n.enable_reserve)));
+    }
+    if n.enable_compaction != d.enable_compaction {
+        parts.push(format!("compaction={}", fmt_bool(n.enable_compaction)));
+    }
+    if n.enable_spin != d.enable_spin {
+        parts.push(format!("spin={}", fmt_bool(n.enable_spin)));
+    }
+    if n.enable_attachment != d.enable_attachment {
+        parts.push(format!("attachment={}", fmt_bool(n.enable_attachment)));
+    }
+    if n.enable_wakeup_work_conservation != d.enable_wakeup_work_conservation {
+        parts.push(format!(
+            "wwc={}",
+            fmt_bool(n.enable_wakeup_work_conservation)
+        ));
+    }
+    if n.enable_reservation_flag != d.enable_reservation_flag {
+        parts.push(format!("resflag={}", fmt_bool(n.enable_reservation_flag)));
+    }
+    render("nest", parts)
+}
+
+fn canon_smove(s: &SmoveParams) -> String {
+    let d = SmoveParams::default();
+    let mut parts = Vec::new();
+    if s.timer_delay_ns != d.timer_delay_ns {
+        parts.push(format!("delay_ns={}", s.timer_delay_ns));
+    }
+    if s.low_freq_factor != d.low_freq_factor {
+        parts.push(format!("low_freq={}", fmt_f64(s.low_freq_factor)));
+    }
+    render("smove", parts)
+}
+
+fn render(head: &str, parts: Vec<String>) -> String {
+    if parts.is_empty() {
+        head.to_string()
+    } else {
+        format!("{head}:{}", parts.join(","))
+    }
+}
+
+/// The canonical spec string of a resolved [`PolicyKind`]: the registry
+/// key plus only the parameters that differ from the defaults.
+pub fn policy_spec_of(kind: &PolicyKind) -> String {
+    match kind {
+        PolicyKind::Cfs => "cfs".to_string(),
+        PolicyKind::CfsWith(p) => canon_cfs(p),
+        PolicyKind::Nest => "nest".to_string(),
+        PolicyKind::NestWith(p) => canon_nest(p),
+        PolicyKind::Smove => "smove".to_string(),
+        PolicyKind::SmoveWith(p) => canon_smove(p),
+    }
+}
+
+/// Resolves a policy spec string to a [`PolicyKind`], normalizing
+/// default-equal overrides to the bare variant.
+pub fn policy(spec: &str) -> Result<PolicyKind, ScenarioError> {
+    let p = parse_spec("policy", spec)?;
+    if let Some(member) = &p.member {
+        return Err(ScenarioError::MalformedSpec {
+            spec: spec.trim().to_string(),
+            reason: format!("policy parameters must be key=value (got \"{member}\")"),
+        });
+    }
+    let kind = match p.head.as_str() {
+        "cfs" => {
+            let c = apply_cfs(&p)?;
+            if canon_cfs(&c) == "cfs" {
+                PolicyKind::Cfs
+            } else {
+                PolicyKind::CfsWith(c)
+            }
+        }
+        "nest" => {
+            let n = apply_nest(&p)?;
+            if canon_nest(&n) == "nest" {
+                PolicyKind::Nest
+            } else {
+                PolicyKind::NestWith(n)
+            }
+        }
+        "smove" => {
+            let s = apply_smove(&p)?;
+            if canon_smove(&s) == "smove" {
+                PolicyKind::Smove
+            } else {
+                PolicyKind::SmoveWith(s)
+            }
+        }
+        _ => {
+            return Err(ScenarioError::UnknownEntry {
+                kind: "policy",
+                name: p.head,
+                valid: policy_keys().iter().map(|k| k.to_string()).collect(),
+            })
+        }
+    };
+    Ok(kind)
+}
+
+/// Canonicalizes a policy spec string (parse, normalize, re-render).
+pub fn canonical_policy(spec: &str) -> Result<String, ScenarioError> {
+    Ok(policy_spec_of(&policy(spec)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_keys_resolve_to_bare_variants() {
+        assert!(matches!(policy("cfs").unwrap(), PolicyKind::Cfs));
+        assert!(matches!(policy("nest").unwrap(), PolicyKind::Nest));
+        assert!(matches!(policy("smove").unwrap(), PolicyKind::Smove));
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let PolicyKind::NestWith(n) = policy("nest:spin=off,r_impatient=3").unwrap() else {
+            panic!("expected NestWith");
+        };
+        assert!(!n.enable_spin);
+        assert_eq!(n.r_impatient, 3);
+        assert_eq!(n.r_max, NestParams::default().r_max);
+
+        let PolicyKind::CfsWith(c) = policy("cfs:scan_budget=2").unwrap() else {
+            panic!("expected CfsWith");
+        };
+        assert_eq!(c.wakeup_scan_budget, 2);
+
+        let PolicyKind::SmoveWith(s) = policy("smove:low_freq=0.9").unwrap() else {
+            panic!("expected SmoveWith");
+        };
+        assert_eq!(s.low_freq_factor, 0.9);
+    }
+
+    #[test]
+    fn default_equal_overrides_normalize_to_bare() {
+        // `spin=on` IS the default, so the variant (and hence the Debug
+        // identity that feeds seed derivation) must be the bare one.
+        assert!(matches!(policy("nest:spin=on").unwrap(), PolicyKind::Nest));
+        assert_eq!(canonical_policy("nest:spin=on").unwrap(), "nest");
+        assert_eq!(canonical_policy("smove:low_freq=1.0").unwrap(), "smove");
+    }
+
+    #[test]
+    fn canonical_orders_by_declaration_not_input() {
+        assert_eq!(
+            canonical_policy("nest:r_impatient=3,spin=off").unwrap(),
+            "nest:r_impatient=3,spin=off"
+        );
+        assert_eq!(
+            canonical_policy("nest:spin=off,r_impatient=3").unwrap(),
+            "nest:r_impatient=3,spin=off"
+        );
+    }
+
+    #[test]
+    fn unknown_key_and_param_are_typed_errors() {
+        let msg = policy("eevdf").unwrap_err().to_string();
+        assert!(msg.contains("cfs, nest, smove"), "{msg}");
+        let msg = policy("nest:spinny=off").unwrap_err().to_string();
+        assert!(
+            msg.contains("valid parameters") && msg.contains("spin"),
+            "{msg}"
+        );
+        assert!(policy("nest:spin=maybe").is_err());
+        assert!(policy("nest:gdb").is_err(), "positional member rejected");
+    }
+
+    #[test]
+    fn spec_of_covers_every_variant() {
+        for (spec, expect) in [
+            ("cfs:die_ticks=8", "cfs:die_ticks=8"),
+            ("smove:delay_ns=200000", "smove:delay_ns=200000"),
+            ("nest:wwc=off,resflag=off", "nest:wwc=off,resflag=off"),
+        ] {
+            assert_eq!(canonical_policy(spec).unwrap(), expect);
+        }
+    }
+}

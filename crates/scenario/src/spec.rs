@@ -1,0 +1,215 @@
+//! The shared `name[:member][,k=v,…]` spec grammar.
+//!
+//! Every registry string — `nest:spin=off,r_impatient=3`,
+//! `configure:gdb`, `schbench:mt=4,w=4` — parses through [`parse_spec`]:
+//! a head (the registry key), an optional positional member (the first
+//! `=`-less token after the colon), and ordered `key=value` parameters.
+//! Duplicate keys and trailing positional tokens are errors, never
+//! silently dropped.
+
+use crate::error::ScenarioError;
+
+/// A parsed `head[:member][,k=v,…]` string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSpec {
+    /// The registry key before the first `:` (lowercased).
+    pub head: String,
+    /// The positional member, when the first token after `:` has no `=`.
+    pub member: Option<String>,
+    /// `key=value` parameters in the order written.
+    pub params: Vec<(String, String)>,
+}
+
+/// Parses `input` against the shared grammar. `kind` names the registry
+/// for error messages.
+pub fn parse_spec(kind: &'static str, input: &str) -> Result<ParsedSpec, ScenarioError> {
+    let input = input.trim();
+    let malformed = |reason: String| ScenarioError::MalformedSpec {
+        spec: input.to_string(),
+        reason,
+    };
+    let (head, rest) = match input.split_once(':') {
+        Some((h, r)) => (h.trim(), Some(r)),
+        None => (input, None),
+    };
+    if head.is_empty() {
+        return Err(malformed(format!("empty {kind} name")));
+    }
+    let mut member = None;
+    let mut params: Vec<(String, String)> = Vec::new();
+    if let Some(rest) = rest {
+        if rest.trim().is_empty() {
+            return Err(malformed("nothing after `:`".into()));
+        }
+        for (i, token) in rest.split(',').enumerate() {
+            let token = token.trim();
+            if token.is_empty() {
+                return Err(malformed("empty token between commas".into()));
+            }
+            match token.split_once('=') {
+                Some((k, v)) => {
+                    let (k, v) = (k.trim(), v.trim());
+                    if k.is_empty() || v.is_empty() {
+                        return Err(malformed(format!("incomplete parameter \"{token}\"")));
+                    }
+                    if params.iter().any(|(seen, _)| seen == k) {
+                        return Err(malformed(format!("duplicate parameter \"{k}\"")));
+                    }
+                    params.push((k.to_string(), v.to_string()));
+                }
+                None if i == 0 => member = Some(token.to_string()),
+                None => {
+                    return Err(malformed(format!(
+                        "positional token \"{token}\" after the first position \
+                         (parameters must be key=value)"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(ParsedSpec {
+        head: head.to_ascii_lowercase(),
+        member,
+        params,
+    })
+}
+
+fn bad(param: &str, value: &str, expected: &'static str) -> ScenarioError {
+    ScenarioError::BadValue {
+        param: param.to_string(),
+        value: value.to_string(),
+        expected,
+    }
+}
+
+/// Parses a `u32` parameter value.
+pub fn parse_u32(param: &str, value: &str) -> Result<u32, ScenarioError> {
+    value
+        .parse()
+        .map_err(|_| bad(param, value, "a non-negative integer"))
+}
+
+/// Parses a `u64` parameter value.
+pub fn parse_u64(param: &str, value: &str) -> Result<u64, ScenarioError> {
+    value
+        .parse()
+        .map_err(|_| bad(param, value, "a non-negative integer"))
+}
+
+/// Parses a `usize` parameter value.
+pub fn parse_usize(param: &str, value: &str) -> Result<usize, ScenarioError> {
+    value
+        .parse()
+        .map_err(|_| bad(param, value, "a non-negative integer"))
+}
+
+/// Parses an `f64` parameter value (must be finite).
+pub fn parse_f64(param: &str, value: &str) -> Result<f64, ScenarioError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| bad(param, value, "a finite number"))
+}
+
+/// Parses a boolean parameter value: `on`/`off`, `true`/`false`, `1`/`0`.
+pub fn parse_bool(param: &str, value: &str) -> Result<bool, ScenarioError> {
+    match value.to_ascii_lowercase().as_str() {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        _ => Err(bad(param, value, "on|off")),
+    }
+}
+
+/// Renders a boolean in canonical `on`/`off` form.
+pub fn fmt_bool(v: bool) -> &'static str {
+    if v {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Renders an `f64` canonically (Rust's shortest round-trip `Display`).
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_head() {
+        let p = parse_spec("policy", "nest").unwrap();
+        assert_eq!(p.head, "nest");
+        assert_eq!(p.member, None);
+        assert!(p.params.is_empty());
+    }
+
+    #[test]
+    fn member_and_params() {
+        let p = parse_spec("workload", "configure:gdb,tests=40").unwrap();
+        assert_eq!(p.head, "configure");
+        assert_eq!(p.member.as_deref(), Some("gdb"));
+        assert_eq!(p.params, vec![("tests".to_string(), "40".to_string())]);
+    }
+
+    #[test]
+    fn params_only_and_order_preserved() {
+        let p = parse_spec("policy", "nest:spin=off,r_impatient=3").unwrap();
+        assert_eq!(p.member, None);
+        assert_eq!(
+            p.params,
+            vec![
+                ("spin".to_string(), "off".to_string()),
+                ("r_impatient".to_string(), "3".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn member_may_contain_spaces() {
+        let p = parse_spec("workload", "phoronix:zstd compression 7").unwrap();
+        assert_eq!(p.member.as_deref(), Some("zstd compression 7"));
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let e = parse_spec("policy", "nest:spin=off,spin=on").unwrap_err();
+        assert!(e.to_string().contains("duplicate parameter"));
+    }
+
+    #[test]
+    fn late_positional_is_rejected() {
+        let e = parse_spec("workload", "server:c=5,nginx").unwrap_err();
+        assert!(e.to_string().contains("positional token"));
+    }
+
+    #[test]
+    fn empty_pieces_are_rejected() {
+        assert!(parse_spec("policy", "").is_err());
+        assert!(parse_spec("policy", "nest:").is_err());
+        assert!(parse_spec("policy", "nest:a=1,,b=2").is_err());
+        assert!(parse_spec("policy", "nest:=3").is_err());
+        assert!(parse_spec("policy", "nest:x=").is_err());
+    }
+
+    #[test]
+    fn value_parsers() {
+        assert_eq!(parse_u32("g", "16").unwrap(), 16);
+        assert!(parse_u32("g", "-1").is_err());
+        assert_eq!(parse_f64("j", "0.5").unwrap(), 0.5);
+        assert!(parse_f64("j", "nan").is_err());
+        assert!(parse_bool("spin", "on").unwrap());
+        assert!(!parse_bool("spin", "0").unwrap());
+        assert!(parse_bool("spin", "maybe").is_err());
+    }
+
+    #[test]
+    fn canonical_renderers() {
+        assert_eq!(fmt_bool(true), "on");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.5), "0.5");
+    }
+}

@@ -1,7 +1,10 @@
 //! Minimal JSON tree, writer, and parser.
 //!
-//! The workspace builds offline with no external crates, so the harness
-//! carries its own JSON support. Two properties matter more than speed:
+//! The workspace builds offline with no external crates, so it carries its
+//! own JSON support. The codec lives here in the substrate crate so every
+//! layer — the scenario registry, the experiment harness, the figure
+//! binaries — shares one canonical serialization. Two properties matter
+//! more than speed:
 //!
 //! * **Canonical output** — object keys keep insertion order, floats are
 //!   printed with Rust's shortest-round-trip formatting, and the writer is

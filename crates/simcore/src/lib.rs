@@ -18,6 +18,7 @@
 
 pub mod events;
 pub mod ids;
+pub mod json;
 pub mod probe;
 pub mod profile;
 pub mod rng;
@@ -28,6 +29,7 @@ pub mod units;
 
 pub use events::{EventKey, EventQueue};
 pub use ids::{BarrierId, ChannelId, CoreId, SocketId, TaskId};
+pub use json::Json;
 pub use probe::{PlacementPath, Probe, StopReason, TraceEvent};
 pub use rng::SimRng;
 pub use setup::SimSetup;

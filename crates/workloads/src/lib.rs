@@ -44,6 +44,39 @@ pub fn ms_at_ghz(ms: f64, ghz: f64) -> u64 {
     (ms * ghz * 1e6) as u64
 }
 
+/// Several workloads launched together — the paper's multi-application
+/// scenario (§5.6). All parts' initial tasks start at time zero and share
+/// the machine; the name joins the parts with `" + "`.
+pub struct Multi {
+    parts: Vec<Box<dyn Workload>>,
+}
+
+impl Multi {
+    /// Combines `parts` into one workload. Panics on an empty list.
+    pub fn new(parts: Vec<Box<dyn Workload>>) -> Multi {
+        assert!(!parts.is_empty(), "Multi needs at least one workload");
+        Multi { parts }
+    }
+}
+
+impl Workload for Multi {
+    fn name(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    fn build(&self, setup: &mut dyn SimSetup, rng: &mut SimRng) -> Vec<TaskSpec> {
+        let mut tasks = Vec::new();
+        for p in &self.parts {
+            tasks.extend(p.build(setup, rng));
+        }
+        tasks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +86,42 @@ mod tests {
         // 1 ms at 1 GHz = 1e6 cycles.
         assert_eq!(ms_at_ghz(1.0, 1.0), 1_000_000);
         assert_eq!(ms_at_ghz(2.5, 2.0), 5_000_000);
+    }
+
+    #[test]
+    fn multi_joins_names_and_concatenates_tasks() {
+        use nest_simcore::{BarrierId, ChannelId};
+
+        struct Setup(u32);
+        impl SimSetup for Setup {
+            fn create_barrier(&mut self, _parties: u32) -> BarrierId {
+                self.0 += 1;
+                BarrierId(self.0)
+            }
+            fn create_channel(&mut self) -> ChannelId {
+                self.0 += 1;
+                ChannelId(self.0)
+            }
+            fn n_cores(&self) -> usize {
+                64
+            }
+        }
+
+        let a = Box::new(crate::hackbench::Hackbench::new(Default::default()));
+        let b = Box::new(crate::schbench::Schbench::new(Default::default()));
+        let (an, bn) = (a.name(), b.name());
+        let multi = Multi::new(vec![a as Box<dyn Workload>, b]);
+        assert_eq!(multi.name(), format!("{an} + {bn}"));
+
+        let mut rng = SimRng::new(7);
+        let mut setup = Setup(0);
+        let n_a = crate::hackbench::Hackbench::new(Default::default())
+            .build(&mut setup, &mut rng)
+            .len();
+        let n_b = crate::schbench::Schbench::new(Default::default())
+            .build(&mut setup, &mut rng)
+            .len();
+        let combined = multi.build(&mut setup, &mut rng).len();
+        assert_eq!(combined, n_a + n_b);
     }
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Byte-identity guard: regenerate two representative artifacts (Figure 4
+# and Table 4) in quick mode and compare their hashes against the
+# committed golden set.
+#
+# The harness's determinism contract says artifact bytes depend only on
+# the seed and the simulation inputs — never on worker count, cache
+# state, or host. This script pins that contract in CI: any change to
+# the simulator, the registries, or the seed derivation that shifts a
+# result byte shows up as a hash mismatch. Intentional changes must
+# regenerate the golden file (instructions printed on failure).
+#
+# Usage: ./scripts/verify_artifacts.sh [--update]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden="scripts/golden_artifacts.sha256"
+outdir="$(mktemp -d)"
+trap 'rm -rf "$outdir"' EXIT
+
+export NEST_QUICK=1 NEST_RUNS=1 NEST_SEED=42 NEST_CACHE=off
+export NEST_PROGRESS=0 NEST_RESULTS_DIR="$outdir"
+unset NEST_JOBS 2>/dev/null || true
+
+for bin in fig04_underload table4_overview; do
+    echo "==> regenerating $bin (quick mode)"
+    cargo run --release -q -p nest-bench --bin "$bin" >/dev/null
+done
+
+(cd "$outdir" && sha256sum fig04_underload.json table4_overview.json) \
+    > "$outdir/actual.sha256"
+
+if [[ "${1:-}" == "--update" ]]; then
+    cp "$outdir/actual.sha256" "$golden"
+    echo "==> updated $golden"
+    cat "$golden"
+    exit 0
+fi
+
+if diff -u "$golden" "$outdir/actual.sha256"; then
+    echo "==> artifact bytes match the golden hashes"
+else
+    echo >&2
+    echo "ERROR: artifact bytes drifted from $golden." >&2
+    echo "If the change is intentional (a simulation-behaviour change)," >&2
+    echo "regenerate with: ./scripts/verify_artifacts.sh --update" >&2
+    exit 1
+fi

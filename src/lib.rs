@@ -6,6 +6,12 @@
 
 pub use nest_core::*;
 
+/// The scenario layer: registries and the declarative [`Scenario`]
+/// (`nest-sim`'s engine). See `DESIGN.md` §4.3.
+///
+/// [`Scenario`]: nest_scenario::Scenario
+pub use nest_scenario as scenario;
+
 /// The paper reproduced by this repository.
 pub const PAPER: &str =
     "OS Scheduling with Nest: Keeping Tasks Close Together on Warm Cores (EuroSys 2022)";
