@@ -32,7 +32,21 @@ NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
     run --machine 5220 --policy smove --governor performance \
     --workload schbench:mt=2,w=2,requests=5 --runs 2
 
-# Byte-identity guard: fig04/table4 artifacts vs committed golden hashes.
+# Decision observability: `trace` exports Chrome trace-event JSON and
+# re-parses it with the in-tree codec before writing (a failing parse
+# exits non-zero), `stats` prints the decision-metrics table.
+obsdir="$(mktemp -d)"
+step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    trace --machine 5218 --policy nest --governor schedutil \
+    --workload configure:gdb,tests=40 --out "$obsdir/trace.json" \
+    --window 0:2 --events run,placement,nest
+step test -s "$obsdir/trace.json"
+step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    stats --machine 5218 --policy nest --governor schedutil \
+    --workload configure:gdb,tests=40
+
+# Byte-identity guard: fig02/fig04/fig10/table4 artifacts vs committed
+# golden hashes.
 step ./scripts/verify_artifacts.sh
 
 echo

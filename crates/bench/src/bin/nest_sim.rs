@@ -8,6 +8,10 @@
 //! nest-sim id  --machine 5218 --policy nest --governor perf --workload hackbench
 //! nest-sim run --machine i80 --policy nest:spin=off --governor performance \
 //!              --workload hackbench --runs 10
+//! nest-sim trace --machine 5218 --policy nest --governor schedutil \
+//!                --workload configure:gdb --out trace.json
+//! nest-sim stats --machine 5218 --policy nest --governor schedutil \
+//!                --workload configure:gdb
 //! ```
 //!
 //! `run` accepts `--policy` and `--governor` more than once; the rows of
@@ -16,10 +20,21 @@
 //! `results/<name>.json` artifact plus its `.telemetry.json` sidecar,
 //! exactly like the figure binaries (`NEST_RESULTS_DIR`, `NEST_CACHE`,
 //! `NEST_JOBS` all apply).
+//!
+//! `trace` runs one scenario once with a [`TraceCollector`] attached and
+//! exports the capture as Chrome trace-event JSON — loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. `stats` runs a
+//! scenario and prints its aggregated [`DecisionMetrics`] as a
+//! human-readable table. Both are pure observers: they reuse the exact
+//! simulation the figure binaries run, so tracing a scenario cannot
+//! change its results.
 
 use nest_core::experiment::format_table;
+use nest_core::{run_many, run_once_with};
 use nest_harness::{Artifact, Json, Matrix};
+use nest_obs::{chrome_trace_json, DecisionMetrics, EventClass, TraceCollector};
 use nest_scenario::{Scenario, DEFAULT_RUNS, DEFAULT_SEED};
+use nest_simcore::{PlacementPath, Time};
 
 const USAGE: &str = "\
 nest-sim: compose and run one scheduling scenario
@@ -31,6 +46,11 @@ USAGE:
     nest-sim run --machine <key> --policy <spec> [--policy <spec>]...
                  --governor <key> [--governor <key>]... --workload <spec>
                  [--seed <n>] [--runs <n>] [--horizon <secs>] [--out <name>]
+    nest-sim trace --machine <key> --policy <spec> --governor <key> --workload <spec>
+                 [--seed <n>] [--horizon <secs>] [--out <file>]
+                 [--window <lo:hi>] [--events <class,...>] [--capacity <n>]
+    nest-sim stats --machine <key> --policy <spec> --governor <key> --workload <spec>
+                 [--seed <n>] [--runs <n>] [--horizon <secs>]
 
 EXAMPLES:
     nest-sim list workloads
@@ -38,6 +58,17 @@ EXAMPLES:
                  --workload hackbench --runs 10
     nest-sim run --machine 5220 --policy cfs --policy smove --governor perf \\
                  --workload schbench:mt=2,w=2 --out smove_tail
+    nest-sim trace --machine 5218 --policy nest --governor schedutil \\
+                 --workload configure:gdb --out trace.json --window 0:2 \\
+                 --events run,placement,nest
+    nest-sim stats --machine 5218 --policy nest --governor schedutil \\
+                 --workload configure:gdb --runs 3
+
+`trace` writes Chrome trace-event JSON (open in https://ui.perfetto.dev
+or chrome://tracing); `--window` bounds are simulated seconds, and
+`--events` takes classes from: task, placement, run, freq, spin, nest,
+runnable. `stats` prints the scheduler's decision metrics (placement
+paths, wakeup latency, migrations, spinning, nest occupancy).
 
 `nest-sim list` prints every registry key a flag accepts; unknown keys
 fail with the list of valid entries.";
@@ -100,6 +131,55 @@ struct RunArgs {
     runs: Option<usize>,
     horizon: Option<u64>,
     out: Option<String>,
+    window: Option<(Time, Time)>,
+    events: Option<Vec<EventClass>>,
+    capacity: Option<usize>,
+}
+
+impl RunArgs {
+    /// Rejects the trace-only flags for subcommands that ignore them.
+    fn no_trace_flags(&self, subcommand: &str) {
+        if self.window.is_some() || self.events.is_some() || self.capacity.is_some() {
+            fail(&format!(
+                "--window/--events/--capacity apply to `nest-sim trace`, not `{subcommand}`"
+            ));
+        }
+    }
+}
+
+/// Parses a `--window lo:hi` bound pair (simulated seconds, fractions
+/// allowed) into the half-open time window `[lo, hi)`.
+fn parse_window(spec: &str) -> (Time, Time) {
+    let (lo, hi) = spec
+        .split_once(':')
+        .unwrap_or_else(|| fail("--window needs the form lo:hi (simulated seconds)"));
+    let secs = |s: &str| -> f64 {
+        s.parse()
+            .unwrap_or_else(|_| fail("--window bounds must be numbers (simulated seconds)"))
+    };
+    let (lo, hi) = (secs(lo), secs(hi));
+    if !(lo >= 0.0 && hi > lo) {
+        fail("--window needs 0 <= lo < hi");
+    }
+    (
+        Time::from_nanos((lo * 1e9) as u64),
+        Time::from_nanos((hi * 1e9) as u64),
+    )
+}
+
+/// Parses a `--events` comma list of [`EventClass`] names.
+fn parse_events(spec: &str) -> Vec<EventClass> {
+    spec.split(',')
+        .map(|name| {
+            EventClass::parse(name.trim()).unwrap_or_else(|| {
+                let valid: Vec<&str> = EventClass::ALL.iter().map(|c| c.name()).collect();
+                fail(&format!(
+                    "unknown event class \"{name}\"; valid: {}",
+                    valid.join(", ")
+                ))
+            })
+        })
+        .collect()
 }
 
 fn parse_run_args(args: &[String]) -> RunArgs {
@@ -146,6 +226,17 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                 )
             }
             "--out" => out.out = Some(value()),
+            "--window" => out.window = Some(parse_window(&value())),
+            "--events" => out.events = Some(parse_events(&value())),
+            "--capacity" => {
+                let n: usize = value()
+                    .parse()
+                    .unwrap_or_else(|_| fail("--capacity needs an integer"));
+                if n == 0 {
+                    fail("--capacity must be at least 1");
+                }
+                out.capacity = Some(n);
+            }
             other => fail(&format!("unknown flag \"{other}\"")),
         }
     }
@@ -185,8 +276,20 @@ fn scenarios_of(a: &RunArgs) -> Vec<Scenario> {
     scenarios
 }
 
+/// The single scenario `trace` and `stats` operate on.
+fn single_scenario(a: &RunArgs, subcommand: &str) -> Scenario {
+    let mut scenarios = scenarios_of(a);
+    if scenarios.len() != 1 {
+        fail(&format!(
+            "`nest-sim {subcommand}` takes exactly one --policy and one --governor"
+        ));
+    }
+    scenarios.remove(0)
+}
+
 fn run(args: &[String]) {
     let a = parse_run_args(args);
+    a.no_trace_flags("run");
     let scenarios = scenarios_of(&a);
     let first = &scenarios[0];
     let name = a.out.as_deref().unwrap_or("nest_sim");
@@ -230,9 +333,181 @@ fn run(args: &[String]) {
 
 fn id(args: &[String]) {
     let a = parse_run_args(args);
+    a.no_trace_flags("id");
     for s in scenarios_of(&a) {
         println!("{}", s.identity());
     }
+}
+
+fn trace(args: &[String]) {
+    let a = parse_run_args(args);
+    if a.runs.is_some() {
+        fail("--runs applies to `run` and `stats`; `trace` captures a single run");
+    }
+    let s = single_scenario(&a, "trace");
+    let out_path = a.out.as_deref().unwrap_or("trace.json");
+
+    let capacity = a.capacity.unwrap_or(TraceCollector::DEFAULT_CAPACITY);
+    let (mut collector, log) = TraceCollector::new(capacity);
+    if let Some((lo, hi)) = a.window {
+        collector = collector.with_window(lo, hi);
+    }
+    if let Some(classes) = &a.events {
+        collector = collector.with_classes(classes);
+    }
+
+    println!("scenario: {}", s.identity());
+    let workload = s.build_workload();
+    let result = run_once_with(
+        &s.sim_config(),
+        workload.as_ref(),
+        vec![Box::new(collector)],
+    );
+
+    let log = log.borrow();
+    let json = chrome_trace_json(&log);
+    let mut text = json.to_pretty();
+    text.push('\n');
+    // Self-check before writing: the exporter's output must parse with
+    // the same codec the artifacts use (CI relies on this).
+    let back = nest_simcore::json::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("exported trace does not re-parse: {e}")));
+    let n_records = back
+        .get("traceEvents")
+        .and_then(|j| j.as_arr())
+        .map_or(0, |a| a.len());
+    if let Err(e) = std::fs::write(out_path, &text) {
+        fail(&format!("could not write {out_path}: {e}"));
+    }
+
+    println!(
+        "captured {} events over {:.3}s simulated ({} evicted by the ring)",
+        log.events.len(),
+        log.duration.as_secs_f64(),
+        log.dropped
+    );
+    println!("run completed in {:.3}s simulated", result.time_s);
+    println!("trace: {out_path} ({n_records} trace records; open in https://ui.perfetto.dev)");
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_opt_pct(x: Option<f64>) -> String {
+    x.map_or_else(|| "n/a".to_string(), |v| format!("{:.2}%", v * 100.0))
+}
+
+/// Renders one scenario's aggregated [`DecisionMetrics`] as a table.
+fn stats_report(s: &Scenario, m: &DecisionMetrics) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    line(format!("scenario: {}", s.identity()));
+    line(format!("{} run(s), {:.3}s simulated", m.runs, m.sim_secs()));
+
+    line(String::new());
+    line(format!("{:<28}{:>12}{:>9}", "placements", "count", "share"));
+    let total = m.total_placements();
+    for path in PlacementPath::ALL {
+        let count = m.placement_count(path);
+        if count == 0 {
+            continue;
+        }
+        let share = count as f64 / total.max(1) as f64 * 100.0;
+        line(format!(
+            "  {:<26}{count:>12}{share:>8.1}%",
+            format!("{path:?}")
+        ));
+    }
+    line(format!("  {:<26}{total:>12}{:>9}", "total", "100.0%"));
+    line(format!(
+        "nest fallback rate: {}",
+        fmt_opt_pct(m.nest_fallback_rate())
+    ));
+    line(format!(
+        "migrations: {} ({})",
+        m.migrations,
+        m.migrations_per_sec()
+            .map_or_else(|| "n/a".to_string(), |r| format!("{r:.1}/s"))
+    ));
+
+    line(String::new());
+    line(format!(
+        "wakeup→run latency: {} samples, mean {}",
+        m.latency_samples,
+        m.mean_latency_ns()
+            .map_or_else(|| "n/a".to_string(), fmt_ns)
+    ));
+    let peak = m.latency_counts.iter().copied().max().unwrap_or(0);
+    for (i, &count) in m.latency_counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let label = match nest_obs::LATENCY_BUCKET_EDGES_NS.get(i) {
+            Some(&edge) => format!("≤ {}", fmt_ns(edge as f64)),
+            None => format!(
+                "> {}",
+                fmt_ns(*nest_obs::LATENCY_BUCKET_EDGES_NS.last().unwrap() as f64)
+            ),
+        };
+        let bar = "#".repeat((count * 40).div_ceil(peak.max(1)) as usize);
+        line(format!("  {label:<12}{count:>10}  {bar}"));
+    }
+
+    line(String::new());
+    let busiest = (0..m.spin_ns.len()).max_by_key(|&i| m.spin_ns[i]);
+    line(format!(
+        "idle spinning: total {}, duty cycle {}{}",
+        fmt_ns(m.spin_total_ns() as f64),
+        fmt_opt_pct(m.spin_duty_cycle()),
+        busiest
+            .filter(|&i| m.spin_ns[i] > 0)
+            .map_or_else(String::new, |i| format!(
+                " (busiest core {i}: {})",
+                fmt_opt_pct(m.spin_duty_of(i))
+            ))
+    ));
+    let mean = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.2}"));
+    line(format!(
+        "nest occupancy: primary mean {} (max {}), reserve mean {} (max {})",
+        mean(m.mean_nest_primary()),
+        m.nest_primary_max,
+        mean(m.mean_nest_reserve()),
+        m.nest_reserve_max
+    ));
+    line(format!(
+        "nest transitions: {} ({} compactions)",
+        m.nest_transitions, m.nest_compactions
+    ));
+    out
+}
+
+fn stats(args: &[String]) {
+    let a = parse_run_args(args);
+    a.no_trace_flags("stats");
+    let s = single_scenario(&a, "stats");
+    let runs = a.runs.unwrap_or(1);
+
+    let workload = s.build_workload();
+    let results = run_many(&s.sim_config(), workload.as_ref(), runs);
+    let mut merged = DecisionMetrics::default();
+    for r in &results {
+        merged.merge(&r.decision);
+    }
+    print!("{}", stats_report(&s, &merged));
 }
 
 fn main() {
@@ -241,9 +516,11 @@ fn main() {
         Some("list") => list(args.get(1).map(String::as_str)),
         Some("id") => id(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("trace") => trace(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
         Some(other) => fail(&format!(
-            "unknown subcommand \"{other}\"; valid: list, id, run"
+            "unknown subcommand \"{other}\"; valid: list, id, run, trace, stats"
         )),
     }
 }

@@ -27,7 +27,7 @@ pub mod experiment;
 pub mod sim;
 
 pub use experiment::{compare_schedulers, Comparison, SchedulerSetup};
-pub use sim::{run_many, run_once, run_seed, PolicyKind, RunResult, SimConfig};
+pub use sim::{run_many, run_once, run_once_with, run_seed, PolicyKind, RunResult, SimConfig};
 
 pub use nest_metrics::RunSummary;
 

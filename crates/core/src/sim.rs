@@ -15,9 +15,10 @@ use nest_metrics::{
     ExecutionTrace, ExecutionTraceProbe, FreqResidency, FreqResidencyProbe, PlacementCounts,
     PlacementProbe, UnderloadData, UnderloadProbe, WakeupLatencies, WakeupLatencyProbe,
 };
+use nest_obs::{DecisionMetrics, DecisionMetricsProbe};
 use nest_sched::{Cfs, CfsParams, Nest, NestParams, SchedPolicy, Smove, SmoveParams};
 use nest_simcore::rng::mix64;
-use nest_simcore::{CoreId, SimRng, Time};
+use nest_simcore::{CoreId, Probe, SimRng, Time};
 use nest_topology::MachineSpec;
 use nest_workloads::Workload;
 
@@ -161,6 +162,9 @@ pub struct RunResult {
     pub latency: WakeupLatencies,
     /// Execution trace, when requested.
     pub trace: Option<ExecutionTrace>,
+    /// Scheduling-decision metrics (telemetry only; deliberately not part
+    /// of [`RunSummary`], which is cached and serialized into artifacts).
+    pub decision: DecisionMetrics,
     /// Total tasks created.
     pub total_tasks: usize,
     /// Whether the horizon cut the run short.
@@ -191,6 +195,18 @@ fn take<T: Default>(cell: &Rc<RefCell<T>>) -> T {
 
 /// Runs `workload` once under `cfg`.
 pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
+    run_once_with(cfg, workload, Vec::new())
+}
+
+/// Runs `workload` once under `cfg` with additional caller probes
+/// attached alongside the standard set (e.g. `nest-sim trace`'s
+/// `TraceCollector`). Probes only observe, so extra probes cannot change
+/// the simulation outcome.
+pub fn run_once_with(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    extra_probes: Vec<Box<dyn Probe>>,
+) -> RunResult {
     let n_cores = cfg.machine.n_cores();
     let engine_cfg = EngineConfig::new(cfg.machine.clone())
         .governor(cfg.governor)
@@ -213,6 +229,8 @@ pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
     engine.add_probe(Box::new(pp));
     let (lp, latency) = WakeupLatencyProbe::new();
     engine.add_probe(Box::new(lp));
+    let (dp, decision) = DecisionMetricsProbe::new(n_cores);
+    engine.add_probe(Box::new(dp));
     let trace_handle = if cfg.collect_trace {
         let (tp, th) = ExecutionTraceProbe::new(n_cores, initial_freq);
         engine.add_probe(Box::new(tp));
@@ -220,6 +238,9 @@ pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
     } else {
         None
     };
+    for p in extra_probes {
+        engine.add_probe(p);
+    }
 
     let mut wl_rng = SimRng::new(cfg.seed ^ 0xD00D_F00D);
     let tasks = workload.build(&mut engine, &mut wl_rng);
@@ -237,6 +258,7 @@ pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
         placements: take(&placements),
         latency: take(&latency),
         trace: trace_handle.map(|h| take(&h)),
+        decision: take(&decision),
         total_tasks: outcome.total_tasks,
         hit_horizon: outcome.hit_horizon,
     }
@@ -322,6 +344,28 @@ mod tests {
         assert_eq!(cfg.horizon, Time::from_secs(30));
         assert_eq!(cfg.placement_latency_ns, 2_500);
         assert_eq!(cfg.initial_core, CoreId(4));
+    }
+
+    #[test]
+    fn decision_metrics_are_collected() {
+        let cfg = quick_cfg().policy(PolicyKind::Nest);
+        let r = run_once(&cfg, &Configure::named("gdb"));
+        assert_eq!(r.decision.runs, 1);
+        assert!(r.decision.sim_ns > 0);
+        assert!(r.decision.total_placements() > 0);
+        assert!(r.decision.latency_samples > 0);
+        assert!(r.decision.nest_transitions > 0, "nest lifecycle traced");
+    }
+
+    #[test]
+    fn extra_probes_observe_without_perturbing() {
+        let cfg = quick_cfg();
+        let base = run_once(&cfg, &Configure::named("gdb"));
+        let (c, log) = nest_obs::TraceCollector::new(1 << 16);
+        let r = run_once_with(&cfg, &Configure::named("gdb"), vec![Box::new(c)]);
+        assert_eq!(r.time_s, base.time_s);
+        assert_eq!(r.energy_j, base.energy_j);
+        assert!(!log.borrow().events.is_empty());
     }
 
     #[test]

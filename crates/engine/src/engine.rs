@@ -144,6 +144,8 @@ pub struct Engine {
     spin_gen: Vec<u64>,
     /// Maps a task index to the core its in-flight placement targets.
     pending_core: std::collections::HashMap<usize, CoreId>,
+    /// Reusable buffer for draining policy-queued trace events.
+    policy_trace: Vec<TraceEvent>,
     started: bool,
 }
 
@@ -193,6 +195,7 @@ impl Engine {
             spinning: vec![false; n],
             spin_gen: vec![0; n],
             pending_core: std::collections::HashMap::new(),
+            policy_trace: Vec::new(),
             started: false,
             cfg,
         }
@@ -225,6 +228,17 @@ impl Engine {
         for p in &mut self.probes {
             p.on_event(self.now, &ev);
         }
+    }
+
+    /// Emits the trace events the policy queued during its last callback
+    /// (e.g. Nest-lifecycle transitions), timestamped at the current time.
+    fn drain_policy_trace(&mut self) {
+        let mut buf = std::mem::take(&mut self.policy_trace);
+        self.policy.drain_trace(&mut buf);
+        for ev in buf.drain(..) {
+            self.emit(ev);
+        }
+        self.policy_trace = buf;
     }
 
     fn env<'a>(
@@ -289,6 +303,7 @@ impl Engine {
             self.policy
                 .select_core_fork(&mut self.kernel, &mut env, id, parent_core)
         };
+        self.drain_policy_trace();
         self.place(id, placement);
         id
     }
@@ -705,6 +720,7 @@ impl Engine {
             self.policy
                 .select_core_wakeup(&mut self.kernel, &mut env, task, waker_core)
         };
+        self.drain_policy_trace();
         self.place(task, placement);
     }
 
@@ -740,6 +756,7 @@ impl Engine {
             self.policy
                 .on_core_idle(&mut self.kernel, &mut env, core, reason)
         };
+        self.drain_policy_trace();
         if let Some(src) = action.pull_from {
             if let Some(stolen) = self.kernel.steal_queued(src) {
                 self.emit(TraceEvent::Placed {
@@ -832,6 +849,7 @@ impl Engine {
                 let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
                 self.policy.on_tick(&mut self.kernel, &mut env, core)
             };
+            self.drain_policy_trace();
             if let Some(src) = pull {
                 if self.kernel.core(core).is_idle() {
                     if let Some(stolen) = self.kernel.steal_queued(src) {

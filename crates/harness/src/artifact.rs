@@ -125,6 +125,7 @@ impl Artifact {
             ("wall_s", Json::f64(t.wall_s)),
             ("events_total", Json::u64(t.events_total)),
             ("events_per_sec", Json::f64(t.events_per_sec)),
+            ("decision_metrics", t.decision_metrics.to_json()),
         ];
         if let Some(p) = &t.profile {
             fields.push(("profile", profile_json(p)));

@@ -26,6 +26,7 @@ use std::time::Instant;
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::{run_once, RunResult, SimConfig};
 use nest_metrics::RunSummary;
+use nest_obs::DecisionMetrics;
 use nest_scenario::{Scenario, ScenarioError};
 use nest_simcore::profile;
 use nest_simcore::rng::{hash_str, mix64};
@@ -95,6 +96,10 @@ pub struct Telemetry {
     pub events_total: u64,
     /// Engine throughput: `events_total / wall_s`.
     pub events_per_sec: f64,
+    /// Scheduling-decision metrics merged (in cell-index order) over the
+    /// cells that actually simulated; cache hits contribute nothing, so
+    /// on a fully cached run every count is zero.
+    pub decision_metrics: DecisionMetrics,
     /// Per-subsystem profile delta, present when `NEST_PROFILE=1`.
     pub profile: Option<profile::Snapshot>,
 }
@@ -107,6 +112,7 @@ fn finish_telemetry(
     cells_cached: usize,
     started: Instant,
     prof_before: &profile::Snapshot,
+    decision_metrics: DecisionMetrics,
 ) -> Telemetry {
     let wall_s = started.elapsed().as_secs_f64();
     let delta = profile::snapshot().since(prof_before);
@@ -121,6 +127,7 @@ fn finish_telemetry(
         } else {
             0.0
         },
+        decision_metrics,
         profile: profile::enabled().then_some(delta),
     }
 }
@@ -308,7 +315,8 @@ impl Matrix {
         let prof_before = profile::snapshot();
         let cells = self.flatten();
         let total = cells.len();
-        let slots: Mutex<Vec<Option<RunSummary>>> = Mutex::new(vec![None; total]);
+        type Slot = Option<(RunSummary, Option<DecisionMetrics>)>;
+        let slots: Mutex<Vec<Slot>> = Mutex::new(vec![None; total]);
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let cached = AtomicUsize::new(0);
@@ -319,11 +327,11 @@ impl Matrix {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let (summary, was_cached) = self.execute(cell);
+                    let (summary, was_cached, decision) = self.execute(cell);
                     if was_cached {
                         cached.fetch_add(1, Ordering::Relaxed);
                     }
-                    slots.lock().unwrap()[i] = Some(summary);
+                    slots.lock().unwrap()[i] = Some((summary, decision));
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     self.progress.cell_done(n, total);
                 });
@@ -343,8 +351,15 @@ impl Matrix {
                     .collect()
             })
             .collect();
+        // Decision metrics are all order-independent sums, but fold them
+        // in slot-index order anyway — same discipline as the summaries.
+        let mut decision_metrics = DecisionMetrics::default();
         for (i, cell) in cells.iter().enumerate() {
-            per_exp[cell.exp][cell.setup].push(slots[i].take().expect("cell executed"));
+            let (summary, decision) = slots[i].take().expect("cell executed");
+            if let Some(d) = decision {
+                decision_metrics.merge(&d);
+            }
+            per_exp[cell.exp][cell.setup].push(summary);
         }
         let comparisons = self
             .experiments
@@ -361,15 +376,17 @@ impl Matrix {
             cached.load(Ordering::Relaxed),
             started,
             &prof_before,
+            decision_metrics,
         );
         self.progress.finished(&telemetry);
         (comparisons, telemetry)
     }
 
-    /// Runs one cell: cache lookup, else simulate and store.
-    fn execute(&self, cell: &Cell) -> (RunSummary, bool) {
+    /// Runs one cell: cache lookup, else simulate and store. Cache hits
+    /// carry no decision metrics (the simulation never executed).
+    fn execute(&self, cell: &Cell) -> (RunSummary, bool, Option<DecisionMetrics>) {
         if let Some(hit) = self.cache.lookup(&cell.key) {
-            return (hit, true);
+            return (hit, true, None);
         }
         let e = &self.experiments[cell.exp];
         let setup = &e.setups[cell.setup];
@@ -381,9 +398,10 @@ impl Matrix {
             cfg = cfg.horizon(h);
         }
         let workload = (e.factory)();
-        let summary = run_once(&cfg, workload.as_ref()).summarize();
+        let result = run_once(&cfg, workload.as_ref());
+        let summary = result.summarize();
         self.cache.store(&cell.key, &summary);
-        (summary, false)
+        (summary, false, Some(result.decision))
     }
 }
 
@@ -418,13 +436,17 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
             });
         }
     });
-    let results = slots
+    let results: Vec<RunResult> = slots
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|r| r.expect("raw cell executed"))
         .collect();
-    let telemetry = finish_telemetry(workers, total, 0, started, &prof_before);
+    let mut decision_metrics = DecisionMetrics::default();
+    for r in &results {
+        decision_metrics.merge(&r.decision);
+    }
+    let telemetry = finish_telemetry(workers, total, 0, started, &prof_before, decision_metrics);
     (results, telemetry)
 }
 
@@ -482,6 +504,17 @@ mod tests {
                 assert_eq!(ra.time.mean, rb.time.mean);
             }
         }
+    }
+
+    #[test]
+    fn telemetry_carries_decision_metrics() {
+        let (_, t) = small_matrix(2).run();
+        // Cache disabled: every cell simulated, so every run contributed.
+        assert_eq!(t.decision_metrics.runs as usize, t.cells_total);
+        assert!(t.decision_metrics.total_placements() > 0);
+        assert!(t.decision_metrics.sim_ns > 0);
+        // The Nest rows must have produced nest-lifecycle transitions.
+        assert!(t.decision_metrics.nest_transitions > 0);
     }
 
     #[test]

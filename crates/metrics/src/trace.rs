@@ -41,7 +41,15 @@ impl ExecutionTrace {
         cores
     }
 
-    /// Fraction of busy time spent within `(lo, hi]` GHz.
+    /// Fraction of busy time spent within the frequency band `(lo, hi]`
+    /// GHz.
+    ///
+    /// The band is half-open on the *left*: a span running at exactly
+    /// `lo` GHz is excluded, one at exactly `hi` GHz is included. This
+    /// way adjacent bands `(a, b]`, `(b, c]` partition the busy time —
+    /// a span on the shared edge `b` counts toward the lower band only —
+    /// which the figure binaries rely on when stacking residency bands.
+    /// Returns `0.0` when the trace has no busy time at all.
     pub fn busy_fraction_in(&self, lo: f64, hi: f64) -> f64 {
         let total: u64 = self.spans.iter().map(|s| s.end - s.start).sum();
         if total == 0 {
@@ -192,6 +200,29 @@ mod tests {
         // 3 ms at 1 GHz, 4 ms at 3 GHz.
         assert!((d.busy_fraction_in(0.0, 1.5) - 3.0 / 7.0).abs() < 1e-9);
         assert!((d.busy_fraction_in(1.5, 3.5) - 4.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_fraction_band_is_left_open_right_closed() {
+        let span = |freq_ghz: f64, start: u64, end: u64| Span {
+            core: 0,
+            start: Time::from_millis(start),
+            end: Time::from_millis(end),
+            freq_ghz,
+        };
+        let trace = ExecutionTrace {
+            // 1 ms at exactly 1.0 GHz, 1 ms at exactly 2.0 GHz.
+            spans: vec![span(1.0, 0, 1), span(2.0, 1, 2)],
+            duration: Time::from_millis(2),
+        };
+        // A span at exactly `hi` is included, one at exactly `lo` is not:
+        // the shared edge 1.0 belongs to (0.0, 1.0], not (1.0, 2.0].
+        assert_eq!(trace.busy_fraction_in(0.0, 1.0), 0.5);
+        assert_eq!(trace.busy_fraction_in(1.0, 2.0), 0.5);
+        // Adjacent bands partition the busy time without double counting.
+        let total = trace.busy_fraction_in(0.0, 1.0) + trace.busy_fraction_in(1.0, 2.0);
+        assert_eq!(total, 1.0);
+        assert_eq!(ExecutionTrace::default().busy_fraction_in(0.0, 4.0), 0.0);
     }
 
     #[test]

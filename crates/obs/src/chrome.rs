@@ -1,0 +1,358 @@
+//! Chrome trace-event JSON export.
+//!
+//! Converts a captured [`TraceLog`] into the Chrome trace-event "JSON
+//! Object Format", loadable in the Perfetto UI
+//! (<https://ui.perfetto.dev>) or chrome://tracing. Track layout:
+//!
+//! * one thread track per core (`pid` 1, `tid` = core index) holding task
+//!   run spans (`"X"` complete events named by task label), idle-spin
+//!   spans, placement instant events annotated with their
+//!   [`PlacementPath`](nest_simcore::PlacementPath), and nest-lifecycle
+//!   instants;
+//! * counter tracks (`"C"`): `freq cNN` (per-core frequency in GHz),
+//!   `runnable` (machine-wide runnable count), and `nest` (primary and
+//!   reserve nest sizes as two series).
+//!
+//! Timestamps are in microseconds (the format's unit) carried with
+//! nanosecond precision as decimal fractions, so the export is lossless.
+
+use std::collections::{BTreeSet, HashMap};
+
+use nest_simcore::json::{obj, Json};
+use nest_simcore::{CoreId, TaskId, Time, TraceEvent};
+
+use crate::collector::TraceLog;
+
+/// The process id used for every track (one simulated machine).
+const PID: u64 = 1;
+
+/// `t` as a microsecond timestamp with nanosecond precision.
+fn us(t: Time) -> Json {
+    ns_as_us(t.as_nanos())
+}
+
+fn ns_as_us(ns: u64) -> Json {
+    Json::Num(format!("{}.{:03}", ns / 1_000, ns % 1_000))
+}
+
+fn span(name: &str, cat: &str, core: CoreId, start: Time, end: Time, args: Json) -> Json {
+    obj(vec![
+        ("name", Json::str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("X")),
+        ("ts", us(start)),
+        (
+            "dur",
+            ns_as_us(end.as_nanos().saturating_sub(start.as_nanos())),
+        ),
+        ("pid", Json::u64(PID)),
+        ("tid", Json::u64(core.index() as u64)),
+        ("args", args),
+    ])
+}
+
+fn instant(name: &str, cat: &str, core: CoreId, t: Time, args: Json) -> Json {
+    obj(vec![
+        ("name", Json::str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("i")),
+        ("s", Json::str("t")),
+        ("ts", us(t)),
+        ("pid", Json::u64(PID)),
+        ("tid", Json::u64(core.index() as u64)),
+        ("args", args),
+    ])
+}
+
+fn counter(name: String, t: Time, series: Vec<(&str, Json)>) -> Json {
+    obj(vec![
+        ("name", Json::Str(name)),
+        ("ph", Json::str("C")),
+        ("ts", us(t)),
+        ("pid", Json::u64(PID)),
+        ("args", obj(series)),
+    ])
+}
+
+fn task_name(labels: &HashMap<TaskId, String>, task: TaskId) -> String {
+    labels
+        .get(&task)
+        .cloned()
+        .unwrap_or_else(|| format!("task {}", task.index()))
+}
+
+/// Exports `log` as a Chrome trace-event JSON tree.
+///
+/// Spans still open when the log ends (a task running or a core spinning
+/// at the capture boundary) are closed at [`TraceLog::duration`].
+pub fn chrome_trace_json(log: &TraceLog) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let mut labels: HashMap<TaskId, String> = HashMap::new();
+    let mut cores: BTreeSet<u32> = BTreeSet::new();
+    let mut open_run: HashMap<CoreId, (TaskId, Time)> = HashMap::new();
+    let mut open_spin: HashMap<CoreId, Time> = HashMap::new();
+
+    for (t, ev) in &log.events {
+        let t = *t;
+        match ev {
+            TraceEvent::TaskCreated { task, label, .. } => {
+                labels.insert(*task, label.clone());
+            }
+            TraceEvent::TaskExited { .. } | TraceEvent::Woken { .. } => {}
+            TraceEvent::Placed { task, core, path } => {
+                cores.insert(core.0);
+                events.push(instant(
+                    &format!("place {:?}", path),
+                    "placement",
+                    *core,
+                    t,
+                    obj(vec![
+                        ("task", Json::Str(task_name(&labels, *task))),
+                        ("path", Json::Str(format!("{path:?}"))),
+                    ]),
+                ));
+            }
+            TraceEvent::RunStart { task, core } => {
+                cores.insert(core.0);
+                open_run.insert(*core, (*task, t));
+            }
+            TraceEvent::RunStop { task, core, reason } => {
+                cores.insert(core.0);
+                if let Some((started, t0)) = open_run.remove(core) {
+                    events.push(span(
+                        &task_name(&labels, started),
+                        "run",
+                        *core,
+                        t0,
+                        t,
+                        obj(vec![
+                            ("task", Json::usize(task.index())),
+                            ("stop", Json::Str(format!("{reason:?}"))),
+                        ]),
+                    ));
+                }
+            }
+            TraceEvent::RunnableCount { count } => {
+                events.push(counter(
+                    "runnable".to_string(),
+                    t,
+                    vec![("count", Json::u64(*count as u64))],
+                ));
+            }
+            TraceEvent::FreqChange { core, freq } => {
+                events.push(counter(
+                    format!("freq c{:02}", core.index()),
+                    t,
+                    vec![("ghz", Json::f64(freq.as_khz() as f64 / 1e6))],
+                ));
+            }
+            TraceEvent::SpinStart { core } => {
+                cores.insert(core.0);
+                open_spin.insert(*core, t);
+            }
+            TraceEvent::SpinEnd { core } => {
+                cores.insert(core.0);
+                if let Some(t0) = open_spin.remove(core) {
+                    events.push(span("spin", "spin", *core, t0, t, obj(vec![])));
+                }
+            }
+            TraceEvent::NestExpand {
+                core,
+                primary,
+                reserve,
+            }
+            | TraceEvent::NestShrink {
+                core,
+                primary,
+                reserve,
+            }
+            | TraceEvent::NestCompaction {
+                core,
+                primary,
+                reserve,
+            } => {
+                cores.insert(core.0);
+                let name = match ev {
+                    TraceEvent::NestExpand { .. } => "nest expand",
+                    TraceEvent::NestShrink { .. } => "nest shrink",
+                    _ => "nest compaction",
+                };
+                events.push(instant(
+                    name,
+                    "nest",
+                    *core,
+                    t,
+                    obj(vec![
+                        ("primary", Json::u64(*primary as u64)),
+                        ("reserve", Json::u64(*reserve as u64)),
+                    ]),
+                ));
+                events.push(counter(
+                    "nest".to_string(),
+                    t,
+                    vec![
+                        ("primary", Json::u64(*primary as u64)),
+                        ("reserve", Json::u64(*reserve as u64)),
+                    ],
+                ));
+            }
+        }
+    }
+
+    // Close spans still open at the end of the captured window.
+    for (core, (task, t0)) in open_run {
+        events.push(span(
+            &task_name(&labels, task),
+            "run",
+            core,
+            t0,
+            log.duration,
+            obj(vec![("task", Json::usize(task.index()))]),
+        ));
+    }
+    for (core, t0) in open_spin {
+        events.push(span("spin", "spin", core, t0, log.duration, obj(vec![])));
+    }
+
+    // Track metadata first: a process name plus one named thread per core.
+    let mut all = vec![obj(vec![
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::u64(PID)),
+        ("args", obj(vec![("name", Json::str("simulated machine"))])),
+    ])];
+    for c in cores {
+        all.push(obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(PID)),
+            ("tid", Json::u64(c as u64)),
+            ("args", obj(vec![("name", Json::Str(format!("core {c}")))])),
+        ]));
+    }
+    all.extend(events);
+
+    obj(vec![
+        ("displayTimeUnit", Json::str("ms")),
+        ("traceEvents", Json::Arr(all)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_simcore::{Freq, PlacementPath, StopReason};
+
+    fn demo_log() -> TraceLog {
+        let t = Time::from_micros;
+        TraceLog {
+            events: vec![
+                (
+                    t(0),
+                    TraceEvent::TaskCreated {
+                        task: TaskId(0),
+                        label: "worker".into(),
+                        parent: None,
+                    },
+                ),
+                (
+                    t(1),
+                    TraceEvent::Placed {
+                        task: TaskId(0),
+                        core: CoreId(2),
+                        path: PlacementPath::NestPrimary,
+                    },
+                ),
+                (
+                    t(1),
+                    TraceEvent::NestExpand {
+                        core: CoreId(2),
+                        primary: 1,
+                        reserve: 0,
+                    },
+                ),
+                (
+                    t(2),
+                    TraceEvent::RunStart {
+                        task: TaskId(0),
+                        core: CoreId(2),
+                    },
+                ),
+                (
+                    t(3),
+                    TraceEvent::FreqChange {
+                        core: CoreId(2),
+                        freq: Freq::from_ghz(2.5),
+                    },
+                ),
+                (
+                    t(5),
+                    TraceEvent::RunStop {
+                        task: TaskId(0),
+                        core: CoreId(2),
+                        reason: StopReason::Block,
+                    },
+                ),
+                (t(5), TraceEvent::SpinStart { core: CoreId(2) }),
+                (t(6), TraceEvent::RunnableCount { count: 0 }),
+            ],
+            dropped: 0,
+            duration: t(8),
+        }
+    }
+
+    fn phases_named(json: &Json, ph: &str) -> Vec<String> {
+        json.get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .map(|e| e.get("name").and_then(Json::as_str).unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn exports_spans_counters_instants_and_metadata() {
+        let json = chrome_trace_json(&demo_log());
+        let spans = phases_named(&json, "X");
+        assert!(
+            spans.contains(&"worker".to_string()),
+            "run span named by label"
+        );
+        assert!(
+            spans.contains(&"spin".to_string()),
+            "open spin closed at end"
+        );
+        let counters = phases_named(&json, "C");
+        assert!(counters.contains(&"freq c02".to_string()));
+        assert!(counters.contains(&"runnable".to_string()));
+        assert!(counters.contains(&"nest".to_string()));
+        let instants = phases_named(&json, "i");
+        assert!(instants.contains(&"place NestPrimary".to_string()));
+        assert!(instants.contains(&"nest expand".to_string()));
+        let meta = phases_named(&json, "M");
+        assert!(meta.contains(&"process_name".to_string()));
+        assert!(meta.contains(&"thread_name".to_string()));
+    }
+
+    #[test]
+    fn run_span_timing_is_lossless_microseconds() {
+        let json = chrome_trace_json(&demo_log());
+        let events = json.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let run = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("worker"))
+            .unwrap();
+        assert_eq!(run.get("ts"), Some(&Json::Num("2.000".into())));
+        assert_eq!(run.get("dur"), Some(&Json::Num("3.000".into())));
+        assert_eq!(run.get("tid").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn round_trips_through_the_in_tree_codec() {
+        let json = chrome_trace_json(&demo_log());
+        let text = json.to_pretty();
+        let parsed = nest_simcore::json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed, json);
+    }
+}

@@ -1,0 +1,564 @@
+//! Scheduling-decision metrics.
+//!
+//! [`DecisionMetricsProbe`] watches one run's trace and aggregates the
+//! decision-level quantities the paper reasons about: how long woken
+//! tasks wait before running, which placement path fired, how often tasks
+//! migrate, how often Nest falls back to CFS, how much time cores burn
+//! spinning, and how the nests' occupancy evolves. The result is a plain
+//! [`DecisionMetrics`] of order-independent sums, so per-run and per-cell
+//! metrics merge associatively; the harness folds them in slot order and
+//! writes the aggregate into every `.telemetry.json` sidecar.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nest_simcore::json::{obj, Json};
+use nest_simcore::{CoreId, PlacementPath, Probe, TaskId, Time, TraceEvent};
+
+/// Upper edges (ns) of the log-scale wakeup→run latency buckets: powers
+/// of two from 2^10 ns (≈1 µs) to 2^26 ns (≈67 ms). Bucket `i` counts
+/// latencies in `(edge[i-1], edge[i]]`; one extra overflow bucket catches
+/// longer latencies.
+pub const LATENCY_BUCKET_EDGES_NS: [u64; 17] = [
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+    1 << 22,
+    1 << 23,
+    1 << 24,
+    1 << 25,
+    1 << 26,
+];
+
+/// Points kept in the nest-occupancy timeline before it is truncated.
+pub const TIMELINE_CAP: usize = 1024;
+
+/// Aggregated decision metrics over one or more runs.
+///
+/// Every field is an order-independent sum or max over runs (the
+/// occupancy timeline is the exception: it belongs to the first run that
+/// contributed one), so merging in any grouping yields the same values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DecisionMetrics {
+    /// Runs merged into this aggregate.
+    pub runs: u64,
+    /// Total simulated nanoseconds across those runs.
+    pub sim_ns: u64,
+    /// Latency histogram counts, one per [`LATENCY_BUCKET_EDGES_NS`] edge
+    /// plus a final overflow bucket.
+    pub latency_counts: Vec<u64>,
+    /// Total wakeup→run latency samples.
+    pub latency_samples: u64,
+    /// Summed wakeup→run latency in nanoseconds.
+    pub latency_sum_ns: u64,
+    /// Placement counts indexed by [`PlacementPath::ALL`].
+    pub placements: Vec<u64>,
+    /// Run starts on a different core than the task's previous run.
+    pub migrations: u64,
+    /// Per-core idle-spin nanoseconds.
+    pub spin_ns: Vec<u64>,
+    /// Σ primary-nest-size · dt (ns·cores), for the time-weighted mean.
+    pub nest_primary_ns: u64,
+    /// Σ reserve-nest-size · dt (ns·cores).
+    pub nest_reserve_ns: u64,
+    /// Peak primary-nest size.
+    pub nest_primary_max: u32,
+    /// Peak reserve-nest size.
+    pub nest_reserve_max: u32,
+    /// Nest lifecycle transitions (expand + shrink + compaction).
+    pub nest_transitions: u64,
+    /// Compaction demotions alone.
+    pub nest_compactions: u64,
+    /// `(t_ns, primary, reserve)` nest-size samples of the first run that
+    /// contributed one, capped at [`TIMELINE_CAP`] points.
+    pub occupancy_timeline: Vec<(u64, u32, u32)>,
+    /// `true` if the timeline hit the cap.
+    pub timeline_truncated: bool,
+}
+
+fn add_assign(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+impl DecisionMetrics {
+    /// The latency bucket index for a sample of `ns` nanoseconds.
+    pub fn latency_bucket(ns: u64) -> usize {
+        LATENCY_BUCKET_EDGES_NS
+            .iter()
+            .position(|&edge| ns <= edge)
+            .unwrap_or(LATENCY_BUCKET_EDGES_NS.len())
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &DecisionMetrics) {
+        self.runs += other.runs;
+        self.sim_ns += other.sim_ns;
+        add_assign(&mut self.latency_counts, &other.latency_counts);
+        self.latency_samples += other.latency_samples;
+        self.latency_sum_ns += other.latency_sum_ns;
+        add_assign(&mut self.placements, &other.placements);
+        self.migrations += other.migrations;
+        add_assign(&mut self.spin_ns, &other.spin_ns);
+        self.nest_primary_ns += other.nest_primary_ns;
+        self.nest_reserve_ns += other.nest_reserve_ns;
+        self.nest_primary_max = self.nest_primary_max.max(other.nest_primary_max);
+        self.nest_reserve_max = self.nest_reserve_max.max(other.nest_reserve_max);
+        self.nest_transitions += other.nest_transitions;
+        self.nest_compactions += other.nest_compactions;
+        if self.occupancy_timeline.is_empty() && !other.occupancy_timeline.is_empty() {
+            self.occupancy_timeline = other.occupancy_timeline.clone();
+            self.timeline_truncated = other.timeline_truncated;
+        }
+    }
+
+    /// Total placements across all paths.
+    pub fn total_placements(&self) -> u64 {
+        self.placements.iter().sum()
+    }
+
+    /// The count for one placement path.
+    pub fn placement_count(&self, path: PlacementPath) -> u64 {
+        self.placements.get(path.index()).copied().unwrap_or(0)
+    }
+
+    /// Simulated seconds across all runs.
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_ns as f64 / 1e9
+    }
+
+    /// Migrations per simulated second.
+    pub fn migrations_per_sec(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.migrations as f64 / self.sim_secs())
+    }
+
+    /// Mean wakeup→run latency in nanoseconds.
+    pub fn mean_latency_ns(&self) -> Option<f64> {
+        (self.latency_samples > 0).then(|| self.latency_sum_ns as f64 / self.latency_samples as f64)
+    }
+
+    /// The fraction of Nest placements that fell back to CFS
+    /// (`NestFallback` over all `Nest*` paths); `None` off the Nest
+    /// policy.
+    pub fn nest_fallback_rate(&self) -> Option<f64> {
+        let fallback = self.placement_count(PlacementPath::NestFallback);
+        let nest_total = fallback
+            + self.placement_count(PlacementPath::NestPrimary)
+            + self.placement_count(PlacementPath::NestReserve);
+        (nest_total > 0).then(|| fallback as f64 / nest_total as f64)
+    }
+
+    /// Total idle-spin nanoseconds across cores.
+    pub fn spin_total_ns(&self) -> u64 {
+        self.spin_ns.iter().sum()
+    }
+
+    /// Machine-wide spin duty-cycle: spin time over total core time.
+    pub fn spin_duty_cycle(&self) -> Option<f64> {
+        let denom = self.sim_ns.saturating_mul(self.spin_ns.len() as u64);
+        (denom > 0).then(|| self.spin_total_ns() as f64 / denom as f64)
+    }
+
+    /// One core's spin duty-cycle.
+    pub fn spin_duty_of(&self, core: usize) -> Option<f64> {
+        let spin = *self.spin_ns.get(core)?;
+        (self.sim_ns > 0).then(|| spin as f64 / self.sim_ns as f64)
+    }
+
+    /// Time-weighted mean primary-nest size.
+    pub fn mean_nest_primary(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.nest_primary_ns as f64 / self.sim_ns as f64)
+    }
+
+    /// Time-weighted mean reserve-nest size.
+    pub fn mean_nest_reserve(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.nest_reserve_ns as f64 / self.sim_ns as f64)
+    }
+
+    /// Serializes the metrics as the `decision_metrics` telemetry block.
+    pub fn to_json(&self) -> Json {
+        let paths: Vec<(String, Json)> = PlacementPath::ALL
+            .iter()
+            .map(|p| (format!("{p:?}"), Json::u64(self.placement_count(*p))))
+            .collect();
+        obj(vec![
+            ("runs", Json::u64(self.runs)),
+            ("sim_ns", Json::u64(self.sim_ns)),
+            (
+                "wakeup_latency",
+                obj(vec![
+                    (
+                        "bucket_edges_ns",
+                        Json::Arr(
+                            LATENCY_BUCKET_EDGES_NS
+                                .iter()
+                                .map(|&e| Json::u64(e))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "counts",
+                        Json::Arr(self.latency_counts.iter().map(|&c| Json::u64(c)).collect()),
+                    ),
+                    ("samples", Json::u64(self.latency_samples)),
+                    ("mean_ns", Json::opt_f64(self.mean_latency_ns())),
+                ]),
+            ),
+            ("placements", Json::Obj(paths)),
+            ("migrations", Json::u64(self.migrations)),
+            (
+                "migrations_per_sec",
+                Json::opt_f64(self.migrations_per_sec()),
+            ),
+            (
+                "nest_fallback_rate",
+                Json::opt_f64(self.nest_fallback_rate()),
+            ),
+            (
+                "spin",
+                obj(vec![
+                    (
+                        "per_core_ns",
+                        Json::Arr(self.spin_ns.iter().map(|&n| Json::u64(n)).collect()),
+                    ),
+                    ("total_ns", Json::u64(self.spin_total_ns())),
+                    ("duty_cycle", Json::opt_f64(self.spin_duty_cycle())),
+                ]),
+            ),
+            (
+                "nest",
+                obj(vec![
+                    ("mean_primary", Json::opt_f64(self.mean_nest_primary())),
+                    ("mean_reserve", Json::opt_f64(self.mean_nest_reserve())),
+                    ("max_primary", Json::u64(self.nest_primary_max as u64)),
+                    ("max_reserve", Json::u64(self.nest_reserve_max as u64)),
+                    ("transitions", Json::u64(self.nest_transitions)),
+                    ("compactions", Json::u64(self.nest_compactions)),
+                    (
+                        "occupancy_timeline",
+                        Json::Arr(
+                            self.occupancy_timeline
+                                .iter()
+                                .map(|&(t, p, r)| {
+                                    Json::Arr(vec![
+                                        Json::u64(t),
+                                        Json::u64(p as u64),
+                                        Json::u64(r as u64),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("timeline_truncated", Json::Bool(self.timeline_truncated)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A probe computing [`DecisionMetrics`] over one run.
+pub struct DecisionMetricsProbe {
+    out: Rc<RefCell<DecisionMetrics>>,
+    m: DecisionMetrics,
+    woken_at: HashMap<TaskId, Time>,
+    last_core: HashMap<TaskId, CoreId>,
+    spin_since: Vec<Option<Time>>,
+    cur_primary: u32,
+    cur_reserve: u32,
+    last_nest_change: Time,
+}
+
+impl DecisionMetricsProbe {
+    /// Creates a probe for a machine with `n_cores` cores. The handle
+    /// receives the metrics after the run finishes.
+    pub fn new(n_cores: usize) -> (DecisionMetricsProbe, Rc<RefCell<DecisionMetrics>>) {
+        let out = Rc::new(RefCell::new(DecisionMetrics::default()));
+        let probe = DecisionMetricsProbe {
+            out: Rc::clone(&out),
+            m: DecisionMetrics {
+                latency_counts: vec![0; LATENCY_BUCKET_EDGES_NS.len() + 1],
+                placements: vec![0; PlacementPath::ALL.len()],
+                spin_ns: vec![0; n_cores],
+                ..DecisionMetrics::default()
+            },
+            woken_at: HashMap::new(),
+            last_core: HashMap::new(),
+            spin_since: vec![None; n_cores],
+            cur_primary: 0,
+            cur_reserve: 0,
+            last_nest_change: Time::ZERO,
+        };
+        (probe, out)
+    }
+
+    /// Accumulates the nest-size integrals up to `now`.
+    fn advance_nest(&mut self, now: Time) {
+        let dt = now.saturating_since(self.last_nest_change);
+        self.m.nest_primary_ns += self.cur_primary as u64 * dt;
+        self.m.nest_reserve_ns += self.cur_reserve as u64 * dt;
+        self.last_nest_change = now;
+    }
+
+    fn on_nest_sizes(&mut self, now: Time, primary: u32, reserve: u32) {
+        self.advance_nest(now);
+        self.cur_primary = primary;
+        self.cur_reserve = reserve;
+        self.m.nest_primary_max = self.m.nest_primary_max.max(primary);
+        self.m.nest_reserve_max = self.m.nest_reserve_max.max(reserve);
+        self.m.nest_transitions += 1;
+        if self.m.occupancy_timeline.len() < TIMELINE_CAP {
+            self.m
+                .occupancy_timeline
+                .push((now.as_nanos(), primary, reserve));
+        } else {
+            self.m.timeline_truncated = true;
+        }
+    }
+}
+
+impl Probe for DecisionMetricsProbe {
+    fn on_event(&mut self, now: Time, event: &TraceEvent) {
+        match event {
+            TraceEvent::Woken { task } => {
+                self.woken_at.insert(*task, now);
+            }
+            TraceEvent::Placed { path, .. } => {
+                self.m.placements[path.index()] += 1;
+            }
+            TraceEvent::RunStart { task, core } => {
+                if let Some(woken) = self.woken_at.remove(task) {
+                    let ns = now.saturating_since(woken);
+                    self.m.latency_counts[DecisionMetrics::latency_bucket(ns)] += 1;
+                    self.m.latency_samples += 1;
+                    self.m.latency_sum_ns += ns;
+                }
+                if let Some(prev) = self.last_core.insert(*task, *core) {
+                    if prev != *core {
+                        self.m.migrations += 1;
+                    }
+                }
+            }
+            TraceEvent::SpinStart { core } => {
+                if let Some(slot) = self.spin_since.get_mut(core.index()) {
+                    *slot = Some(now);
+                }
+            }
+            TraceEvent::SpinEnd { core } => {
+                if let Some(since) = self.spin_since.get_mut(core.index()).and_then(Option::take) {
+                    self.m.spin_ns[core.index()] += now.saturating_since(since);
+                }
+            }
+            TraceEvent::NestExpand {
+                primary, reserve, ..
+            }
+            | TraceEvent::NestShrink {
+                primary, reserve, ..
+            } => {
+                self.on_nest_sizes(now, *primary, *reserve);
+            }
+            TraceEvent::NestCompaction {
+                primary, reserve, ..
+            } => {
+                self.on_nest_sizes(now, *primary, *reserve);
+                self.m.nest_compactions += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, now: Time) {
+        for i in 0..self.spin_since.len() {
+            if let Some(since) = self.spin_since[i].take() {
+                self.m.spin_ns[i] += now.saturating_since(since);
+            }
+        }
+        self.advance_nest(now);
+        self.m.sim_ns = now.as_nanos();
+        self.m.runs = 1;
+        *self.out.borrow_mut() = std::mem::take(&mut self.m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> (DecisionMetricsProbe, Rc<RefCell<DecisionMetrics>>) {
+        DecisionMetricsProbe::new(4)
+    }
+
+    #[test]
+    fn latency_buckets_are_half_open_log2() {
+        assert_eq!(DecisionMetrics::latency_bucket(0), 0);
+        assert_eq!(DecisionMetrics::latency_bucket(1024), 0, "edge inclusive");
+        assert_eq!(DecisionMetrics::latency_bucket(1025), 1);
+        assert_eq!(
+            DecisionMetrics::latency_bucket(u64::MAX),
+            LATENCY_BUCKET_EDGES_NS.len(),
+            "overflow bucket"
+        );
+    }
+
+    #[test]
+    fn wakeup_to_run_latency_and_migrations() {
+        let (mut p, out) = probe();
+        let t = Time::from_nanos;
+        p.on_event(t(100), &TraceEvent::Woken { task: TaskId(1) });
+        p.on_event(
+            t(100),
+            &TraceEvent::Placed {
+                task: TaskId(1),
+                core: CoreId(0),
+                path: PlacementPath::NestPrimary,
+            },
+        );
+        p.on_event(
+            t(2100),
+            &TraceEvent::RunStart {
+                task: TaskId(1),
+                core: CoreId(0),
+            },
+        );
+        // Second stint on another core: a migration, but no new wakeup.
+        p.on_event(
+            t(9000),
+            &TraceEvent::RunStart {
+                task: TaskId(1),
+                core: CoreId(3),
+            },
+        );
+        p.on_finish(t(10_000));
+        let m = out.borrow();
+        assert_eq!(m.latency_samples, 1);
+        assert_eq!(m.latency_sum_ns, 2000);
+        assert_eq!(m.latency_counts[DecisionMetrics::latency_bucket(2000)], 1);
+        assert_eq!(m.migrations, 1);
+        assert_eq!(m.placement_count(PlacementPath::NestPrimary), 1);
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.sim_ns, 10_000);
+    }
+
+    #[test]
+    fn spin_time_closes_open_spans_at_finish() {
+        let (mut p, out) = probe();
+        let t = Time::from_nanos;
+        p.on_event(t(100), &TraceEvent::SpinStart { core: CoreId(1) });
+        p.on_event(t(400), &TraceEvent::SpinEnd { core: CoreId(1) });
+        p.on_event(t(900), &TraceEvent::SpinStart { core: CoreId(2) });
+        p.on_finish(t(1000));
+        let m = out.borrow();
+        assert_eq!(m.spin_ns, vec![0, 300, 100, 0]);
+        assert_eq!(m.spin_total_ns(), 400);
+        assert_eq!(m.spin_duty_cycle(), Some(0.1));
+    }
+
+    #[test]
+    fn nest_occupancy_is_time_weighted() {
+        let (mut p, out) = probe();
+        let t = Time::from_nanos;
+        p.on_event(
+            t(200),
+            &TraceEvent::NestExpand {
+                core: CoreId(0),
+                primary: 2,
+                reserve: 1,
+            },
+        );
+        p.on_event(
+            t(700),
+            &TraceEvent::NestCompaction {
+                core: CoreId(0),
+                primary: 1,
+                reserve: 2,
+            },
+        );
+        p.on_finish(t(1000));
+        let m = out.borrow();
+        // 0 until 200, 2 over [200,700), 1 over [700,1000).
+        assert_eq!(m.nest_primary_ns, 2 * 500 + 300);
+        assert_eq!(m.nest_reserve_ns, 500 + 2 * 300);
+        assert_eq!(m.nest_primary_max, 2);
+        assert_eq!(m.nest_transitions, 2);
+        assert_eq!(m.nest_compactions, 1);
+        assert_eq!(m.occupancy_timeline, vec![(200, 2, 1), (700, 1, 2)]);
+        assert!(!m.timeline_truncated);
+    }
+
+    #[test]
+    fn merge_is_order_independent_sums() {
+        let (mut p1, out1) = probe();
+        let (mut p2, out2) = probe();
+        let t = Time::from_nanos;
+        for (p, task) in [(&mut p1, TaskId(1)), (&mut p2, TaskId(2))] {
+            p.on_event(t(0), &TraceEvent::Woken { task });
+            p.on_event(
+                t(500),
+                &TraceEvent::RunStart {
+                    task,
+                    core: CoreId(0),
+                },
+            );
+            p.on_finish(t(1000));
+        }
+        let (a, b) = (out1.borrow(), out2.borrow());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // The timeline slot differs by merge order (both empty here); all
+        // sums must agree.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.runs, 2);
+        assert_eq!(ab.sim_ns, 2000);
+        assert_eq!(ab.latency_samples, 2);
+    }
+
+    #[test]
+    fn fallback_rate_counts_only_nest_paths() {
+        let mut m = DecisionMetrics {
+            placements: vec![0; PlacementPath::ALL.len()],
+            ..DecisionMetrics::default()
+        };
+        m.placements[PlacementPath::CfsWakeup.index()] = 10;
+        assert_eq!(m.nest_fallback_rate(), None);
+        m.placements[PlacementPath::NestPrimary.index()] = 3;
+        m.placements[PlacementPath::NestFallback.index()] = 1;
+        assert_eq!(m.nest_fallback_rate(), Some(0.25));
+    }
+
+    #[test]
+    fn json_block_has_the_documented_fields() {
+        let (mut p, out) = probe();
+        p.on_finish(Time::from_nanos(10));
+        let json = out.borrow().to_json();
+        for key in [
+            "runs",
+            "sim_ns",
+            "wakeup_latency",
+            "placements",
+            "migrations",
+            "migrations_per_sec",
+            "nest_fallback_rate",
+            "spin",
+            "nest",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        let text = json.to_pretty();
+        assert_eq!(nest_simcore::json::parse(&text).unwrap(), json);
+    }
+}

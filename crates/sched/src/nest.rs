@@ -20,7 +20,7 @@
 //! Each mechanism has a feature flag so the §5.2/§5.3 ablation studies can
 //! disable it.
 
-use nest_simcore::{profile, CoreId, PlacementPath, SocketId, TaskId, TICK_NS};
+use nest_simcore::{profile, CoreId, PlacementPath, SocketId, TaskId, TraceEvent, TICK_NS};
 use nest_topology::{CpuSet, Topology};
 
 use crate::cfs::{self, idle_ok, CfsParams};
@@ -144,6 +144,9 @@ pub struct Nest {
     /// Reusable buffer for the primary search order; the search may
     /// demote cores mid-iteration, so it walks a snapshot.
     scratch_order: Vec<CoreId>,
+    /// Nest-lifecycle trace events queued for the engine, which drains
+    /// them via [`SchedPolicy::drain_trace`] after each callback.
+    trace: Vec<TraceEvent>,
 }
 
 impl Nest {
@@ -160,6 +163,7 @@ impl Nest {
             primary: NestSet::new(n_cores),
             reserve: NestSet::new(n_cores),
             scratch_order: Vec::new(),
+            trace: Vec::new(),
         }
     }
 
@@ -182,22 +186,53 @@ impl Nest {
         self.params.enable_reservation_flag
     }
 
+    /// Current `(primary, reserve)` sizes, for trace-event payloads.
+    fn sizes(&self) -> (u32, u32) {
+        (self.primary.len() as u32, self.reserve.len() as u32)
+    }
+
     /// Demotes a primary core to the reserve, or discards it if the
     /// reserve is full (or disabled).
     fn demote(&mut self, topo: &Topology, core: CoreId) {
-        if self.primary.remove(topo, core)
-            && self.params.enable_reserve
-            && self.reserve.len() < self.params.r_max
-        {
+        self.demote_as(topo, core, false);
+    }
+
+    /// Demotion body; `compaction` selects the trace-event flavor.
+    fn demote_as(&mut self, topo: &Topology, core: CoreId, compaction: bool) {
+        if !self.primary.remove(topo, core) {
+            return;
+        }
+        if self.params.enable_reserve && self.reserve.len() < self.params.r_max {
             self.reserve.insert(topo, core);
         }
+        let (primary, reserve) = self.sizes();
+        self.trace.push(if compaction {
+            TraceEvent::NestCompaction {
+                core,
+                primary,
+                reserve,
+            }
+        } else {
+            TraceEvent::NestShrink {
+                core,
+                primary,
+                reserve,
+            }
+        });
     }
 
     /// Promotes a core into the primary nest, removing it from the
     /// reserve if present.
     fn promote(&mut self, topo: &Topology, core: CoreId) {
         self.reserve.remove(topo, core);
-        self.primary.insert(topo, core);
+        if self.primary.insert(topo, core) {
+            let (primary, reserve) = self.sizes();
+            self.trace.push(TraceEvent::NestExpand {
+                core,
+                primary,
+                reserve,
+            });
+        }
     }
 
     /// `true` if an idle primary core has been unused long enough for
@@ -236,7 +271,7 @@ impl Nest {
         for &core in &order {
             if self.compaction_eligible(k, env, core) {
                 // A task tried to use a stale core: demote it instead.
-                self.demote(env.topo, core);
+                self.demote_as(env.topo, core, true);
                 continue;
             }
             if idle_ok(k, core, respect) {
@@ -408,6 +443,10 @@ impl SchedPolicy for Nest {
         core: CoreId,
     ) -> Option<CoreId> {
         cfs::periodic_pull_source(k, env, core, &self.cfs_params)
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.trace);
     }
 }
 

@@ -7,7 +7,7 @@
 //! [`KernelState`] machinery.
 
 use nest_freq::FreqModel;
-use nest_simcore::{CoreId, PlacementPath, SimRng, TaskId, Time};
+use nest_simcore::{CoreId, PlacementPath, SimRng, TaskId, Time, TraceEvent};
 use nest_topology::Topology;
 
 use crate::kernel::KernelState;
@@ -119,4 +119,13 @@ pub trait SchedPolicy {
         env: &mut SchedEnv<'_>,
         core: CoreId,
     ) -> Option<CoreId>;
+
+    /// Moves trace events describing the policy's internal transitions
+    /// (e.g. Nest's [`TraceEvent::NestExpand`] family) into `out`. The
+    /// engine calls this after every policy callback and emits the drained
+    /// events to its probes at the current time. Policies with no internal
+    /// state worth tracing keep the default no-op.
+    fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        let _ = out;
+    }
 }

@@ -35,6 +35,29 @@ pub enum PlacementPath {
     SmoveTimer,
 }
 
+impl PlacementPath {
+    /// Every placement path, in a stable display order. Dense per-path
+    /// counters index by position in this array ([`PlacementPath::index`]).
+    pub const ALL: [PlacementPath; 8] = [
+        PlacementPath::CfsFork,
+        PlacementPath::CfsWakeup,
+        PlacementPath::NestPrimary,
+        PlacementPath::NestReserve,
+        PlacementPath::NestFallback,
+        PlacementPath::SmoveParent,
+        PlacementPath::LoadBalance,
+        PlacementPath::SmoveTimer,
+    ];
+
+    /// The dense index of this path within [`PlacementPath::ALL`].
+    pub fn index(self) -> usize {
+        PlacementPath::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("ALL lists every variant")
+    }
+}
+
 /// Why a task stopped running on a core.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum StopReason {
@@ -49,7 +72,7 @@ pub enum StopReason {
 }
 
 /// One event in the simulation trace.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
     /// A task was created (initial task or fork).
     TaskCreated {
@@ -117,6 +140,36 @@ pub enum TraceEvent {
         /// The core that stopped spinning.
         core: CoreId,
     },
+    /// A core entered the primary nest (reserve promotion or impatient
+    /// growth; Nest policy only).
+    NestExpand {
+        /// The promoted core.
+        core: CoreId,
+        /// Primary-nest size after the transition.
+        primary: u32,
+        /// Reserve-nest size after the transition.
+        reserve: u32,
+    },
+    /// A core left the primary nest (demoted to the reserve, or discarded
+    /// when the reserve is full or disabled; Nest policy only).
+    NestShrink {
+        /// The demoted core.
+        core: CoreId,
+        /// Primary-nest size after the transition.
+        primary: u32,
+        /// Reserve-nest size after the transition.
+        reserve: u32,
+    },
+    /// A stale primary core was demoted by lazy compaction (§3.1): a task
+    /// tried to use it after `P_remove` idle ticks (Nest policy only).
+    NestCompaction {
+        /// The compacted core.
+        core: CoreId,
+        /// Primary-nest size after the transition.
+        primary: u32,
+        /// Reserve-nest size after the transition.
+        reserve: u32,
+    },
 }
 
 /// A subscriber to the simulation trace.
@@ -128,16 +181,17 @@ pub trait Probe {
     fn on_finish(&mut self, _now: Time) {}
 }
 
-/// A probe that records every event verbatim; useful in tests.
+/// A probe that records every event verbatim; useful in tests, which
+/// match the recorded [`TraceEvent`]s structurally.
 #[derive(Default)]
 pub struct RecordingProbe {
     /// The recorded `(time, event)` pairs.
-    pub events: Vec<(Time, String)>,
+    pub events: Vec<(Time, TraceEvent)>,
 }
 
 impl Probe for RecordingProbe {
     fn on_event(&mut self, now: Time, event: &TraceEvent) {
-        self.events.push((now, format!("{event:?}")));
+        self.events.push((now, event.clone()));
     }
 }
 
@@ -151,26 +205,22 @@ mod tests {
         p.on_event(Time::from_nanos(5), &TraceEvent::Woken { task: TaskId(3) });
         assert_eq!(p.events.len(), 1);
         assert_eq!(p.events[0].0, Time::from_nanos(5));
-        assert!(p.events[0].1.contains("Woken"));
+        assert_eq!(p.events[0].1, TraceEvent::Woken { task: TaskId(3) });
     }
 
     #[test]
     fn placement_paths_are_distinct() {
-        use PlacementPath::*;
-        let all = [
-            CfsFork,
-            CfsWakeup,
-            NestPrimary,
-            NestReserve,
-            NestFallback,
-            SmoveParent,
-            LoadBalance,
-            SmoveTimer,
-        ];
-        for (i, a) in all.iter().enumerate() {
-            for (j, b) in all.iter().enumerate() {
+        for (i, a) in PlacementPath::ALL.iter().enumerate() {
+            for (j, b) in PlacementPath::ALL.iter().enumerate() {
                 assert_eq!(i == j, a == b);
             }
+        }
+    }
+
+    #[test]
+    fn placement_path_index_is_dense() {
+        for (i, p) in PlacementPath::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
         }
     }
 }

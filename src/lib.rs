@@ -12,6 +12,10 @@ pub use nest_core::*;
 /// [`Scenario`]: nest_scenario::Scenario
 pub use nest_scenario as scenario;
 
+/// The observability layer: trace capture, Chrome-trace export, and
+/// decision metrics (`nest-sim trace`/`stats`). See `PROFILING.md`.
+pub use nest_obs as obs;
+
 /// The paper reproduced by this repository.
 pub const PAPER: &str =
     "OS Scheduling with Nest: Keeping Tasks Close Together on Warm Cores (EuroSys 2022)";
