@@ -32,6 +32,17 @@ NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
     run --machine 5220 --policy smove --governor performance \
     --workload schbench:mt=2,w=2,requests=5 --runs 2
 
+# Robustness: the chaos soak runs randomized fault plans under every
+# policy with the invariant checker in fail-fast mode, and a faulted
+# scenario runs end to end through the CLI (exiting non-zero on any
+# cell failure or invariant violation).
+step cargo test --release -q --test chaos_soak
+NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
+    step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 6130-4 --policy cfs --policy nest --governor schedutil \
+    --workload configure:gdb,tests=40 --runs 2 \
+    --faults "hotplug=8@50ms:200ms,throttle=s0:0.8"
+
 # Decision observability: `trace` exports Chrome trace-event JSON and
 # re-parses it with the in-tree codec before writing (a failing parse
 # exits non-zero), `stats` prints the decision-metrics table.

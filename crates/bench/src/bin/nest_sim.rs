@@ -46,6 +46,7 @@ USAGE:
     nest-sim run --machine <key> --policy <spec> [--policy <spec>]...
                  --governor <key> [--governor <key>]... --workload <spec>
                  [--seed <n>] [--runs <n>] [--horizon <secs>] [--out <name>]
+                 [--faults <spec>]
     nest-sim trace --machine <key> --policy <spec> --governor <key> --workload <spec>
                  [--seed <n>] [--horizon <secs>] [--out <file>]
                  [--window <lo:hi>] [--events <class,...>] [--capacity <n>]
@@ -58,6 +59,9 @@ EXAMPLES:
                  --workload hackbench --runs 10
     nest-sim run --machine 5220 --policy cfs --policy smove --governor perf \\
                  --workload schbench:mt=2,w=2 --out smove_tail
+    nest-sim run --machine 6130-4 --policy nest --governor schedutil \\
+                 --workload configure:gdb \\
+                 --faults hotplug=8@100ms:2s,throttle=s0:0.8
     nest-sim trace --machine 5218 --policy nest --governor schedutil \\
                  --workload configure:gdb --out trace.json --window 0:2 \\
                  --events run,placement,nest
@@ -69,6 +73,13 @@ or chrome://tracing); `--window` bounds are simulated seconds, and
 `--events` takes classes from: task, placement, run, freq, spin, nest,
 runnable. `stats` prints the scheduler's decision metrics (placement
 paths, wakeup latency, migrations, spinning, nest occupancy).
+
+`--faults` injects a seeded fault plan into every row (grammar:
+`hotplug=N@TIME[:DUR]`, `throttle=sK:F[@TIME[:DUR]]` joined with '+',
+`jitter=TIME`, `stragglers=N[@TIME[:DUR]]`; clauses comma-separated —
+see README \"Fault injection\"). It applies to `run`, `id`, `trace`,
+and `stats` alike; the fault plan is part of the scenario identity, so
+faulted results never collide with fault-free caches.
 
 `nest-sim list` prints every registry key a flag accepts; unknown keys
 fail with the list of valid entries.";
@@ -131,6 +142,7 @@ struct RunArgs {
     runs: Option<usize>,
     horizon: Option<u64>,
     out: Option<String>,
+    faults: Option<String>,
     window: Option<(Time, Time)>,
     events: Option<Vec<EventClass>>,
     capacity: Option<usize>,
@@ -226,6 +238,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                 )
             }
             "--out" => out.out = Some(value()),
+            "--faults" => out.faults = Some(value()),
             "--window" => out.window = Some(parse_window(&value())),
             "--events" => out.events = Some(parse_events(&value())),
             "--capacity" => {
@@ -263,14 +276,17 @@ fn scenarios_of(a: &RunArgs) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for policy in &a.policies {
         for governor in &a.governors {
-            let s = Scenario::parse(machine, policy, governor, workload)
+            let mut s = Scenario::parse(machine, policy, governor, workload)
                 .unwrap_or_else(|e| fail(&e.to_string()))
                 .with_seed(a.seed.unwrap_or(DEFAULT_SEED))
                 .with_runs(a.runs.unwrap_or(DEFAULT_RUNS));
-            scenarios.push(match a.horizon {
-                Some(h) => s.with_horizon_s(h),
-                None => s,
-            });
+            if let Some(h) = a.horizon {
+                s = s.with_horizon_s(h);
+            }
+            if let Some(f) = &a.faults {
+                s = s.with_faults(f).unwrap_or_else(|e| fail(&e.to_string()));
+            }
+            scenarios.push(s);
         }
     }
     scenarios
@@ -302,6 +318,9 @@ fn run(args: &[String]) {
         first.runs(),
         first.horizon_s()
     );
+    if !first.faults().is_empty() {
+        println!("faults:   {}", first.faults());
+    }
     for s in &scenarios {
         println!("  row: {}", s.identity());
     }
@@ -328,6 +347,19 @@ fn run(args: &[String]) {
     match artifact.write_telemetry(&telemetry) {
         Ok(path) => println!("telemetry: {}", path.display()),
         Err(e) => fail(&format!("could not write telemetry: {e}")),
+    }
+    if telemetry.invariants.violations > 0 {
+        eprintln!(
+            "nest-sim: {} invariant violation(s) detected (see telemetry)",
+            telemetry.invariants.violations
+        );
+        std::process::exit(1);
+    }
+    if !telemetry.all_cells_ok() {
+        for f in &telemetry.failures {
+            eprintln!("nest-sim: cell failed: {}: {}", f.cell, f.message);
+        }
+        std::process::exit(1);
     }
 }
 

@@ -55,6 +55,11 @@ struct SectionTelemetry {
     events_per_sec: f64,
     cells_total: u64,
     cells_cached: u64,
+    /// Cells whose simulation panicked; the section's harness contained
+    /// them and completed the rest, so its results are partial, not gone.
+    failed_cells: Vec<String>,
+    /// Kernel-state invariant violations counted across the section.
+    invariant_violations: u64,
 }
 
 fn run(bin: &'static str, bench: bool) -> SectionResult {
@@ -93,11 +98,31 @@ fn run(bin: &'static str, bench: bool) -> SectionResult {
 fn read_section_telemetry(bin: &str) -> Option<SectionTelemetry> {
     let path = results_dir().join(format!("{bin}.telemetry.json"));
     let root = json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    let failed_cells = root
+        .get("failures")
+        .and_then(|j| j.as_arr())
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|f| {
+                    let cell = f.get("cell")?.as_str()?;
+                    let message = f.get("message")?.as_str()?;
+                    Some(format!("{cell}: {message}"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let invariant_violations = root
+        .get("invariants")
+        .and_then(|j| j.get("violations"))
+        .and_then(|j| j.as_u64())
+        .unwrap_or(0);
     Some(SectionTelemetry {
         events_total: root.get("events_total")?.as_u64()?,
         events_per_sec: root.get("events_per_sec")?.as_f64()?,
         cells_total: root.get("cells_total")?.as_u64()?,
         cells_cached: root.get("cells_cached")?.as_u64()?,
+        failed_cells,
+        invariant_violations,
     })
 }
 
@@ -123,6 +148,18 @@ fn write_summary(results: &[SectionResult], wall_s: f64) {
                     fields.push(("events_per_sec".to_string(), Json::f64(t.events_per_sec)));
                     fields.push(("cells_total".to_string(), Json::u64(t.cells_total)));
                     fields.push(("cells_cached".to_string(), Json::u64(t.cells_cached)));
+                    fields.push((
+                        "cells_failed".to_string(),
+                        Json::usize(t.failed_cells.len()),
+                    ));
+                    fields.push((
+                        "failed_cells".to_string(),
+                        Json::Arr(t.failed_cells.iter().map(|c| Json::str(c)).collect()),
+                    ));
+                    fields.push((
+                        "invariant_violations".to_string(),
+                        Json::u64(t.invariant_violations),
+                    ));
                 }
                 Json::Obj(fields)
             })
@@ -181,24 +218,30 @@ fn main() {
 
     println!("\n################ summary ################\n");
     println!(
-        "{:<26} {:>8} {:>10} {:>12} {:>9}",
-        "section", "status", "elapsed", "events/s", "cache"
+        "{:<26} {:>8} {:>10} {:>12} {:>9} {:>7}",
+        "section", "status", "elapsed", "events/s", "cache", "cells"
     );
     for r in &results {
-        let (events, cache) = match &r.telemetry {
+        let (events, cache, cells) = match &r.telemetry {
             Some(t) => (
                 format!("{:.0}k", t.events_per_sec / 1e3),
                 format!("{}/{}", t.cells_cached, t.cells_total),
+                if t.failed_cells.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("{} BAD", t.failed_cells.len())
+                },
             ),
-            None => ("-".to_string(), "-".to_string()),
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        let status = match (&r.outcome, &r.telemetry) {
+            (Err(_), _) => "FAILED",
+            (Ok(()), Some(t)) if !t.failed_cells.is_empty() => "partial",
+            _ => "ok",
         };
         println!(
-            "{:<26} {:>8} {:>9.1}s {:>12} {:>9}",
-            r.bin,
-            if r.outcome.is_ok() { "ok" } else { "FAILED" },
-            r.elapsed_s,
-            events,
-            cache
+            "{:<26} {:>8} {:>9.1}s {:>12} {:>9} {:>7}",
+            r.bin, status, r.elapsed_s, events, cache, cells
         );
     }
     let failed: Vec<&SectionResult> = results.iter().filter(|r| r.outcome.is_err()).collect();
@@ -215,7 +258,33 @@ fn main() {
         write_bench(&results);
     }
 
-    if failed.is_empty() {
+    // Cell-level failures: the section's harness contained a panicking
+    // cell and finished the rest, so its artifact exists but is partial.
+    // Completed sections (and cells) are kept; the run still fails.
+    let partial: Vec<&SectionResult> = results
+        .iter()
+        .filter(|r| {
+            r.outcome.is_ok()
+                && r.telemetry
+                    .as_ref()
+                    .is_some_and(|t| !t.failed_cells.is_empty())
+        })
+        .collect();
+    for r in &partial {
+        for cell in &r.telemetry.as_ref().unwrap().failed_cells {
+            eprintln!("FAILED CELL: {}: {cell}", r.bin);
+        }
+    }
+    let violations: u64 = results
+        .iter()
+        .filter_map(|r| r.telemetry.as_ref())
+        .map(|t| t.invariant_violations)
+        .sum();
+    if violations > 0 {
+        eprintln!("WARNING: {violations} kernel-state invariant violation(s) across sections");
+    }
+
+    if failed.is_empty() && partial.is_empty() {
         println!("\nAll experiments completed.");
     } else {
         for r in &failed {

@@ -9,13 +9,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use nest_engine::{Engine, EngineConfig};
+use nest_faults::FaultPlan;
 use nest_freq::Governor;
 use nest_metrics::RunSummary;
 use nest_metrics::{
     ExecutionTrace, ExecutionTraceProbe, FreqResidency, FreqResidencyProbe, PlacementCounts,
     PlacementProbe, UnderloadData, UnderloadProbe, WakeupLatencies, WakeupLatencyProbe,
 };
-use nest_obs::{DecisionMetrics, DecisionMetricsProbe};
+use nest_obs::{DecisionMetrics, DecisionMetricsProbe, InvariantChecker, InvariantCounts};
 use nest_sched::{Cfs, CfsParams, Nest, NestParams, SchedPolicy, Smove, SmoveParams};
 use nest_simcore::rng::mix64;
 use nest_simcore::{CoreId, Probe, SimRng, Time};
@@ -80,6 +81,15 @@ pub struct SimConfig {
     pub initial_core: CoreId,
     /// Collect a full execution trace (memory-heavy; figures 2/8 only).
     pub collect_trace: bool,
+    /// Fault-injection plan. The default (empty) plan adds no events and
+    /// draws no randomness, leaving runs byte-identical to a build
+    /// without fault support.
+    pub faults: FaultPlan,
+    /// Deterministic watchdog: abort the run (keeping partial results)
+    /// after dispatching this many engine events.
+    pub event_budget: Option<u64>,
+    /// Wall-clock watchdog; aborted results are *not* deterministic.
+    pub wall_limit: Option<std::time::Duration>,
 }
 
 impl SimConfig {
@@ -94,6 +104,9 @@ impl SimConfig {
             placement_latency_ns: 1_500,
             initial_core: CoreId(0),
             collect_trace: false,
+            faults: FaultPlan::default(),
+            event_budget: None,
+            wall_limit: None,
         }
     }
 
@@ -139,6 +152,24 @@ impl SimConfig {
         self
     }
 
+    /// Sets the fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> SimConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the deterministic event-budget watchdog.
+    pub fn event_budget(mut self, budget: Option<u64>) -> SimConfig {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock watchdog.
+    pub fn wall_limit(mut self, limit: Option<std::time::Duration>) -> SimConfig {
+        self.wall_limit = limit;
+        self
+    }
+
     /// Figure label like `"Nest sched"`.
     pub fn label(&self) -> String {
         format!("{} {}", self.policy.label(), self.governor.short_name())
@@ -169,6 +200,11 @@ pub struct RunResult {
     pub total_tasks: usize,
     /// Whether the horizon cut the run short.
     pub hit_horizon: bool,
+    /// Whether a watchdog aborted the run (partial results).
+    pub aborted: bool,
+    /// Kernel-state invariant tallies from the always-on counting
+    /// checker (telemetry only, like `decision`).
+    pub invariants: InvariantCounts,
 }
 
 impl RunResult {
@@ -213,7 +249,10 @@ pub fn run_once_with(
         .seed(cfg.seed)
         .horizon(cfg.horizon)
         .placement_latency_ns(cfg.placement_latency_ns)
-        .initial_core(cfg.initial_core);
+        .initial_core(cfg.initial_core)
+        .faults(cfg.faults.clone())
+        .event_budget(cfg.event_budget)
+        .wall_limit(cfg.wall_limit);
     let mut engine = Engine::new(engine_cfg, cfg.policy.build(n_cores));
 
     let (up, underload) = UnderloadProbe::new(n_cores);
@@ -231,6 +270,12 @@ pub fn run_once_with(
     engine.add_probe(Box::new(lp));
     let (dp, decision) = DecisionMetricsProbe::new(n_cores);
     engine.add_probe(Box::new(dp));
+    let (ic, invariants) = InvariantChecker::new(
+        n_cores,
+        cfg.machine.freq.fmin.as_khz(),
+        cfg.machine.freq.fmax().as_khz(),
+    );
+    engine.add_probe(Box::new(ic));
     let trace_handle = if cfg.collect_trace {
         let (tp, th) = ExecutionTraceProbe::new(n_cores, initial_freq);
         engine.add_probe(Box::new(tp));
@@ -249,6 +294,7 @@ pub fn run_once_with(
         engine.spawn(t);
     }
     let outcome = engine.run();
+    let invariants = invariants.borrow().clone();
 
     RunResult {
         time_s: outcome.finished_at.as_secs_f64(),
@@ -261,6 +307,8 @@ pub fn run_once_with(
         decision: take(&decision),
         total_tasks: outcome.total_tasks,
         hit_horizon: outcome.hit_horizon,
+        aborted: outcome.aborted,
+        invariants,
     }
 }
 
@@ -366,6 +414,44 @@ mod tests {
         assert_eq!(r.time_s, base.time_s);
         assert_eq!(r.energy_j, base.energy_j);
         assert!(!log.borrow().events.is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_on_clean_and_faulted_runs() {
+        let clean = run_once(
+            &quick_cfg().policy(PolicyKind::Nest),
+            &Configure::named("gdb"),
+        );
+        assert_eq!(clean.invariants.violations, 0, "{:?}", clean.invariants);
+        assert!(clean.invariants.completed);
+        assert!(!clean.aborted);
+
+        let faulted_cfg = quick_cfg()
+            .policy(PolicyKind::Nest)
+            .faults(FaultPlan::parse("faults:hotplug=2@50ms:100ms,throttle=s0:0.8@80ms").unwrap());
+        let faulted = run_once(&faulted_cfg, &Configure::named("gdb"));
+        assert_eq!(faulted.invariants.violations, 0, "{:?}", faulted.invariants);
+        assert!(faulted.invariants.completed);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_runs_byte_identical() {
+        let base = run_once(&quick_cfg(), &Configure::named("gdb"));
+        let cfg = quick_cfg()
+            .faults(FaultPlan::default())
+            .event_budget(None)
+            .wall_limit(None);
+        let same = run_once(&cfg, &Configure::named("gdb"));
+        assert_eq!(base.time_s, same.time_s);
+        assert_eq!(base.energy_j, same.energy_j);
+    }
+
+    #[test]
+    fn event_budget_surfaces_as_aborted() {
+        let cfg = quick_cfg().event_budget(Some(200));
+        let r = run_once(&cfg, &Configure::named("gdb"));
+        assert!(r.aborted);
+        assert!(r.time_s > 0.0, "partial results survive");
     }
 
     #[test]

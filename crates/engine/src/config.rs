@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use nest_faults::FaultPlan;
 use nest_freq::Governor;
 use nest_simcore::{CoreId, Time};
 use nest_topology::MachineSpec;
@@ -21,6 +22,18 @@ pub struct EngineConfig {
     pub initial_core: CoreId,
     /// Hard stop; simulations of non-terminating workloads need one.
     pub horizon: Time,
+    /// Perturbations injected through the event queue (hotplug, thermal
+    /// throttling, timer jitter, stragglers). An empty plan — the default
+    /// — adds no events, draws no randomness, and leaves the run
+    /// byte-identical to a build without fault support.
+    pub faults: FaultPlan,
+    /// Watchdog: abort the run (with partial results) after dispatching
+    /// this many events. Deterministic, unlike a wall-clock limit.
+    pub event_budget: Option<u64>,
+    /// Watchdog: abort the run after this much wall-clock time. Where the
+    /// cut lands depends on host speed, so results after an abort are
+    /// *not* deterministic; off by default.
+    pub wall_limit: Option<std::time::Duration>,
 }
 
 impl EngineConfig {
@@ -33,6 +46,9 @@ impl EngineConfig {
             placement_latency_ns: 1_500,
             initial_core: CoreId(0),
             horizon: Time::from_secs(600),
+            faults: FaultPlan::default(),
+            event_budget: None,
+            wall_limit: None,
         }
     }
 
@@ -65,6 +81,24 @@ impl EngineConfig {
         self.initial_core = core;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> EngineConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the event-budget watchdog.
+    pub fn event_budget(mut self, budget: Option<u64>) -> EngineConfig {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock watchdog.
+    pub fn wall_limit(mut self, limit: Option<std::time::Duration>) -> EngineConfig {
+        self.wall_limit = limit;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -79,12 +113,18 @@ mod tests {
             .seed(9)
             .horizon(Time::from_secs(5))
             .placement_latency_ns(2_000)
-            .initial_core(CoreId(3));
+            .initial_core(CoreId(3))
+            .faults(FaultPlan::parse("faults:hotplug=2@50ms").unwrap())
+            .event_budget(Some(1_000_000))
+            .wall_limit(Some(std::time::Duration::from_secs(30)));
         assert_eq!(cfg.governor, Governor::Performance);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.horizon, Time::from_secs(5));
         assert_eq!(cfg.placement_latency_ns, 2_000);
         assert_eq!(cfg.initial_core, CoreId(3));
+        assert_eq!(cfg.faults.canonical(), "hotplug=2@50ms");
+        assert_eq!(cfg.event_budget, Some(1_000_000));
+        assert_eq!(cfg.wall_limit, Some(std::time::Duration::from_secs(30)));
     }
 
     #[test]
@@ -92,5 +132,8 @@ mod tests {
         let cfg = EngineConfig::new(presets::xeon_5218());
         assert_eq!(cfg.placement_latency_ns, 1_500);
         assert_eq!(cfg.initial_core, CoreId(0));
+        assert!(cfg.faults.is_empty());
+        assert_eq!(cfg.event_budget, None);
+        assert_eq!(cfg.wall_limit, None);
     }
 }

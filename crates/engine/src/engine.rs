@@ -21,12 +21,13 @@
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use nest_faults::{FaultAction, FaultSchedule};
 use nest_freq::{Activity, FreqModel};
 use nest_sched::kernel::KernelState;
 use nest_sched::policy::{IdleReason, Placement, SchedEnv, SchedPolicy};
 use nest_simcore::{
     profile, Action, BarrierId, ChannelId, CoreId, EventQueue, Freq, PlacementPath, Probe, SimRng,
-    SimSetup, StopReason, TaskId, TaskSpec, Time, TraceEvent, MILLISEC, TICK_NS,
+    SimSetup, StopReason, TaskId, TaskSpec, Time, TraceEvent, MICROSEC, MILLISEC, TICK_NS,
 };
 use nest_topology::Topology;
 
@@ -51,6 +52,10 @@ pub struct RunOutcome {
     pub total_tasks: usize,
     /// `true` if the run ended at the horizon rather than by completion.
     pub hit_horizon: bool,
+    /// `true` if a watchdog ([`EngineConfig::event_budget`] or
+    /// [`EngineConfig::wall_limit`]) cut the run short; the other fields
+    /// then describe the partial run up to the abort.
+    pub aborted: bool,
 }
 
 #[derive(Debug)]
@@ -76,6 +81,9 @@ enum Event {
         to: CoreId,
         gen: u64,
     },
+    /// An injected fault fires (index into the materialized
+    /// [`FaultSchedule`]).
+    Fault(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +154,12 @@ pub struct Engine {
     pending_core: std::collections::HashMap<usize, CoreId>,
     /// Reusable buffer for draining policy-queued trace events.
     policy_trace: Vec<TraceEvent>,
+    /// Materialized fault actions (empty for an empty plan).
+    fault_schedule: FaultSchedule,
+    /// Randomness reserved for fault effects (tick jitter). Seeded from
+    /// the plan and the run seed; never drawn from on fault-free runs, so
+    /// the main stream — and the run — stay byte-identical.
+    fault_rng: SimRng,
     started: bool,
 }
 
@@ -178,8 +192,15 @@ impl Engine {
         let freq = FreqModel::new(&cfg.machine, cfg.governor);
         let kernel = KernelState::new(Rc::clone(&topo));
         let n = topo.n_cores();
+        let fault_schedule = FaultSchedule::materialize(&cfg.faults, &topo, cfg.seed);
+        let fault_rng = SimRng::new(nest_simcore::rng::mix64(
+            nest_simcore::rng::hash_str(&cfg.faults.canonical()),
+            cfg.seed ^ 0xFA17,
+        ));
         Engine {
             rng: SimRng::new(cfg.seed),
+            fault_schedule,
+            fault_rng,
             freq,
             kernel,
             topo,
@@ -363,8 +384,14 @@ impl Engine {
         self.started = true;
         self.queue.schedule(self.now + TICK_NS, Event::GlobalTick);
         self.queue.schedule(self.now + MILLISEC, Event::FreqTick);
+        for i in 0..self.fault_schedule.actions().len() {
+            let at = self.fault_schedule.actions()[i].at;
+            self.queue.schedule(at, Event::Fault(i));
+        }
 
         let mut hit_horizon = false;
+        let mut aborted = false;
+        let wall_start = std::time::Instant::now();
         // Dispatched events are tallied in a local counter and flushed to
         // the profiler once per run: the loop body stays free of atomics.
         let mut events_dispatched: u64 = 0;
@@ -375,6 +402,23 @@ impl Engine {
             if t > self.cfg.horizon {
                 hit_horizon = true;
                 break;
+            }
+            if let Some(budget) = self.cfg.event_budget {
+                if events_dispatched >= budget {
+                    aborted = true;
+                    break;
+                }
+            }
+            if events_dispatched & 0xFFFF == 0xFFFF {
+                // Checked every 64 Ki events: the syscall stays off the
+                // hot path, and fault-free runs (no wall limit) never
+                // reach it at all.
+                if let Some(limit) = self.cfg.wall_limit {
+                    if wall_start.elapsed() >= limit {
+                        aborted = true;
+                        break;
+                    }
+                }
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
@@ -393,6 +437,7 @@ impl Engine {
             live_tasks: self.live_tasks,
             total_tasks: self.tasks.len(),
             hit_horizon,
+            aborted,
         }
     }
 
@@ -411,6 +456,128 @@ impl Engine {
                 to,
                 gen,
             } => self.on_smove_expire(task, from, to, gen),
+            Event::Fault(idx) => self.on_fault(idx),
+        }
+    }
+
+    // ---- fault injection ---------------------------------------------
+
+    fn on_fault(&mut self, idx: usize) {
+        match self.fault_schedule.actions()[idx].action {
+            FaultAction::CoreOffline(core) => self.offline_core(core),
+            FaultAction::CoreOnline(core) => self.online_core(core),
+            FaultAction::ThrottleStart { socket, factor } => {
+                self.set_throttle(socket.index(), factor)
+            }
+            FaultAction::ThrottleEnd { socket } => self.set_throttle(socket.index(), 1.0),
+            FaultAction::SpawnStragglers { count, duration_ns } => {
+                self.spawn_stragglers(count, duration_ns)
+            }
+        }
+    }
+
+    /// Takes `core` offline: sheds it from the policy's core sets,
+    /// migrates the running task and drains the queue, and marks the
+    /// hardware idle. Ordering matters for the invariant checker: the
+    /// policy shed (and its `NestShrink` trace) lands *before* the
+    /// `CoreOffline` marker, and every displacement after it.
+    fn offline_core(&mut self, core: CoreId) {
+        if !self.kernel.is_online(core) {
+            return;
+        }
+        // Drop from the online mask first: nothing selected from here on
+        // can land on the core.
+        self.kernel.set_online(core, false);
+        {
+            let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+            self.policy
+                .on_core_offline(&mut self.kernel, &mut env, core);
+        }
+        self.drain_policy_trace();
+        self.emit(TraceEvent::CoreOffline { core });
+        self.stop_spin(core);
+        // Migrate the task running there, then drain the queue; each
+        // displaced task is re-placed through the policy.
+        if self.kernel.core(core).curr.is_some() {
+            self.account_running_segment(core);
+            let prev = self.kernel.put_curr(self.now, core);
+            self.cancel_segment_event(prev);
+            self.tasks[prev.index()].state = TaskState::Queued;
+            self.emit(TraceEvent::RunStop {
+                task: prev,
+                core,
+                reason: StopReason::Preempt,
+            });
+            self.replace_displaced(prev, core);
+        }
+        while let Some(task) = self.kernel.steal_queued(core) {
+            self.replace_displaced(task, core);
+        }
+        let changed = self.freq.set_activity(self.now, core, Activity::Idle);
+        self.emit_freq_changes(&changed);
+        self.retime_after_freq_change(&changed);
+    }
+
+    /// Brings `core` back online and lets the policy pull work onto it.
+    fn online_core(&mut self, core: CoreId) {
+        if self.kernel.is_online(core) {
+            return;
+        }
+        self.kernel.set_online(core, true);
+        self.emit(TraceEvent::CoreOnline { core });
+        self.core_went_idle(core, IdleReason::Other);
+    }
+
+    /// Migrates a task displaced by a core offlining onto a live core
+    /// chosen by the policy (an emergency load-balance move, not a
+    /// two-phase placement: the dead core must be empty *now*).
+    fn replace_displaced(&mut self, task: TaskId, from: CoreId) {
+        let placement = {
+            let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+            self.policy
+                .select_core_wakeup(&mut self.kernel, &mut env, task, from)
+        };
+        self.drain_policy_trace();
+        let target = placement.core;
+        debug_assert!(self.kernel.is_online(target), "policy chose a dead core");
+        self.emit(TraceEvent::Placed {
+            task,
+            core: target,
+            path: PlacementPath::LoadBalance,
+        });
+        self.tasks[task.index()].state = TaskState::Queued;
+        self.kernel.enqueue(self.now, task, target);
+        if self.kernel.core(target).curr.is_none() {
+            self.schedule_core(target);
+        }
+    }
+
+    fn set_throttle(&mut self, socket: usize, factor: f64) {
+        let changed = self.freq.set_socket_throttle(self.now, socket, factor);
+        self.emit(TraceEvent::SocketThrottle { socket, factor });
+        self.emit_freq_changes(&changed);
+        self.retime_after_freq_change(&changed);
+    }
+
+    fn spawn_stragglers(&mut self, count: u32, duration_ns: u64) {
+        let initial_core = self.cfg.initial_core;
+        let parent_core = if self.kernel.is_online(initial_core) {
+            initial_core
+        } else {
+            self.kernel
+                .online_cores()
+                .first()
+                .expect("at least one core online")
+        };
+        for i in 0..count {
+            self.create_task(
+                TaskSpec {
+                    label: format!("straggler{i}"),
+                    behavior: Box::new(Straggler::new(duration_ns)),
+                },
+                None,
+                parent_core,
+            );
         }
     }
 
@@ -426,6 +593,19 @@ impl Engine {
             .pending_core
             .remove(&task.index())
             .expect("no pending core");
+        if !self.kernel.is_online(core) {
+            // The target died while the placement was in flight: release
+            // the §3.4 reservation (it must never leak) and re-select.
+            self.kernel.cancel_placement(core);
+            let placement = {
+                let mut env = Self::env(&self.topo, &self.freq, &mut self.rng, self.now);
+                self.policy
+                    .select_core_wakeup(&mut self.kernel, &mut env, task, core)
+            };
+            self.drain_policy_trace();
+            self.place(task, placement);
+            return;
+        }
         let preempt = self.kernel.commit_placement(self.now, task, core);
         self.tasks[task.index()].state = TaskState::Queued;
         self.stop_spin(core);
@@ -733,6 +913,11 @@ impl Engine {
         if self.tasks[task.index()].state != TaskState::Queued {
             return;
         }
+        if !self.kernel.is_online(to) {
+            // The fallback core died after arming: keep the task where
+            // it is rather than migrating onto a dead core.
+            return;
+        }
         if !self.kernel.remove_queued(task, from) {
             return;
         }
@@ -824,10 +1009,21 @@ impl Engine {
 
     fn on_global_tick(&mut self) {
         let _span = profile::span(profile::Subsystem::TickLoop);
-        self.queue.schedule(self.now + TICK_NS, Event::GlobalTick);
+        // Timer-jitter fault: perturb the tick period. Fault-free runs
+        // take the zero branch and draw nothing from the fault stream.
+        let jitter = if self.cfg.faults.jitter_ns > 0 {
+            self.fault_rng.uniform_u64(0, self.cfg.faults.jitter_ns)
+        } else {
+            0
+        };
+        self.queue
+            .schedule(self.now + TICK_NS + jitter, Event::GlobalTick);
         self.freq.sample_observed();
         for i in 0..self.topo.n_cores() {
             let core = CoreId::from_index(i);
+            if !self.kernel.is_online(core) {
+                continue;
+            }
             self.kernel.clock_curr(self.now, core);
             // Spinning cores stop as soon as the hyperthread has work.
             if self.spinning[i] && self.sibling_busy(core) {
@@ -944,5 +1140,42 @@ impl Engine {
     /// Current simulated time (diagnostics, tests).
     pub fn now(&self) -> Time {
         self.now
+    }
+}
+
+/// Background interference task injected by the straggler fault: bursts
+/// of compute interleaved with short sleeps (so it generates wakeups,
+/// not just occupancy) until its busy-time budget is spent.
+struct Straggler {
+    /// Remaining compute budget in cycles, at a 2 GHz reference.
+    remaining_cycles: u64,
+    sleep_next: bool,
+}
+
+impl Straggler {
+    fn new(duration_ns: u64) -> Straggler {
+        Straggler {
+            remaining_cycles: duration_ns.saturating_mul(2),
+            sleep_next: false,
+        }
+    }
+}
+
+impl nest_simcore::Behavior for Straggler {
+    fn next(&mut self, rng: &mut SimRng) -> Action {
+        if self.remaining_cycles == 0 {
+            return Action::Exit;
+        }
+        if self.sleep_next {
+            self.sleep_next = false;
+            return Action::Sleep { ns: 50 * MICROSEC };
+        }
+        // 0.25–1 ms bursts at the reference frequency.
+        let burst = self
+            .remaining_cycles
+            .min(rng.uniform_u64(500_000, 2_000_000));
+        self.remaining_cycles -= burst;
+        self.sleep_next = true;
+        Action::Compute { cycles: burst }
     }
 }

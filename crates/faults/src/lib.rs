@@ -1,0 +1,34 @@
+#![deny(missing_docs)]
+//! Deterministic fault injection for the nest simulator.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string (the same
+//! `k=v,…` surface the scenario registries use, e.g.
+//! `faults:hotplug=2@50ms,throttle=s0:0.8`) and describes a set of
+//! perturbations to inject into a run:
+//!
+//! * **Core hotplug** — take cores offline at a point in time (and
+//!   optionally bring them back), forcing the scheduler to migrate
+//!   work off dead cores and to stop placing on them.
+//! * **Thermal throttling** — cap a socket's turbo table at a factor
+//!   of its nominal ceiling for a window of time.
+//! * **Timer jitter** — perturb the scheduler tick by a bounded,
+//!   seeded random delay.
+//! * **Stragglers** — spawn background interference tasks that
+//!   alternate compute and sleep, competing with the workload.
+//!
+//! [`FaultSchedule::materialize`] turns a plan into a time-sorted list
+//! of concrete [`FaultAction`]s for a specific machine and seed. The
+//! expansion is a pure function of `(plan, topology, seed)` — the same
+//! inputs always offline the same cores at the same instants — which is
+//! what lets the parallel harness reproduce fault runs byte-identically
+//! at any worker count.
+//!
+//! An empty plan is guaranteed inert: it materializes to zero actions,
+//! draws nothing from any RNG, and renders to the empty string, so
+//! fault-free runs are byte-identical to builds that predate this crate.
+
+mod plan;
+mod schedule;
+
+pub use plan::{FaultError, FaultPlan, HotplugFault, StragglerFault, ThrottleFault};
+pub use schedule::{FaultAction, FaultSchedule, TimedFault};

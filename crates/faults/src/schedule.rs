@@ -1,0 +1,225 @@
+//! Materializing a [`FaultPlan`] into concrete, time-sorted actions.
+
+use nest_simcore::rng::{hash_str, mix64};
+use nest_simcore::{CoreId, SimRng, SocketId, Time};
+use nest_topology::Topology;
+
+use crate::plan::FaultPlan;
+
+/// One concrete fault effect at a point in time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Take a core offline, migrating any work away from it.
+    CoreOffline(CoreId),
+    /// Bring a previously offlined core back online.
+    CoreOnline(CoreId),
+    /// Start capping a socket's turbo ceilings at `factor`.
+    ThrottleStart {
+        /// Socket to throttle.
+        socket: SocketId,
+        /// Cap factor in `(0, 1]`.
+        factor: f64,
+    },
+    /// Lift the throttle on a socket.
+    ThrottleEnd {
+        /// Socket to restore.
+        socket: SocketId,
+    },
+    /// Spawn `count` background interference tasks.
+    SpawnStragglers {
+        /// Number of tasks to spawn.
+        count: u32,
+        /// Lifetime of each task in nanoseconds.
+        duration_ns: u64,
+    },
+}
+
+/// A [`FaultAction`] with its injection time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedFault {
+    /// When the action fires.
+    pub at: Time,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A plan expanded against a concrete machine: the exact actions, in
+/// time order, that the engine will schedule on its event queue.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    actions: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    /// Expands `plan` for `topo` using `seed` to pick hotplug victims.
+    ///
+    /// The expansion is a pure function of its inputs. Core selection
+    /// draws from a dedicated RNG seeded by `(canonical plan, seed)`,
+    /// so it never perturbs the engine's or the workload's streams.
+    ///
+    /// Two safety rules bound hotplug: core 0 (the boot CPU, and Nest's
+    /// reserve-search anchor) is never offlined, and at most half the
+    /// machine may be offline at once — a larger requested count is
+    /// clamped, mirroring how real hotplug refuses to kill the last CPU.
+    pub fn materialize(plan: &FaultPlan, topo: &Topology, seed: u64) -> FaultSchedule {
+        let mut actions = Vec::new();
+        if plan.is_empty() {
+            return FaultSchedule { actions };
+        }
+        if let Some(h) = &plan.hotplug {
+            let n = topo.n_cores();
+            let max_off = (n / 2).max(1).min(n - 1);
+            let count = (h.count as usize).min(max_off);
+            let mut rng = SimRng::new(mix64(hash_str(&plan.canonical()), seed));
+            // Partial Fisher-Yates over cores 1..n: the first `count`
+            // entries are the victims.
+            let mut candidates: Vec<usize> = (1..n).collect();
+            for i in 0..count {
+                let j = i + rng.uniform_u64(0, (candidates.len() - i - 1) as u64) as usize;
+                candidates.swap(i, j);
+            }
+            let mut victims: Vec<usize> = candidates[..count].to_vec();
+            victims.sort_unstable();
+            for &c in &victims {
+                actions.push(TimedFault {
+                    at: Time::from_nanos(h.at_ns),
+                    action: FaultAction::CoreOffline(CoreId::from_index(c)),
+                });
+            }
+            if let Some(d) = h.dur_ns {
+                for &c in &victims {
+                    actions.push(TimedFault {
+                        at: Time::from_nanos(h.at_ns + d),
+                        action: FaultAction::CoreOnline(CoreId::from_index(c)),
+                    });
+                }
+            }
+        }
+        for t in &plan.throttle {
+            if t.socket >= topo.n_sockets() {
+                // Out-of-range sockets are dropped at materialization:
+                // plans are machine-independent strings, and a 4-socket
+                // plan may legitimately run on a 2-socket preset.
+                continue;
+            }
+            let socket = SocketId::from_index(t.socket);
+            actions.push(TimedFault {
+                at: Time::from_nanos(t.at_ns),
+                action: FaultAction::ThrottleStart {
+                    socket,
+                    factor: t.factor,
+                },
+            });
+            if let Some(d) = t.dur_ns {
+                actions.push(TimedFault {
+                    at: Time::from_nanos(t.at_ns + d),
+                    action: FaultAction::ThrottleEnd { socket },
+                });
+            }
+        }
+        if let Some(s) = &plan.stragglers {
+            actions.push(TimedFault {
+                at: Time::from_nanos(s.at_ns),
+                action: FaultAction::SpawnStragglers {
+                    count: s.count,
+                    duration_ns: s.dur_ns,
+                },
+            });
+        }
+        // Stable by construction: ties keep the push order above
+        // (offlines before onlines before throttles before stragglers).
+        actions.sort_by_key(|a| a.at);
+        FaultSchedule { actions }
+    }
+
+    /// The actions in time order.
+    pub fn actions(&self) -> &[TimedFault] {
+        &self.actions
+    }
+
+    /// Returns `true` if no actions were materialized.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nest_topology::presets;
+
+    fn topo() -> Topology {
+        Topology::new(presets::xeon_5218())
+    }
+
+    #[test]
+    fn empty_plan_materializes_to_nothing() {
+        let s = FaultSchedule::materialize(&FaultPlan::default(), &topo(), 42);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let plan = FaultPlan::parse("hotplug=4@50ms:100ms,throttle=s1:0.7@1ms").unwrap();
+        let a = FaultSchedule::materialize(&plan, &topo(), 7);
+        let b = FaultSchedule::materialize(&plan, &topo(), 7);
+        assert_eq!(a.actions(), b.actions());
+        let c = FaultSchedule::materialize(&plan, &topo(), 8);
+        assert_ne!(a.actions(), c.actions(), "seed must matter");
+    }
+
+    #[test]
+    fn hotplug_never_kills_core_zero_and_onlines_match() {
+        let plan = FaultPlan::parse("hotplug=8@10ms:5ms").unwrap();
+        for seed in 0..32 {
+            let s = FaultSchedule::materialize(&plan, &topo(), seed);
+            let mut off = Vec::new();
+            let mut on = Vec::new();
+            for tf in s.actions() {
+                match tf.action {
+                    FaultAction::CoreOffline(c) => {
+                        assert_ne!(c.index(), 0, "core 0 offlined (seed {seed})");
+                        assert_eq!(tf.at, Time::from_millis(10));
+                        off.push(c);
+                    }
+                    FaultAction::CoreOnline(c) => {
+                        assert_eq!(tf.at, Time::from_millis(15));
+                        on.push(c);
+                    }
+                    _ => panic!("unexpected action"),
+                }
+            }
+            assert_eq!(off.len(), 8);
+            assert_eq!(off, on);
+            let mut uniq = off.clone();
+            uniq.dedup();
+            assert_eq!(uniq.len(), off.len(), "victims must be distinct");
+        }
+    }
+
+    #[test]
+    fn hotplug_count_is_clamped_to_half_machine() {
+        let plan = FaultPlan::parse("hotplug=1000@1ms").unwrap();
+        let t = topo();
+        let s = FaultSchedule::materialize(&plan, &t, 1);
+        assert_eq!(s.actions().len(), t.n_cores() / 2);
+    }
+
+    #[test]
+    fn out_of_range_throttle_socket_is_dropped() {
+        let plan = FaultPlan::parse("throttle=s7:0.5").unwrap();
+        let s = FaultSchedule::materialize(&plan, &topo(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn actions_are_time_sorted() {
+        let plan =
+            FaultPlan::parse("hotplug=2@50ms,throttle=s0:0.8@1ms:10ms,stragglers=2@5ms").unwrap();
+        let s = FaultSchedule::materialize(&plan, &topo(), 3);
+        let times: Vec<u64> = s.actions().iter().map(|a| a.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+}

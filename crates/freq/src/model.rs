@@ -58,6 +58,11 @@ pub struct FreqModel {
     thread_pair: Vec<(usize, usize)>,
     /// Number of active physical cores per socket.
     socket_active: Vec<usize>,
+    /// Per-socket thermal-throttle factor in `(0, 1]` (1.0 = no
+    /// throttle), applied multiplicatively to the turbo-table cap.
+    /// Fault injection drives this via
+    /// [`FreqModel::set_socket_throttle`].
+    throttle: Vec<f64>,
     energy_joules: f64,
     last_integration: Time,
     /// Instantaneous power, cached between changes to its inputs
@@ -99,6 +104,7 @@ impl FreqModel {
             ],
             thread_pair,
             socket_active: vec![0; spec.sockets],
+            throttle: vec![1.0; spec.sockets],
             energy_joules: 0.0,
             last_integration: Time::ZERO,
             power_cache: None,
@@ -151,6 +157,54 @@ impl FreqModel {
                         .is_some_and(|t| now.saturating_since(t) < window)
             })
             .count()
+    }
+
+    /// The effective frequency cap on `socket`: the turbo-table limit for
+    /// the windowed active count, scaled by the socket's throttle factor
+    /// (never below the hardware minimum).
+    fn capped_turbo(&self, socket: usize, now: Time) -> Freq {
+        let cap = self
+            .spec
+            .freq
+            .turbo_limit(self.windowed_active_on_socket(socket, now));
+        let f = self.throttle[socket];
+        if f >= 1.0 {
+            return cap;
+        }
+        let khz = (cap.as_khz() as f64 * f) as u64;
+        Freq::from_khz(khz.max(self.spec.freq.fmin.as_khz()))
+    }
+
+    /// Sets the thermal-throttle factor for `socket` (1.0 lifts it).
+    ///
+    /// Cap reductions apply to active cores immediately, mirroring how
+    /// [`FreqModel::set_activity`] handles turbo-table drops; lifting the
+    /// throttle leaves the recovery to the ramp. Returns the
+    /// representative cores whose frequency changed so the engine can
+    /// re-time in-flight compute segments.
+    pub fn set_socket_throttle(&mut self, now: Time, socket: usize, factor: f64) -> Vec<CoreId> {
+        self.integrate_to(now);
+        if self.throttle[socket] == factor {
+            return Vec::new();
+        }
+        self.throttle[socket] = factor;
+        let cap = self.capped_turbo(socket, now);
+        let pps = self.spec.phys_per_socket;
+        let mut changed = Vec::new();
+        for p in 0..pps {
+            let ph = socket * pps + p;
+            if self.phys_is_active(ph) && self.phys[ph].cur > cap {
+                self.phys[ph].cur = cap;
+                self.power_cache = None;
+                changed.push(self.rep_core(ph));
+            }
+        }
+        changed
+    }
+
+    /// Returns the current throttle factor of `socket` (1.0 = none).
+    pub fn socket_throttle(&self, socket: usize) -> f64 {
+        self.throttle[socket]
     }
 
     /// Returns the current frequency of the physical core behind `core`.
@@ -282,10 +336,7 @@ impl FreqModel {
             // The turbo cap of every active core on this socket may have
             // moved; apply cap *reductions* immediately (the hardware
             // drops out of turbo without delay), leave raises to the ramp.
-            let cap = self
-                .spec
-                .freq
-                .turbo_limit(self.windowed_active_on_socket(socket, now));
+            let cap = self.capped_turbo(socket, now);
             let pps = self.spec.phys_per_socket;
             for p in 0..pps {
                 let ph = socket * pps + p;
@@ -324,7 +375,7 @@ impl FreqModel {
         let up = (fspec.ramp_up_khz_per_ms as f64 * dt_ms) as u64;
         let down = (fspec.ramp_down_khz_per_ms as f64 * dt_ms) as u64;
         let caps: Vec<Freq> = (0..self.spec.sockets)
-            .map(|s| fspec.turbo_limit(self.windowed_active_on_socket(s, now)))
+            .map(|s| self.capped_turbo(s, now))
             .collect();
         for phys in 0..self.phys.len() {
             let socket = phys / self.spec.phys_per_socket;
@@ -581,6 +632,60 @@ mod tests {
         // Asking for a past time does not rewind the integrator.
         let e3 = m.energy_joules(Time::from_millis(5));
         assert_eq!(e3, e2);
+    }
+
+    #[test]
+    fn throttle_caps_immediately_and_lifts_via_ramp() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        let t = run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+        // 0.8 × 3.7 GHz = 2.96 GHz, applied at once.
+        let changed = m.set_socket_throttle(t, 0, 0.8);
+        assert_eq!(changed, vec![CoreId(0)]);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_khz(2_960_000));
+        assert_eq!(m.socket_throttle(0), 0.8);
+        // The capped frequency holds while throttled...
+        run_ms(&mut m, 50, 20, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_khz(2_960_000));
+        // ...and lifting it recovers through the ramp, not instantly.
+        let lifted = m.set_socket_throttle(Time::from_millis(70), 0, 1.0);
+        assert!(lifted.is_empty(), "raises are left to the ramp");
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_khz(2_960_000));
+        run_ms(&mut m, 70, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+    }
+
+    #[test]
+    fn throttle_is_per_socket_and_floors_at_fmin() {
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        m.set_activity(Time::ZERO, CoreId(32), Activity::Busy); // socket 1
+        let t = run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(32)), Freq::from_ghz(3.7));
+        // A near-total throttle of socket 0 floors at fmin (1.0 GHz) and
+        // leaves socket 1 untouched.
+        m.set_socket_throttle(t, 0, 0.01);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(1.0));
+        assert_eq!(m.freq_of(CoreId(32)), Freq::from_ghz(3.7));
+        // Busy cores under throttle stay pinned at the scaled cap.
+        run_ms(&mut m, 50, 10, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(1.0));
+        assert_eq!(m.freq_of(CoreId(32)), Freq::from_ghz(3.7));
+    }
+
+    #[test]
+    fn unthrottled_model_is_unchanged_by_the_throttle_plumbing() {
+        // Empty-fault-plan inertness: a factor of exactly 1.0 short-
+        // circuits before any float math touches the cap.
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.7));
+        assert_eq!(m.socket_throttle(0), 1.0);
+        assert!(m
+            .set_socket_throttle(Time::from_millis(50), 0, 1.0)
+            .is_empty());
     }
 
     #[test]

@@ -125,6 +125,23 @@ impl Artifact {
             ("wall_s", Json::f64(t.wall_s)),
             ("events_total", Json::u64(t.events_total)),
             ("events_per_sec", Json::f64(t.events_per_sec)),
+            ("cells_failed", Json::usize(t.failures.len())),
+            (
+                "failures",
+                Json::Arr(
+                    t.failures
+                        .iter()
+                        .map(|f| {
+                            obj(vec![
+                                ("cell", Json::str(&f.cell)),
+                                ("message", Json::str(&f.message)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("cells_aborted", Json::usize(t.cells_aborted)),
+            ("invariants", t.invariants.to_json()),
             ("decision_metrics", t.decision_metrics.to_json()),
         ];
         if let Some(p) = &t.profile {

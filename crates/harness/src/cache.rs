@@ -12,8 +12,11 @@
 //! Entries are one JSON file per cell under `results/cache/` (override
 //! with `NEST_CACHE_DIR`), written atomically (temp file + rename) so
 //! concurrent workers and concurrent harness processes never observe torn
-//! entries. `NEST_CACHE=off` bypasses the cache; `NEST_CACHE=clear` wipes
-//! it once at startup and then proceeds with it enabled.
+//! entries. Each entry carries a checksum of its canonical summary text;
+//! a truncated, garbled, or bit-flipped entry fails validation and is
+//! deleted and recomputed — corruption is a cache miss, never a panic.
+//! `NEST_CACHE=off` bypasses the cache; `NEST_CACHE=clear` wipes it once
+//! at startup and then proceeds with it enabled.
 
 use std::path::{Path, PathBuf};
 
@@ -24,7 +27,8 @@ use crate::json::{obj, parse, Json};
 
 /// Bump when the cached summary format or key derivation changes; old
 /// entries then miss instead of deserializing wrongly.
-pub const CACHE_SCHEMA: u32 = 1;
+/// Schema 2 added the per-entry content checksum.
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// How the cache behaves, from `NEST_CACHE`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,17 +102,26 @@ impl Cache {
         self.dir.join(format!("{key}.json"))
     }
 
-    /// Returns the cached summary for `key`, if present and readable.
+    /// Returns the cached summary for `key`, if present and valid.
+    ///
+    /// An entry that exists but fails validation — unparseable JSON
+    /// (truncated writes, garbage), a stale schema, a missing or
+    /// mismatched checksum — is deleted so the cell recomputes and
+    /// rewrites it. Corruption therefore costs one miss, never a panic
+    /// and never a wrong result.
     pub fn lookup(&self, key: &str) -> Option<RunSummary> {
         if !self.enabled {
             return None;
         }
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        let root = parse(&text).ok()?;
-        if root.get("schema")?.as_u64()? != CACHE_SCHEMA as u64 {
-            return None;
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match validate_entry(&text) {
+            Some(summary) => Some(summary),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
         }
-        summary_from_json(root.get("summary")?)
     }
 
     /// Stores `summary` under `key`, atomically. Errors are swallowed —
@@ -120,9 +133,14 @@ impl Cache {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return;
         }
+        let summary_json = summary_to_json(summary);
         let root = obj(vec![
             ("schema", Json::u64(CACHE_SCHEMA as u64)),
-            ("summary", summary_to_json(summary)),
+            (
+                "checksum",
+                Json::str(&content_checksum(&summary_json.to_pretty())),
+            ),
+            ("summary", summary_json),
         ]);
         let final_path = self.entry_path(key);
         // Unique temp name per process+key: concurrent writers of the same
@@ -132,6 +150,29 @@ impl Cache {
             let _ = std::fs::rename(&tmp, &final_path);
         }
     }
+}
+
+/// Validates one cache-entry text: schema, checksum, and summary shape.
+fn validate_entry(text: &str) -> Option<RunSummary> {
+    let root = parse(text).ok()?;
+    if root.get("schema")?.as_u64()? != CACHE_SCHEMA as u64 {
+        return None;
+    }
+    let want = root.get("checksum")?.as_str()?;
+    let summary = summary_from_json(root.get("summary")?)?;
+    // The summary's JSON form is canonical (round-tripping re-serializes
+    // to identical bytes), so checksumming the re-serialization detects
+    // any in-place edit or bit flip of the stored values.
+    if content_checksum(&summary_to_json(&summary).to_pretty()) != want {
+        return None;
+    }
+    Some(summary)
+}
+
+/// Checksum of a canonical text blob, as 16 hex digits (the same
+/// FNV/SplitMix construction as [`cell_key`], single pass).
+pub fn content_checksum(text: &str) -> String {
+    format!("{:016x}", hash_pass(text, 0xCBF2_9CE4_8422_2325))
 }
 
 /// Builds the canonical identity string of one cell. Every field that can
@@ -354,6 +395,62 @@ mod tests {
         let cache = Cache::at(dir.clone(), CacheMode::Clear);
         assert!(cache.lookup(&key).is_none());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_deleted_and_miss() {
+        let dir = std::env::temp_dir().join(format!(
+            "nest-cache-corrupt-{}-{:x}",
+            std::process::id(),
+            splitmix64(0xBADF00D)
+        ));
+        let cache = Cache::at(dir.clone(), CacheMode::Clear);
+        let key = cell_key("corruptible");
+        cache.store(&key, &sample_summary());
+        let path = dir.join(format!("{key}.json"));
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation, garbage, a flipped value, and a stripped checksum
+        // must all miss — and remove the bad file so it is recomputed.
+        let half = &good[..good.len() / 2];
+        let corruptions = [
+            half.to_string(),
+            "not json at all {{{".to_string(),
+            good.replace("1.25", "9.75"),
+            good.replace("checksum", "chequesum"),
+        ];
+        for bad in corruptions {
+            std::fs::write(&path, &bad).unwrap();
+            assert!(cache.lookup(&key).is_none(), "corrupt entry hit: {bad:.40}");
+            assert!(!path.exists(), "corrupt entry not deleted");
+            cache.store(&key, &sample_summary());
+            assert!(cache.lookup(&key).is_some(), "recompute not stored");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn old_schema_entries_miss() {
+        let dir = std::env::temp_dir().join(format!(
+            "nest-cache-schema-{}-{:x}",
+            std::process::id(),
+            splitmix64(0x5C4E)
+        ));
+        let cache = Cache::at(dir.clone(), CacheMode::Clear);
+        let key = cell_key("schema-check");
+        cache.store(&key, &sample_summary());
+        let path = dir.join(format!("{key}.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"schema\": 2", "\"schema\": 1")).unwrap();
+        assert!(cache.lookup(&key).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        assert_eq!(content_checksum("abc"), content_checksum("abc"));
+        assert_ne!(content_checksum("abc"), content_checksum("abd"));
+        assert_eq!(content_checksum("x").len(), 16);
     }
 
     #[test]

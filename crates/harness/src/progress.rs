@@ -78,5 +78,20 @@ impl Progress {
             t.cells_cached,
             t.events_per_sec / 1e3
         );
+        for f in &t.failures {
+            eprintln!("[{}] FAILED {}: {}", self.label, f.cell, f.message);
+        }
+        if t.cells_aborted > 0 {
+            eprintln!(
+                "[{}] {} cell(s) aborted by a watchdog (partial results)",
+                self.label, t.cells_aborted
+            );
+        }
+        if t.invariants.violations > 0 {
+            eprintln!(
+                "[{}] WARNING: {} invariant violation(s) — see telemetry",
+                self.label, t.invariants.violations
+            );
+        }
     }
 }

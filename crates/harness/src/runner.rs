@@ -18,6 +18,13 @@
 //!
 //! Consequently `NEST_JOBS=1` and `NEST_JOBS=8` produce byte-identical
 //! comparisons and artifacts — a property the determinism tests pin down.
+//!
+//! The runner is also *hardened*: each cell executes under
+//! `catch_unwind`, so one panicking simulation is recorded as a failed
+//! cell in [`Telemetry`] while every other cell completes; watchdogs
+//! from `NEST_EVENT_BUDGET` (deterministic) and `NEST_WATCHDOG_S`
+//! (wall-clock) abort runaway cells with partial results; and the
+//! always-on invariant checker's tallies are merged into telemetry.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -25,8 +32,9 @@ use std::time::Instant;
 
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::{run_once, RunResult, SimConfig};
+use nest_faults::FaultPlan;
 use nest_metrics::RunSummary;
-use nest_obs::DecisionMetrics;
+use nest_obs::{DecisionMetrics, InvariantCounts};
 use nest_scenario::{Scenario, ScenarioError};
 use nest_simcore::profile;
 use nest_simcore::rng::{hash_str, mix64};
@@ -67,6 +75,8 @@ struct Experiment {
     seed: Option<u64>,
     /// Horizon override (scenario blocks carry their own horizon).
     horizon: Option<Time>,
+    /// Fault plan (scenario blocks; the legacy path never injects).
+    faults: Option<FaultPlan>,
 }
 
 /// One simulation to execute: coordinates plus the derived seed and cache
@@ -74,6 +84,7 @@ struct Experiment {
 struct Cell {
     exp: usize,
     setup: usize,
+    run: usize,
     seed: u64,
     key: String,
 }
@@ -102,10 +113,35 @@ pub struct Telemetry {
     pub decision_metrics: DecisionMetrics,
     /// Per-subsystem profile delta, present when `NEST_PROFILE=1`.
     pub profile: Option<profile::Snapshot>,
+    /// Cells whose simulation panicked; the panic was contained and the
+    /// rest of the matrix completed. Empty on a healthy run.
+    pub failures: Vec<CellFailure>,
+    /// Cells a watchdog aborted (partial results kept).
+    pub cells_aborted: usize,
+    /// Kernel-state invariant tallies merged over the cells that
+    /// simulated (cache hits contribute nothing).
+    pub invariants: InvariantCounts,
+}
+
+/// One contained per-cell failure.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Which cell failed: `workload/machine/setup[run N]`.
+    pub cell: String,
+    /// The panic message.
+    pub message: String,
+}
+
+impl Telemetry {
+    /// Whether every cell completed without panicking.
+    pub fn all_cells_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// Assembles a [`Telemetry`] from a run's bookkeeping plus the profiler
 /// delta since `prof_before` (taken at run start).
+#[allow(clippy::too_many_arguments)]
 fn finish_telemetry(
     jobs: usize,
     cells_total: usize,
@@ -113,6 +149,9 @@ fn finish_telemetry(
     started: Instant,
     prof_before: &profile::Snapshot,
     decision_metrics: DecisionMetrics,
+    failures: Vec<CellFailure>,
+    cells_aborted: usize,
+    invariants: InvariantCounts,
 ) -> Telemetry {
     let wall_s = started.elapsed().as_secs_f64();
     let delta = profile::snapshot().since(prof_before);
@@ -129,6 +168,33 @@ fn finish_telemetry(
         },
         decision_metrics,
         profile: profile::enabled().then_some(delta),
+        failures,
+        cells_aborted,
+        invariants,
+    }
+}
+
+/// Watchdog limits from the environment: `NEST_EVENT_BUDGET` (events per
+/// cell, deterministic) and `NEST_WATCHDOG_S` (wall-clock seconds per
+/// cell; aborted results are nondeterministic). Unset means no limit.
+pub fn watchdogs_from_env() -> (Option<u64>, Option<std::time::Duration>) {
+    let budget = std::env::var("NEST_EVENT_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let wall = std::env::var("NEST_WATCHDOG_S")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_secs);
+    (budget, wall)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -148,6 +214,15 @@ pub fn cell_seed(
     s = mix64(s, hash_str(machine));
     s = mix64(s, hash_str(setup_identity));
     mix64(s, run as u64)
+}
+
+/// What one successfully executed cell produced.
+struct CellDone {
+    summary: RunSummary,
+    cached: bool,
+    aborted: bool,
+    decision: Option<DecisionMetrics>,
+    invariants: Option<InvariantCounts>,
 }
 
 /// A batch of experiments executed together across one worker pool.
@@ -213,6 +288,7 @@ impl Matrix {
             scopes: None,
             seed: None,
             horizon: None,
+            faults: None,
         });
         self
     }
@@ -236,20 +312,28 @@ impl Matrix {
                 reason: "experiment needs at least one scenario".into(),
             })?;
         for s in scenarios {
-            let shared = (s.machine(), s.workload(), s.seed(), s.runs(), s.horizon_s());
+            let shared = (
+                s.machine(),
+                s.workload(),
+                s.seed(),
+                s.runs(),
+                s.horizon_s(),
+                s.faults(),
+            );
             let want = (
                 first.machine(),
                 first.workload(),
                 first.seed(),
                 first.runs(),
                 first.horizon_s(),
+                first.faults(),
             );
             if shared != want {
                 return Err(ScenarioError::MalformedSpec {
                     spec: s.identity(),
                     reason: format!(
                         "scenarios in one experiment must share machine, workload, \
-                         seed, runs, and horizon (expected those of \"{}\")",
+                         seed, runs, horizon, and faults (expected those of \"{}\")",
                         first.identity()
                     ),
                 });
@@ -266,6 +350,7 @@ impl Matrix {
             scopes: Some(scenarios.iter().map(|s| s.cache_scope()).collect()),
             seed: Some(first.seed()),
             horizon: Some(Time::from_secs(first.horizon_s())),
+            faults: Some(first.resolve_faults()),
         });
         Ok(self)
     }
@@ -299,6 +384,7 @@ impl Matrix {
                     cells.push(Cell {
                         exp: ei,
                         setup: si,
+                        run,
                         seed,
                         key: cell_key(&cell_id),
                     });
@@ -315,11 +401,10 @@ impl Matrix {
         let prof_before = profile::snapshot();
         let cells = self.flatten();
         let total = cells.len();
-        type Slot = Option<(RunSummary, Option<DecisionMetrics>)>;
-        let slots: Mutex<Vec<Slot>> = Mutex::new(vec![None; total]);
+        type Slot = Option<Result<CellDone, String>>;
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..total).map(|_| None).collect());
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let cached = AtomicUsize::new(0);
         let workers = self.jobs.min(total.max(1));
 
         std::thread::scope(|scope| {
@@ -327,11 +412,13 @@ impl Matrix {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let (summary, was_cached, decision) = self.execute(cell);
-                    if was_cached {
-                        cached.fetch_add(1, Ordering::Relaxed);
-                    }
-                    slots.lock().unwrap()[i] = Some((summary, decision));
+                    // One panicking simulation must not take down the
+                    // matrix: contain it and record the cell as failed.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.execute(cell)
+                    }))
+                    .map_err(panic_message);
+                    slots.lock().unwrap()[i] = Some(outcome);
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     self.progress.cell_done(n, total);
                 });
@@ -354,54 +441,122 @@ impl Matrix {
         // Decision metrics are all order-independent sums, but fold them
         // in slot-index order anyway — same discipline as the summaries.
         let mut decision_metrics = DecisionMetrics::default();
+        let mut invariants = InvariantCounts {
+            completed: true,
+            ..InvariantCounts::default()
+        };
+        let mut failures = Vec::new();
+        let mut cached = 0;
+        let mut aborted = 0;
         for (i, cell) in cells.iter().enumerate() {
-            let (summary, decision) = slots[i].take().expect("cell executed");
-            if let Some(d) = decision {
-                decision_metrics.merge(&d);
+            let e = &self.experiments[cell.exp];
+            match slots[i].take().expect("cell executed") {
+                Ok(done) => {
+                    if done.cached {
+                        cached += 1;
+                    }
+                    if done.aborted {
+                        aborted += 1;
+                    }
+                    if let Some(d) = done.decision {
+                        decision_metrics.merge(&d);
+                    }
+                    if let Some(inv) = done.invariants {
+                        invariants.merge(&inv);
+                    }
+                    per_exp[cell.exp][cell.setup].push(done.summary);
+                }
+                Err(message) => failures.push(CellFailure {
+                    cell: format!(
+                        "{}/{}/{}[run {}]",
+                        e.workload,
+                        e.machine.name,
+                        e.setups[cell.setup].label(),
+                        cell.run
+                    ),
+                    message,
+                }),
             }
-            per_exp[cell.exp][cell.setup].push(summary);
         }
-        let comparisons = self
-            .experiments
-            .iter()
-            .zip(per_exp)
-            .map(|(e, summaries)| {
-                Comparison::from_summaries(&e.workload, e.machine.name, &e.setups, summaries)
-            })
-            .collect();
+        // A comparison needs at least one surviving run per setup; an
+        // experiment that lost a whole setup is dropped (and recorded),
+        // while every other experiment's section is kept.
+        let mut comparisons = Vec::new();
+        for (e, summaries) in self.experiments.iter().zip(per_exp) {
+            if summaries.iter().all(|runs| !runs.is_empty()) {
+                comparisons.push(Comparison::from_summaries(
+                    &e.workload,
+                    e.machine.name,
+                    &e.setups,
+                    summaries,
+                ));
+            } else {
+                failures.push(CellFailure {
+                    cell: format!("{}/{}", e.workload, e.machine.name),
+                    message: "every run of at least one setup failed; comparison dropped"
+                        .to_string(),
+                });
+            }
+        }
 
         let telemetry = finish_telemetry(
             workers,
             total,
-            cached.load(Ordering::Relaxed),
+            cached,
             started,
             &prof_before,
             decision_metrics,
+            failures,
+            aborted,
+            invariants,
         );
         self.progress.finished(&telemetry);
         (comparisons, telemetry)
     }
 
     /// Runs one cell: cache lookup, else simulate and store. Cache hits
-    /// carry no decision metrics (the simulation never executed).
-    fn execute(&self, cell: &Cell) -> (RunSummary, bool, Option<DecisionMetrics>) {
+    /// carry no decision metrics or invariant tallies (the simulation
+    /// never executed).
+    fn execute(&self, cell: &Cell) -> CellDone {
         if let Some(hit) = self.cache.lookup(&cell.key) {
-            return (hit, true, None);
+            return CellDone {
+                summary: hit,
+                cached: true,
+                aborted: false,
+                decision: None,
+                invariants: None,
+            };
         }
         let e = &self.experiments[cell.exp];
         let setup = &e.setups[cell.setup];
+        let (event_budget, wall_limit) = watchdogs_from_env();
         let mut cfg = SimConfig::new(e.machine.clone())
             .policy(setup.policy.clone())
             .governor(setup.governor)
-            .seed(cell.seed);
+            .seed(cell.seed)
+            .event_budget(event_budget)
+            .wall_limit(wall_limit);
         if let Some(h) = e.horizon {
             cfg = cfg.horizon(h);
+        }
+        if let Some(f) = &e.faults {
+            cfg = cfg.faults(f.clone());
         }
         let workload = (e.factory)();
         let result = run_once(&cfg, workload.as_ref());
         let summary = result.summarize();
-        self.cache.store(&cell.key, &summary);
-        (summary, false, Some(result.decision))
+        // An aborted (watchdog-cut) cell keeps its partial summary but
+        // is never cached: a rerun with a different budget must recompute.
+        if !result.aborted {
+            self.cache.store(&cell.key, &summary);
+        }
+        CellDone {
+            summary,
+            cached: false,
+            aborted: result.aborted,
+            decision: Some(result.decision),
+            invariants: Some(result.invariants),
+        }
     }
 }
 
@@ -443,10 +598,25 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         .map(|r| r.expect("raw cell executed"))
         .collect();
     let mut decision_metrics = DecisionMetrics::default();
+    let mut invariants = InvariantCounts {
+        completed: true,
+        ..InvariantCounts::default()
+    };
     for r in &results {
         decision_metrics.merge(&r.decision);
+        invariants.merge(&r.invariants);
     }
-    let telemetry = finish_telemetry(workers, total, 0, started, &prof_before, decision_metrics);
+    let telemetry = finish_telemetry(
+        workers,
+        total,
+        0,
+        started,
+        &prof_before,
+        decision_metrics,
+        Vec::new(),
+        results.iter().filter(|r| r.aborted).count(),
+        invariants,
+    );
     (results, telemetry)
 }
 
@@ -564,6 +734,149 @@ mod tests {
         assert!(m.add_scenarios(&[]).is_err());
         let c = a.clone().with_runs(5);
         assert!(m.add_scenarios(&[a, c]).is_err());
+    }
+
+    #[test]
+    fn a_panicking_cell_is_contained_and_reported() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        /// Panics on the Nth build; other builds delegate to configure:gdb.
+        struct PanicOnNth {
+            counter: Arc<AtomicUsize>,
+            nth: usize,
+        }
+        impl nest_workloads::Workload for PanicOnNth {
+            fn name(&self) -> String {
+                "panic_on_nth".to_string()
+            }
+            fn build(
+                &self,
+                setup: &mut dyn nest_simcore::SimSetup,
+                rng: &mut nest_simcore::SimRng,
+            ) -> Vec<nest_simcore::TaskSpec> {
+                if self.counter.fetch_add(1, Ordering::SeqCst) + 1 == self.nth {
+                    panic!("injected cell failure");
+                }
+                Configure::named("gdb").build(setup, rng)
+            }
+        }
+
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut m = Matrix::new("test-panic", 7)
+            .with_jobs(1)
+            .with_cache(Cache::disabled())
+            .with_progress(Progress::quiet());
+        m.add(
+            presets::xeon_5218(),
+            &[
+                SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil),
+                SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil),
+            ],
+            2,
+            Box::new(move || {
+                Box::new(PanicOnNth {
+                    counter: Arc::clone(&c2),
+                    nth: 2,
+                })
+            }),
+        );
+        let (comps, t) = m.run();
+        assert_eq!(t.failures.len(), 1, "exactly one cell failed");
+        assert!(t.failures[0].message.contains("injected cell failure"));
+        assert!(
+            t.failures[0].cell.contains("run 1"),
+            "{}",
+            t.failures[0].cell
+        );
+        assert!(!t.all_cells_ok());
+        // The other three cells completed and still assemble: the CFS row
+        // keeps its surviving run, the Nest row both.
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].rows[0].runs.len(), 1);
+        assert_eq!(comps[0].rows[1].runs.len(), 2);
+    }
+
+    #[test]
+    fn losing_every_run_of_a_setup_drops_the_comparison() {
+        struct AlwaysPanics;
+        impl nest_workloads::Workload for AlwaysPanics {
+            fn name(&self) -> String {
+                "always_panics".to_string()
+            }
+            fn build(
+                &self,
+                _setup: &mut dyn nest_simcore::SimSetup,
+                _rng: &mut nest_simcore::SimRng,
+            ) -> Vec<nest_simcore::TaskSpec> {
+                panic!("doomed workload");
+            }
+        }
+        let mut m = Matrix::new("test-doomed", 7)
+            .with_jobs(2)
+            .with_cache(Cache::disabled())
+            .with_progress(Progress::quiet());
+        m.add(
+            presets::xeon_5218(),
+            &[SchedulerSetup::new(PolicyKind::Cfs, Governor::Schedutil)],
+            2,
+            Box::new(|| Box::new(AlwaysPanics)),
+        );
+        // A healthy second experiment must survive untouched.
+        m.add(
+            presets::xeon_5218(),
+            &[SchedulerSetup::new(PolicyKind::Nest, Governor::Schedutil)],
+            1,
+            gdb_factory(),
+        );
+        let (comps, t) = m.run();
+        assert_eq!(comps.len(), 1, "doomed comparison dropped, healthy kept");
+        assert_eq!(comps[0].workload, "gdb");
+        // Two cell failures plus the dropped-comparison record.
+        assert_eq!(t.failures.len(), 3);
+    }
+
+    #[test]
+    fn telemetry_merges_invariant_counts() {
+        let (_, t) = small_matrix(2).run();
+        assert_eq!(t.invariants.violations, 0, "{:?}", t.invariants);
+        assert!(t.invariants.events_checked > 0);
+        assert!(t.invariants.completed);
+    }
+
+    #[test]
+    fn scenario_blocks_carry_their_fault_plan() {
+        let free = Scenario::parse("5218", "nest", "sched", "configure:gdb")
+            .unwrap()
+            .with_seed(7)
+            .with_runs(1);
+        let faulted = free
+            .clone()
+            .with_faults("faults:hotplug=2@50ms:100ms,throttle=s0:0.6")
+            .unwrap();
+        let run_one = |s: &Scenario| {
+            let mut m = Matrix::new("test-faults", 7)
+                .with_jobs(1)
+                .with_cache(Cache::disabled())
+                .with_progress(Progress::quiet());
+            m.add_scenarios(std::slice::from_ref(s)).unwrap();
+            m.run()
+        };
+        let (a, ta) = run_one(&free);
+        let (b, tb) = run_one(&faulted);
+        assert_ne!(
+            a[0].rows[0].time.mean, b[0].rows[0].time.mean,
+            "fault plan must reach the simulation"
+        );
+        assert_eq!(ta.invariants.violations, 0);
+        assert_eq!(tb.invariants.violations, 0, "{:?}", tb.invariants);
+
+        // Mixed fault plans in one block are rejected.
+        let mut m = Matrix::new("test-mixed", 7)
+            .with_cache(Cache::disabled())
+            .with_progress(Progress::quiet());
+        assert!(m.add_scenarios(&[free, faulted]).is_err());
     }
 
     #[test]

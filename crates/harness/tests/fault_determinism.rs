@@ -1,0 +1,83 @@
+//! Fault injection inherits the harness's determinism contract: for a
+//! fixed scenario and fault spec, artifacts are byte-identical across
+//! worker counts, faulted results differ from fault-free ones, and the
+//! fault plan is part of the cache identity so the two never collide.
+
+use nest_harness::cache::{Cache, CacheMode};
+use nest_harness::{comparison_json, Json, Matrix, Progress};
+use nest_scenario::Scenario;
+
+const FAULT_SPEC: &str = "faults:hotplug=4@50ms:200ms,throttle=s0:0.7,jitter=50us";
+
+/// One scenario block: the three policies under the same fault plan.
+fn faulted_scenarios(spec: &str) -> Vec<Scenario> {
+    ["cfs", "nest", "smove"]
+        .iter()
+        .map(|policy| {
+            Scenario::parse("5218", policy, "schedutil", "configure:gdb")
+                .unwrap()
+                .with_seed(11)
+                .with_runs(2)
+                .with_faults(spec)
+                .unwrap()
+        })
+        .collect()
+}
+
+fn run_block(scenarios: &[Scenario], jobs: usize, cache: Cache) -> (String, u64) {
+    let mut m = Matrix::new("fault-determinism-test", 11)
+        .with_jobs(jobs)
+        .with_cache(cache)
+        .with_progress(Progress::quiet());
+    m.add_scenarios(scenarios).unwrap();
+    let (comps, telemetry) = m.run();
+    let bytes = Json::Arr(comps.iter().map(comparison_json).collect()).to_pretty();
+    (bytes, telemetry.invariants.violations)
+}
+
+#[test]
+fn faulted_artifacts_are_identical_across_worker_counts() {
+    let scenarios = faulted_scenarios(FAULT_SPEC);
+    let (a, va) = run_block(&scenarios, 1, Cache::disabled());
+    let (b, vb) = run_block(&scenarios, 4, Cache::disabled());
+    assert_eq!(a, b, "NEST_JOBS=1 and NEST_JOBS=4 must agree byte-for-byte");
+    assert_eq!((va, vb), (0, 0), "faults must not break kernel invariants");
+}
+
+#[test]
+fn faulted_results_differ_from_fault_free() {
+    let (faulted, _) = run_block(&faulted_scenarios(FAULT_SPEC), 2, Cache::disabled());
+    let (free, _) = run_block(&faulted_scenarios("faults"), 2, Cache::disabled());
+    assert_ne!(faulted, free, "the fault plan must perturb the simulation");
+}
+
+#[test]
+fn fault_plan_separates_cache_entries() {
+    let dir = std::env::temp_dir().join(format!("nest-fault-cache-{}", std::process::id()));
+    let (cold, _) = run_block(
+        &faulted_scenarios(FAULT_SPEC),
+        2,
+        Cache::at(dir.clone(), CacheMode::Clear),
+    );
+    // A fault-free block over the same scenarios must not hit the faulted
+    // entries (the plan is part of the identity)...
+    let mut m = Matrix::new("fault-determinism-test", 11)
+        .with_jobs(2)
+        .with_cache(Cache::at(dir.clone(), CacheMode::On))
+        .with_progress(Progress::quiet());
+    m.add_scenarios(&faulted_scenarios("faults")).unwrap();
+    let (_, t_free) = m.run();
+    assert_eq!(t_free.cells_cached, 0, "fault-free run hit faulted entries");
+    // ...while re-running the faulted block is served fully from cache,
+    // byte-identically.
+    let mut m = Matrix::new("fault-determinism-test", 11)
+        .with_jobs(2)
+        .with_cache(Cache::at(dir.clone(), CacheMode::On))
+        .with_progress(Progress::quiet());
+    m.add_scenarios(&faulted_scenarios(FAULT_SPEC)).unwrap();
+    let (comps, t_warm) = m.run();
+    assert_eq!(t_warm.cells_cached, t_warm.cells_total);
+    let warm = Json::Arr(comps.iter().map(comparison_json).collect()).to_pretty();
+    assert_eq!(cold, warm);
+    let _ = std::fs::remove_dir_all(dir);
+}

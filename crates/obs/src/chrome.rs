@@ -196,6 +196,21 @@ pub fn chrome_trace_json(log: &TraceLog) -> Json {
                     ],
                 ));
             }
+            TraceEvent::CoreOffline { core } | TraceEvent::CoreOnline { core } => {
+                cores.insert(core.0);
+                let name = match ev {
+                    TraceEvent::CoreOffline { .. } => "core offline",
+                    _ => "core online",
+                };
+                events.push(instant(name, "fault", *core, t, obj(vec![])));
+            }
+            TraceEvent::SocketThrottle { socket, factor } => {
+                events.push(counter(
+                    format!("throttle s{socket}"),
+                    t,
+                    vec![("factor", Json::f64(*factor))],
+                ));
+            }
         }
     }
 

@@ -24,11 +24,13 @@ pub enum EventClass {
     Nest,
     /// Machine-wide runnable count: `RunnableCount`.
     Runnable,
+    /// Fault injection: `CoreOffline`, `CoreOnline`, `SocketThrottle`.
+    Fault,
 }
 
 impl EventClass {
     /// Every class, in display order.
-    pub const ALL: [EventClass; 7] = [
+    pub const ALL: [EventClass; 8] = [
         EventClass::Task,
         EventClass::Placement,
         EventClass::Run,
@@ -36,6 +38,7 @@ impl EventClass {
         EventClass::Spin,
         EventClass::Nest,
         EventClass::Runnable,
+        EventClass::Fault,
     ];
 
     /// The class of `event`.
@@ -50,6 +53,9 @@ impl EventClass {
             | TraceEvent::NestShrink { .. }
             | TraceEvent::NestCompaction { .. } => EventClass::Nest,
             TraceEvent::RunnableCount { .. } => EventClass::Runnable,
+            TraceEvent::CoreOffline { .. }
+            | TraceEvent::CoreOnline { .. }
+            | TraceEvent::SocketThrottle { .. } => EventClass::Fault,
         }
     }
 
@@ -63,6 +69,7 @@ impl EventClass {
             EventClass::Spin => "spin",
             EventClass::Nest => "nest",
             EventClass::Runnable => "runnable",
+            EventClass::Fault => "fault",
         }
     }
 

@@ -13,9 +13,14 @@
 //!   (wakeup→run latency histogram, placement-path breakdown,
 //!   migrations/sec, Nest fallback rate, spin duty-cycle, nest-occupancy
 //!   timeline) into a [`DecisionMetrics`], which the harness merges into
-//!   every `.telemetry.json` sidecar.
+//!   every `.telemetry.json` sidecar;
+//! * [`InvariantChecker`] — replays the kernel-state machine from the
+//!   trace and validates consistency on every event (task on ≤ 1 core,
+//!   nests ⊆ online cores, frequencies inside the machine envelope, …),
+//!   either failing fast for tests or tallying [`InvariantCounts`] for
+//!   telemetry.
 //!
-//! Both are strictly observers: they never touch engine state, so running
+//! All are strictly observers: they never touch engine state, so running
 //! with or without them produces byte-identical `results/*.json`.
 
 #![deny(missing_docs)]
@@ -23,7 +28,9 @@
 pub mod chrome;
 pub mod collector;
 pub mod decision;
+pub mod invariant;
 
 pub use chrome::chrome_trace_json;
 pub use collector::{EventClass, TraceCollector, TraceLog};
 pub use decision::{DecisionMetrics, DecisionMetricsProbe, LATENCY_BUCKET_EDGES_NS, TIMELINE_CAP};
+pub use invariant::{InvariantChecker, InvariantCounts};

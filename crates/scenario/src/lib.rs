@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod error;
+pub mod faults;
 pub mod governor;
 pub mod machine;
 pub mod policy;
@@ -36,6 +37,7 @@ pub mod spec;
 pub mod workload;
 
 pub use error::ScenarioError;
+pub use faults::{canonical_faults, faults};
 pub use governor::{canonical_governor, governor, governor_entries, governor_keys};
 pub use machine::{
     canonical_machine, machine, machine_entries, machine_keys, paper_machine_keys, MachineEntry,

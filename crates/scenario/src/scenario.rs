@@ -15,6 +15,7 @@ use nest_topology::MachineSpec;
 use nest_workloads::Workload;
 
 use crate::error::ScenarioError;
+use crate::faults::{canonical_faults, faults};
 use crate::governor::{canonical_governor, governor};
 use crate::machine::{canonical_machine, machine};
 use crate::policy::{canonical_policy, policy};
@@ -38,6 +39,7 @@ pub struct Scenario {
     seed: u64,
     runs: usize,
     horizon_s: u64,
+    faults: String,
 }
 
 impl Scenario {
@@ -58,6 +60,7 @@ impl Scenario {
             seed: DEFAULT_SEED,
             runs: DEFAULT_RUNS,
             horizon_s: DEFAULT_HORIZON_S,
+            faults: String::new(),
         })
     }
 
@@ -78,6 +81,14 @@ impl Scenario {
     pub fn with_horizon_s(mut self, horizon_s: u64) -> Scenario {
         self.horizon_s = horizon_s;
         self
+    }
+
+    /// Sets the fault-injection spec, canonicalizing it. The empty plan
+    /// (`""` or `"faults"`) leaves the scenario — and its identity —
+    /// exactly as if faults were never mentioned.
+    pub fn with_faults(mut self, spec: &str) -> Result<Scenario, ScenarioError> {
+        self.faults = canonical_faults(spec)?;
+        Ok(self)
     }
 
     /// Canonical machine key (e.g. `"5218"`).
@@ -115,6 +126,11 @@ impl Scenario {
         self.horizon_s
     }
 
+    /// Canonical fault spec (`""` when no faults are configured).
+    pub fn faults(&self) -> &str {
+        &self.faults
+    }
+
     /// Resolves the machine preset.
     pub fn resolve_machine(&self) -> MachineSpec {
         machine(&self.machine).expect("canonical key resolves")
@@ -128,6 +144,11 @@ impl Scenario {
     /// Resolves the governor.
     pub fn resolve_governor(&self) -> Governor {
         governor(&self.governor).expect("canonical key resolves")
+    }
+
+    /// Resolves the fault plan.
+    pub fn resolve_faults(&self) -> nest_faults::FaultPlan {
+        faults(&self.faults).expect("canonical spec resolves")
     }
 
     /// Resolves the workload spec.
@@ -155,6 +176,7 @@ impl Scenario {
             .governor(self.resolve_governor())
             .seed(self.seed)
             .horizon(Time::from_secs(self.horizon_s))
+            .faults(self.resolve_faults())
     }
 
     /// Figure-style label, e.g. `"Nest perf"`.
@@ -173,15 +195,23 @@ impl Scenario {
     /// per-cell cache keys with. Runs are excluded so growing `runs` from
     /// 3 to 10 reuses the first three cells instead of recomputing them.
     pub fn cache_scope(&self) -> String {
-        format!(
+        let mut scope = format!(
             "machine={};policy={};governor={};workload={};seed={};horizon_s={}",
             self.machine, self.policy, self.governor, self.workload, self.seed, self.horizon_s
-        )
+        );
+        // Appended only when faults are configured, so every fault-free
+        // identity — and with it every cached artifact — is byte-for-byte
+        // what it was before fault support existed.
+        if !self.faults.is_empty() {
+            scope.push_str(";faults=");
+            scope.push_str(&self.faults);
+        }
+        scope
     }
 
     /// Serializes to the in-tree JSON codec.
     pub fn to_json(&self) -> Json {
-        json::obj(vec![
+        let mut fields = vec![
             ("machine", Json::str(&self.machine)),
             ("policy", Json::str(&self.policy)),
             ("governor", Json::str(&self.governor)),
@@ -189,7 +219,11 @@ impl Scenario {
             ("seed", Json::u64(self.seed)),
             ("runs", Json::usize(self.runs)),
             ("horizon_s", Json::u64(self.horizon_s)),
-        ])
+        ];
+        if !self.faults.is_empty() {
+            fields.push(("faults", Json::str(&self.faults)));
+        }
+        json::obj(fields)
     }
 
     /// Deserializes from the in-tree JSON codec, re-validating every
@@ -216,14 +250,21 @@ impl Scenario {
                 reason: "\"runs\" must be ≥ 1".into(),
             });
         }
-        Ok(
-            Scenario::parse(field("machine")?, field("policy")?, field("governor")?, {
-                field("workload")?
-            })?
-            .with_seed(num("seed")?)
-            .with_runs(runs)
-            .with_horizon_s(num("horizon_s")?),
-        )
+        let scenario = Scenario::parse(
+            field("machine")?,
+            field("policy")?,
+            field("governor")?,
+            field("workload")?,
+        )?
+        .with_seed(num("seed")?)
+        .with_runs(runs)
+        .with_horizon_s(num("horizon_s")?);
+        scenario.with_faults(match doc.get("faults") {
+            None => "",
+            Some(v) => v.as_str().ok_or_else(|| ScenarioError::BadJson {
+                reason: "non-string field \"faults\"".into(),
+            })?,
+        })
     }
 
     /// Deserializes from JSON text.
@@ -322,6 +363,45 @@ mod tests {
         let zero_runs = r#"{"machine": "5218", "policy": "cfs", "governor": "schedutil",
                             "workload": "hackbench", "seed": 1, "runs": 0, "horizon_s": 600}"#;
         assert!(Scenario::from_json_str(zero_runs).is_err());
+    }
+
+    #[test]
+    fn fault_free_identity_is_untouched_by_fault_support() {
+        let s = gdb_on_5218();
+        let t = gdb_on_5218().with_faults("").unwrap();
+        let u = gdb_on_5218().with_faults("faults").unwrap();
+        assert_eq!(s.identity(), t.identity());
+        assert_eq!(s.identity(), u.identity());
+        assert!(!s.identity().contains("faults"));
+        assert!(!s.to_json().to_pretty().contains("faults"));
+    }
+
+    #[test]
+    fn faulted_identity_appends_the_canonical_spec() {
+        let s = gdb_on_5218()
+            .with_faults("faults:jitter=100us,hotplug=2@50ms")
+            .unwrap();
+        assert_eq!(
+            s.identity(),
+            "machine=5218;policy=nest;governor=performance;workload=configure:gdb;\
+             seed=42;horizon_s=600;faults=hotplug=2@50ms,jitter=100us;runs=3"
+        );
+        assert!(s
+            .cache_scope()
+            .ends_with("faults=hotplug=2@50ms,jitter=100us"));
+        // Round-trips through JSON.
+        let back = Scenario::from_json_str(&s.to_json().to_pretty()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.faults(), "hotplug=2@50ms,jitter=100us");
+        // And resolves to a real plan wired into the sim config.
+        assert_eq!(s.resolve_faults().hotplug.unwrap().count, 2);
+        assert_eq!(s.sim_config().faults.jitter_ns, 100_000);
+    }
+
+    #[test]
+    fn bad_fault_specs_are_registry_errors() {
+        assert!(gdb_on_5218().with_faults("faults:hotplug=0@1ms").is_err());
+        assert!(gdb_on_5218().with_faults("faults:bogus=1").is_err());
     }
 
     #[test]

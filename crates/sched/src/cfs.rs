@@ -71,13 +71,13 @@ impl Default for Cfs {
     }
 }
 
-/// `true` if `core` can receive a placement: idle, and (when
+/// `true` if `core` can receive a placement: online, idle, and (when
 /// `respect_pending`) no in-flight placement targets it. CFS passes
 /// `false` — ignoring in-flight placements is exactly the §3.4 race — and
 /// Nest passes `true` (its compare-and-swap reservation flag).
 pub fn idle_ok(k: &KernelState, core: CoreId, respect_pending: bool) -> bool {
     let c = k.core(core);
-    c.is_idle() && (!respect_pending || c.pending == 0)
+    k.is_online(core) && c.is_idle() && (!respect_pending || c.pending == 0)
 }
 
 /// CFS fork-time selection (`find_idlest_group`/`find_idlest_cpu`).
@@ -92,10 +92,26 @@ pub fn select_fork(
     // favor the local socket, as Linux prefers not to migrate at fork.
     let topo = env.topo;
     let home = topo.socket_of(parent_core);
+    // Sockets with no online core cannot host anything; under hotplug a
+    // fully dead home socket forfeits its tie-breaking privilege.
+    let online_socks: u64 = topo
+        .sockets()
+        .filter(|&s| topo.socket_span(s).intersects(k.online_cores()))
+        .fold(0, |m, s| m | 1 << s.index());
+    let has_online = |s: nest_simcore::SocketId| online_socks & (1 << s.index()) != 0;
     let stats = k.socket_stats(env.now);
-    let mut best = home;
-    let mut best_key = (stats[home.index()].idle, -stats[home.index()].load);
+    let mut best = if has_online(home) {
+        home
+    } else {
+        topo.sockets()
+            .find(|&s| has_online(s))
+            .expect("at least one core online")
+    };
+    let mut best_key = (stats[best.index()].idle, -stats[best.index()].load);
     for s in topo.sockets() {
+        if !has_online(s) {
+            continue;
+        }
         let key = (stats[s.index()].idle, -stats[s.index()].load);
         if key > best_key {
             best = s;
@@ -144,17 +160,24 @@ fn select_idlest_in(
     if let Some((_, c)) = best_pair.or(best_idle) {
         return c;
     }
-    // No idle core in the span: fall back to the least-loaded core. The
-    // naive scan computed this bound alongside the idle tiers; splitting
-    // it out keeps the common case (idle cores exist) off the full span.
+    // No idle core in the span: fall back to the least-loaded online
+    // core. The naive scan computed this bound alongside the idle tiers;
+    // splitting it out keeps the common case (idle cores exist) off the
+    // full span.
     let mut best_any: Option<(f64, CoreId)> = None;
     for core in span.iter_wrapping_from(from) {
+        if !k.is_online(core) {
+            continue;
+        }
         let any_key = k.core_load(env.now, core) + k.core(core).nr_running() as f64;
         if better(any_key, &best_any) {
             best_any = Some((any_key, core));
         }
     }
-    best_any.map(|(_, c)| c).expect("span cannot be empty")
+    best_any
+        .map(|(_, c)| c)
+        .or_else(|| k.online_cores().first())
+        .expect("at least one core online")
 }
 
 /// The kernel idle-core index matching `idle_ok(_, _, respect_pending)`:
@@ -183,6 +206,9 @@ pub fn select_wakeup(
     let _span = profile::span(profile::Subsystem::CfsWakeup);
     let topo = env.topo;
     let prev = k.task(task).prev_core.unwrap_or(waker_core);
+    // Under hotplug, an offlined previous core no longer anchors the
+    // search; fall back to the waker's side.
+    let prev = if k.is_online(prev) { prev } else { waker_core };
     // Wake-affine: prefer the previous core's die, unless it is saturated
     // while the waker's die has idle capacity. "Has an idle core" is one
     // bitset intersection against the kernel's idle index.
@@ -234,7 +260,12 @@ pub fn select_wakeup(
     if idle_ok(k, sib, respect_pending) {
         return sib;
     }
-    target
+    if k.is_online(target) {
+        return target;
+    }
+    // Hotplug last resort: both the anchor and its sibling are gone;
+    // queue on the lowest-numbered online core.
+    k.online_cores().first().expect("at least one core online")
 }
 
 /// Searches one die: fully idle SMT pair first (full scan), then any idle
@@ -623,6 +654,9 @@ mod tests {
             let mut best_idle: Option<(f64, CoreId)> = None;
             let mut best_any: Option<(f64, CoreId)> = None;
             for core in span.iter_wrapping_from(from) {
+                if !k.is_online(core) {
+                    continue;
+                }
                 let load = k.core_load(env.now, core);
                 let any_key = load + k.core(core).nr_running() as f64;
                 if better(any_key, &best_any) {
@@ -642,7 +676,8 @@ mod tests {
                 .or(best_idle)
                 .or(best_any)
                 .map(|(_, c)| c)
-                .expect("span cannot be empty")
+                .or_else(|| k.online_cores().first())
+                .expect("at least one core online")
         }
 
         /// `search_die_for_idle` as two raw-span filter scans.
@@ -685,6 +720,7 @@ mod tests {
         ) -> CoreId {
             let topo = env.topo;
             let prev = k.task(task).prev_core.unwrap_or(waker_core);
+            let prev = if k.is_online(prev) { prev } else { waker_core };
             let has_idle = |sock| {
                 topo.socket_span(sock)
                     .iter()
@@ -729,7 +765,10 @@ mod tests {
             if idle_ok(k, sib, respect_pending) {
                 return sib;
             }
-            target
+            if k.is_online(target) {
+                return target;
+            }
+            k.online_cores().first().expect("at least one core online")
         }
     }
 
@@ -745,6 +784,7 @@ mod tests {
         let mut rng = SimRng::new(0x5EED_64C0);
         let mut busy: Vec<CoreId> = Vec::new();
         let mut reserved: Vec<CoreId> = Vec::new();
+        let mut offline: Vec<CoreId> = Vec::new();
         let mut now = Time::ZERO;
         for step in 0..600u64 {
             now += rng.uniform_u64(10_000, 2_000_000);
@@ -754,7 +794,7 @@ mod tests {
                     let idle: Vec<CoreId> = f.topo.all_cores().iter().collect::<Vec<_>>();
                     let idle: Vec<CoreId> = idle
                         .into_iter()
-                        .filter(|&c| f.k.core(c).is_idle())
+                        .filter(|&c| f.k.is_online(c) && f.k.core(c).is_idle())
                         .collect();
                     if !idle.is_empty() {
                         let c = idle[rng.uniform_u64(0, idle.len() as u64 - 1) as usize];
@@ -781,16 +821,41 @@ mod tests {
                     }
                 }
                 // Reserve a core (in-flight placement).
-                80..=89 => {
+                80..=84 => {
                     let c = CoreId(rng.uniform_u64(0, 63) as u32);
                     f.k.begin_placement(c);
                     reserved.push(c);
                 }
                 // Release a reservation.
-                _ => {
+                85..=89 => {
                     if !reserved.is_empty() {
                         let i = rng.uniform_u64(0, reserved.len() as u64 - 1) as usize;
                         f.k.cancel_placement(reserved.swap_remove(i));
+                    }
+                }
+                // Hotplug: offline an idle, unreserved core (what the
+                // engine guarantees after draining).
+                90..=94 => {
+                    let candidates: Vec<CoreId> = f
+                        .topo
+                        .all_cores()
+                        .iter()
+                        .filter(|&c| {
+                            f.k.is_online(c) && f.k.core(c).is_idle() && f.k.core(c).pending == 0
+                        })
+                        .collect();
+                    if candidates.len() > 8 {
+                        let c =
+                            candidates[rng.uniform_u64(0, candidates.len() as u64 - 1) as usize];
+                        f.k.set_online(c, false);
+                        offline.push(c);
+                    }
+                }
+                // Hotplug: bring an offlined core back.
+                _ => {
+                    if !offline.is_empty() {
+                        let i = rng.uniform_u64(0, offline.len() as u64 - 1) as usize;
+                        f.k.set_online(offline.swap_remove(i), true);
                     }
                 }
             }
@@ -853,12 +918,13 @@ mod tests {
             // per-core state after every mutation.
             for c in f.topo.all_cores().iter() {
                 let core = f.k.core(c);
-                assert_eq!(f.k.idle_cores().contains(c), core.is_idle());
+                let on = f.k.is_online(c);
+                assert_eq!(f.k.idle_cores().contains(c), on && core.is_idle());
                 assert_eq!(
                     f.k.idle_unreserved_cores().contains(c),
-                    core.is_idle() && core.pending == 0
+                    on && core.is_idle() && core.pending == 0
                 );
-                assert_eq!(f.k.queued_cores().contains(c), !core.rq.is_empty());
+                assert_eq!(f.k.queued_cores().contains(c), on && !core.rq.is_empty());
             }
         }
     }

@@ -175,6 +175,7 @@ pub struct KernelState {
     idle: CpuSet,
     idle_free: CpuSet,
     queued: CpuSet,
+    online: CpuSet,
 }
 
 impl KernelState {
@@ -189,6 +190,7 @@ impl KernelState {
             idle: CpuSet::full(n),
             idle_free: CpuSet::full(n),
             queued: CpuSet::new(n),
+            online: CpuSet::full(n),
             topo,
         }
     }
@@ -199,9 +201,10 @@ impl KernelState {
     #[inline]
     fn reindex(&mut self, core: CoreId) {
         let c = &self.cores[core.index()];
-        let idle = c.curr.is_none() && c.rq.is_empty();
+        let online = self.online.contains(core);
+        let idle = online && c.curr.is_none() && c.rq.is_empty();
         let idle_free = idle && c.pending == 0;
-        let queued = !c.rq.is_empty();
+        let queued = online && !c.rq.is_empty();
         if idle {
             self.idle.insert(core);
         } else {
@@ -234,6 +237,35 @@ impl KernelState {
     /// possible sources for load balancing.
     pub fn queued_cores(&self) -> &CpuSet {
         &self.queued
+    }
+
+    /// Cores currently online. All cores start online; fault injection
+    /// is the only mutator (via [`KernelState::set_online`]).
+    pub fn online_cores(&self) -> &CpuSet {
+        &self.online
+    }
+
+    /// `true` if `core` is online.
+    pub fn is_online(&self, core: CoreId) -> bool {
+        self.online.contains(core)
+    }
+
+    /// Takes a core offline or brings it back online.
+    ///
+    /// Offlining only flips the mask and drops the core from the derived
+    /// indexes (so no scan can select it); the engine is responsible for
+    /// migrating the running task and draining the runqueue. The cached
+    /// socket statistics are invalidated: hotplug is a machine-level
+    /// reconfiguration the kernel reacts to immediately, unlike ordinary
+    /// load changes which it observes with staleness.
+    pub fn set_online(&mut self, core: CoreId, online: bool) {
+        if online {
+            self.online.insert(core);
+        } else {
+            self.online.remove(core);
+        }
+        self.reindex(core);
+        self.invalidate_socket_stats();
     }
 
     /// Registers a task id (ids are dense and allocated by the engine).
@@ -428,6 +460,9 @@ impl KernelState {
                 let mut idle = 0;
                 let mut load = 0.0;
                 for core in span.iter() {
+                    if !self.online.contains(core) {
+                        continue;
+                    }
                     if self.cores[core.index()].is_idle() {
                         idle += 1;
                     }
@@ -466,7 +501,7 @@ impl KernelState {
             }
         };
         if min_queued == 0 {
-            for core in set.iter() {
+            for core in set.iter_masked(&self.online) {
                 consider(self.cores[core.index()].rq.len(), core);
             }
         } else {
@@ -682,18 +717,64 @@ mod tests {
     fn assert_indexes_consistent(k: &KernelState) {
         for (i, c) in k.cores.iter().enumerate() {
             let core = CoreId::from_index(i);
-            assert_eq!(k.idle_cores().contains(core), c.is_idle(), "idle[{i}]");
+            let on = k.is_online(core);
+            assert_eq!(
+                k.idle_cores().contains(core),
+                on && c.is_idle(),
+                "idle[{i}]"
+            );
             assert_eq!(
                 k.idle_unreserved_cores().contains(core),
-                c.is_idle() && c.pending == 0,
+                on && c.is_idle() && c.pending == 0,
                 "idle_free[{i}]"
             );
             assert_eq!(
                 k.queued_cores().contains(core),
-                !c.rq.is_empty(),
+                on && !c.rq.is_empty(),
                 "queued[{i}]"
             );
         }
+    }
+
+    #[test]
+    fn offline_cores_leave_every_index() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let core = CoreId(7);
+        assert!(k.is_online(core));
+        k.set_online(core, false);
+        assert_indexes_consistent(&k);
+        assert!(!k.idle_cores().contains(core));
+        assert!(!k.idle_unreserved_cores().contains(core));
+        assert!(!k.online_cores().contains(core));
+        // Mechanical mutations still work while offline (the engine
+        // drains displaced tasks through them) but never re-index the
+        // core as available.
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, core);
+        assert!(!k.queued_cores().contains(core));
+        assert_eq!(k.steal_queued(core), Some(a));
+        k.set_online(core, true);
+        assert_indexes_consistent(&k);
+        assert!(k.idle_cores().contains(core));
+    }
+
+    #[test]
+    fn socket_stats_and_busiest_skip_offline_cores() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        k.set_online(CoreId(3), false);
+        let stats = k.socket_stats(t0);
+        assert_eq!(stats[0].idle, 31, "offline core is not idle capacity");
+        let all = k.topo.all_cores().clone();
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, CoreId(3));
+        assert_eq!(
+            k.busiest_core_in(&all, 0),
+            Some(CoreId(0)),
+            "min_queued=0 scan must skip the offline core"
+        );
+        assert_eq!(k.busiest_core_in(&all, 1), None);
     }
 
     #[test]

@@ -445,6 +445,23 @@ impl SchedPolicy for Nest {
         cfs::periodic_pull_source(k, env, core, &self.cfs_params)
     }
 
+    fn on_core_offline(&mut self, k: &mut KernelState, env: &mut SchedEnv<'_>, core: CoreId) {
+        let _ = k;
+        // An offlined core leaves both nests outright — it must not be
+        // parked in the reserve the way a demotion would, because no
+        // future search may return it.
+        let in_primary = self.primary.remove(env.topo, core);
+        let in_reserve = self.reserve.remove(env.topo, core);
+        if in_primary || in_reserve {
+            let (primary, reserve) = self.sizes();
+            self.trace.push(TraceEvent::NestShrink {
+                core,
+                primary,
+                reserve,
+            });
+        }
+    }
+
     fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
         out.append(&mut self.trace);
     }
@@ -904,5 +921,92 @@ mod tests {
         let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(4));
         assert_eq!(p.core, CoreId(5), "stale core used when compaction off");
         assert_eq!(p.path, PlacementPath::NestPrimary);
+    }
+
+    #[test]
+    fn core_offline_sheds_from_both_nests_with_one_shrink_event() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        nest.promote(&f.topo, CoreId(5));
+        nest.promote(&f.topo, CoreId(6));
+        nest.demote(&f.topo, CoreId(6)); // now in the reserve
+        let mut drained = Vec::new();
+        nest.drain_trace(&mut drained);
+
+        let now = Time::ZERO;
+        f.k.set_online(CoreId(5), false);
+        let mut e = env!(f, now);
+        nest.on_core_offline(&mut f.k, &mut e, CoreId(5));
+        assert!(!nest.primary().contains(CoreId(5)));
+        assert!(
+            !nest.reserve().contains(CoreId(5)),
+            "offline core must not be parked in the reserve"
+        );
+        drained.clear();
+        nest.drain_trace(&mut drained);
+        assert_eq!(
+            drained,
+            vec![TraceEvent::NestShrink {
+                core: CoreId(5),
+                primary: 0,
+                reserve: 1,
+            }]
+        );
+
+        // Shedding a reserve member also traces.
+        f.k.set_online(CoreId(6), false);
+        let mut e = env!(f, now);
+        nest.on_core_offline(&mut f.k, &mut e, CoreId(6));
+        assert!(nest.reserve().is_empty());
+        drained.clear();
+        nest.drain_trace(&mut drained);
+        assert_eq!(drained.len(), 1);
+
+        // A core in neither nest sheds silently.
+        let mut e = env!(f, now);
+        nest.on_core_offline(&mut f.k, &mut e, CoreId(7));
+        drained.clear();
+        nest.drain_trace(&mut drained);
+        assert!(drained.is_empty());
+    }
+
+    #[test]
+    fn selection_never_returns_offline_cores() {
+        let mut f = Fixture::new();
+        let mut nest = Nest::new(64);
+        let now = Time::ZERO;
+        // Offline all of socket 1 plus a few socket-0 cores, shedding as
+        // the engine would.
+        let offline: Vec<CoreId> = (1u32..8).chain(32..64).map(CoreId).collect();
+        for &c in &offline {
+            f.k.set_online(c, false);
+            let mut e = env!(f, now);
+            nest.on_core_offline(&mut f.k, &mut e, c);
+        }
+        // Drive forks and wakeups; every placement must land online.
+        for i in 0..40 {
+            let task = f.spawn(now);
+            let mut e = env!(f, now);
+            let p = if i % 2 == 0 {
+                nest.select_core_fork(&mut f.k, &mut e, task, CoreId(i % 64))
+            } else {
+                f.k.task_mut(task).push_core_history(CoreId(40)); // offline prev
+                nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(2))
+            };
+            assert!(
+                f.k.is_online(p.core),
+                "placement {i} chose offline {:?}",
+                p.core
+            );
+            assert!(nest.primary().is_disjoint(nest.reserve()));
+            for c in nest.primary().iter().chain(nest.reserve().iter()) {
+                assert!(f.k.is_online(c), "nest holds offline {c:?}");
+            }
+            f.k.begin_placement(p.core);
+            f.k.commit_placement(now, task, p.core);
+            if f.k.core(p.core).curr.is_none() {
+                f.k.pick_next(now, p.core);
+            }
+        }
     }
 }

@@ -120,6 +120,16 @@ pub trait SchedPolicy {
         core: CoreId,
     ) -> Option<CoreId>;
 
+    /// Called when fault injection takes `core` offline, after the kernel
+    /// has dropped it from the online mask and before displaced tasks are
+    /// re-placed. Policies holding core sets (Nest's primary/reserve
+    /// nests) must shed the core here so no later selection can return
+    /// it. The default is a no-op: CFS and Smove keep no core sets and
+    /// are already guarded by the online-gated scans.
+    fn on_core_offline(&mut self, k: &mut KernelState, env: &mut SchedEnv<'_>, core: CoreId) {
+        let _ = (k, env, core);
+    }
+
     /// Moves trace events describing the policy's internal transitions
     /// (e.g. Nest's [`TraceEvent::NestExpand`] family) into `out`. The
     /// engine calls this after every policy callback and emits the drained

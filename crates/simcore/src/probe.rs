@@ -170,6 +170,27 @@ pub enum TraceEvent {
         /// Reserve-nest size after the transition.
         reserve: u32,
     },
+    /// A core was taken offline by fault injection. Emitted after the
+    /// policy has shed the core from its structures and before any
+    /// displaced work is re-placed; from this point no new activity
+    /// (placement, run start, spin) may target the core.
+    CoreOffline {
+        /// The offlined core.
+        core: CoreId,
+    },
+    /// A previously offlined core came back online and may be used again.
+    CoreOnline {
+        /// The onlined core.
+        core: CoreId,
+    },
+    /// Fault injection changed a socket's thermal-throttle factor.
+    SocketThrottle {
+        /// The throttled socket's index.
+        socket: usize,
+        /// The new cap factor in `(0, 1]`; `1.0` means the throttle was
+        /// lifted.
+        factor: f64,
+    },
 }
 
 /// A subscriber to the simulation trace.

@@ -27,8 +27,18 @@ for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview; do
     cargo run --release -q -p nest-bench --bin "$bin" >/dev/null
 done
 
+# A fault-enabled scenario rides along: fault injection must be exactly
+# as deterministic as the fault-free path (and must never shift the
+# fault-free hashes above, which predate fault support).
+echo "==> regenerating faulted_pin (nest-sim run --faults)"
+cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 5218 --policy cfs --policy nest --governor schedutil \
+    --workload configure:gdb --runs 2 \
+    --faults "hotplug=8@50ms:200ms,throttle=s0:0.8,jitter=50us" \
+    --out faulted_pin >/dev/null
+
 (cd "$outdir" && sha256sum fig02_trace.json fig04_underload.json \
-    fig10_dacapo_speedup.json table4_overview.json) \
+    fig10_dacapo_speedup.json table4_overview.json faulted_pin.json) \
     > "$outdir/actual.sha256"
 
 if [[ "${1:-}" == "--update" ]]; then

@@ -1,0 +1,86 @@
+//! Chaos soak: randomized short fault plans against every policy, with
+//! the kernel-state invariant checker in fail-fast mode. A violation —
+//! a task running on two cores, a placement onto an offline core, a
+//! frequency outside the (possibly throttled) envelope — panics with the
+//! rule name and simulated time, failing the test on the spot.
+//!
+//! The plans are drawn from a seeded [`SimRng`], so the soak is as
+//! deterministic as every other test in the repo: a failure reproduces
+//! by rerunning, and the corpus only changes when this file does.
+
+use nest_core::{presets, run_once_with, PolicyKind, SimConfig};
+use nest_faults::FaultPlan;
+use nest_obs::InvariantChecker;
+use nest_simcore::{Probe, SimRng, Time};
+use nest_workloads::hackbench::{Hackbench, HackbenchSpec};
+
+/// Draws one short random plan: each fault kind appears with its own
+/// probability, parameters in ranges that keep runs quick but make the
+/// perturbation real (cores actually lost, caps actually lowered).
+fn random_plan(rng: &mut SimRng, n_sockets: u64) -> String {
+    let mut clauses = Vec::new();
+    if rng.uniform_f64() < 0.8 {
+        let n = rng.uniform_u64(1, 12);
+        let at = rng.uniform_u64(1, 80);
+        let dur = rng.uniform_u64(5, 250);
+        clauses.push(format!("hotplug={n}@{at}ms:{dur}ms"));
+    }
+    if rng.uniform_f64() < 0.7 {
+        let socket = rng.uniform_u64(0, n_sockets - 1);
+        let factor = rng.uniform_u64(50, 95);
+        let at = rng.uniform_u64(0, 60);
+        clauses.push(format!("throttle=s{socket}:0.{factor:02}@{at}ms"));
+    }
+    if rng.uniform_f64() < 0.5 {
+        let us = rng.uniform_u64(5, 300);
+        clauses.push(format!("jitter={us}us"));
+    }
+    if rng.uniform_f64() < 0.5 {
+        let n = rng.uniform_u64(1, 6);
+        let at = rng.uniform_u64(1, 50);
+        let dur = rng.uniform_u64(10, 200);
+        clauses.push(format!("stragglers={n}@{at}ms:{dur}ms"));
+    }
+    clauses.join(",")
+}
+
+#[test]
+fn randomized_fault_plans_never_break_invariants() {
+    let machine = presets::xeon_5218();
+    let n_sockets = machine.sockets as u64;
+    let workload = Hackbench::new(HackbenchSpec {
+        groups: 4,
+        fan: 4,
+        loops: 30,
+        msg_cycles: 20_000,
+    });
+    let mut rng = SimRng::new(0xC4A05);
+    for round in 0..6 {
+        let spec = random_plan(&mut rng, n_sockets);
+        let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("bad plan {spec:?}: {e}"));
+        for policy in [PolicyKind::Cfs, PolicyKind::Nest, PolicyKind::Smove] {
+            let cfg = SimConfig::new(machine.clone())
+                .policy(policy.clone())
+                .seed(100 + round)
+                .horizon(Time::from_secs(120))
+                .faults(plan.clone());
+            let (checker, counts) = InvariantChecker::new(
+                machine.n_cores(),
+                machine.freq.fmin.as_khz(),
+                machine.freq.fmax().as_khz(),
+            );
+            // Fail-fast: any violation panics with rule + time + plan.
+            let probe: Box<dyn Probe> = Box::new(checker.fail_fast());
+            let result = run_once_with(&cfg, &workload, vec![probe]);
+            let counts = counts.borrow();
+            assert_eq!(
+                counts.violations, 0,
+                "policy {policy:?}, plan {spec:?}: {counts:?}"
+            );
+            assert!(counts.events_checked > 0);
+            // The always-on counting checker inside run_once_with must
+            // agree with our fail-fast copy.
+            assert_eq!(result.invariants.violations, 0);
+        }
+    }
+}
