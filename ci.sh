@@ -56,8 +56,18 @@ step cargo run --release -q -p nest-bench --bin nest-sim -- \
     stats --machine 5218 --policy nest --governor schedutil \
     --workload configure:gdb,tests=40
 
-# Byte-identity guard: fig02/fig04/fig10/table4 artifacts vs committed
-# golden hashes.
+# The serving lens: an open-loop `serve:` stream runs end to end through
+# the CLI and reports its tail-latency/SLO metrics.
+NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
+    step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 5218 --policy cfs --policy nest --governor schedutil \
+    --workload serve:rate=400,requests=200,dist=lognorm,slo=2ms --runs 2
+step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    stats --machine 5218 --policy nest --governor schedutil \
+    --workload serve:rate=400,requests=200,dist=lognorm
+
+# Byte-identity guard: fig02/fig04/fig10/table4/fig_serve_tail artifacts
+# vs committed golden hashes.
 step ./scripts/verify_artifacts.sh
 
 echo

@@ -1,0 +1,166 @@
+//! fig_serve_tail: request tail latency and SLO goodput of an open-loop
+//! serving stream as offered load grows, under CFS, Nest, and Smove
+//! (all schedutil, where core-packing effects on frequency matter).
+//!
+//! The serving lens the paper motivates but never plots directly: an
+//! open-loop Poisson-arrival stream of lognormal requests against a 2 ms
+//! SLO, swept across offered load. Keeping the stream on warm cores
+//! should show up as lower p99/p999 and higher SLO goodput at the same
+//! offered rate; the energy-per-request column shows what that costs.
+
+use nest_bench::{add_block, banner, emit_artifact, matrix, metric_row, quick};
+use nest_core::experiment::{Comparison, SchedulerOutcome};
+use nest_harness::json::obj;
+use nest_harness::Json;
+
+/// The `(policy, governor)` rows of every load point.
+fn pairs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("cfs", "schedutil"),
+        ("nest", "schedutil"),
+        ("smove", "schedutil"),
+    ]
+}
+
+/// Offered loads swept (requests per second).
+fn rates() -> Vec<u32> {
+    if quick() {
+        vec![200, 800]
+    } else {
+        vec![100, 200, 400, 800, 1600]
+    }
+}
+
+/// The registry string of one load point. Quick mode shrinks the request
+/// count so the smoke sweep stays fast.
+fn workload_of(rate: u32) -> String {
+    let requests = if quick() { ",requests=300" } else { "" };
+    format!("serve:rate={rate},dist=lognorm{requests}")
+}
+
+/// Mean of the values present; `None` when no run carried one.
+fn mean_of(xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Per-row means of one serving scalar, pulled out of the per-run
+/// [`nest_metrics::ServeSummary`] projections.
+fn row_mean<F>(r: &SchedulerOutcome, f: F) -> Option<f64>
+where
+    F: Fn(&nest_metrics::ServeSummary) -> Option<f64>,
+{
+    mean_of(
+        r.runs
+            .iter()
+            .filter_map(|run| run.serve.as_ref().and_then(&f))
+            .collect(),
+    )
+}
+
+fn fmt_us(ns: Option<f64>) -> String {
+    ns.map_or_else(|| "n/a".to_string(), |v| format!("{:.0}µs", v / 1e3))
+}
+
+fn fmt_or_na(v: Option<f64>, unit: &str) -> String {
+    v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.1}{unit}"))
+}
+
+/// One load point's JSON series entry: the mean serving scalars per row.
+fn series_entry(rate: u32, c: &Comparison) -> Json {
+    let rows: Vec<Json> = c
+        .rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("label", Json::str(&r.label)),
+                (
+                    "p50_ns",
+                    Json::opt_f64(row_mean(r, |s| s.p50_ns.map(|v| v as f64))),
+                ),
+                (
+                    "p99_ns",
+                    Json::opt_f64(row_mean(r, |s| s.p99_ns.map(|v| v as f64))),
+                ),
+                (
+                    "p999_ns",
+                    Json::opt_f64(row_mean(r, |s| s.p999_ns.map(|v| v as f64))),
+                ),
+                (
+                    "goodput_per_s",
+                    Json::opt_f64(row_mean(r, |s| s.goodput_per_s)),
+                ),
+                (
+                    "slo_fraction",
+                    Json::opt_f64(row_mean(r, |s| {
+                        (s.offered > 0).then(|| s.within_slo as f64 / s.offered as f64)
+                    })),
+                ),
+                (
+                    "energy_per_request_j",
+                    Json::opt_f64(row_mean(r, |s| s.energy_per_request_j)),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("rate_per_s", Json::u64(rate as u64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+fn main() {
+    banner(
+        "Serve tail",
+        "open-loop serving: tail latency & SLO goodput vs offered load",
+    );
+    let mut m = matrix("fig_serve_tail");
+    for rate in rates() {
+        add_block(&mut m, "5218", &pairs(), &workload_of(rate), None);
+    }
+    let (comps, telemetry) = m.run();
+
+    let mut series = Vec::new();
+    for (rate, c) in rates().iter().zip(&comps) {
+        println!("\n### offered load {rate}/s ({})", c.workload);
+        let labels = vec![
+            "p50".to_string(),
+            "p99".to_string(),
+            "p999".to_string(),
+            "goodput".to_string(),
+            "SLO%".to_string(),
+            "mJ/req".to_string(),
+        ];
+        println!("{}", metric_row("scheduler", &labels));
+        for r in &c.rows {
+            let vals = vec![
+                fmt_us(row_mean(r, |s| s.p50_ns.map(|v| v as f64))),
+                fmt_us(row_mean(r, |s| s.p99_ns.map(|v| v as f64))),
+                fmt_us(row_mean(r, |s| s.p999_ns.map(|v| v as f64))),
+                fmt_or_na(row_mean(r, |s| s.goodput_per_s), "/s"),
+                fmt_or_na(
+                    row_mean(r, |s| {
+                        (s.offered > 0).then(|| s.within_slo as f64 / s.offered as f64 * 100.0)
+                    }),
+                    "%",
+                ),
+                fmt_or_na(row_mean(r, |s| s.energy_per_request_j.map(|e| e * 1e3)), ""),
+            ];
+            println!("{}", metric_row(&r.label, &vals));
+        }
+        series.push(series_entry(*rate, c));
+    }
+
+    println!("\nExpected shape: Nest holds p99/p999 and SLO goodput closer to");
+    println!("the offered load than CFS as the rate grows, at similar or");
+    println!("better energy per request (warm cores run at higher frequency).");
+    emit_artifact(
+        "fig_serve_tail",
+        &comps,
+        vec![("series", Json::Arr(series))],
+        Some(&telemetry),
+    );
+}

@@ -32,6 +32,7 @@
 use nest_core::experiment::format_table;
 use nest_core::{run_many, run_once_with};
 use nest_harness::{Artifact, Json, Matrix};
+use nest_metrics::ServeMetrics;
 use nest_obs::{chrome_trace_json, DecisionMetrics, EventClass, TraceCollector};
 use nest_scenario::{Scenario, DEFAULT_RUNS, DEFAULT_SEED};
 use nest_simcore::{PlacementPath, Time};
@@ -72,7 +73,10 @@ EXAMPLES:
 or chrome://tracing); `--window` bounds are simulated seconds, and
 `--events` takes classes from: task, placement, run, freq, spin, nest,
 runnable. `stats` prints the scheduler's decision metrics (placement
-paths, wakeup latency, migrations, spinning, nest occupancy).
+paths, wakeup latency, migrations, spinning, nest occupancy) — plus
+request tail latency (p50/p99/p999), SLO goodput, and energy per
+request when the workload includes a `serve:` stream
+(e.g. --workload \"serve:rate=500,dist=lognorm,slo=2ms\").
 
 `--faults` injects a seeded fault plan into every row (grammar:
 `hotplug=N@TIME[:DUR]`, `throttle=sK:F[@TIME[:DUR]]` joined with '+',
@@ -527,6 +531,47 @@ fn stats_report(s: &Scenario, m: &DecisionMetrics) -> String {
     out
 }
 
+/// Renders the serving tail-latency lens; empty when the scenario
+/// carries no `serve:` stream.
+fn serve_report(m: &ServeMetrics) -> String {
+    if m.offered == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    let or_na = |v: Option<String>| v.unwrap_or_else(|| "n/a".to_string());
+    line(String::new());
+    line(format!(
+        "serving: {} requests offered ({:.1}/s), {} completed, {} within SLO ({})",
+        m.offered,
+        m.offered_per_s().unwrap_or(0.0),
+        m.completed,
+        m.within_slo,
+        fmt_opt_pct(m.slo_fraction())
+    ));
+    let q = |p: f64| or_na(m.hist.quantile(p).map(|ns| fmt_ns(ns as f64)));
+    line(format!(
+        "request latency: p50 {}, p99 {}, p999 {} (mean {}, SLO {})",
+        q(0.50),
+        q(0.99),
+        q(0.999),
+        or_na(m.hist.mean().map(fmt_ns)),
+        fmt_ns(m.slo_ns as f64)
+    ));
+    line(format!(
+        "SLO goodput: {}, energy per request: {}",
+        or_na(m.goodput_per_s().map(|g| format!("{g:.1}/s"))),
+        or_na(
+            m.energy_per_request_j()
+                .map(|e| format!("{:.3} mJ", e * 1e3))
+        )
+    ));
+    out
+}
+
 fn stats(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("stats");
@@ -536,10 +581,13 @@ fn stats(args: &[String]) {
     let workload = s.build_workload();
     let results = run_many(&s.sim_config(), workload.as_ref(), runs);
     let mut merged = DecisionMetrics::default();
+    let mut serve = ServeMetrics::default();
     for r in &results {
         merged.merge(&r.decision);
+        serve.merge(&r.serve);
     }
     print!("{}", stats_report(&s, &merged));
+    print!("{}", serve_report(&serve));
 }
 
 fn main() {

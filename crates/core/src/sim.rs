@@ -11,11 +11,12 @@ use std::rc::Rc;
 use nest_engine::{Engine, EngineConfig};
 use nest_faults::FaultPlan;
 use nest_freq::Governor;
-use nest_metrics::RunSummary;
 use nest_metrics::{
     ExecutionTrace, ExecutionTraceProbe, FreqResidency, FreqResidencyProbe, PlacementCounts,
-    PlacementProbe, UnderloadData, UnderloadProbe, WakeupLatencies, WakeupLatencyProbe,
+    PlacementProbe, ServeMetrics, ServeMetricsProbe, UnderloadData, UnderloadProbe,
+    WakeupLatencies, WakeupLatencyProbe,
 };
+use nest_metrics::{RunSummary, ServeSummary};
 use nest_obs::{DecisionMetrics, DecisionMetricsProbe, InvariantChecker, InvariantCounts};
 use nest_sched::{Cfs, CfsParams, Nest, NestParams, SchedPolicy, Smove, SmoveParams};
 use nest_simcore::rng::mix64;
@@ -196,6 +197,10 @@ pub struct RunResult {
     /// Scheduling-decision metrics (telemetry only; deliberately not part
     /// of [`RunSummary`], which is cached and serialized into artifacts).
     pub decision: DecisionMetrics,
+    /// Request-serving metrics. Default (all-zero) unless the workload
+    /// carried serve specs; the scalar [`ServeSummary`] projection *does*
+    /// travel in [`RunSummary`], so serving figures work from the cache.
+    pub serve: ServeMetrics,
     /// Total tasks created.
     pub total_tasks: usize,
     /// Whether the horizon cut the run short.
@@ -212,7 +217,7 @@ impl RunResult {
     /// harness caches and serializes). The execution trace and raw latency
     /// samples are dropped; everything a non-trace figure reads survives.
     pub fn summarize(&self) -> RunSummary {
-        RunSummary::collect(
+        let mut summary = RunSummary::collect(
             self.time_s,
             self.energy_j,
             &self.underload,
@@ -221,7 +226,11 @@ impl RunResult {
             &self.latency,
             self.total_tasks,
             self.hit_horizon,
-        )
+        );
+        if self.serve.runs > 0 {
+            summary.serve = Some(ServeSummary::from_metrics(&self.serve));
+        }
+        summary
     }
 }
 
@@ -276,6 +285,18 @@ pub fn run_once_with(
         cfg.machine.freq.fmax().as_khz(),
     );
     engine.add_probe(Box::new(ic));
+    // The serve probe exists only when the workload carries serve specs,
+    // so non-serving runs draw the same probe set (and bytes) as before
+    // the serving subsystem existed.
+    let serve_specs = workload.serve_specs();
+    let serve_handle = if serve_specs.is_empty() {
+        None
+    } else {
+        let slos = serve_specs.iter().map(|s| s.slo_ns).collect();
+        let (sp, sh) = ServeMetricsProbe::new(slos);
+        engine.add_probe(Box::new(sp));
+        Some(sh)
+    };
     let trace_handle = if cfg.collect_trace {
         let (tp, th) = ExecutionTraceProbe::new(n_cores, initial_freq);
         engine.add_probe(Box::new(tp));
@@ -289,12 +310,32 @@ pub fn run_once_with(
 
     let mut wl_rng = SimRng::new(cfg.seed ^ 0xD00D_F00D);
     let tasks = workload.build(&mut engine, &mut wl_rng);
-    assert!(!tasks.is_empty(), "workload built no tasks");
+    assert!(
+        !tasks.is_empty() || !serve_specs.is_empty(),
+        "workload built no tasks"
+    );
     for t in tasks {
         engine.spawn(t);
     }
+    // Requests arrive through the engine's event queue at materialized
+    // times: a pure function of (spec, plan index, base seed), never of
+    // engine state, so arrival streams are byte-identical at any worker
+    // count and under any colocation.
+    for (plan, spec) in serve_specs.iter().enumerate() {
+        for (at_ns, task) in nest_serve::materialize(spec, plan, cfg.seed) {
+            engine.inject_at(Time::from_nanos(at_ns), task);
+        }
+    }
     let outcome = engine.run();
     let invariants = invariants.borrow().clone();
+    let serve = match serve_handle {
+        Some(h) => {
+            let mut m = take(&h);
+            m.energy_j = outcome.energy_joules;
+            m
+        }
+        None => ServeMetrics::default(),
+    };
 
     RunResult {
         time_s: outcome.finished_at.as_secs_f64(),
@@ -305,6 +346,7 @@ pub fn run_once_with(
         latency: take(&latency),
         trace: trace_handle.map(|h| take(&h)),
         decision: take(&decision),
+        serve,
         total_tasks: outcome.total_tasks,
         hit_horizon: outcome.hit_horizon,
         aborted: outcome.aborted,
@@ -452,6 +494,60 @@ mod tests {
         let r = run_once(&cfg, &Configure::named("gdb"));
         assert!(r.aborted);
         assert!(r.time_s > 0.0, "partial results survive");
+    }
+
+    #[test]
+    fn serving_run_measures_requests() {
+        use nest_workloads::{ServeLoad, ServeSpec};
+        let spec = ServeSpec {
+            rate: 2_000.0,
+            requests: 300,
+            service_ms: 0.5,
+            ..ServeSpec::default()
+        };
+        let cfg = quick_cfg().policy(PolicyKind::Nest);
+        let r = run_once(&cfg, &ServeLoad::new(spec));
+        assert_eq!(r.serve.runs, 1);
+        assert_eq!(r.serve.offered, 300);
+        assert_eq!(r.serve.completed, 300, "all requests finish");
+        assert_eq!(r.serve.hist.len(), 300);
+        assert!(r.serve.hist.quantile(0.99).is_some());
+        assert!(r.serve.energy_j > 0.0);
+        let summary = r.summarize();
+        let s = summary.serve.expect("serving summary present");
+        assert_eq!(s.offered, 300);
+        assert!(s.p999_ns.unwrap() >= s.p50_ns.unwrap());
+    }
+
+    #[test]
+    fn serving_runs_are_deterministic_and_colocate() {
+        use nest_workloads::{Multi, ServeLoad, ServeSpec, Workload};
+        let mk = || {
+            let spec = ServeSpec {
+                rate: 1_000.0,
+                requests: 100,
+                fanout: 3,
+                ..ServeSpec::default()
+            };
+            Multi::new(vec![
+                Box::new(ServeLoad::new(spec)) as Box<dyn Workload>,
+                Box::new(nest_workloads::hackbench::Hackbench::new(Default::default())),
+            ])
+        };
+        let a = run_once(&quick_cfg(), &mk());
+        let b = run_once(&quick_cfg(), &mk());
+        assert_eq!(a.serve, b.serve);
+        assert_eq!(a.time_s, b.time_s);
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.serve.offered, 100);
+        assert_eq!(a.serve.completed, 100, "fan-out requests complete");
+    }
+
+    #[test]
+    fn non_serving_runs_carry_no_serve_block() {
+        let r = run_once(&quick_cfg(), &Configure::named("gdb"));
+        assert_eq!(r.serve.runs, 0);
+        assert!(r.summarize().serve.is_none());
     }
 
     #[test]

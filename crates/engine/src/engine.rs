@@ -84,6 +84,9 @@ enum Event {
     /// An injected fault fires (index into the materialized
     /// [`FaultSchedule`]).
     Fault(usize),
+    /// A pre-registered task injection fires (index into
+    /// `Engine::injections`).
+    Inject(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +163,12 @@ pub struct Engine {
     /// the plan and the run seed; never drawn from on fault-free runs, so
     /// the main stream — and the run — stay byte-identical.
     fault_rng: SimRng,
+    /// Timed task injections registered before the run (open-loop request
+    /// arrivals). Each spec is taken when its event fires.
+    injections: Vec<(Time, Option<TaskSpec>)>,
+    /// Injections not yet fired; keeps the run loop alive while the
+    /// machine is idle between arrivals.
+    pending_injections: usize,
     started: bool,
 }
 
@@ -217,6 +226,8 @@ impl Engine {
             spin_gen: vec![0; n],
             pending_core: std::collections::HashMap::new(),
             policy_trace: Vec::new(),
+            injections: Vec::new(),
+            pending_injections: 0,
             started: false,
             cfg,
         }
@@ -282,6 +293,20 @@ impl Engine {
     pub fn spawn(&mut self, spec: TaskSpec) -> TaskId {
         let initial_core = self.cfg.initial_core;
         self.create_task(spec, None, initial_core)
+    }
+
+    /// Registers a task to be created at simulated time `at` (an open-loop
+    /// arrival). Must be called before [`Engine::run`]; the run stays
+    /// alive until every registered injection has fired (or the horizon
+    /// cuts it), even if the machine goes fully idle between arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has already started running.
+    pub fn inject_at(&mut self, at: Time, spec: TaskSpec) {
+        assert!(!self.started, "inject_at must precede run()");
+        self.injections.push((at, Some(spec)));
+        self.pending_injections += 1;
     }
 
     fn create_task(
@@ -380,13 +405,20 @@ impl Engine {
     /// Panics if called twice, or with no spawned tasks.
     pub fn run(&mut self) -> RunOutcome {
         assert!(!self.started, "engine can only run once");
-        assert!(!self.tasks.is_empty(), "no tasks spawned");
+        assert!(
+            !self.tasks.is_empty() || self.pending_injections > 0,
+            "no tasks spawned or injections registered"
+        );
         self.started = true;
         self.queue.schedule(self.now + TICK_NS, Event::GlobalTick);
         self.queue.schedule(self.now + MILLISEC, Event::FreqTick);
         for i in 0..self.fault_schedule.actions().len() {
             let at = self.fault_schedule.actions()[i].at;
             self.queue.schedule(at, Event::Fault(i));
+        }
+        for i in 0..self.injections.len() {
+            let at = self.injections[i].0;
+            self.queue.schedule(at, Event::Inject(i));
         }
 
         let mut hit_horizon = false;
@@ -395,7 +427,7 @@ impl Engine {
         // Dispatched events are tallied in a local counter and flushed to
         // the profiler once per run: the loop body stays free of atomics.
         let mut events_dispatched: u64 = 0;
-        while self.live_tasks > 0 {
+        while self.live_tasks > 0 || self.pending_injections > 0 {
             let Some((t, ev)) = self.queue.pop() else {
                 panic!("deadlock: {} live tasks but no events", self.live_tasks);
             };
@@ -457,7 +489,26 @@ impl Engine {
                 gen,
             } => self.on_smove_expire(task, from, to, gen),
             Event::Fault(idx) => self.on_fault(idx),
+            Event::Inject(idx) => self.on_inject(idx),
         }
+    }
+
+    /// Fires a registered injection: the task enters through the policy's
+    /// fork path from the initial core (or the first online core if it is
+    /// offline), like a straggler spawn.
+    fn on_inject(&mut self, idx: usize) {
+        let spec = self.injections[idx].1.take().expect("injection fires once");
+        self.pending_injections -= 1;
+        let initial_core = self.cfg.initial_core;
+        let parent_core = if self.kernel.is_online(initial_core) {
+            initial_core
+        } else {
+            self.kernel
+                .online_cores()
+                .first()
+                .expect("at least one core online")
+        };
+        self.create_task(spec, None, parent_core);
     }
 
     // ---- fault injection ---------------------------------------------

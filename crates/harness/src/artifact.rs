@@ -144,6 +144,11 @@ impl Artifact {
             ("invariants", t.invariants.to_json()),
             ("decision_metrics", t.decision_metrics.to_json()),
         ];
+        // Only serving matrices carry a serve block, so existing figures'
+        // telemetry keeps its exact shape.
+        if t.serve_metrics.runs > 0 {
+            fields.push(("serve_metrics", t.serve_metrics.to_json()));
+        }
         if let Some(p) = &t.profile {
             fields.push(("profile", profile_json(p)));
         }

@@ -20,7 +20,7 @@
 
 use std::path::{Path, PathBuf};
 
-use nest_metrics::{LatencySummary, RunSummary};
+use nest_metrics::{LatencySummary, RunSummary, ServeSummary};
 use nest_simcore::rng::{mix64, splitmix64};
 
 use crate::json::{obj, parse, Json};
@@ -235,7 +235,7 @@ fn hash_pass(s: &str, basis: u64) -> u64 {
 /// Serializes a summary to its JSON form (shared by the cache and the
 /// figure artifacts).
 pub fn summary_to_json(s: &RunSummary) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("time_s", Json::f64(s.time_s)),
         ("energy_j", Json::f64(s.energy_j)),
         ("underload_per_s", Json::f64(s.underload_per_s)),
@@ -270,7 +270,30 @@ pub fn summary_to_json(s: &RunSummary) -> Json {
         ),
         ("total_tasks", Json::usize(s.total_tasks)),
         ("hit_horizon", Json::Bool(s.hit_horizon)),
-    ])
+    ];
+    // The serve block appears only for serving runs, so every
+    // pre-existing entry and artifact serializes byte-for-byte as before.
+    if let Some(serve) = &s.serve {
+        fields.push((
+            "serve",
+            obj(vec![
+                ("offered", Json::u64(serve.offered)),
+                ("completed", Json::u64(serve.completed)),
+                ("within_slo", Json::u64(serve.within_slo)),
+                ("slo_ns", Json::u64(serve.slo_ns)),
+                ("p50_ns", Json::opt_u64(serve.p50_ns)),
+                ("p99_ns", Json::opt_u64(serve.p99_ns)),
+                ("p999_ns", Json::opt_u64(serve.p999_ns)),
+                ("mean_ns", Json::opt_f64(serve.mean_ns)),
+                ("goodput_per_s", Json::opt_f64(serve.goodput_per_s)),
+                (
+                    "energy_per_request_j",
+                    Json::opt_f64(serve.energy_per_request_j),
+                ),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 /// Rebuilds a summary from its JSON form; `None` on any shape mismatch.
@@ -320,6 +343,30 @@ pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
         },
         total_tasks: v.get("total_tasks")?.as_usize()?,
         hit_horizon: v.get("hit_horizon")?.as_bool()?,
+        serve: match v.get("serve") {
+            None => None,
+            Some(serve) => {
+                let opt_f64 = |field: &Json| {
+                    if field.is_null() {
+                        Some(None)
+                    } else {
+                        field.as_f64().map(Some)
+                    }
+                };
+                Some(ServeSummary {
+                    offered: serve.get("offered")?.as_u64()?,
+                    completed: serve.get("completed")?.as_u64()?,
+                    within_slo: serve.get("within_slo")?.as_u64()?,
+                    slo_ns: serve.get("slo_ns")?.as_u64()?,
+                    p50_ns: opt_u64(serve.get("p50_ns")?)?,
+                    p99_ns: opt_u64(serve.get("p99_ns")?)?,
+                    p999_ns: opt_u64(serve.get("p999_ns")?)?,
+                    mean_ns: opt_f64(serve.get("mean_ns")?)?,
+                    goodput_per_s: opt_f64(serve.get("goodput_per_s")?)?,
+                    energy_per_request_j: opt_f64(serve.get("energy_per_request_j")?)?,
+                })
+            }
+        },
     })
 }
 
@@ -346,6 +393,7 @@ mod tests {
             },
             total_tasks: 99,
             hit_horizon: false,
+            serve: None,
         }
     }
 
@@ -359,6 +407,32 @@ mod tests {
             summary_to_json(&s).to_pretty(),
             summary_to_json(&back).to_pretty()
         );
+        // Non-serving summaries carry no serve key at all.
+        assert!(summary_to_json(&s).get("serve").is_none());
+    }
+
+    #[test]
+    fn serving_summary_round_trips_through_the_cache_codec() {
+        let s = RunSummary {
+            serve: Some(ServeSummary {
+                offered: 2_000,
+                completed: 1_990,
+                within_slo: 1_800,
+                slo_ns: 2_000_000,
+                p50_ns: Some(400_000),
+                p99_ns: Some(1_900_000),
+                p999_ns: Some(4_100_000),
+                mean_ns: Some(512_333.25),
+                goodput_per_s: Some(450.0),
+                energy_per_request_j: None,
+            }),
+            ..sample_summary()
+        };
+        let json = summary_to_json(&s);
+        assert!(json.get("serve").is_some());
+        let back = summary_from_json(&json).expect("round trip");
+        assert_eq!(back, s);
+        assert_eq!(json.to_pretty(), summary_to_json(&back).to_pretty());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::time::Instant;
 use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::{run_once, RunResult, SimConfig};
 use nest_faults::FaultPlan;
-use nest_metrics::RunSummary;
+use nest_metrics::{RunSummary, ServeMetrics};
 use nest_obs::{DecisionMetrics, InvariantCounts};
 use nest_scenario::{Scenario, ScenarioError};
 use nest_simcore::profile;
@@ -111,6 +111,9 @@ pub struct Telemetry {
     /// cells that actually simulated; cache hits contribute nothing, so
     /// on a fully cached run every count is zero.
     pub decision_metrics: DecisionMetrics,
+    /// Request-serving metrics merged the same way; all-zero unless some
+    /// simulated cell carried serve specs.
+    pub serve_metrics: ServeMetrics,
     /// Per-subsystem profile delta, present when `NEST_PROFILE=1`.
     pub profile: Option<profile::Snapshot>,
     /// Cells whose simulation panicked; the panic was contained and the
@@ -149,6 +152,7 @@ fn finish_telemetry(
     started: Instant,
     prof_before: &profile::Snapshot,
     decision_metrics: DecisionMetrics,
+    serve_metrics: ServeMetrics,
     failures: Vec<CellFailure>,
     cells_aborted: usize,
     invariants: InvariantCounts,
@@ -167,6 +171,7 @@ fn finish_telemetry(
             0.0
         },
         decision_metrics,
+        serve_metrics,
         profile: profile::enabled().then_some(delta),
         failures,
         cells_aborted,
@@ -222,6 +227,7 @@ struct CellDone {
     cached: bool,
     aborted: bool,
     decision: Option<DecisionMetrics>,
+    serve: Option<ServeMetrics>,
     invariants: Option<InvariantCounts>,
 }
 
@@ -441,6 +447,7 @@ impl Matrix {
         // Decision metrics are all order-independent sums, but fold them
         // in slot-index order anyway — same discipline as the summaries.
         let mut decision_metrics = DecisionMetrics::default();
+        let mut serve_metrics = ServeMetrics::default();
         let mut invariants = InvariantCounts {
             completed: true,
             ..InvariantCounts::default()
@@ -460,6 +467,9 @@ impl Matrix {
                     }
                     if let Some(d) = done.decision {
                         decision_metrics.merge(&d);
+                    }
+                    if let Some(s) = done.serve {
+                        serve_metrics.merge(&s);
                     }
                     if let Some(inv) = done.invariants {
                         invariants.merge(&inv);
@@ -506,6 +516,7 @@ impl Matrix {
             started,
             &prof_before,
             decision_metrics,
+            serve_metrics,
             failures,
             aborted,
             invariants,
@@ -524,6 +535,7 @@ impl Matrix {
                 cached: true,
                 aborted: false,
                 decision: None,
+                serve: None,
                 invariants: None,
             };
         }
@@ -555,6 +567,7 @@ impl Matrix {
             cached: false,
             aborted: result.aborted,
             decision: Some(result.decision),
+            serve: Some(result.serve),
             invariants: Some(result.invariants),
         }
     }
@@ -598,12 +611,14 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         .map(|r| r.expect("raw cell executed"))
         .collect();
     let mut decision_metrics = DecisionMetrics::default();
+    let mut serve_metrics = ServeMetrics::default();
     let mut invariants = InvariantCounts {
         completed: true,
         ..InvariantCounts::default()
     };
     for r in &results {
         decision_metrics.merge(&r.decision);
+        serve_metrics.merge(&r.serve);
         invariants.merge(&r.invariants);
     }
     let telemetry = finish_telemetry(
@@ -613,6 +628,7 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         started,
         &prof_before,
         decision_metrics,
+        serve_metrics,
         Vec::new(),
         results.iter().filter(|r| r.aborted).count(),
         invariants,

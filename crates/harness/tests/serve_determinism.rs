@@ -1,0 +1,87 @@
+//! The serving lens inherits the harness's determinism contract: for a
+//! fixed scenario set — including a colocated `serve+hackbench` cell and
+//! a faulted (`stragglers=`) cell — serving artifacts are byte-identical
+//! across worker counts and cache states, and every serving run carries
+//! its `serve` summary block.
+
+use nest_harness::cache::{Cache, CacheMode};
+use nest_harness::{comparison_json, Json, Matrix, Progress};
+use nest_scenario::Scenario;
+
+const SERVE: &str = "serve:rate=400,requests=200,dist=lognorm";
+
+fn scenario(policy: &str, workload: &str) -> Scenario {
+    Scenario::parse("5218", policy, "schedutil", workload)
+        .unwrap()
+        .with_seed(7)
+        .with_runs(2)
+}
+
+/// Three comparison blocks: a plain stream under two policies, one
+/// colocation, and one faulted cell.
+fn add_serving_blocks(m: &mut Matrix) {
+    m.add_scenarios(&[scenario("cfs", SERVE), scenario("nest", SERVE)])
+        .unwrap();
+    m.add_scenarios(&[scenario("nest", &format!("{SERVE}+hackbench:g=2,loops=50"))])
+        .unwrap();
+    m.add_scenarios(&[scenario("nest", SERVE)
+        .with_faults("faults:stragglers=2@20ms:100ms")
+        .unwrap()])
+        .unwrap();
+}
+
+fn run_block(jobs: usize, cache: Cache) -> (String, u64) {
+    let mut m = Matrix::new("serve-determinism-test", 7)
+        .with_jobs(jobs)
+        .with_cache(cache)
+        .with_progress(Progress::quiet());
+    add_serving_blocks(&mut m);
+    let (comps, telemetry) = m.run();
+    let bytes = Json::Arr(comps.iter().map(comparison_json).collect()).to_pretty();
+    (bytes, telemetry.invariants.violations)
+}
+
+#[test]
+fn serving_artifacts_are_identical_across_worker_counts() {
+    let (a, va) = run_block(1, Cache::disabled());
+    let (b, vb) = run_block(2, Cache::disabled());
+    assert_eq!(a, b, "NEST_JOBS=1 and NEST_JOBS=2 must agree byte-for-byte");
+    assert_eq!((va, vb), (0, 0), "serving must not break kernel invariants");
+}
+
+#[test]
+fn serving_artifacts_are_identical_across_cache_states() {
+    let dir = std::env::temp_dir().join(format!("nest-serve-cache-{}", std::process::id()));
+    let (off, _) = run_block(2, Cache::disabled());
+    let (cold, _) = run_block(2, Cache::at(dir.clone(), CacheMode::Clear));
+    // The warm rerun must be served fully from cache — the serve summary
+    // travels through the cache codec, not just through live runs.
+    let mut m = Matrix::new("serve-determinism-test", 7)
+        .with_jobs(2)
+        .with_cache(Cache::at(dir.clone(), CacheMode::On))
+        .with_progress(Progress::quiet());
+    add_serving_blocks(&mut m);
+    let (comps, t_warm) = m.run();
+    assert_eq!(t_warm.cells_cached, t_warm.cells_total);
+    let warm = Json::Arr(comps.iter().map(comparison_json).collect()).to_pretty();
+    assert_eq!(off, cold, "cache off vs cache cold");
+    assert_eq!(cold, warm, "cache cold vs cache warm");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn every_serving_run_carries_its_serve_block() {
+    let (bytes, _) = run_block(2, Cache::disabled());
+    let parsed = nest_harness::json::parse(&bytes).unwrap();
+    let comps = parsed.as_arr().unwrap();
+    assert_eq!(comps.len(), 3);
+    for comp in comps {
+        for row in comp.get("rows").unwrap().as_arr().unwrap() {
+            for run in row.get("runs").unwrap().as_arr().unwrap() {
+                let serve = run.get("serve").expect("serving run lost its serve block");
+                assert_eq!(serve.get("offered").unwrap().as_u64(), Some(200));
+                assert!(serve.get("p99_ns").unwrap().as_u64().unwrap() > 0);
+            }
+        }
+    }
+}

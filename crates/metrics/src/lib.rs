@@ -9,15 +9,19 @@
 pub mod freqdist;
 pub mod latency;
 pub mod placement;
+pub mod serve;
 pub mod stats;
 pub mod summary;
+pub mod tail;
 pub mod trace;
 pub mod underload;
 
 pub use freqdist::{FreqResidency, FreqResidencyProbe};
 pub use latency::{WakeupLatencies, WakeupLatencyProbe};
 pub use placement::{PlacementCounts, PlacementProbe};
+pub use serve::{ServeMetrics, ServeMetricsProbe, ServeSummary};
 pub use stats::{improvement_pct, improvement_stats, savings_pct, speedup_pct, table4_band, Stats};
 pub use summary::{LatencySummary, RunSummary};
+pub use tail::TailHistogram;
 pub use trace::{ExecutionTrace, ExecutionTraceProbe, Span};
 pub use underload::{UnderloadData, UnderloadProbe};

@@ -14,6 +14,7 @@
 use crate::freqdist::FreqResidency;
 use crate::latency::WakeupLatencies;
 use crate::placement::PlacementCounts;
+use crate::serve::ServeSummary;
 use crate::underload::UnderloadData;
 
 /// Wakeup-latency percentiles of one run (nanoseconds).
@@ -70,6 +71,9 @@ pub struct RunSummary {
     pub total_tasks: usize,
     /// Whether the horizon cut the run short.
     pub hit_horizon: bool,
+    /// Request-serving metrics; `None` unless the workload carried serve
+    /// specs, so non-serving runs serialize exactly as before.
+    pub serve: Option<ServeSummary>,
 }
 
 impl RunSummary {
@@ -104,6 +108,7 @@ impl RunSummary {
             latency: LatencySummary::from_latencies(latency),
             total_tasks,
             hit_horizon,
+            serve: None,
         }
     }
 

@@ -1,11 +1,12 @@
-//! The workload registry: all seven benchmark suites, with members and
+//! The workload registry: all eight benchmark suites, with members and
 //! sizing knobs, behind one spec grammar.
 //!
 //! * member suites — `configure:gdb`, `dacapo:h2`, `nas:bt.C.x`,
 //!   `phoronix:zstd compression 7`: the member selects a named spec, and
 //!   (except for phoronix) `key=value` knobs override its fields;
-//! * parametric suites — `hackbench`, `schbench`: no member, knobs
-//!   override the suite defaults (`schbench:mt=4,w=4`);
+//! * parametric suites — `hackbench`, `schbench`, `serve`: no member,
+//!   knobs override the suite defaults (`schbench:mt=4,w=4`,
+//!   `serve:rate=500,dist=lognorm,slo=2ms`);
 //! * servers — `server:nginx,c=50` (`c` for the open-loop concurrency of
 //!   nginx/apache; `leveldb`/`redis` are fixed);
 //! * combinations — `+` joins independent workloads launched together:
@@ -14,9 +15,10 @@
 //! Canonical strings list only knobs that differ from the member/suite
 //! base, in declaration order, so equivalent specs share one cache key.
 
+use nest_serve::{format_duration, parse_duration, ArrivalKind, ServeSpec, ServiceDist};
 use nest_workloads::{
     configure, dacapo, hackbench::HackbenchSpec, nas, phoronix, schbench::SchbenchSpec, server,
-    Multi, Workload,
+    Multi, ServeLoad, Workload,
 };
 
 use crate::error::ScenarioError;
@@ -31,6 +33,7 @@ pub fn workload_suites() -> Vec<&'static str> {
         "phoronix",
         "hackbench",
         "schbench",
+        "serve",
         "server",
     ]
 }
@@ -76,6 +79,13 @@ pub fn workload_entries() -> Vec<(&'static str, String)> {
         (
             "schbench",
             "wakeup-latency microbenchmark (§5.6); knobs: mt, w, requests, think_ms".to_string(),
+        ),
+        (
+            "serve",
+            "open-loop request serving with a tail-latency/SLO lens; knobs: rate, \
+             requests, dist, service, sigma, heavy, p_heavy, fanout, arrival, burst, \
+             on, off, ramp, amp, slo"
+                .to_string(),
         ),
         (
             "server",
@@ -164,6 +174,8 @@ pub enum WorkloadSpec {
     Hackbench(HackbenchSpec),
     /// The §5.6 schbench microbenchmark.
     Schbench(SchbenchSpec),
+    /// An open-loop serving stream with a tail-latency SLO.
+    Serve(ServeSpec),
     /// A §5.6 server test.
     Server(ServerKind),
     /// Several workloads launched together (`+`).
@@ -217,6 +229,18 @@ const DACAPO_PARAMS: [&str; 8] = [
 const NAS_PARAMS: [&str; 4] = ["iters", "chunk_ms", "jitter", "setup_ms"];
 const HACKBENCH_PARAMS: [&str; 4] = ["g", "fan", "loops", "msg_cycles"];
 const SCHBENCH_PARAMS: [&str; 4] = ["mt", "w", "requests", "think_ms"];
+const SERVE_PARAMS: [&str; 15] = [
+    "rate", "requests", "dist", "service", "sigma", "heavy", "p_heavy", "fanout", "arrival",
+    "burst", "on", "off", "ramp", "amp", "slo",
+];
+
+fn bad_value(param: &str, value: &str, expected: &'static str) -> ScenarioError {
+    ScenarioError::BadValue {
+        param: param.to_string(),
+        value: value.to_string(),
+        expected,
+    }
+}
 
 fn parse_single(input: &str) -> Result<WorkloadSpec, ScenarioError> {
     let p = parse_spec("workload", input)?;
@@ -330,6 +354,50 @@ fn parse_single(input: &str) -> Result<WorkloadSpec, ScenarioError> {
                 }
             }
             Ok(WorkloadSpec::Schbench(s))
+        }
+        "serve" => {
+            if p.member.is_some() {
+                return Err(ScenarioError::MalformedSpec {
+                    spec: input.trim().to_string(),
+                    reason: "serve has no members (parameters are key=value)".into(),
+                });
+            }
+            let mut s = ServeSpec::default();
+            for (k, v) in &p.params {
+                match k.as_str() {
+                    "rate" => s.rate = parse_f64(k, v)?,
+                    "requests" => s.requests = parse_u32(k, v)?,
+                    "dist" => {
+                        s.dist = ServiceDist::from_key(v)
+                            .ok_or_else(|| bad_value(k, v, "one of det|exp|lognorm|bimodal"))?
+                    }
+                    "service" => s.service_ms = parse_f64(k, v)?,
+                    "sigma" => s.sigma = parse_f64(k, v)?,
+                    "heavy" => s.heavy_ms = parse_f64(k, v)?,
+                    "p_heavy" => s.p_heavy = parse_f64(k, v)?,
+                    "fanout" => s.fanout = parse_u32(k, v)?,
+                    "arrival" => {
+                        s.arrival = ArrivalKind::from_key(v)
+                            .ok_or_else(|| bad_value(k, v, "one of poisson|onoff"))?
+                    }
+                    "burst" => s.burst = parse_f64(k, v)?,
+                    "on" => s.on_ms = parse_f64(k, v)?,
+                    "off" => s.off_ms = parse_f64(k, v)?,
+                    "ramp" => s.ramp_s = parse_f64(k, v)?,
+                    "amp" => s.amp = parse_f64(k, v)?,
+                    "slo" => {
+                        s.slo_ns = parse_duration(v)
+                            .ok_or_else(|| bad_value(k, v, "a duration like 2ms"))?
+                    }
+                    _ => return Err(unknown_param("serve", k, &SERVE_PARAMS)),
+                }
+            }
+            s.validate()
+                .map_err(|reason| ScenarioError::MalformedSpec {
+                    spec: input.trim().to_string(),
+                    reason,
+                })?;
+            Ok(WorkloadSpec::Serve(s))
         }
         "server" => {
             let member = require_member(&p, input)?;
@@ -512,6 +580,32 @@ impl WorkloadSpec {
                 push_if_ne_f64(&mut parts, "think_ms", s.think_ms, base.think_ms);
                 render_bare("schbench", parts)
             }
+            WorkloadSpec::Serve(s) => {
+                let base = ServeSpec::default();
+                let mut parts = Vec::new();
+                push_if_ne_f64(&mut parts, "rate", s.rate, base.rate);
+                push_if_ne_u32(&mut parts, "requests", s.requests, base.requests);
+                if s.dist != base.dist {
+                    parts.push(format!("dist={}", s.dist.key()));
+                }
+                push_if_ne_f64(&mut parts, "service", s.service_ms, base.service_ms);
+                push_if_ne_f64(&mut parts, "sigma", s.sigma, base.sigma);
+                push_if_ne_f64(&mut parts, "heavy", s.heavy_ms, base.heavy_ms);
+                push_if_ne_f64(&mut parts, "p_heavy", s.p_heavy, base.p_heavy);
+                push_if_ne_u32(&mut parts, "fanout", s.fanout, base.fanout);
+                if s.arrival != base.arrival {
+                    parts.push(format!("arrival={}", s.arrival.key()));
+                }
+                push_if_ne_f64(&mut parts, "burst", s.burst, base.burst);
+                push_if_ne_f64(&mut parts, "on", s.on_ms, base.on_ms);
+                push_if_ne_f64(&mut parts, "off", s.off_ms, base.off_ms);
+                push_if_ne_f64(&mut parts, "ramp", s.ramp_s, base.ramp_s);
+                push_if_ne_f64(&mut parts, "amp", s.amp, base.amp);
+                if s.slo_ns != base.slo_ns {
+                    parts.push(format!("slo={}", format_duration(s.slo_ns)));
+                }
+                render_bare("serve", parts)
+            }
             WorkloadSpec::Server(kind) => match kind {
                 ServerKind::Nginx(c) => format!("server:nginx,c={c}"),
                 ServerKind::Apache(c) => format!("server:apache,c={c}"),
@@ -541,6 +635,7 @@ impl WorkloadSpec {
             WorkloadSpec::Schbench(s) => {
                 Box::new(nest_workloads::schbench::Schbench::new(s.clone()))
             }
+            WorkloadSpec::Serve(s) => Box::new(ServeLoad::new(s.clone())),
             WorkloadSpec::Server(kind) => Box::new(server::Server::new(kind.to_spec())),
             WorkloadSpec::Multi(parts) => {
                 Box::new(Multi::new(parts.iter().map(|p| p.build()).collect()))
@@ -612,6 +707,65 @@ mod tests {
         assert!(parse_workload("server:nginx").is_err(), "c is required");
         assert!(parse_workload("server:redis,c=9").is_err());
         assert!(parse_workload("server:postgres,c=1").is_err());
+    }
+
+    #[test]
+    fn serve_parses_and_canonicalizes() {
+        let WorkloadSpec::Serve(s) = parse_workload("serve:rate=500,dist=lognorm,slo=4ms").unwrap()
+        else {
+            panic!("expected Serve");
+        };
+        assert_eq!(s.rate, 500.0);
+        assert_eq!(s.dist, ServiceDist::Lognorm);
+        assert_eq!(s.slo_ns, 4_000_000);
+        // Knob order canonicalizes; knobs at their base value drop out
+        // (the default SLO is 2ms).
+        assert_eq!(
+            canonical_workload("serve:slo=4ms,dist=lognorm,rate=500").unwrap(),
+            "serve:rate=500,dist=lognorm,slo=4ms"
+        );
+        assert_eq!(canonical_workload("serve:slo=2ms").unwrap(), "serve");
+        assert_eq!(
+            canonical_workload("serve:arrival=onoff,burst=12").unwrap(),
+            "serve:arrival=onoff,burst=12"
+        );
+        assert_eq!(parse_workload("serve").unwrap().name(), "serve-r200");
+    }
+
+    #[test]
+    fn serve_rejects_bad_specs() {
+        let msg = parse_workload("serve:fast").unwrap_err().to_string();
+        assert!(msg.contains("no members"), "{msg}");
+        let msg = parse_workload("serve:dist=gaussian")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("det|exp|lognorm|bimodal"), "{msg}");
+        let msg = parse_workload("serve:slo=2").unwrap_err().to_string();
+        assert!(msg.contains("a duration like 2ms"), "{msg}");
+        let msg = parse_workload("serve:rate=0").unwrap_err().to_string();
+        assert!(msg.contains("rate must be positive"), "{msg}");
+        let msg = parse_workload("serve:frobnicate=1")
+            .unwrap_err()
+            .to_string();
+        assert!(
+            msg.contains("valid parameters") && msg.contains("rate"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn serve_colocation_carries_specs_through_multi() {
+        let spec = parse_workload("serve:rate=500+hackbench:g=4").unwrap();
+        assert_eq!(spec.canonical(), "serve:rate=500+hackbench:g=4");
+        let specs = spec.build().serve_specs();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].rate, 500.0);
+        // A non-serving workload carries none.
+        assert!(parse_workload("hackbench")
+            .unwrap()
+            .build()
+            .serve_specs()
+            .is_empty());
     }
 
     #[test]

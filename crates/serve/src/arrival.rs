@@ -1,0 +1,207 @@
+//! Arrival processes.
+//!
+//! Arrival times are generated up front at materialization — an open-loop
+//! stream is a fixed schedule, independent of how the system keeps up —
+//! and are a pure function of the spec and the generator handed in, so
+//! the plan is byte-identical at any worker count.
+//!
+//! Two base processes:
+//!
+//! * `poisson` — memoryless arrivals at the spec's mean rate.
+//! * `onoff` — a two-state Markov-modulated Poisson process: windows of
+//!   mean length `on`/`off` alternate between a hot rate and a quiet
+//!   rate whose ratio is `burst`, normalized so the *mean* offered load
+//!   still equals `rate` (sweeping `arrival` compares equal load with
+//!   different burstiness).
+//!
+//! A diurnal ramp (`ramp`/`amp`) modulates either base rate sinusoidally
+//! by stretching each inter-arrival gap by the reciprocal of the
+//! instantaneous rate factor — a discrete approximation of a
+//! nonhomogeneous Poisson process that is exact in the limit of short
+//! gaps.
+
+use nest_simcore::time::{MILLISEC, SEC};
+use nest_simcore::SimRng;
+
+use crate::spec::ServeSpec;
+
+/// An arrival-process shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals at the mean rate.
+    Poisson,
+    /// Bursty two-state MMPP (on-off), mean-rate normalized.
+    OnOff,
+}
+
+impl ArrivalKind {
+    /// Parses a registry key (`poisson`/`onoff`).
+    pub fn from_key(key: &str) -> Option<ArrivalKind> {
+        match key {
+            "poisson" => Some(ArrivalKind::Poisson),
+            "onoff" => Some(ArrivalKind::OnOff),
+            _ => None,
+        }
+    }
+
+    /// The canonical registry key.
+    pub fn key(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::OnOff => "onoff",
+        }
+    }
+}
+
+/// The instantaneous ramp factor at time `t_ns`: `1 + amp·sin(2πt/ramp)`,
+/// or `1` when the ramp is disabled.
+fn ramp_factor(spec: &ServeSpec, t_ns: u64) -> f64 {
+    if spec.ramp_s <= 0.0 || spec.amp == 0.0 {
+        return 1.0;
+    }
+    let t_s = t_ns as f64 / SEC as f64;
+    1.0 + spec.amp * (std::f64::consts::TAU * t_s / spec.ramp_s).sin()
+}
+
+/// Generates the spec's full arrival schedule: `spec.requests` strictly
+/// increasing nanosecond timestamps.
+pub fn arrival_times_ns(spec: &ServeSpec, rng: &mut SimRng) -> Vec<u64> {
+    let mut times = Vec::with_capacity(spec.requests as usize);
+    let mean_gap_ns = SEC as f64 / spec.rate;
+    match spec.arrival {
+        ArrivalKind::Poisson => {
+            let mut t = 0.0f64;
+            while times.len() < spec.requests as usize {
+                t += rng.exponential(mean_gap_ns) / ramp_factor(spec, t as u64);
+                push_strictly_increasing(&mut times, t as u64);
+            }
+        }
+        ArrivalKind::OnOff => {
+            // Quiet-state rate such that the time-averaged rate over one
+            // on+off cycle equals the spec's rate; hot = burst × quiet.
+            let (on, off) = (spec.on_ms * MILLISEC as f64, spec.off_ms * MILLISEC as f64);
+            let quiet = spec.rate * (on + off) / (spec.burst * on + off);
+            let hot = spec.burst * quiet;
+            let mut t = 0.0f64;
+            let mut in_on = true;
+            let mut window_end = rng.exponential(on);
+            while times.len() < spec.requests as usize {
+                let rate = if in_on { hot } else { quiet };
+                let gap = rng.exponential(SEC as f64 / rate) / ramp_factor(spec, t as u64);
+                if t + gap <= window_end {
+                    t += gap;
+                    push_strictly_increasing(&mut times, t as u64);
+                } else {
+                    // Cross into the next window and re-draw: exponential
+                    // gaps are memoryless, so discarding the partial gap
+                    // leaves the process unbiased.
+                    t = window_end;
+                    in_on = !in_on;
+                    window_end += rng.exponential(if in_on { on } else { off });
+                }
+            }
+        }
+    }
+    times
+}
+
+/// Appends `t`, bumped past the previous arrival so timestamps stay
+/// strictly increasing even when a gap rounds to zero nanoseconds.
+fn push_strictly_increasing(times: &mut Vec<u64>, t: u64) {
+    let t = match times.last() {
+        Some(prev) => t.max(prev + 1),
+        None => t.max(1),
+    };
+    times.push(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for k in [ArrivalKind::Poisson, ArrivalKind::OnOff] {
+            assert_eq!(ArrivalKind::from_key(k.key()), Some(k));
+        }
+        assert_eq!(ArrivalKind::from_key("weibull"), None);
+    }
+
+    #[test]
+    fn poisson_hits_the_mean_rate() {
+        let spec = ServeSpec {
+            requests: 20_000,
+            ..ServeSpec::default()
+        };
+        let mut rng = SimRng::new(1);
+        let times = arrival_times_ns(&spec, &mut rng);
+        assert_eq!(times.len(), 20_000);
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let measured = times.len() as f64 / (*times.last().unwrap() as f64 / SEC as f64);
+        assert!(
+            (measured - spec.rate).abs() / spec.rate < 0.05,
+            "rate was {measured}"
+        );
+    }
+
+    #[test]
+    fn onoff_preserves_mean_rate_but_adds_burstiness() {
+        let base = ServeSpec {
+            requests: 20_000,
+            ..ServeSpec::default()
+        };
+        let onoff = ServeSpec {
+            arrival: ArrivalKind::OnOff,
+            ..base.clone()
+        };
+        let mut rng = SimRng::new(2);
+        let times = arrival_times_ns(&onoff, &mut rng);
+        let measured = times.len() as f64 / (*times.last().unwrap() as f64 / SEC as f64);
+        assert!(
+            (measured - onoff.rate).abs() / onoff.rate < 0.10,
+            "rate was {measured}"
+        );
+        // Burstiness: the squared coefficient of variation of the gaps
+        // must clearly exceed the Poisson value of 1.
+        let cv2 = |ts: &[u64]| {
+            let gaps: Vec<f64> = ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        assert!(cv2(&times) > 1.5, "on-off cv² was {}", cv2(&times));
+    }
+
+    #[test]
+    fn ramp_modulates_local_rate() {
+        // One full period; the first half (factor > 1) must hold more
+        // arrivals than the second.
+        let spec = ServeSpec {
+            requests: 8_000,
+            rate: 400.0,
+            ramp_s: 20.0,
+            amp: 0.8,
+            ..ServeSpec::default()
+        };
+        let mut rng = SimRng::new(3);
+        let times = arrival_times_ns(&spec, &mut rng);
+        let half = 10 * SEC;
+        let first = times.iter().filter(|t| **t < half).count();
+        let second = times
+            .iter()
+            .filter(|t| (half..2 * half).contains(*t))
+            .count();
+        assert!(
+            first > second + second / 2,
+            "first half {first}, second half {second}"
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let spec = ServeSpec::default();
+        let a = arrival_times_ns(&spec, &mut SimRng::new(7));
+        let b = arrival_times_ns(&spec, &mut SimRng::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Service-time distributions.
+//!
+//! Each request's service demand is drawn from one of four shapes, all
+//! parameterized by the spec's mean so sweeping `dist` at a fixed
+//! `service` compares equal offered work with different variability:
+//!
+//! * `det` — every request costs exactly the mean (M/D/n baseline).
+//! * `exp` — exponential around the mean (the M/M/n textbook case).
+//! * `lognorm` — lognormal with shape `sigma`, mean-preserving
+//!   (`mu = ln(mean) − sigma²/2`), the empirical shape of RPC handlers.
+//! * `bimodal` — mostly-cheap requests with a `p_heavy` chance of a
+//!   `heavy`-sized one, the "one slow query" tail scenario.
+
+use nest_simcore::SimRng;
+
+use crate::spec::ServeSpec;
+
+/// Cycles of work corresponding to `ms` milliseconds at the 3 GHz
+/// reference frequency used to quote workload sizes.
+pub fn cycles_at_3ghz(ms: f64) -> f64 {
+    ms * 3.0e6
+}
+
+/// A service-time distribution shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceDist {
+    /// Deterministic: every request costs the mean.
+    Det,
+    /// Exponential with the spec's mean.
+    Exp,
+    /// Lognormal with shape `sigma`, mean-preserving.
+    Lognorm,
+    /// Cheap requests with a `p_heavy` chance of a heavy one.
+    Bimodal,
+}
+
+impl ServiceDist {
+    /// Parses a registry key (`det`/`exp`/`lognorm`/`bimodal`).
+    pub fn from_key(key: &str) -> Option<ServiceDist> {
+        match key {
+            "det" => Some(ServiceDist::Det),
+            "exp" => Some(ServiceDist::Exp),
+            "lognorm" => Some(ServiceDist::Lognorm),
+            "bimodal" => Some(ServiceDist::Bimodal),
+            _ => None,
+        }
+    }
+
+    /// The canonical registry key.
+    pub fn key(self) -> &'static str {
+        match self {
+            ServiceDist::Det => "det",
+            ServiceDist::Exp => "exp",
+            ServiceDist::Lognorm => "lognorm",
+            ServiceDist::Bimodal => "bimodal",
+        }
+    }
+}
+
+/// Samples one request's service demand in cycles.
+///
+/// `scale` divides the spec's mean — fan-out materialization passes
+/// `1/fanout` so the sub-tasks of a request jointly carry one request's
+/// worth of work. Samples are floored at one cycle.
+pub fn sample_service_cycles(spec: &ServeSpec, scale: f64, rng: &mut SimRng) -> u64 {
+    let mean = cycles_at_3ghz(spec.service_ms) * scale;
+    let raw = match spec.dist {
+        ServiceDist::Det => mean,
+        ServiceDist::Exp => rng.exponential(mean),
+        ServiceDist::Lognorm => {
+            let mu = mean.ln() - spec.sigma * spec.sigma / 2.0;
+            rng.lognormal(mu, spec.sigma)
+        }
+        ServiceDist::Bimodal => {
+            if rng.chance(spec.p_heavy) {
+                cycles_at_3ghz(spec.heavy_ms) * scale
+            } else {
+                mean
+            }
+        }
+    };
+    raw.round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_with(dist: ServiceDist) -> ServeSpec {
+        ServeSpec {
+            dist,
+            ..ServeSpec::default()
+        }
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for d in [
+            ServiceDist::Det,
+            ServiceDist::Exp,
+            ServiceDist::Lognorm,
+            ServiceDist::Bimodal,
+        ] {
+            assert_eq!(ServiceDist::from_key(d.key()), Some(d));
+        }
+        assert_eq!(ServiceDist::from_key("gaussian"), None);
+    }
+
+    #[test]
+    fn det_is_exact_and_scaled() {
+        let spec = spec_with(ServiceDist::Det);
+        let mut rng = SimRng::new(1);
+        assert_eq!(sample_service_cycles(&spec, 1.0, &mut rng), 3_000_000);
+        assert_eq!(sample_service_cycles(&spec, 0.25, &mut rng), 750_000);
+    }
+
+    #[test]
+    fn random_dists_preserve_the_mean() {
+        for dist in [ServiceDist::Exp, ServiceDist::Lognorm] {
+            let spec = spec_with(dist);
+            let mut rng = SimRng::new(2);
+            let n = 20_000;
+            let mean = (0..n)
+                .map(|_| sample_service_cycles(&spec, 1.0, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            let expected = cycles_at_3ghz(spec.service_ms);
+            assert!(
+                (mean - expected).abs() / expected < 0.05,
+                "{dist:?} mean was {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes_heavy_requests() {
+        let spec = spec_with(ServiceDist::Bimodal);
+        let mut rng = SimRng::new(3);
+        let light = (cycles_at_3ghz(spec.service_ms)).round() as u64;
+        let heavy = (cycles_at_3ghz(spec.heavy_ms)).round() as u64;
+        let mut heavies = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = sample_service_cycles(&spec, 1.0, &mut rng);
+            assert!(v == light || v == heavy, "{v}");
+            if v == heavy {
+                heavies += 1;
+            }
+        }
+        let frac = heavies as f64 / n as f64;
+        assert!((frac - spec.p_heavy).abs() < 0.01, "heavy fraction {frac}");
+    }
+}

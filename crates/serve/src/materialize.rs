@@ -1,0 +1,175 @@
+//! Turning a spec into an injection plan.
+//!
+//! [`materialize()`] samples *everything* up front — arrival schedule,
+//! per-request service demands, fan-out sub-task sizes — and returns
+//! fixed scripts, so an injected request draws nothing from the engine's
+//! RNG at run time. The plan is a pure function of `(spec, plan index,
+//! base seed)`: the same triple yields byte-identical tasks no matter
+//! how many harness workers run, which machine the cell lands on, or
+//! what else shares the run (the `nest-faults` determinism recipe).
+
+use nest_simcore::rng::mix64;
+use nest_simcore::{Action, SimRng, TaskSpec};
+
+use crate::dist::{cycles_at_3ghz, sample_service_cycles};
+use crate::spec::ServeSpec;
+
+/// Label prefix of request tasks; the metrics probe keys on it to pair
+/// creations with exits.
+pub const REQUEST_LABEL_PREFIX: &str = "req:";
+
+/// Salt folded into the base seed so the serving stream is independent of
+/// every other consumer of the cell seed (workload build, engine, faults).
+pub const SERVE_STREAM_SALT: u64 = 0x5EB0_0B5E_57BE_A750;
+
+/// Fraction of the mean service demand spent merging fan-out responses.
+const MERGE_FRACTION: f64 = 0.05;
+
+/// Materializes one serving stream: a time-sorted list of
+/// `(arrival time ns, request task)` injections.
+///
+/// `plan` indexes the stream among the run's serving workloads (so two
+/// composed `serve:` parts draw independent schedules); `seed` is the
+/// cell seed.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ServeSpec::validate`].
+pub fn materialize(spec: &ServeSpec, plan: usize, seed: u64) -> Vec<(u64, TaskSpec)> {
+    if let Err(e) = spec.validate() {
+        panic!("invalid serve spec: {e}");
+    }
+    let mut rng = SimRng::new(mix64(seed ^ SERVE_STREAM_SALT, plan as u64));
+    let times = crate::arrival::arrival_times_ns(spec, &mut rng);
+    times
+        .into_iter()
+        .enumerate()
+        .map(|(i, at)| (at, build_request(spec, plan, i, &mut rng)))
+        .collect()
+}
+
+/// Builds one request task: a single compute stage, or a fan-out chain
+/// whose sub-task completions gate a final merge stage.
+fn build_request(spec: &ServeSpec, plan: usize, i: usize, rng: &mut SimRng) -> TaskSpec {
+    let label = format!("{REQUEST_LABEL_PREFIX}{plan}:{i}");
+    if spec.fanout == 0 {
+        let cycles = sample_service_cycles(spec, 1.0, rng);
+        return TaskSpec::script(label, vec![Action::Compute { cycles }]);
+    }
+    // The sub-tasks jointly carry one request's worth of work; the parent
+    // blocks on all of them (wakeup placement on the response path), then
+    // pays a small merge cost before responding.
+    let scale = 1.0 / spec.fanout as f64;
+    let mut actions = Vec::with_capacity(spec.fanout as usize + 2);
+    for k in 0..spec.fanout {
+        let cycles = sample_service_cycles(spec, scale, rng);
+        actions.push(Action::Fork {
+            child: TaskSpec::script(
+                format!("sub:{plan}:{i}:{k}"),
+                vec![Action::Compute { cycles }],
+            ),
+        });
+    }
+    actions.push(Action::WaitChildren);
+    let merge = (cycles_at_3ghz(spec.service_ms) * MERGE_FRACTION)
+        .round()
+        .max(1.0) as u64;
+    actions.push(Action::Compute { cycles: merge });
+    TaskSpec::script(label, actions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains a task's scripted actions into a comparable shape.
+    fn shape(spec: TaskSpec) -> (String, Vec<String>) {
+        let mut b = spec.behavior;
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        loop {
+            match b.next(&mut rng) {
+                Action::Compute { cycles } => out.push(format!("C{cycles}")),
+                Action::Fork { child } => {
+                    let (l, inner) = shape(child);
+                    out.push(format!("F[{l}:{}]", inner.join(",")));
+                }
+                Action::WaitChildren => out.push("W".into()),
+                Action::Exit => break,
+                other => out.push(format!("{other:?}")),
+            }
+        }
+        (spec.label, out)
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_sorted() {
+        let spec = ServeSpec {
+            requests: 200,
+            ..ServeSpec::default()
+        };
+        let a = materialize(&spec, 0, 42);
+        let b = materialize(&spec, 0, 42);
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "sorted arrivals");
+        let flat = |plan: Vec<(u64, TaskSpec)>| {
+            plan.into_iter()
+                .map(|(t, s)| (t, shape(s)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flat(a), flat(b));
+    }
+
+    #[test]
+    fn different_plan_index_or_seed_changes_the_stream() {
+        let spec = ServeSpec {
+            requests: 50,
+            ..ServeSpec::default()
+        };
+        let times = |plan, seed| {
+            materialize(&spec, plan, seed)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(times(0, 42), times(1, 42));
+        assert_ne!(times(0, 42), times(0, 43));
+    }
+
+    #[test]
+    fn labels_carry_plan_and_request_index() {
+        let spec = ServeSpec {
+            requests: 3,
+            ..ServeSpec::default()
+        };
+        let plan = materialize(&spec, 2, 1);
+        let labels: Vec<&str> = plan.iter().map(|(_, s)| s.label.as_str()).collect();
+        assert_eq!(labels, ["req:2:0", "req:2:1", "req:2:2"]);
+        assert!(labels[0].starts_with(REQUEST_LABEL_PREFIX));
+    }
+
+    #[test]
+    fn fanout_requests_fork_wait_and_merge() {
+        let spec = ServeSpec {
+            requests: 1,
+            fanout: 3,
+            ..ServeSpec::default()
+        };
+        let (_, task) = materialize(&spec, 0, 9).pop().unwrap();
+        let (_, actions) = shape(task);
+        assert_eq!(actions.len(), 5, "{actions:?}");
+        assert!(actions[..3].iter().all(|a| a.starts_with("F[sub:0:0:")));
+        assert_eq!(actions[3], "W");
+        assert!(actions[4].starts_with('C'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve spec")]
+    fn invalid_spec_panics() {
+        let spec = ServeSpec {
+            rate: 0.0,
+            ..ServeSpec::default()
+        };
+        let _ = materialize(&spec, 0, 0);
+    }
+}

@@ -232,6 +232,32 @@ impl SimRng {
             slice.swap(i, j);
         }
     }
+
+    /// Returns a standard-normal sample (Box–Muller transform).
+    ///
+    /// Consumes exactly two raw draws per call regardless of the sample
+    /// value, so interleaving normal draws with other distributions keeps
+    /// streams reproducible.
+    pub fn normal(&mut self) -> f64 {
+        // u1 ∈ (0, 1] so ln(u1) is finite; u2 ∈ [0, 1).
+        let u1 = ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Returns a log-normal sample `exp(mu + sigma·Z)` with `Z` standard
+    /// normal, as used for heavy-tailed service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-finite or `sigma` is negative.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid lognormal parameters: mu={mu}, sigma={sigma}"
+        );
+        (mu + sigma * self.normal()).exp()
+    }
 }
 
 impl std::fmt::Debug for SimRng {
@@ -383,6 +409,40 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(r.weighted_index(&[0.0, 1.0, 0.0]), 1);
         }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance was {var}");
+    }
+
+    #[test]
+    fn normal_draw_count_is_fixed() {
+        // Two generators stay in lockstep when one interleaves normal
+        // draws and the other burns two raw draws per normal.
+        let mut a = SimRng::new(13);
+        let mut b = SimRng::new(13);
+        let _ = a.normal();
+        let _ = b.next_u64();
+        let _ = b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        let (mu, sigma) = (1.0f64, 0.5f64);
+        let expected = (mu + sigma * sigma / 2.0).exp();
+        let mut r = SimRng::new(14);
+        let n = 40_000;
+        let mean = (0..n).map(|_| r.lognormal(mu, sigma)).sum::<f64>() / n as f64;
+        assert!((mean - expected).abs() / expected < 0.05, "mean was {mean}");
     }
 
     #[test]

@@ -24,9 +24,13 @@ pub mod hackbench;
 pub mod nas;
 pub mod phoronix;
 pub mod schbench;
+pub mod serve;
 pub mod server;
 
 use nest_simcore::{SimRng, SimSetup, TaskSpec};
+
+pub use nest_serve::{OpenLoopDriver, ServeSpec, ServiceWorker};
+pub use serve::ServeLoad;
 
 /// A workload: a named generator of initial tasks.
 pub trait Workload {
@@ -36,6 +40,14 @@ pub trait Workload {
     /// Builds the initial tasks. `setup` allocates barriers/channels;
     /// `rng` drives any randomized sizing (already forked per workload).
     fn build(&self, setup: &mut dyn SimSetup, rng: &mut SimRng) -> Vec<TaskSpec>;
+
+    /// Open-loop serving streams this workload carries. The run driver
+    /// materializes each spec into a timed injection plan (requests enter
+    /// through the engine's event queue rather than the initial task set),
+    /// so most workloads — which have none — return an empty list.
+    fn serve_specs(&self) -> Vec<ServeSpec> {
+        Vec::new()
+    }
 }
 
 /// Converts milliseconds of work *at the given reference frequency in GHz*
@@ -74,6 +86,10 @@ impl Workload for Multi {
             tasks.extend(p.build(setup, rng));
         }
         tasks
+    }
+
+    fn serve_specs(&self) -> Vec<ServeSpec> {
+        self.parts.iter().flat_map(|p| p.serve_specs()).collect()
     }
 }
 

@@ -7,6 +7,7 @@
 //! 2-32 message threads and 2-32 workers per message thread via the
 //! Phoronix harness.
 
+use nest_serve::ServiceWorker;
 use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
 
 use crate::{ms_at_ghz, Workload};
@@ -77,46 +78,9 @@ impl Behavior for Dispatcher {
     }
 }
 
-/// Worker: receive → think → reply.
-struct SchWorker {
-    request_ch: ChannelId,
-    reply_ch: ChannelId,
-    requests: u32,
-    think_cycles: u64,
-    phase: u8,
-}
-
-impl Behavior for SchWorker {
-    fn next(&mut self, rng: &mut SimRng) -> Action {
-        if self.requests == 0 {
-            return Action::Exit;
-        }
-        match self.phase {
-            0 => {
-                self.phase = 1;
-                Action::Recv {
-                    ch: self.request_ch,
-                }
-            }
-            1 => {
-                self.phase = 2;
-                Action::Compute {
-                    cycles: rng.jitter(self.think_cycles, 0.3).max(1),
-                }
-            }
-            _ => {
-                self.phase = 0;
-                self.requests -= 1;
-                Action::Send {
-                    ch: self.reply_ch,
-                    msgs: 1,
-                }
-            }
-        }
-    }
-}
-
-/// The schbench workload.
+/// The schbench workload. The worker (receive → think → reply) is the
+/// shared [`nest_serve::ServiceWorker`] with a reply channel; only the
+/// saturating `Dispatcher` is schbench-specific.
 pub struct Schbench {
     spec: SchbenchSpec,
 }
@@ -163,11 +127,12 @@ impl Workload for Schbench {
             for i in 0..w {
                 tasks.push(TaskSpec::new(
                     format!("sch-m{m}-w{i}"),
-                    Box::new(SchWorker {
+                    Box::new(ServiceWorker {
                         request_ch,
-                        reply_ch,
-                        requests: self.spec.requests_per_worker,
-                        think_cycles: ms_at_ghz(self.spec.think_ms, 3.0),
+                        reply_ch: Some(reply_ch),
+                        quota: self.spec.requests_per_worker,
+                        service_cycles: ms_at_ghz(self.spec.think_ms, 3.0),
+                        jitter: 0.3,
                         phase: 0,
                     }),
                 ));
@@ -242,11 +207,12 @@ mod tests {
 
     #[test]
     fn worker_cycle_is_recv_think_send() {
-        let mut w = SchWorker {
+        let mut w = ServiceWorker {
             request_ch: ChannelId(0),
-            reply_ch: ChannelId(1),
-            requests: 2,
-            think_cycles: 100,
+            reply_ch: Some(ChannelId(1)),
+            quota: 2,
+            service_cycles: 100,
+            jitter: 0.3,
             phase: 0,
         };
         let mut rng = SimRng::new(0);

@@ -1,0 +1,87 @@
+//! The open-loop serving workload adapter.
+//!
+//! [`ServeLoad`] lifts a [`nest_serve::ServeSpec`] into the [`Workload`]
+//! trait. Unlike every other workload it builds **no** initial tasks: its
+//! requests are materialized by the run driver into timed injections on
+//! the engine's event queue, so arrivals follow the spec's stochastic
+//! process instead of all starting at time zero. Through the trait's
+//! [`Workload::serve_specs`] hook it composes with any other workload via
+//! `Multi` (the registry's `+`), which is how serving traffic is colocated
+//! with batch work.
+
+use nest_serve::ServeSpec;
+use nest_simcore::{SimRng, SimSetup, TaskSpec};
+
+use crate::Workload;
+
+/// An open-loop request-serving workload.
+pub struct ServeLoad {
+    spec: ServeSpec,
+}
+
+impl ServeLoad {
+    /// Wraps a validated spec. Panics if the spec is invalid, mirroring
+    /// the materializer's contract.
+    pub fn new(spec: ServeSpec) -> ServeLoad {
+        if let Err(e) = spec.validate() {
+            panic!("invalid serve spec: {e}");
+        }
+        ServeLoad { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &ServeSpec {
+        &self.spec
+    }
+}
+
+impl Workload for ServeLoad {
+    fn name(&self) -> String {
+        self.spec.name()
+    }
+
+    fn build(&self, _setup: &mut dyn SimSetup, _rng: &mut SimRng) -> Vec<TaskSpec> {
+        // All tasks arrive later, via the injection plan.
+        Vec::new()
+    }
+
+    fn serve_specs(&self) -> Vec<ServeSpec> {
+        vec![self.spec.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Multi;
+
+    #[test]
+    fn serve_load_builds_nothing_but_carries_its_spec() {
+        let w = ServeLoad::new(ServeSpec::default());
+        assert_eq!(w.name(), "serve-r200");
+        assert_eq!(w.serve_specs(), vec![ServeSpec::default()]);
+    }
+
+    #[test]
+    fn multi_concatenates_serve_specs_in_part_order() {
+        let fast = ServeSpec {
+            rate: 500.0,
+            ..ServeSpec::default()
+        };
+        let multi = Multi::new(vec![
+            Box::new(ServeLoad::new(ServeSpec::default())) as Box<dyn Workload>,
+            Box::new(crate::hackbench::Hackbench::new(Default::default())),
+            Box::new(ServeLoad::new(fast.clone())),
+        ]);
+        assert_eq!(multi.serve_specs(), vec![ServeSpec::default(), fast]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve spec")]
+    fn invalid_spec_is_rejected_at_construction() {
+        ServeLoad::new(ServeSpec {
+            rate: 0.0,
+            ..ServeSpec::default()
+        });
+    }
+}

@@ -6,7 +6,8 @@
 //! (leveldb/redis), and interpreter (node/php/perl) server tests at the
 //! level scheduling sees: arrival cadence, service time, pool width.
 
-use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
+use nest_serve::{OpenLoopDriver, ServiceWorker};
+use nest_simcore::{SimRng, SimSetup, TaskSpec};
 
 use crate::{ms_at_ghz, Workload};
 
@@ -72,62 +73,9 @@ impl ServerSpec {
     }
 }
 
-/// Open-loop request injector.
-struct Driver {
-    ch: ChannelId,
-    remaining: u32,
-    interarrival_us: f64,
-    send_next: bool,
-}
-
-impl Behavior for Driver {
-    fn next(&mut self, rng: &mut SimRng) -> Action {
-        if self.remaining == 0 {
-            return Action::Exit;
-        }
-        if self.send_next {
-            self.send_next = false;
-            self.remaining -= 1;
-            Action::Send {
-                ch: self.ch,
-                msgs: 1,
-            }
-        } else {
-            self.send_next = true;
-            Action::Sleep {
-                ns: (rng.exponential(self.interarrival_us) * 1_000.0).max(100.0) as u64,
-            }
-        }
-    }
-}
-
-/// Service worker with a fixed request quota.
-struct ServerWorker {
-    ch: ChannelId,
-    quota: u32,
-    service_cycles: u64,
-    recv_next: bool,
-}
-
-impl Behavior for ServerWorker {
-    fn next(&mut self, rng: &mut SimRng) -> Action {
-        if self.quota == 0 {
-            return Action::Exit;
-        }
-        if self.recv_next {
-            self.recv_next = false;
-            Action::Recv { ch: self.ch }
-        } else {
-            self.recv_next = true;
-            self.quota -= 1;
-            Action::Compute {
-                cycles: rng.jitter(self.service_cycles, 0.6).max(1),
-            }
-        }
-    }
-}
-
-/// The server workload.
+/// The server workload. The driver/worker state machines live in
+/// [`nest_serve::pool`], shared with `schbench` (they carried their own
+/// copies before the serve crate existed).
 pub struct Server {
     spec: ServerSpec,
 }
@@ -148,7 +96,7 @@ impl Workload for Server {
         let ch = setup.create_channel();
         let mut tasks = vec![TaskSpec::new(
             format!("{}-driver", self.spec.name),
-            Box::new(Driver {
+            Box::new(OpenLoopDriver {
                 ch,
                 remaining: self.spec.requests,
                 interarrival_us: self.spec.interarrival_us,
@@ -164,11 +112,13 @@ impl Workload for Server {
             let quota = base + if i == 0 { rem } else { 0 };
             tasks.push(TaskSpec::new(
                 format!("{}-worker{i}", self.spec.name),
-                Box::new(ServerWorker {
-                    ch,
+                Box::new(ServiceWorker {
+                    request_ch: ch,
+                    reply_ch: None,
                     quota,
                     service_cycles: ms_at_ghz(self.spec.service_ms, 3.0),
-                    recv_next: true,
+                    jitter: 0.6,
+                    phase: 0,
                 }),
             ));
         }
@@ -179,6 +129,7 @@ impl Workload for Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nest_simcore::{Action, Behavior, ChannelId};
 
     struct Setup {
         channels: u32,
@@ -227,7 +178,7 @@ mod tests {
 
     #[test]
     fn driver_sends_exactly_requests() {
-        let mut d = Driver {
+        let mut d = OpenLoopDriver {
             ch: ChannelId(0),
             remaining: 5,
             interarrival_us: 10.0,

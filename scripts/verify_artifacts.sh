@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Byte-identity guard: regenerate four representative artifacts
-# (Figures 2, 4 and 10, Table 4) in quick mode and compare their hashes
-# against the committed golden set.
+# Byte-identity guard: regenerate five representative artifacts
+# (Figures 2, 4 and 10, Table 4, and the serve tail sweep) in quick mode
+# and compare their hashes against the committed golden set.
 #
 # The harness's determinism contract says artifact bytes depend only on
 # the seed and the simulation inputs — never on worker count, cache
@@ -22,7 +22,7 @@ export NEST_QUICK=1 NEST_RUNS=1 NEST_SEED=42 NEST_CACHE=off
 export NEST_PROGRESS=0 NEST_RESULTS_DIR="$outdir"
 unset NEST_JOBS 2>/dev/null || true
 
-for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview; do
+for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview fig_serve_tail; do
     echo "==> regenerating $bin (quick mode)"
     cargo run --release -q -p nest-bench --bin "$bin" >/dev/null
 done
@@ -38,7 +38,8 @@ cargo run --release -q -p nest-bench --bin nest-sim -- \
     --out faulted_pin >/dev/null
 
 (cd "$outdir" && sha256sum fig02_trace.json fig04_underload.json \
-    fig10_dacapo_speedup.json table4_overview.json faulted_pin.json) \
+    fig10_dacapo_speedup.json table4_overview.json fig_serve_tail.json \
+    faulted_pin.json) \
     > "$outdir/actual.sha256"
 
 if [[ "${1:-}" == "--update" ]]; then
