@@ -66,8 +66,53 @@ step cargo run --release -q -p nest-bench --bin nest-sim -- \
     stats --machine 5218 --policy nest --governor schedutil \
     --workload serve:rate=400,requests=200,dist=lognorm
 
-# Byte-identity guard: fig02/fig04/fig10/table4/fig_serve_tail artifacts
-# vs committed golden hashes.
+# Snapshot/replay equivalence: running from the scenario while
+# snapshotting at a midpoint (mode A) and restoring that snapshot and
+# continuing (mode B) must write byte-identical artifacts, and a
+# corrupted snapshot must be refused with exit 2.
+snapdir="$(mktemp -d)"
+NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$snapdir/a" \
+    step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    replay --at 0.05 --snap "$snapdir/warm.snap" \
+    --machine 5218 --policy nest --governor schedutil \
+    --workload configure:gdb --seed 42
+NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$snapdir/b" \
+    step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    replay --from "$snapdir/warm.snap"
+step cmp "$snapdir/a/replay.json" "$snapdir/b/replay.json"
+sed 's/"kernel"/"kernell"/' "$snapdir/warm.snap" > "$snapdir/corrupt.snap"
+if NEST_PROGRESS=0 NEST_RESULTS_DIR="$snapdir/c" \
+    cargo run --release -q -p nest-bench --bin nest-sim -- \
+    replay --from "$snapdir/corrupt.snap" 2>/dev/null; then
+    echo "ERROR: corrupted snapshot was accepted" >&2
+    exit 1
+fi
+echo "==> corrupted snapshot refused, as it must be"
+
+# Harness warm-start: a figure run with NEST_WARM_START (first pass
+# snapshots, second pass restores) must write the same artifact bytes
+# as a cold run, while its telemetry records the warm hits.
+warmdir="$(mktemp -d)"
+warmenv=(NEST_QUICK=1 NEST_SEED=42 NEST_RUNS=1 NEST_CACHE=off NEST_PROGRESS=0)
+step env "${warmenv[@]}" NEST_RESULTS_DIR="$warmdir/cold" \
+    cargo run --release -q -p nest-bench --bin fig04_underload
+step env "${warmenv[@]}" NEST_RESULTS_DIR="$warmdir/warm1" \
+    NEST_WARM_START=0.05 NEST_CACHE_DIR="$warmdir/cache" \
+    cargo run --release -q -p nest-bench --bin fig04_underload
+step env "${warmenv[@]}" NEST_RESULTS_DIR="$warmdir/warm2" \
+    NEST_WARM_START=0.05 NEST_CACHE_DIR="$warmdir/cache" \
+    cargo run --release -q -p nest-bench --bin fig04_underload
+step cmp "$warmdir/cold/fig04_underload.json" "$warmdir/warm1/fig04_underload.json"
+step cmp "$warmdir/cold/fig04_underload.json" "$warmdir/warm2/fig04_underload.json"
+step grep -q '"warm_start": true' "$warmdir/warm2/fig04_underload.telemetry.json"
+if grep -q '"cells_warm": 0,' "$warmdir/warm2/fig04_underload.telemetry.json"; then
+    echo "ERROR: second warm-start pass restored no snapshots" >&2
+    exit 1
+fi
+echo "==> warm-start artifacts byte-identical; second pass restored snapshots"
+
+# Byte-identity guard: fig02/fig04/fig10/table4/fig_serve_tail/faulted/
+# replay artifacts vs committed golden hashes.
 step ./scripts/verify_artifacts.sh
 
 echo

@@ -53,6 +53,10 @@ USAGE:
                  [--window <lo:hi>] [--events <class,...>] [--capacity <n>]
     nest-sim stats --machine <key> --policy <spec> --governor <key> --workload <spec>
                  [--seed <n>] [--runs <n>] [--horizon <secs>]
+    nest-sim replay --machine <key> --policy <spec> --governor <key> --workload <spec>
+                 [--seed <n>] [--horizon <secs>] [--faults <spec>]
+                 --at <secs> [--snap <file>] [--out <name>]
+    nest-sim replay --from <file> [--faults <spec>] [--policy <spec>] [--out <name>]
 
 EXAMPLES:
     nest-sim list workloads
@@ -68,6 +72,19 @@ EXAMPLES:
                  --events run,placement,nest
     nest-sim stats --machine 5218 --policy nest --governor schedutil \\
                  --workload configure:gdb --runs 3
+    nest-sim replay --machine 5218 --policy nest --governor schedutil \\
+                 --workload configure:gdb --at 0.05 --snap warm.snap
+    nest-sim replay --from warm.snap --faults \"hotplug=8@100ms:1s\"
+
+`replay --at T` runs a scenario until every event at or before T has
+been dispatched, writes a versioned snapshot (schema, scenario
+identity, FNV checksum), then continues to completion — the artifact is
+byte-identical to an unpaused run. `replay --from FILE` restores a
+snapshot and continues; restoring onto the wrong scenario, schema, or a
+corrupted file exits 2 with a typed error. `--faults`/`--policy` with
+`--from` branch a what-if future at the pause point (same simulated
+prefix, different remainder) — compare the branched artifact against
+the unbranched one to isolate the effect of the injected change.
 
 `trace` writes Chrome trace-event JSON (open in https://ui.perfetto.dev
 or chrome://tracing); `--window` bounds are simulated seconds, and
@@ -150,6 +167,9 @@ struct RunArgs {
     window: Option<(Time, Time)>,
     events: Option<Vec<EventClass>>,
     capacity: Option<usize>,
+    at: Option<Time>,
+    snap: Option<String>,
+    from: Option<String>,
 }
 
 impl RunArgs {
@@ -158,6 +178,15 @@ impl RunArgs {
         if self.window.is_some() || self.events.is_some() || self.capacity.is_some() {
             fail(&format!(
                 "--window/--events/--capacity apply to `nest-sim trace`, not `{subcommand}`"
+            ));
+        }
+    }
+
+    /// Rejects the replay-only flags for subcommands that ignore them.
+    fn no_replay_flags(&self, subcommand: &str) {
+        if self.at.is_some() || self.snap.is_some() || self.from.is_some() {
+            fail(&format!(
+                "--at/--snap/--from apply to `nest-sim replay`, not `{subcommand}`"
             ));
         }
     }
@@ -254,6 +283,17 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                 }
                 out.capacity = Some(n);
             }
+            "--at" => {
+                let secs: f64 = value()
+                    .parse()
+                    .unwrap_or_else(|_| fail("--at needs simulated seconds (fractions allowed)"));
+                if secs.is_nan() || secs <= 0.0 {
+                    fail("--at must be positive");
+                }
+                out.at = Some(Time::from_nanos((secs * 1e9) as u64));
+            }
+            "--snap" => out.snap = Some(value()),
+            "--from" => out.from = Some(value()),
             other => fail(&format!("unknown flag \"{other}\"")),
         }
     }
@@ -310,6 +350,7 @@ fn single_scenario(a: &RunArgs, subcommand: &str) -> Scenario {
 fn run(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("run");
+    a.no_replay_flags("run");
     let scenarios = scenarios_of(&a);
     let first = &scenarios[0];
     let name = a.out.as_deref().unwrap_or("nest_sim");
@@ -370,13 +411,171 @@ fn run(args: &[String]) {
 fn id(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("id");
+    a.no_replay_flags("id");
     for s in scenarios_of(&a) {
         println!("{}", s.identity());
     }
 }
 
+/// Writes the deterministic single-run replay artifact. The pause point
+/// is deliberately *not* recorded: the paper's determinism contract says
+/// run-to-end equals snapshot-and-continue byte-for-byte, so the
+/// artifact must not depend on where (or whether) the run was paused —
+/// CI diffs these files across pause points to enforce exactly that.
+fn write_replay_artifact(name: &str, scenario: &Scenario, result: &nest_core::RunResult) {
+    let mut artifact = Artifact::new(name, scenario.seed());
+    artifact.push("scenario", scenario.to_json());
+    artifact.push(
+        "summary",
+        nest_harness::cache::summary_to_json(&result.summarize()),
+    );
+    match artifact.write() {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => fail(&format!("could not write artifact: {e}")),
+    }
+}
+
+/// `replay --at T`: run the scenario to the pause point, snapshot it,
+/// then continue to completion.
+fn replay_pause(a: &RunArgs, at: Time) {
+    let s = single_scenario(a, "replay");
+    let name = a.out.as_deref().unwrap_or("replay");
+    let snap_path = a.snap.clone().unwrap_or_else(|| {
+        nest_harness::results_dir()
+            .join(format!("{name}.snap"))
+            .display()
+            .to_string()
+    });
+    println!("scenario: {}", s.identity());
+    let workload = s.build_workload();
+    match nest_core::run_until(&s.sim_config(), workload.as_ref(), at) {
+        nest_core::Progress::Done(r) => {
+            eprintln!(
+                "nest-sim: run finished at {:.3}s, before the {:.3}s pause point; \
+                 no snapshot written",
+                r.time_s,
+                at.as_secs_f64()
+            );
+            write_replay_artifact(name, &s, &r);
+        }
+        nest_core::Progress::Paused(p) => {
+            let text = p
+                .snapshot(&s.identity(), s.to_json())
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            if let Some(dir) = std::path::Path::new(&snap_path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&snap_path, &text) {
+                fail(&format!("could not write {snap_path}: {e}"));
+            }
+            println!(
+                "snapshot: {snap_path} ({} events dispatched by {:.3}s)",
+                p.events_dispatched(),
+                p.now().as_secs_f64()
+            );
+            let r = p.resume();
+            println!("run completed in {:.3}s simulated", r.time_s);
+            write_replay_artifact(name, &s, &r);
+        }
+    }
+}
+
+/// `replay --from FILE`: restore a snapshot and continue, optionally
+/// branching the future with a different fault plan or policy parameters.
+fn replay_restore(a: &RunArgs, path: &str) {
+    if a.machine.is_some()
+        || a.workload.is_some()
+        || !a.governors.is_empty()
+        || a.seed.is_some()
+        || a.horizon.is_some()
+        || a.snap.is_some()
+    {
+        fail(
+            "--from restores the snapshot's own scenario; \
+             only --faults and --policy may override it (branching)",
+        );
+    }
+    if a.policies.len() > 1 {
+        fail("`replay --from` takes at most one --policy override");
+    }
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("could not read {path}: {e}")));
+    let (header, scenario_json) =
+        nest_core::read_header(&text).unwrap_or_else(|e| fail(&e.to_string()));
+    let base = Scenario::from_json(&scenario_json)
+        .unwrap_or_else(|e| fail(&format!("snapshot's embedded scenario: {e}")));
+
+    // Branch overrides are re-validated through the registries, exactly
+    // like fresh flags. The *identity check* below still uses the base
+    // scenario: the snapshot prefix was simulated under it, and the
+    // engine applies the branched future from the pause point onward.
+    let mut branched = base.clone();
+    if let Some(policy) = a.policies.first() {
+        branched = Scenario::parse(base.machine(), policy, base.governor(), base.workload())
+            .unwrap_or_else(|e| fail(&e.to_string()))
+            .with_seed(base.seed())
+            .with_runs(base.runs())
+            .with_horizon_s(base.horizon_s())
+            .with_faults(base.faults())
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    }
+    if let Some(faults) = &a.faults {
+        branched = branched
+            .with_faults(faults)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    }
+    let branchinfo = if branched == base {
+        String::new()
+    } else {
+        format!(
+            " (branched: policy={}, faults={:?})",
+            branched.policy(),
+            branched.faults()
+        )
+    };
+
+    println!("scenario: {}{branchinfo}", base.identity());
+    let workload = base.build_workload();
+    let paused = nest_core::restore(
+        &branched.sim_config(),
+        workload.as_ref(),
+        &text,
+        &base.identity(),
+    )
+    .unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "restored at {:.3}s ({} events skipped)",
+        paused.now().as_secs_f64(),
+        header.events
+    );
+    let r = paused.resume();
+    println!("run completed in {:.3}s simulated", r.time_s);
+    let name = a.out.as_deref().unwrap_or("replay");
+    // An unbranched continue writes the base scenario (byte-identical to
+    // the `--at` artifact); a branched one records what actually ran.
+    write_replay_artifact(name, &branched, &r);
+}
+
+fn replay(args: &[String]) {
+    let a = parse_run_args(args);
+    a.no_trace_flags("replay");
+    if a.runs.is_some() {
+        fail("--runs applies to `run` and `stats`; `replay` is a single-run surface");
+    }
+    match (&a.from, a.at) {
+        (Some(_), Some(_)) => fail("--from and --at are mutually exclusive"),
+        (None, None) => fail(
+            "`replay` needs either --at <secs> (pause a scenario and snapshot) \
+             or --from <file> (restore a snapshot and continue)",
+        ),
+        (None, Some(at)) => replay_pause(&a, at),
+        (Some(path), None) => replay_restore(&a, &path.clone()),
+    }
+}
+
 fn trace(args: &[String]) {
     let a = parse_run_args(args);
+    a.no_replay_flags("trace");
     if a.runs.is_some() {
         fail("--runs applies to `run` and `stats`; `trace` captures a single run");
     }
@@ -575,6 +774,7 @@ fn serve_report(m: &ServeMetrics) -> String {
 fn stats(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("stats");
+    a.no_replay_flags("stats");
     let s = single_scenario(&a, "stats");
     let runs = a.runs.unwrap_or(1);
 
@@ -598,9 +798,10 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
         Some(other) => fail(&format!(
-            "unknown subcommand \"{other}\"; valid: list, id, run, trace, stats"
+            "unknown subcommand \"{other}\"; valid: list, id, run, trace, stats, replay"
         )),
     }
 }

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Shared harness utilities for the figure/table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the Nest

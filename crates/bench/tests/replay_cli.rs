@@ -1,0 +1,137 @@
+//! End-to-end tests of the `nest-sim replay` surface, driving the real
+//! binary: pause-and-snapshot versus restore-and-continue must produce
+//! byte-identical artifacts, and every typed failure (corrupt snapshot,
+//! wrong scenario, malformed flags) must exit with status 2 and a
+//! readable message — never a panic, never a quiet success.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn nest_sim() -> &'static str {
+    env!("CARGO_BIN_EXE_nest-sim")
+}
+
+/// A scratch directory unique to this test, wiped on entry.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nest-replay-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs `nest-sim` with `args`, artifacts under `results_dir`.
+fn run(results_dir: &Path, args: &[&str]) -> Output {
+    Command::new(nest_sim())
+        .args(args)
+        .env("NEST_RESULTS_DIR", results_dir)
+        .env("NEST_PROGRESS", "0")
+        .env("NEST_CACHE", "off")
+        .output()
+        .expect("nest-sim spawns")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const SCENARIO: &[&str] = &[
+    "--machine",
+    "5218",
+    "--policy",
+    "nest",
+    "--governor",
+    "schedutil",
+    "--workload",
+    "configure:gdb",
+    "--seed",
+    "7",
+];
+
+#[test]
+fn pause_and_restore_write_byte_identical_artifacts() {
+    let dir = scratch("roundtrip");
+    let (dir_a, dir_b) = (dir.join("a"), dir.join("b"));
+    let snap = dir.join("warm.snap");
+    let snap_s = snap.to_str().unwrap();
+
+    // Mode A: run from the scenario, snapshot at 50ms, continue to the end.
+    let mut args: Vec<&str> = vec!["replay", "--at", "0.05", "--snap", snap_s];
+    args.extend_from_slice(SCENARIO);
+    let a = run(&dir_a, &args);
+    assert!(a.status.success(), "mode A failed: {}", stderr_of(&a));
+    assert!(snap.exists(), "snapshot file written");
+
+    // Mode B: restore the snapshot and continue, artifacts to a second
+    // directory so the two runs are compared on content alone.
+    let b = run(&dir_b, &["replay", "--from", snap_s]);
+    assert!(b.status.success(), "mode B failed: {}", stderr_of(&b));
+
+    let bytes_a = std::fs::read(dir_a.join("replay.json")).expect("mode A artifact");
+    let bytes_b = std::fs::read(dir_b.join("replay.json")).expect("mode B artifact");
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "replay continuation changed the artifact");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_corrupted_snapshot_exits_2_with_a_typed_error() {
+    let dir = scratch("corrupt");
+    let snap = dir.join("warm.snap");
+    let snap_s = snap.to_str().unwrap();
+
+    let mut args: Vec<&str> = vec!["replay", "--at", "0.05", "--snap", snap_s];
+    args.extend_from_slice(SCENARIO);
+    let a = run(&dir, &args);
+    assert!(a.status.success(), "{}", stderr_of(&a));
+
+    // Flip a body value without touching the header: the checksum check
+    // must catch it.
+    let text = std::fs::read_to_string(&snap).unwrap();
+    let bad = text.replace("\"kernel\"", "\"kernell\"");
+    assert_ne!(text, bad, "corruption must actually hit");
+    std::fs::write(&snap, bad).unwrap();
+
+    let b = run(&dir, &["replay", "--from", snap_s]);
+    assert_eq!(b.status.code(), Some(2), "typed errors exit 2");
+    let err = stderr_of(&b);
+    assert!(err.contains("corrupt"), "unhelpful message: {err}");
+
+    // Outright garbage is a parse error, same exit status.
+    std::fs::write(&snap, "not a snapshot at all").unwrap();
+    let c = run(&dir, &["replay", "--from", snap_s]);
+    assert_eq!(
+        c.status.code(),
+        Some(2),
+        "garbage exits 2: {}",
+        stderr_of(&c)
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn conflicting_replay_flags_are_rejected() {
+    let dir = scratch("flags");
+
+    // --at and --from together are ambiguous.
+    let out = run(&dir, &["replay", "--at", "0.05", "--from", "x.snap"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+
+    // --from refuses scenario-overriding flags (only --faults/--policy
+    // may branch).
+    let out = run(
+        &dir,
+        &["replay", "--from", "x.snap", "--workload", "configure:gdb"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--from"), "{}", stderr_of(&out));
+
+    // Replay flags are rejected outside `replay`.
+    let mut args: Vec<&str> = vec!["run", "--at", "0.05"];
+    args.extend_from_slice(SCENARIO);
+    let out = run(&dir, &args);
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Public API of the Nest scheduler simulation.
 //!
 //! This crate ties the substrates together behind a small surface:
@@ -25,9 +27,14 @@
 
 pub mod experiment;
 pub mod sim;
+pub mod snapshot;
 
 pub use experiment::{compare_schedulers, Comparison, SchedulerSetup};
 pub use sim::{run_many, run_once, run_once_with, run_seed, PolicyKind, RunResult, SimConfig};
+pub use snapshot::{
+    behavior_registry, read_header, restore, run_until, PausedSim, Progress, SnapError,
+    SnapshotHeader, SNAPSHOT_SCHEMA,
+};
 
 pub use nest_metrics::RunSummary;
 

@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use nest_engine::{Engine, EngineConfig};
+use nest_engine::{Engine, EngineConfig, RunOutcome};
 use nest_faults::FaultPlan;
 use nest_freq::Governor;
 use nest_metrics::{
@@ -238,20 +238,34 @@ fn take<T: Default>(cell: &Rc<RefCell<T>>) -> T {
     std::mem::take(&mut cell.borrow_mut())
 }
 
-/// Runs `workload` once under `cfg`.
-pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
-    run_once_with(cfg, workload, Vec::new())
+/// Shared handles to the standard probe rig's metric cells, kept until
+/// the run finishes and [`collect_result`] drains them.
+///
+/// The rig is built by [`build_engine`] in one fixed attachment order —
+/// the order [`Engine::snapshot`] records and
+/// [`crate::snapshot::restore`] must replay exactly.
+pub(crate) struct ProbeRig {
+    underload: Rc<RefCell<UnderloadData>>,
+    freq: Rc<RefCell<FreqResidency>>,
+    placements: Rc<RefCell<PlacementCounts>>,
+    latency: Rc<RefCell<WakeupLatencies>>,
+    decision: Rc<RefCell<DecisionMetrics>>,
+    invariants: Rc<RefCell<InvariantCounts>>,
+    serve: Option<Rc<RefCell<ServeMetrics>>>,
+    trace: Option<Rc<RefCell<ExecutionTrace>>>,
 }
 
-/// Runs `workload` once under `cfg` with additional caller probes
-/// attached alongside the standard set (e.g. `nest-sim trace`'s
-/// `TraceCollector`). Probes only observe, so extra probes cannot change
-/// the simulation outcome.
-pub fn run_once_with(
+/// Builds an [`Engine`] for `cfg` with the standard probe rig attached
+/// (in the fixed order snapshot restore relies on), plus any caller
+/// probes. `serve_slos` carries the per-spec SLOs when the workload
+/// serves requests; the serve probe is attached only then, so
+/// non-serving runs draw the same probe set (and bytes) as before the
+/// serving subsystem existed.
+pub(crate) fn build_engine(
     cfg: &SimConfig,
-    workload: &dyn Workload,
+    serve_slos: Vec<u64>,
     extra_probes: Vec<Box<dyn Probe>>,
-) -> RunResult {
+) -> (Engine, ProbeRig) {
     let n_cores = cfg.machine.n_cores();
     let engine_cfg = EngineConfig::new(cfg.machine.clone())
         .governor(cfg.governor)
@@ -285,19 +299,14 @@ pub fn run_once_with(
         cfg.machine.freq.fmax().as_khz(),
     );
     engine.add_probe(Box::new(ic));
-    // The serve probe exists only when the workload carries serve specs,
-    // so non-serving runs draw the same probe set (and bytes) as before
-    // the serving subsystem existed.
-    let serve_specs = workload.serve_specs();
-    let serve_handle = if serve_specs.is_empty() {
+    let serve = if serve_slos.is_empty() {
         None
     } else {
-        let slos = serve_specs.iter().map(|s| s.slo_ns).collect();
-        let (sp, sh) = ServeMetricsProbe::new(slos);
+        let (sp, sh) = ServeMetricsProbe::new(serve_slos);
         engine.add_probe(Box::new(sp));
         Some(sh)
     };
-    let trace_handle = if cfg.collect_trace {
+    let trace = if cfg.collect_trace {
         let (tp, th) = ExecutionTraceProbe::new(n_cores, initial_freq);
         engine.add_probe(Box::new(tp));
         Some(th)
@@ -308,8 +317,26 @@ pub fn run_once_with(
         engine.add_probe(p);
     }
 
+    let rig = ProbeRig {
+        underload,
+        freq,
+        placements,
+        latency,
+        decision,
+        invariants,
+        serve,
+        trace,
+    };
+    (engine, rig)
+}
+
+/// Builds the workload's tasks into `engine` and injects materialized
+/// request arrivals. Fresh runs only — a restored engine repopulates
+/// tasks and pending injections from the snapshot instead.
+pub(crate) fn setup_workload(engine: &mut Engine, cfg: &SimConfig, workload: &dyn Workload) {
     let mut wl_rng = SimRng::new(cfg.seed ^ 0xD00D_F00D);
-    let tasks = workload.build(&mut engine, &mut wl_rng);
+    let tasks = workload.build(engine, &mut wl_rng);
+    let serve_specs = workload.serve_specs();
     assert!(
         !tasks.is_empty() || !serve_specs.is_empty(),
         "workload built no tasks"
@@ -326,9 +353,12 @@ pub fn run_once_with(
             engine.inject_at(Time::from_nanos(at_ns), task);
         }
     }
-    let outcome = engine.run();
-    let invariants = invariants.borrow().clone();
-    let serve = match serve_handle {
+}
+
+/// Drains the probe rig into a [`RunResult`] once the run is over.
+pub(crate) fn collect_result(outcome: &RunOutcome, rig: ProbeRig) -> RunResult {
+    let invariants = rig.invariants.borrow().clone();
+    let serve = match rig.serve {
         Some(h) => {
             let mut m = take(&h);
             m.energy_j = outcome.energy_joules;
@@ -336,22 +366,42 @@ pub fn run_once_with(
         }
         None => ServeMetrics::default(),
     };
-
     RunResult {
         time_s: outcome.finished_at.as_secs_f64(),
         energy_j: outcome.energy_joules,
-        underload: take(&underload),
-        freq: take(&freq),
-        placements: take(&placements),
-        latency: take(&latency),
-        trace: trace_handle.map(|h| take(&h)),
-        decision: take(&decision),
+        underload: take(&rig.underload),
+        freq: take(&rig.freq),
+        placements: take(&rig.placements),
+        latency: take(&rig.latency),
+        trace: rig.trace.map(|h| take(&h)),
+        decision: take(&rig.decision),
         serve,
         total_tasks: outcome.total_tasks,
         hit_horizon: outcome.hit_horizon,
         aborted: outcome.aborted,
         invariants,
     }
+}
+
+/// Runs `workload` once under `cfg`.
+pub fn run_once(cfg: &SimConfig, workload: &dyn Workload) -> RunResult {
+    run_once_with(cfg, workload, Vec::new())
+}
+
+/// Runs `workload` once under `cfg` with additional caller probes
+/// attached alongside the standard set (e.g. `nest-sim trace`'s
+/// `TraceCollector`). Probes only observe, so extra probes cannot change
+/// the simulation outcome.
+pub fn run_once_with(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    extra_probes: Vec<Box<dyn Probe>>,
+) -> RunResult {
+    let slos = workload.serve_specs().iter().map(|s| s.slo_ns).collect();
+    let (mut engine, rig) = build_engine(cfg, slos, extra_probes);
+    setup_workload(&mut engine, cfg, workload);
+    let outcome = engine.run();
+    collect_result(&outcome, rig)
 }
 
 /// Derives the seed of run `i` from a base seed.

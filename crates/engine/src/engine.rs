@@ -25,9 +25,11 @@ use nest_faults::{FaultAction, FaultSchedule};
 use nest_freq::{Activity, FreqModel};
 use nest_sched::kernel::KernelState;
 use nest_sched::policy::{IdleReason, Placement, SchedEnv, SchedPolicy};
+use nest_simcore::json::{self, Json};
 use nest_simcore::{
-    profile, Action, BarrierId, ChannelId, CoreId, EventQueue, Freq, PlacementPath, Probe, SimRng,
-    SimSetup, StopReason, TaskId, TaskSpec, Time, TraceEvent, MICROSEC, MILLISEC, TICK_NS,
+    profile, snap, Action, BarrierId, BehaviorRegistry, ChannelId, CoreId, EventQueue, Freq,
+    PlacementPath, Probe, SimRng, SimSetup, StopReason, TaskId, TaskSpec, Time, TraceEvent,
+    MICROSEC, MILLISEC, TICK_NS,
 };
 use nest_topology::Topology;
 
@@ -170,6 +172,17 @@ pub struct Engine {
     /// machine is idle between arrivals.
     pending_injections: usize,
     started: bool,
+    /// Cumulative events dispatched since the run began — *including*
+    /// events dispatched before a snapshot was taken, so the
+    /// [`EngineConfig::event_budget`] watchdog behaves identically on a
+    /// restored run and an uninterrupted one.
+    events_dispatched: u64,
+    /// Value of `events_dispatched` when this engine instance started
+    /// (0, or the snapshot's count after a restore); the self-profiler
+    /// records only the delta this instance actually dispatched.
+    events_at_start: u64,
+    hit_horizon: bool,
+    aborted: bool,
 }
 
 impl SimSetup for Engine {
@@ -229,6 +242,10 @@ impl Engine {
             injections: Vec::new(),
             pending_injections: 0,
             started: false,
+            events_dispatched: 0,
+            events_at_start: 0,
+            hit_horizon: false,
+            aborted: false,
             cfg,
         }
     }
@@ -404,6 +421,41 @@ impl Engine {
     ///
     /// Panics if called twice, or with no spawned tasks.
     pub fn run(&mut self) -> RunOutcome {
+        self.start();
+        self.drive(None);
+        self.finish()
+    }
+
+    /// Runs the simulation until the next pending event lies strictly
+    /// after `pause_at` (every event with `t <= pause_at` has been
+    /// dispatched). Returns `None` while paused — continue with
+    /// [`Engine::resume`] (or snapshot first) — or the completed
+    /// [`RunOutcome`] if the run ended before reaching the pause point.
+    ///
+    /// The pause inspects the queue without popping, so
+    /// pause-snapshot-restore-continue dispatches exactly the event
+    /// sequence an uninterrupted run would.
+    pub fn run_to(&mut self, pause_at: Time) -> Option<RunOutcome> {
+        if !self.started {
+            self.start();
+        }
+        if self.drive(Some(pause_at)) {
+            None
+        } else {
+            Some(self.finish())
+        }
+    }
+
+    /// Resumes a paused (or freshly restored) run to completion.
+    pub fn resume(&mut self) -> RunOutcome {
+        assert!(self.started, "nothing to resume: the engine never ran");
+        self.drive(None);
+        self.finish()
+    }
+
+    /// Schedules the periodic ticks, fault plan, and registered
+    /// injections, and marks the engine started.
+    fn start(&mut self) {
         assert!(!self.started, "engine can only run once");
         assert!(
             !self.tasks.is_empty() || self.pending_injections > 0,
@@ -420,45 +472,59 @@ impl Engine {
             let at = self.injections[i].0;
             self.queue.schedule(at, Event::Inject(i));
         }
+    }
 
-        let mut hit_horizon = false;
-        let mut aborted = false;
+    /// The event loop. Returns `true` if it stopped at `pause_at` with
+    /// the run still in progress, `false` if the run is over (done,
+    /// horizon, or watchdog abort).
+    fn drive(&mut self, pause_at: Option<Time>) -> bool {
         let wall_start = std::time::Instant::now();
-        // Dispatched events are tallied in a local counter and flushed to
+        // Dispatched events are tallied in a plain field and flushed to
         // the profiler once per run: the loop body stays free of atomics.
-        let mut events_dispatched: u64 = 0;
         while self.live_tasks > 0 || self.pending_injections > 0 {
+            if let Some(pause) = pause_at {
+                // Peek, never pop: a popped event could not go back, and
+                // the snapshot must keep it.
+                if self.queue.peek_time().is_some_and(|t| t > pause) {
+                    return true;
+                }
+            }
             let Some((t, ev)) = self.queue.pop() else {
                 panic!("deadlock: {} live tasks but no events", self.live_tasks);
             };
             if t > self.cfg.horizon {
-                hit_horizon = true;
+                self.hit_horizon = true;
                 break;
             }
             if let Some(budget) = self.cfg.event_budget {
-                if events_dispatched >= budget {
-                    aborted = true;
+                if self.events_dispatched >= budget {
+                    self.aborted = true;
                     break;
                 }
             }
-            if events_dispatched & 0xFFFF == 0xFFFF {
+            if self.events_dispatched & 0xFFFF == 0xFFFF {
                 // Checked every 64 Ki events: the syscall stays off the
                 // hot path, and fault-free runs (no wall limit) never
                 // reach it at all.
                 if let Some(limit) = self.cfg.wall_limit {
                     if wall_start.elapsed() >= limit {
-                        aborted = true;
+                        self.aborted = true;
                         break;
                     }
                 }
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            events_dispatched += 1;
+            self.events_dispatched += 1;
             let _span = profile::span(profile::Subsystem::EventDispatch);
             self.dispatch(ev);
         }
-        profile::add_events(events_dispatched);
+        false
+    }
+
+    /// Flushes the profiler and notifies probes; builds the outcome.
+    fn finish(&mut self) -> RunOutcome {
+        profile::add_events(self.events_dispatched - self.events_at_start);
         let finished_at = self.now;
         for p in &mut self.probes {
             p.on_finish(finished_at);
@@ -468,8 +534,8 @@ impl Engine {
             energy_joules: self.freq.energy_joules(finished_at),
             live_tasks: self.live_tasks,
             total_tasks: self.tasks.len(),
-            hit_horizon,
-            aborted,
+            hit_horizon: self.hit_horizon,
+            aborted: self.aborted,
         }
     }
 
@@ -1192,6 +1258,495 @@ impl Engine {
     pub fn now(&self) -> Time {
         self.now
     }
+
+    /// Cumulative events dispatched. Restores carry the saved tally
+    /// forward, so the count compares across a pause/restore boundary.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+}
+
+// ---- snapshot / restore ----------------------------------------------
+
+/// Registry kind under which [`Straggler`] snapshots itself.
+const STRAGGLER_KIND: &str = "straggler";
+
+/// Registers the engine-defined behaviours (the straggler interference
+/// task spawned by fault injection) with a restore registry.
+pub fn register_behaviors(reg: &mut BehaviorRegistry) {
+    reg.register(STRAGGLER_KIND, |state, _| {
+        Ok(Box::new(Straggler {
+            remaining_cycles: snap::get_u64(state, "remaining")?,
+            sleep_next: snap::get_bool(state, "sleep_next")?,
+        }))
+    });
+}
+
+fn event_to_json(ev: &Event) -> Json {
+    let tagged = |tag: &str, fields: Vec<(&str, Json)>| {
+        let mut all = vec![("t", Json::str(tag))];
+        all.extend(fields);
+        json::obj(all)
+    };
+    let task = |t: &TaskId| Json::usize(t.index());
+    let core = |c: &CoreId| Json::usize(c.index());
+    match ev {
+        Event::Commit { task: t, gen } => {
+            tagged("commit", vec![("task", task(t)), ("gen", Json::u64(*gen))])
+        }
+        Event::SegmentDone { task: t, gen } => tagged(
+            "seg_done",
+            vec![("task", task(t)), ("gen", Json::u64(*gen))],
+        ),
+        Event::Wakeup {
+            task: t,
+            waker_core,
+        } => tagged(
+            "wakeup",
+            vec![("task", task(t)), ("waker", core(waker_core))],
+        ),
+        Event::GlobalTick => tagged("tick", vec![]),
+        Event::FreqTick => tagged("freq_tick", vec![]),
+        Event::SpinStop { core: c, gen } => tagged(
+            "spin_stop",
+            vec![("core", core(c)), ("gen", Json::u64(*gen))],
+        ),
+        Event::BarrierContinue { task: t } => tagged("barrier_cont", vec![("task", task(t))]),
+        Event::SmoveExpire {
+            task: t,
+            from,
+            to,
+            gen,
+        } => tagged(
+            "smove",
+            vec![
+                ("task", task(t)),
+                ("from", core(from)),
+                ("to", core(to)),
+                ("gen", Json::u64(*gen)),
+            ],
+        ),
+        Event::Fault(idx) => tagged("fault", vec![("idx", Json::usize(*idx))]),
+        Event::Inject(idx) => tagged("inject", vec![("idx", Json::usize(*idx))]),
+    }
+}
+
+fn event_from_json(j: &Json) -> Result<Event, String> {
+    let task =
+        |key: &str| -> Result<TaskId, String> { Ok(TaskId::from_index(snap::get_usize(j, key)?)) };
+    let core =
+        |key: &str| -> Result<CoreId, String> { Ok(CoreId::from_index(snap::get_usize(j, key)?)) };
+    match snap::get_str(j, "t")? {
+        "commit" => Ok(Event::Commit {
+            task: task("task")?,
+            gen: snap::get_u64(j, "gen")?,
+        }),
+        "seg_done" => Ok(Event::SegmentDone {
+            task: task("task")?,
+            gen: snap::get_u64(j, "gen")?,
+        }),
+        "wakeup" => Ok(Event::Wakeup {
+            task: task("task")?,
+            waker_core: core("waker")?,
+        }),
+        "tick" => Ok(Event::GlobalTick),
+        "freq_tick" => Ok(Event::FreqTick),
+        "spin_stop" => Ok(Event::SpinStop {
+            core: core("core")?,
+            gen: snap::get_u64(j, "gen")?,
+        }),
+        "barrier_cont" => Ok(Event::BarrierContinue {
+            task: task("task")?,
+        }),
+        "smove" => Ok(Event::SmoveExpire {
+            task: task("task")?,
+            from: core("from")?,
+            to: core("to")?,
+            gen: snap::get_u64(j, "gen")?,
+        }),
+        "fault" => Ok(Event::Fault(snap::get_usize(j, "idx")?)),
+        "inject" => Ok(Event::Inject(snap::get_usize(j, "idx")?)),
+        other => Err(format!("unknown event tag \"{other}\"")),
+    }
+}
+
+impl Engine {
+    /// Serializes the full mutable simulation state: clock, event queue,
+    /// kernel, policy, frequency model, tasks (behaviour cursors and RNG
+    /// streams included), synchronization objects, and probes.
+    ///
+    /// Call only while paused at a [`Engine::run_to`] boundary. Fails
+    /// loudly — naming the offender — if any live behaviour or attached
+    /// probe does not support snapshots (e.g. the trace collector).
+    pub fn snapshot(&self) -> Result<Json, String> {
+        if !self.started {
+            return Err("snapshot requires a started run (pause with run_to first)".to_string());
+        }
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for (i, t) in self.tasks.iter().enumerate() {
+            // Exited tasks never act again; their behaviour state is
+            // irrelevant (and possibly unsnapshotable), so store null.
+            let behavior = if t.state == TaskState::Exited {
+                Json::Null
+            } else {
+                snap::behavior_to_json(t.behavior.as_ref()).ok_or_else(|| {
+                    format!(
+                        "task #{i} (\"{}\") runs a behaviour that does not support snapshots",
+                        t.label
+                    )
+                })?
+            };
+            let state = match t.state {
+                TaskState::Placing => json::obj(vec![("t", Json::str("placing"))]),
+                TaskState::Queued => json::obj(vec![("t", Json::str("queued"))]),
+                TaskState::Running(core) => json::obj(vec![
+                    ("t", Json::str("running")),
+                    ("core", Json::usize(core.index())),
+                ]),
+                TaskState::Blocked => json::obj(vec![("t", Json::str("blocked"))]),
+                TaskState::Exited => json::obj(vec![("t", Json::str("exited"))]),
+            };
+            tasks.push(json::obj(vec![
+                ("label", Json::str(&t.label)),
+                ("behavior", behavior),
+                ("rng", snap::rng_json(&t.rng)),
+                ("state", state),
+                ("cycles", Json::u64(t.remaining_cycles)),
+                ("seg_resumed_at", snap::time_json(t.seg_resumed_at)),
+                ("seg_freq", Json::u64(t.seg_freq.as_khz())),
+                ("seg_gen", Json::u64(t.seg_gen)),
+                ("commit_gen", Json::u64(t.commit_gen)),
+                ("smove_gen", Json::u64(t.smove_gen)),
+                ("parent", Json::opt_u64(t.parent.map(|p| p.index() as u64))),
+                ("live_children", Json::u64(t.live_children as u64)),
+                ("waiting_children", Json::Bool(t.waiting_children)),
+                ("in_barrier", Json::Bool(t.in_barrier)),
+            ]));
+        }
+        let barriers = self
+            .barriers
+            .iter()
+            .map(|b| {
+                json::obj(vec![
+                    ("parties", Json::u64(b.parties as u64)),
+                    (
+                        "waiting",
+                        Json::Arr(b.waiting.iter().map(|t| Json::usize(t.index())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let channels = self
+            .channels
+            .iter()
+            .map(|c| {
+                json::obj(vec![
+                    ("msgs", Json::u64(c.msgs)),
+                    (
+                        "waiting",
+                        Json::Arr(c.waiting.iter().map(|t| Json::usize(t.index())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let mut pending: Vec<(usize, CoreId)> =
+            self.pending_core.iter().map(|(&k, &v)| (k, v)).collect();
+        pending.sort_by_key(|&(k, _)| k);
+        let injections = self
+            .injections
+            .iter()
+            .enumerate()
+            .map(|(i, (at, spec))| {
+                let spec_j = match spec {
+                    None => Json::Null,
+                    Some(s) => snap::task_spec_to_json(s).ok_or_else(|| {
+                        format!(
+                            "injection #{i} carries a behaviour that does not support snapshots"
+                        )
+                    })?,
+                };
+                Ok(json::obj(vec![
+                    ("at", snap::time_json(*at)),
+                    ("spec", spec_j),
+                ]))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let queue = self
+            .queue
+            .pending_in_schedule_order()
+            .into_iter()
+            .map(|(at, ev)| json::obj(vec![("at", snap::time_json(at)), ("ev", event_to_json(ev))]))
+            .collect();
+        let mut probes = Vec::with_capacity(self.probes.len());
+        for (i, p) in self.probes.iter().enumerate() {
+            let (kind, state) = p.snap().ok_or_else(|| {
+                format!("probe #{i} does not support snapshots (rerun without it)")
+            })?;
+            probes.push(json::obj(vec![("kind", Json::str(kind)), ("state", state)]));
+        }
+        Ok(json::obj(vec![
+            ("now", snap::time_json(self.now)),
+            ("events", Json::u64(self.events_dispatched)),
+            ("faults", Json::str(&self.cfg.faults.canonical())),
+            ("rng", snap::rng_json(&self.rng)),
+            ("fault_rng", snap::rng_json(&self.fault_rng)),
+            ("live_tasks", Json::usize(self.live_tasks)),
+            ("runnable", Json::u64(self.runnable as u64)),
+            ("pending_injections", Json::usize(self.pending_injections)),
+            ("kernel", self.kernel.save()),
+            ("policy", self.policy.save()),
+            ("freq", self.freq.save()),
+            ("tasks", Json::Arr(tasks)),
+            ("barriers", Json::Arr(barriers)),
+            ("channels", Json::Arr(channels)),
+            (
+                "spinning",
+                Json::Arr(self.spinning.iter().map(|&b| Json::Bool(b)).collect()),
+            ),
+            (
+                "spin_gen",
+                Json::Arr(self.spin_gen.iter().map(|&g| Json::u64(g)).collect()),
+            ),
+            (
+                "pending_core",
+                Json::Arr(
+                    pending
+                        .into_iter()
+                        .map(|(t, c)| Json::Arr(vec![Json::usize(t), Json::usize(c.index())]))
+                        .collect(),
+                ),
+            ),
+            ("injections", Json::Arr(injections)),
+            ("queue", Json::Arr(queue)),
+            ("probes", Json::Arr(probes)),
+        ]))
+    }
+
+    /// Restores state captured by [`Engine::snapshot`] into a freshly
+    /// built engine (same config, same probe rig, nothing spawned).
+    ///
+    /// If the engine's fault plan differs from the snapshot's, the saved
+    /// pending `Fault` events are dropped and the new plan's actions are
+    /// scheduled at `max(action time, now)` with the fresh fault RNG —
+    /// a valid *what-if future* branched at the snapshot point, not a
+    /// byte-replay. With an identical plan the saved queue order and
+    /// fault RNG are preserved and the continuation is byte-exact.
+    pub fn restore(&mut self, body: &Json, reg: &BehaviorRegistry) -> Result<(), String> {
+        if self.started {
+            return Err("restore requires a freshly built engine (this one already ran)".into());
+        }
+        if !self.tasks.is_empty() {
+            return Err("restore requires an engine with no spawned tasks".into());
+        }
+        let n_cores = self.topo.n_cores();
+        self.now = snap::get_time(body, "now")?;
+        self.events_dispatched = snap::get_u64(body, "events")?;
+        self.events_at_start = self.events_dispatched;
+        self.kernel.load(snap::field(body, "kernel")?)?;
+        self.policy.load(&self.topo, snap::field(body, "policy")?)?;
+        self.freq.load(snap::field(body, "freq")?)?;
+        self.rng = snap::rng_from_json(snap::field(body, "rng")?)?;
+
+        let tasks_j = snap::get_arr(body, "tasks")?;
+        let mut tasks = Vec::with_capacity(tasks_j.len());
+        for (i, j) in tasks_j.iter().enumerate() {
+            let label = snap::get_str(j, "label")?.to_string();
+            let state_j = snap::field(j, "state")?;
+            let state = match snap::get_str(state_j, "t")? {
+                "placing" => TaskState::Placing,
+                "queued" => TaskState::Queued,
+                "running" => {
+                    let c = snap::get_usize(state_j, "core")?;
+                    if c >= n_cores {
+                        return Err(format!(
+                            "task #{i} runs on core {c}, but the machine has {n_cores} cores"
+                        ));
+                    }
+                    TaskState::Running(CoreId::from_index(c))
+                }
+                "blocked" => TaskState::Blocked,
+                "exited" => TaskState::Exited,
+                other => return Err(format!("unknown task state \"{other}\"")),
+            };
+            let behavior_j = snap::field(j, "behavior")?;
+            let behavior: Box<dyn nest_simcore::Behavior> = if behavior_j.is_null() {
+                if state != TaskState::Exited {
+                    return Err(format!(
+                        "task #{i} (\"{label}\") has no behaviour state but has not exited"
+                    ));
+                }
+                Box::new(nest_simcore::ScriptBehavior::new(Vec::new()))
+            } else {
+                snap::behavior_from_json(behavior_j, reg)
+                    .map_err(|e| format!("task #{i} (\"{label}\"): {e}"))?
+            };
+            let parent_j = snap::field(j, "parent")?;
+            let parent = if parent_j.is_null() {
+                None
+            } else {
+                Some(TaskId::from_index(parent_j.as_usize().ok_or_else(
+                    || format!("task #{i} parent is neither null nor an integer"),
+                )?))
+            };
+            tasks.push(SimTask {
+                label,
+                behavior,
+                rng: snap::rng_from_json(snap::field(j, "rng")?)?,
+                state,
+                remaining_cycles: snap::get_u64(j, "cycles")?,
+                seg_resumed_at: snap::get_time(j, "seg_resumed_at")?,
+                seg_freq: Freq::from_khz(snap::get_u64(j, "seg_freq")?),
+                seg_gen: snap::get_u64(j, "seg_gen")?,
+                commit_gen: snap::get_u64(j, "commit_gen")?,
+                smove_gen: snap::get_u64(j, "smove_gen")?,
+                parent,
+                live_children: snap::get_u32(j, "live_children")?,
+                waiting_children: snap::get_bool(j, "waiting_children")?,
+                in_barrier: snap::get_bool(j, "in_barrier")?,
+            });
+        }
+        self.tasks = tasks;
+        if self.kernel.tasks.len() != self.tasks.len() {
+            return Err(format!(
+                "kernel snapshot tracks {} tasks, engine snapshot {}",
+                self.kernel.tasks.len(),
+                self.tasks.len()
+            ));
+        }
+
+        self.barriers = snap::get_arr(body, "barriers")?
+            .iter()
+            .map(|j| {
+                Ok(Barrier {
+                    parties: snap::get_u32(j, "parties")?,
+                    waiting: snap::get_arr(j, "waiting")?
+                        .iter()
+                        .map(|t| Ok(TaskId::from_index(snap::elem_u64(t)? as usize)))
+                        .collect::<Result<_, String>>()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        self.channels = snap::get_arr(body, "channels")?
+            .iter()
+            .map(|j| {
+                Ok(Channel {
+                    msgs: snap::get_u64(j, "msgs")?,
+                    waiting: snap::get_arr(j, "waiting")?
+                        .iter()
+                        .map(|t| Ok(TaskId::from_index(snap::elem_u64(t)? as usize)))
+                        .collect::<Result<_, String>>()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+
+        self.live_tasks = snap::get_usize(body, "live_tasks")?;
+        self.runnable = snap::get_u32(body, "runnable")?;
+        self.pending_injections = snap::get_usize(body, "pending_injections")?;
+
+        let spinning = snap::get_arr(body, "spinning")?;
+        let spin_gen = snap::get_arr(body, "spin_gen")?;
+        if spinning.len() != n_cores || spin_gen.len() != n_cores {
+            return Err("spin state does not match the machine's core count".into());
+        }
+        self.spinning = spinning
+            .iter()
+            .map(|j| {
+                j.as_bool()
+                    .ok_or_else(|| "spinning entry is not a boolean".to_string())
+            })
+            .collect::<Result<_, String>>()?;
+        self.spin_gen = spin_gen
+            .iter()
+            .map(snap::elem_u64)
+            .collect::<Result<_, String>>()?;
+
+        self.pending_core.clear();
+        for j in snap::get_arr(body, "pending_core")? {
+            let pair = j
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| "pending_core entry is not a [task, core] pair".to_string())?;
+            self.pending_core.insert(
+                snap::elem_u64(&pair[0])? as usize,
+                CoreId::from_index(snap::elem_u64(&pair[1])? as usize),
+            );
+        }
+
+        self.injections = snap::get_arr(body, "injections")?
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let at = snap::get_time(j, "at")?;
+                let spec_j = snap::field(j, "spec")?;
+                let spec = if spec_j.is_null() {
+                    None
+                } else {
+                    Some(
+                        snap::task_spec_from_json(spec_j, reg)
+                            .map_err(|e| format!("injection #{i}: {e}"))?,
+                    )
+                };
+                Ok((at, spec))
+            })
+            .collect::<Result<_, String>>()?;
+
+        let saved_faults = snap::get_str(body, "faults")?;
+        let same_faults = saved_faults == self.cfg.faults.canonical();
+        if same_faults {
+            self.fault_rng = snap::rng_from_json(snap::field(body, "fault_rng")?)?;
+        }
+        for (idx, j) in snap::get_arr(body, "queue")?.iter().enumerate() {
+            let at = snap::get_time(j, "at")?;
+            let ev =
+                event_from_json(snap::field(j, "ev")?).map_err(|e| format!("queue[{idx}]: {e}"))?;
+            match ev {
+                Event::Fault(i) if !same_faults => {
+                    // The saved event indexes the *old* plan's schedule;
+                    // the override's actions are scheduled below.
+                    let _ = i;
+                    continue;
+                }
+                Event::Fault(i) if i >= self.fault_schedule.actions().len() => {
+                    return Err(format!("queue[{idx}] references unknown fault action {i}"));
+                }
+                Event::Inject(i) if i >= self.injections.len() => {
+                    return Err(format!("queue[{idx}] references unknown injection {i}"));
+                }
+                _ => {}
+            }
+            self.queue.schedule(at, ev);
+        }
+        if !same_faults {
+            for i in 0..self.fault_schedule.actions().len() {
+                let at = self.fault_schedule.actions()[i].at.max(self.now);
+                self.queue.schedule(at, Event::Fault(i));
+            }
+        }
+
+        let probes_j = snap::get_arr(body, "probes")?;
+        if probes_j.len() != self.probes.len() {
+            return Err(format!(
+                "snapshot carries {} probes, the restore rig attached {}",
+                probes_j.len(),
+                self.probes.len()
+            ));
+        }
+        for (i, (p, j)) in self.probes.iter_mut().zip(probes_j).enumerate() {
+            let kind = snap::get_str(j, "kind")?;
+            let own = p.snap().map(|(k, _)| k);
+            if own != Some(kind) {
+                return Err(format!(
+                    "probe #{i} is \"{}\", but the snapshot carries \"{kind}\"",
+                    own.unwrap_or("unsupported")
+                ));
+            }
+            p.snap_restore(snap::field(j, "state")?)
+                .map_err(|e| format!("probe #{i} (\"{kind}\"): {e}"))?;
+        }
+
+        self.started = true;
+        Ok(())
+    }
 }
 
 /// Background interference task injected by the straggler fault: bursts
@@ -1228,5 +1783,15 @@ impl nest_simcore::Behavior for Straggler {
         self.remaining_cycles -= burst;
         self.sleep_next = true;
         Action::Compute { cycles: burst }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            STRAGGLER_KIND,
+            json::obj(vec![
+                ("remaining", Json::u64(self.remaining_cycles)),
+                ("sleep_next", Json::Bool(self.sleep_next)),
+            ]),
+        ))
     }
 }

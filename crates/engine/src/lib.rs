@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! The discrete-event OS simulator driving the Nest reproduction.
 //!
 //! [`Engine`] executes [`nest_simcore::TaskSpec`] behaviours on a simulated
@@ -9,4 +11,4 @@ pub mod config;
 pub mod engine;
 
 pub use config::EngineConfig;
-pub use engine::{Engine, RunOutcome};
+pub use engine::{register_behaviors, Engine, RunOutcome};

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! DVFS frequency and energy model.
 //!
 //! Reproduces the governor/hardware interplay the paper describes (§2.3):

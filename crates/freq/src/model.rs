@@ -15,7 +15,8 @@
 //! per-core idle/dynamic power, with the socket voltage set by the fastest
 //! active core on the socket (§5.2).
 
-use nest_simcore::{CoreId, Freq, Time};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{snap, CoreId, Freq, Time};
 use nest_topology::MachineSpec;
 
 use crate::governor::Governor;
@@ -416,6 +417,102 @@ impl FreqModel {
         }
         changed
     }
+
+    /// Serializes the model's mutable state for a snapshot.
+    ///
+    /// The machine spec, governor, and thread-pair table come from
+    /// construction and are not stored; [`FreqModel::load`] expects a
+    /// model freshly built from the same spec. The energy integrator is
+    /// saved as of `last_integration` — not folded forward — so restore
+    /// reproduces future integration steps bit for bit. The power cache
+    /// is deliberately dropped: a cache miss recomputes the identical
+    /// value, so energy stays bit-identical either way.
+    pub fn save(&self) -> Json {
+        let activity = |a: &Activity| {
+            Json::u64(match a {
+                Activity::Idle => 0,
+                Activity::Busy => 1,
+                Activity::Spinning => 2,
+            })
+        };
+        let phys = |p: &PhysCore| {
+            json::obj(vec![
+                ("cur", Json::u64(p.cur.as_khz())),
+                ("observed", Json::u64(p.observed.as_khz())),
+                ("idle_since", snap::opt_time_json(p.idle_since)),
+                ("last_active", snap::opt_time_json(p.last_active)),
+                ("active", Json::Bool(p.active)),
+            ])
+        };
+        json::obj(vec![
+            (
+                "activity",
+                Json::Arr(self.thread_activity.iter().map(activity).collect()),
+            ),
+            ("phys", Json::Arr(self.phys.iter().map(phys).collect())),
+            (
+                "socket_active",
+                Json::Arr(self.socket_active.iter().map(|&n| Json::usize(n)).collect()),
+            ),
+            (
+                "throttle",
+                Json::Arr(self.throttle.iter().map(|&f| snap::f64_bits(f)).collect()),
+            ),
+            ("energy", snap::f64_bits(self.energy_joules)),
+            ("last_integration", snap::time_json(self.last_integration)),
+        ])
+    }
+
+    /// Restores state captured by [`FreqModel::save`] into a model built
+    /// from the same machine spec and governor.
+    pub fn load(&mut self, state: &Json) -> Result<(), String> {
+        let expect_len = |name: &str, got: usize, want: usize| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "freq snapshot \"{name}\" has {got} entries, the machine needs {want}"
+                ))
+            }
+        };
+        let acts = snap::get_arr(state, "activity")?;
+        expect_len("activity", acts.len(), self.thread_activity.len())?;
+        for (slot, j) in self.thread_activity.iter_mut().zip(acts) {
+            *slot = match snap::elem_u64(j)? {
+                0 => Activity::Idle,
+                1 => Activity::Busy,
+                2 => Activity::Spinning,
+                other => return Err(format!("unknown activity code {other}")),
+            };
+        }
+        let phys = snap::get_arr(state, "phys")?;
+        expect_len("phys", phys.len(), self.phys.len())?;
+        for (slot, j) in self.phys.iter_mut().zip(phys) {
+            slot.cur = Freq::from_khz(snap::get_u64(j, "cur")?);
+            slot.observed = Freq::from_khz(snap::get_u64(j, "observed")?);
+            slot.idle_since = snap::get_opt_time(j, "idle_since")?;
+            slot.last_active = snap::get_opt_time(j, "last_active")?;
+            slot.active = snap::get_bool(j, "active")?;
+        }
+        let socket_active = snap::get_arr(state, "socket_active")?;
+        expect_len(
+            "socket_active",
+            socket_active.len(),
+            self.socket_active.len(),
+        )?;
+        for (slot, j) in self.socket_active.iter_mut().zip(socket_active) {
+            *slot = snap::elem_u64(j)? as usize;
+        }
+        let throttle = snap::get_arr(state, "throttle")?;
+        expect_len("throttle", throttle.len(), self.throttle.len())?;
+        for (slot, j) in self.throttle.iter_mut().zip(throttle) {
+            *slot = f64::from_bits(snap::elem_u64(j)?);
+        }
+        self.energy_joules = snap::get_f64_bits(state, "energy")?;
+        self.last_integration = snap::get_time(state, "last_integration")?;
+        self.power_cache = None;
+        Ok(())
+    }
 }
 
 /// Moves `cur` toward `target`, rising at most `up` kHz and falling at
@@ -686,6 +783,53 @@ mod tests {
         assert!(m
             .set_socket_throttle(Time::from_millis(50), 0, 1.0)
             .is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        // Build a model in a messy mid-run state: mixed activity, a
+        // throttled socket, partial ramps, stale observations.
+        let mut m = model(Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        m.set_activity(Time::ZERO, CoreId(3), Activity::Spinning);
+        m.set_activity(Time::ZERO, CoreId(33), Activity::Busy);
+        let t = run_ms(&mut m, 0, 17, 0.73);
+        m.sample_observed();
+        m.set_socket_throttle(t, 1, 0.9);
+        m.set_activity(t, CoreId(3), Activity::Idle);
+        let t = run_ms(&mut m, 17, 5, 0.73);
+
+        let mut r = model(Governor::Schedutil);
+        r.load(&m.save()).unwrap();
+
+        // Identical future evolution, including the energy integral.
+        let mut tm = t;
+        let mut tr = t;
+        for step in 0..40u64 {
+            tm += MILLISEC;
+            tr += MILLISEC;
+            let util = (step % 10) as f64 / 10.0;
+            assert_eq!(
+                m.advance(tm, MILLISEC, &mut |_| util),
+                r.advance(tr, MILLISEC, &mut |_| util)
+            );
+        }
+        for c in [0usize, 3, 16, 33] {
+            assert_eq!(m.freq_of(CoreId(c as u32)), r.freq_of(CoreId(c as u32)));
+            assert_eq!(
+                m.observed_freq(CoreId(c as u32)),
+                r.observed_freq(CoreId(c as u32))
+            );
+        }
+        assert_eq!(m.energy_joules(tm).to_bits(), r.energy_joules(tr).to_bits());
+    }
+
+    #[test]
+    fn load_rejects_wrong_machine_shape() {
+        let m = model(Governor::Schedutil);
+        let mut small = FreqModel::new(&presets::xeon_6130(1), Governor::Schedutil);
+        let err = small.load(&m.save()).err().unwrap();
+        assert!(err.contains("entries"), "{err}");
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Parallel, deterministic experiment harness for the Nest reproduction.
 //!
 //! The figure/table binaries describe their `(machine × scheduler ×
@@ -30,6 +32,7 @@
 //! | `NEST_CACHE_DIR` | cache directory | `results/cache` |
 //! | `NEST_RESULTS_DIR` | artifact directory | `results` |
 //! | `NEST_PROGRESS` | `0` silences progress lines | on |
+//! | `NEST_WARM_START` | warm-start pause point (simulated seconds) | off |
 //!
 //! # Example
 //!
@@ -67,4 +70,6 @@ pub use artifact::{comparison_json, results_dir, Artifact};
 pub use cache::{Cache, CacheMode};
 pub use nest_simcore::json::Json;
 pub use progress::Progress;
-pub use runner::{cell_seed, jobs, run_raw, Matrix, RawCell, Telemetry, WorkloadFactory};
+pub use runner::{
+    cell_seed, jobs, run_raw, Matrix, RawCell, Telemetry, WarmStart, WarmTelemetry, WorkloadFactory,
+};

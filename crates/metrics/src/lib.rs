@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Measurement for the Nest reproduction.
 //!
 //! Probes subscribe to the engine's trace stream and compute the paper's
@@ -16,12 +18,12 @@ pub mod tail;
 pub mod trace;
 pub mod underload;
 
-pub use freqdist::{FreqResidency, FreqResidencyProbe};
-pub use latency::{WakeupLatencies, WakeupLatencyProbe};
-pub use placement::{PlacementCounts, PlacementProbe};
-pub use serve::{ServeMetrics, ServeMetricsProbe, ServeSummary};
+pub use freqdist::{FreqResidency, FreqResidencyProbe, FREQ_RESIDENCY_PROBE_KIND};
+pub use latency::{WakeupLatencies, WakeupLatencyProbe, WAKEUP_LATENCY_PROBE_KIND};
+pub use placement::{PlacementCounts, PlacementProbe, PLACEMENT_PROBE_KIND};
+pub use serve::{ServeMetrics, ServeMetricsProbe, ServeSummary, SERVE_METRICS_PROBE_KIND};
 pub use stats::{improvement_pct, improvement_stats, savings_pct, speedup_pct, table4_band, Stats};
 pub use summary::{LatencySummary, RunSummary};
 pub use tail::TailHistogram;
 pub use trace::{ExecutionTrace, ExecutionTraceProbe, Span};
-pub use underload::{UnderloadData, UnderloadProbe};
+pub use underload::{UnderloadData, UnderloadProbe, UNDERLOAD_PROBE_KIND};

@@ -9,7 +9,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use nest_simcore::{PlacementPath, Probe, Time, TraceEvent};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{snap, PlacementPath, Probe, Time, TraceEvent};
+
+/// Registry kind under which [`PlacementProbe`] snapshots itself.
+pub const PLACEMENT_PROBE_KIND: &str = "metrics.placement";
 
 /// Placement counters; obtain via [`PlacementProbe::new`].
 #[derive(Debug, Default)]
@@ -82,6 +86,59 @@ impl Probe for PlacementProbe {
         let mut d = self.data.borrow_mut();
         d.by_path = std::mem::take(&mut self.by_path);
         d.by_core = std::mem::take(&mut self.by_core);
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        // Path counters travel densely in `PlacementPath::ALL` order so
+        // the bytes do not depend on HashMap iteration order.
+        Some((
+            PLACEMENT_PROBE_KIND,
+            json::obj(vec![
+                (
+                    "by_path",
+                    Json::Arr(
+                        PlacementPath::ALL
+                            .iter()
+                            .map(|p| Json::u64(self.by_path.get(p).copied().unwrap_or(0)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "by_core",
+                    Json::Arr(self.by_core.iter().map(|&n| Json::u64(n)).collect()),
+                ),
+            ]),
+        ))
+    }
+
+    fn snap_restore(&mut self, state: &Json) -> Result<(), String> {
+        let by_path = snap::get_arr(state, "by_path")?;
+        if by_path.len() != PlacementPath::ALL.len() {
+            return Err(format!(
+                "placement snapshot has {} path counters, expected {}",
+                by_path.len(),
+                PlacementPath::ALL.len()
+            ));
+        }
+        self.by_path.clear();
+        for (path, n) in PlacementPath::ALL.iter().zip(by_path) {
+            let n = snap::elem_u64(n)?;
+            if n > 0 {
+                self.by_path.insert(*path, n);
+            }
+        }
+        let by_core = snap::get_arr(state, "by_core")?;
+        if by_core.len() != self.by_core.len() {
+            return Err(format!(
+                "placement snapshot has {} cores, the machine has {}",
+                by_core.len(),
+                self.by_core.len()
+            ));
+        }
+        for (slot, n) in self.by_core.iter_mut().zip(by_core) {
+            *slot = snap::elem_u64(n)?;
+        }
+        Ok(())
     }
 }
 

@@ -21,9 +21,12 @@ use std::rc::Rc;
 
 use nest_serve::REQUEST_LABEL_PREFIX;
 use nest_simcore::json::{obj, Json};
-use nest_simcore::{Probe, TaskId, Time, TraceEvent};
+use nest_simcore::{snap, Probe, TaskId, Time, TraceEvent};
 
 use crate::tail::TailHistogram;
+
+/// Registry kind under which [`ServeMetricsProbe`] snapshots itself.
+pub const SERVE_METRICS_PROBE_KIND: &str = "metrics.serve";
 
 /// Aggregated request-serving metrics over one or more runs.
 ///
@@ -231,6 +234,60 @@ impl Probe for ServeMetricsProbe {
         self.m.runs = 1;
         self.m.slo_ns = self.slos[0];
         *self.out.borrow_mut() = std::mem::take(&mut self.m);
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        // The SLO table comes from construction (it is part of the
+        // scenario); only the accumulated counters and in-flight requests
+        // travel, with the arrived map sorted by task id for stable bytes.
+        let mut arrived: Vec<(&TaskId, &(Time, u64))> = self.arrived.iter().collect();
+        arrived.sort_by_key(|(task, _)| task.0);
+        Some((
+            SERVE_METRICS_PROBE_KIND,
+            obj(vec![
+                ("offered", Json::u64(self.m.offered)),
+                ("completed", Json::u64(self.m.completed)),
+                ("within_slo", Json::u64(self.m.within_slo)),
+                ("hist", self.m.hist.save()),
+                (
+                    "arrived",
+                    Json::Arr(
+                        arrived
+                            .into_iter()
+                            .map(|(task, &(at, slo))| {
+                                Json::Arr(vec![
+                                    Json::u64(task.0 as u64),
+                                    snap::time_json(at),
+                                    Json::u64(slo),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ))
+    }
+
+    fn snap_restore(&mut self, state: &Json) -> Result<(), String> {
+        self.m.offered = snap::get_u64(state, "offered")?;
+        self.m.completed = snap::get_u64(state, "completed")?;
+        self.m.within_slo = snap::get_u64(state, "within_slo")?;
+        self.m.hist = TailHistogram::load(snap::field(state, "hist")?)?;
+        self.arrived.clear();
+        for entry in snap::get_arr(state, "arrived")? {
+            let items = entry.as_arr().ok_or("arrived entry is not a triple")?;
+            if items.len() != 3 {
+                return Err("arrived entry is not a [task, time, slo] triple".to_string());
+            }
+            self.arrived.insert(
+                TaskId(snap::elem_u64(&items[0])? as u32),
+                (
+                    Time::from_nanos(snap::elem_u64(&items[1])?),
+                    snap::elem_u64(&items[2])?,
+                ),
+            );
+        }
+        Ok(())
     }
 }
 

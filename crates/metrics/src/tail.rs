@@ -18,6 +18,9 @@
 //! per-run histograms in slot order yields the same result at any
 //! worker count.
 
+use nest_simcore::json::{self, Json};
+use nest_simcore::snap;
+
 /// Sub-buckets per power of two; also the reciprocal of the worst-case
 /// relative quantile error.
 const SUBBUCKETS: u64 = 16;
@@ -148,6 +151,48 @@ impl TailHistogram {
             }
         }
         unreachable!("rank {rank} beyond recorded total {}", self.total)
+    }
+
+    /// Serializes the histogram for a snapshot.
+    pub fn save(&self) -> Json {
+        json::obj(vec![
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::u64(c)).collect()),
+            ),
+            ("total", Json::u64(self.total)),
+            ("sum", Json::u64(self.sum)),
+            (
+                "topk",
+                Json::Arr(self.topk.iter().map(|&v| Json::u64(v)).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a histogram serialized by [`TailHistogram::save`].
+    pub fn load(state: &Json) -> Result<TailHistogram, String> {
+        let arr_u64 = |key: &str| -> Result<Vec<u64>, String> {
+            snap::get_arr(state, key)?
+                .iter()
+                .map(snap::elem_u64)
+                .collect()
+        };
+        let topk = arr_u64("topk")?;
+        if topk.len() > TOP_K {
+            return Err(format!(
+                "histogram reservoir carries {} samples, the cap is {TOP_K}",
+                topk.len()
+            ));
+        }
+        if !topk.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("histogram reservoir is not sorted".to_string());
+        }
+        Ok(TailHistogram {
+            counts: arr_u64("counts")?,
+            total: snap::get_u64(state, "total")?,
+            sum: snap::get_u64(state, "sum")?,
+            topk,
+        })
     }
 }
 

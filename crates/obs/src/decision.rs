@@ -14,7 +14,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use nest_simcore::json::{obj, Json};
-use nest_simcore::{CoreId, PlacementPath, Probe, TaskId, Time, TraceEvent};
+use nest_simcore::{snap, CoreId, PlacementPath, Probe, TaskId, Time, TraceEvent};
+
+/// Registry kind under which [`DecisionMetricsProbe`] snapshots itself.
+pub const DECISION_METRICS_PROBE_KIND: &str = "obs.decision_metrics";
 
 /// Upper edges (ns) of the log-scale wakeup→run latency buckets: powers
 /// of two from 2^10 ns (≈1 µs) to 2^26 ns (≈67 ms). Bucket `i` counts
@@ -390,6 +393,178 @@ impl Probe for DecisionMetricsProbe {
         self.m.sim_ns = now.as_nanos();
         self.m.runs = 1;
         *self.out.borrow_mut() = std::mem::take(&mut self.m);
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        let u64_arr = |v: &[u64]| Json::Arr(v.iter().map(|&n| Json::u64(n)).collect());
+        // Maps travel sorted by task id so the snapshot bytes are
+        // independent of HashMap iteration order.
+        let mut woken: Vec<(&TaskId, &Time)> = self.woken_at.iter().collect();
+        woken.sort_by_key(|(task, _)| task.0);
+        let mut cores: Vec<(&TaskId, &CoreId)> = self.last_core.iter().collect();
+        cores.sort_by_key(|(task, _)| task.0);
+        Some((
+            DECISION_METRICS_PROBE_KIND,
+            obj(vec![
+                ("latency_counts", u64_arr(&self.m.latency_counts)),
+                ("latency_samples", Json::u64(self.m.latency_samples)),
+                ("latency_sum_ns", Json::u64(self.m.latency_sum_ns)),
+                ("placements", u64_arr(&self.m.placements)),
+                ("migrations", Json::u64(self.m.migrations)),
+                ("spin_ns", u64_arr(&self.m.spin_ns)),
+                ("nest_primary_ns", Json::u64(self.m.nest_primary_ns)),
+                ("nest_reserve_ns", Json::u64(self.m.nest_reserve_ns)),
+                (
+                    "nest_primary_max",
+                    Json::u64(self.m.nest_primary_max as u64),
+                ),
+                (
+                    "nest_reserve_max",
+                    Json::u64(self.m.nest_reserve_max as u64),
+                ),
+                ("nest_transitions", Json::u64(self.m.nest_transitions)),
+                ("nest_compactions", Json::u64(self.m.nest_compactions)),
+                (
+                    "occupancy_timeline",
+                    Json::Arr(
+                        self.m
+                            .occupancy_timeline
+                            .iter()
+                            .map(|&(t, p, r)| {
+                                Json::Arr(vec![
+                                    Json::u64(t),
+                                    Json::u64(p as u64),
+                                    Json::u64(r as u64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("timeline_truncated", Json::Bool(self.m.timeline_truncated)),
+                (
+                    "woken_at",
+                    Json::Arr(
+                        woken
+                            .into_iter()
+                            .map(|(task, &at)| {
+                                Json::Arr(vec![Json::u64(task.0 as u64), snap::time_json(at)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "last_core",
+                    Json::Arr(
+                        cores
+                            .into_iter()
+                            .map(|(task, core)| {
+                                Json::Arr(vec![Json::u64(task.0 as u64), Json::usize(core.index())])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "spin_since",
+                    Json::Arr(
+                        self.spin_since
+                            .iter()
+                            .map(|&t| snap::opt_time_json(t))
+                            .collect(),
+                    ),
+                ),
+                ("cur_primary", Json::u64(self.cur_primary as u64)),
+                ("cur_reserve", Json::u64(self.cur_reserve as u64)),
+                ("last_nest_change", snap::time_json(self.last_nest_change)),
+            ]),
+        ))
+    }
+
+    fn snap_restore(&mut self, state: &Json) -> Result<(), String> {
+        let load_u64s = |key: &str, want: usize| -> Result<Vec<u64>, String> {
+            let arr = snap::get_arr(state, key)?;
+            if arr.len() != want {
+                return Err(format!(
+                    "decision snapshot \"{key}\" has {} entries, expected {want}",
+                    arr.len()
+                ));
+            }
+            arr.iter().map(snap::elem_u64).collect()
+        };
+        self.m.latency_counts = load_u64s("latency_counts", self.m.latency_counts.len())?;
+        self.m.latency_samples = snap::get_u64(state, "latency_samples")?;
+        self.m.latency_sum_ns = snap::get_u64(state, "latency_sum_ns")?;
+        self.m.placements = load_u64s("placements", self.m.placements.len())?;
+        self.m.migrations = snap::get_u64(state, "migrations")?;
+        self.m.spin_ns = load_u64s("spin_ns", self.m.spin_ns.len())?;
+        self.m.nest_primary_ns = snap::get_u64(state, "nest_primary_ns")?;
+        self.m.nest_reserve_ns = snap::get_u64(state, "nest_reserve_ns")?;
+        self.m.nest_primary_max = snap::get_u32(state, "nest_primary_max")?;
+        self.m.nest_reserve_max = snap::get_u32(state, "nest_reserve_max")?;
+        self.m.nest_transitions = snap::get_u64(state, "nest_transitions")?;
+        self.m.nest_compactions = snap::get_u64(state, "nest_compactions")?;
+        self.m.occupancy_timeline = snap::get_arr(state, "occupancy_timeline")?
+            .iter()
+            .map(|entry| {
+                let items = entry.as_arr().ok_or("timeline entry is not a triple")?;
+                if items.len() != 3 {
+                    return Err("timeline entry is not a [t, primary, reserve] triple".to_string());
+                }
+                Ok((
+                    snap::elem_u64(&items[0])?,
+                    snap::elem_u64(&items[1])? as u32,
+                    snap::elem_u64(&items[2])? as u32,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        self.m.timeline_truncated = snap::get_bool(state, "timeline_truncated")?;
+        self.woken_at.clear();
+        for pair in snap::get_arr(state, "woken_at")? {
+            let items = pair.as_arr().ok_or("woken_at entry is not a pair")?;
+            if items.len() != 2 {
+                return Err("woken_at entry is not a [task, time] pair".to_string());
+            }
+            self.woken_at.insert(
+                TaskId(snap::elem_u64(&items[0])? as u32),
+                Time::from_nanos(snap::elem_u64(&items[1])?),
+            );
+        }
+        self.last_core.clear();
+        for pair in snap::get_arr(state, "last_core")? {
+            let items = pair.as_arr().ok_or("last_core entry is not a pair")?;
+            if items.len() != 2 {
+                return Err("last_core entry is not a [task, core] pair".to_string());
+            }
+            let core = snap::elem_u64(&items[1])? as usize;
+            if core >= self.spin_since.len() {
+                return Err(format!(
+                    "last_core names core {core}, but the machine has {}",
+                    self.spin_since.len()
+                ));
+            }
+            self.last_core.insert(
+                TaskId(snap::elem_u64(&items[0])? as u32),
+                CoreId::from_index(core),
+            );
+        }
+        let spin_since = snap::get_arr(state, "spin_since")?;
+        if spin_since.len() != self.spin_since.len() {
+            return Err(format!(
+                "decision snapshot has {} cores, the machine has {}",
+                spin_since.len(),
+                self.spin_since.len()
+            ));
+        }
+        for (slot, t) in self.spin_since.iter_mut().zip(spin_since) {
+            *slot = if t.is_null() {
+                None
+            } else {
+                Some(Time::from_nanos(snap::elem_u64(t)?))
+            };
+        }
+        self.cur_primary = snap::get_u32(state, "cur_primary")?;
+        self.cur_reserve = snap::get_u32(state, "cur_reserve")?;
+        self.last_nest_change = snap::get_time(state, "last_nest_change")?;
+        Ok(())
     }
 }
 

@@ -32,7 +32,36 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
 use nest_simcore::json::{obj, Json};
-use nest_simcore::{Probe, TaskId, Time, TraceEvent};
+use nest_simcore::{snap, Probe, TaskId, Time, TraceEvent};
+
+/// Registry kind under which [`InvariantChecker`] snapshots itself.
+pub const INVARIANT_CHECKER_KIND: &str = "obs.invariants";
+
+/// Every rule name the checker can tally. Restore maps snapshot strings
+/// back to these `&'static str`s (the [`InvariantCounts::by_rule`] keys),
+/// so a new rule must be added here too — the round-trip test catches a
+/// missing entry.
+const RULE_NAMES: &[&str] = &[
+    "core-out-of-range",
+    "double-occupancy",
+    "double-offline",
+    "double-online",
+    "double-spin-start",
+    "exit-while-running",
+    "freq-out-of-range",
+    "nest-expand-offline",
+    "nest-size-mismatch",
+    "offline-core-in-primary",
+    "placed-offline",
+    "run-start-offline",
+    "run-start-while-spinning",
+    "run-stop-mismatch",
+    "spin-end-without-spin",
+    "spin-start-offline",
+    "spin-while-running",
+    "task-on-two-cores",
+    "throttle-factor-out-of-range",
+];
 
 /// Violation tallies produced by a counting-mode [`InvariantChecker`].
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -396,6 +425,141 @@ impl Probe for InvariantChecker {
         c.woken_unplaced_at_finish = self.woken_pending.len() as u64;
         c.placed_unstarted_at_finish = self.placed_pending.len() as u64;
         c.completed = self.created > 0 && self.created == self.exited;
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        let bool_arr = |v: &[bool]| Json::Arr(v.iter().map(|&b| Json::Bool(b)).collect());
+        // Sets travel sorted so the snapshot bytes are independent of
+        // hash iteration order.
+        let sorted_tasks = |set: &HashSet<TaskId>| {
+            let mut ids: Vec<u32> = set.iter().map(|t| t.0).collect();
+            ids.sort_unstable();
+            Json::Arr(ids.into_iter().map(|id| Json::u64(id as u64)).collect())
+        };
+        let mut task_core: Vec<(u32, usize)> =
+            self.task_core.iter().map(|(t, &c)| (t.0, c)).collect();
+        task_core.sort_unstable();
+        let mut primary: Vec<u32> = self.primary.iter().copied().collect();
+        primary.sort_unstable();
+        let c = self.counts.borrow();
+        Some((
+            INVARIANT_CHECKER_KIND,
+            obj(vec![
+                ("online", bool_arr(&self.online)),
+                ("spinning", bool_arr(&self.spinning)),
+                (
+                    "running",
+                    Json::Arr(
+                        self.running
+                            .iter()
+                            .map(|t| Json::opt_u64(t.map(|t| t.0 as u64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "task_core",
+                    Json::Arr(
+                        task_core
+                            .into_iter()
+                            .map(|(t, c)| Json::Arr(vec![Json::u64(t as u64), Json::usize(c)]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "primary",
+                    Json::Arr(primary.into_iter().map(|c| Json::u64(c as u64)).collect()),
+                ),
+                ("woken_pending", sorted_tasks(&self.woken_pending)),
+                ("placed_pending", sorted_tasks(&self.placed_pending)),
+                ("created", Json::u64(self.created)),
+                ("exited", Json::u64(self.exited)),
+                ("events_checked", Json::u64(c.events_checked)),
+                ("violations", Json::u64(c.violations)),
+                (
+                    "by_rule",
+                    Json::Arr(
+                        c.by_rule
+                            .iter()
+                            .map(|(rule, &n)| Json::Arr(vec![Json::str(rule), Json::u64(n)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ))
+    }
+
+    fn snap_restore(&mut self, state: &Json) -> Result<(), String> {
+        let load_bools = |key: &str, want: usize| -> Result<Vec<bool>, String> {
+            let arr = snap::get_arr(state, key)?;
+            if arr.len() != want {
+                return Err(format!(
+                    "invariant snapshot \"{key}\" has {} entries, expected {want}",
+                    arr.len()
+                ));
+            }
+            arr.iter()
+                .map(|b| b.as_bool().ok_or(format!("{key} entry is not a bool")))
+                .collect()
+        };
+        self.online = load_bools("online", self.online.len())?;
+        self.spinning = load_bools("spinning", self.spinning.len())?;
+        let running = snap::get_arr(state, "running")?;
+        if running.len() != self.running.len() {
+            return Err(format!(
+                "invariant snapshot has {} cores, the machine has {}",
+                running.len(),
+                self.running.len()
+            ));
+        }
+        for (slot, t) in self.running.iter_mut().zip(running) {
+            *slot = if t.is_null() {
+                None
+            } else {
+                Some(TaskId(snap::elem_u64(t)? as u32))
+            };
+        }
+        self.task_core.clear();
+        for pair in snap::get_arr(state, "task_core")? {
+            let items = pair.as_arr().ok_or("task_core entry is not a pair")?;
+            if items.len() != 2 {
+                return Err("task_core entry is not a [task, core] pair".to_string());
+            }
+            self.task_core.insert(
+                TaskId(snap::elem_u64(&items[0])? as u32),
+                snap::elem_u64(&items[1])? as usize,
+            );
+        }
+        let load_id_set = |key: &str| -> Result<HashSet<TaskId>, String> {
+            snap::get_arr(state, key)?
+                .iter()
+                .map(|id| Ok(TaskId(snap::elem_u64(id)? as u32)))
+                .collect()
+        };
+        self.primary = snap::get_arr(state, "primary")?
+            .iter()
+            .map(|c| Ok::<u32, String>(snap::elem_u64(c)? as u32))
+            .collect::<Result<_, _>>()?;
+        self.woken_pending = load_id_set("woken_pending")?;
+        self.placed_pending = load_id_set("placed_pending")?;
+        self.created = snap::get_u64(state, "created")?;
+        self.exited = snap::get_u64(state, "exited")?;
+        let mut c = self.counts.borrow_mut();
+        c.events_checked = snap::get_u64(state, "events_checked")?;
+        c.violations = snap::get_u64(state, "violations")?;
+        c.by_rule.clear();
+        for pair in snap::get_arr(state, "by_rule")? {
+            let items = pair.as_arr().ok_or("by_rule entry is not a pair")?;
+            if items.len() != 2 {
+                return Err("by_rule entry is not a [rule, count] pair".to_string());
+            }
+            let name = items[0].as_str().ok_or("rule name is not a string")?;
+            let rule = RULE_NAMES
+                .iter()
+                .find(|r| **r == name)
+                .ok_or_else(|| format!("snapshot tallies unknown invariant rule \"{name}\""))?;
+            c.by_rule.insert(rule, snap::elem_u64(&items[1])?);
+        }
+        Ok(())
     }
 }
 

@@ -32,5 +32,8 @@ pub mod invariant;
 
 pub use chrome::chrome_trace_json;
 pub use collector::{EventClass, TraceCollector, TraceLog};
-pub use decision::{DecisionMetrics, DecisionMetricsProbe, LATENCY_BUCKET_EDGES_NS, TIMELINE_CAP};
-pub use invariant::{InvariantChecker, InvariantCounts};
+pub use decision::{
+    DecisionMetrics, DecisionMetricsProbe, DECISION_METRICS_PROBE_KIND, LATENCY_BUCKET_EDGES_NS,
+    TIMELINE_CAP,
+};
+pub use invariant::{InvariantChecker, InvariantCounts, INVARIANT_CHECKER_KIND};

@@ -20,7 +20,8 @@
 //! Each mechanism has a feature flag so the §5.2/§5.3 ablation studies can
 //! disable it.
 
-use nest_simcore::{profile, CoreId, PlacementPath, SocketId, TaskId, TraceEvent, TICK_NS};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{profile, snap, CoreId, PlacementPath, SocketId, TaskId, TraceEvent, TICK_NS};
 use nest_topology::{CpuSet, Topology};
 
 use crate::cfs::{self, idle_ok, CfsParams};
@@ -464,6 +465,56 @@ impl SchedPolicy for Nest {
 
     fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
         out.append(&mut self.trace);
+    }
+
+    fn save(&self) -> Json {
+        // The nests are the only decision state Nest carries across
+        // events: `scratch_order` is a reusable buffer and `trace` is
+        // drained by the engine after every callback, so both are empty
+        // between events. Membership is stored as sorted core-index
+        // lists; `load` replays the inserts, which also rebuilds the
+        // lazily allocated per-socket decomposition.
+        let members = |set: &NestSet| {
+            Json::Arr(
+                set.all
+                    .iter()
+                    .map(|core| Json::usize(core.index()))
+                    .collect(),
+            )
+        };
+        json::obj(vec![
+            ("kind", Json::str("nest")),
+            ("primary", members(&self.primary)),
+            ("reserve", members(&self.reserve)),
+        ])
+    }
+
+    fn load(&mut self, topo: &Topology, state: &Json) -> Result<(), String> {
+        let kind = snap::get_str(state, "kind")?;
+        if kind != "nest" {
+            return Err(format!(
+                "snapshot carries \"{kind}\" policy state, but the scenario runs Nest"
+            ));
+        }
+        let read_set = |field: &'static str| -> Result<NestSet, String> {
+            let mut set = NestSet::new(topo.n_cores());
+            for entry in snap::get_arr(state, field)? {
+                let idx = snap::elem_u64(entry)? as usize;
+                if idx >= topo.n_cores() {
+                    return Err(format!(
+                        "nest \"{field}\" names core {idx}, but the machine has {} cores",
+                        topo.n_cores()
+                    ));
+                }
+                set.insert(topo, CoreId::from_index(idx));
+            }
+            Ok(set)
+        };
+        self.primary = read_set("primary")?;
+        self.reserve = read_set("reserve")?;
+        self.scratch_order.clear();
+        self.trace.clear();
+        Ok(())
     }
 }
 

@@ -130,6 +130,23 @@ impl Pelt {
     pub fn is_running(&self) -> bool {
         self.running
     }
+
+    /// Returns the raw `(value, running, last_update)` state for a
+    /// snapshot. `value` is the *stored* average as of `last_update`,
+    /// not the lazily decayed current value — exactly what
+    /// [`Pelt::restore`] needs to reproduce future folds bit for bit.
+    pub fn snap(&self) -> (f64, bool, Time) {
+        (self.value, self.running, self.last_update)
+    }
+
+    /// Reconstructs an average from state captured by [`Pelt::snap`].
+    pub fn restore(value: f64, running: bool, last_update: Time) -> Pelt {
+        Pelt {
+            value,
+            running,
+            last_update,
+        }
+    }
 }
 
 #[cfg(test)]

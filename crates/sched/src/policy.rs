@@ -138,4 +138,33 @@ pub trait SchedPolicy {
     fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
         let _ = out;
     }
+
+    /// Serializes the policy's internal state for a snapshot.
+    ///
+    /// Stateless policies (CFS, Smove — their decisions read only
+    /// [`KernelState`]) keep the default, which stores nothing.
+    /// Stateful policies (Nest's primary/reserve membership) override
+    /// both this and [`SchedPolicy::load`].
+    fn save(&self) -> nest_simcore::Json {
+        nest_simcore::Json::Null
+    }
+
+    /// Restores state captured by [`SchedPolicy::save`] into a freshly
+    /// built policy of the same kind.
+    ///
+    /// The default accepts only the default `save`'s `null` — feeding a
+    /// stateful policy's snapshot into a stateless policy is a restore
+    /// mismatch and fails loudly.
+    fn load(&mut self, topo: &Topology, state: &nest_simcore::Json) -> Result<(), String> {
+        let _ = topo;
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err(format!(
+                "policy \"{}\" keeps no internal state, but the snapshot carries policy state \
+                 (was it taken under a different policy?)",
+                self.name()
+            ))
+        }
+    }
 }

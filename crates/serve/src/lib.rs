@@ -33,5 +33,5 @@ pub mod spec;
 pub use arrival::ArrivalKind;
 pub use dist::ServiceDist;
 pub use materialize::{materialize, REQUEST_LABEL_PREFIX};
-pub use pool::{OpenLoopDriver, ServiceWorker};
+pub use pool::{register_behaviors, OpenLoopDriver, ServiceWorker};
 pub use spec::{format_duration, parse_duration, ServeSpec};

@@ -151,6 +151,30 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Returns every pending event in schedule order: ascending fire
+    /// time, ties broken by scheduling order (the order [`pop`] would
+    /// deliver them).
+    ///
+    /// Used by snapshots: re-scheduling the returned sequence into a
+    /// fresh queue preserves the relative FIFO order of same-time
+    /// events, so a restored queue pops bit-identically to the
+    /// original — even though the absolute sequence numbers differ.
+    ///
+    /// [`pop`]: EventQueue::pop
+    pub fn pending_in_schedule_order(&self) -> Vec<(Time, &E)> {
+        let mut live: Vec<(Time, u64, &E)> = self
+            .heap
+            .iter()
+            .filter_map(|Reverse(entry)| {
+                let i = self.slot_index(entry.seq)?;
+                let event = self.slots[i].as_ref()?;
+                Some((entry.at, entry.seq, event))
+            })
+            .collect();
+        live.sort_by_key(|&(at, seq, _)| (at, seq));
+        live.into_iter().map(|(at, _, e)| (at, e)).collect()
+    }
+
     /// Returns the number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
         self.live

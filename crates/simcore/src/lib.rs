@@ -23,6 +23,7 @@ pub mod probe;
 pub mod profile;
 pub mod rng;
 pub mod setup;
+pub mod snap;
 pub mod task;
 pub mod time;
 pub mod units;
@@ -33,6 +34,7 @@ pub use json::Json;
 pub use probe::{PlacementPath, Probe, StopReason, TraceEvent};
 pub use rng::SimRng;
 pub use setup::SimSetup;
+pub use snap::BehaviorRegistry;
 pub use task::{Action, Behavior, FnBehavior, ScriptBehavior, TaskSpec};
 pub use time::{Time, MICROSEC, MILLISEC, NANOSEC, SEC, TICK_NS};
 pub use units::{Cycles, Freq};

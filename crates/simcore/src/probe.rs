@@ -200,6 +200,28 @@ pub trait Probe {
 
     /// Called once when the simulation finishes, with the final time.
     fn on_finish(&mut self, _now: Time) {}
+
+    /// Serializes the probe's accumulated state for a snapshot, as a
+    /// `(kind, state)` pair, or `None` if this probe cannot be
+    /// checkpointed.
+    ///
+    /// The engine refuses to snapshot while a non-checkpointable probe
+    /// is attached (failing loudly beats silently dropping half the
+    /// metrics). `kind` names the probe type; on restore the caller
+    /// rebuilds the probe rig in the original attachment order and
+    /// feeds each saved state back via [`Probe::snap_restore`].
+    fn snap(&self) -> Option<(&'static str, crate::json::Json)> {
+        None
+    }
+
+    /// Restores state captured by [`Probe::snap`] into a freshly
+    /// constructed probe of the same kind.
+    ///
+    /// The default rejects any state, matching the default `snap` of
+    /// `None`.
+    fn snap_restore(&mut self, _state: &crate::json::Json) -> Result<(), String> {
+        Err("probe does not support snapshot restore".to_string())
+    }
 }
 
 /// A probe that records every event verbatim; useful in tests, which

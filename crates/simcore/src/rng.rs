@@ -94,6 +94,30 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Returns the raw 256-bit xoshiro state (for snapshots).
+    ///
+    /// Together with [`SimRng::from_state`] this makes the generator
+    /// losslessly checkpointable: restoring the returned words yields a
+    /// generator whose future draws are bit-identical to this one's.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Reconstructs a generator from a state captured by
+    /// [`SimRng::state`].
+    ///
+    /// The all-zero state is invalid for xoshiro and is coerced to the
+    /// same fallback [`SimRng::new`] uses; a captured state can never be
+    /// all-zero, so round-trips are exact.
+    pub fn from_state(s: [u64; 4]) -> SimRng {
+        if s == [0, 0, 0, 0] {
+            return SimRng {
+                s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+            };
+        }
+        SimRng { s }
+    }
+
     /// Derives an independent generator for a labeled subsystem.
     ///
     /// The child stream is a pure function of the parent seed state and the

@@ -1,0 +1,364 @@
+//! Shared snapshot plumbing: typed JSON accessors, bit-exact float
+//! encoding, and the behaviour restore registry.
+//!
+//! Snapshots serialize live simulation state through the in-tree
+//! [`Json`] codec. Two conventions keep restores lossless:
+//!
+//! * **Floats travel as bit patterns.** Internal `f64` state (PELT
+//!   averages, energy integrals, throttle factors) is encoded with
+//!   [`f64_bits`] as the IEEE-754 bit pattern in a `u64`, so restore
+//!   reproduces the exact value — including signed zeros and any
+//!   non-finite sentinel — with no dependence on decimal formatting.
+//! * **Behaviours restore through a registry.** A `Box<dyn Behavior>`
+//!   cannot name its own concrete type across a serialization
+//!   boundary, so [`Behavior::snap`] tags its state with a kind
+//!   string and [`BehaviorRegistry`] maps kinds back to constructor
+//!   functions. Restore functions receive the registry again so
+//!   specs nested inside pending actions (a not-yet-executed
+//!   [`Action::Fork`]) restore recursively.
+
+use std::collections::HashMap;
+
+use crate::json::Json;
+use crate::rng::SimRng;
+use crate::task::{Action, Behavior, ScriptBehavior, TaskSpec};
+use crate::time::Time;
+
+/// Registry kind under which [`ScriptBehavior`] snapshots itself.
+pub const SCRIPT_KIND: &str = "script";
+
+/// Encodes an `f64` as its exact IEEE-754 bit pattern.
+pub fn f64_bits(v: f64) -> Json {
+    Json::u64(v.to_bits())
+}
+
+/// Looks up `key` in a JSON object, failing with a message that names
+/// the missing field.
+pub fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("snapshot field \"{key}\" missing"))
+}
+
+/// Reads a `u64` field.
+pub fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("snapshot field \"{key}\" is not an integer"))
+}
+
+/// Reads a `usize` field.
+pub fn get_usize(obj: &Json, key: &str) -> Result<usize, String> {
+    Ok(get_u64(obj, key)? as usize)
+}
+
+/// Reads a `u32` field.
+pub fn get_u32(obj: &Json, key: &str) -> Result<u32, String> {
+    let v = get_u64(obj, key)?;
+    u32::try_from(v).map_err(|_| format!("snapshot field \"{key}\" overflows u32"))
+}
+
+/// Reads a boolean field.
+pub fn get_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    field(obj, key)?
+        .as_bool()
+        .ok_or_else(|| format!("snapshot field \"{key}\" is not a boolean"))
+}
+
+/// Reads a string field.
+pub fn get_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    field(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("snapshot field \"{key}\" is not a string"))
+}
+
+/// Reads an array field.
+pub fn get_arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    field(obj, key)?
+        .as_arr()
+        .ok_or_else(|| format!("snapshot field \"{key}\" is not an array"))
+}
+
+/// Reads an `f64` field encoded by [`f64_bits`].
+pub fn get_f64_bits(obj: &Json, key: &str) -> Result<f64, String> {
+    Ok(f64::from_bits(get_u64(obj, key)?))
+}
+
+/// Reads one `u64` array element.
+pub fn elem_u64(j: &Json) -> Result<u64, String> {
+    j.as_u64()
+        .ok_or_else(|| "snapshot array element is not an integer".to_string())
+}
+
+/// Encodes a [`Time`] as nanoseconds.
+pub fn time_json(t: Time) -> Json {
+    Json::u64(t.as_nanos())
+}
+
+/// Reads a [`Time`] field (nanoseconds).
+pub fn get_time(obj: &Json, key: &str) -> Result<Time, String> {
+    Ok(Time::from_nanos(get_u64(obj, key)?))
+}
+
+/// Encodes an `Option<Time>` (`null` for `None`).
+pub fn opt_time_json(t: Option<Time>) -> Json {
+    t.map_or(Json::Null, time_json)
+}
+
+/// Reads an `Option<Time>` field.
+pub fn get_opt_time(obj: &Json, key: &str) -> Result<Option<Time>, String> {
+    let v = field(obj, key)?;
+    if v.is_null() {
+        return Ok(None);
+    }
+    v.as_u64()
+        .map(Time::from_nanos)
+        .map(Some)
+        .ok_or_else(|| format!("snapshot field \"{key}\" is neither null nor an integer"))
+}
+
+/// Encodes a [`SimRng`]'s full state.
+pub fn rng_json(rng: &SimRng) -> Json {
+    Json::Arr(rng.state().iter().map(|&w| Json::u64(w)).collect())
+}
+
+/// Restores a [`SimRng`] from [`rng_json`] output.
+pub fn rng_from_json(j: &Json) -> Result<SimRng, String> {
+    let arr = j
+        .as_arr()
+        .filter(|a| a.len() == 4)
+        .ok_or_else(|| "rng state is not a 4-element array".to_string())?;
+    let mut s = [0u64; 4];
+    for (w, v) in s.iter_mut().zip(arr) {
+        *w = elem_u64(v)?;
+    }
+    Ok(SimRng::from_state(s))
+}
+
+/// Serializes one [`Action`], or `None` when it nests a task spec
+/// whose behaviour cannot be checkpointed.
+pub fn action_to_json(a: &Action) -> Option<Json> {
+    let tagged = |tag: &str, fields: Vec<(&str, Json)>| {
+        let mut all = vec![("t", Json::str(tag))];
+        all.extend(fields);
+        Some(crate::json::obj(all))
+    };
+    match a {
+        Action::Compute { cycles } => tagged("compute", vec![("cycles", Json::u64(*cycles))]),
+        Action::Sleep { ns } => tagged("sleep", vec![("ns", Json::u64(*ns))]),
+        Action::Fork { child } => tagged("fork", vec![("child", task_spec_to_json(child)?)]),
+        Action::WaitChildren => tagged("wait_children", vec![]),
+        Action::Barrier { id } => tagged("barrier", vec![("id", Json::u64(id.0 as u64))]),
+        Action::Send { ch, msgs } => tagged(
+            "send",
+            vec![
+                ("ch", Json::u64(ch.0 as u64)),
+                ("msgs", Json::u64(*msgs as u64)),
+            ],
+        ),
+        Action::Recv { ch } => tagged("recv", vec![("ch", Json::u64(ch.0 as u64))]),
+        Action::Yield => tagged("yield", vec![]),
+        Action::Exit => tagged("exit", vec![]),
+    }
+}
+
+/// Restores one [`Action`] serialized by [`action_to_json`].
+pub fn action_from_json(j: &Json, reg: &BehaviorRegistry) -> Result<Action, String> {
+    use crate::ids::{BarrierId, ChannelId};
+    match get_str(j, "t")? {
+        "compute" => Ok(Action::Compute {
+            cycles: get_u64(j, "cycles")?,
+        }),
+        "sleep" => Ok(Action::Sleep {
+            ns: get_u64(j, "ns")?,
+        }),
+        "fork" => Ok(Action::Fork {
+            child: task_spec_from_json(field(j, "child")?, reg)?,
+        }),
+        "wait_children" => Ok(Action::WaitChildren),
+        "barrier" => Ok(Action::Barrier {
+            id: BarrierId(get_u32(j, "id")?),
+        }),
+        "send" => Ok(Action::Send {
+            ch: ChannelId(get_u32(j, "ch")?),
+            msgs: get_u32(j, "msgs")?,
+        }),
+        "recv" => Ok(Action::Recv {
+            ch: ChannelId(get_u32(j, "ch")?),
+        }),
+        "yield" => Ok(Action::Yield),
+        "exit" => Ok(Action::Exit),
+        other => Err(format!("unknown action tag \"{other}\"")),
+    }
+}
+
+/// Serializes a [`TaskSpec`] (label plus tagged behaviour state), or
+/// `None` when the behaviour cannot be checkpointed.
+pub fn task_spec_to_json(spec: &TaskSpec) -> Option<Json> {
+    let behavior = behavior_to_json(spec.behavior.as_ref())?;
+    Some(crate::json::obj(vec![
+        ("label", Json::str(&spec.label)),
+        ("behavior", behavior),
+    ]))
+}
+
+/// Restores a [`TaskSpec`] serialized by [`task_spec_to_json`].
+pub fn task_spec_from_json(j: &Json, reg: &BehaviorRegistry) -> Result<TaskSpec, String> {
+    Ok(TaskSpec {
+        label: get_str(j, "label")?.to_string(),
+        behavior: behavior_from_json(field(j, "behavior")?, reg)?,
+    })
+}
+
+/// Serializes a behaviour as a `{kind, state}` object, or `None` when
+/// it does not support snapshots.
+pub fn behavior_to_json(b: &dyn Behavior) -> Option<Json> {
+    let (kind, state) = b.snap()?;
+    Some(crate::json::obj(vec![
+        ("kind", Json::str(kind)),
+        ("state", state),
+    ]))
+}
+
+/// Restores a behaviour from [`behavior_to_json`] output through the
+/// registry.
+pub fn behavior_from_json(j: &Json, reg: &BehaviorRegistry) -> Result<Box<dyn Behavior>, String> {
+    reg.restore(get_str(j, "kind")?, field(j, "state")?)
+}
+
+/// A restore function: rebuilds one behaviour kind from its saved
+/// state. Receives the registry so nested specs restore recursively.
+pub type RestoreFn = fn(&Json, &BehaviorRegistry) -> Result<Box<dyn Behavior>, String>;
+
+/// Maps behaviour kind strings back to constructors.
+///
+/// Each crate that defines snapshotable behaviours contributes a
+/// `register_behaviors(&mut BehaviorRegistry)` function; the top-level
+/// runner chains them so every kind reachable from its workloads is
+/// restorable. [`ScriptBehavior`] is pre-registered.
+pub struct BehaviorRegistry {
+    entries: HashMap<&'static str, RestoreFn>,
+}
+
+impl Default for BehaviorRegistry {
+    fn default() -> BehaviorRegistry {
+        BehaviorRegistry::new()
+    }
+}
+
+impl BehaviorRegistry {
+    /// Creates a registry with the simcore-native kinds registered.
+    pub fn new() -> BehaviorRegistry {
+        let mut reg = BehaviorRegistry {
+            entries: HashMap::new(),
+        };
+        reg.register(SCRIPT_KIND, |state, reg| {
+            let actions = state
+                .as_arr()
+                .ok_or_else(|| "script state is not an array".to_string())?
+                .iter()
+                .map(|a| action_from_json(a, reg))
+                .collect::<Result<Vec<Action>, String>>()?;
+            Ok(Box::new(ScriptBehavior::new(actions)))
+        });
+        reg
+    }
+
+    /// Registers (or replaces) the restore function for `kind`.
+    pub fn register(&mut self, kind: &'static str, f: RestoreFn) {
+        self.entries.insert(kind, f);
+    }
+
+    /// Restores a behaviour of the given kind from its saved state.
+    pub fn restore(&self, kind: &str, state: &Json) -> Result<Box<dyn Behavior>, String> {
+        let f = self.entries.get(kind).ok_or_else(|| {
+            format!("no restore function registered for behaviour kind \"{kind}\"")
+        })?;
+        f(state, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ChannelId;
+
+    #[test]
+    fn f64_bits_round_trip_is_exact() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, f64::NAN] {
+            let j = f64_bits(v);
+            let obj = crate::json::obj(vec![("x", j)]);
+            let back = get_f64_bits(&obj, "x").unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn rng_state_round_trips() {
+        let mut rng = SimRng::new(99);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut restored = rng_from_json(&rng_json(&rng)).unwrap();
+        let mut orig = SimRng::from_state(rng.state());
+        for _ in 0..32 {
+            assert_eq!(orig.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn script_behavior_snapshots_remaining_actions() {
+        let mut b = ScriptBehavior::new(vec![
+            Action::Compute { cycles: 7 },
+            Action::Send {
+                ch: ChannelId(3),
+                msgs: 2,
+            },
+            Action::Yield,
+        ]);
+        let mut rng = SimRng::new(0);
+        // Consume one action; the snapshot must hold only the remainder.
+        assert!(matches!(b.next(&mut rng), Action::Compute { cycles: 7 }));
+        let reg = BehaviorRegistry::new();
+        let snapped = behavior_to_json(&b).unwrap();
+        let mut restored = behavior_from_json(&snapped, &reg).unwrap();
+        assert!(matches!(
+            restored.next(&mut rng),
+            Action::Send {
+                ch: ChannelId(3),
+                msgs: 2
+            }
+        ));
+        assert!(matches!(restored.next(&mut rng), Action::Yield));
+        assert!(matches!(restored.next(&mut rng), Action::Exit));
+    }
+
+    #[test]
+    fn fork_actions_nest_recursively() {
+        let inner = TaskSpec::script("child", vec![Action::Exit]);
+        let a = Action::Fork { child: inner };
+        let j = action_to_json(&a).unwrap();
+        let reg = BehaviorRegistry::new();
+        match action_from_json(&j, &reg).unwrap() {
+            Action::Fork { child } => assert_eq!(child.label, "child"),
+            other => panic!("wrong action: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsnapshotable_behaviors_poison_the_spec() {
+        let spec = TaskSpec::new(
+            "fn",
+            Box::new(crate::task::FnBehavior::new(|_| Action::Exit)),
+        );
+        assert!(task_spec_to_json(&spec).is_none());
+        let a = Action::Fork { child: spec };
+        assert!(action_to_json(&a).is_none());
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_error() {
+        let reg = BehaviorRegistry::new();
+        let err = reg.restore("martian", &Json::Null).err().unwrap();
+        assert!(err.contains("martian"), "{err}");
+    }
+}

@@ -76,6 +76,19 @@ pub trait Behavior {
     /// expired, message received, …). Returning [`Action::Exit`] ends the
     /// task; `next` is not called again afterwards.
     fn next(&mut self, rng: &mut SimRng) -> Action;
+
+    /// Serializes the behaviour's current state for a snapshot, as a
+    /// `(kind, state)` pair, or `None` if this behaviour cannot be
+    /// checkpointed.
+    ///
+    /// `kind` is a registry key (see [`crate::snap::BehaviorRegistry`]);
+    /// `state` must hold everything a registered restore function needs
+    /// to reconstruct the behaviour mid-flight. The default is `None`:
+    /// a simulation containing such a behaviour refuses to snapshot
+    /// rather than silently losing state.
+    fn snap(&self) -> Option<(&'static str, crate::json::Json)> {
+        None
+    }
 }
 
 /// The full specification of a task to create.
@@ -139,6 +152,16 @@ impl ScriptBehavior {
 impl Behavior for ScriptBehavior {
     fn next(&mut self, _rng: &mut SimRng) -> Action {
         self.actions.next().unwrap_or(Action::Exit)
+    }
+
+    fn snap(&self) -> Option<(&'static str, crate::json::Json)> {
+        let remaining: Vec<crate::json::Json> = self
+            .actions
+            .as_slice()
+            .iter()
+            .map(crate::snap::action_to_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some((crate::snap::SCRIPT_KIND, crate::json::Json::Arr(remaining)))
     }
 }
 

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Multicore machine topology.
 //!
 //! This crate models the machines of the Nest paper (Table 2): CPU sets

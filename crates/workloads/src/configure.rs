@@ -12,9 +12,38 @@
 //! the paper uses (Figure 4-7); per-package parameters are calibrated so
 //! CFS-schedutil runtimes land near the values printed atop Figure 5.
 
-use nest_simcore::{Action, Behavior, SimRng, SimSetup, TaskSpec};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{snap, Action, Behavior, BehaviorRegistry, SimRng, SimSetup, TaskSpec};
 
 use crate::{ms_at_ghz, Workload};
+
+const ROOT_KIND: &str = "cfg.root";
+
+pub(crate) fn register(reg: &mut BehaviorRegistry) {
+    reg.register(ROOT_KIND, |state, reg| {
+        let name = snap::get_str(state, "spec")?;
+        let spec = by_name(name)
+            .ok_or_else(|| format!("snapshot names unknown configure benchmark \"{name}\""))?;
+        let phase = match snap::get_str(state, "phase")? {
+            "shell" => RootPhase::Shell,
+            "fork_and_wait" => RootPhase::ForkAndWait,
+            "tail" => RootPhase::Tail,
+            "done" => RootPhase::Done,
+            other => return Err(format!("unknown configure root phase \"{other}\"")),
+        };
+        let pendings = snap::get_arr(state, "pendings")?
+            .iter()
+            .map(|a| snap::action_from_json(a, reg))
+            .collect::<Result<Vec<Action>, String>>()?;
+        Ok(Box::new(ConfigureRoot {
+            spec,
+            tests_left: snap::get_u32(state, "tests_left")?,
+            tail_left: snap::get_u32(state, "tail_left")?,
+            phase,
+            pendings,
+        }))
+    });
+}
 
 /// Parameters of one configure benchmark.
 #[derive(Clone, Debug)]
@@ -192,6 +221,30 @@ impl Behavior for ConfigureRoot {
                 RootPhase::Done => return Action::Exit,
             }
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        // The spec travels as its registry name; restore looks it up via
+        // `by_name`, so hand-built specs outside `all_specs()` are not
+        // snapshotable (the scenario registry only ever uses named ones).
+        by_name(self.spec.name)?;
+        let pendings: Option<Vec<Json>> = self.pendings.iter().map(snap::action_to_json).collect();
+        let phase = match self.phase {
+            RootPhase::Shell => "shell",
+            RootPhase::ForkAndWait => "fork_and_wait",
+            RootPhase::Tail => "tail",
+            RootPhase::Done => "done",
+        };
+        Some((
+            ROOT_KIND,
+            json::obj(vec![
+                ("spec", Json::str(self.spec.name)),
+                ("tests_left", Json::u64(self.tests_left as u64)),
+                ("tail_left", Json::u64(self.tail_left as u64)),
+                ("phase", Json::str(phase)),
+                ("pendings", Json::Arr(pendings?)),
+            ]),
+        ))
     }
 }
 

@@ -16,9 +16,45 @@
 //! full experiment matrix tractable and does not affect relative
 //! speedups, which are rate-based).
 
-use nest_simcore::{Action, Behavior, SimRng, SimSetup, TaskSpec};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{
+    snap, Action, Behavior, BehaviorRegistry, ChannelId, SimRng, SimSetup, TaskSpec,
+};
 
 use crate::{ms_at_ghz, Workload};
+
+const POOL_KIND: &str = "dc.pool";
+const QUEUE_KIND: &str = "dc.queue";
+const BACKGROUND_KIND: &str = "dc.background";
+
+pub(crate) fn register(reg: &mut BehaviorRegistry) {
+    reg.register(POOL_KIND, |state, _| {
+        Ok(Box::new(PoolWorker {
+            chunk_cycles: snap::get_u64(state, "chunk_cycles")?,
+            sleep_ns: snap::get_u64(state, "sleep_ns")?,
+            remaining_cycles: snap::get_u64(state, "remaining_cycles")?,
+            jitter: snap::get_f64_bits(state, "jitter")?,
+            compute_next: snap::get_bool(state, "compute_next")?,
+        }))
+    });
+    reg.register(QUEUE_KIND, |state, _| {
+        Ok(Box::new(QueueWorker {
+            ch: ChannelId(snap::get_u32(state, "ch")?),
+            quota: snap::get_u32(state, "quota")?,
+            burst_chunks: snap::get_u32(state, "burst_chunks")?,
+            chunk_cycles: snap::get_u64(state, "chunk_cycles")?,
+            jitter: snap::get_f64_bits(state, "jitter")?,
+            phase: snap::get_u32(state, "phase")?,
+        }))
+    });
+    reg.register(BACKGROUND_KIND, |state, _| {
+        Ok(Box::new(BackgroundThread {
+            iterations: snap::get_u32(state, "iterations")?,
+            period_ns: snap::get_u64(state, "period_ns")?,
+            burst_cycles: snap::get_u64(state, "burst_cycles")?,
+        }))
+    });
+}
 
 /// Parameters of one DaCapo application model.
 #[derive(Clone, Debug)]
@@ -174,6 +210,19 @@ impl Behavior for PoolWorker {
             }
         }
     }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            POOL_KIND,
+            json::obj(vec![
+                ("chunk_cycles", Json::u64(self.chunk_cycles)),
+                ("sleep_ns", Json::u64(self.sleep_ns)),
+                ("remaining_cycles", Json::u64(self.remaining_cycles)),
+                ("jitter", snap::f64_bits(self.jitter)),
+                ("compute_next", Json::Bool(self.compute_next)),
+            ]),
+        ))
+    }
 }
 
 /// A queue-driven worker: receive a request token, execute a burst of
@@ -211,6 +260,20 @@ impl Behavior for QueueWorker {
             msgs: 1,
         }
     }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            QUEUE_KIND,
+            json::obj(vec![
+                ("ch", Json::u64(self.ch.0 as u64)),
+                ("quota", Json::u64(self.quota as u64)),
+                ("burst_chunks", Json::u64(self.burst_chunks as u64)),
+                ("chunk_cycles", Json::u64(self.chunk_cycles)),
+                ("jitter", snap::f64_bits(self.jitter)),
+                ("phase", Json::u64(self.phase as u64)),
+            ]),
+        ))
+    }
 }
 
 /// A JVM background thread: long sleeps, brief activity bursts.
@@ -235,6 +298,17 @@ impl Behavior for BackgroundThread {
                 cycles: rng.jitter(self.burst_cycles, 0.5).max(1),
             }
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            BACKGROUND_KIND,
+            json::obj(vec![
+                ("iterations", Json::u64(self.iterations as u64)),
+                ("period_ns", Json::u64(self.period_ns)),
+                ("burst_cycles", Json::u64(self.burst_cycles)),
+            ]),
+        ))
     }
 }
 

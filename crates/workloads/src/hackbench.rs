@@ -8,9 +8,34 @@
 //! the paper's `-g 100 -l 10000` to keep simulation tractable; the
 //! *structure* (pairs, message batching, full-machine churn) is preserved.
 
-use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{
+    snap, Action, Behavior, BehaviorRegistry, ChannelId, SimRng, SimSetup, TaskSpec,
+};
 
 use crate::Workload;
+
+const SENDER_KIND: &str = "hb.sender";
+const RECEIVER_KIND: &str = "hb.receiver";
+
+pub(crate) fn register(reg: &mut BehaviorRegistry) {
+    reg.register(SENDER_KIND, |state, _| {
+        Ok(Box::new(Sender {
+            ch: ChannelId(snap::get_u32(state, "ch")?),
+            loops: snap::get_u32(state, "loops")?,
+            msg_cycles: snap::get_u64(state, "msg_cycles")?,
+            send_next: snap::get_bool(state, "send_next")?,
+        }))
+    });
+    reg.register(RECEIVER_KIND, |state, _| {
+        Ok(Box::new(Receiver {
+            ch: ChannelId(snap::get_u32(state, "ch")?),
+            msgs: snap::get_u32(state, "msgs")?,
+            msg_cycles: snap::get_u64(state, "msg_cycles")?,
+            recv_next: snap::get_bool(state, "recv_next")?,
+        }))
+    });
+}
 
 /// Hackbench parameters.
 #[derive(Clone, Debug)]
@@ -61,6 +86,18 @@ impl Behavior for Sender {
             cycles: self.msg_cycles,
         }
     }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            SENDER_KIND,
+            json::obj(vec![
+                ("ch", Json::u64(self.ch.0 as u64)),
+                ("loops", Json::u64(self.loops as u64)),
+                ("msg_cycles", Json::u64(self.msg_cycles)),
+                ("send_next", Json::Bool(self.send_next)),
+            ]),
+        ))
+    }
 }
 
 struct Receiver {
@@ -85,6 +122,18 @@ impl Behavior for Receiver {
                 cycles: self.msg_cycles,
             }
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            RECEIVER_KIND,
+            json::obj(vec![
+                ("ch", Json::u64(self.ch.0 as u64)),
+                ("msgs", Json::u64(self.msgs as u64)),
+                ("msg_cycles", Json::u64(self.msg_cycles)),
+                ("recv_next", Json::Bool(self.recv_next)),
+            ]),
+        ))
     }
 }
 

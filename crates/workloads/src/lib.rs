@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Workload models for every benchmark suite in the Nest paper's
 //! evaluation.
 //!
@@ -27,10 +29,24 @@ pub mod schbench;
 pub mod serve;
 pub mod server;
 
-use nest_simcore::{SimRng, SimSetup, TaskSpec};
+use nest_simcore::{BehaviorRegistry, SimRng, SimSetup, TaskSpec};
 
 pub use nest_serve::{OpenLoopDriver, ServeSpec, ServiceWorker};
 pub use serve::ServeLoad;
+
+/// Registers every workload behaviour with a snapshot-restore registry.
+///
+/// The `server` module's driver/worker pair lives in `nest-serve` (see
+/// [`nest_serve::register_behaviors`]); everything snapshotable that is
+/// defined in *this* crate registers here.
+pub fn register_behaviors(reg: &mut BehaviorRegistry) {
+    configure::register(reg);
+    dacapo::register(reg);
+    hackbench::register(reg);
+    nas::register(reg);
+    phoronix::register(reg);
+    schbench::register(reg);
+}
 
 /// A workload: a named generator of initial tasks.
 pub trait Workload {

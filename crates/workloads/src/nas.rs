@@ -8,9 +8,53 @@
 //! CFS's fork collisions on large machines cause the overloads Lepers et
 //! al. observed.
 
-use nest_simcore::{Action, BarrierId, Behavior, SimRng, SimSetup, TaskSpec};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{
+    snap, Action, BarrierId, Behavior, BehaviorRegistry, SimRng, SimSetup, TaskSpec,
+};
 
 use crate::{ms_at_ghz, Workload};
+
+const WORKER_KIND: &str = "nas.worker";
+const MASTER_KIND: &str = "nas.master";
+
+fn worker_to_json(w: &NasWorker) -> Json {
+    json::obj(vec![
+        ("iterations", Json::u64(w.iterations as u64)),
+        ("chunk_cycles", Json::u64(w.chunk_cycles)),
+        ("jitter", snap::f64_bits(w.jitter)),
+        ("barrier", Json::u64(w.barrier.0 as u64)),
+        ("at_barrier", Json::Bool(w.at_barrier)),
+    ])
+}
+
+fn worker_from_json(state: &Json) -> Result<NasWorker, String> {
+    Ok(NasWorker {
+        iterations: snap::get_u32(state, "iterations")?,
+        chunk_cycles: snap::get_u64(state, "chunk_cycles")?,
+        jitter: snap::get_f64_bits(state, "jitter")?,
+        barrier: BarrierId(snap::get_u32(state, "barrier")?),
+        at_barrier: snap::get_bool(state, "at_barrier")?,
+    })
+}
+
+pub(crate) fn register(reg: &mut BehaviorRegistry) {
+    reg.register(WORKER_KIND, |state, _| {
+        Ok(Box::new(worker_from_json(state)?))
+    });
+    reg.register(MASTER_KIND, |state, reg| {
+        let script = snap::get_arr(state, "script")?
+            .iter()
+            .map(|a| snap::action_from_json(a, reg))
+            .collect::<Result<Vec<Action>, String>>()?;
+        Ok(Box::new(MasterBehavior {
+            script: script.into_iter(),
+            worker: worker_from_json(snap::field(state, "worker")?)?,
+            in_worker_phase: snap::get_bool(state, "in_worker_phase")?,
+            waited: snap::get_bool(state, "waited")?,
+        }))
+    });
+}
 
 /// Parameters of one NAS kernel (class C sizing).
 #[derive(Clone, Debug)]
@@ -83,6 +127,10 @@ impl Behavior for NasWorker {
         Action::Compute {
             cycles: rng.jitter(self.chunk_cycles, self.jitter).max(1),
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((WORKER_KIND, worker_to_json(self)))
     }
 }
 
@@ -189,6 +237,24 @@ impl Behavior for MasterBehavior {
             }
             other => other,
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        let script: Option<Vec<Json>> = self
+            .script
+            .as_slice()
+            .iter()
+            .map(snap::action_to_json)
+            .collect();
+        Some((
+            MASTER_KIND,
+            json::obj(vec![
+                ("script", Json::Arr(script?)),
+                ("worker", worker_to_json(&self.worker)),
+                ("in_worker_phase", Json::Bool(self.in_worker_phase)),
+                ("waited", Json::Bool(self.waited)),
+            ]),
+        ))
     }
 }
 

@@ -11,9 +11,36 @@
 //! ([`archetype_suite`]) spanning the same behaviour space; DESIGN.md
 //! documents the substitution.
 
-use nest_simcore::{Action, Behavior, SimRng, SimSetup, TaskSpec};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{
+    snap, Action, BarrierId, Behavior, BehaviorRegistry, SimRng, SimSetup, TaskSpec,
+};
 
 use crate::{ms_at_ghz, Workload};
+
+const STORM_KIND: &str = "px.storm";
+const BARRIER_KIND: &str = "px.barrier";
+
+pub(crate) fn register(reg: &mut BehaviorRegistry) {
+    reg.register(STORM_KIND, |state, _| {
+        Ok(Box::new(StormRoot {
+            task_cycles: snap::get_u64(state, "task_cycles")?,
+            concurrent: snap::get_u32(state, "concurrent")?,
+            remaining: snap::get_u32(state, "remaining")?,
+            phase: snap::get_u32(state, "phase")? as u8,
+            to_fork: snap::get_u32(state, "to_fork")?,
+        }))
+    });
+    reg.register(BARRIER_KIND, |state, _| {
+        Ok(Box::new(BarrierWorker {
+            iterations: snap::get_u32(state, "iterations")?,
+            chunk_cycles: snap::get_u64(state, "chunk_cycles")?,
+            jitter: snap::get_f64_bits(state, "jitter")?,
+            barrier: BarrierId(snap::get_u32(state, "barrier")?),
+            at_barrier: snap::get_bool(state, "at_barrier")?,
+        }))
+    });
+}
 
 /// How a test's tasks behave.
 #[derive(Clone, Debug)]
@@ -397,6 +424,19 @@ impl Behavior for StormRoot {
             }
         }
     }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            STORM_KIND,
+            json::obj(vec![
+                ("task_cycles", Json::u64(self.task_cycles)),
+                ("concurrent", Json::u64(self.concurrent as u64)),
+                ("remaining", Json::u64(self.remaining as u64)),
+                ("phase", Json::u64(self.phase as u64)),
+                ("to_fork", Json::u64(self.to_fork as u64)),
+            ]),
+        ))
+    }
 }
 
 /// A Phoronix workload instance.
@@ -526,6 +566,19 @@ impl Behavior for BarrierWorker {
         Action::Compute {
             cycles: rng.jitter(self.chunk_cycles, self.jitter).max(1),
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            BARRIER_KIND,
+            json::obj(vec![
+                ("iterations", Json::u64(self.iterations as u64)),
+                ("chunk_cycles", Json::u64(self.chunk_cycles)),
+                ("jitter", snap::f64_bits(self.jitter)),
+                ("barrier", Json::u64(self.barrier.0 as u64)),
+                ("at_barrier", Json::Bool(self.at_barrier)),
+            ]),
+        ))
     }
 }
 

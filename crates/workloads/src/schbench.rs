@@ -8,9 +8,26 @@
 //! Phoronix harness.
 
 use nest_serve::ServiceWorker;
-use nest_simcore::{Action, Behavior, ChannelId, SimRng, SimSetup, TaskSpec};
+use nest_simcore::json::{self, Json};
+use nest_simcore::{
+    snap, Action, Behavior, BehaviorRegistry, ChannelId, SimRng, SimSetup, TaskSpec,
+};
 
 use crate::{ms_at_ghz, Workload};
+
+const DISPATCHER_KIND: &str = "sch.dispatcher";
+
+pub(crate) fn register(reg: &mut BehaviorRegistry) {
+    reg.register(DISPATCHER_KIND, |state, _| {
+        Ok(Box::new(Dispatcher {
+            request_ch: ChannelId(snap::get_u32(state, "request_ch")?),
+            reply_ch: ChannelId(snap::get_u32(state, "reply_ch")?),
+            batch: snap::get_u32(state, "batch")?,
+            outstanding: snap::get_u32(state, "outstanding")?,
+            phase: snap::get_u32(state, "phase")? as u8,
+        }))
+    });
+}
 
 /// Schbench parameters.
 #[derive(Clone, Debug)]
@@ -75,6 +92,19 @@ impl Behavior for Dispatcher {
             // Tail: no refill, just drain the remaining replies.
             Action::Compute { cycles: 1 }
         }
+    }
+
+    fn snap(&self) -> Option<(&'static str, Json)> {
+        Some((
+            DISPATCHER_KIND,
+            json::obj(vec![
+                ("request_ch", Json::u64(self.request_ch.0 as u64)),
+                ("reply_ch", Json::u64(self.reply_ch.0 as u64)),
+                ("batch", Json::u64(self.batch as u64)),
+                ("outstanding", Json::u64(self.outstanding as u64)),
+                ("phase", Json::u64(self.phase as u64)),
+            ]),
+        ))
     }
 }
 

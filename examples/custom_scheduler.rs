@@ -4,6 +4,21 @@
 //! trait composes with the engine.
 //!
 //! Run with: `cargo run --release --example custom_scheduler`
+//!
+//! A policy is four [`SchedPolicy`](nest_sched::SchedPolicy) hooks —
+//! place a fork, place a wakeup, react to an idle core, react to a
+//! tick. The heart of this example's "random idle core" placement:
+//!
+//! ```no_run
+//! use nest_sched::{KernelState, Placement, SchedEnv};
+//! use nest_simcore::{CoreId, PlacementPath};
+//!
+//! fn place(k: &KernelState, env: &mut SchedEnv<'_>) -> Placement {
+//!     let n = env.topo.n_cores() as u64;
+//!     let core = CoreId::from_index(env.rng.uniform_u64(0, n - 1) as usize);
+//!     Placement::simple(core, PlacementPath::CfsFork)
+//! }
+//! ```
 
 use nest_engine::Engine;
 use nest_repro::{presets, EngineConfig, Workload};

@@ -4,6 +4,20 @@
 //! joules-per-unit-of-work — the paper's §5.2 energy discussion.
 //!
 //! Run with: `cargo run --release --example energy_budget`
+//!
+//! The energy lens is one field on the result; sweeping configurations
+//! is just a loop over policies and governors:
+//!
+//! ```no_run
+//! use nest_repro::{presets, run_once, Governor, PolicyKind, SimConfig};
+//! use nest_workloads::dacapo::Dacapo;
+//!
+//! let cfg = SimConfig::new(presets::xeon_6130(2))
+//!     .policy(PolicyKind::Nest)
+//!     .governor(Governor::Schedutil);
+//! let r = run_once(&cfg, &Dacapo::named("graphchi-eval"));
+//! println!("{:.1} J over {:.2} s → {:.1} W", r.energy_j, r.time_s, r.energy_j / r.time_s);
+//! ```
 
 use nest_repro::{presets, run_once, Governor, PolicyKind, SimConfig};
 use nest_workloads::dacapo::Dacapo;

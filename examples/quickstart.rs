@@ -1,6 +1,18 @@
 //! Quickstart: simulate one workload under CFS and under Nest and compare.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The whole API surface this needs is three calls — build a config,
+//! run a workload, read the result:
+//!
+//! ```no_run
+//! use nest_repro::{presets, run_once, PolicyKind, SimConfig};
+//! use nest_workloads::configure::Configure;
+//!
+//! let cfg = SimConfig::new(presets::xeon_5218()).policy(PolicyKind::Nest);
+//! let result = run_once(&cfg, &Configure::named("gdb"));
+//! println!("{:.3} s, {:.1} J", result.time_s, result.energy_j);
+//! ```
 
 use nest_repro::{presets, run_once, Governor, PolicyKind, SimConfig};
 use nest_workloads::configure::Configure;

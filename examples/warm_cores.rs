@@ -4,6 +4,21 @@
 //! public API.
 //!
 //! Run with: `cargo run --release --example warm_cores`
+//!
+//! Tracing is one builder call; the trace then answers "which cores,
+//! at which frequencies":
+//!
+//! ```no_run
+//! use nest_repro::{presets, run_once, PolicyKind, SimConfig};
+//! use nest_workloads::configure::Configure;
+//!
+//! let cfg = SimConfig::new(presets::xeon_5218())
+//!     .policy(PolicyKind::Nest)
+//!     .with_trace();
+//! let r = run_once(&cfg, &Configure::named("gdb"));
+//! let trace = r.trace.expect("trace requested");
+//! println!("cores touched: {}", trace.cores_used().len());
+//! ```
 
 use nest_repro::{presets, run_once, PolicyKind, SimConfig, Workload};
 use nest_simcore::{Action, SimRng, SimSetup, TaskSpec};

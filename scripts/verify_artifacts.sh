@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Byte-identity guard: regenerate five representative artifacts
-# (Figures 2, 4 and 10, Table 4, and the serve tail sweep) in quick mode
-# and compare their hashes against the committed golden set.
+# Byte-identity guard: regenerate representative artifacts (Figures 2,
+# 4 and 10, Table 4, the serve tail sweep, a faulted run, and a
+# snapshot/replay continuation) in quick mode and compare their hashes
+# against the committed golden set.
 #
 # The harness's determinism contract says artifact bytes depend only on
 # the seed and the simulation inputs — never on worker count, cache
@@ -37,9 +38,18 @@ cargo run --release -q -p nest-bench --bin nest-sim -- \
     --faults "hotplug=8@50ms:200ms,throttle=s0:0.8,jitter=50us" \
     --out faulted_pin >/dev/null
 
+# A replay continuation rides along too: pausing at a midpoint,
+# snapshotting, and continuing must keep producing the same artifact
+# bytes as the straight runs above keep producing theirs.
+echo "==> regenerating replay_pin (nest-sim replay --at)"
+cargo run --release -q -p nest-bench --bin nest-sim -- \
+    replay --at 0.05 --snap "$outdir/replay_pin.snap" \
+    --machine 5218 --policy nest --governor schedutil \
+    --workload configure:gdb --seed 42 --out replay_pin >/dev/null
+
 (cd "$outdir" && sha256sum fig02_trace.json fig04_underload.json \
     fig10_dacapo_speedup.json table4_overview.json fig_serve_tail.json \
-    faulted_pin.json) \
+    faulted_pin.json replay_pin.json) \
     > "$outdir/actual.sha256"
 
 if [[ "${1:-}" == "--update" ]]; then

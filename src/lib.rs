@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Repository facade for the Nest scheduler reproduction.
 //!
 //! This crate re-exports the public API of [`nest_core`] so that the

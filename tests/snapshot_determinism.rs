@@ -1,0 +1,115 @@
+//! The snapshot/restore correctness bar, pinned as tests: for every
+//! scheduling policy, with and without fault injection and request
+//! serving, a run that pauses mid-flight, snapshots, restores from the
+//! snapshot text, and continues must be indistinguishable from a run
+//! that never paused — and the snapshot itself must round-trip through
+//! restore to byte-identical text.
+//!
+//! These are the end-to-end guarantees behind `nest-sim replay` and the
+//! harness's warm-start: neither surface may ever change a result.
+
+use nest_repro::scenario::Scenario;
+use nest_repro::{restore, run_once, run_until, PausedSim, Progress, SnapError};
+use nest_simcore::Time;
+
+/// Every `(policy × variant)` combination the correctness bar covers:
+/// a plain batch workload, the same workload under a fault plan, and an
+/// open-loop serving workload.
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for policy in ["cfs", "nest", "smove"] {
+        let plain = Scenario::parse("5218", policy, "schedutil", "configure:gdb")
+            .expect("plain scenario parses")
+            .with_seed(2022);
+        let faulted = plain
+            .clone()
+            .with_faults("faults:hotplug=2@50ms:120ms,throttle=s0:0.7")
+            .expect("fault plan parses");
+        let serving = Scenario::parse("5218", policy, "schedutil", "serve:requests=300,rate=2000")
+            .expect("serving scenario parses")
+            .with_seed(2022);
+        out.extend([plain, faulted, serving]);
+    }
+    out
+}
+
+/// Runs `s` to the pause point, asserting it actually pauses (the whole
+/// suite is vacuous if the workload ends first).
+fn pause(s: &Scenario, at: Time) -> PausedSim {
+    let wl = s.build_workload();
+    match run_until(&s.sim_config(), wl.as_ref(), at) {
+        Progress::Paused(p) => *p,
+        Progress::Done(_) => panic!("{} finished before the {at} pause point", s.identity()),
+    }
+}
+
+#[test]
+fn pause_restore_continue_matches_straight_run_everywhere() {
+    let at = Time::from_millis(60);
+    for s in scenarios() {
+        let id = s.identity();
+        let wl = s.build_workload();
+        let direct = run_once(&s.sim_config(), wl.as_ref());
+
+        let text = pause(&s, at)
+            .snapshot(&id, s.to_json())
+            .expect("snapshot serializes");
+        let resumed = restore(&s.sim_config(), wl.as_ref(), &text, &id)
+            .expect("snapshot restores")
+            .resume();
+
+        assert!(!direct.aborted && !resumed.aborted, "{id}");
+        assert_eq!(
+            direct.summarize(),
+            resumed.summarize(),
+            "restored continuation diverged from the straight run: {id}"
+        );
+        assert_eq!(direct.time_s, resumed.time_s, "{id}");
+        assert_eq!(direct.energy_j, resumed.energy_j, "{id}");
+    }
+}
+
+#[test]
+fn snapshots_round_trip_to_identical_bytes_everywhere() {
+    let at = Time::from_millis(60);
+    for s in scenarios() {
+        let id = s.identity();
+        let wl = s.build_workload();
+        let text = pause(&s, at)
+            .snapshot(&id, s.to_json())
+            .expect("snapshot serializes");
+        let again = restore(&s.sim_config(), wl.as_ref(), &text, &id)
+            .expect("snapshot restores")
+            .snapshot(&id, s.to_json())
+            .expect("restored state re-serializes");
+        assert_eq!(text, again, "snapshot → restore → snapshot moved: {id}");
+    }
+}
+
+#[test]
+fn a_snapshot_never_restores_onto_a_different_scenario() {
+    let at = Time::from_millis(60);
+    let nest = Scenario::parse("5218", "nest", "schedutil", "configure:gdb")
+        .unwrap()
+        .with_seed(2022);
+    let cfs = Scenario::parse("5218", "cfs", "schedutil", "configure:gdb")
+        .unwrap()
+        .with_seed(2022);
+    let text = pause(&nest, at)
+        .snapshot(&nest.identity(), nest.to_json())
+        .expect("snapshot serializes");
+    // Claiming the snapshot belongs to the CFS scenario must fail loudly
+    // (the header records the nest identity), not silently misrestore.
+    let err = restore(
+        &cfs.sim_config(),
+        cfs.build_workload().as_ref(),
+        &text,
+        &cfs.identity(),
+    )
+    .err()
+    .expect("mismatched identity refused");
+    assert!(
+        matches!(err, SnapError::IdentityMismatch { .. }),
+        "unexpected error kind: {err}"
+    );
+}
