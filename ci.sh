@@ -111,8 +111,20 @@ if grep -q '"cells_warm": 0,' "$warmdir/warm2/fig04_underload.telemetry.json"; t
 fi
 echo "==> warm-start artifacts byte-identical; second pass restored snapshots"
 
+# Hierarchical domains (PR 8): a 512-core synthetic multi-CCX machine
+# runs end to end under every policy including the domain-local Nest,
+# and the quick-mode scaling sweep stays within the committed
+# BENCH_pr8.json envelope (exact event counts; generous wall-clock
+# ratio).
+NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
+    step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine "synth:sockets=4,ccx=8,cores=16,numa=ring" \
+    --policy cfs --policy nest --policy "nest:domain=ccx" --policy smove \
+    --governor schedutil --workload "schbench:mt=32,w=15,requests=20" --runs 1
+step ./scripts/check_scale_regression.sh
+
 # Byte-identity guard: fig02/fig04/fig10/table4/fig_serve_tail/faulted/
-# replay artifacts vs committed golden hashes.
+# synth/replay artifacts vs committed golden hashes.
 step ./scripts/verify_artifacts.sh
 
 echo

@@ -9,7 +9,7 @@ use nest_topology::MachineSpec;
 
 fn machine_json(m: &MachineSpec) -> Json {
     Json::Obj(vec![
-        ("name".to_string(), Json::str(m.name)),
+        ("name".to_string(), Json::str(&m.name)),
         ("microarch".to_string(), Json::str(m.microarch)),
         ("sockets".to_string(), Json::usize(m.sockets)),
         (

@@ -98,7 +98,7 @@ fn main() {
                 label, row[0], row[1], row[2], row[3], row[4]
             );
         }
-        machine_counts.push((machine.name, counts));
+        machine_counts.push((machine.name.clone(), counts));
     }
     println!("\nExpected shape (paper): the 'same' column dominates; ≥7% of");
     println!("tests faster by >5% with Nest-sched on every machine.");

@@ -195,7 +195,7 @@ pub fn compare_schedulers(
                 .collect()
         })
         .collect();
-    Comparison::from_summaries(&workload.name(), machine.name, schedulers, summaries)
+    Comparison::from_summaries(&workload.name(), &machine.name, schedulers, summaries)
 }
 
 /// Formats a comparison as an aligned text table (the harness output).
@@ -309,7 +309,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let rebuilt = Comparison::from_summaries("gdb", machine.name, &schedulers, summaries);
+        let rebuilt = Comparison::from_summaries("gdb", &machine.name, &schedulers, summaries);
         assert_eq!(serial.rows.len(), rebuilt.rows.len());
         for (a, b) in serial.rows.iter().zip(&rebuilt.rows) {
             assert_eq!(a.time.mean, b.time.mean);

@@ -291,7 +291,17 @@ pub(crate) fn build_engine(
     engine.add_probe(Box::new(pp));
     let (lp, latency) = WakeupLatencyProbe::new();
     engine.add_probe(Box::new(lp));
-    let (dp, decision) = DecisionMetricsProbe::new(n_cores);
+    let topo = nest_topology::Topology::new(cfg.machine.clone());
+    let (ccx_of, socket_of) = (0..n_cores)
+        .map(|c| {
+            let core = CoreId::from_index(c);
+            (
+                topo.ccx_of(core).index() as u32,
+                topo.socket_of(core).index() as u32,
+            )
+        })
+        .unzip();
+    let (dp, decision) = DecisionMetricsProbe::with_domains(ccx_of, socket_of);
     engine.add_probe(Box::new(dp));
     let (ic, invariants) = InvariantChecker::new(
         n_cores,

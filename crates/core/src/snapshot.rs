@@ -42,7 +42,11 @@ use nest_engine::Engine;
 
 /// Version of the snapshot container format. Bumped on any change to
 /// the serialized layout; restore refuses other versions.
-pub const SNAPSHOT_SCHEMA: u64 = 1;
+///
+/// v2: hierarchical scheduling domains — the kernel state carries a
+/// per-CCX statistics cache alongside the per-socket one, and the
+/// frequency model keys its active-core windows by turbo domain.
+pub const SNAPSHOT_SCHEMA: u64 = 2;
 
 /// Key of the header block inside a snapshot document.
 const HEADER_KEY: &str = "nest_snapshot";
@@ -335,6 +339,35 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_round_trips_on_a_synthetic_multi_ccx_machine() {
+        // The domain-sharded state (per-CCX kernel stats, CCX-keyed turbo
+        // windows, domain-local nest membership) must survive
+        // pause/restore on a machine whose tree is NOT degenerate.
+        use nest_sched::{NestDomain, NestParams};
+        use nest_topology::NumaKind;
+        let cfg = SimConfig::new(presets::synth(2, 4, 4, 1, NumaKind::Ring)).policy(
+            PolicyKind::NestWith(NestParams {
+                domain: NestDomain::Ccx,
+                ..NestParams::default()
+            }),
+        );
+        let direct = run_once(&cfg, &Configure::named("gdb"));
+        let text = match run_until(&cfg, &Configure::named("gdb"), Time::from_millis(40)) {
+            Progress::Paused(p) => p.snapshot(IDENTITY, Json::Null).unwrap(),
+            Progress::Done(_) => panic!("run finished before the pause point"),
+        };
+        let restored = restore(&cfg, &Configure::named("gdb"), &text, IDENTITY).unwrap();
+        let again = restored.snapshot(IDENTITY, Json::Null).unwrap();
+        assert_eq!(text, again, "snapshot→restore→snapshot drifted");
+        let resumed = restore(&cfg, &Configure::named("gdb"), &text, IDENTITY)
+            .unwrap()
+            .resume();
+        assert_eq!(direct.time_s, resumed.time_s);
+        assert_eq!(direct.energy_j, resumed.energy_j);
+        assert_eq!(direct.summarize(), resumed.summarize());
+    }
+
+    #[test]
     fn run_until_past_the_end_completes() {
         let direct = run_once(&cfg(), &Configure::named("gdb"));
         match run_until(&cfg(), &Configure::named("gdb"), Time::from_secs(500)) {
@@ -386,7 +419,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_refused() {
-        let text = snap_at(Time::from_millis(40)).replace("\"schema\": 1", "\"schema\": 999");
+        let text = snap_at(Time::from_millis(40)).replace("\"schema\": 2", "\"schema\": 999");
         let err = read_header(&text).err().unwrap();
         assert!(matches!(
             err,

@@ -1214,7 +1214,9 @@ impl Engine {
             let f = self.freq.freq_of(rep);
             let sib = self.topo.sibling(rep);
             self.emit(TraceEvent::FreqChange { core: rep, freq: f });
-            self.emit(TraceEvent::FreqChange { core: sib, freq: f });
+            if sib != rep {
+                self.emit(TraceEvent::FreqChange { core: sib, freq: f });
+            }
         }
     }
 
@@ -1222,7 +1224,11 @@ impl Engine {
     /// frequency changed.
     fn retime_after_freq_change(&mut self, reps: &[CoreId]) {
         for &rep in reps {
-            for core in [rep, self.topo.sibling(rep)] {
+            let sib = self.topo.sibling(rep);
+            let pair = [rep, sib];
+            // SMT-1 machines are their own siblings; re-time once.
+            let cores = if sib == rep { &pair[..1] } else { &pair[..] };
+            for &core in cores {
                 if let Some(task) = self.kernel.core(core).curr {
                     if self.tasks[task.index()].remaining_cycles > 0 {
                         self.account_running_segment(core);

@@ -6,8 +6,12 @@
 //! * the **governor** supplies a requested ceiling (utilization-driven for
 //!   `schedutil`, the maximum for `performance`);
 //! * the **turbo ladder** caps frequency by the number of active physical
-//!   cores on the socket (Table 3) — *spinning* idle loops count as active,
-//!   which is precisely how Nest keeps cores warm;
+//!   cores on the turbo-counting domain — the socket on the paper's Intel
+//!   machines (Table 3), one CCX on AMD-like synthetic machines — with
+//!   *spinning* idle loops counting as active, which is precisely how Nest
+//!   keeps cores warm. The domain is resolved through
+//!   [`Topology::turbo_domain_of_phys`] so this model never hard-codes a
+//!   flat-socket assumption;
 //! * frequency **ramps** toward its target at a microarchitecture-specific
 //!   rate and **decays** toward the governor floor after an idle cooldown.
 //!
@@ -17,7 +21,7 @@
 
 use nest_simcore::json::{self, Json};
 use nest_simcore::{snap, CoreId, Freq, Time};
-use nest_topology::MachineSpec;
+use nest_topology::{MachineSpec, Topology};
 
 use crate::governor::Governor;
 
@@ -50,15 +54,20 @@ struct PhysCore {
 /// Per-physical-core DVFS and whole-machine energy model.
 pub struct FreqModel {
     spec: MachineSpec,
+    /// Computed topology: the one accessor through which the
+    /// turbo-counting domain of a physical core is resolved.
+    topo: Topology,
     governor: Governor,
     /// Activity of each hardware thread.
     thread_activity: Vec<Activity>,
     /// State of each physical core (index: socket * phys_per_socket + p).
     phys: Vec<PhysCore>,
-    /// Precomputed hardware-thread pair of each physical core.
+    /// Precomputed hardware-thread pair of each physical core. On SMT-1
+    /// machines both entries are the same thread.
     thread_pair: Vec<(usize, usize)>,
-    /// Number of active physical cores per socket.
-    socket_active: Vec<usize>,
+    /// Number of active physical cores per turbo-counting domain
+    /// (per socket on Intel-like machines, per CCX on AMD-like ones).
+    domain_active: Vec<usize>,
     /// Per-socket thermal-throttle factor in `(0, 1]` (1.0 = no
     /// throttle), applied multiplicatively to the turbo-table cap.
     /// Fault injection drives this via
@@ -86,11 +95,17 @@ impl FreqModel {
         let thread_pair = (0..n_phys)
             .map(|phys| {
                 let (socket, p) = (phys / pps, phys % pps);
-                (socket * cps + p, socket * cps + p + pps)
+                let t0 = socket * cps + p;
+                // SMT-1: a physical core is one thread paired with itself.
+                let t1 = if spec.smt == 2 { t0 + pps } else { t0 };
+                (t0, t1)
             })
             .collect();
+        let topo = Topology::new(spec.clone());
+        let n_domains = topo.n_turbo_domains();
         FreqModel {
             spec: spec.clone(),
+            topo,
             governor,
             thread_activity: vec![Activity::Idle; spec.n_cores()],
             phys: vec![
@@ -104,7 +119,7 @@ impl FreqModel {
                 n_phys
             ],
             thread_pair,
-            socket_active: vec![0; spec.sockets],
+            domain_active: vec![0; n_domains],
             throttle: vec![1.0; spec.sockets],
             energy_joules: 0.0,
             last_integration: Time::ZERO,
@@ -125,10 +140,6 @@ impl FreqModel {
         socket * pps + local % pps
     }
 
-    fn socket_index(&self, core: CoreId) -> usize {
-        core.index() / self.spec.cores_per_socket()
-    }
-
     fn threads_of_phys(&self, phys: usize) -> (usize, usize) {
         self.thread_pair[phys]
     }
@@ -137,21 +148,29 @@ impl FreqModel {
         self.phys[phys].active
     }
 
-    /// Returns the number of active physical cores on `socket` right now.
-    pub fn active_phys_on_socket(&self, socket: usize) -> usize {
-        self.socket_active[socket]
+    /// Number of turbo-counting domains (sockets, or CCXs on machines
+    /// whose ladder is scoped per CCX).
+    pub fn n_turbo_domains(&self) -> usize {
+        self.domain_active.len()
     }
 
-    /// Returns the number of physical cores on `socket` the hardware
-    /// considers active for turbo purposes: active now, or active within
-    /// the turbo window. This sluggishness is why dispersing short tasks
-    /// over many cores keeps every core in the lower turbo range (§5.2).
-    pub fn windowed_active_on_socket(&self, socket: usize, now: Time) -> usize {
-        let pps = self.spec.phys_per_socket;
+    /// Returns the number of active physical cores in turbo-counting
+    /// domain `domain` right now. On the paper's machines a domain is a
+    /// socket, so `domain` coincides with the socket index there.
+    pub fn active_phys_in_domain(&self, domain: usize) -> usize {
+        self.domain_active[domain]
+    }
+
+    /// Returns the number of physical cores in turbo domain `domain` the
+    /// hardware considers active for turbo purposes: active now, or
+    /// active within the turbo window. This sluggishness is why
+    /// dispersing short tasks over many cores keeps every core in the
+    /// lower turbo range (§5.2).
+    pub fn windowed_active_in_domain(&self, domain: usize, now: Time) -> usize {
+        let dp = self.topo.turbo_domain_phys();
         let window = self.spec.freq.turbo_window_ns;
-        (0..pps)
-            .filter(|&p| {
-                let phys = socket * pps + p;
+        (domain * dp..(domain + 1) * dp)
+            .filter(|&phys| {
                 self.phys_is_active(phys)
                     || self.phys[phys]
                         .last_active
@@ -160,15 +179,16 @@ impl FreqModel {
             .count()
     }
 
-    /// The effective frequency cap on `socket`: the turbo-table limit for
-    /// the windowed active count, scaled by the socket's throttle factor
-    /// (never below the hardware minimum).
-    fn capped_turbo(&self, socket: usize, now: Time) -> Freq {
+    /// The effective frequency cap on turbo domain `domain`: the
+    /// turbo-table limit for the windowed active count, scaled by the
+    /// owning socket's throttle factor (never below the hardware
+    /// minimum).
+    fn capped_turbo(&self, domain: usize, now: Time) -> Freq {
         let cap = self
             .spec
             .freq
-            .turbo_limit(self.windowed_active_on_socket(socket, now));
-        let f = self.throttle[socket];
+            .turbo_limit(self.windowed_active_in_domain(domain, now));
+        let f = self.throttle[self.topo.socket_of_turbo_domain(domain).index()];
         if f >= 1.0 {
             return cap;
         }
@@ -189,15 +209,19 @@ impl FreqModel {
             return Vec::new();
         }
         self.throttle[socket] = factor;
-        let cap = self.capped_turbo(socket, now);
+        // Apply the new cap to every turbo domain the socket contains
+        // (exactly one on socket-scoped machines).
+        let dp = self.topo.turbo_domain_phys();
         let pps = self.spec.phys_per_socket;
         let mut changed = Vec::new();
-        for p in 0..pps {
-            let ph = socket * pps + p;
-            if self.phys_is_active(ph) && self.phys[ph].cur > cap {
-                self.phys[ph].cur = cap;
-                self.power_cache = None;
-                changed.push(self.rep_core(ph));
+        for d in socket * pps / dp..(socket + 1) * pps / dp {
+            let cap = self.capped_turbo(d, now);
+            for ph in d * dp..(d + 1) * dp {
+                if self.phys_is_active(ph) && self.phys[ph].cur > cap {
+                    self.phys[ph].cur = cap;
+                    self.power_cache = None;
+                    changed.push(self.rep_core(ph));
+                }
             }
         }
         changed
@@ -309,7 +333,7 @@ impl FreqModel {
             return Vec::new();
         }
         let phys = self.phys_index(core);
-        let socket = self.socket_index(core);
+        let domain = self.topo.turbo_domain_of_phys(phys);
         let was_active = self.phys[phys].active;
         self.thread_activity[idx] = act;
         self.power_cache = None;
@@ -321,7 +345,7 @@ impl FreqModel {
         let mut changed = Vec::new();
         if was_active != is_active {
             if is_active {
-                self.socket_active[socket] += 1;
+                self.domain_active[domain] += 1;
                 self.phys[phys].idle_since = None;
                 // Waking under `performance` jumps straight to nominal.
                 let floor = self.governor.wakeup_floor(&self.spec.freq);
@@ -330,17 +354,17 @@ impl FreqModel {
                     changed.push(self.rep_core(phys));
                 }
             } else {
-                self.socket_active[socket] -= 1;
+                self.domain_active[domain] -= 1;
                 self.phys[phys].idle_since = Some(now);
                 self.phys[phys].last_active = Some(now);
             }
-            // The turbo cap of every active core on this socket may have
-            // moved; apply cap *reductions* immediately (the hardware
-            // drops out of turbo without delay), leave raises to the ramp.
-            let cap = self.capped_turbo(socket, now);
-            let pps = self.spec.phys_per_socket;
-            for p in 0..pps {
-                let ph = socket * pps + p;
+            // The turbo cap of every active core in this turbo domain may
+            // have moved; apply cap *reductions* immediately (the
+            // hardware drops out of turbo without delay), leave raises to
+            // the ramp.
+            let cap = self.capped_turbo(domain, now);
+            let dp = self.topo.turbo_domain_phys();
+            for ph in domain * dp..(domain + 1) * dp {
                 if self.phys_is_active(ph) && self.phys[ph].cur > cap {
                     self.phys[ph].cur = cap;
                     changed.push(self.rep_core(ph));
@@ -375,12 +399,11 @@ impl FreqModel {
         let dt_ms = dt_ns as f64 / 1e6;
         let up = (fspec.ramp_up_khz_per_ms as f64 * dt_ms) as u64;
         let down = (fspec.ramp_down_khz_per_ms as f64 * dt_ms) as u64;
-        let caps: Vec<Freq> = (0..self.spec.sockets)
-            .map(|s| self.capped_turbo(s, now))
+        let caps: Vec<Freq> = (0..self.n_turbo_domains())
+            .map(|d| self.capped_turbo(d, now))
             .collect();
         for phys in 0..self.phys.len() {
-            let socket = phys / self.spec.phys_per_socket;
-            let cap = caps[socket];
+            let cap = caps[self.topo.turbo_domain_of_phys(phys)];
             let rep = self.rep_core(phys);
             let (t0, t1) = self.threads_of_phys(phys);
             let spinning_only = self.thread_activity[t0] != Activity::Busy
@@ -451,8 +474,8 @@ impl FreqModel {
             ),
             ("phys", Json::Arr(self.phys.iter().map(phys).collect())),
             (
-                "socket_active",
-                Json::Arr(self.socket_active.iter().map(|&n| Json::usize(n)).collect()),
+                "domain_active",
+                Json::Arr(self.domain_active.iter().map(|&n| Json::usize(n)).collect()),
             ),
             (
                 "throttle",
@@ -494,13 +517,13 @@ impl FreqModel {
             slot.last_active = snap::get_opt_time(j, "last_active")?;
             slot.active = snap::get_bool(j, "active")?;
         }
-        let socket_active = snap::get_arr(state, "socket_active")?;
+        let domain_active = snap::get_arr(state, "domain_active")?;
         expect_len(
-            "socket_active",
-            socket_active.len(),
-            self.socket_active.len(),
+            "domain_active",
+            domain_active.len(),
+            self.domain_active.len(),
         )?;
-        for (slot, j) in self.socket_active.iter_mut().zip(socket_active) {
+        for (slot, j) in self.domain_active.iter_mut().zip(domain_active) {
             *slot = snap::elem_u64(j)? as usize;
         }
         let throttle = snap::get_arr(state, "throttle")?;
@@ -616,9 +639,9 @@ mod tests {
         // CoreId(16) is the hyperthread of CoreId(0) on the 6130.
         assert_eq!(m.freq_of(CoreId(16)), m.freq_of(CoreId(0)));
         // And both count as one active physical core.
-        assert_eq!(m.active_phys_on_socket(0), 1);
+        assert_eq!(m.active_phys_in_domain(0), 1);
         m.set_activity(Time::from_millis(50), CoreId(16), Activity::Busy);
-        assert_eq!(m.active_phys_on_socket(0), 1);
+        assert_eq!(m.active_phys_in_domain(0), 1);
     }
 
     #[test]
@@ -643,10 +666,10 @@ mod tests {
         let t = Time::from_millis(10);
         m.set_activity(t, CoreId(0), Activity::Idle);
         // Still counted for the 60 ms turbo window...
-        assert_eq!(m.windowed_active_on_socket(0, t + 30 * MILLISEC), 1);
+        assert_eq!(m.windowed_active_in_domain(0, t + 30 * MILLISEC), 1);
         // ...but not after it expires.
-        assert_eq!(m.windowed_active_on_socket(0, t + 61 * MILLISEC), 0);
-        assert_eq!(m.active_phys_on_socket(0), 0);
+        assert_eq!(m.windowed_active_in_domain(0, t + 61 * MILLISEC), 0);
+        assert_eq!(m.active_phys_in_domain(0), 0);
     }
 
     #[test]
@@ -663,7 +686,7 @@ mod tests {
             m.set_activity(t, core, Activity::Idle);
         }
         // At the end of the run the windowed count spans all 8 cores.
-        assert_eq!(m.windowed_active_on_socket(0, t), 8);
+        assert_eq!(m.windowed_active_in_domain(0, t), 8);
         // A newly busy core cannot exceed the 5-8 active cap (3.4 GHz).
         m.set_activity(t, CoreId(0), Activity::Busy);
         run_ms(&mut m, 80, 10, 1.0);
@@ -687,7 +710,7 @@ mod tests {
         for c in 0..12 {
             m.set_activity(Time::ZERO, CoreId(c), Activity::Spinning);
         }
-        assert_eq!(m.active_phys_on_socket(0), 12);
+        assert_eq!(m.active_phys_in_domain(0), 12);
         m.set_activity(Time::ZERO, CoreId(12), Activity::Busy);
         run_ms(&mut m, 0, 60, 1.0);
         // 13 active physical cores: cap 2.8 GHz.
@@ -830,6 +853,71 @@ mod tests {
         let mut small = FreqModel::new(&presets::xeon_6130(1), Governor::Schedutil);
         let err = small.load(&m.save()).err().unwrap();
         assert!(err.contains("entries"), "{err}");
+    }
+
+    #[test]
+    fn ccx_scoped_turbo_caps_are_independent() {
+        // synth: 1 socket × 2 CCX × 8 phys, SMT-1, per-CCX ladder
+        // (3.5/3.5/3.2/3.2/3.0…). Loading CCX 0 must not cap CCX 1.
+        let spec = presets::synth(1, 2, 8, 1, nest_topology::NumaKind::Flat);
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        assert_eq!(m.n_turbo_domains(), 2);
+        for c in 0..8 {
+            m.set_activity(Time::ZERO, CoreId(c), Activity::Busy);
+        }
+        // One lone core on CCX 1 (cores 8..16).
+        m.set_activity(Time::ZERO, CoreId(8), Activity::Busy);
+        run_ms(&mut m, 0, 60, 1.0);
+        assert_eq!(m.active_phys_in_domain(0), 8);
+        assert_eq!(m.active_phys_in_domain(1), 1);
+        // CCX 0 is pinned at the all-core ceiling, CCX 1 boosts to fmax.
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.0));
+        assert_eq!(m.freq_of(CoreId(8)), Freq::from_ghz(3.5));
+    }
+
+    #[test]
+    fn smt1_threads_are_their_own_pair() {
+        let spec = presets::synth(1, 2, 8, 1, nest_topology::NumaKind::Flat);
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(3), Activity::Busy);
+        assert_eq!(m.active_phys_in_domain(0), 1);
+        m.set_activity(Time::ZERO, CoreId(3), Activity::Idle);
+        assert_eq!(m.active_phys_in_domain(0), 0);
+    }
+
+    #[test]
+    fn throttle_spans_all_ccxs_of_the_socket() {
+        let spec = presets::synth(1, 2, 4, 1, nest_topology::NumaKind::Flat);
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy); // CCX 0
+        m.set_activity(Time::ZERO, CoreId(4), Activity::Busy); // CCX 1
+        let t = run_ms(&mut m, 0, 50, 1.0);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_ghz(3.5));
+        assert_eq!(m.freq_of(CoreId(4)), Freq::from_ghz(3.5));
+        let changed = m.set_socket_throttle(t, 0, 0.5);
+        assert_eq!(changed, vec![CoreId(0), CoreId(4)]);
+        assert_eq!(m.freq_of(CoreId(0)), Freq::from_khz(1_750_000));
+        assert_eq!(m.freq_of(CoreId(4)), Freq::from_khz(1_750_000));
+    }
+
+    #[test]
+    fn synth_save_load_round_trip() {
+        let spec = presets::synth(2, 2, 4, 1, nest_topology::NumaKind::Ring);
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        m.set_activity(Time::ZERO, CoreId(0), Activity::Busy);
+        m.set_activity(Time::ZERO, CoreId(9), Activity::Spinning);
+        let t = run_ms(&mut m, 0, 13, 0.9);
+        let mut r = FreqModel::new(&spec, Governor::Schedutil);
+        r.load(&m.save()).unwrap();
+        let mut tm = t;
+        for _ in 0..20 {
+            tm += MILLISEC;
+            assert_eq!(
+                m.advance(tm, MILLISEC, &mut |_| 0.8),
+                r.advance(tm, MILLISEC, &mut |_| 0.8)
+            );
+        }
+        assert_eq!(m.energy_joules(tm).to_bits(), r.energy_joules(tm).to_bits());
     }
 
     #[test]

@@ -44,8 +44,8 @@ proptest! {
                 prop_assert!(f <= spec.freq.fmax(), "above fmax: {f}");
             }
             for s in 0..2 {
-                let windowed = m.windowed_active_on_socket(s, now);
-                let instant = m.active_phys_on_socket(s);
+                let windowed = m.windowed_active_in_domain(s, now);
+                let instant = m.active_phys_in_domain(s);
                 prop_assert!(windowed >= instant, "window must include current activity");
                 prop_assert!(windowed <= 16);
             }

@@ -473,7 +473,7 @@ impl Matrix {
             for (si, s) in e.setups.iter().enumerate() {
                 let identity = s.identity();
                 for run in 0..e.runs {
-                    let seed = cell_seed(base_seed, &e.workload, e.machine.name, &identity, run);
+                    let seed = cell_seed(base_seed, &e.workload, &e.machine.name, &identity, run);
                     let cell_id = match &e.scopes {
                         Some(scopes) => {
                             scenario_cell_identity(&scopes[si], &machine_debug, run, seed)
@@ -610,7 +610,7 @@ impl Matrix {
             if summaries.iter().all(|runs| !runs.is_empty()) {
                 comparisons.push(Comparison::from_summaries(
                     &e.workload,
-                    e.machine.name,
+                    &e.machine.name,
                     &e.setups,
                     summaries,
                 ));

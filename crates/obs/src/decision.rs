@@ -68,6 +68,11 @@ pub struct DecisionMetrics {
     pub placements: Vec<u64>,
     /// Run starts on a different core than the task's previous run.
     pub migrations: u64,
+    /// Migrations whose source and destination lie in different CCXs
+    /// (last-level-cache domains).
+    pub cross_ccx_migrations: u64,
+    /// Migrations whose source and destination lie in different sockets.
+    pub cross_socket_migrations: u64,
     /// Per-core idle-spin nanoseconds.
     pub spin_ns: Vec<u64>,
     /// Σ primary-nest-size · dt (ns·cores), for the time-weighted mean.
@@ -82,6 +87,9 @@ pub struct DecisionMetrics {
     pub nest_transitions: u64,
     /// Compaction demotions alone.
     pub nest_compactions: u64,
+    /// Σ (primary-nest members in CCX i) · dt (ns·cores), one entry per
+    /// CCX — the per-domain nest occupancy integral.
+    pub nest_ccx_primary_ns: Vec<u64>,
     /// `(t_ns, primary, reserve)` nest-size samples of the first run that
     /// contributed one, capped at [`TIMELINE_CAP`] points.
     pub occupancy_timeline: Vec<(u64, u32, u32)>,
@@ -116,6 +124,8 @@ impl DecisionMetrics {
         self.latency_sum_ns += other.latency_sum_ns;
         add_assign(&mut self.placements, &other.placements);
         self.migrations += other.migrations;
+        self.cross_ccx_migrations += other.cross_ccx_migrations;
+        self.cross_socket_migrations += other.cross_socket_migrations;
         add_assign(&mut self.spin_ns, &other.spin_ns);
         self.nest_primary_ns += other.nest_primary_ns;
         self.nest_reserve_ns += other.nest_reserve_ns;
@@ -123,6 +133,7 @@ impl DecisionMetrics {
         self.nest_reserve_max = self.nest_reserve_max.max(other.nest_reserve_max);
         self.nest_transitions += other.nest_transitions;
         self.nest_compactions += other.nest_compactions;
+        add_assign(&mut self.nest_ccx_primary_ns, &other.nest_ccx_primary_ns);
         if self.occupancy_timeline.is_empty() && !other.occupancy_timeline.is_empty() {
             self.occupancy_timeline = other.occupancy_timeline.clone();
             self.timeline_truncated = other.timeline_truncated;
@@ -147,6 +158,22 @@ impl DecisionMetrics {
     /// Migrations per simulated second.
     pub fn migrations_per_sec(&self) -> Option<f64> {
         (self.sim_ns > 0).then(|| self.migrations as f64 / self.sim_secs())
+    }
+
+    /// Cross-CCX migrations per simulated second.
+    pub fn cross_ccx_migrations_per_sec(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.cross_ccx_migrations as f64 / self.sim_secs())
+    }
+
+    /// Cross-socket migrations per simulated second.
+    pub fn cross_socket_migrations_per_sec(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.cross_socket_migrations as f64 / self.sim_secs())
+    }
+
+    /// Time-weighted mean primary-nest members in CCX `ccx`.
+    pub fn mean_nest_primary_in_ccx(&self, ccx: usize) -> Option<f64> {
+        let ns = *self.nest_ccx_primary_ns.get(ccx)?;
+        (self.sim_ns > 0).then(|| ns as f64 / self.sim_ns as f64)
     }
 
     /// Mean wakeup→run latency in nanoseconds.
@@ -227,6 +254,11 @@ impl DecisionMetrics {
                 "migrations_per_sec",
                 Json::opt_f64(self.migrations_per_sec()),
             ),
+            ("cross_ccx_migrations", Json::u64(self.cross_ccx_migrations)),
+            (
+                "cross_socket_migrations",
+                Json::u64(self.cross_socket_migrations),
+            ),
             (
                 "nest_fallback_rate",
                 Json::opt_f64(self.nest_fallback_rate()),
@@ -251,6 +283,15 @@ impl DecisionMetrics {
                     ("max_reserve", Json::u64(self.nest_reserve_max as u64)),
                     ("transitions", Json::u64(self.nest_transitions)),
                     ("compactions", Json::u64(self.nest_compactions)),
+                    (
+                        "per_ccx_primary_ns",
+                        Json::Arr(
+                            self.nest_ccx_primary_ns
+                                .iter()
+                                .map(|&n| Json::u64(n))
+                                .collect(),
+                        ),
+                    ),
                     (
                         "occupancy_timeline",
                         Json::Arr(
@@ -283,12 +324,39 @@ pub struct DecisionMetricsProbe {
     cur_primary: u32,
     cur_reserve: u32,
     last_nest_change: Time,
+    /// CCX index of each core; all zeros when the probe has no topology.
+    ccx_of: Vec<u32>,
+    /// Socket index of each core; all zeros when the probe has no topology.
+    socket_of: Vec<u32>,
+    /// Which cores currently sit in the primary nest.
+    nest_member: Vec<bool>,
+    /// Primary-nest member count per CCX, derived from `nest_member`.
+    cur_ccx_primary: Vec<u32>,
 }
 
 impl DecisionMetricsProbe {
     /// Creates a probe for a machine with `n_cores` cores. The handle
-    /// receives the metrics after the run finishes.
+    /// receives the metrics after the run finishes. The whole machine is
+    /// treated as a single domain; use [`DecisionMetricsProbe::with_domains`]
+    /// to classify migrations and occupancy by CCX and socket.
     pub fn new(n_cores: usize) -> (DecisionMetricsProbe, Rc<RefCell<DecisionMetrics>>) {
+        Self::with_domains(vec![0; n_cores], vec![0; n_cores])
+    }
+
+    /// Creates a probe that attributes migrations and nest occupancy to
+    /// scheduling domains. `ccx_of[c]` / `socket_of[c]` give core `c`'s CCX
+    /// and socket index; both slices have one entry per core.
+    pub fn with_domains(
+        ccx_of: Vec<u32>,
+        socket_of: Vec<u32>,
+    ) -> (DecisionMetricsProbe, Rc<RefCell<DecisionMetrics>>) {
+        assert_eq!(
+            ccx_of.len(),
+            socket_of.len(),
+            "domain maps disagree on core count"
+        );
+        let n_cores = ccx_of.len();
+        let n_ccx = ccx_of.iter().map(|&cx| cx as usize + 1).max().unwrap_or(1);
         let out = Rc::new(RefCell::new(DecisionMetrics::default()));
         let probe = DecisionMetricsProbe {
             out: Rc::clone(&out),
@@ -296,6 +364,7 @@ impl DecisionMetricsProbe {
                 latency_counts: vec![0; LATENCY_BUCKET_EDGES_NS.len() + 1],
                 placements: vec![0; PlacementPath::ALL.len()],
                 spin_ns: vec![0; n_cores],
+                nest_ccx_primary_ns: vec![0; n_ccx],
                 ..DecisionMetrics::default()
             },
             woken_at: HashMap::new(),
@@ -304,6 +373,10 @@ impl DecisionMetricsProbe {
             cur_primary: 0,
             cur_reserve: 0,
             last_nest_change: Time::ZERO,
+            ccx_of,
+            socket_of,
+            nest_member: vec![false; n_cores],
+            cur_ccx_primary: vec![0; n_ccx],
         };
         (probe, out)
     }
@@ -313,7 +386,34 @@ impl DecisionMetricsProbe {
         let dt = now.saturating_since(self.last_nest_change);
         self.m.nest_primary_ns += self.cur_primary as u64 * dt;
         self.m.nest_reserve_ns += self.cur_reserve as u64 * dt;
+        for (acc, &members) in self
+            .m
+            .nest_ccx_primary_ns
+            .iter_mut()
+            .zip(&self.cur_ccx_primary)
+        {
+            *acc += members as u64 * dt;
+        }
         self.last_nest_change = now;
+    }
+
+    /// Marks `core` as inside (or outside) the primary nest, keeping the
+    /// per-CCX member counts in step. Call after `advance_nest` so the
+    /// integral is charged at the old occupancy.
+    fn set_nest_member(&mut self, core: CoreId, member: bool) {
+        let Some(slot) = self.nest_member.get_mut(core.index()) else {
+            return;
+        };
+        if *slot == member {
+            return;
+        }
+        *slot = member;
+        let cx = self.ccx_of[core.index()] as usize;
+        if member {
+            self.cur_ccx_primary[cx] += 1;
+        } else {
+            self.cur_ccx_primary[cx] = self.cur_ccx_primary[cx].saturating_sub(1);
+        }
     }
 
     fn on_nest_sizes(&mut self, now: Time, primary: u32, reserve: u32) {
@@ -352,6 +452,13 @@ impl Probe for DecisionMetricsProbe {
                 if let Some(prev) = self.last_core.insert(*task, *core) {
                     if prev != *core {
                         self.m.migrations += 1;
+                        let (p, c) = (prev.index(), core.index());
+                        if self.ccx_of.get(p) != self.ccx_of.get(c) {
+                            self.m.cross_ccx_migrations += 1;
+                        }
+                        if self.socket_of.get(p) != self.socket_of.get(c) {
+                            self.m.cross_socket_migrations += 1;
+                        }
                     }
                 }
             }
@@ -366,17 +473,28 @@ impl Probe for DecisionMetricsProbe {
                 }
             }
             TraceEvent::NestExpand {
-                primary, reserve, ..
-            }
-            | TraceEvent::NestShrink {
-                primary, reserve, ..
+                core,
+                primary,
+                reserve,
             } => {
                 self.on_nest_sizes(now, *primary, *reserve);
+                self.set_nest_member(*core, true);
+            }
+            TraceEvent::NestShrink {
+                core,
+                primary,
+                reserve,
+            } => {
+                self.on_nest_sizes(now, *primary, *reserve);
+                self.set_nest_member(*core, false);
             }
             TraceEvent::NestCompaction {
-                primary, reserve, ..
+                core,
+                primary,
+                reserve,
             } => {
                 self.on_nest_sizes(now, *primary, *reserve);
+                self.set_nest_member(*core, false);
                 self.m.nest_compactions += 1;
             }
             _ => {}
@@ -411,7 +529,20 @@ impl Probe for DecisionMetricsProbe {
                 ("latency_sum_ns", Json::u64(self.m.latency_sum_ns)),
                 ("placements", u64_arr(&self.m.placements)),
                 ("migrations", Json::u64(self.m.migrations)),
+                (
+                    "cross_ccx_migrations",
+                    Json::u64(self.m.cross_ccx_migrations),
+                ),
+                (
+                    "cross_socket_migrations",
+                    Json::u64(self.m.cross_socket_migrations),
+                ),
                 ("spin_ns", u64_arr(&self.m.spin_ns)),
+                ("nest_ccx_primary_ns", u64_arr(&self.m.nest_ccx_primary_ns)),
+                (
+                    "nest_member",
+                    Json::Arr(self.nest_member.iter().map(|&b| Json::Bool(b)).collect()),
+                ),
                 ("nest_primary_ns", Json::u64(self.m.nest_primary_ns)),
                 ("nest_reserve_ns", Json::u64(self.m.nest_reserve_ns)),
                 (
@@ -495,7 +626,29 @@ impl Probe for DecisionMetricsProbe {
         self.m.latency_sum_ns = snap::get_u64(state, "latency_sum_ns")?;
         self.m.placements = load_u64s("placements", self.m.placements.len())?;
         self.m.migrations = snap::get_u64(state, "migrations")?;
+        self.m.cross_ccx_migrations = snap::get_u64(state, "cross_ccx_migrations")?;
+        self.m.cross_socket_migrations = snap::get_u64(state, "cross_socket_migrations")?;
         self.m.spin_ns = load_u64s("spin_ns", self.m.spin_ns.len())?;
+        self.m.nest_ccx_primary_ns =
+            load_u64s("nest_ccx_primary_ns", self.m.nest_ccx_primary_ns.len())?;
+        let members = snap::get_arr(state, "nest_member")?;
+        if members.len() != self.nest_member.len() {
+            return Err(format!(
+                "decision snapshot tracks {} nest cores, the machine has {}",
+                members.len(),
+                self.nest_member.len()
+            ));
+        }
+        self.cur_ccx_primary.fill(0);
+        for (i, entry) in members.iter().enumerate() {
+            let member = entry
+                .as_bool()
+                .ok_or("nest_member entry is not a boolean")?;
+            self.nest_member[i] = member;
+            if member {
+                self.cur_ccx_primary[self.ccx_of[i] as usize] += 1;
+            }
+        }
         self.m.nest_primary_ns = snap::get_u64(state, "nest_primary_ns")?;
         self.m.nest_reserve_ns = snap::get_u64(state, "nest_reserve_ns")?;
         self.m.nest_primary_max = snap::get_u32(state, "nest_primary_max")?;
@@ -671,6 +824,79 @@ mod tests {
         assert_eq!(m.nest_compactions, 1);
         assert_eq!(m.occupancy_timeline, vec![(200, 2, 1), (700, 1, 2)]);
         assert!(!m.timeline_truncated);
+    }
+
+    #[test]
+    fn domains_classify_migrations_and_occupancy() {
+        // 8 cores, two sockets of two CCXs each: CCXs {0,1}, {2,3}, {4,5},
+        // {6,7}; sockets {0..4}, {4..8}.
+        let ccx_of = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let socket_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let (mut p, out) = DecisionMetricsProbe::with_domains(ccx_of, socket_of);
+        let t = Time::from_nanos;
+        let run = |core| TraceEvent::RunStart {
+            task: TaskId(1),
+            core: CoreId(core),
+        };
+        p.on_event(t(0), &run(0));
+        p.on_event(t(100), &run(1)); // same CCX, same socket
+        p.on_event(t(200), &run(2)); // cross CCX, same socket
+        p.on_event(t(300), &run(6)); // cross CCX, cross socket
+                                     // Primary nest: core 2 (CCX 1) from t=400, core 5 (CCX 2) from
+                                     // t=600; core 2 demoted at t=800.
+        p.on_event(
+            t(400),
+            &TraceEvent::NestExpand {
+                core: CoreId(2),
+                primary: 1,
+                reserve: 0,
+            },
+        );
+        p.on_event(
+            t(600),
+            &TraceEvent::NestExpand {
+                core: CoreId(5),
+                primary: 2,
+                reserve: 0,
+            },
+        );
+        p.on_event(
+            t(800),
+            &TraceEvent::NestShrink {
+                core: CoreId(2),
+                primary: 1,
+                reserve: 1,
+            },
+        );
+        p.on_finish(t(1000));
+        let m = out.borrow();
+        assert_eq!(m.migrations, 3);
+        assert_eq!(m.cross_ccx_migrations, 2);
+        assert_eq!(m.cross_socket_migrations, 1);
+        // CCX 1 occupied over [400,800); CCX 2 over [600,1000).
+        assert_eq!(m.nest_ccx_primary_ns, vec![0, 400, 400, 0]);
+        assert_eq!(m.nest_primary_ns, m.nest_ccx_primary_ns.iter().sum::<u64>());
+        assert_eq!(m.mean_nest_primary_in_ccx(1), Some(0.4));
+    }
+
+    #[test]
+    fn single_domain_probe_reports_no_cross_domain_migrations() {
+        let (mut p, out) = probe();
+        let t = Time::from_nanos;
+        for (at, core) in [(0, 0), (100, 3), (200, 1)] {
+            p.on_event(
+                t(at),
+                &TraceEvent::RunStart {
+                    task: TaskId(7),
+                    core: CoreId(core),
+                },
+            );
+        }
+        p.on_finish(t(1000));
+        let m = out.borrow();
+        assert_eq!(m.migrations, 2);
+        assert_eq!(m.cross_ccx_migrations, 0);
+        assert_eq!(m.cross_socket_migrations, 0);
     }
 
     #[test]

@@ -8,9 +8,91 @@
 //! `name` fields feed the per-cell seed derivation, so registry-built
 //! experiments reproduce hand-wired ones bit for bit.
 
-use nest_topology::{presets, MachineSpec};
+use nest_topology::{presets, MachineSpec, NumaKind};
 
 use crate::error::ScenarioError;
+
+/// The grammar hint listed alongside the preset keys in error messages.
+pub const SYNTH_GRAMMAR: &str = "synth:sockets=S,ccx=C,cores=N[,smt=2][,numa=ring]";
+
+/// Parses a `synth:` machine string into its [`MachineSpec`].
+///
+/// The grammar is `synth:sockets=S,ccx=C,cores=N[,smt=1|2][,numa=flat|ring]`
+/// with the three counts mandatory and order-insensitive. The returned
+/// spec's `name` is the canonical identity string (counts in
+/// sockets/ccx/cores order, defaults elided), so every way of writing the
+/// same shape hashes to the same harness seeds.
+fn parse_synth(spec: &str) -> Result<MachineSpec, ScenarioError> {
+    let body = spec
+        .strip_prefix("synth:")
+        .expect("caller checked the prefix");
+    let malformed = |reason: String| ScenarioError::MalformedSpec {
+        spec: spec.to_string(),
+        reason,
+    };
+    let int = |param: &str, value: &str| -> Result<usize, ScenarioError> {
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(ScenarioError::BadValue {
+                param: param.to_string(),
+                value: value.to_string(),
+                expected: "a positive integer",
+            }),
+        }
+    };
+    let (mut sockets, mut ccx, mut cores) = (None, None, None);
+    let mut smt = 1;
+    let mut numa = NumaKind::Flat;
+    for part in body.split(',') {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(malformed(format!("\"{part}\" is not a key=value pair")));
+        };
+        let (k, v) = (k.trim(), v.trim());
+        match k {
+            "sockets" => sockets = Some(int(k, v)?),
+            "ccx" => ccx = Some(int(k, v)?),
+            "cores" => cores = Some(int(k, v)?),
+            "smt" => {
+                smt = int(k, v)?;
+                if smt > 2 {
+                    return Err(ScenarioError::BadValue {
+                        param: "smt".to_string(),
+                        value: v.to_string(),
+                        expected: "1 or 2",
+                    });
+                }
+            }
+            "numa" => {
+                numa = match v {
+                    "flat" => NumaKind::Flat,
+                    "ring" => NumaKind::Ring,
+                    _ => {
+                        return Err(ScenarioError::BadValue {
+                            param: "numa".to_string(),
+                            value: v.to_string(),
+                            expected: "flat or ring",
+                        })
+                    }
+                };
+            }
+            _ => {
+                return Err(ScenarioError::UnknownParam {
+                    kind: "machine",
+                    entry: "synth".to_string(),
+                    param: k.to_string(),
+                    valid: ["sockets", "ccx", "cores", "smt", "numa"]
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect(),
+                })
+            }
+        }
+    }
+    let sockets = sockets.ok_or_else(|| malformed("missing \"sockets=\"".to_string()))?;
+    let ccx = ccx.ok_or_else(|| malformed("missing \"ccx=\"".to_string()))?;
+    let cores = cores.ok_or_else(|| malformed("missing \"cores=\"".to_string()))?;
+    Ok(presets::synth(sockets, ccx, cores, smt, numa))
+}
 
 /// One machine registry entry.
 pub struct MachineEntry {
@@ -91,29 +173,51 @@ pub fn paper_machine_keys() -> [&'static str; 4] {
     ["6130-2", "6130-4", "5218", "e7-8870"]
 }
 
-/// Resolves `name` (key or alias, case-insensitive) to its canonical key.
-pub fn canonical_machine(name: &str) -> Result<&'static str, ScenarioError> {
+/// Resolves `name` (key, alias, or `synth:` shape, case-insensitive) to
+/// its canonical identity string. For presets that is the registry key;
+/// for synthetic machines it is the normalised `synth:` string (counts in
+/// sockets/ccx/cores order, defaults elided).
+pub fn canonical_machine(name: &str) -> Result<String, ScenarioError> {
     let wanted = name.trim().to_ascii_lowercase();
+    if wanted.starts_with("synth:") {
+        return Ok(parse_synth(&wanted)?.name);
+    }
     for e in machine_entries() {
         if e.key == wanted || e.aliases.contains(&wanted.as_str()) {
-            return Ok(e.key);
+            return Ok(e.key.to_string());
         }
     }
     Err(ScenarioError::UnknownEntry {
         kind: "machine",
         name: name.to_string(),
-        valid: machine_keys().iter().map(|k| k.to_string()).collect(),
+        valid: machine_keys()
+            .iter()
+            .map(|k| k.to_string())
+            .chain(std::iter::once(SYNTH_GRAMMAR.to_string()))
+            .collect(),
     })
 }
 
 /// Resolves `name` to its [`MachineSpec`].
 pub fn machine(name: &str) -> Result<MachineSpec, ScenarioError> {
-    let key = canonical_machine(name)?;
-    Ok(machine_entries()
-        .into_iter()
-        .find(|e| e.key == key)
-        .expect("canonical key is registered")
-        .build())
+    let wanted = name.trim().to_ascii_lowercase();
+    if wanted.starts_with("synth:") {
+        return parse_synth(&wanted);
+    }
+    for e in machine_entries() {
+        if e.key == wanted || e.aliases.contains(&wanted.as_str()) {
+            return Ok(e.build());
+        }
+    }
+    Err(ScenarioError::UnknownEntry {
+        kind: "machine",
+        name: name.to_string(),
+        valid: machine_keys()
+            .iter()
+            .map(|k| k.to_string())
+            .chain(std::iter::once(SYNTH_GRAMMAR.to_string()))
+            .collect(),
+    })
 }
 
 #[cfg(test)]
@@ -152,6 +256,59 @@ mod tests {
         for key in machine_keys() {
             assert!(msg.contains(key), "{msg} missing {key}");
         }
+    }
+
+    #[test]
+    fn synth_grammar_builds_and_canonicalises() {
+        let m = machine("synth:sockets=4,ccx=8,cores=8").unwrap();
+        assert_eq!(m.n_cores(), 256);
+        assert_eq!(m.sockets, 4);
+        assert_eq!(m.ccx_per_socket, 8);
+        assert_eq!(m.smt, 1);
+        assert_eq!(m.name, "synth:sockets=4,ccx=8,cores=8");
+        // Parameter order, whitespace, case, and explicit defaults all
+        // normalise to the same identity string (and hence the same seeds).
+        for alias in [
+            "synth:cores=8,sockets=4,ccx=8",
+            " SYNTH:sockets=4 , ccx=8 , cores=8 ",
+            "synth:sockets=4,ccx=8,cores=8,smt=1,numa=flat",
+        ] {
+            assert_eq!(
+                canonical_machine(alias).unwrap(),
+                "synth:sockets=4,ccx=8,cores=8",
+                "{alias}"
+            );
+        }
+    }
+
+    #[test]
+    fn synth_smt_and_numa_knobs_round_trip() {
+        let m = machine("synth:sockets=8,ccx=8,cores=8,smt=2,numa=ring").unwrap();
+        assert_eq!(m.n_cores(), 1024);
+        assert_eq!(m.smt, 2);
+        assert_eq!(m.name, "synth:sockets=8,ccx=8,cores=8,smt=2,numa=ring");
+        assert_eq!(canonical_machine(&m.name).unwrap(), m.name);
+    }
+
+    #[test]
+    fn synth_rejects_bad_shapes() {
+        for (spec, needle) in [
+            ("synth:sockets=4,ccx=8", "missing \"cores=\""),
+            ("synth:sockets=4,ccx=8,cores=0", "positive integer"),
+            ("synth:sockets=4,ccx=8,cores=8,smt=4", "1 or 2"),
+            ("synth:sockets=4,ccx=8,cores=8,numa=mesh", "flat or ring"),
+            ("synth:sockets=4,ccx=8,cores=8,dies=2", "unknown parameter"),
+            ("synth:sockets", "key=value"),
+        ] {
+            let msg = machine(spec).unwrap_err().to_string();
+            assert!(msg.contains(needle), "{spec}: {msg}");
+        }
+    }
+
+    #[test]
+    fn unknown_machine_mentions_synth_grammar() {
+        let msg = machine("i81").unwrap_err().to_string();
+        assert!(msg.contains(SYNTH_GRAMMAR), "{msg}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! that differ from the defaults, in declaration order.
 
 use nest_core::PolicyKind;
-use nest_sched::{CfsParams, NestParams, SmoveParams};
+use nest_sched::{CfsParams, NestDomain, NestParams, SmoveParams};
 use nest_simcore::CoreId;
 
 use crate::error::ScenarioError;
@@ -50,12 +50,13 @@ pub fn policy_entries() -> Vec<(&'static str, String)> {
 }
 
 const CFS_PARAMS: [&str; 3] = ["scan_budget", "die_ticks", "numa_ticks"];
-const NEST_PARAMS: [&str; 11] = [
+const NEST_PARAMS: [&str; 12] = [
     "p_remove",
     "r_max",
     "r_impatient",
     "s_max",
     "anchor",
+    "domain",
     "reserve",
     "compaction",
     "spin",
@@ -96,6 +97,19 @@ fn apply_nest(p: &ParsedSpec) -> Result<NestParams, ScenarioError> {
             "r_impatient" => n.r_impatient = parse_u32(k, v)?,
             "s_max" => n.s_max_ticks = parse_u32(k, v)?,
             "anchor" => n.anchor_core = CoreId(parse_u32(k, v)?),
+            "domain" => {
+                n.domain = match v.trim() {
+                    "machine" => NestDomain::Machine,
+                    "ccx" => NestDomain::Ccx,
+                    _ => {
+                        return Err(ScenarioError::BadValue {
+                            param: "domain".to_string(),
+                            value: v.to_string(),
+                            expected: "machine or ccx",
+                        })
+                    }
+                }
+            }
             "reserve" => n.enable_reserve = parse_bool(k, v)?,
             "compaction" => n.enable_compaction = parse_bool(k, v)?,
             "spin" => n.enable_spin = parse_bool(k, v)?,
@@ -152,6 +166,12 @@ fn canon_nest(n: &NestParams) -> String {
     }
     if n.anchor_core != d.anchor_core {
         parts.push(format!("anchor={}", n.anchor_core.0));
+    }
+    if n.domain != d.domain {
+        parts.push(match n.domain {
+            NestDomain::Machine => "domain=machine".to_string(),
+            NestDomain::Ccx => "domain=ccx".to_string(),
+        });
     }
     if n.enable_reserve != d.enable_reserve {
         parts.push(format!("reserve={}", fmt_bool(n.enable_reserve)));
@@ -327,11 +347,31 @@ mod tests {
     }
 
     #[test]
+    fn domain_knob_selects_the_ccx_local_nest() {
+        let PolicyKind::NestWith(n) = policy("nest:domain=ccx").unwrap() else {
+            panic!("expected NestWith");
+        };
+        assert_eq!(n.domain, NestDomain::Ccx);
+        assert_eq!(
+            canonical_policy("nest:domain=ccx").unwrap(),
+            "nest:domain=ccx"
+        );
+        // `domain=machine` is the default and normalises away.
+        assert!(matches!(
+            policy("nest:domain=machine").unwrap(),
+            PolicyKind::Nest
+        ));
+        let msg = policy("nest:domain=numa").unwrap_err().to_string();
+        assert!(msg.contains("machine or ccx"), "{msg}");
+    }
+
+    #[test]
     fn spec_of_covers_every_variant() {
         for (spec, expect) in [
             ("cfs:die_ticks=8", "cfs:die_ticks=8"),
             ("smove:delay_ns=200000", "smove:delay_ns=200000"),
             ("nest:wwc=off,resflag=off", "nest:wwc=off,resflag=off"),
+            ("nest:domain=ccx,spin=off", "nest:domain=ccx,spin=off"),
         ] {
             assert_eq!(canonical_policy(spec).unwrap(), expect);
         }

@@ -53,7 +53,7 @@ impl Scenario {
         workload: &str,
     ) -> Result<Scenario, ScenarioError> {
         Ok(Scenario {
-            machine: canonical_machine(machine)?.to_string(),
+            machine: canonical_machine(machine)?,
             policy: canonical_policy(policy)?,
             governor: canonical_governor(governor)?.to_string(),
             workload: canonical_workload(workload)?,

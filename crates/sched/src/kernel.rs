@@ -172,6 +172,7 @@ pub struct KernelState {
     /// Per-task state, indexed by task id.
     pub tasks: Vec<TaskSched>,
     socket_cache: Vec<SocketStats>,
+    domain_cache: Vec<SocketStats>,
     socket_cache_at: Option<Time>,
     idle: CpuSet,
     idle_free: CpuSet,
@@ -187,6 +188,7 @@ impl KernelState {
             cores: (0..n).map(|_| CoreK::new(Time::ZERO)).collect(),
             tasks: Vec::new(),
             socket_cache: vec![SocketStats::default(); topo.n_sockets()],
+            domain_cache: vec![SocketStats::default(); topo.n_ccx()],
             socket_cache_at: None,
             idle: CpuSet::full(n),
             idle_free: CpuSet::full(n),
@@ -333,20 +335,24 @@ impl KernelState {
                 ])
             })
             .collect();
-        let sockets = self
-            .socket_cache
-            .iter()
-            .map(|s| {
-                json::obj(vec![
-                    ("idle", Json::usize(s.idle)),
-                    ("load", snap::f64_bits(s.load)),
-                ])
-            })
-            .collect();
+        let stats_arr = |cache: &[SocketStats]| -> Json {
+            Json::Arr(
+                cache
+                    .iter()
+                    .map(|s| {
+                        json::obj(vec![
+                            ("idle", Json::usize(s.idle)),
+                            ("load", snap::f64_bits(s.load)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
         json::obj(vec![
             ("cores", Json::Arr(cores)),
             ("tasks", Json::Arr(tasks)),
-            ("socket_cache", Json::Arr(sockets)),
+            ("socket_cache", stats_arr(&self.socket_cache)),
+            ("domain_cache", stats_arr(&self.domain_cache)),
             ("socket_cache_at", snap::opt_time_json(self.socket_cache_at)),
             (
                 "online",
@@ -429,6 +435,14 @@ impl KernelState {
             return Err("snapshot socket count differs from machine".to_string());
         }
         for (s, j) in self.socket_cache.iter_mut().zip(sockets) {
+            s.idle = snap::get_usize(j, "idle")?;
+            s.load = snap::get_f64_bits(j, "load")?;
+        }
+        let domains = snap::get_arr(state, "domain_cache")?;
+        if domains.len() != self.domain_cache.len() {
+            return Err("snapshot CCX count differs from machine".to_string());
+        }
+        for (s, j) in self.domain_cache.iter_mut().zip(domains) {
             s.idle = snap::get_usize(j, "idle")?;
             s.load = snap::get_f64_bits(j, "load")?;
         }
@@ -625,6 +639,7 @@ impl KernelState {
         if !fresh {
             let _span = profile::span(profile::Subsystem::SocketStats);
             let topo = Rc::clone(&self.topo);
+            self.domain_cache.fill(SocketStats::default());
             for s in topo.sockets() {
                 let span = topo.socket_span(s);
                 let mut idle = 0;
@@ -633,16 +648,35 @@ impl KernelState {
                     if !self.online.contains(core) {
                         continue;
                     }
+                    // The per-CCX accumulators ride along in the same pass;
+                    // the socket running sum keeps its exact ascending-core
+                    // order so existing f64 results stay bit-identical.
+                    let core_load = self.core_load(now, core);
+                    let ccx = &mut self.domain_cache[topo.ccx_of(core).index()];
                     if self.cores[core.index()].is_idle() {
                         idle += 1;
+                        ccx.idle += 1;
                     }
-                    load += self.core_load(now, core);
+                    load += core_load;
+                    ccx.load += core_load;
                 }
                 self.socket_cache[s.index()] = SocketStats { idle, load };
             }
             self.socket_cache_at = Some(now);
         }
         &self.socket_cache
+    }
+
+    /// Returns per-CCX (last-level-cache domain) statistics, refreshed in
+    /// the same pass and with the same staleness as
+    /// [`KernelState::socket_stats`]. Indexed by [`nest_simcore::CcxId`].
+    ///
+    /// On degenerate trees (one CCX per socket — every Table 2 machine)
+    /// this mirrors the socket cache exactly: both sums visit the same
+    /// cores in the same order.
+    pub fn domain_stats(&mut self, now: Time) -> &[SocketStats] {
+        self.socket_stats(now);
+        &self.domain_cache
     }
 
     /// Forces the socket-stats cache to refresh on next read; tests use
@@ -1000,6 +1034,54 @@ mod tests {
         k.requeue(t1, prev, core);
         assert_indexes_consistent(&k);
         assert!(k.queued_cores().contains(core));
+    }
+
+    #[test]
+    fn domain_stats_refine_socket_stats() {
+        use nest_topology::NumaKind;
+        // 2 sockets × 2 CCX × 4 phys, SMT-1: CCXs are cores 0-3, 4-7,
+        // 8-11, 12-15.
+        let mut k = KernelState::new(Rc::new(Topology::new(presets::synth(
+            2,
+            2,
+            4,
+            1,
+            NumaKind::Flat,
+        ))));
+        let t0 = Time::ZERO;
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, CoreId(5));
+        k.pick_next(t0, CoreId(5));
+        k.invalidate_socket_stats();
+        let domains = k.domain_stats(t0).to_vec();
+        assert_eq!(domains.len(), 4);
+        assert_eq!(domains[0].idle, 4);
+        assert_eq!(domains[1].idle, 3, "core 5 is busy in CCX 1");
+        assert_eq!(domains[2].idle, 4);
+        assert_eq!(domains[3].idle, 4);
+        // Per-socket counts are the sum of their CCXs.
+        let sockets = k.socket_stats(t0).to_vec();
+        assert_eq!(sockets[0].idle, domains[0].idle + domains[1].idle);
+        assert_eq!(sockets[1].idle, domains[2].idle + domains[3].idle);
+        assert_eq!(
+            sockets[0].load.to_bits(),
+            (domains[0].load + domains[1].load).to_bits()
+        );
+    }
+
+    #[test]
+    fn domain_stats_mirror_sockets_on_degenerate_trees() {
+        let mut k = kernel();
+        let t0 = Time::ZERO;
+        let a = new_task(&mut k, t0);
+        k.enqueue(t0, a, CoreId(2));
+        let sockets = k.socket_stats(t0).to_vec();
+        let domains = k.domain_stats(t0).to_vec();
+        assert_eq!(sockets.len(), domains.len());
+        for (s, d) in sockets.iter().zip(&domains) {
+            assert_eq!(s.idle, d.idle);
+            assert_eq!(s.load.to_bits(), d.load.to_bits());
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod smove;
 
 pub use cfs::{Cfs, CfsParams};
 pub use kernel::KernelState;
-pub use nest::{Nest, NestParams};
+pub use nest::{Nest, NestDomain, NestParams};
 pub use pelt::Pelt;
 pub use policy::{IdleAction, IdleReason, Placement, SchedEnv, SchedPolicy, SmoveArm};
 pub use smove::{Smove, SmoveParams};

@@ -21,12 +21,30 @@
 //! disable it.
 
 use nest_simcore::json::{self, Json};
-use nest_simcore::{profile, snap, CoreId, PlacementPath, SocketId, TaskId, TraceEvent, TICK_NS};
+use nest_simcore::{profile, snap, CcxId, CoreId, PlacementPath, TaskId, TraceEvent, TICK_NS};
 use nest_topology::{CpuSet, Topology};
 
 use crate::cfs::{self, idle_ok, CfsParams};
 use crate::kernel::KernelState;
 use crate::policy::{IdleAction, IdleReason, Placement, SchedEnv, SchedPolicy};
+
+/// The domain a nest is local to.
+///
+/// The paper's Nest is machine-global: one primary and one reserve nest
+/// whose searches range over the whole machine, nearest die first. On
+/// multi-CCX machines that lets a nest straddle last-level caches, so the
+/// domain-local variant confines patient tasks to the nest members of
+/// their own CCX; only *impatient* tasks (previous core busy more than
+/// `R_impatient` consecutive wakeups) overflow, searching the other CCXs
+/// nearest-by-NUMA-distance first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NestDomain {
+    /// One machine-wide nest (the paper's behavior).
+    #[default]
+    Machine,
+    /// Per-CCX nests with impatience-driven overflow to nearby CCXs.
+    Ccx,
+}
 
 /// Nest tunables (paper Table 1) and ablation feature flags.
 #[derive(Clone, Debug)]
@@ -44,6 +62,9 @@ pub struct NestParams {
     /// Core from which reserve-nest searches start (the core where the
     /// Nest "system call" ran, §3.1); fixed to reduce dispersal.
     pub anchor_core: CoreId,
+    /// The domain nests are local to ([`NestDomain::Machine`] is the
+    /// paper's machine-global behavior).
+    pub domain: NestDomain,
     /// Ablation: use the reserve nest at all.
     pub enable_reserve: bool,
     /// Ablation: apply nest compaction.
@@ -66,6 +87,7 @@ impl Default for NestParams {
             r_impatient: 2,
             s_max_ticks: 2,
             anchor_core: CoreId(0),
+            domain: NestDomain::Machine,
             enable_reserve: true,
             enable_compaction: true,
             enable_spin: true,
@@ -77,38 +99,40 @@ impl Default for NestParams {
 }
 
 /// One nest (primary or reserve): the full membership set plus a
-/// per-socket decomposition maintained incrementally on every insert and
-/// remove. Searches iterate exactly the nest members of one die instead
-/// of filtering the whole die span core by core (DESIGN.md §4.2).
+/// per-CCX decomposition maintained incrementally on every insert and
+/// remove. Searches iterate exactly the nest members of one LLC domain
+/// instead of filtering the whole span core by core (DESIGN.md §4.2). On
+/// the Table 2 machines the CCX *is* the socket, so the decomposition is
+/// exactly the per-socket one the code used to keep.
 ///
-/// The per-socket sets are allocated lazily on first mutation (the
+/// The per-domain sets are allocated lazily on first mutation (the
 /// topology is not available at construction time); until then every
-/// socket reads as empty, matching the empty `all` set.
+/// domain reads as empty, matching the empty `all` set.
 #[derive(Clone, Debug)]
 struct NestSet {
     all: CpuSet,
-    per_socket: Vec<CpuSet>,
+    per_domain: Vec<CpuSet>,
 }
 
 impl NestSet {
     fn new(n_cores: usize) -> NestSet {
         NestSet {
             all: CpuSet::new(n_cores),
-            per_socket: Vec::new(),
+            per_domain: Vec::new(),
         }
     }
 
-    fn ensure_sockets(&mut self, topo: &Topology) {
-        if self.per_socket.is_empty() {
-            self.per_socket = vec![CpuSet::new(self.all.capacity()); topo.n_sockets()];
+    fn ensure_domains(&mut self, topo: &Topology) {
+        if self.per_domain.is_empty() {
+            self.per_domain = vec![CpuSet::new(self.all.capacity()); topo.n_ccx()];
         }
     }
 
     fn insert(&mut self, topo: &Topology, core: CoreId) -> bool {
-        self.ensure_sockets(topo);
+        self.ensure_domains(topo);
         let added = self.all.insert(core);
         if added {
-            self.per_socket[topo.socket_of(core).index()].insert(core);
+            self.per_domain[topo.ccx_of(core).index()].insert(core);
         }
         added
     }
@@ -116,7 +140,7 @@ impl NestSet {
     fn remove(&mut self, topo: &Topology, core: CoreId) -> bool {
         let removed = self.all.remove(core);
         if removed {
-            self.per_socket[topo.socket_of(core).index()].remove(core);
+            self.per_domain[topo.ccx_of(core).index()].remove(core);
         }
         removed
     }
@@ -129,10 +153,10 @@ impl NestSet {
         self.all.len()
     }
 
-    /// The members on `sock` (`None` while no mutation has happened yet,
-    /// i.e. the nest is empty).
-    fn socket_members(&self, sock: SocketId) -> Option<&CpuSet> {
-        self.per_socket.get(sock.index())
+    /// The members in CCX `cx` (`None` while no mutation has happened
+    /// yet, i.e. the nest is empty).
+    fn domain_members(&self, cx: CcxId) -> Option<&CpuSet> {
+        self.per_domain.get(cx.index())
     }
 }
 
@@ -247,25 +271,36 @@ impl Nest {
 
     /// Searches the primary nest, applying lazy compaction.
     ///
-    /// Search order: same die as `ref_core` first (wrapping from
-    /// `ref_core`), then the other dies nearest-first — iterating the
-    /// per-socket membership sets directly. Compaction demotes cores
-    /// mid-search, so the order is snapshotted into a reusable buffer
-    /// (the one allocation the old clone-the-nest scan also paid, but
-    /// amortized across calls).
+    /// Search order: same LLC domain as `ref_core` first (wrapping from
+    /// `ref_core`), then the other domains nearest-by-distance — iterating
+    /// the per-CCX membership sets directly. With `confine`, only that
+    /// CCX's members are considered (the domain-local variant's patient
+    /// path). Compaction demotes cores mid-search, so the order is
+    /// snapshotted into a reusable buffer (the one allocation the old
+    /// clone-the-nest scan also paid, but amortized across calls).
     fn search_primary(
         &mut self,
         k: &KernelState,
         env: &SchedEnv<'_>,
         ref_core: CoreId,
+        confine: Option<CcxId>,
     ) -> Option<CoreId> {
         let _prof = profile::span(profile::Subsystem::NestPrimaryScan);
         let respect = self.respect_pending();
         let mut order = std::mem::take(&mut self.scratch_order);
         order.clear();
-        for sock in env.topo.sockets_nearest_first(ref_core) {
-            if let Some(members) = self.primary.socket_members(sock) {
-                order.extend(members.iter_wrapping_from(ref_core));
+        match confine {
+            Some(cx) => {
+                if let Some(members) = self.primary.domain_members(cx) {
+                    order.extend(members.iter_wrapping_from(ref_core));
+                }
+            }
+            None => {
+                for cx in env.topo.ccxs_nearest_first(ref_core) {
+                    if let Some(members) = self.primary.domain_members(cx) {
+                        order.extend(members.iter_wrapping_from(ref_core));
+                    }
+                }
             }
         }
         let mut found = None;
@@ -285,13 +320,15 @@ impl Nest {
     }
 
     /// Searches the reserve nest, starting from the fixed anchor. The
-    /// search only reads the nest, so it iterates the per-socket sets
-    /// in place — no snapshot, no allocation.
+    /// search only reads the nest, so it iterates the per-CCX sets in
+    /// place — no snapshot, no allocation. With `confine`, only that
+    /// CCX's members are considered.
     fn search_reserve(
         &mut self,
         k: &KernelState,
         env: &SchedEnv<'_>,
         ref_core: CoreId,
+        confine: Option<CcxId>,
     ) -> Option<CoreId> {
         if !self.params.enable_reserve {
             return None;
@@ -299,17 +336,19 @@ impl Nest {
         let _prof = profile::span(profile::Subsystem::NestReserveScan);
         let respect = self.respect_pending();
         let anchor = self.params.anchor_core;
-        for sock in env.topo.sockets_nearest_first(ref_core) {
-            if let Some(members) = self.reserve.socket_members(sock) {
-                if let Some(core) = members
-                    .iter_wrapping_from(anchor)
-                    .find(|&core| idle_ok(k, core, respect))
-                {
-                    return Some(core);
-                }
-            }
+        let hit = |members: &CpuSet| {
+            members
+                .iter_wrapping_from(anchor)
+                .find(|&core| idle_ok(k, core, respect))
+        };
+        match confine {
+            Some(cx) => self.reserve.domain_members(cx).and_then(hit),
+            None => env
+                .topo
+                .ccxs_nearest_first(ref_core)
+                .into_iter()
+                .find_map(|cx| self.reserve.domain_members(cx).and_then(hit)),
         }
-        None
     }
 
     /// The shared selection path for forks and wakeups.
@@ -323,6 +362,16 @@ impl Nest {
     ) -> Placement {
         let is_fork = waker_core.is_none();
         let impatient = !is_fork && k.task(task).impatience > self.params.r_impatient;
+        // Domain-local nests: a patient task only sees the nest members
+        // of its own CCX; impatience lifts the confinement (overflow to
+        // the nearest domains by distance). Machine-global mode never
+        // confines, which on the degenerate Table 2 trees makes both
+        // modes — and the old per-socket code — coincide.
+        let confine = match self.params.domain {
+            NestDomain::Machine => None,
+            NestDomain::Ccx if impatient => None,
+            NestDomain::Ccx => Some(env.topo.ccx_of(ref_core)),
+        };
 
         if !impatient {
             // First choice: the attached core, which may even be
@@ -334,12 +383,12 @@ impl Nest {
                     }
                 }
             }
-            if let Some(core) = self.search_primary(k, env, ref_core) {
+            if let Some(core) = self.search_primary(k, env, ref_core, confine) {
                 return Placement::simple(core, PlacementPath::NestPrimary);
             }
         }
 
-        if let Some(core) = self.search_reserve(k, env, ref_core) {
+        if let Some(core) = self.search_reserve(k, env, ref_core, confine) {
             self.promote(env.topo, core);
             if impatient {
                 k.task_mut(task).impatience = 0;
@@ -348,7 +397,9 @@ impl Nest {
         }
 
         // Fall back to CFS (with Nest's wakeup work-conservation
-        // extension), still honoring the reservation flag.
+        // extension), still honoring the reservation flag. A confined
+        // (patient, domain-local) wakeup also forgoes work conservation,
+        // keeping the scan inside the target LLC domain.
         let core = match waker_core {
             None => cfs::select_fork(k, env, ref_core, self.respect_pending()),
             Some(waker) => cfs::select_wakeup(
@@ -357,7 +408,7 @@ impl Nest {
                 task,
                 waker,
                 &self.cfs_params,
-                self.params.enable_wakeup_work_conservation,
+                self.params.enable_wakeup_work_conservation && confine.is_none(),
                 self.respect_pending(),
             ),
         };
@@ -536,7 +587,10 @@ mod tests {
 
     impl Fixture {
         fn new() -> Fixture {
-            let spec = presets::xeon_6130(2);
+            Fixture::with_spec(presets::xeon_6130(2))
+        }
+
+        fn with_spec(spec: nest_topology::MachineSpec) -> Fixture {
             let topo = Rc::new(Topology::new(spec.clone()));
             Fixture {
                 k: KernelState::new(Rc::clone(&topo)),
@@ -571,31 +625,30 @@ mod tests {
         };
     }
 
-    /// Seeded regression for the incremental per-socket nest sets and
-    /// the searches built on them: a pseudo-random promote/demote and
-    /// occupancy trace on the 64-core machine, checked at every step
-    /// against a naive model (flat membership sets, searches as filter
-    /// scans over raw die spans — the pre-index shape of the code).
-    /// Compaction is disabled so the searches are read-only and the two
-    /// implementations can be compared on identical state.
-    #[test]
-    fn nest_sets_and_searches_match_naive_reference_on_seeded_trace() {
+    /// Seeded regression for the incremental per-CCX nest sets and the
+    /// searches built on them: a pseudo-random promote/demote and
+    /// occupancy trace, checked at every step against a naive model
+    /// (flat membership sets, searches as filter scans over raw domain
+    /// spans — the pre-index shape of the code). Compaction is disabled
+    /// so the searches are read-only and the two implementations can be
+    /// compared on identical state.
+    fn run_nest_vs_naive_trace(mut f: Fixture, seed: u64, steps: u64) {
         use std::collections::BTreeSet;
 
-        let mut f = Fixture::new();
+        let last = f.topo.n_cores() as u64 - 1;
         let params = NestParams {
             enable_compaction: false,
             ..NestParams::default()
         };
-        let mut nest = Nest::with_params(64, params);
+        let mut nest = Nest::with_params(f.topo.n_cores(), params);
         let mut primary_model: BTreeSet<u32> = BTreeSet::new();
         let mut reserve_model: BTreeSet<u32> = BTreeSet::new();
-        let mut rng = SimRng::new(0x4E57_7E57);
+        let mut rng = SimRng::new(seed);
         let mut busy: Vec<CoreId> = Vec::new();
         let mut now = Time::ZERO;
-        for step in 0..600u64 {
+        for step in 0..steps {
             now += rng.uniform_u64(10_000, 2_000_000);
-            let core = CoreId(rng.uniform_u64(0, 63) as u32);
+            let core = CoreId(rng.uniform_u64(0, last) as u32);
             match rng.uniform_u64(0, 99) {
                 // Promote: into primary, out of reserve.
                 0..=29 => {
@@ -634,69 +687,89 @@ mod tests {
             let got: BTreeSet<u32> = nest.reserve().iter().map(|c| c.0).collect();
             assert_eq!(got, reserve_model, "reserve diverged at step {step}");
             for (set, name) in [(&nest.primary, "primary"), (&nest.reserve, "reserve")] {
-                for sock in f.topo.sockets() {
-                    if let Some(members) = set.socket_members(sock) {
+                for cx in f.topo.ccxs() {
+                    if let Some(members) = set.domain_members(cx) {
                         for c in members.iter() {
                             assert_eq!(
-                                f.topo.socket_of(c),
-                                sock,
-                                "{name} socket set holds foreign core at step {step}"
+                                f.topo.ccx_of(c),
+                                cx,
+                                "{name} CCX set holds foreign core at step {step}"
                             );
                             assert!(set.all.contains(c));
                         }
                     }
                 }
-                let per_socket_total: usize = f
+                let per_domain_total: usize = f
                     .topo
-                    .sockets()
-                    .filter_map(|s| set.socket_members(s))
+                    .ccxs()
+                    .filter_map(|cx| set.domain_members(cx))
                     .map(|m| m.len())
                     .sum();
                 if !set.all.is_empty() {
-                    assert_eq!(per_socket_total, set.all.len());
+                    assert_eq!(per_domain_total, set.all.len());
                 }
             }
 
-            // Searches: per-socket iteration must pick the same core as a
-            // filter scan over each raw die span.
-            let ref_core = CoreId(rng.uniform_u64(0, 63) as u32);
+            // Searches: per-CCX iteration must pick the same core as a
+            // filter scan over each raw domain span, for the unconfined
+            // search and the domain-local confined one.
+            let ref_core = CoreId(rng.uniform_u64(0, last) as u32);
             let respect = nest.respect_pending();
             let anchor = nest.params().anchor_core;
             let env = env!(f, now);
-            let naive_primary = f
-                .topo
-                .sockets_nearest_first(ref_core)
-                .into_iter()
-                .flat_map(|s| {
+            let home = f.topo.ccx_of(ref_core);
+            for confine in [None, Some(home)] {
+                let domains: Vec<_> = match confine {
+                    Some(cx) => vec![cx],
+                    None => f.topo.ccxs_nearest_first(ref_core),
+                };
+                let naive_primary = domains
+                    .iter()
+                    .flat_map(|&cx| {
+                        f.topo
+                            .ccx_span(cx)
+                            .iter_wrapping_from(ref_core)
+                            .filter(|&c| nest.primary().contains(c))
+                            .collect::<Vec<_>>()
+                    })
+                    .find(|&c| idle_ok(&f.k, c, respect));
+                let naive_reserve = domains.iter().find_map(|&cx| {
                     f.topo
-                        .socket_span(s)
-                        .iter_wrapping_from(ref_core)
-                        .filter(|&c| nest.primary().contains(c))
-                        .collect::<Vec<_>>()
-                })
-                .find(|&c| idle_ok(&f.k, c, respect));
-            let naive_reserve = f
-                .topo
-                .sockets_nearest_first(ref_core)
-                .into_iter()
-                .find_map(|s| {
-                    f.topo
-                        .socket_span(s)
+                        .ccx_span(cx)
                         .iter_wrapping_from(anchor)
                         .filter(|&c| nest.reserve().contains(c))
                         .find(|&c| idle_ok(&f.k, c, respect))
                 });
-            assert_eq!(
-                nest.search_primary(&f.k, &env, ref_core),
-                naive_primary,
-                "search_primary diverged at step {step}"
-            );
-            assert_eq!(
-                nest.search_reserve(&f.k, &env, ref_core),
-                naive_reserve,
-                "search_reserve diverged at step {step}"
-            );
+                assert_eq!(
+                    nest.search_primary(&f.k, &env, ref_core, confine),
+                    naive_primary,
+                    "search_primary (confine {confine:?}) diverged at step {step}"
+                );
+                assert_eq!(
+                    nest.search_reserve(&f.k, &env, ref_core, confine),
+                    naive_reserve,
+                    "search_reserve (confine {confine:?}) diverged at step {step}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn nest_sets_and_searches_match_naive_reference_on_seeded_trace() {
+        let f = Fixture::new();
+        assert_eq!(f.topo.n_cores(), 64);
+        run_nest_vs_naive_trace(f, 0x4E57_7E57, 600);
+    }
+
+    /// Satellite for the hierarchical-domain refactor: the same oracle on
+    /// a 256-core multi-CCX synthetic machine where the per-CCX nest
+    /// decomposition genuinely refines sockets.
+    #[test]
+    fn nest_sets_and_searches_match_naive_reference_on_multi_ccx_machine() {
+        use nest_topology::NumaKind;
+        let f = Fixture::with_spec(presets::synth(4, 4, 8, 2, NumaKind::Ring));
+        assert_eq!(f.topo.n_cores(), 256);
+        run_nest_vs_naive_trace(f, 0x4E57_256C, 250);
     }
 
     #[test]
@@ -901,6 +974,85 @@ mod tests {
         }
         assert!(grew, "primary nest never grew for the impatient task");
         assert!(nest.primary().len() >= 2);
+    }
+
+    #[test]
+    fn domain_local_patient_task_stays_in_home_ccx() {
+        use nest_topology::NumaKind;
+        // 1 socket × 2 CCX × 4 phys, SMT-1: CCX 0 = cores 0-3, CCX 1 =
+        // cores 4-7.
+        let mut f = Fixture::with_spec(presets::synth(1, 2, 4, 1, NumaKind::Flat));
+        let params = NestParams {
+            domain: NestDomain::Ccx,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(8, params);
+        // The only primary-nest member is idle — but in the other CCX.
+        nest.promote(&f.topo, CoreId(5));
+        let now = Time::ZERO;
+        f.k.cores[5].last_used = now;
+        f.occupy(now, CoreId(1));
+        let task = f.spawn(now);
+        f.k.task_mut(task).prev_core = Some(CoreId(1));
+        let mut e = env!(f, now);
+        let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(0));
+        assert_ne!(p.core, CoreId(5), "patient task must not cross the CCX");
+        assert_eq!(
+            e.topo.ccx_of(p.core).index(),
+            0,
+            "confined fallback stays in the home CCX"
+        );
+        // The machine-global default would have taken the warm core.
+        let mut global = Nest::with_params(8, NestParams::default());
+        global.promote(&f.topo, CoreId(5));
+        let task2 = f.spawn(now);
+        f.k.task_mut(task2).prev_core = Some(CoreId(1));
+        let mut e = env!(f, now);
+        let p = global.select_core_wakeup(&mut f.k, &mut e, task2, CoreId(0));
+        assert_eq!(p.core, CoreId(5));
+    }
+
+    #[test]
+    fn domain_local_impatience_overflows_to_nearest_ccx() {
+        use nest_topology::NumaKind;
+        // 2 sockets × 2 CCX × 2 phys, SMT-1: CCXs are {0,1} {2,3} {4,5}
+        // {6,7}; CCX 1 shares task's socket, CCX 2/3 are remote.
+        let mut f = Fixture::with_spec(presets::synth(2, 2, 2, 1, NumaKind::Flat));
+        let params = NestParams {
+            domain: NestDomain::Ccx,
+            ..NestParams::default()
+        };
+        let mut nest = Nest::with_params(8, params);
+        nest.promote(&f.topo, CoreId(2)); // same socket, next CCX
+        nest.promote(&f.topo, CoreId(4)); // remote socket
+        let now = Time::ZERO;
+        f.k.cores[2].last_used = now;
+        f.k.cores[4].last_used = now;
+        // The home CCX is fully busy, so every wake finds prev occupied.
+        f.occupy(now, CoreId(0));
+        f.occupy(now, CoreId(1));
+        let task = f.spawn(now);
+        f.k.task_mut(task).prev_core = Some(CoreId(0));
+        let mut placed = None;
+        for _ in 0..4 {
+            let mut e = env!(f, now);
+            let p = nest.select_core_wakeup(&mut f.k, &mut e, task, CoreId(0));
+            if e.topo.ccx_of(p.core).index() != 0 {
+                placed = Some(p);
+                break;
+            }
+        }
+        let p = placed.expect("impatience never lifted the confinement");
+        assert_eq!(
+            f.topo.ccx_of(p.core).index(),
+            1,
+            "overflow must reach the nearest CCX, not the remote socket"
+        );
+        assert_eq!(f.k.task(task).impatience, 0, "impatience resets");
+        assert!(
+            nest.primary().contains(p.core),
+            "the overflow core joins the primary nest"
+        );
     }
 
     #[test]

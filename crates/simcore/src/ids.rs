@@ -68,6 +68,16 @@ define_id! {
 }
 
 define_id! {
+    /// A CCX / last-level-cache domain: the cores of one socket that share
+    /// an LLC slice. On the paper's Intel machines every socket is a single
+    /// CCX (the die coincides with the LLC domain), so CCX ids coincide
+    /// with socket ids there; synthetic AMD-like machines split a socket
+    /// into several CCXs. CCXs are numbered socket-major, so CCXs of the
+    /// same socket have adjacent numbers.
+    CcxId
+}
+
+define_id! {
     /// A synchronization barrier used by HPC-style workloads.
     BarrierId
 }

@@ -29,7 +29,7 @@ pub mod time;
 pub mod units;
 
 pub use events::{EventKey, EventQueue};
-pub use ids::{BarrierId, ChannelId, CoreId, SocketId, TaskId};
+pub use ids::{BarrierId, CcxId, ChannelId, CoreId, SocketId, TaskId};
 pub use json::Json;
 pub use probe::{PlacementPath, Probe, StopReason, TraceEvent};
 pub use rng::SimRng;

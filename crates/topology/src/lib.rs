@@ -2,14 +2,18 @@
 
 //! Multicore machine topology.
 //!
-//! This crate models the machines of the Nest paper (Table 2): CPU sets
-//! ([`CpuSet`]), socket-major core numbering with SMT pairing, die/socket
-//! spans, and presets for every evaluated machine including the Table 3
-//! turbo-frequency ladders.
+//! This crate models the machines of the Nest paper (Table 2) and the
+//! synthetic many-core machines that extend them: CPU sets ([`CpuSet`]),
+//! socket-major core numbering with SMT pairing, the scheduling-domain
+//! hierarchy ([`DomainTree`]: core → CCX → socket → machine, with a NUMA
+//! distance matrix), and presets for every evaluated machine including
+//! the Table 3 turbo-frequency ladders.
 
 pub mod cpuset;
+pub mod domain;
 pub mod machine;
 pub mod presets;
 
 pub use cpuset::CpuSet;
-pub use machine::{FreqSpec, MachineSpec, PowerSpec, Topology};
+pub use domain::{DomainLevel, DomainTree, LOCAL_DISTANCE, REMOTE_DISTANCE};
+pub use machine::{FreqSpec, MachineSpec, NumaKind, PowerSpec, Topology, TurboDomain};

@@ -1,21 +1,50 @@
 //! Machine description and computed topology.
 //!
-//! [`MachineSpec`] is pure data describing one of the paper's test machines
-//! (Table 2): socket/core/SMT counts plus the frequency behaviour
-//! ([`FreqSpec`], Table 3) and a power model ([`PowerSpec`]).
-//! [`Topology`] derives the structures schedulers need: core numbering,
-//! hyperthread pairing, socket (die) spans, and the SMT/DIE/NUMA
-//! scheduling-domain views.
+//! [`MachineSpec`] is pure data describing a machine: socket/CCX/core/SMT
+//! counts plus the frequency behaviour ([`FreqSpec`], Table 3) and a power
+//! model ([`PowerSpec`]). The paper's test machines (Table 2) and the
+//! synthetic many-core machines share this one description. [`Topology`]
+//! derives the structures schedulers need: core numbering, hyperthread
+//! pairing, and the scheduling-domain hierarchy ([`DomainTree`]) whose
+//! socket level the pre-existing socket API is a view over.
 //!
 //! Core numbering is socket-major, matching the renumbering the paper
 //! applies to its traces ("cores on the same socket have adjacent
 //! numbers"): on a machine with `P` physical cores per socket, socket `s`
-//! owns cores `s·2P .. (s+1)·2P`, where local index `p < P` is the first
-//! hardware thread of physical core `p` and `p + P` is its hyperthread.
+//! owns cores `s·smt·P .. (s+1)·smt·P`, where local index `p < P` is the
+//! first hardware thread of physical core `p` and (with SMT) `p + P` is
+//! its hyperthread. CCXs partition the physical cores of a socket into
+//! equal contiguous runs, so CCX numbering is socket-major too.
 
-use nest_simcore::{CoreId, Freq, SocketId};
+use nest_simcore::{CcxId, CoreId, Freq, SocketId};
 
 use crate::cpuset::CpuSet;
+use crate::domain::DomainTree;
+
+/// The domain over which the hardware counts active physical cores when
+/// choosing a turbo ceiling.
+///
+/// Intel's ladders (Table 3) apply per socket; AMD-like parts boost per
+/// CCX, which is what makes nest locality pay on synthetic multi-CCX
+/// machines: concentrating work keeps sibling CCXs' windowed activity at
+/// zero and their ladders uncapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TurboDomain {
+    /// Active cores are counted over the whole socket (Intel-like).
+    Socket,
+    /// Active cores are counted per CCX (AMD-like).
+    Ccx,
+}
+
+/// The NUMA layout of a machine's sockets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NumaKind {
+    /// All remote sockets are equidistant (the paper's machines).
+    Flat,
+    /// Sockets form a ring; distance grows with hop count. Used by the
+    /// synthetic large machines to exercise distance-ordered search.
+    Ring,
+}
 
 /// Frequency behaviour of a machine (paper Table 3 plus ramp dynamics).
 #[derive(Clone, Debug)]
@@ -24,10 +53,12 @@ pub struct FreqSpec {
     pub fmin: Freq,
     /// Nominal (base) frequency; the `performance` governor's floor.
     pub fnominal: Freq,
-    /// Turbo ceiling by number of active physical cores on the socket:
-    /// `turbo[0]` applies with 1 active core, `turbo[1]` with 2, …; the
-    /// last entry extends to all higher counts.
+    /// Turbo ceiling by number of active physical cores on the turbo
+    /// domain: `turbo[0]` applies with 1 active core, `turbo[1]` with 2,
+    /// …; the last entry extends to all higher counts.
     pub turbo: Vec<Freq>,
+    /// The domain over which active cores are counted for the ladder.
+    pub turbo_domain: TurboDomain,
     /// How fast the hardware raises a busy core's frequency, in kHz per
     /// millisecond. Models the difference between Intel Speed Shift
     /// (fast) and Enhanced SpeedStep on the older Broadwell (slow) that
@@ -51,10 +82,13 @@ pub struct FreqSpec {
 
 impl FreqSpec {
     /// Returns the turbo ceiling when `active_phys` physical cores of a
-    /// socket are active.
+    /// turbo domain are active.
     ///
     /// With zero active cores there is no constraint; the single-core
-    /// ceiling is returned.
+    /// ceiling is returned. What counts as "a turbo domain" — the socket,
+    /// or one CCX — is [`FreqSpec::turbo_domain`]; callers obtain the
+    /// count through [`Topology::turbo_domain_of_phys`] so the domain
+    /// choice is threaded through one accessor.
     pub fn turbo_limit(&self, active_phys: usize) -> Freq {
         assert!(!self.turbo.is_empty(), "empty turbo table");
         let idx = active_phys.saturating_sub(1).min(self.turbo.len() - 1);
@@ -109,17 +143,26 @@ impl PowerSpec {
 /// A complete machine description.
 #[derive(Clone, Debug)]
 pub struct MachineSpec {
-    /// Short name, e.g. `"4-socket Intel 6130"`.
-    pub name: &'static str,
+    /// Short name, e.g. `"4-socket Intel 6130"`. Synthetic machines carry
+    /// their canonical registry string (e.g.
+    /// `"synth:sockets=4,ccx=8,cores=8"`) so that harness seeds derived
+    /// from the name distinguish every shape.
+    pub name: String,
     /// Microarchitecture, e.g. `"Skylake"`.
     pub microarch: &'static str,
-    /// Number of sockets. A die coincides with a socket on all modeled
-    /// machines (shared last-level cache), as in the paper.
+    /// Number of sockets. A socket is a die (one NUMA node) on all
+    /// modeled machines, as in the paper.
     pub sockets: usize,
     /// Physical cores per socket.
     pub phys_per_socket: usize,
-    /// Hardware threads per physical core (2 on all modeled machines).
+    /// CCXs (last-level-cache domains) per socket. 1 on the paper's
+    /// Intel machines — the die is one LLC domain; synthetic AMD-like
+    /// machines split the socket. Must divide `phys_per_socket`.
+    pub ccx_per_socket: usize,
+    /// Hardware threads per physical core (1 or 2).
     pub smt: usize,
+    /// NUMA layout of the sockets.
+    pub numa: NumaKind,
     /// Frequency behaviour.
     pub freq: FreqSpec,
     /// Power model.
@@ -137,14 +180,32 @@ impl MachineSpec {
     pub fn cores_per_socket(&self) -> usize {
         self.phys_per_socket * self.smt
     }
+
+    /// Physical cores per CCX.
+    pub fn phys_per_ccx(&self) -> usize {
+        self.phys_per_socket / self.ccx_per_socket
+    }
+
+    /// Hardware threads per CCX.
+    pub fn cores_per_ccx(&self) -> usize {
+        self.phys_per_ccx() * self.smt
+    }
+
+    /// Total number of CCXs.
+    pub fn n_ccx(&self) -> usize {
+        self.sockets * self.ccx_per_socket
+    }
 }
 
 /// Computed topology: numbering, pairing, spans, domains.
+///
+/// The socket-level API predates the domain hierarchy and is retained as
+/// a view over [`DomainTree`]'s socket level; CCX-level queries are
+/// answered by the same tree.
 #[derive(Clone, Debug)]
 pub struct Topology {
     spec: MachineSpec,
-    socket_spans: Vec<CpuSet>,
-    all: CpuSet,
+    domains: DomainTree,
 }
 
 impl Topology {
@@ -152,34 +213,29 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if the spec has zero sockets/cores or `smt != 2` (the only
-    /// SMT width the paper's heuristics are defined for).
+    /// Panics if the spec has zero sockets/cores, an SMT width other than
+    /// 1 or 2, or a CCX count that does not divide the physical cores.
     pub fn new(spec: MachineSpec) -> Topology {
         assert!(
             spec.sockets > 0 && spec.phys_per_socket > 0,
             "empty machine"
         );
-        assert_eq!(spec.smt, 2, "only 2-way SMT is modeled");
-        let n = spec.n_cores();
-        let mut socket_spans = Vec::with_capacity(spec.sockets);
-        for s in 0..spec.sockets {
-            let mut span = CpuSet::new(n);
-            let base = s * spec.cores_per_socket();
-            for i in 0..spec.cores_per_socket() {
-                span.insert(CoreId::from_index(base + i));
-            }
-            socket_spans.push(span);
-        }
-        Topology {
-            all: CpuSet::full(n),
-            socket_spans,
-            spec,
-        }
+        assert!(
+            spec.smt == 1 || spec.smt == 2,
+            "only SMT widths 1 and 2 are modeled"
+        );
+        let domains = DomainTree::new(&spec);
+        Topology { spec, domains }
     }
 
     /// Returns the machine description.
     pub fn spec(&self) -> &MachineSpec {
         &self.spec
+    }
+
+    /// Returns the scheduling-domain hierarchy.
+    pub fn domains(&self) -> &DomainTree {
+        &self.domains
     }
 
     /// Returns the total number of hardware threads.
@@ -192,6 +248,19 @@ impl Topology {
         self.spec.sockets
     }
 
+    /// Returns the number of CCXs.
+    pub fn n_ccx(&self) -> usize {
+        self.domains.n_ccx()
+    }
+
+    /// `true` if any socket holds more than one CCX — i.e. the CCX level
+    /// of the tree is not just the socket level under another name.
+    /// Degenerate (paper) machines answer `false`, and schedulers use
+    /// that to keep their historical per-socket scan paths bit-for-bit.
+    pub fn has_subsocket_domains(&self) -> bool {
+        self.spec.ccx_per_socket > 1
+    }
+
     /// Returns the socket that owns a core.
     ///
     /// # Panics
@@ -202,13 +271,29 @@ impl Topology {
         SocketId::from_index(core.index() / self.spec.cores_per_socket())
     }
 
-    /// Returns the hyperthread sharing the physical core with `core`.
+    /// Returns the CCX that owns a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is out of range.
+    pub fn ccx_of(&self, core: CoreId) -> CcxId {
+        let socket = self.socket_of(core);
+        let local = self.phys_index(core) / self.spec.phys_per_ccx();
+        CcxId::from_index(socket.index() * self.spec.ccx_per_socket + local)
+    }
+
+    /// Returns the hyperthread sharing the physical core with `core`, or
+    /// `core` itself on an SMT-1 machine (every core is its own pair,
+    /// which makes the hyperthread-pairing heuristics degrade to no-ops).
     ///
     /// # Panics
     ///
     /// Panics if the core is out of range.
     pub fn sibling(&self, core: CoreId) -> CoreId {
         assert!(core.index() < self.n_cores(), "core {core} out of range");
+        if self.spec.smt == 1 {
+            return core;
+        }
         let cps = self.spec.cores_per_socket();
         let p = self.spec.phys_per_socket;
         let base = core.index() / cps * cps;
@@ -224,23 +309,32 @@ impl Topology {
     }
 
     /// Returns `true` if `core` is the first hardware thread of its
-    /// physical core.
+    /// physical core (always true on SMT-1 machines).
     pub fn is_primary_thread(&self, core: CoreId) -> bool {
         core.index() % self.spec.cores_per_socket() < self.spec.phys_per_socket
     }
 
-    /// Returns the span of a socket (its die — all cores sharing the LLC).
+    /// Returns the span of a socket (its die).
     ///
     /// # Panics
     ///
     /// Panics if the socket is out of range.
     pub fn socket_span(&self, socket: SocketId) -> &CpuSet {
-        &self.socket_spans[socket.index()]
+        self.domains.socket_span(socket)
+    }
+
+    /// Returns the span of a CCX (the cores sharing one LLC slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CCX is out of range.
+    pub fn ccx_span(&self, ccx: CcxId) -> &CpuSet {
+        self.domains.ccx_span(ccx)
     }
 
     /// Returns the span of the whole machine.
     pub fn all_cores(&self) -> &CpuSet {
-        &self.all
+        self.domains.machine_span()
     }
 
     /// Iterates over socket ids.
@@ -248,19 +342,74 @@ impl Topology {
         (0..self.spec.sockets).map(SocketId::from_index)
     }
 
+    /// Iterates over CCX ids.
+    pub fn ccxs(&self) -> impl Iterator<Item = CcxId> {
+        (0..self.n_ccx()).map(CcxId::from_index)
+    }
+
     /// Iterates over all cores in numerical order.
     pub fn cores(&self) -> impl Iterator<Item = CoreId> {
         (0..self.n_cores()).map(CoreId::from_index)
     }
 
-    /// Returns sockets ordered by distance from `from`'s socket: `from`'s
+    /// Returns sockets ordered by NUMA distance from `from`'s socket,
+    /// ties broken by socket number. On flat machines this is `from`'s
     /// own die first, then the others in numerical order — the search
     /// order Nest uses to reduce the number of used dies (§3.1).
     pub fn sockets_nearest_first(&self, from: CoreId) -> Vec<SocketId> {
-        let home = self.socket_of(from);
-        let mut order = vec![home];
-        order.extend(self.sockets().filter(|&s| s != home));
-        order
+        self.domains.sockets_nearest_first(self.socket_of(from))
+    }
+
+    /// Returns CCXs ordered by distance from `from`'s CCX: home CCX
+    /// first, then the rest of the home socket, then remote sockets by
+    /// NUMA distance.
+    pub fn ccxs_nearest_first(&self, from: CoreId) -> Vec<CcxId> {
+        self.domains.ccxs_nearest_first(self.ccx_of(from))
+    }
+
+    /// Number of turbo-counting domains, per [`FreqSpec::turbo_domain`]:
+    /// one per socket, or one per CCX.
+    pub fn n_turbo_domains(&self) -> usize {
+        match self.spec.freq.turbo_domain {
+            TurboDomain::Socket => self.spec.sockets,
+            TurboDomain::Ccx => self.n_ccx(),
+        }
+    }
+
+    /// Physical cores per turbo-counting domain.
+    pub fn turbo_domain_phys(&self) -> usize {
+        match self.spec.freq.turbo_domain {
+            TurboDomain::Socket => self.spec.phys_per_socket,
+            TurboDomain::Ccx => self.spec.phys_per_ccx(),
+        }
+    }
+
+    /// Turbo-counting domain of a global physical-core index (physical
+    /// cores are numbered socket-major, `socket · phys_per_socket + p`).
+    /// This is the one accessor through which both the frequency model's
+    /// active-core windows and any scheduler-side ladder queries resolve
+    /// the counting domain, so neither layer hard-codes "socket".
+    pub fn turbo_domain_of_phys(&self, phys: usize) -> usize {
+        assert!(
+            phys < self.spec.sockets * self.spec.phys_per_socket,
+            "physical core {phys} out of range"
+        );
+        phys / self.turbo_domain_phys()
+    }
+
+    /// Turbo-counting domain of a core.
+    pub fn turbo_domain_of(&self, core: CoreId) -> usize {
+        let phys = self.socket_of(core).index() * self.spec.phys_per_socket + self.phys_index(core);
+        self.turbo_domain_of_phys(phys)
+    }
+
+    /// The socket a turbo-counting domain lies on (used for per-socket
+    /// throttle composition).
+    pub fn socket_of_turbo_domain(&self, domain: usize) -> SocketId {
+        match self.spec.freq.turbo_domain {
+            TurboDomain::Socket => SocketId::from_index(domain),
+            TurboDomain::Ccx => self.domains.socket_of_ccx(CcxId::from_index(domain)),
+        }
     }
 }
 
@@ -271,6 +420,11 @@ mod tests {
 
     fn topo_6130_4s() -> Topology {
         Topology::new(presets::xeon_6130(4))
+    }
+
+    fn topo_synth() -> Topology {
+        // 2 sockets × 4 CCX × 8 phys, SMT-1 → 64 cores, CCX turbo.
+        Topology::new(presets::synth(2, 4, 8, 1, NumaKind::Flat))
     }
 
     #[test]
@@ -315,6 +469,16 @@ mod tests {
     }
 
     #[test]
+    fn smt1_sibling_is_self() {
+        let t = topo_synth();
+        for c in t.cores() {
+            assert_eq!(t.sibling(c), c);
+            assert!(t.is_primary_thread(c));
+            assert_eq!(t.phys_index(c), c.index() % 32);
+        }
+    }
+
+    #[test]
     fn socket_spans_partition_machine() {
         let t = topo_6130_4s();
         let mut seen = CpuSet::new(t.n_cores());
@@ -328,11 +492,64 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_ccx_equals_socket() {
+        let t = topo_6130_4s();
+        assert!(!t.has_subsocket_domains());
+        assert_eq!(t.n_ccx(), t.n_sockets());
+        for c in t.cores() {
+            assert_eq!(t.ccx_of(c).index(), t.socket_of(c).index());
+        }
+        for s in t.sockets() {
+            assert_eq!(t.ccx_span(CcxId(s.0)), t.socket_span(s));
+        }
+    }
+
+    #[test]
+    fn ccx_of_is_socket_major_blocks() {
+        let t = topo_synth();
+        assert!(t.has_subsocket_domains());
+        assert_eq!(t.n_ccx(), 8);
+        assert_eq!(t.ccx_of(CoreId(0)), CcxId(0));
+        assert_eq!(t.ccx_of(CoreId(7)), CcxId(0));
+        assert_eq!(t.ccx_of(CoreId(8)), CcxId(1));
+        assert_eq!(t.ccx_of(CoreId(31)), CcxId(3));
+        assert_eq!(t.ccx_of(CoreId(32)), CcxId(4));
+        assert_eq!(t.ccx_of(CoreId(63)), CcxId(7));
+        for c in t.cores() {
+            assert!(t.ccx_span(t.ccx_of(c)).contains(c));
+        }
+    }
+
+    #[test]
     fn nearest_first_starts_home() {
         let t = topo_6130_4s();
         let order = t.sockets_nearest_first(CoreId(40));
         assert_eq!(order[0], SocketId(1));
         assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn ccxs_nearest_first_covers_all() {
+        let t = topo_synth();
+        let order = t.ccxs_nearest_first(CoreId(17));
+        assert_eq!(order.len(), 8);
+        assert_eq!(order[0], CcxId(2));
+        // Rest of socket 0 before socket 1's CCXs.
+        assert_eq!(&order[1..4], &[CcxId(0), CcxId(1), CcxId(3)]);
+    }
+
+    #[test]
+    fn turbo_domains_follow_spec() {
+        let intel = topo_6130_4s();
+        assert_eq!(intel.n_turbo_domains(), 4);
+        assert_eq!(intel.turbo_domain_phys(), 16);
+        assert_eq!(intel.turbo_domain_of_phys(17), 1);
+        assert_eq!(intel.turbo_domain_of(CoreId(48)), 1);
+        let amd = topo_synth();
+        assert_eq!(amd.n_turbo_domains(), 8);
+        assert_eq!(amd.turbo_domain_phys(), 8);
+        assert_eq!(amd.turbo_domain_of_phys(17), 2);
+        assert_eq!(amd.socket_of_turbo_domain(5), SocketId(1));
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Machine presets for the paper's test machines.
+//! Machine presets for the paper's test machines and synthetic scaling
+//! machines.
 //!
 //! Table 2 machines: a 4-socket 160-core Intel Xeon E7-8870 v4 (Broadwell),
 //! 2- and 4-socket Intel Xeon Gold 6130 (Skylake), and a 2-socket Intel
 //! Xeon Gold 5218 (Cascade Lake). Turbo ladders come from Table 3. The
 //! §5.6 mono-socket machines (Intel Xeon 5220, AMD Ryzen 5 PRO 4650G) are
-//! included as well.
+//! included as well. All paper machines are degenerate domain trees: one
+//! CCX per socket, flat NUMA, socket-scoped turbo.
+//!
+//! [`synth`] builds the synthetic multi-CCX machines (256–1024 cores)
+//! used by the scaling experiments: AMD-like parts whose turbo ladder is
+//! counted per CCX, optionally with ring NUMA distances.
 //!
 //! Ramp-rate and power constants are model calibration, not datasheet
 //! values: the Skylake/Cascade Lake machines use Intel Speed Shift
@@ -15,7 +21,7 @@
 
 use nest_simcore::Freq;
 
-use crate::machine::{FreqSpec, MachineSpec, PowerSpec};
+use crate::machine::{FreqSpec, MachineSpec, NumaKind, PowerSpec, TurboDomain};
 
 fn ghz(v: f64) -> Freq {
     Freq::from_ghz(v)
@@ -52,15 +58,18 @@ fn intel_power(phys: usize) -> PowerSpec {
 /// Table 3 ladder: 3.0 / 3.0 / 2.8 / 2.7 / 2.6 (5+ cores).
 pub fn e7_8870_v4() -> MachineSpec {
     MachineSpec {
-        name: "160-core Intel E7-8870 v4",
+        name: "160-core Intel E7-8870 v4".to_string(),
         microarch: "Broadwell",
         sockets: 4,
         phys_per_socket: 20,
+        ccx_per_socket: 1,
         smt: 2,
+        numa: NumaKind::Flat,
         freq: FreqSpec {
             fmin: ghz(1.2),
             fnominal: ghz(2.1),
             turbo: ladder(&[(1, 3.0), (1, 3.0), (1, 2.8), (1, 2.7), (16, 2.6)]),
+            turbo_domain: TurboDomain::Socket,
             // Enhanced SpeedStep: slow to rise, quick to fall — any gap
             // in the computation drops the frequency, and climbing back
             // takes many milliseconds (§5.2, §5.3).
@@ -86,15 +95,19 @@ pub fn xeon_6130(sockets: usize) -> MachineSpec {
             2 => "64-core Intel 6130",
             4 => "128-core Intel 6130",
             _ => "Intel 6130",
-        },
+        }
+        .to_string(),
         microarch: "Skylake",
         sockets,
         phys_per_socket: 16,
+        ccx_per_socket: 1,
         smt: 2,
+        numa: NumaKind::Flat,
         freq: FreqSpec {
             fmin: ghz(1.0),
             fnominal: ghz(2.1),
             turbo: ladder(&[(2, 3.7), (2, 3.5), (4, 3.4), (4, 3.1), (4, 2.8)]),
+            turbo_domain: TurboDomain::Socket,
             // Intel Speed Shift: fast hardware-managed ramp, gentle
             // decay while idle.
             ramp_up_khz_per_ms: 1_200_000,
@@ -114,15 +127,18 @@ pub fn xeon_6130(sockets: usize) -> MachineSpec {
 /// 2.8 (13-16).
 pub fn xeon_5218() -> MachineSpec {
     MachineSpec {
-        name: "64-core Intel 5218",
+        name: "64-core Intel 5218".to_string(),
         microarch: "Cascade Lake",
         sockets: 2,
         phys_per_socket: 16,
+        ccx_per_socket: 1,
         smt: 2,
+        numa: NumaKind::Flat,
         freq: FreqSpec {
             fmin: ghz(1.0),
             fnominal: ghz(2.3),
             turbo: ladder(&[(2, 3.9), (2, 3.7), (4, 3.6), (4, 3.1), (4, 2.8)]),
+            turbo_domain: TurboDomain::Socket,
             ramp_up_khz_per_ms: 1_300_000,
             ramp_down_khz_per_ms: 80_000,
             idle_cooldown_ns: 6_000_000,
@@ -137,15 +153,18 @@ pub fn xeon_5218() -> MachineSpec {
 /// hardware threads, max turbo 3.9 GHz) from §5.6.
 pub fn xeon_5220() -> MachineSpec {
     MachineSpec {
-        name: "36-core Intel 5220",
+        name: "36-core Intel 5220".to_string(),
         microarch: "Cascade Lake",
         sockets: 1,
         phys_per_socket: 18,
+        ccx_per_socket: 1,
         smt: 2,
+        numa: NumaKind::Flat,
         freq: FreqSpec {
             fmin: ghz(1.0),
             fnominal: ghz(2.2),
             turbo: ladder(&[(2, 3.9), (2, 3.7), (4, 3.6), (4, 3.2), (6, 2.9)]),
+            turbo_domain: TurboDomain::Socket,
             ramp_up_khz_per_ms: 1_300_000,
             ramp_down_khz_per_ms: 80_000,
             idle_cooldown_ns: 6_000_000,
@@ -164,15 +183,18 @@ pub fn xeon_5220() -> MachineSpec {
 /// tasks pays off mostly through reuse of already-warm cores.
 pub fn amd_4650g() -> MachineSpec {
     MachineSpec {
-        name: "12-core AMD 4650G",
+        name: "12-core AMD 4650G".to_string(),
         microarch: "Zen 2",
         sockets: 1,
         phys_per_socket: 6,
+        ccx_per_socket: 1,
         smt: 2,
+        numa: NumaKind::Flat,
         freq: FreqSpec {
             fmin: ghz(1.4),
             fnominal: ghz(3.7),
             turbo: ladder(&[(1, 4.2), (1, 4.2), (1, 4.1), (1, 4.0), (2, 3.9)]),
+            turbo_domain: TurboDomain::Socket,
             ramp_up_khz_per_ms: 1_000_000,
             ramp_down_khz_per_ms: 80_000,
             idle_cooldown_ns: 8_000_000,
@@ -181,6 +203,66 @@ pub fn amd_4650g() -> MachineSpec {
         },
         power: PowerSpec {
             uncore_w: 9.0,
+            core_idle_w: 0.3,
+            dyn_coeff_w_per_ghz: 1.9,
+            spin_power_factor: 0.3,
+            v_at_fmin: 0.7,
+            v_at_fmax: 1.1,
+        },
+    }
+}
+
+/// A synthetic AMD-like multi-CCX machine for the scaling experiments:
+/// `sockets` sockets, `ccx` CCXs per socket, `cores` physical cores per
+/// CCX, SMT width 1 or 2, and the given NUMA layout.
+///
+/// The turbo ladder is counted **per CCX** (Zen-style Precision Boost):
+/// one or two active cores in a CCX boost to 3.5/3.4 GHz, falling to a
+/// 3.0 GHz all-core ceiling — so a nest confined to one CCX keeps both
+/// its own ladder high (few active cores per window) and sibling CCXs
+/// entirely dark. The name is the canonical registry string for the
+/// shape, so every distinct synthetic machine hashes to distinct harness
+/// seeds.
+///
+/// # Panics
+///
+/// Panics if any count is zero (the resulting spec would be empty).
+pub fn synth(sockets: usize, ccx: usize, cores: usize, smt: usize, numa: NumaKind) -> MachineSpec {
+    assert!(
+        sockets > 0 && ccx > 0 && cores > 0,
+        "empty synthetic machine"
+    );
+    let mut name = format!("synth:sockets={sockets},ccx={ccx},cores={cores}");
+    if smt != 1 {
+        name.push_str(&format!(",smt={smt}"));
+    }
+    if numa == NumaKind::Ring {
+        name.push_str(",numa=ring");
+    }
+    // Ladder over active cores of one CCX; clamp the run lengths so tiny
+    // CCXs still get a monotone table.
+    let all_core = cores.saturating_sub(4).max(1);
+    MachineSpec {
+        name,
+        microarch: "synthetic",
+        sockets,
+        phys_per_socket: ccx * cores,
+        ccx_per_socket: ccx,
+        smt,
+        numa,
+        freq: FreqSpec {
+            fmin: ghz(1.5),
+            fnominal: ghz(2.4),
+            turbo: ladder(&[(2, 3.5), (2, 3.2), (all_core, 3.0)]),
+            turbo_domain: TurboDomain::Ccx,
+            ramp_up_khz_per_ms: 1_000_000,
+            ramp_down_khz_per_ms: 80_000,
+            idle_cooldown_ns: 8_000_000,
+            turbo_window_ns: 40_000_000,
+            residency_buckets_ghz: vec![1.5, 2.0, 2.4, 3.0, 3.2, 3.5],
+        },
+        power: PowerSpec {
+            uncore_w: 14.0 + 0.3 * (ccx * cores) as f64,
             core_idle_w: 0.3,
             dyn_coeff_w_per_ghz: 1.9,
             spin_power_factor: 0.3,
@@ -224,10 +306,12 @@ mod tests {
 
     #[test]
     fn turbo_ladder_is_monotone_nonincreasing() {
-        for m in paper_machines()
-            .into_iter()
-            .chain([xeon_5220(), amd_4650g()])
-        {
+        for m in paper_machines().into_iter().chain([
+            xeon_5220(),
+            amd_4650g(),
+            synth(4, 8, 8, 1, NumaKind::Flat),
+            synth(1, 2, 2, 2, NumaKind::Flat),
+        ]) {
             for w in m.freq.turbo.windows(2) {
                 assert!(w[0] >= w[1], "{}: ladder not monotone", m.name);
             }
@@ -238,6 +322,32 @@ mod tests {
     fn paper_machines_core_counts() {
         let counts: Vec<usize> = paper_machines().iter().map(|m| m.n_cores()).collect();
         assert_eq!(counts, vec![64, 128, 64, 160]);
+    }
+
+    #[test]
+    fn paper_machines_are_degenerate_trees() {
+        for m in paper_machines()
+            .into_iter()
+            .chain([xeon_5220(), amd_4650g()])
+        {
+            assert_eq!(m.ccx_per_socket, 1, "{}", m.name);
+            assert_eq!(m.numa, NumaKind::Flat, "{}", m.name);
+            assert_eq!(m.freq.turbo_domain, TurboDomain::Socket, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn synth_shapes_and_names() {
+        let m = synth(4, 8, 8, 1, NumaKind::Flat);
+        assert_eq!(m.n_cores(), 256);
+        assert_eq!(m.n_ccx(), 32);
+        assert_eq!(m.cores_per_ccx(), 8);
+        assert_eq!(m.name, "synth:sockets=4,ccx=8,cores=8");
+        assert_eq!(m.freq.turbo_domain, TurboDomain::Ccx);
+
+        let m = synth(8, 8, 8, 2, NumaKind::Ring);
+        assert_eq!(m.n_cores(), 1024);
+        assert_eq!(m.name, "synth:sockets=8,ccx=8,cores=8,smt=2,numa=ring");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 use nest_simcore::{CoreId, Freq};
 use nest_topology::{
-    machine::{FreqSpec, MachineSpec, PowerSpec},
+    machine::{FreqSpec, MachineSpec, NumaKind, PowerSpec, TurboDomain},
     CpuSet, Topology,
 };
 
@@ -108,19 +108,24 @@ proptest! {
 
     /// Topology invariants hold for arbitrary machine shapes: sibling is
     /// an involution on the same socket, socket spans partition the
-    /// machine, nearest-first starts home and covers all sockets.
+    /// machine, nearest-first starts home and covers all sockets, and CCX
+    /// spans refine socket spans.
     #[test]
-    fn topology_invariants(sockets in 1usize..5, phys in 1usize..24) {
+    fn topology_invariants(sockets in 1usize..5, ccx in 1usize..4, phys_per_ccx in 1usize..8) {
+        let phys = ccx * phys_per_ccx;
         let spec = MachineSpec {
-            name: "prop",
+            name: "prop".to_string(),
             microarch: "prop",
             sockets,
             phys_per_socket: phys,
+            ccx_per_socket: ccx,
             smt: 2,
+            numa: NumaKind::Flat,
             freq: FreqSpec {
                 fmin: Freq::from_ghz(1.0),
                 fnominal: Freq::from_ghz(2.0),
                 turbo: vec![Freq::from_ghz(3.0)],
+                turbo_domain: TurboDomain::Socket,
                 ramp_up_khz_per_ms: 1,
                 ramp_down_khz_per_ms: 1,
                 idle_cooldown_ns: 1,
@@ -156,6 +161,22 @@ proptest! {
             let order = topo.sockets_nearest_first(c);
             prop_assert_eq!(order.len(), sockets);
             prop_assert_eq!(order[0], topo.socket_of(c));
+            // CCX membership is consistent with the span tables.
+            let cx = topo.ccx_of(c);
+            prop_assert!(topo.ccx_span(cx).contains(c));
+            prop_assert_eq!(topo.domains().socket_of_ccx(cx), topo.socket_of(c));
+            let ccx_order = topo.ccxs_nearest_first(c);
+            prop_assert_eq!(ccx_order.len(), topo.n_ccx());
+            prop_assert_eq!(ccx_order[0], cx);
+        }
+        // CCX spans partition each socket span.
+        for s in topo.sockets() {
+            let mut seen = CpuSet::new(topo.n_cores());
+            for cx in topo.domains().ccxs_in_socket(s) {
+                prop_assert!(seen.is_disjoint(topo.ccx_span(cx)));
+                seen.union_with(topo.ccx_span(cx));
+            }
+            prop_assert_eq!(&seen, topo.socket_span(s));
         }
     }
 }

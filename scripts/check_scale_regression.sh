@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Scaling regression guard: run the quick-mode fig_scale sweep (256-core
+# synthetic multi-CCX machine, all four policies) and compare it against
+# the committed BENCH_pr8.json.
+#
+# Two checks per policy cell:
+#
+#  * events_total must match EXACTLY — the event count is part of the
+#    determinism contract (same seed, same simulation, same events on
+#    every host), so any drift means simulation behaviour changed and
+#    BENCH_pr8.json must be regenerated deliberately.
+#  * events_per_sec must stay above MIN_RATIO of the committed value.
+#    Wall-clock varies across hosts, so the ratio is generous by default
+#    (0.25); it exists to catch order-of-magnitude regressions such as an
+#    accidentally O(n_cores) decision path, not percent-level noise.
+#    Override with NEST_SCALE_GUARD_MIN_RATIO, or set it to 0 to skip the
+#    throughput check entirely (e.g. on heavily loaded CI hosts).
+#
+# Usage: ./scripts/check_scale_regression.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="$(mktemp -d)"
+trap 'rm -rf "$outdir"' EXIT
+
+echo "==> running fig_scale (quick mode)"
+NEST_QUICK=1 NEST_RUNS=1 NEST_SEED=42 NEST_CACHE=off NEST_PROGRESS=0 \
+    NEST_RESULTS_DIR="$outdir" \
+    cargo run --release -q -p nest-bench --bin fig_scale >/dev/null
+
+python3 - "$outdir/fig_scale.perf.json" BENCH_pr8.json <<'EOF'
+import json, os, sys
+
+actual = {c["policy"]: c for c in json.load(open(sys.argv[1]))["cells"]}
+golden = json.load(open(sys.argv[2]))["quick"]["cells"]
+min_ratio = float(os.environ.get("NEST_SCALE_GUARD_MIN_RATIO", "0.25"))
+
+failed = False
+for policy, g in golden.items():
+    a = actual.get(policy)
+    if a is None:
+        print(f"ERROR: policy {policy!r} missing from fig_scale output")
+        failed = True
+        continue
+    if a["events_total"] != g["events_total"]:
+        print(
+            f"ERROR: {policy}: events_total {a['events_total']} != committed "
+            f"{g['events_total']} (simulation behaviour drifted; regenerate "
+            f"BENCH_pr8.json if intentional)"
+        )
+        failed = True
+    ratio = a["events_per_sec"] / g["events_per_sec"]
+    status = "ok" if ratio >= min_ratio else "REGRESSION"
+    print(
+        f"{policy:>16}: {a['events_per_sec']:>10.0f} ev/s vs committed "
+        f"{g['events_per_sec']:>8.0f} (x{ratio:.2f}, floor x{min_ratio}) {status}"
+    )
+    if ratio < min_ratio:
+        failed = True
+
+if failed:
+    sys.exit(1)
+print("==> scaling guard passed")
+EOF

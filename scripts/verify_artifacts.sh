@@ -38,6 +38,17 @@ cargo run --release -q -p nest-bench --bin nest-sim -- \
     --faults "hotplug=8@50ms:200ms,throttle=s0:0.8,jitter=50us" \
     --out faulted_pin >/dev/null
 
+# A synthetic multi-CCX machine rides along (PR 8): the domain-sharded
+# scan structures and the CCX-scoped turbo ladders must be exactly as
+# deterministic as the Table 2/3 presets above (whose hashes predate
+# hierarchical domains and must never move).
+echo "==> regenerating synth_pin (nest-sim run on a 256-core synth machine)"
+cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine "synth:sockets=4,ccx=8,cores=8,numa=ring" \
+    --policy cfs --policy nest --policy "nest:domain=ccx" --policy smove \
+    --governor schedutil --workload "schbench:mt=16,w=15,requests=20" \
+    --runs 2 --out synth_pin >/dev/null
+
 # A replay continuation rides along too: pausing at a midpoint,
 # snapshotting, and continuing must keep producing the same artifact
 # bytes as the straight runs above keep producing theirs.
@@ -49,7 +60,7 @@ cargo run --release -q -p nest-bench --bin nest-sim -- \
 
 (cd "$outdir" && sha256sum fig02_trace.json fig04_underload.json \
     fig10_dacapo_speedup.json table4_overview.json fig_serve_tail.json \
-    faulted_pin.json replay_pin.json) \
+    faulted_pin.json synth_pin.json replay_pin.json) \
     > "$outdir/actual.sha256"
 
 if [[ "${1:-}" == "--update" ]]; then
