@@ -66,6 +66,41 @@ step cargo run --release -q -p nest-bench --bin nest-sim -- \
     stats --machine 5218 --policy nest --governor schedutil \
     --workload serve:rate=400,requests=200,dist=lognorm
 
+# Latency attribution + telemetry diff: `stats --json` carries the
+# phase-breakdown block, two identical runs' telemetry self-compare
+# with zero deltas (exit 0), and a perturbed run must trip the
+# regression threshold (non-zero exit).
+diffdir="$(mktemp -d)"
+diffenv=(NEST_CACHE=off NEST_PROGRESS=0)
+step env "${diffenv[@]}" NEST_RESULTS_DIR="$diffdir/a" \
+    cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 5218 --policy nest --governor schedutil \
+    --workload serve:rate=400,requests=200,dist=lognorm,slo=2ms --out d
+step env "${diffenv[@]}" NEST_RESULTS_DIR="$diffdir/b" \
+    cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 5218 --policy nest --governor schedutil \
+    --workload serve:rate=400,requests=200,dist=lognorm,slo=2ms --out d
+step env "${diffenv[@]}" NEST_RESULTS_DIR="$diffdir/c" \
+    cargo run --release -q -p nest-bench --bin nest-sim -- \
+    run --machine 5218 --policy cfs --governor schedutil \
+    --workload serve:rate=1600,requests=200,dist=lognorm,slo=2ms --out d
+echo
+echo "==> nest-sim stats --json carries the phase-breakdown block"
+cargo run --release -q -p nest-bench --bin nest-sim -- \
+    stats --machine 5218 --policy nest --governor schedutil \
+    --workload serve:rate=400,requests=200,dist=lognorm --json \
+    > "$diffdir/stats.json"
+step grep -q '"phase_metrics"' "$diffdir/stats.json"
+step cargo run --release -q -p nest-bench --bin nest-sim -- \
+    diff "$diffdir/a/d.telemetry.json" "$diffdir/b/d.telemetry.json"
+if cargo run --release -q -p nest-bench --bin nest-sim -- \
+    diff "$diffdir/a/d.telemetry.json" "$diffdir/c/d.telemetry.json" \
+    --threshold 5 >/dev/null; then
+    echo "ERROR: perturbed telemetry diff reported no regression" >&2
+    exit 1
+fi
+echo "==> telemetry self-compare clean; perturbed diff trips the gate"
+
 # Snapshot/replay equivalence: running from the scenario while
 # snapshotting at a midpoint (mode A) and restoring that snapshot and
 # continuing (mode B) must write byte-identical artifacts, and a
@@ -123,8 +158,9 @@ NEST_CACHE=off NEST_PROGRESS=0 NEST_RESULTS_DIR="$(mktemp -d)" \
     --governor schedutil --workload "schbench:mt=32,w=15,requests=20" --runs 1
 step ./scripts/check_scale_regression.sh
 
-# Byte-identity guard: fig02/fig04/fig10/table4/fig_serve_tail/faulted/
-# synth/replay artifacts vs committed golden hashes.
+# Byte-identity guard: fig02/fig04/fig10/table4/fig_serve_tail/
+# fig_attribution/faulted/synth/replay artifacts vs committed golden
+# hashes.
 step ./scripts/verify_artifacts.sh
 
 echo

@@ -1,0 +1,177 @@
+//! Latency attribution: where does request latency go under each
+//! policy, as offered load rises?
+//!
+//! For an open-loop lognormal `serve:` stream on the 2-socket 5218, the
+//! per-request latency-phase breakdown (arrival queueing, runqueue
+//! wait, service at fmax, frequency-ramp penalty, spin overlap,
+//! migration stall, merge wait) is swept over offered rates under
+//! CFS, Nest, and Smove (all schedutil).
+//!
+//! The paper's §2 diagnosis, restated as an attribution claim: CFS
+//! disperses wakeups onto cold cores, so a large slice of each
+//! request's latency is the *frequency-ramp penalty* — extra
+//! nanoseconds spent because the core had not yet reached fmax. Nest
+//! keeps requests on warm cores, so that slice shrinks. The phase
+//! histograms make the claim directly measurable.
+//!
+//! Phase breakdowns ride in full [`RunResult`](nest_core::RunResult)s,
+//! so the sweep goes through the harness's raw parallel path like the
+//! trace figures.
+
+use nest_bench::{banner, emit_artifact, quick, scenario};
+use nest_harness::{jobs, run_raw, Json, RawCell};
+use nest_metrics::{PhaseMetrics, PHASE_NAMES};
+
+/// Offered request rates (per second) for the sweep.
+fn rates() -> Vec<u64> {
+    if quick() {
+        vec![200, 800]
+    } else {
+        vec![100, 200, 400, 800, 1600]
+    }
+}
+
+const POLICIES: [&str; 3] = ["cfs", "nest", "smove"];
+const REQUESTS: u64 = 400;
+
+/// The phase block of one cell's artifact entry: exact sums (u64, the
+/// golden-hash anchor) plus quantiles and shares.
+fn phases_json(m: &PhaseMetrics) -> Json {
+    let block = |h: &nest_metrics::TailHistogram, share: Option<f64>| {
+        Json::Obj(vec![
+            ("p50_ns".to_string(), Json::opt_u64(h.quantile(0.50))),
+            ("p99_ns".to_string(), Json::opt_u64(h.quantile(0.99))),
+            ("p999_ns".to_string(), Json::opt_u64(h.quantile(0.999))),
+            ("sum_ns".to_string(), Json::u64(h.sum)),
+            ("share".to_string(), Json::opt_f64(share)),
+        ])
+    };
+    let mut fields = vec![
+        ("requests".to_string(), Json::u64(m.requests)),
+        (
+            "identity_violations".to_string(),
+            Json::u64(m.identity_violations),
+        ),
+        ("total".to_string(), block(&m.total, None)),
+    ];
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        fields.push((name.to_string(), block(&m.phases[i], m.share(i))));
+    }
+    Json::Obj(fields)
+}
+
+fn main() {
+    banner(
+        "Latency attribution",
+        "per-request phase breakdown vs offered load (5218, schedutil)",
+    );
+    let rates = rates();
+    // Policy-major cells, mirroring the row order of the figures.
+    let mut coords = Vec::new();
+    for policy in POLICIES {
+        for &rate in &rates {
+            coords.push((policy, rate));
+        }
+    }
+    let cells: Vec<RawCell> = coords
+        .iter()
+        .map(|&(policy, rate)| {
+            let s = scenario(
+                "5218",
+                policy,
+                "schedutil",
+                &format!("serve:rate={rate},requests={REQUESTS},dist=lognorm,slo=2ms"),
+            );
+            let spec = s.workload_spec();
+            RawCell {
+                cfg: s.sim_config(),
+                make: Box::new(move || spec.build()),
+            }
+        })
+        .collect();
+    let (results, telemetry) = run_raw(cells, jobs());
+
+    // Ramp-penalty share per (policy, rate): the figure's headline.
+    println!("\nramp-penalty share of total request latency:");
+    print!("{:>8}", "rate/s");
+    for policy in POLICIES {
+        print!("{policy:>10}");
+    }
+    println!();
+    let ramp = PHASE_NAMES
+        .iter()
+        .position(|&n| n == "ramp_penalty")
+        .expect("ramp phase exists");
+    let share_of = |policy: &str, rate: u64| -> Option<f64> {
+        let i = coords.iter().position(|&c| c == (policy, rate))?;
+        results[i].phases.share(ramp)
+    };
+    for &rate in &rates {
+        print!("{rate:>8}");
+        for policy in POLICIES {
+            match share_of(policy, rate) {
+                Some(s) => print!("{:>9.2}%", 100.0 * s),
+                None => print!("{:>10}", "n/a"),
+            }
+        }
+        println!();
+    }
+
+    println!("\np99 request latency (total):");
+    print!("{:>8}", "rate/s");
+    for policy in POLICIES {
+        print!("{policy:>12}");
+    }
+    println!();
+    for &rate in &rates {
+        print!("{rate:>8}");
+        for policy in POLICIES {
+            let i = coords
+                .iter()
+                .position(|&c| c == (policy, rate))
+                .expect("cell exists");
+            match results[i].phases.total.quantile(0.99) {
+                Some(ns) => print!("{:>9.2} ms", ns as f64 / 1e6),
+                None => print!("{:>12}", "n/a"),
+            }
+        }
+        println!();
+    }
+
+    let violations: u64 = results.iter().map(|r| r.phases.identity_violations).sum();
+    println!("\nphase-identity violations across the sweep: {violations}");
+    let moderate = rates[rates.len() / 2];
+    if let (Some(cfs), Some(nest)) = (share_of("cfs", moderate), share_of("nest", moderate)) {
+        println!(
+            "at {moderate}/s: ramp penalty is {:.2}% of latency under CFS, {:.2}% under Nest",
+            100.0 * cfs,
+            100.0 * nest
+        );
+        println!("expected shape (paper §2): Nest's warm cores shrink the ramp slice");
+    }
+
+    let series: Vec<Json> = coords
+        .iter()
+        .zip(&results)
+        .map(|(&(policy, rate), r)| {
+            Json::Obj(vec![
+                ("policy".to_string(), Json::str(policy)),
+                ("rate_per_s".to_string(), Json::u64(rate)),
+                ("phases".to_string(), phases_json(&r.phases)),
+            ])
+        })
+        .collect();
+    emit_artifact(
+        "fig_attribution",
+        &[],
+        vec![
+            (
+                "rates_per_s",
+                Json::Arr(rates.iter().map(|&r| Json::u64(r)).collect()),
+            ),
+            ("requests_per_cell", Json::u64(REQUESTS)),
+            ("series", Json::Arr(series)),
+        ],
+        Some(&telemetry),
+    );
+}

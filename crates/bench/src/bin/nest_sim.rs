@@ -32,9 +32,10 @@
 use nest_core::experiment::format_table;
 use nest_core::{run_many, run_once_with};
 use nest_harness::{Artifact, Json, Matrix};
-use nest_metrics::ServeMetrics;
-use nest_obs::{chrome_trace_json, DecisionMetrics, EventClass, TraceCollector};
+use nest_metrics::{PhaseMetrics, ServeMetrics, PHASE_NAMES};
+use nest_obs::{chrome_trace_with_timeseries, DecisionMetrics, EventClass, TraceCollector};
 use nest_scenario::{Scenario, DEFAULT_RUNS, DEFAULT_SEED};
+use nest_simcore::json::obj;
 use nest_simcore::{PlacementPath, Time};
 
 const USAGE: &str = "\
@@ -52,7 +53,9 @@ USAGE:
                  [--seed <n>] [--horizon <secs>] [--out <file>]
                  [--window <lo:hi>] [--events <class,...>] [--capacity <n>]
     nest-sim stats --machine <key> --policy <spec> --governor <key> --workload <spec>
-                 [--seed <n>] [--runs <n>] [--horizon <secs>]
+                 [--seed <n>] [--runs <n>] [--horizon <secs>] [--json]
+    nest-sim diff <A.telemetry.json> <B.telemetry.json>
+                 [--threshold <pct>] [--json]
     nest-sim replay --machine <key> --policy <spec> --governor <key> --workload <spec>
                  [--seed <n>] [--horizon <secs>] [--faults <spec>]
                  --at <secs> [--snap <file>] [--out <name>]
@@ -93,7 +96,18 @@ runnable. `stats` prints the scheduler's decision metrics (placement
 paths, wakeup latency, migrations, spinning, nest occupancy) — plus
 request tail latency (p50/p99/p999), SLO goodput, and energy per
 request when the workload includes a `serve:` stream
-(e.g. --workload \"serve:rate=500,dist=lognorm,slo=2ms\").
+(e.g. --workload \"serve:rate=500,dist=lognorm,slo=2ms\"), and the
+per-request latency-phase breakdown (arrival queueing, runqueue wait,
+service at fmax, frequency-ramp penalty, spin overlap, migration
+stall, fan-out merge wait). `--json` emits the same metrics as one
+machine-readable JSON document instead of tables.
+
+`diff` compares two `.telemetry.json` sidecars (as written by `run` or
+the figure binaries): decision metrics, serving percentiles, and the
+phase breakdown, each with its relative delta. A change past
+`--threshold` (percent, default 5) in the regression direction —
+latency up, goodput down — exits 1, so CI can gate on it. `--json`
+emits the comparison as a JSON document.
 
 `--faults` injects a seeded fault plan into every row (grammar:
 `hotplug=N@TIME[:DUR]`, `throttle=sK:F[@TIME[:DUR]]` joined with '+',
@@ -170,6 +184,7 @@ struct RunArgs {
     at: Option<Time>,
     snap: Option<String>,
     from: Option<String>,
+    json: bool,
 }
 
 impl RunArgs {
@@ -187,6 +202,15 @@ impl RunArgs {
         if self.at.is_some() || self.snap.is_some() || self.from.is_some() {
             fail(&format!(
                 "--at/--snap/--from apply to `nest-sim replay`, not `{subcommand}`"
+            ));
+        }
+    }
+
+    /// Rejects `--json` for subcommands without a JSON surface.
+    fn no_json_flag(&self, subcommand: &str) {
+        if self.json {
+            fail(&format!(
+                "--json applies to `nest-sim stats` and `nest-sim diff`, not `{subcommand}`"
             ));
         }
     }
@@ -294,6 +318,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
             }
             "--snap" => out.snap = Some(value()),
             "--from" => out.from = Some(value()),
+            "--json" => out.json = true,
             other => fail(&format!("unknown flag \"{other}\"")),
         }
     }
@@ -351,6 +376,7 @@ fn run(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("run");
     a.no_replay_flags("run");
+    a.no_json_flag("run");
     let scenarios = scenarios_of(&a);
     let first = &scenarios[0];
     let name = a.out.as_deref().unwrap_or("nest_sim");
@@ -412,6 +438,7 @@ fn id(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("id");
     a.no_replay_flags("id");
+    a.no_json_flag("id");
     for s in scenarios_of(&a) {
         println!("{}", s.identity());
     }
@@ -559,6 +586,7 @@ fn replay_restore(a: &RunArgs, path: &str) {
 fn replay(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("replay");
+    a.no_json_flag("replay");
     if a.runs.is_some() {
         fail("--runs applies to `run` and `stats`; `replay` is a single-run surface");
     }
@@ -576,6 +604,7 @@ fn replay(args: &[String]) {
 fn trace(args: &[String]) {
     let a = parse_run_args(args);
     a.no_replay_flags("trace");
+    a.no_json_flag("trace");
     if a.runs.is_some() {
         fail("--runs applies to `run` and `stats`; `trace` captures a single run");
     }
@@ -600,7 +629,10 @@ fn trace(args: &[String]) {
     );
 
     let log = log.borrow();
-    let json = chrome_trace_json(&log);
+    // Per-core spans/counters from the trace ring, plus the run's
+    // machine-level time series as extra counter tracks (power,
+    // utilization, frequency, nest occupancy, runnable depth).
+    let json = chrome_trace_with_timeseries(&log, &result.timeseries);
     let mut text = json.to_pretty();
     text.push('\n');
     // Self-check before writing: the exporter's output must parse with
@@ -678,6 +710,14 @@ fn stats_report(s: &Scenario, m: &DecisionMetrics) -> String {
         m.migrations_per_sec()
             .map_or_else(|| "n/a".to_string(), |r| format!("{r:.1}/s"))
     ));
+    let rate = |r: Option<f64>| r.map_or_else(|| "n/a".to_string(), |r| format!("{r:.1}/s"));
+    line(format!(
+        "  cross-CCX: {} ({}), cross-socket: {} ({})",
+        m.cross_ccx_migrations,
+        rate(m.cross_ccx_migrations_per_sec()),
+        m.cross_socket_migrations,
+        rate(m.cross_socket_migrations_per_sec())
+    ));
 
     line(String::new());
     line(format!(
@@ -726,6 +766,58 @@ fn stats_report(s: &Scenario, m: &DecisionMetrics) -> String {
     line(format!(
         "nest transitions: {} ({} compactions)",
         m.nest_transitions, m.nest_compactions
+    ));
+    if m.nest_ccx_primary_ns.iter().any(|&ns| ns > 0) {
+        let per_ccx: Vec<String> = (0..m.nest_ccx_primary_ns.len())
+            .map(|i| format!("x{i} {}", mean(m.mean_nest_primary_in_ccx(i))))
+            .collect();
+        line(format!("nest occupancy by CCX: {}", per_ccx.join(", ")));
+    }
+    out
+}
+
+/// Renders the per-request latency-phase breakdown; empty when the
+/// scenario carries no `serve:` stream.
+fn phase_report(m: &PhaseMetrics) -> String {
+    if m.requests == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(String::new());
+    line(format!(
+        "latency attribution: {} requests, {} identity violation(s)",
+        m.requests, m.identity_violations
+    ));
+    let q = |h: &nest_metrics::TailHistogram, p: f64| {
+        h.quantile(p)
+            .map_or_else(|| "n/a".to_string(), |ns| fmt_ns(ns as f64))
+    };
+    line(format!(
+        "{:<18}{:>12}{:>12}{:>12}{:>9}",
+        "phase", "p50", "p99", "p999", "share"
+    ));
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        let h = &m.phases[i];
+        line(format!(
+            "  {:<16}{:>12}{:>12}{:>12}{:>9}",
+            name,
+            q(h, 0.50),
+            q(h, 0.99),
+            q(h, 0.999),
+            fmt_opt_pct(m.share(i))
+        ));
+    }
+    line(format!(
+        "  {:<16}{:>12}{:>12}{:>12}{:>9}",
+        "total",
+        q(&m.total, 0.50),
+        q(&m.total, 0.99),
+        q(&m.total, 0.999),
+        "100.0%"
     ));
     out
 }
@@ -782,12 +874,239 @@ fn stats(args: &[String]) {
     let results = run_many(&s.sim_config(), workload.as_ref(), runs);
     let mut merged = DecisionMetrics::default();
     let mut serve = ServeMetrics::default();
+    let mut phases = PhaseMetrics::default();
     for r in &results {
         merged.merge(&r.decision);
         serve.merge(&r.serve);
+        phases.merge(&r.phases);
+    }
+    if a.json {
+        let mut fields = vec![
+            ("scenario", s.to_json()),
+            ("runs", Json::usize(runs)),
+            ("decision_metrics", merged.to_json()),
+        ];
+        if serve.runs > 0 {
+            fields.push(("serve_metrics", serve.to_json()));
+        }
+        if phases.runs > 0 {
+            fields.push(("phase_metrics", phases.to_json()));
+        }
+        println!("{}", obj(fields).to_pretty());
+        return;
     }
     print!("{}", stats_report(&s, &merged));
     print!("{}", serve_report(&serve));
+    print!("{}", phase_report(&phases));
+}
+
+/// Which direction of change counts as a regression for one metric.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Worse {
+    /// An increase past the threshold is a regression (latencies).
+    Higher,
+    /// A decrease past the threshold is a regression (goodput).
+    Lower,
+    /// Informational only; never gates.
+    Info,
+}
+
+/// The telemetry metrics `diff` compares, as dotted paths into the
+/// `.telemetry.json` document (`stats --json` documents share the same
+/// block names, so those diff too).
+fn diff_metrics() -> Vec<(String, Worse)> {
+    let mut m: Vec<(String, Worse)> = [
+        ("decision_metrics.wakeup_latency.mean_ns", Worse::Higher),
+        ("decision_metrics.migrations", Worse::Info),
+        ("decision_metrics.cross_ccx_migrations", Worse::Info),
+        ("decision_metrics.cross_socket_migrations", Worse::Info),
+        ("decision_metrics.spin.total_ns", Worse::Info),
+        ("decision_metrics.nest.mean_primary", Worse::Info),
+        ("decision_metrics.nest.transitions", Worse::Info),
+        ("serve_metrics.latency.p50_ns", Worse::Higher),
+        ("serve_metrics.latency.p99_ns", Worse::Higher),
+        ("serve_metrics.latency.p999_ns", Worse::Higher),
+        ("serve_metrics.latency.mean_ns", Worse::Higher),
+        ("serve_metrics.slo_fraction", Worse::Lower),
+        ("serve_metrics.goodput_per_s", Worse::Lower),
+        ("serve_metrics.energy_per_request_j", Worse::Higher),
+        ("phase_metrics.total.p99_ns", Worse::Higher),
+        ("phase_metrics.total.p999_ns", Worse::Higher),
+        ("phase_metrics.identity_violations", Worse::Higher),
+    ]
+    .iter()
+    .map(|&(p, w)| (p.to_string(), w))
+    .collect();
+    for name in PHASE_NAMES {
+        m.push((format!("phase_metrics.phases.{name}.p99_ns"), Worse::Higher));
+        m.push((
+            format!("phase_metrics.phases.{name}.mean_ns"),
+            Worse::Higher,
+        ));
+        m.push((format!("phase_metrics.phases.{name}.share"), Worse::Info));
+    }
+    m
+}
+
+/// Walks a dotted path into a JSON document, returning the numeric leaf.
+fn lookup_num(doc: &Json, path: &str) -> Option<f64> {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+/// One compared metric: both values present, with the relative delta.
+struct DiffRow {
+    metric: String,
+    a: f64,
+    b: f64,
+    delta_pct: f64,
+    regression: bool,
+}
+
+/// Relative change from `a` to `b` in percent. A zero baseline with a
+/// nonzero comparison is an unbounded change, pinned at 100%.
+fn delta_pct(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 {
+        100.0 * (b - a).signum()
+    } else {
+        (b - a) / a.abs() * 100.0
+    }
+}
+
+fn diff(args: &[String]) {
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 5.0_f64;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        match flag {
+            "--threshold" => {
+                let v = inline.clone().unwrap_or_else(|| {
+                    it.next()
+                        .unwrap_or_else(|| fail("--threshold needs a value"))
+                        .clone()
+                });
+                threshold = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threshold needs a percentage (e.g. 5)"));
+                if !(threshold >= 0.0 && threshold.is_finite()) {
+                    fail("--threshold must be a non-negative percentage");
+                }
+            }
+            "--json" => json = true,
+            f if f.starts_with("--") => fail(&format!("unknown flag \"{f}\"")),
+            _ => files.push(arg.clone()),
+        }
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        fail("`nest-sim diff` takes exactly two telemetry files (A B)");
+    };
+    let read = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("could not read {path}: {e}")));
+        nest_simcore::json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")))
+    };
+    let (doc_a, doc_b) = (read(a_path), read(b_path));
+
+    let mut rows: Vec<DiffRow> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    for (metric, worse) in diff_metrics() {
+        let (va, vb) = (lookup_num(&doc_a, &metric), lookup_num(&doc_b, &metric));
+        match (va, vb) {
+            (Some(a), Some(b)) => {
+                let d = delta_pct(a, b);
+                let regression = match worse {
+                    Worse::Higher => d > threshold,
+                    Worse::Lower => d < -threshold,
+                    Worse::Info => false,
+                };
+                rows.push(DiffRow {
+                    metric,
+                    a,
+                    b,
+                    delta_pct: d,
+                    regression,
+                });
+            }
+            (None, None) => {}
+            _ => skipped.push(metric),
+        }
+    }
+    if rows.is_empty() {
+        fail("the two files share no comparable metrics (are they telemetry files?)");
+    }
+    let regressions = rows.iter().filter(|r| r.regression).count();
+
+    if json {
+        let doc = obj(vec![
+            ("a", Json::str(a_path)),
+            ("b", Json::str(b_path)),
+            ("threshold_pct", Json::f64(threshold)),
+            ("regressions", Json::usize(regressions)),
+            (
+                "metrics",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("metric", Json::str(&r.metric)),
+                                ("a", Json::f64(r.a)),
+                                ("b", Json::f64(r.b)),
+                                ("delta_pct", Json::f64(r.delta_pct)),
+                                ("regression", Json::Bool(r.regression)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "skipped",
+                Json::Arr(skipped.iter().map(|s| Json::str(s)).collect()),
+            ),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!("diff: A = {a_path}");
+        println!("      B = {b_path}");
+        println!("{:<44}{:>14}{:>14}{:>10}", "metric", "A", "B", "delta");
+        let fmt_v = |v: f64| {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.0}")
+            } else {
+                format!("{v:.4}")
+            }
+        };
+        for r in &rows {
+            println!(
+                "  {:<42}{:>14}{:>14}{:>+9.1}%{}",
+                r.metric,
+                fmt_v(r.a),
+                fmt_v(r.b),
+                r.delta_pct,
+                if r.regression { "  REGRESSION" } else { "" }
+            );
+        }
+        for s in &skipped {
+            println!("  {s:<42} (present in only one file; skipped)");
+        }
+        println!(
+            "{regressions} regression(s) past the ±{threshold}% threshold over {} metrics",
+            rows.len()
+        );
+    }
+    if regressions > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -798,10 +1117,11 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("diff") => diff(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => println!("{USAGE}"),
         Some(other) => fail(&format!(
-            "unknown subcommand \"{other}\"; valid: list, id, run, trace, stats, replay"
+            "unknown subcommand \"{other}\"; valid: list, id, run, trace, stats, diff, replay"
         )),
     }
 }

@@ -12,12 +12,15 @@ use nest_engine::{Engine, EngineConfig, RunOutcome};
 use nest_faults::FaultPlan;
 use nest_freq::Governor;
 use nest_metrics::{
-    ExecutionTrace, ExecutionTraceProbe, FreqResidency, FreqResidencyProbe, PlacementCounts,
-    PlacementProbe, ServeMetrics, ServeMetricsProbe, UnderloadData, UnderloadProbe,
-    WakeupLatencies, WakeupLatencyProbe,
+    ExecutionTrace, ExecutionTraceProbe, FreqResidency, FreqResidencyProbe, PhaseBreakdownProbe,
+    PhaseMetrics, PlacementCounts, PlacementProbe, ServeMetrics, ServeMetricsProbe, UnderloadData,
+    UnderloadProbe, WakeupLatencies, WakeupLatencyProbe,
 };
 use nest_metrics::{RunSummary, ServeSummary};
-use nest_obs::{DecisionMetrics, DecisionMetricsProbe, InvariantChecker, InvariantCounts};
+use nest_obs::{
+    DecisionMetrics, DecisionMetricsProbe, InvariantChecker, InvariantCounts, TimeSeries,
+    TimeSeriesSampler,
+};
 use nest_sched::{Cfs, CfsParams, Nest, NestParams, SchedPolicy, Smove, SmoveParams};
 use nest_simcore::rng::mix64;
 use nest_simcore::{CoreId, Probe, SimRng, Time};
@@ -210,6 +213,13 @@ pub struct RunResult {
     /// Kernel-state invariant tallies from the always-on counting
     /// checker (telemetry only, like `decision`).
     pub invariants: InvariantCounts,
+    /// Per-request latency-phase breakdown (§PAPER Fig. 2's "where did
+    /// the time go" lens). Default (all-zero) unless the workload served
+    /// requests; telemetry only, never part of [`RunSummary`].
+    pub phases: PhaseMetrics,
+    /// Interval-sampled machine state (utilization, frequency, nest
+    /// occupancy, power). Always collected; telemetry only.
+    pub timeseries: TimeSeries,
 }
 
 impl RunResult {
@@ -252,7 +262,9 @@ pub(crate) struct ProbeRig {
     decision: Rc<RefCell<DecisionMetrics>>,
     invariants: Rc<RefCell<InvariantCounts>>,
     serve: Option<Rc<RefCell<ServeMetrics>>>,
+    phases: Option<Rc<RefCell<PhaseMetrics>>>,
     trace: Option<Rc<RefCell<ExecutionTrace>>>,
+    timeseries: Rc<RefCell<TimeSeries>>,
 }
 
 /// Builds an [`Engine`] for `cfg` with the standard probe rig attached
@@ -292,7 +304,7 @@ pub(crate) fn build_engine(
     let (lp, latency) = WakeupLatencyProbe::new();
     engine.add_probe(Box::new(lp));
     let topo = nest_topology::Topology::new(cfg.machine.clone());
-    let (ccx_of, socket_of) = (0..n_cores)
+    let (ccx_of, socket_of): (Vec<u32>, Vec<u32>) = (0..n_cores)
         .map(|c| {
             let core = CoreId::from_index(c);
             (
@@ -301,7 +313,7 @@ pub(crate) fn build_engine(
             )
         })
         .unzip();
-    let (dp, decision) = DecisionMetricsProbe::with_domains(ccx_of, socket_of);
+    let (dp, decision) = DecisionMetricsProbe::with_domains(ccx_of.clone(), socket_of.clone());
     engine.add_probe(Box::new(dp));
     let (ic, invariants) = InvariantChecker::new(
         n_cores,
@@ -309,12 +321,14 @@ pub(crate) fn build_engine(
         cfg.machine.freq.fmax().as_khz(),
     );
     engine.add_probe(Box::new(ic));
-    let serve = if serve_slos.is_empty() {
-        None
+    let (serve, phases) = if serve_slos.is_empty() {
+        (None, None)
     } else {
         let (sp, sh) = ServeMetricsProbe::new(serve_slos);
         engine.add_probe(Box::new(sp));
-        Some(sh)
+        let (php, ph) = PhaseBreakdownProbe::new(&cfg.machine, ccx_of.clone());
+        engine.add_probe(Box::new(php));
+        (Some(sh), Some(ph))
     };
     let trace = if cfg.collect_trace {
         let (tp, th) = ExecutionTraceProbe::new(n_cores, initial_freq);
@@ -323,6 +337,8 @@ pub(crate) fn build_engine(
     } else {
         None
     };
+    let (tsp, timeseries) = TimeSeriesSampler::new(&cfg.machine, ccx_of, socket_of);
+    engine.add_probe(Box::new(tsp));
     for p in extra_probes {
         engine.add_probe(p);
     }
@@ -335,7 +351,9 @@ pub(crate) fn build_engine(
         decision,
         invariants,
         serve,
+        phases,
         trace,
+        timeseries,
     };
     (engine, rig)
 }
@@ -390,6 +408,8 @@ pub(crate) fn collect_result(outcome: &RunOutcome, rig: ProbeRig) -> RunResult {
         hit_horizon: outcome.hit_horizon,
         aborted: outcome.aborted,
         invariants,
+        phases: rig.phases.map(|h| take(&h)).unwrap_or_default(),
+        timeseries: take(&rig.timeseries),
     }
 }
 
@@ -454,6 +474,8 @@ mod tests {
         assert!(r.freq.total_busy_ns() > 0);
         assert!(r.placements.total() > 0);
         assert!(r.trace.is_none());
+        assert_eq!(r.phases.runs, 0, "non-serving runs skip the phase probe");
+        assert!(!r.timeseries.is_empty(), "time series always sampled");
     }
 
     #[test]
@@ -573,6 +595,16 @@ mod tests {
         assert_eq!(r.serve.hist.len(), 300);
         assert!(r.serve.hist.quantile(0.99).is_some());
         assert!(r.serve.energy_j > 0.0);
+        assert_eq!(r.phases.runs, 1, "serving runs attribute latency");
+        assert_eq!(r.phases.requests, 300);
+        assert_eq!(r.phases.identity_violations, 0);
+        assert_eq!(
+            r.phases.total.sum,
+            (0..nest_metrics::N_PHASES)
+                .map(|i| r.phases.phases[i].sum)
+                .sum::<u64>(),
+            "phase durations sum to measured latency"
+        );
         let summary = r.summarize();
         let s = summary.serve.expect("serving summary present");
         assert_eq!(s.offered, 300);

@@ -46,7 +46,12 @@ use nest_engine::Engine;
 /// v2: hierarchical scheduling domains — the kernel state carries a
 /// per-CCX statistics cache alongside the per-socket one, and the
 /// frequency model keys its active-core windows by turbo domain.
-pub const SNAPSHOT_SCHEMA: u64 = 2;
+///
+/// v3: latency attribution — the standard probe rig grew the
+/// time-series sampler (always) and the per-request phase-breakdown
+/// probe (serving runs), both of which serialize their in-flight state
+/// into the probe block.
+pub const SNAPSHOT_SCHEMA: u64 = 3;
 
 /// Key of the header block inside a snapshot document.
 const HEADER_KEY: &str = "nest_snapshot";
@@ -419,7 +424,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_refused() {
-        let text = snap_at(Time::from_millis(40)).replace("\"schema\": 2", "\"schema\": 999");
+        let text = snap_at(Time::from_millis(40)).replace("\"schema\": 3", "\"schema\": 999");
         let err = read_header(&text).err().unwrap();
         assert!(matches!(
             err,

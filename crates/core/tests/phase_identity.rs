@@ -1,0 +1,100 @@
+//! Phase-sum identity: for every serving run, the per-phase latency
+//! durations must sum *exactly* (in nanoseconds) to the measured
+//! wakeup-to-completion latency — no rounding slack, no lost slices.
+//!
+//! The probe enforces the identity per request and counts violations;
+//! these tests sweep service distributions (deterministic, exponential,
+//! bimodal), fan-out shapes, and all three policies, and assert the
+//! violation count stays zero while the aggregate histogram sums match
+//! to the nanosecond.
+
+use nest_core::{presets, run_once, PolicyKind, RunResult, SimConfig};
+use nest_metrics::N_PHASES;
+use nest_serve::ServiceDist;
+use nest_workloads::{ServeLoad, ServeSpec};
+
+const POLICIES: [PolicyKind; 3] = [PolicyKind::Cfs, PolicyKind::Nest, PolicyKind::Smove];
+
+fn serve_run(policy: PolicyKind, dist: ServiceDist, fanout: u32) -> RunResult {
+    let spec = ServeSpec {
+        rate: 1_500.0,
+        requests: 150,
+        dist,
+        service_ms: 0.4,
+        fanout,
+        ..ServeSpec::default()
+    };
+    let cfg = SimConfig::new(presets::xeon_5218()).policy(policy);
+    run_once(&cfg, &ServeLoad::new(spec))
+}
+
+/// The identity, stated on the aggregates: every request was checked
+/// individually by the probe (violations == 0), and the histogram sums
+/// agree exactly so no nanosecond leaked between phases.
+fn assert_identity(r: &RunResult, label: &str) {
+    assert_eq!(r.phases.runs, 1, "{label}: one attributed run");
+    assert_eq!(
+        r.phases.requests, r.serve.completed,
+        "{label}: every completed request is attributed"
+    );
+    assert!(r.phases.requests > 0, "{label}: requests completed");
+    assert_eq!(
+        r.phases.identity_violations, 0,
+        "{label}: per-request phase sums equal measured latency"
+    );
+    let phase_sum: u64 = (0..N_PHASES).map(|i| r.phases.phases[i].sum).sum();
+    assert_eq!(
+        r.phases.total.sum, phase_sum,
+        "{label}: aggregate phase durations sum exactly to total latency"
+    );
+    assert_eq!(
+        r.phases.total.sum, r.serve.hist.sum,
+        "{label}: attributed total matches the serve latency histogram"
+    );
+}
+
+#[test]
+fn identity_holds_for_each_service_distribution() {
+    for dist in [ServiceDist::Det, ServiceDist::Exp, ServiceDist::Bimodal] {
+        for policy in &POLICIES {
+            let r = serve_run(policy.clone(), dist, 0);
+            assert_identity(&r, &format!("{dist:?}/{policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn identity_holds_for_fanout_requests() {
+    // Fan-out requests add the merge-wait phase: the parent's latency
+    // extends until the slowest shard finishes, and that wait must be
+    // attributed, not lost.
+    for policy in &POLICIES {
+        let r = serve_run(policy.clone(), ServiceDist::Exp, 3);
+        assert_identity(&r, &format!("fanout=3/{policy:?}"));
+        let merge = nest_metrics::PHASE_NAMES
+            .iter()
+            .position(|&n| n == "merge_wait")
+            .expect("merge phase exists");
+        assert!(
+            !r.phases.phases[merge].is_empty(),
+            "fanout runs record merge waits ({policy:?})"
+        );
+    }
+}
+
+#[test]
+fn ramp_penalty_is_attributed_under_cold_starts() {
+    // A deterministic stream on CFS disperses wakeups onto cold cores,
+    // so some latency must land in the ramp-penalty phase — the slice
+    // fig_attribution shows shrinking under Nest.
+    let r = serve_run(PolicyKind::Cfs, ServiceDist::Det, 0);
+    assert_identity(&r, "ramp/Cfs");
+    let ramp = nest_metrics::PHASE_NAMES
+        .iter()
+        .position(|&n| n == "ramp_penalty")
+        .expect("ramp phase exists");
+    assert!(
+        r.phases.phases[ramp].sum > 0,
+        "cold-core wakeups pay a measurable ramp penalty"
+    );
+}

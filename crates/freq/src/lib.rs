@@ -11,4 +11,4 @@ pub mod governor;
 pub mod model;
 
 pub use governor::Governor;
-pub use model::{Activity, FreqModel};
+pub use model::{instant_power_w, ns_at_reference, Activity, FreqModel};

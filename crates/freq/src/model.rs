@@ -265,41 +265,11 @@ impl FreqModel {
 
     /// Computes instantaneous machine power in watts.
     fn power_w(&self) -> f64 {
-        let fspec = &self.spec.freq;
-        let pspec = &self.spec.power;
-        let pps = self.spec.phys_per_socket;
-        let mut total = 0.0;
-        for socket in 0..self.spec.sockets {
-            total += pspec.uncore_w;
-            // Socket voltage tracks the fastest active physical core.
-            let mut vmax_freq = fspec.fmin;
-            for p in 0..pps {
-                let phys = socket * pps + p;
-                if self.phys_is_active(phys) && self.phys[phys].cur > vmax_freq {
-                    vmax_freq = self.phys[phys].cur;
-                }
-            }
-            let v = pspec.voltage(vmax_freq, fspec.fmin, fspec.fmax());
-            for p in 0..pps {
-                let phys = socket * pps + p;
-                let (t0, t1) = self.threads_of_phys(phys);
-                let busy = self.thread_activity[t0] == Activity::Busy
-                    || self.thread_activity[t1] == Activity::Busy;
-                if busy {
-                    total += pspec.dyn_coeff_w_per_ghz * self.phys[phys].cur.as_ghz() * v * v;
-                } else if self.phys_is_active(phys) {
-                    // Spinning only: awake, but at a low activity factor.
-                    total += pspec.spin_power_factor
-                        * pspec.dyn_coeff_w_per_ghz
-                        * self.phys[phys].cur.as_ghz()
-                        * v
-                        * v;
-                } else {
-                    total += pspec.core_idle_w;
-                }
-            }
-        }
-        total
+        instant_power_w(
+            &self.spec,
+            |t| self.thread_activity[t],
+            |phys| self.phys[phys].cur,
+        )
     }
 
     fn integrate_to(&mut self, now: Time) {
@@ -536,6 +506,85 @@ impl FreqModel {
         self.power_cache = None;
         Ok(())
     }
+}
+
+/// Computes instantaneous machine power in watts from externally
+/// tracked state: per-hardware-thread activity and per-physical-core
+/// frequency.
+///
+/// This is the whole of [`FreqModel`]'s power model as a pure function,
+/// and the model delegates to it, so any observer that mirrors activity
+/// and frequency from the trace stream (the time-series sampler in
+/// `nest-obs`) computes exactly the power the energy integrator charges.
+/// The float operations run in the same order as the historical method
+/// body, keeping integrated energy bit-identical across the refactor.
+///
+/// `activity_of` is indexed by hardware thread, `freq_of_phys` by
+/// physical core (`socket * phys_per_socket + p`). A physical core is
+/// *active* when either of its hardware threads is non-idle — the same
+/// derivation [`FreqModel::set_activity`] caches.
+pub fn instant_power_w(
+    spec: &MachineSpec,
+    activity_of: impl Fn(usize) -> Activity,
+    freq_of_phys: impl Fn(usize) -> Freq,
+) -> f64 {
+    let fspec = &spec.freq;
+    let pspec = &spec.power;
+    let pps = spec.phys_per_socket;
+    let cps = spec.cores_per_socket();
+    let threads_of = |phys: usize| {
+        let (socket, p) = (phys / pps, phys % pps);
+        let t0 = socket * cps + p;
+        let t1 = if spec.smt == 2 { t0 + pps } else { t0 };
+        (t0, t1)
+    };
+    let is_active = |phys: usize| {
+        let (t0, t1) = threads_of(phys);
+        activity_of(t0) != Activity::Idle || activity_of(t1) != Activity::Idle
+    };
+    let mut total = 0.0;
+    for socket in 0..spec.sockets {
+        total += pspec.uncore_w;
+        // Socket voltage tracks the fastest active physical core.
+        let mut vmax_freq = fspec.fmin;
+        for p in 0..pps {
+            let phys = socket * pps + p;
+            if is_active(phys) && freq_of_phys(phys) > vmax_freq {
+                vmax_freq = freq_of_phys(phys);
+            }
+        }
+        let v = pspec.voltage(vmax_freq, fspec.fmin, fspec.fmax());
+        for p in 0..pps {
+            let phys = socket * pps + p;
+            let (t0, t1) = threads_of(phys);
+            let busy = activity_of(t0) == Activity::Busy || activity_of(t1) == Activity::Busy;
+            if busy {
+                total += pspec.dyn_coeff_w_per_ghz * freq_of_phys(phys).as_ghz() * v * v;
+            } else if is_active(phys) {
+                // Spinning only: awake, but at a low activity factor.
+                total += pspec.spin_power_factor
+                    * pspec.dyn_coeff_w_per_ghz
+                    * freq_of_phys(phys).as_ghz()
+                    * v
+                    * v;
+            } else {
+                total += pspec.core_idle_w;
+            }
+        }
+    }
+    total
+}
+
+/// Nanoseconds the work executed during `dt_ns` at frequency `actual`
+/// *would have taken* at `reference` — the ramp-penalty primitive.
+///
+/// Cycles are counted with the engine's own rounding (cycles retired in
+/// an interval round down, time for a cycle count rounds up), so for
+/// `reference >= actual` the result never exceeds `dt_ns` and the
+/// difference `dt_ns - ns_at_reference(..)` is the exact non-negative
+/// time lost to running below `reference`.
+pub fn ns_at_reference(actual: Freq, reference: Freq, dt_ns: u64) -> u64 {
+    reference.nanos_for_cycles(actual.cycles_in_nanos(dt_ns))
 }
 
 /// Moves `cur` toward `target`, rising at most `up` kHz and falling at
@@ -918,6 +967,49 @@ mod tests {
             );
         }
         assert_eq!(m.energy_joules(tm).to_bits(), r.energy_joules(tm).to_bits());
+    }
+
+    #[test]
+    fn pure_power_matches_the_model_bit_for_bit() {
+        let spec = presets::xeon_6130(2);
+        let mut m = FreqModel::new(&spec, Governor::Schedutil);
+        let mut acts = vec![Activity::Idle; spec.n_cores()];
+        for (c, a) in [
+            (0u32, Activity::Busy),
+            (3, Activity::Spinning),
+            (16, Activity::Busy), // hyperthread of core 0
+            (33, Activity::Busy), // socket 1
+        ] {
+            m.set_activity(Time::ZERO, CoreId(c), a);
+            acts[c as usize] = a;
+        }
+        // One integration step of exactly 1 s: energy == power × 1.0.
+        let e = m.energy_joules(Time::from_secs(1));
+        let pps = spec.phys_per_socket;
+        let cps = spec.cores_per_socket();
+        let p = instant_power_w(
+            &spec,
+            |t| acts[t],
+            |phys| m.freq_of(CoreId::from_index((phys / pps) * cps + phys % pps)),
+        );
+        assert_eq!(e.to_bits(), (p * 1.0).to_bits());
+    }
+
+    #[test]
+    fn ns_at_reference_never_exceeds_the_interval() {
+        let fmax = Freq::from_ghz(3.7);
+        for khz in [1_000_000u64, 2_100_000, 2_099_999, 3_700_000] {
+            let f = Freq::from_khz(khz);
+            for dt in [0u64, 1, 999, 1_000_003, 250_000_000] {
+                let at_ref = ns_at_reference(f, fmax, dt);
+                assert!(at_ref <= dt, "{khz} kHz over {dt} ns gave {at_ref}");
+            }
+        }
+        // Slower actual frequency loses proportionally more time.
+        let dt = 1_000_000;
+        let slow = ns_at_reference(Freq::from_ghz(1.0), fmax, dt);
+        let fast = ns_at_reference(Freq::from_ghz(3.6), fmax, dt);
+        assert!(slow < fast && fast < dt, "{slow} {fast}");
     }
 
     #[test]

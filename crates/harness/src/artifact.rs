@@ -149,6 +149,27 @@ impl Artifact {
         if t.serve_metrics.runs > 0 {
             fields.push(("serve_metrics", t.serve_metrics.to_json()));
         }
+        // Likewise, only serving matrices carry the latency-attribution
+        // block.
+        if t.phase_metrics.runs > 0 {
+            fields.push(("phase_metrics", t.phase_metrics.to_json()));
+        }
+        // Every simulated cell samples a time series; a fully cached run
+        // has none and keeps the pre-sampler telemetry shape.
+        if !t.timeseries.is_empty() {
+            fields.push((
+                "timeseries",
+                Json::Arr(
+                    t.timeseries
+                        .iter()
+                        .map(|(cell, ts)| {
+                            obj(vec![("cell", Json::str(cell)), ("series", ts.to_json())])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push(("timeseries_dropped", Json::usize(t.timeseries_dropped)));
+        }
         // Present only when warm-start was enabled, so default-run
         // telemetry keeps its exact shape too.
         if let Some(w) = &t.warm {

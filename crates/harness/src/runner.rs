@@ -35,8 +35,8 @@ use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::snapshot as snap;
 use nest_core::{run_once, RunResult, SimConfig};
 use nest_faults::FaultPlan;
-use nest_metrics::{RunSummary, ServeMetrics};
-use nest_obs::{DecisionMetrics, InvariantCounts};
+use nest_metrics::{PhaseMetrics, RunSummary, ServeMetrics};
+use nest_obs::{DecisionMetrics, InvariantCounts, TimeSeries};
 use nest_scenario::{Scenario, ScenarioError};
 use nest_simcore::profile;
 use nest_simcore::rng::{hash_str, mix64};
@@ -113,6 +113,13 @@ impl WarmStart {
 /// crosses a thread boundary.
 pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
 
+/// How many per-cell time series one telemetry artifact keeps. Every
+/// simulated cell samples a [`TimeSeries`]; keeping them all would make
+/// large matrices' telemetry files enormous, so the merge keeps the
+/// lexicographically first few by cell label (an order-independent
+/// selection) and counts the rest as dropped.
+pub const TELEMETRY_TIMESERIES_CAP: usize = 4;
+
 /// Number of worker threads, from `NEST_JOBS` (default: the machine's
 /// available parallelism).
 pub fn jobs() -> usize {
@@ -180,6 +187,15 @@ pub struct Telemetry {
     /// Request-serving metrics merged the same way; all-zero unless some
     /// simulated cell carried serve specs.
     pub serve_metrics: ServeMetrics,
+    /// Per-request latency-phase breakdowns merged the same way; all-zero
+    /// unless some simulated cell carried serve specs.
+    pub phase_metrics: PhaseMetrics,
+    /// Interval-sampled machine-state series of up to
+    /// [`TELEMETRY_TIMESERIES_CAP`] simulated cells, keyed by cell label
+    /// and sorted by it (cache hits sample nothing).
+    pub timeseries: Vec<(String, TimeSeries)>,
+    /// Sampled cells beyond the cap whose series were dropped.
+    pub timeseries_dropped: usize,
     /// Per-subsystem profile delta, present when `NEST_PROFILE=1`.
     pub profile: Option<profile::Snapshot>,
     /// Cells whose simulation panicked; the panic was contained and the
@@ -237,6 +253,9 @@ fn finish_telemetry(
     prof_before: &profile::Snapshot,
     decision_metrics: DecisionMetrics,
     serve_metrics: ServeMetrics,
+    phase_metrics: PhaseMetrics,
+    timeseries: Vec<(String, TimeSeries)>,
+    timeseries_dropped: usize,
     failures: Vec<CellFailure>,
     cells_aborted: usize,
     invariants: InvariantCounts,
@@ -257,6 +276,9 @@ fn finish_telemetry(
         },
         decision_metrics,
         serve_metrics,
+        phase_metrics,
+        timeseries,
+        timeseries_dropped,
         profile: profile::enabled().then_some(delta),
         failures,
         cells_aborted,
@@ -314,6 +336,8 @@ struct CellDone {
     aborted: bool,
     decision: Option<DecisionMetrics>,
     serve: Option<ServeMetrics>,
+    phases: Option<PhaseMetrics>,
+    timeseries: Option<TimeSeries>,
     invariants: Option<InvariantCounts>,
     /// `Some(events)` when the cell resumed from a warm snapshot that had
     /// already dispatched `events` events.
@@ -549,6 +573,8 @@ impl Matrix {
         // in slot-index order anyway — same discipline as the summaries.
         let mut decision_metrics = DecisionMetrics::default();
         let mut serve_metrics = ServeMetrics::default();
+        let mut phase_metrics = PhaseMetrics::default();
+        let mut all_series: Vec<(String, TimeSeries)> = Vec::new();
         let mut invariants = InvariantCounts {
             completed: true,
             ..InvariantCounts::default()
@@ -584,6 +610,21 @@ impl Matrix {
                     }
                     if let Some(s) = done.serve {
                         serve_metrics.merge(&s);
+                    }
+                    if let Some(p) = done.phases {
+                        phase_metrics.merge(&p);
+                    }
+                    if let Some(ts) = done.timeseries {
+                        if !ts.is_empty() {
+                            let label = format!(
+                                "{}/{}/{}[run {}]",
+                                e.workload,
+                                e.machine.name,
+                                e.setups[cell.setup].label(),
+                                cell.run
+                            );
+                            all_series.push((label, ts));
+                        }
                     }
                     if let Some(inv) = done.invariants {
                         invariants.merge(&inv);
@@ -623,6 +664,9 @@ impl Matrix {
             }
         }
 
+        all_series.sort_by(|a, b| a.0.cmp(&b.0));
+        let timeseries_dropped = all_series.len().saturating_sub(TELEMETRY_TIMESERIES_CAP);
+        all_series.truncate(TELEMETRY_TIMESERIES_CAP);
         let telemetry = finish_telemetry(
             workers,
             total,
@@ -631,6 +675,9 @@ impl Matrix {
             &prof_before,
             decision_metrics,
             serve_metrics,
+            phase_metrics,
+            all_series,
+            timeseries_dropped,
             failures,
             aborted,
             invariants,
@@ -651,6 +698,8 @@ impl Matrix {
                 aborted: false,
                 decision: None,
                 serve: None,
+                phases: None,
+                timeseries: None,
                 invariants: None,
                 warm_restored: None,
                 warm_written: false,
@@ -699,6 +748,8 @@ impl Matrix {
             aborted: result.aborted,
             decision: Some(result.decision),
             serve: Some(result.serve),
+            phases: Some(result.phases),
+            timeseries: Some(result.timeseries),
             invariants: Some(result.invariants),
             warm_restored,
             warm_written,
@@ -802,15 +853,26 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         .collect();
     let mut decision_metrics = DecisionMetrics::default();
     let mut serve_metrics = ServeMetrics::default();
+    let mut phase_metrics = PhaseMetrics::default();
+    let mut all_series: Vec<(String, TimeSeries)> = Vec::new();
     let mut invariants = InvariantCounts {
         completed: true,
         ..InvariantCounts::default()
     };
-    for r in &results {
+    for (i, r) in results.iter().enumerate() {
         decision_metrics.merge(&r.decision);
         serve_metrics.merge(&r.serve);
+        phase_metrics.merge(&r.phases);
+        if !r.timeseries.is_empty() && all_series.len() < TELEMETRY_TIMESERIES_CAP {
+            all_series.push((format!("cell {i}"), r.timeseries.clone()));
+        }
         invariants.merge(&r.invariants);
     }
+    let timeseries_dropped = results
+        .iter()
+        .filter(|r| !r.timeseries.is_empty())
+        .count()
+        .saturating_sub(all_series.len());
     let telemetry = finish_telemetry(
         workers,
         total,
@@ -819,6 +881,9 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         &prof_before,
         decision_metrics,
         serve_metrics,
+        phase_metrics,
+        all_series,
+        timeseries_dropped,
         Vec::new(),
         results.iter().filter(|r| r.aborted).count(),
         invariants,

@@ -10,6 +10,7 @@
 
 pub mod freqdist;
 pub mod latency;
+pub mod phase;
 pub mod placement;
 pub mod serve;
 pub mod stats;
@@ -20,6 +21,9 @@ pub mod underload;
 
 pub use freqdist::{FreqResidency, FreqResidencyProbe, FREQ_RESIDENCY_PROBE_KIND};
 pub use latency::{WakeupLatencies, WakeupLatencyProbe, WAKEUP_LATENCY_PROBE_KIND};
+pub use phase::{
+    PhaseBreakdownProbe, PhaseMetrics, N_PHASES, PHASE_BREAKDOWN_PROBE_KIND, PHASE_NAMES,
+};
 pub use placement::{PlacementCounts, PlacementProbe, PLACEMENT_PROBE_KIND};
 pub use serve::{ServeMetrics, ServeMetricsProbe, ServeSummary, SERVE_METRICS_PROBE_KIND};
 pub use stats::{improvement_pct, improvement_stats, savings_pct, speedup_pct, table4_band, Stats};

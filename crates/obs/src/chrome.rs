@@ -22,6 +22,7 @@ use nest_simcore::json::{obj, Json};
 use nest_simcore::{CoreId, TaskId, Time, TraceEvent};
 
 use crate::collector::TraceLog;
+use crate::timeseries::TimeSeries;
 
 /// The process id used for every track (one simulated machine).
 const PID: u64 = 1;
@@ -253,6 +254,69 @@ pub fn chrome_trace_json(log: &TraceLog) -> Json {
     ])
 }
 
+/// Exports a sampled [`TimeSeries`] as chrome-trace counter events
+/// (`"ts *"` counter tracks), one per column group.
+pub fn timeseries_counters(ts: &TimeSeries) -> Vec<Json> {
+    let mut events = Vec::new();
+    for (i, &t) in ts.t_ns.iter().enumerate() {
+        let t = Time::from_nanos(t);
+        events.push(counter(
+            "ts power".to_string(),
+            t,
+            vec![("watts", Json::f64(ts.power_w[i]))],
+        ));
+        events.push(counter(
+            "ts mean freq".to_string(),
+            t,
+            vec![("ghz", Json::f64(ts.mean_freq_khz[i] as f64 / 1e6))],
+        ));
+        events.push(counter(
+            "ts runnable".to_string(),
+            t,
+            vec![("count", Json::u64(ts.runnable[i]))],
+        ));
+        events.push(counter(
+            "ts nest".to_string(),
+            t,
+            vec![
+                ("primary", Json::u64(ts.nest_primary[i])),
+                ("reserve", Json::u64(ts.nest_reserve[i])),
+            ],
+        ));
+        for (s, col) in ts.socket_util.iter().enumerate() {
+            events.push(counter(
+                format!("ts util s{s}"),
+                t,
+                vec![("busy_fraction", Json::f64(col[i]))],
+            ));
+        }
+        for (x, col) in ts.ccx_util.iter().enumerate() {
+            events.push(counter(
+                format!("ts util x{x}"),
+                t,
+                vec![("busy_fraction", Json::f64(col[i]))],
+            ));
+        }
+    }
+    events
+}
+
+/// Exports `log` with the sampled [`TimeSeries`] appended as counter
+/// tracks — the full observability view in one Perfetto-loadable file.
+pub fn chrome_trace_with_timeseries(log: &TraceLog, ts: &TimeSeries) -> Json {
+    let mut json = chrome_trace_json(log);
+    if let Json::Obj(fields) = &mut json {
+        for (key, value) in fields.iter_mut() {
+            if key == "traceEvents" {
+                if let Json::Arr(events) = value {
+                    events.extend(timeseries_counters(ts));
+                }
+            }
+        }
+    }
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +425,35 @@ mod tests {
         assert_eq!(run.get("ts"), Some(&Json::Num("2.000".into())));
         assert_eq!(run.get("dur"), Some(&Json::Num("3.000".into())));
         assert_eq!(run.get("tid").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn timeseries_counters_ride_along_as_counter_tracks() {
+        let ts = TimeSeries {
+            interval_ns: 1_000_000,
+            truncated_halvings: 0,
+            t_ns: vec![1_000_000, 2_000_000],
+            power_w: vec![100.0, 120.0],
+            mean_freq_khz: vec![2_100_000, 2_800_000],
+            runnable: vec![3, 1],
+            nest_primary: vec![2, 2],
+            nest_reserve: vec![1, 0],
+            socket_util: vec![vec![0.5, 0.25]],
+            ccx_util: vec![vec![0.5, 0.25], vec![0.0, 0.0]],
+        };
+        let json = chrome_trace_with_timeseries(&demo_log(), &ts);
+        let counters = phases_named(&json, "C");
+        for name in ["ts power", "ts mean freq", "ts runnable", "ts nest"] {
+            assert_eq!(
+                counters.iter().filter(|c| *c == name).count(),
+                2,
+                "two samples of {name}"
+            );
+        }
+        assert!(counters.contains(&"ts util s0".to_string()));
+        assert!(counters.contains(&"ts util x1".to_string()));
+        let text = json.to_pretty();
+        assert_eq!(nest_simcore::json::parse(&text).unwrap(), json);
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   trace and validates consistency on every event (task on ≤ 1 core,
 //!   nests ⊆ online cores, frequencies inside the machine envelope, …),
 //!   either failing fast for tests or tallying [`InvariantCounts`] for
-//!   telemetry.
+//!   telemetry;
+//! * [`TimeSeriesSampler`] — interval-sampled machine state (per-domain
+//!   utilization, mean frequency, nest occupancy, runnable depth,
+//!   instantaneous power) as a bounded columnar [`TimeSeries`], also
+//!   exportable as chrome-trace counter tracks via
+//!   [`timeseries_counters`] ([`chrome_trace_with_timeseries`] merges
+//!   them into a collected trace, which is what `nest-sim trace` writes).
 //!
 //! All are strictly observers: they never touch engine state, so running
 //! with or without them produces byte-identical `results/*.json`.
@@ -29,11 +35,15 @@ pub mod chrome;
 pub mod collector;
 pub mod decision;
 pub mod invariant;
+pub mod timeseries;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_with_timeseries, timeseries_counters};
 pub use collector::{EventClass, TraceCollector, TraceLog};
 pub use decision::{
     DecisionMetrics, DecisionMetricsProbe, DECISION_METRICS_PROBE_KIND, LATENCY_BUCKET_EDGES_NS,
     TIMELINE_CAP,
 };
 pub use invariant::{InvariantChecker, InvariantCounts, INVARIANT_CHECKER_KIND};
+pub use timeseries::{
+    TimeSeries, TimeSeriesSampler, DEFAULT_SAMPLE_INTERVAL_NS, SAMPLE_CAP, TIMESERIES_PROBE_KIND,
+};

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Byte-identity guard: regenerate representative artifacts (Figures 2,
-# 4 and 10, Table 4, the serve tail sweep, a faulted run, and a
-# snapshot/replay continuation) in quick mode and compare their hashes
-# against the committed golden set.
+# 4 and 10, Table 4, the serve tail sweep, the latency-attribution
+# sweep, a faulted run, and a snapshot/replay continuation) in quick
+# mode and compare their hashes against the committed golden set.
 #
 # The harness's determinism contract says artifact bytes depend only on
 # the seed and the simulation inputs — never on worker count, cache
@@ -23,7 +23,7 @@ export NEST_QUICK=1 NEST_RUNS=1 NEST_SEED=42 NEST_CACHE=off
 export NEST_PROGRESS=0 NEST_RESULTS_DIR="$outdir"
 unset NEST_JOBS 2>/dev/null || true
 
-for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview fig_serve_tail; do
+for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview fig_serve_tail fig_attribution; do
     echo "==> regenerating $bin (quick mode)"
     cargo run --release -q -p nest-bench --bin "$bin" >/dev/null
 done
@@ -60,7 +60,7 @@ cargo run --release -q -p nest-bench --bin nest-sim -- \
 
 (cd "$outdir" && sha256sum fig02_trace.json fig04_underload.json \
     fig10_dacapo_speedup.json table4_overview.json fig_serve_tail.json \
-    faulted_pin.json synth_pin.json replay_pin.json) \
+    fig_attribution.json faulted_pin.json synth_pin.json replay_pin.json) \
     > "$outdir/actual.sha256"
 
 if [[ "${1:-}" == "--update" ]]; then
