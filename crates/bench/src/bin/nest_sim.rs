@@ -32,7 +32,7 @@
 use nest_core::experiment::format_table;
 use nest_core::{run_many, run_once_with};
 use nest_harness::{Artifact, Json, Matrix};
-use nest_metrics::{PhaseMetrics, ServeMetrics, PHASE_NAMES};
+use nest_metrics::{FleetMetrics, PhaseMetrics, ServeMetrics, PHASE_NAMES};
 use nest_obs::{chrome_trace_with_timeseries, DecisionMetrics, EventClass, TraceCollector};
 use nest_scenario::{Scenario, DEFAULT_RUNS, DEFAULT_SEED};
 use nest_simcore::json::obj;
@@ -863,6 +863,58 @@ fn serve_report(m: &ServeMetrics) -> String {
     out
 }
 
+/// Renders the multi-host fleet lens; empty unless the scenario ran
+/// under a `fleet:` front-end.
+fn fleet_report(m: &FleetMetrics) -> String {
+    if m.runs == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    let or_na = |v: Option<String>| v.unwrap_or_else(|| "n/a".to_string());
+    line(String::new());
+    line(format!(
+        "fleet: {} host(s), {} offered, {} completed, {} failed, {} shed",
+        m.hosts, m.offered, m.completed, m.failed, m.shed
+    ));
+    line(format!(
+        "robustness: {} timeout(s), {} retr{}, {} hedge(s) ({} won), {} late completion(s)",
+        m.timeouts,
+        m.retries,
+        if m.retries == 1 { "y" } else { "ies" },
+        m.hedges,
+        m.hedge_wins,
+        m.late_completions
+    ));
+    let q = |p: f64| or_na(m.hist.quantile(p).map(|ns| fmt_ns(ns as f64)));
+    line(format!(
+        "fleet latency: p50 {}, p99 {}, p999 {} (mean {})",
+        q(0.50),
+        q(0.99),
+        q(0.999),
+        or_na(m.hist.mean().map(fmt_ns))
+    ));
+    line(format!(
+        "goodput: {}, retries: {}, shed rate: {}",
+        or_na(m.goodput_per_s().map(|g| format!("{g:.1}/s"))),
+        or_na(m.retries_per_s().map(|r| format!("{r:.2}/s"))),
+        fmt_opt_pct(m.shed_rate())
+    ));
+    if m.crashes > 0 {
+        line(format!(
+            "failover: {} crash(es), {} restart(s), {} request(s) lost in flight, time-to-warm {}",
+            m.crashes,
+            m.restarts,
+            m.in_flight_lost,
+            or_na(m.time_to_warm_ns().map(fmt_ns))
+        ));
+    }
+    out
+}
+
 fn stats(args: &[String]) {
     let a = parse_run_args(args);
     a.no_trace_flags("stats");
@@ -875,10 +927,14 @@ fn stats(args: &[String]) {
     let mut merged = DecisionMetrics::default();
     let mut serve = ServeMetrics::default();
     let mut phases = PhaseMetrics::default();
+    let mut fleet = FleetMetrics::default();
     for r in &results {
         merged.merge(&r.decision);
         serve.merge(&r.serve);
         phases.merge(&r.phases);
+        if let Some(f) = &r.fleet {
+            fleet.merge(&f.metrics);
+        }
     }
     if a.json {
         let mut fields = vec![
@@ -892,12 +948,16 @@ fn stats(args: &[String]) {
         if phases.runs > 0 {
             fields.push(("phase_metrics", phases.to_json()));
         }
+        if fleet.runs > 0 {
+            fields.push(("fleet_metrics", fleet.to_json()));
+        }
         println!("{}", obj(fields).to_pretty());
         return;
     }
     print!("{}", stats_report(&s, &merged));
     print!("{}", serve_report(&serve));
     print!("{}", phase_report(&phases));
+    print!("{}", fleet_report(&fleet));
 }
 
 /// Which direction of change counts as a regression for one metric.
@@ -933,6 +993,14 @@ fn diff_metrics() -> Vec<(String, Worse)> {
         ("phase_metrics.total.p99_ns", Worse::Higher),
         ("phase_metrics.total.p999_ns", Worse::Higher),
         ("phase_metrics.identity_violations", Worse::Higher),
+        ("fleet_metrics.latency.p99_ns", Worse::Higher),
+        ("fleet_metrics.latency.p999_ns", Worse::Higher),
+        ("fleet_metrics.goodput_per_s", Worse::Lower),
+        ("fleet_metrics.retries_per_s", Worse::Higher),
+        ("fleet_metrics.shed_rate", Worse::Higher),
+        ("fleet_metrics.timeouts", Worse::Higher),
+        ("fleet_metrics.hedges", Worse::Info),
+        ("fleet_metrics.time_to_warm_ns", Worse::Info),
     ]
     .iter()
     .map(|&(p, w)| (p.to_string(), w))

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod experiment;
+pub mod fleet;
 pub mod sim;
 pub mod snapshot;
 

@@ -16,7 +16,7 @@ use nest_metrics::{
     PhaseMetrics, PlacementCounts, PlacementProbe, ServeMetrics, ServeMetricsProbe, UnderloadData,
     UnderloadProbe, WakeupLatencies, WakeupLatencyProbe,
 };
-use nest_metrics::{RunSummary, ServeSummary};
+use nest_metrics::{FleetRunStats, FleetSummary, RunSummary, ServeSummary};
 use nest_obs::{
     DecisionMetrics, DecisionMetricsProbe, InvariantChecker, InvariantCounts, TimeSeries,
     TimeSeriesSampler,
@@ -220,6 +220,10 @@ pub struct RunResult {
     /// Interval-sampled machine state (utilization, frequency, nest
     /// occupancy, power). Always collected; telemetry only.
     pub timeseries: TimeSeries,
+    /// Fleet (multi-host) client-side statistics. `None` unless the
+    /// workload ran under a `fleet:` front-end; for fleet runs, see
+    /// [`crate::fleet`] for what the merged single-host fields mean.
+    pub fleet: Option<FleetRunStats>,
 }
 
 impl RunResult {
@@ -239,6 +243,9 @@ impl RunResult {
         );
         if self.serve.runs > 0 {
             summary.serve = Some(ServeSummary::from_metrics(&self.serve));
+        }
+        if let Some(fleet) = &self.fleet {
+            summary.fleet = Some(FleetSummary::from_stats(fleet));
         }
         summary
     }
@@ -410,6 +417,7 @@ pub(crate) fn collect_result(outcome: &RunOutcome, rig: ProbeRig) -> RunResult {
         invariants,
         phases: rig.phases.map(|h| take(&h)).unwrap_or_default(),
         timeseries: take(&rig.timeseries),
+        fleet: None,
     }
 }
 
@@ -427,6 +435,9 @@ pub fn run_once_with(
     workload: &dyn Workload,
     extra_probes: Vec<Box<dyn Probe>>,
 ) -> RunResult {
+    if let Some(fleet) = workload.fleet_spec() {
+        return crate::fleet::run_fleet(cfg, workload, &fleet, extra_probes);
+    }
     let slos = workload.serve_specs().iter().map(|s| s.slo_ns).collect();
     let (mut engine, rig) = build_engine(cfg, slos, extra_probes);
     setup_workload(&mut engine, cfg, workload);

@@ -219,6 +219,13 @@ impl PausedSim {
 /// sequence an uninterrupted [`crate::run_once`] would, so results are
 /// byte-identical.
 pub fn run_until(cfg: &SimConfig, workload: &dyn Workload, pause_at: Time) -> Progress {
+    // Fleet runs are not snapshotable (keepalive host engines refuse to
+    // serialize); run the whole fleet and report it as already done, so
+    // warm starts and replay degrade gracefully instead of panicking.
+    if let Some(fleet) = workload.fleet_spec() {
+        let result = crate::fleet::run_fleet(cfg, workload, &fleet, Vec::new());
+        return Progress::Done(Box::new(result));
+    }
     let slos = workload.serve_specs().iter().map(|s| s.slo_ns).collect();
     let (mut engine, rig) = build_engine(cfg, slos, Vec::new());
     setup_workload(&mut engine, cfg, workload);
@@ -433,6 +440,39 @@ mod tests {
                 expect: SNAPSHOT_SCHEMA
             }
         ));
+    }
+
+    #[test]
+    fn older_schema_snapshots_are_refused_with_a_clear_error() {
+        // Snapshots from builds with older container schemas (v1 wrote a
+        // flat body, v2 predates domain sharding) must be refused at the
+        // header — a typed SchemaMismatch, never a parse panic from
+        // decoding a body this build no longer understands. The message
+        // is pinned because `nest-sim replay` and the warm-start path
+        // both surface it verbatim.
+        for old in [1u64, 2] {
+            let text = snap_at(Time::from_millis(40))
+                .replace("\"schema\": 3", &format!("\"schema\": {old}"));
+            let err = restore(&cfg(), &Configure::named("gdb"), &text, IDENTITY)
+                .err()
+                .unwrap();
+            assert!(
+                matches!(
+                    err,
+                    SnapError::SchemaMismatch {
+                        found,
+                        expect: SNAPSHOT_SCHEMA
+                    } if found == old
+                ),
+                "{err}"
+            );
+            assert_eq!(
+                err.to_string(),
+                format!(
+                    "snapshot schema v{old} is not readable by this build (expects v{SNAPSHOT_SCHEMA})"
+                )
+            );
+        }
     }
 
     #[test]

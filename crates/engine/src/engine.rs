@@ -172,6 +172,12 @@ pub struct Engine {
     /// machine is idle between arrivals.
     pending_injections: usize,
     started: bool,
+    /// Keeps the event loop running even with no live tasks or pending
+    /// injections (the periodic ticks self-reschedule, so the queue never
+    /// drains). A fleet co-simulation sets this so host engines can idle
+    /// between externally routed arrivals; never serialized — fleet runs
+    /// are not snapshotable.
+    keepalive: bool,
     /// Cumulative events dispatched since the run began — *including*
     /// events dispatched before a snapshot was taken, so the
     /// [`EngineConfig::event_budget`] watchdog behaves identically on a
@@ -242,6 +248,7 @@ impl Engine {
             injections: Vec::new(),
             pending_injections: 0,
             started: false,
+            keepalive: false,
             events_dispatched: 0,
             events_at_start: 0,
             hit_horizon: false,
@@ -324,6 +331,47 @@ impl Engine {
         assert!(!self.started, "inject_at must precede run()");
         self.injections.push((at, Some(spec)));
         self.pending_injections += 1;
+    }
+
+    /// Keeps (or stops keeping) the run alive when no tasks are live and
+    /// no injections are pending. While set, [`Engine::run_to`] pauses at
+    /// the requested time instead of finishing, so an external driver —
+    /// the fleet co-simulation — can feed arrivals with
+    /// [`Engine::inject_live`] between pauses. Clear it before the final
+    /// [`Engine::resume`] to let the run drain and finish.
+    pub fn set_keepalive(&mut self, on: bool) {
+        self.keepalive = on;
+    }
+
+    /// Registers a task arrival at simulated time `at` on a *running*
+    /// engine (paused via [`Engine::run_to`]). The arrival must not lie in
+    /// the past; it enters through the same injection path as
+    /// [`Engine::inject_at`], so the task is created exactly as a
+    /// pre-registered arrival at the same time would be.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the engine's current time.
+    pub fn inject_live(&mut self, at: Time, spec: TaskSpec) {
+        if !self.started {
+            self.inject_at(at, spec);
+            return;
+        }
+        assert!(at >= self.now, "inject_live arrival lies in the past");
+        let idx = self.injections.len();
+        self.injections.push((at, Some(spec)));
+        self.pending_injections += 1;
+        self.queue.schedule(at, Event::Inject(idx));
+    }
+
+    /// Ends a run *without* draining remaining work: flushes the profiler,
+    /// notifies probes, and builds the outcome from the current state. The
+    /// fleet layer uses this when a host crashes mid-run — whatever was in
+    /// flight on the host is simply lost. The engine must not be driven
+    /// again afterwards.
+    pub fn abandon(&mut self) -> RunOutcome {
+        assert!(self.started, "nothing to abandon: the engine never ran");
+        self.finish()
     }
 
     fn create_task(
@@ -458,7 +506,7 @@ impl Engine {
     fn start(&mut self) {
         assert!(!self.started, "engine can only run once");
         assert!(
-            !self.tasks.is_empty() || self.pending_injections > 0,
+            !self.tasks.is_empty() || self.pending_injections > 0 || self.keepalive,
             "no tasks spawned or injections registered"
         );
         self.started = true;
@@ -481,7 +529,7 @@ impl Engine {
         let wall_start = std::time::Instant::now();
         // Dispatched events are tallied in a plain field and flushed to
         // the profiler once per run: the loop body stays free of atomics.
-        while self.live_tasks > 0 || self.pending_injections > 0 {
+        while self.live_tasks > 0 || self.pending_injections > 0 || self.keepalive {
             if let Some(pause) = pause_at {
                 // Peek, never pop: a popped event could not go back, and
                 // the snapshot must keep it.
@@ -1387,6 +1435,9 @@ impl Engine {
     pub fn snapshot(&self) -> Result<Json, String> {
         if !self.started {
             return Err("snapshot requires a started run (pause with run_to first)".to_string());
+        }
+        if self.keepalive {
+            return Err("fleet host engines (keepalive mode) do not support snapshots".to_string());
         }
         let mut tasks = Vec::with_capacity(self.tasks.len());
         for (i, t) in self.tasks.iter().enumerate() {

@@ -355,3 +355,53 @@ fn all_events_have_monotonic_time() {
     // the probe would have panicked on violation if we asserted inside.
     drop(probes);
 }
+
+#[test]
+fn keepalive_engine_pauses_empty_and_accepts_live_injections() {
+    // With keepalive on, a taskless engine can start and idle at a pause
+    // point instead of refusing to run; work arrives later through
+    // inject_live and drives normally.
+    let mut eng = engine_cfs();
+    eng.set_keepalive(true);
+    assert!(
+        eng.run_to(Time::from_nanos(1_000_000)).is_none(),
+        "keepalive engine pauses instead of finishing"
+    );
+    eng.inject_live(
+        Time::from_nanos(2_000_000),
+        TaskSpec::script("late", vec![compute_ms_at_1ghz(1)]),
+    );
+    assert!(eng.run_to(Time::from_nanos(50_000_000)).is_none());
+    assert!(eng.now() >= Time::from_nanos(2_000_000));
+    eng.set_keepalive(false);
+    let out = eng.resume();
+    assert_eq!(out.total_tasks, 1);
+    assert_eq!(out.live_tasks, 0);
+    assert!(!out.hit_horizon);
+}
+
+#[test]
+fn abandon_ends_a_run_without_draining() {
+    // Crash semantics: a long-running task is simply cut off; the
+    // outcome reports it still live at the abandonment time.
+    let mut eng = engine_cfs();
+    eng.set_keepalive(true);
+    eng.spawn(TaskSpec::script(
+        "forever",
+        vec![compute_ms_at_1ghz(10_000)],
+    ));
+    assert!(eng.run_to(Time::from_nanos(5_000_000)).is_none());
+    let out = eng.abandon();
+    assert_eq!(out.live_tasks, 1, "the task never finished");
+    assert!(out.finished_at >= Time::from_nanos(4_000_000));
+}
+
+#[test]
+fn keepalive_engines_refuse_snapshots() {
+    let mut eng = engine_cfs();
+    eng.set_keepalive(true);
+    eng.spawn(TaskSpec::script("t", vec![compute_ms_at_1ghz(5)]));
+    assert!(eng.run_to(Time::from_nanos(1_000_000)).is_none());
+    let err = eng.snapshot().unwrap_err();
+    assert!(err.contains("keepalive"), "{err}");
+}

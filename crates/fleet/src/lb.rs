@@ -1,0 +1,138 @@
+//! Pure load-balancer choice functions.
+//!
+//! The co-simulation driver snapshots each host into a [`HostView`] and
+//! asks [`choose_host`] where the next attempt goes. Keeping the choice a
+//! pure function of the views (plus the round-robin cursor) makes the
+//! routing decisions unit-testable and trivially deterministic.
+
+use crate::spec::LbPolicy;
+
+/// What the balancer knows about one host when routing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostView {
+    /// The host accepts traffic (not crashed, not finished).
+    pub alive: bool,
+    /// Requests dispatched to the host and not yet completed.
+    pub outstanding: u32,
+    /// Size of the host's primary nest (0 for policies without nests) —
+    /// the warmth signal.
+    pub nest_primary: u32,
+    /// The host's p99 latency estimate currently breaches the SLO.
+    pub brownout: bool,
+}
+
+/// Picks a host for the next attempt among `eligible` indices (already
+/// filtered for liveness/exclusions by the caller), or `None` when the
+/// slate is empty.
+///
+/// * round-robin — the next eligible index after the cursor (which
+///   advances to the choice);
+/// * least-outstanding — fewest outstanding, ties to the lowest index;
+/// * warmth — largest *spare* warm capacity (primary nest minus
+///   outstanding attempts), ties to the least outstanding, then the
+///   lowest index. Scoring spare capacity rather than raw nest size
+///   matters: a saturated warm host scores no better than an idle cold
+///   one, so overflow spills over and warms the rest of the fleet
+///   instead of piling onto one nest without bound.
+pub fn choose_host(
+    lb: LbPolicy,
+    hosts: &[HostView],
+    eligible: &[usize],
+    rr_cursor: &mut usize,
+) -> Option<usize> {
+    if eligible.is_empty() {
+        return None;
+    }
+    match lb {
+        LbPolicy::RoundRobin => {
+            let n = hosts.len();
+            for step in 1..=n {
+                let idx = (*rr_cursor + step) % n;
+                if eligible.contains(&idx) {
+                    *rr_cursor = idx;
+                    return Some(idx);
+                }
+            }
+            None
+        }
+        LbPolicy::LeastOutstanding => eligible
+            .iter()
+            .copied()
+            .min_by_key(|&i| (hosts[i].outstanding, i)),
+        LbPolicy::Warmth => eligible.iter().copied().min_by_key(|&i| {
+            let spare = hosts[i].nest_primary.saturating_sub(hosts[i].outstanding);
+            (std::cmp::Reverse(spare), hosts[i].outstanding, i)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(specs: &[(bool, u32, u32)]) -> Vec<HostView> {
+        specs
+            .iter()
+            .map(|&(alive, outstanding, nest_primary)| HostView {
+                alive,
+                outstanding,
+                nest_primary,
+                brownout: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_over_eligible() {
+        let hosts = views(&[(true, 0, 0); 4]);
+        let mut cursor = 3; // so the first pick is host 0
+        let eligible = [0, 1, 3];
+        let picks: Vec<usize> = (0..6)
+            .map(|_| choose_host(LbPolicy::RoundRobin, &hosts, &eligible, &mut cursor).unwrap())
+            .collect();
+        assert_eq!(picks, [0, 1, 3, 0, 1, 3]);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_empty_queue_then_index() {
+        let hosts = views(&[(true, 5, 0), (true, 2, 0), (true, 2, 0)]);
+        let mut c = 0;
+        assert_eq!(
+            choose_host(LbPolicy::LeastOutstanding, &hosts, &[0, 1, 2], &mut c),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn warmth_prefers_largest_spare_capacity_then_least_outstanding() {
+        let hosts = views(&[(true, 0, 2), (true, 3, 6), (true, 1, 6)]);
+        let mut c = 0;
+        assert_eq!(
+            choose_host(LbPolicy::Warmth, &hosts, &[0, 1, 2], &mut c),
+            Some(2),
+            "most spare warm capacity (6-1=5) wins"
+        );
+    }
+
+    #[test]
+    fn warmth_spills_over_when_the_warm_host_saturates() {
+        // Host 0 is warm but fully loaded (nest 4, outstanding 4): zero
+        // spare capacity ties it with the idle cold host, and the tie
+        // breaks toward the shorter queue — traffic spreads instead of
+        // piling onto the one warm nest forever.
+        let hosts = views(&[(true, 4, 4), (true, 0, 0)]);
+        let mut c = 0;
+        assert_eq!(
+            choose_host(LbPolicy::Warmth, &hosts, &[0, 1], &mut c),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_slate_yields_none() {
+        let hosts = views(&[(true, 0, 0)]);
+        let mut c = 0;
+        assert_eq!(choose_host(LbPolicy::RoundRobin, &hosts, &[], &mut c), None);
+        assert_eq!(choose_host(LbPolicy::Warmth, &hosts, &[], &mut c), None);
+    }
+}

@@ -154,6 +154,10 @@ impl Artifact {
         if t.phase_metrics.runs > 0 {
             fields.push(("phase_metrics", t.phase_metrics.to_json()));
         }
+        // And only multi-host matrices carry the fleet block.
+        if t.fleet_metrics.runs > 0 {
+            fields.push(("fleet_metrics", t.fleet_metrics.to_json()));
+        }
         // Every simulated cell samples a time series; a fully cached run
         // has none and keeps the pre-sampler telemetry shape.
         if !t.timeseries.is_empty() {

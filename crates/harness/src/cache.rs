@@ -20,7 +20,7 @@
 
 use std::path::{Path, PathBuf};
 
-use nest_metrics::{LatencySummary, RunSummary, ServeSummary};
+use nest_metrics::{FleetSummary, LatencySummary, RunSummary, ServeSummary};
 use nest_simcore::rng::{mix64, splitmix64};
 
 use crate::json::{obj, parse, Json};
@@ -293,6 +293,44 @@ pub fn summary_to_json(s: &RunSummary) -> Json {
             ]),
         ));
     }
+    // Likewise the fleet block: only multi-host runs carry it.
+    if let Some(fleet) = &s.fleet {
+        fields.push((
+            "fleet",
+            obj(vec![
+                ("hosts", Json::u64(fleet.hosts as u64)),
+                ("offered", Json::u64(fleet.offered)),
+                ("completed", Json::u64(fleet.completed)),
+                ("failed", Json::u64(fleet.failed)),
+                ("shed", Json::u64(fleet.shed)),
+                ("timeouts", Json::u64(fleet.timeouts)),
+                ("retries", Json::u64(fleet.retries)),
+                ("hedges", Json::u64(fleet.hedges)),
+                ("hedge_wins", Json::u64(fleet.hedge_wins)),
+                ("crashes", Json::u64(fleet.crashes)),
+                ("restarts", Json::u64(fleet.restarts)),
+                ("p50_ns", Json::opt_u64(fleet.p50_ns)),
+                ("p99_ns", Json::opt_u64(fleet.p99_ns)),
+                ("p999_ns", Json::opt_u64(fleet.p999_ns)),
+                ("mean_ns", Json::opt_f64(fleet.mean_ns)),
+                ("goodput_per_s", Json::opt_f64(fleet.goodput_per_s)),
+                ("time_to_warm_s", Json::opt_f64(fleet.time_to_warm_s)),
+                ("timeline_window_ns", Json::u64(fleet.timeline_window_ns)),
+                (
+                    "timeline",
+                    Json::Arr(
+                        fleet
+                            .timeline
+                            .iter()
+                            .map(|&(arrived, ok)| {
+                                Json::Arr(vec![Json::u64(arrived), Json::u64(ok)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     obj(fields)
 }
 
@@ -367,6 +405,48 @@ pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
                 })
             }
         },
+        fleet: match v.get("fleet") {
+            None => None,
+            Some(fleet) => {
+                let opt_f64 = |field: &Json| {
+                    if field.is_null() {
+                        Some(None)
+                    } else {
+                        field.as_f64().map(Some)
+                    }
+                };
+                let timeline: Option<Vec<(u64, u64)>> = fleet
+                    .get("timeline")?
+                    .as_arr()?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr()?;
+                        Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                    })
+                    .collect();
+                Some(FleetSummary {
+                    hosts: fleet.get("hosts")?.as_u64()? as u32,
+                    offered: fleet.get("offered")?.as_u64()?,
+                    completed: fleet.get("completed")?.as_u64()?,
+                    failed: fleet.get("failed")?.as_u64()?,
+                    shed: fleet.get("shed")?.as_u64()?,
+                    timeouts: fleet.get("timeouts")?.as_u64()?,
+                    retries: fleet.get("retries")?.as_u64()?,
+                    hedges: fleet.get("hedges")?.as_u64()?,
+                    hedge_wins: fleet.get("hedge_wins")?.as_u64()?,
+                    crashes: fleet.get("crashes")?.as_u64()?,
+                    restarts: fleet.get("restarts")?.as_u64()?,
+                    p50_ns: opt_u64(fleet.get("p50_ns")?)?,
+                    p99_ns: opt_u64(fleet.get("p99_ns")?)?,
+                    p999_ns: opt_u64(fleet.get("p999_ns")?)?,
+                    mean_ns: opt_f64(fleet.get("mean_ns")?)?,
+                    goodput_per_s: opt_f64(fleet.get("goodput_per_s")?)?,
+                    time_to_warm_s: opt_f64(fleet.get("time_to_warm_s")?)?,
+                    timeline_window_ns: fleet.get("timeline_window_ns")?.as_u64()?,
+                    timeline: timeline?,
+                })
+            }
+        },
     })
 }
 
@@ -394,6 +474,7 @@ mod tests {
             total_tasks: 99,
             hit_horizon: false,
             serve: None,
+            fleet: None,
         }
     }
 
@@ -409,6 +490,8 @@ mod tests {
         );
         // Non-serving summaries carry no serve key at all.
         assert!(summary_to_json(&s).get("serve").is_none());
+        // Likewise single-host summaries carry no fleet key.
+        assert!(summary_to_json(&s).get("fleet").is_none());
     }
 
     #[test]
@@ -430,6 +513,39 @@ mod tests {
         };
         let json = summary_to_json(&s);
         assert!(json.get("serve").is_some());
+        let back = summary_from_json(&json).expect("round trip");
+        assert_eq!(back, s);
+        assert_eq!(json.to_pretty(), summary_to_json(&back).to_pretty());
+    }
+
+    #[test]
+    fn fleet_summary_round_trips_through_the_cache_codec() {
+        let s = RunSummary {
+            fleet: Some(FleetSummary {
+                hosts: 4,
+                offered: 1_000,
+                completed: 960,
+                failed: 30,
+                shed: 10,
+                timeouts: 45,
+                retries: 40,
+                hedges: 12,
+                hedge_wins: 5,
+                crashes: 1,
+                restarts: 1,
+                p50_ns: Some(600_000),
+                p99_ns: Some(3_000_000),
+                p999_ns: Some(9_000_000),
+                mean_ns: Some(812_444.5),
+                goodput_per_s: Some(320.0),
+                time_to_warm_s: Some(0.125),
+                timeline_window_ns: 50_000_000,
+                timeline: vec![(100, 98), (120, 60), (110, 109)],
+            }),
+            ..sample_summary()
+        };
+        let json = summary_to_json(&s);
+        assert!(json.get("fleet").is_some());
         let back = summary_from_json(&json).expect("round trip");
         assert_eq!(back, s);
         assert_eq!(json.to_pretty(), summary_to_json(&back).to_pretty());
@@ -517,6 +633,25 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, text.replace("\"schema\": 2", "\"schema\": 1")).unwrap();
         assert!(cache.lookup(&key).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn clearing_the_cache_also_clears_warm_snapshots() {
+        let dir = std::env::temp_dir().join(format!(
+            "nest-cache-clear-warm-{}-{:x}",
+            std::process::id(),
+            splitmix64(0xC1EA)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The warm snapshot store lives inside the cache directory, so a
+        // `NEST_CACHE=clear` run must discard stale snapshots along with
+        // stale summaries.
+        let warm = dir.join("warm");
+        std::fs::create_dir_all(&warm).unwrap();
+        std::fs::write(warm.join("deadbeef.snap"), "stale snapshot").unwrap();
+        let _ = Cache::at(dir.clone(), CacheMode::Clear);
+        assert!(!warm.exists(), "clear left warm snapshots behind");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -35,7 +35,7 @@ use nest_core::experiment::{Comparison, SchedulerSetup};
 use nest_core::snapshot as snap;
 use nest_core::{run_once, RunResult, SimConfig};
 use nest_faults::FaultPlan;
-use nest_metrics::{PhaseMetrics, RunSummary, ServeMetrics};
+use nest_metrics::{FleetMetrics, PhaseMetrics, RunSummary, ServeMetrics};
 use nest_obs::{DecisionMetrics, InvariantCounts, TimeSeries};
 use nest_scenario::{Scenario, ScenarioError};
 use nest_simcore::profile;
@@ -190,6 +190,9 @@ pub struct Telemetry {
     /// Per-request latency-phase breakdowns merged the same way; all-zero
     /// unless some simulated cell carried serve specs.
     pub phase_metrics: PhaseMetrics,
+    /// Multi-host fleet metrics merged the same way; all-zero unless some
+    /// simulated cell ran under a `fleet:` front-end.
+    pub fleet_metrics: FleetMetrics,
     /// Interval-sampled machine-state series of up to
     /// [`TELEMETRY_TIMESERIES_CAP`] simulated cells, keyed by cell label
     /// and sorted by it (cache hits sample nothing).
@@ -254,6 +257,7 @@ fn finish_telemetry(
     decision_metrics: DecisionMetrics,
     serve_metrics: ServeMetrics,
     phase_metrics: PhaseMetrics,
+    fleet_metrics: FleetMetrics,
     timeseries: Vec<(String, TimeSeries)>,
     timeseries_dropped: usize,
     failures: Vec<CellFailure>,
@@ -277,6 +281,7 @@ fn finish_telemetry(
         decision_metrics,
         serve_metrics,
         phase_metrics,
+        fleet_metrics,
         timeseries,
         timeseries_dropped,
         profile: profile::enabled().then_some(delta),
@@ -337,6 +342,7 @@ struct CellDone {
     decision: Option<DecisionMetrics>,
     serve: Option<ServeMetrics>,
     phases: Option<PhaseMetrics>,
+    fleet: Option<FleetMetrics>,
     timeseries: Option<TimeSeries>,
     invariants: Option<InvariantCounts>,
     /// `Some(events)` when the cell resumed from a warm snapshot that had
@@ -574,6 +580,7 @@ impl Matrix {
         let mut decision_metrics = DecisionMetrics::default();
         let mut serve_metrics = ServeMetrics::default();
         let mut phase_metrics = PhaseMetrics::default();
+        let mut fleet_metrics = FleetMetrics::default();
         let mut all_series: Vec<(String, TimeSeries)> = Vec::new();
         let mut invariants = InvariantCounts {
             completed: true,
@@ -613,6 +620,9 @@ impl Matrix {
                     }
                     if let Some(p) = done.phases {
                         phase_metrics.merge(&p);
+                    }
+                    if let Some(f) = done.fleet {
+                        fleet_metrics.merge(&f);
                     }
                     if let Some(ts) = done.timeseries {
                         if !ts.is_empty() {
@@ -667,6 +677,12 @@ impl Matrix {
         all_series.sort_by(|a, b| a.0.cmp(&b.0));
         let timeseries_dropped = all_series.len().saturating_sub(TELEMETRY_TIMESERIES_CAP);
         all_series.truncate(TELEMETRY_TIMESERIES_CAP);
+        // Keep the warm snapshot directory within its configured budget.
+        // Eviction happens after the run, so this run's warm hits were
+        // unaffected; the oldest snapshots lose their head start first.
+        if let (Some(w), Some(cap)) = (&self.warm, warm_cache_cap_from_env()) {
+            prune_warm_cache(&w.dir, cap);
+        }
         let telemetry = finish_telemetry(
             workers,
             total,
@@ -676,6 +692,7 @@ impl Matrix {
             decision_metrics,
             serve_metrics,
             phase_metrics,
+            fleet_metrics,
             all_series,
             timeseries_dropped,
             failures,
@@ -699,6 +716,7 @@ impl Matrix {
                 decision: None,
                 serve: None,
                 phases: None,
+                fleet: None,
                 timeseries: None,
                 invariants: None,
                 warm_restored: None,
@@ -749,6 +767,7 @@ impl Matrix {
             decision: Some(result.decision),
             serve: Some(result.serve),
             phases: Some(result.phases),
+            fleet: result.fleet.map(|f| f.metrics),
             timeseries: Some(result.timeseries),
             invariants: Some(result.invariants),
             warm_restored,
@@ -814,6 +833,58 @@ fn write_snapshot(dir: &Path, path: &Path, text: &str) -> bool {
     std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_ok()
 }
 
+/// Warm-cache size cap in bytes, from `NEST_WARM_CACHE_MB` (whole
+/// megabytes; unset or unparseable means uncapped). `0` is a valid cap:
+/// it evicts every snapshot, effectively disabling the warm cache
+/// without turning warm-start itself off.
+pub fn warm_cache_cap_from_env() -> Option<u64> {
+    std::env::var("NEST_WARM_CACHE_MB")
+        .ok()?
+        .parse::<u64>()
+        .ok()
+        .map(|mb| mb.saturating_mul(1024 * 1024))
+}
+
+/// Prunes the warm snapshot directory down to at most `cap_bytes` of
+/// `.snap` files by deleting the oldest-modified first (ties broken by
+/// file name, so the order is deterministic on coarse-grained
+/// filesystems). Non-snapshot files are never touched. Returns how many
+/// snapshots were evicted.
+pub fn prune_warm_cache(dir: &Path, cap_bytes: u64) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut snaps: Vec<(std::time::SystemTime, String, PathBuf, u64)> = Vec::new();
+    let mut total: u64 = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        total += meta.len();
+        snaps.push((
+            mtime,
+            entry.file_name().to_string_lossy().into_owned(),
+            path,
+            meta.len(),
+        ));
+    }
+    snaps.sort();
+    let mut evicted = 0;
+    for (_, _, path, len) in snaps {
+        if total <= cap_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
 /// One raw simulation for trace figures (2, 3, 8): full [`RunResult`]s are
 /// too heavy to cache but the fan-out and seed discipline still apply.
 pub struct RawCell {
@@ -854,6 +925,7 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
     let mut decision_metrics = DecisionMetrics::default();
     let mut serve_metrics = ServeMetrics::default();
     let mut phase_metrics = PhaseMetrics::default();
+    let mut fleet_metrics = FleetMetrics::default();
     let mut all_series: Vec<(String, TimeSeries)> = Vec::new();
     let mut invariants = InvariantCounts {
         completed: true,
@@ -863,6 +935,9 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         decision_metrics.merge(&r.decision);
         serve_metrics.merge(&r.serve);
         phase_metrics.merge(&r.phases);
+        if let Some(f) = &r.fleet {
+            fleet_metrics.merge(&f.metrics);
+        }
         if !r.timeseries.is_empty() && all_series.len() < TELEMETRY_TIMESERIES_CAP {
             all_series.push((format!("cell {i}"), r.timeseries.clone()));
         }
@@ -882,6 +957,7 @@ pub fn run_raw(cells: Vec<RawCell>, jobs: usize) -> (Vec<RunResult>, Telemetry) 
         decision_metrics,
         serve_metrics,
         phase_metrics,
+        fleet_metrics,
         all_series,
         timeseries_dropped,
         Vec::new(),
@@ -1258,6 +1334,51 @@ mod tests {
         assert_eq!(w.cells_warm, 0);
         assert_eq!(w.snapshots_written, 0);
         assert_same_comparisons(&cold, &warm_run);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn warm_cache_cap_evicts_oldest_snapshots_first() {
+        let dir = std::env::temp_dir().join(format!(
+            "nest-warm-cap-{}-{:x}",
+            std::process::id(),
+            nest_simcore::rng::splitmix64(0xCA9B)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Four 100-byte snapshots with staggered ages (b and c share an
+        // mtime, so the name breaks the tie), plus a bystander file the
+        // pruner must never touch.
+        let base = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        let stamp = |name: &str, age_back_s: u64| {
+            let path = dir.join(name);
+            std::fs::write(&path, [0u8; 100]).unwrap();
+            let f = std::fs::File::options().write(true).open(&path).unwrap();
+            f.set_modified(base - std::time::Duration::from_secs(age_back_s))
+                .unwrap();
+        };
+        stamp("a.snap", 30); // oldest → evicted first
+        stamp("c.snap", 20); // tied with b; "b" sorts first
+        stamp("b.snap", 20);
+        stamp("d.snap", 10); // newest → kept longest
+        stamp("not-a-snapshot.txt", 99);
+
+        // Cap of 250 bytes over 400 bytes of snapshots: evict a (oldest),
+        // then b (tie broken by name) — 200 bytes remain.
+        assert_eq!(prune_warm_cache(&dir, 250), 2);
+        assert!(!dir.join("a.snap").exists());
+        assert!(!dir.join("b.snap").exists());
+        assert!(dir.join("c.snap").exists());
+        assert!(dir.join("d.snap").exists());
+        assert!(dir.join("not-a-snapshot.txt").exists());
+
+        // Already under budget: nothing more to do.
+        assert_eq!(prune_warm_cache(&dir, 250), 0);
+        // A zero cap empties the snapshot set but spares other files.
+        assert_eq!(prune_warm_cache(&dir, 0), 2);
+        assert!(dir.join("not-a-snapshot.txt").exists());
+
         let _ = std::fs::remove_dir_all(dir);
     }
 

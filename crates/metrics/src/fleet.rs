@@ -1,0 +1,385 @@
+//! Fleet-level (multi-host) serving metrics.
+//!
+//! The fleet co-simulation driver in `nest-core` counts the client's view
+//! of a multi-host run — requests routed, retried, hedged, shed, timed
+//! out — into a [`FleetMetrics`]: the mergeable aggregate written into
+//! `.telemetry.json` as the `fleet_metrics` block (the `serve_metrics`
+//! convention). [`FleetRunStats`] wraps one run's metrics together with
+//! the goodput timeline the failover figure plots; [`FleetSummary`] is
+//! the plain-scalar projection carried inside `RunSummary`, so fleet
+//! figures work from the result cache.
+//!
+//! The *server-side* view (per-attempt work on each host) still flows
+//! through the ordinary [`crate::ServeMetrics`] path: each host engine
+//! carries its own serve probe and the driver merges them.
+
+use nest_simcore::json::{obj, Json};
+
+use crate::tail::TailHistogram;
+
+/// Aggregated client-side fleet metrics over one or more runs.
+///
+/// Every count is an order-independent sum; `hosts` is identical across
+/// the runs of one cell (first-wins on merge, like `ServeMetrics::slo_ns`)
+/// and the per-host histograms merge element-wise.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetMetrics {
+    /// Runs merged into this aggregate.
+    pub runs: u64,
+    /// Hosts in the fleet.
+    pub hosts: u32,
+    /// Requests that arrived at the balancer.
+    pub offered: u64,
+    /// Requests answered (first successful attempt completed).
+    pub completed: u64,
+    /// Requests that exhausted their retry budget without an answer.
+    pub failed: u64,
+    /// Requests shed by the SLO-aware brownout guard.
+    pub shed: u64,
+    /// Attempt timeouts observed by the client.
+    pub timeouts: u64,
+    /// Retry attempts dispatched.
+    pub retries: u64,
+    /// Hedged (duplicate) attempts dispatched.
+    pub hedges: u64,
+    /// Requests whose hedged attempt answered first.
+    pub hedge_wins: u64,
+    /// Attempt completions that arrived after the client had already
+    /// resolved the request (hedge losers and post-timeout stragglers) —
+    /// wasted server work.
+    pub late_completions: u64,
+    /// Host crashes injected.
+    pub crashes: u64,
+    /// Cold host restarts.
+    pub restarts: u64,
+    /// Attempts in flight on a host at the instant it crashed.
+    pub in_flight_lost: u64,
+    /// Restarted hosts whose primary nest regained its pre-crash size.
+    pub warm_recoveries: u64,
+    /// Total restart→warm time across those recoveries.
+    pub time_to_warm_ns_total: u64,
+    /// Total simulated nanoseconds across the merged runs (the fleet
+    /// makespan per run).
+    pub sim_ns: u64,
+    /// Client-observed arrival→answer latency of completed requests.
+    pub hist: TailHistogram,
+    /// Per-host attempt latency (dispatch→completion on that host).
+    pub host_hist: Vec<TailHistogram>,
+}
+
+impl FleetMetrics {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &FleetMetrics) {
+        self.runs += other.runs;
+        if self.hosts == 0 {
+            self.hosts = other.hosts;
+        }
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.shed += other.shed;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.late_completions += other.late_completions;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.in_flight_lost += other.in_flight_lost;
+        self.warm_recoveries += other.warm_recoveries;
+        self.time_to_warm_ns_total += other.time_to_warm_ns_total;
+        self.sim_ns += other.sim_ns;
+        self.hist.merge(&other.hist);
+        if self.host_hist.len() < other.host_hist.len() {
+            self.host_hist
+                .resize_with(other.host_hist.len(), TailHistogram::default);
+        }
+        for (mine, theirs) in self.host_hist.iter_mut().zip(&other.host_hist) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Simulated seconds across all runs.
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_ns as f64 / 1e9
+    }
+
+    /// Answered requests per simulated second — the fleet's goodput.
+    pub fn goodput_per_s(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.completed as f64 / self.sim_secs())
+    }
+
+    /// Retries per simulated second (the failover-pressure signal the
+    /// `nest-sim diff` gate watches).
+    pub fn retries_per_s(&self) -> Option<f64> {
+        (self.sim_ns > 0).then(|| self.retries as f64 / self.sim_secs())
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> Option<f64> {
+        (self.offered > 0).then(|| self.shed as f64 / self.offered as f64)
+    }
+
+    /// Mean restart→warm time, when any restart re-warmed.
+    pub fn time_to_warm_ns(&self) -> Option<f64> {
+        (self.warm_recoveries > 0)
+            .then(|| self.time_to_warm_ns_total as f64 / self.warm_recoveries as f64)
+    }
+
+    /// Serializes the metrics as the `fleet_metrics` telemetry block.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("runs", Json::u64(self.runs)),
+            ("sim_ns", Json::u64(self.sim_ns)),
+            ("hosts", Json::u64(self.hosts as u64)),
+            ("offered", Json::u64(self.offered)),
+            ("completed", Json::u64(self.completed)),
+            ("failed", Json::u64(self.failed)),
+            ("shed", Json::u64(self.shed)),
+            ("timeouts", Json::u64(self.timeouts)),
+            ("retries", Json::u64(self.retries)),
+            ("hedges", Json::u64(self.hedges)),
+            ("hedge_wins", Json::u64(self.hedge_wins)),
+            ("late_completions", Json::u64(self.late_completions)),
+            ("crashes", Json::u64(self.crashes)),
+            ("restarts", Json::u64(self.restarts)),
+            ("in_flight_lost", Json::u64(self.in_flight_lost)),
+            (
+                "latency",
+                obj(vec![
+                    ("p50_ns", Json::opt_u64(self.hist.quantile(0.50))),
+                    ("p99_ns", Json::opt_u64(self.hist.quantile(0.99))),
+                    ("p999_ns", Json::opt_u64(self.hist.quantile(0.999))),
+                    ("mean_ns", Json::opt_f64(self.hist.mean())),
+                    ("samples", Json::u64(self.hist.len())),
+                ]),
+            ),
+            ("goodput_per_s", Json::opt_f64(self.goodput_per_s())),
+            ("retries_per_s", Json::opt_f64(self.retries_per_s())),
+            ("shed_rate", Json::opt_f64(self.shed_rate())),
+            ("time_to_warm_ns", Json::opt_f64(self.time_to_warm_ns())),
+            (
+                "per_host",
+                Json::Arr(
+                    self.host_hist
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("p50_ns", Json::opt_u64(h.quantile(0.50))),
+                                ("p99_ns", Json::opt_u64(h.quantile(0.99))),
+                                ("samples", Json::u64(h.len())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One goodput-timeline window: how many requests arrived in the window
+/// and how many were answered in it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetWindow {
+    /// Requests that arrived at the balancer during the window.
+    pub arrived: u64,
+    /// Requests answered during the window.
+    pub ok: u64,
+}
+
+/// One fleet run's full statistics: the mergeable metrics plus the
+/// goodput timeline (per-run only — timelines of different runs do not
+/// merge meaningfully).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetRunStats {
+    /// The mergeable client-side counters.
+    pub metrics: FleetMetrics,
+    /// Timeline bucket width in nanoseconds.
+    pub timeline_window_ns: u64,
+    /// Goodput timeline: one entry per window from run start.
+    pub timeline: Vec<FleetWindow>,
+}
+
+/// Plain-scalar projection of one fleet run, carried inside `RunSummary`
+/// (and therefore the result cache and figure artifacts).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetSummary {
+    /// Hosts in the fleet.
+    pub hosts: u32,
+    /// Requests that arrived at the balancer.
+    pub offered: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests that exhausted their retries.
+    pub failed: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Attempt timeouts.
+    pub timeouts: u64,
+    /// Retries dispatched.
+    pub retries: u64,
+    /// Hedges dispatched.
+    pub hedges: u64,
+    /// Requests won by the hedged attempt.
+    pub hedge_wins: u64,
+    /// Host crashes injected.
+    pub crashes: u64,
+    /// Cold restarts.
+    pub restarts: u64,
+    /// Median client latency.
+    pub p50_ns: Option<u64>,
+    /// 99th-percentile client latency.
+    pub p99_ns: Option<u64>,
+    /// 99.9th-percentile client latency.
+    pub p999_ns: Option<u64>,
+    /// Mean client latency.
+    pub mean_ns: Option<f64>,
+    /// Answered requests per simulated second.
+    pub goodput_per_s: Option<f64>,
+    /// Mean restart→warm seconds, when a restart re-warmed.
+    pub time_to_warm_s: Option<f64>,
+    /// Timeline bucket width in nanoseconds.
+    pub timeline_window_ns: u64,
+    /// Goodput timeline as `(arrived, ok)` pairs per window.
+    pub timeline: Vec<(u64, u64)>,
+}
+
+impl FleetSummary {
+    /// Projects a single run's stats down to summary scalars.
+    pub fn from_stats(s: &FleetRunStats) -> FleetSummary {
+        let m = &s.metrics;
+        FleetSummary {
+            hosts: m.hosts,
+            offered: m.offered,
+            completed: m.completed,
+            failed: m.failed,
+            shed: m.shed,
+            timeouts: m.timeouts,
+            retries: m.retries,
+            hedges: m.hedges,
+            hedge_wins: m.hedge_wins,
+            crashes: m.crashes,
+            restarts: m.restarts,
+            p50_ns: m.hist.quantile(0.50),
+            p99_ns: m.hist.quantile(0.99),
+            p999_ns: m.hist.quantile(0.999),
+            mean_ns: m.hist.mean(),
+            goodput_per_s: m.goodput_per_s(),
+            time_to_warm_s: m.time_to_warm_ns().map(|ns| ns / 1e9),
+            timeline_window_ns: s.timeline_window_ns,
+            timeline: s.timeline.iter().map(|w| (w.arrived, w.ok)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetMetrics {
+        let mut m = FleetMetrics {
+            runs: 1,
+            hosts: 4,
+            offered: 100,
+            completed: 95,
+            failed: 2,
+            shed: 3,
+            timeouts: 9,
+            retries: 7,
+            hedges: 5,
+            hedge_wins: 2,
+            late_completions: 4,
+            crashes: 1,
+            restarts: 1,
+            in_flight_lost: 6,
+            warm_recoveries: 1,
+            time_to_warm_ns_total: 80_000_000,
+            sim_ns: 1_000_000_000,
+            ..FleetMetrics::default()
+        };
+        m.hist.record(1_000_000);
+        m.hist.record(4_000_000);
+        m.host_hist = vec![TailHistogram::default(); 4];
+        m.host_hist[1].record(2_000_000);
+        m
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = sample();
+        assert_eq!(m.goodput_per_s(), Some(95.0));
+        assert_eq!(m.retries_per_s(), Some(7.0));
+        assert_eq!(m.shed_rate(), Some(0.03));
+        assert_eq!(m.time_to_warm_ns(), Some(80_000_000.0));
+        assert_eq!(FleetMetrics::default().goodput_per_s(), None);
+        assert_eq!(FleetMetrics::default().shed_rate(), None);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = sample();
+        let mut b = sample();
+        b.hist.record(9_000_000);
+        b.host_hist.push(TailHistogram::default());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.runs, 2);
+        assert_eq!(ab.offered, 200);
+        assert_eq!(ab.hosts, 4, "host count is first-wins");
+        assert_eq!(ab.host_hist.len(), 5, "per-host histograms pad");
+    }
+
+    #[test]
+    fn json_block_has_the_gate_fields_and_round_trips() {
+        let json = sample().to_json();
+        for key in [
+            "runs",
+            "sim_ns",
+            "hosts",
+            "offered",
+            "completed",
+            "failed",
+            "shed",
+            "timeouts",
+            "retries",
+            "hedges",
+            "hedge_wins",
+            "late_completions",
+            "crashes",
+            "restarts",
+            "in_flight_lost",
+            "latency",
+            "goodput_per_s",
+            "retries_per_s",
+            "shed_rate",
+            "time_to_warm_ns",
+            "per_host",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        let text = json.to_pretty();
+        assert_eq!(nest_simcore::json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn summary_projects_scalars_and_timeline() {
+        let stats = FleetRunStats {
+            metrics: sample(),
+            timeline_window_ns: 50_000_000,
+            timeline: vec![
+                FleetWindow { arrived: 10, ok: 9 },
+                FleetWindow { arrived: 12, ok: 4 },
+            ],
+        };
+        let s = FleetSummary::from_stats(&stats);
+        assert_eq!(s.hosts, 4);
+        assert_eq!(s.completed, 95);
+        assert_eq!(s.p999_ns, Some(4_000_000));
+        assert_eq!(s.goodput_per_s, Some(95.0));
+        assert_eq!(s.time_to_warm_s, Some(0.08));
+        assert_eq!(s.timeline, vec![(10, 9), (12, 4)]);
+    }
+}

@@ -8,6 +8,7 @@
 //! placement accounting; [`stats`] provides the measurement conventions of
 //! §5.1 (averages, standard deviations, normalized speedups).
 
+pub mod fleet;
 pub mod freqdist;
 pub mod latency;
 pub mod phase;
@@ -19,6 +20,7 @@ pub mod tail;
 pub mod trace;
 pub mod underload;
 
+pub use fleet::{FleetMetrics, FleetRunStats, FleetSummary, FleetWindow};
 pub use freqdist::{FreqResidency, FreqResidencyProbe, FREQ_RESIDENCY_PROBE_KIND};
 pub use latency::{WakeupLatencies, WakeupLatencyProbe, WAKEUP_LATENCY_PROBE_KIND};
 pub use phase::{

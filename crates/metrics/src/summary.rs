@@ -11,6 +11,7 @@
 //! Heavy raw data (execution traces, individual latency samples) is
 //! deliberately *not* carried: trace figures use the uncached raw-run path.
 
+use crate::fleet::FleetSummary;
 use crate::freqdist::FreqResidency;
 use crate::latency::WakeupLatencies;
 use crate::placement::PlacementCounts;
@@ -74,6 +75,9 @@ pub struct RunSummary {
     /// Request-serving metrics; `None` unless the workload carried serve
     /// specs, so non-serving runs serialize exactly as before.
     pub serve: Option<ServeSummary>,
+    /// Fleet (multi-host) metrics; `None` unless the workload ran under a
+    /// `fleet:` front-end, so single-host runs serialize exactly as before.
+    pub fleet: Option<FleetSummary>,
 }
 
 impl RunSummary {
@@ -109,6 +113,7 @@ impl RunSummary {
             total_tasks,
             hit_horizon,
             serve: None,
+            fleet: None,
         }
     }
 

@@ -10,7 +10,10 @@
 //! * servers — `server:nginx,c=50` (`c` for the open-loop concurrency of
 //!   nginx/apache; `leveldb`/`redis` are fixed);
 //! * combinations — `+` joins independent workloads launched together:
-//!   `phoronix:zstd compression 7+phoronix:libgav1 4`.
+//!   `phoronix:zstd compression 7+phoronix:libgav1 4`;
+//! * fleets — a leading `fleet:` part routes the remaining parts' serve
+//!   streams across N independent host simulations with retry/timeout/
+//!   hedging and failover: `fleet:hosts=4,lb=warmth,retry=2+serve:rate=500`.
 //!
 //! Canonical strings list only knobs that differ from the member/suite
 //! base, in declaration order, so equivalent specs share one cache key.
@@ -18,7 +21,7 @@
 use nest_serve::{format_duration, parse_duration, ArrivalKind, ServeSpec, ServiceDist};
 use nest_workloads::{
     configure, dacapo, hackbench::HackbenchSpec, nas, phoronix, schbench::SchbenchSpec, server,
-    Multi, ServeLoad, Workload,
+    FleetLoad, FleetSpec, Multi, ServeLoad, Workload,
 };
 
 use crate::error::ScenarioError;
@@ -35,6 +38,7 @@ pub fn workload_suites() -> Vec<&'static str> {
         "schbench",
         "serve",
         "server",
+        "fleet",
     ]
 }
 
@@ -91,6 +95,13 @@ pub fn workload_entries() -> Vec<(&'static str, String)> {
             "server",
             "request/worker server tests (§5.6); members: nginx, apache (knob: c), \
              leveldb, redis"
+                .to_string(),
+        ),
+        (
+            "fleet",
+            "multi-host front-end prefix (fleet:<knobs>+<workload with serve parts>); \
+             knobs: hosts, lb (rr|leastq|warmth), retry, timeout, backoff, cap, \
+             hedge (off|p95|<dur>), shed, hostdown=K@T[:D], degrade=hK:F@T[:D]"
                 .to_string(),
         ),
     ]
@@ -180,6 +191,9 @@ pub enum WorkloadSpec {
     Server(ServerKind),
     /// Several workloads launched together (`+`).
     Multi(Vec<WorkloadSpec>),
+    /// A multi-host fleet front-end routing the inner workload's serve
+    /// streams (`fleet:<knobs>+<inner>`).
+    Fleet(FleetSpec, Box<WorkloadSpec>),
 }
 
 fn unknown_member(kind: &'static str, name: &str, suite: &str) -> ScenarioError {
@@ -399,6 +413,12 @@ fn parse_single(input: &str) -> Result<WorkloadSpec, ScenarioError> {
                 })?;
             Ok(WorkloadSpec::Serve(s))
         }
+        "fleet" => Err(ScenarioError::MalformedSpec {
+            spec: input.trim().to_string(),
+            reason: "fleet is a front-end prefix and must come first, followed by the \
+                     workload it routes, e.g. \"fleet:hosts=4,lb=warmth+serve:rate=500\""
+                .into(),
+        }),
         "server" => {
             let member = require_member(&p, input)?;
             let mut c: Option<u32> = None;
@@ -443,9 +463,15 @@ fn parse_single(input: &str) -> Result<WorkloadSpec, ScenarioError> {
 }
 
 /// Parses a workload spec string; `+` at the top level combines several
-/// workloads into a [`WorkloadSpec::Multi`].
+/// workloads into a [`WorkloadSpec::Multi`]. A leading `fleet:` part
+/// wraps the remaining parts into a [`WorkloadSpec::Fleet`].
 pub fn parse_workload(input: &str) -> Result<WorkloadSpec, ScenarioError> {
     let parts: Vec<&str> = input.split('+').collect();
+    if let Ok(p) = parse_spec("workload", parts[0]) {
+        if p.head == "fleet" && !parts[1..].is_empty() {
+            return parse_fleet(input, &p, &parts[1..]);
+        }
+    }
     if parts.len() == 1 {
         return parse_single(input);
     }
@@ -454,6 +480,38 @@ pub fn parse_workload(input: &str) -> Result<WorkloadSpec, ScenarioError> {
         .map(|part| parse_single(part))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(WorkloadSpec::Multi(specs))
+}
+
+/// Parses the `fleet:` front-end: `p` is the already-parsed first part,
+/// `rest` the `+`-separated parts it routes.
+fn parse_fleet(input: &str, p: &ParsedSpec, rest: &[&str]) -> Result<WorkloadSpec, ScenarioError> {
+    let malformed = |reason: String| ScenarioError::MalformedSpec {
+        spec: input.trim().to_string(),
+        reason,
+    };
+    if p.member.is_some() {
+        return Err(malformed(
+            "fleet has no members (parameters are key=value)".into(),
+        ));
+    }
+    let spec = FleetSpec::from_params(&p.params).map_err(|e| malformed(e.to_string()))?;
+    let inner = if rest.len() == 1 {
+        parse_single(rest[0])?
+    } else {
+        WorkloadSpec::Multi(
+            rest.iter()
+                .map(|part| parse_single(part))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    };
+    if !inner.has_serve() {
+        return Err(malformed(
+            "a fleet needs at least one serve part to route, e.g. \
+             \"fleet:hosts=4+serve:rate=500\""
+                .into(),
+        ));
+    }
+    Ok(WorkloadSpec::Fleet(spec, Box::new(inner)))
 }
 
 /// Canonicalizes a workload spec string (parse, normalize, re-render).
@@ -617,6 +675,20 @@ impl WorkloadSpec {
                 .map(|p| p.canonical())
                 .collect::<Vec<_>>()
                 .join("+"),
+            WorkloadSpec::Fleet(f, inner) => {
+                format!("{}+{}", f.canonical(), inner.canonical())
+            }
+        }
+    }
+
+    /// Whether this spec (or any part of it) carries an open-loop serve
+    /// stream the fleet balancer could route.
+    fn has_serve(&self) -> bool {
+        match self {
+            WorkloadSpec::Serve(_) => true,
+            WorkloadSpec::Multi(parts) => parts.iter().any(|p| p.has_serve()),
+            WorkloadSpec::Fleet(_, inner) => inner.has_serve(),
+            _ => false,
         }
     }
 
@@ -640,6 +712,7 @@ impl WorkloadSpec {
             WorkloadSpec::Multi(parts) => {
                 Box::new(Multi::new(parts.iter().map(|p| p.build()).collect()))
             }
+            WorkloadSpec::Fleet(f, inner) => Box::new(FleetLoad::new(f.clone(), inner.build())),
         }
     }
 
@@ -833,6 +906,72 @@ mod tests {
             msg.contains("unknown workload suite") && msg.contains("configure"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn fleet_prefix_parses_and_canonicalizes() {
+        let spec =
+            parse_workload("fleet:hosts=4,lb=warmth,retry=2,hedge=p95+serve:rate=500").unwrap();
+        let WorkloadSpec::Fleet(f, inner) = &spec else {
+            panic!("expected Fleet");
+        };
+        assert_eq!(f.hosts, 4);
+        assert_eq!(f.retry, 2);
+        assert!(matches!(**inner, WorkloadSpec::Serve(_)));
+        assert_eq!(
+            spec.canonical(),
+            "fleet:hosts=4,lb=warmth,retry=2,hedge=p95+serve:rate=500"
+        );
+        // Default knobs drop; knob order normalizes.
+        assert_eq!(
+            canonical_workload("fleet:retry=1,hosts=2+serve").unwrap(),
+            "fleet+serve"
+        );
+        // The built workload reports the fleet spec and serves.
+        let wl = spec.build();
+        assert_eq!(wl.fleet_spec().unwrap().hosts, 4);
+        assert_eq!(wl.serve_specs().len(), 1);
+    }
+
+    #[test]
+    fn fleet_colocates_background_work() {
+        let spec =
+            parse_workload("fleet:hosts=2,hostdown=1@50ms:100ms+serve:rate=500+hackbench:g=4")
+                .unwrap();
+        let WorkloadSpec::Fleet(f, inner) = &spec else {
+            panic!("expected Fleet");
+        };
+        assert_eq!(f.down.as_ref().unwrap().count, 1);
+        let WorkloadSpec::Multi(parts) = &**inner else {
+            panic!("expected Multi inner");
+        };
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            spec.canonical(),
+            "fleet:hostdown=1@50ms:100ms+serve:rate=500+hackbench:g=4"
+        );
+    }
+
+    #[test]
+    fn fleet_rejects_bad_shapes() {
+        let msg = parse_workload("fleet:hosts=4").unwrap_err().to_string();
+        assert!(msg.contains("front-end prefix"), "{msg}");
+        let msg = parse_workload("fleet:hosts=4+hackbench")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("at least one serve part"), "{msg}");
+        let msg = parse_workload("fleet:hosts=99+serve")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("hosts"), "{msg}");
+        let msg = parse_workload("serve+fleet:hosts=2+serve")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("must come first"), "{msg}");
+        let msg = parse_workload("fleet:warmth+serve")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("no members"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The fleet front-end wrapper.
+//!
+//! [`FleetLoad`] pairs a [`FleetSpec`] (hosts, load-balancing policy,
+//! retry/timeout/hedge parameters) with an inner workload. It *is* the
+//! inner workload as far as task construction goes — `build` and
+//! `serve_specs` delegate — but its `fleet_spec` hook returns `Some`,
+//! which diverts the run into the multi-host co-simulation driver in
+//! `nest-core`: each host runs its own copy of the inner workload's
+//! background tasks, while the serve streams are materialized once,
+//! fleet-wide, and routed by the load balancer.
+
+use nest_fleet::FleetSpec;
+use nest_simcore::{SimRng, SimSetup, TaskSpec};
+
+use crate::{ServeSpec, Workload};
+
+/// An inner workload wrapped by a fleet front-end.
+pub struct FleetLoad {
+    spec: FleetSpec,
+    inner: Box<dyn Workload>,
+}
+
+impl FleetLoad {
+    /// Wraps `inner` under fleet front-end `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner workload carries no serve streams (the fleet
+    /// balancer routes requests; with nothing to route it is meaningless)
+    /// or is itself a fleet (no nesting).
+    pub fn new(spec: FleetSpec, inner: Box<dyn Workload>) -> FleetLoad {
+        assert!(
+            !inner.serve_specs().is_empty(),
+            "a fleet needs at least one serve stream to route"
+        );
+        assert!(inner.fleet_spec().is_none(), "fleets do not nest");
+        FleetLoad { spec, inner }
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &dyn Workload {
+        self.inner.as_ref()
+    }
+}
+
+impl Workload for FleetLoad {
+    fn name(&self) -> String {
+        format!("fleet({}) {}", self.spec.hosts, self.inner.name())
+    }
+
+    fn build(&self, setup: &mut dyn SimSetup, rng: &mut SimRng) -> Vec<TaskSpec> {
+        self.inner.build(setup, rng)
+    }
+
+    fn serve_specs(&self) -> Vec<ServeSpec> {
+        self.inner.serve_specs()
+    }
+
+    fn fleet_spec(&self) -> Option<FleetSpec> {
+        Some(self.spec.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeLoad;
+
+    #[test]
+    fn fleet_load_delegates_and_flags() {
+        let spec = FleetSpec::default();
+        let wl = FleetLoad::new(spec, Box::new(ServeLoad::new(ServeSpec::default())));
+        assert!(wl.fleet_spec().is_some());
+        assert_eq!(wl.serve_specs().len(), 1);
+        assert!(wl.name().starts_with("fleet(2) "));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one serve stream")]
+    fn fleet_without_serve_streams_is_rejected() {
+        let _ = FleetLoad::new(
+            FleetSpec::default(),
+            Box::new(crate::hackbench::Hackbench::new(Default::default())),
+        );
+    }
+}

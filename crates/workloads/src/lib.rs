@@ -22,6 +22,7 @@
 
 pub mod configure;
 pub mod dacapo;
+pub mod fleet;
 pub mod hackbench;
 pub mod nas;
 pub mod phoronix;
@@ -31,6 +32,8 @@ pub mod server;
 
 use nest_simcore::{BehaviorRegistry, SimRng, SimSetup, TaskSpec};
 
+pub use fleet::FleetLoad;
+pub use nest_fleet::FleetSpec;
 pub use nest_serve::{OpenLoopDriver, ServeSpec, ServiceWorker};
 pub use serve::ServeLoad;
 
@@ -63,6 +66,13 @@ pub trait Workload {
     /// so most workloads — which have none — return an empty list.
     fn serve_specs(&self) -> Vec<ServeSpec> {
         Vec::new()
+    }
+
+    /// The fleet front-end this workload runs under, if any. `Some` routes
+    /// the run through the multi-host co-simulation driver ([`FleetLoad`]
+    /// is the only implementor); everything else runs single-host.
+    fn fleet_spec(&self) -> Option<FleetSpec> {
+        None
     }
 }
 

@@ -23,7 +23,7 @@ export NEST_QUICK=1 NEST_RUNS=1 NEST_SEED=42 NEST_CACHE=off
 export NEST_PROGRESS=0 NEST_RESULTS_DIR="$outdir"
 unset NEST_JOBS 2>/dev/null || true
 
-for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview fig_serve_tail fig_attribution; do
+for bin in fig02_trace fig04_underload fig10_dacapo_speedup table4_overview fig_serve_tail fig_attribution fig_fleet_failover; do
     echo "==> regenerating $bin (quick mode)"
     cargo run --release -q -p nest-bench --bin "$bin" >/dev/null
 done
@@ -60,7 +60,8 @@ cargo run --release -q -p nest-bench --bin nest-sim -- \
 
 (cd "$outdir" && sha256sum fig02_trace.json fig04_underload.json \
     fig10_dacapo_speedup.json table4_overview.json fig_serve_tail.json \
-    fig_attribution.json faulted_pin.json synth_pin.json replay_pin.json) \
+    fig_attribution.json faulted_pin.json synth_pin.json replay_pin.json \
+    fig_fleet_failover.json) \
     > "$outdir/actual.sha256"
 
 if [[ "${1:-}" == "--update" ]]; then

@@ -11,6 +11,7 @@
 use nest_core::{presets, run_once_with, PolicyKind, SimConfig};
 use nest_faults::FaultPlan;
 use nest_obs::InvariantChecker;
+use nest_scenario::Scenario;
 use nest_simcore::{Probe, SimRng, Time};
 use nest_workloads::hackbench::{Hackbench, HackbenchSpec};
 
@@ -42,6 +43,21 @@ fn random_plan(rng: &mut SimRng, n_sockets: u64) -> String {
         clauses.push(format!("stragglers={n}@{at}ms:{dur}ms"));
     }
     clauses.join(",")
+}
+
+/// Builds a fail-fast invariant checker pair for `machine`.
+fn checker_for(
+    machine: &nest_core::MachineSpec,
+) -> (
+    Box<dyn Probe>,
+    std::rc::Rc<std::cell::RefCell<nest_obs::InvariantCounts>>,
+) {
+    let (checker, counts) = InvariantChecker::new(
+        machine.n_cores(),
+        machine.freq.fmin.as_khz(),
+        machine.freq.fmax().as_khz(),
+    );
+    (Box::new(checker.fail_fast()), counts)
 }
 
 #[test]
@@ -82,5 +98,81 @@ fn randomized_fault_plans_never_break_invariants() {
             // agree with our fail-fast copy.
             assert_eq!(result.invariants.violations, 0);
         }
+    }
+}
+
+#[test]
+fn synthetic_512_core_domain_soak_never_breaks_invariants() {
+    // A 4-socket × 8-CCX × 16-core synthetic machine (512 cores) under
+    // the CCX-sharded Nest policy: domain-local nests, per-CCX turbo
+    // ladders, and fault plans that hotplug whole swaths of cores must
+    // all hold the same kernel-state invariants as the Table 2 presets.
+    let s = Scenario::parse(
+        "synth:sockets=4,ccx=8,cores=16,numa=ring",
+        "nest:domain=ccx",
+        "schedutil",
+        "hackbench:g=4,fan=4,loops=10",
+    )
+    .expect("soak scenario parses");
+    let machine = s.sim_config().machine.clone();
+    let mut rng = SimRng::new(0x512C0);
+    for round in 0..2 {
+        let spec = random_plan(&mut rng, machine.sockets as u64);
+        let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("bad plan {spec:?}: {e}"));
+        let cfg = s
+            .sim_config()
+            .seed(7_000 + round)
+            .horizon(Time::from_secs(120))
+            .faults(plan);
+        let (probe, counts) = checker_for(&machine);
+        let workload = s.build_workload();
+        let result = run_once_with(&cfg, workload.as_ref(), vec![probe]);
+        let counts = counts.borrow();
+        assert_eq!(counts.violations, 0, "plan {spec:?}: {counts:?}");
+        assert!(counts.events_checked > 0);
+        assert_eq!(result.invariants.violations, 0, "plan {spec:?}");
+    }
+}
+
+#[test]
+fn two_host_fleet_soak_never_breaks_invariants() {
+    // A 2-host fleet with the full robustness surface live at once —
+    // warmth routing, retries, hedging, a mid-run crash + cold restart,
+    // and a degraded (throttled) survivor. The fail-fast checker rides
+    // host 0 (extra probes attach to the first host's first epoch); the
+    // always-on counting checkers inside every host cell merge into
+    // `result.invariants`, so the assertion below spans both hosts and
+    // the restarted epoch.
+    let s = Scenario::parse(
+        "5218",
+        "nest",
+        "schedutil",
+        "fleet:hosts=2,lb=warmth,retry=2,timeout=20ms,hedge=p95,\
+         hostdown=1@30ms:40ms,degrade=h1:0.8@10ms\
+         +serve:rate=1500,dist=lognorm,requests=200+hackbench:g=2",
+    )
+    .expect("fleet soak scenario parses");
+    let machine = s.sim_config().machine.clone();
+    for seed in [11u64, 12] {
+        let cfg = s.sim_config().seed(seed).horizon(Time::from_secs(120));
+        let (probe, counts) = checker_for(&machine);
+        let workload = s.build_workload();
+        let result = run_once_with(&cfg, workload.as_ref(), vec![probe]);
+        let counts = counts.borrow();
+        assert_eq!(counts.violations, 0, "seed {seed}: {counts:?}");
+        assert!(counts.events_checked > 0);
+        assert_eq!(result.invariants.violations, 0, "seed {seed}");
+        // The fleet's request accounting must close even through the
+        // crash: every offered request completes, fails, or is shed.
+        let fleet = result.fleet.as_ref().expect("fleet workload ran");
+        let m = &fleet.metrics;
+        assert_eq!(m.offered, 200, "seed {seed}");
+        assert_eq!(
+            m.completed + m.failed + m.shed,
+            m.offered,
+            "seed {seed}: accounting leak"
+        );
+        assert_eq!(m.crashes, 1, "seed {seed}");
+        assert_eq!(m.restarts, 1, "seed {seed}");
     }
 }
